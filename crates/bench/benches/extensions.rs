@@ -1,0 +1,199 @@
+//! Benchmarks for the extension subsystems: forecasting models, elastic
+//! scaling, flexible grid load, merit-order dispatch, and the online
+//! simulator.
+//!
+//! Like `figures.rs`, each group first prints the regenerated extension
+//! tables so a `cargo bench` log doubles as a reproduction run, then
+//! times the underlying kernels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::sync::OnceLock;
+
+use decarb_core::elastic::elastic_plan;
+use decarb_core::flexload::{allocate_by_average_ci, allocate_flexible};
+use decarb_core::signals::compare_signals;
+use decarb_experiments::{ext_grid, run_experiment, Context};
+use decarb_forecast::{
+    backtest, BacktestConfig, DiurnalTemplate, Forecaster, LinearAr, Persistence, SeasonalNaive,
+};
+use decarb_sim::{CarbonAgnostic, SimConfig, Simulator, ThresholdSuspend};
+use decarb_traces::time::year_start;
+use decarb_traces::Region;
+use decarb_workloads::{Job, Slack};
+
+fn ctx() -> &'static Context {
+    static CTX: OnceLock<Context> = OnceLock::new();
+    CTX.get_or_init(Context::default)
+}
+
+/// Prints an experiment's tables once, outside any timed section.
+fn print_once(id: &str) {
+    static PRINTED: std::sync::Mutex<Vec<String>> = std::sync::Mutex::new(Vec::new());
+    let mut printed = PRINTED.lock().expect("print lock");
+    if printed.iter().any(|p| p == id) {
+        return;
+    }
+    printed.push(id.to_string());
+    for table in run_experiment(ctx(), id).expect("known experiment id") {
+        println!("{table}");
+    }
+}
+
+fn bench_ext_forecast(c: &mut Criterion) {
+    print_once("ext-forecast");
+    let data = ctx().data();
+    let series = data.series("US-CA").expect("trace");
+    let history = series.slice(year_start(2021), 8760).expect("training year");
+
+    let mut group = c.benchmark_group("bench_ext_forecast");
+    // Single 96-hour forecast per model.
+    let ar = LinearAr::fit(&history).expect("full-year fit");
+    let models: Vec<(&str, Box<dyn Forecaster>)> = vec![
+        ("persistence", Box::new(Persistence)),
+        ("seasonal_naive", Box::new(SeasonalNaive::daily())),
+        ("diurnal_template", Box::new(DiurnalTemplate::default())),
+        ("linear_ar", Box::new(ar)),
+    ];
+    for (name, model) in &models {
+        group.bench_with_input(BenchmarkId::new("predict_96h", name), model, |b, m| {
+            b.iter(|| black_box(m.predict(&history, 96)))
+        });
+    }
+    group.bench_function("fit_linear_ar_1y", |b| {
+        b.iter(|| black_box(LinearAr::fit(&history)))
+    });
+    group.sample_size(10);
+    group.bench_function("backtest_template_30d", |b| {
+        let cfg = BacktestConfig::default();
+        b.iter(|| {
+            black_box(backtest(
+                &DiurnalTemplate::default(),
+                series,
+                year_start(2022),
+                30 * 24,
+                &cfg,
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn bench_ext_elastic(c: &mut Criterion) {
+    print_once("ext-elastic");
+    let data = ctx().data();
+    let series = data.series("US-CA").expect("trace");
+    let arrival = year_start(2022);
+    let mut group = c.benchmark_group("bench_ext_elastic");
+    for &m in &[1usize, 8, 48] {
+        group.bench_with_input(BenchmarkId::new("plan_48h_in_7d", m), &m, |b, &m| {
+            b.iter(|| black_box(elastic_plan(series, arrival, 48, m, 7 * 24)))
+        });
+    }
+    // Scaling in the window length (the sort dominates).
+    for &days in &[7usize, 30, 365] {
+        group.bench_with_input(
+            BenchmarkId::new("plan_window_days", days),
+            &days,
+            |b, &d| b.iter(|| black_box(elastic_plan(series, arrival, 48, 8, d * 24))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_ext_grid(c: &mut Criterion) {
+    print_once("ext-grid");
+    let fleet = ext_grid::curtailment_grid();
+    let demand = ext_grid::two_level_demand;
+    let mut group = c.benchmark_group("bench_ext_grid");
+    group.bench_function("dispatch_week", |b| {
+        b.iter(|| black_box(fleet.dispatch_series(decarb_traces::Hour(0), demand, 168)))
+    });
+    group.bench_function("allocate_flexible_day", |b| {
+        b.iter(|| {
+            black_box(allocate_flexible(
+                &fleet,
+                demand,
+                decarb_traces::Hour(0),
+                24,
+                1200.0,
+                100.0,
+                25.0,
+            ))
+        })
+    });
+    group.bench_function("allocate_by_average_day", |b| {
+        b.iter(|| {
+            black_box(allocate_by_average_ci(
+                &fleet,
+                demand,
+                decarb_traces::Hour(0),
+                24,
+                1200.0,
+                100.0,
+            ))
+        })
+    });
+    group.sample_size(20);
+    group.bench_function("compare_signals_48h", |b| {
+        b.iter(|| {
+            black_box(compare_signals(
+                &fleet,
+                demand,
+                decarb_traces::Hour(0),
+                48,
+                4,
+                30,
+                100.0,
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn bench_ext_sim(c: &mut Criterion) {
+    print_once("ext-embodied");
+    let data = ctx().data();
+    let codes = ["US-CA", "DE", "GB", "SE", "IN-WE"];
+    let regions: Vec<&'static Region> = codes
+        .iter()
+        .map(|c| data.region(c).expect("region"))
+        .collect();
+    let start = year_start(2022);
+    let jobs: Vec<Job> = (0..50u64)
+        .map(|i| {
+            Job::batch(
+                i + 1,
+                codes[(i % 5) as usize],
+                start.plus((i as usize) * 150),
+                24.0,
+                Slack::Week,
+            )
+            .with_interruptible()
+        })
+        .collect();
+    let mut group = c.benchmark_group("bench_ext_sim");
+    group.sample_size(10);
+    group.bench_function("year_5dc_50jobs_agnostic", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(data, &regions, SimConfig::new(start, 8760, 16));
+            black_box(sim.run(&mut CarbonAgnostic, &jobs))
+        })
+    });
+    group.bench_function("year_5dc_50jobs_threshold", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(data, &regions, SimConfig::new(start, 8760, 16));
+            black_box(sim.run(&mut ThresholdSuspend::default(), &jobs))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    extensions,
+    bench_ext_forecast,
+    bench_ext_elastic,
+    bench_ext_grid,
+    bench_ext_sim
+);
+criterion_main!(extensions);

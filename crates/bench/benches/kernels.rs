@@ -1,0 +1,160 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md §4.
+//!
+//! Each pair compares the optimized kernel used by `decarb-core` against
+//! the naive alternative it replaced, on identical inputs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use decarb_core::ksmallest::SlidingKSmallest;
+use decarb_core::temporal::TemporalPlanner;
+use decarb_stats::autocorr::autocorrelation;
+use decarb_stats::periodicity::detect_periods;
+use decarb_traces::rng::Xoshiro256;
+use decarb_traces::{Hour, TimeSeries};
+
+fn synthetic_trace(n: usize) -> Vec<f64> {
+    let mut rng = Xoshiro256::seeded(0xBE7C);
+    (0..n)
+        .map(|t| {
+            300.0 + 120.0 * (std::f64::consts::TAU * t as f64 / 24.0).sin() + 40.0 * rng.normal()
+        })
+        .map(|v| v.max(1.0))
+        .collect()
+}
+
+/// Naive deferral: rescan the whole slack window per arrival.
+fn naive_deferral_sweep(values: &[f64], count: usize, slots: usize, slack: usize) -> Vec<f64> {
+    (0..count)
+        .map(|a| {
+            let last = (a + slack).min(values.len() - slots);
+            (a..=last)
+                .map(|s| values[s..s + slots].iter().sum())
+                .fold(f64::INFINITY, f64::min)
+        })
+        .collect()
+}
+
+/// Naive interruptibility: sort every window.
+fn naive_interruptible_sweep(values: &[f64], count: usize, slots: usize, slack: usize) -> Vec<f64> {
+    (0..count)
+        .map(|a| {
+            let end = (a + slots + slack).min(values.len());
+            let mut window = values[a..end].to_vec();
+            window.sort_by(f64::total_cmp);
+            window.iter().take(slots).sum()
+        })
+        .collect()
+}
+
+fn bench_kernel_deferral(c: &mut Criterion) {
+    let values = synthetic_trace(24 * 120);
+    let series = TimeSeries::new(Hour(0), values.clone());
+    let planner = TemporalPlanner::new(&series);
+    let slots = 24;
+    let slack = 168;
+    let count = values.len() - slots - slack;
+    let mut group = c.benchmark_group("bench_kernel_deferral");
+    group.bench_function("monotonic_deque", |b| {
+        b.iter(|| black_box(planner.deferral_sweep(Hour(0), count, slots, slack)))
+    });
+    group.bench_function("naive_rescan", |b| {
+        b.iter(|| black_box(naive_deferral_sweep(&values, count, slots, slack)))
+    });
+    group.finish();
+}
+
+fn bench_kernel_ksmallest(c: &mut Criterion) {
+    let values = synthetic_trace(24 * 120);
+    let series = TimeSeries::new(Hour(0), values.clone());
+    let planner = TemporalPlanner::new(&series);
+    let slots = 24;
+    let slack = 168;
+    let count = values.len() - slots - slack;
+    let mut group = c.benchmark_group("bench_kernel_ksmallest");
+    group.bench_function("two_multiset_sliding", |b| {
+        b.iter(|| black_box(planner.interruptible_sweep(Hour(0), count, slots, slack)))
+    });
+    group.bench_function("sort_per_window", |b| {
+        b.iter(|| black_box(naive_interruptible_sweep(&values, count, slots, slack)))
+    });
+    group.finish();
+}
+
+fn bench_kernel_prefix(c: &mut Criterion) {
+    let values = synthetic_trace(8760);
+    let series = TimeSeries::new(Hour(0), values.clone());
+    let prefix = series.prefix_sum();
+    let mut group = c.benchmark_group("bench_kernel_prefix");
+    group.bench_function("prefix_sum_queries", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for from in (0..8000).step_by(7) {
+                acc += prefix.sum(Hour(from as u32), 168);
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("direct_summation", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for from in (0..8000).step_by(7) {
+                acc += values[from..from + 168].iter().sum::<f64>();
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+fn bench_kernel_period(c: &mut Criterion) {
+    let values = synthetic_trace(8760);
+    let mut group = c.benchmark_group("bench_kernel_period");
+    group.sample_size(20);
+    group.bench_function("fft_periodogram_detect", |b| {
+        b.iter(|| black_box(detect_periods(&values, 0.2)))
+    });
+    group.bench_function("brute_acf_scan", |b| {
+        b.iter(|| {
+            // Scan every candidate lag up to a week.
+            let best = (2..=168)
+                .map(|lag| (lag, autocorrelation(&values, lag)))
+                .max_by(|a, b| a.1.total_cmp(&b.1));
+            black_box(best)
+        })
+    });
+    group.finish();
+}
+
+fn bench_sliding_structure_scaling(c: &mut Criterion) {
+    let values = synthetic_trace(20_000);
+    let mut group = c.benchmark_group("bench_sliding_structure_scaling");
+    group.sample_size(20);
+    for window in [48usize, 336, 2048] {
+        group.bench_with_input(BenchmarkId::new("k16", window), &window, |b, &window| {
+            b.iter(|| {
+                let mut s = SlidingKSmallest::new(16);
+                let mut acc = 0.0;
+                for i in 0..values.len() {
+                    s.insert(values[i]);
+                    if i >= window {
+                        s.remove(values[i - window]);
+                    }
+                    acc += s.k_sum();
+                }
+                black_box(acc)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    kernels,
+    bench_kernel_deferral,
+    bench_kernel_ksmallest,
+    bench_kernel_prefix,
+    bench_kernel_period,
+    bench_sliding_structure_scaling
+);
+criterion_main!(kernels);

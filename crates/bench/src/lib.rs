@@ -1,0 +1,17 @@
+//! `decarb-bench` — Criterion benchmark harness.
+//!
+//! Two bench targets live under `benches/`:
+//!
+//! * `figures` — one benchmark group per paper table/figure. Each group
+//!   prints the regenerated rows/series once (so `cargo bench` doubles as
+//!   a reproduction run) and then times the computation that produces
+//!   them, at full or reduced scale depending on cost.
+//! * `kernels` — ablation benchmarks for the design choices documented in
+//!   `DESIGN.md` §4: sliding-window minimum vs naive rescan, the
+//!   two-multiset k-smallest structure vs per-window sorting, prefix sums
+//!   vs direct summation, and FFT periodograms vs brute-force ACF scans.
+
+/// Returns the shared experiment context used by the bench targets.
+pub fn bench_context() -> decarb_experiments::Context {
+    decarb_experiments::Context::default()
+}

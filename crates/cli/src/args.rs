@@ -1,0 +1,315 @@
+//! Hand-rolled argument parsing (the allowed dependency set has no CLI
+//! parser, and the grammar is small enough that one is not missed).
+
+use decarb_traces::time::{EPOCH_YEAR, LAST_YEAR};
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `regions [--group G] [--year Y]`.
+    Regions {
+        /// Optional geographic-group filter (label prefix, case-insensitive).
+        group: Option<String>,
+        /// Evaluation year.
+        year: i32,
+    },
+    /// `analyze <ZONE> [--year Y]`.
+    Analyze {
+        /// Zone code.
+        zone: String,
+        /// Evaluation year.
+        year: i32,
+    },
+    /// `plan <ZONE> --hours L [--slack H] [--arrive H0] [--year Y]`.
+    Plan {
+        /// Zone code of the job's origin.
+        zone: String,
+        /// Job length in hours.
+        hours: usize,
+        /// Slack in hours.
+        slack: usize,
+        /// Arrival as an hour-of-year offset.
+        arrive: usize,
+        /// Evaluation year.
+        year: i32,
+    },
+    /// `forecast <ZONE> [--days N] [--year Y]`.
+    Forecast {
+        /// Zone code.
+        zone: String,
+        /// Evaluation window in days.
+        days: usize,
+        /// Evaluation year.
+        year: i32,
+    },
+    /// `rank [--year Y]`.
+    Rank {
+        /// Evaluation year.
+        year: i32,
+    },
+    /// `export <ZONE> [--year Y]`.
+    Export {
+        /// Zone code.
+        zone: String,
+        /// Evaluation year.
+        year: i32,
+    },
+    /// `--help` / no arguments.
+    Help,
+}
+
+/// A parse failure with a user-facing message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError(pub String);
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// The usage text shown by `--help`.
+pub const USAGE: &str = "\
+usage: decarb-cli <command> [options]
+
+commands:
+  regions  [--group G] [--year Y]      list regions (annual mean, daily CV)
+  analyze  <ZONE> [--year Y]           one region's carbon profile
+  plan     <ZONE> --hours L [--slack H] [--arrive H0] [--year Y]
+                                       schedule one job four ways
+  forecast <ZONE> [--days N] [--year Y] backtest all forecasters
+  rank     [--year Y]                  rank-order stability of all regions
+  export   <ZONE> [--year Y]           hourly trace as CSV on stdout
+
+defaults: --year 2022, --slack 24, --arrive 0, --days 60
+
+global: --data FILE (first option) replaces the built-in dataset with a
+`zone,hour,value` CSV; imported traces are validated and repaired";
+
+/// Simple key-value option scanner: `--key value` pairs after the
+/// positional arguments.
+struct Options<'a> {
+    pairs: Vec<(&'a str, &'a str)>,
+}
+
+impl<'a> Options<'a> {
+    fn scan(rest: &'a [String]) -> Result<Self, ParseError> {
+        let mut pairs = Vec::new();
+        let mut i = 0;
+        while i < rest.len() {
+            let key = rest[i].as_str();
+            if !key.starts_with("--") {
+                return Err(ParseError(format!("unexpected argument `{key}`")));
+            }
+            let Some(value) = rest.get(i + 1) else {
+                return Err(ParseError(format!("option `{key}` needs a value")));
+            };
+            pairs.push((&key[2..], value.as_str()));
+            i += 2;
+        }
+        Ok(Self { pairs })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.pairs.iter().find(|(k, _)| *k == key).map(|(_, v)| *v)
+    }
+
+    fn parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ParseError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| ParseError(format!("invalid value `{raw}` for --{key}"))),
+        }
+    }
+
+    fn year(&self) -> Result<i32, ParseError> {
+        let year: i32 = self.parsed("year", 2022)?;
+        if !(EPOCH_YEAR..LAST_YEAR).contains(&year) {
+            return Err(ParseError(format!(
+                "--year must lie in {EPOCH_YEAR}..{}",
+                LAST_YEAR - 1
+            )));
+        }
+        Ok(year)
+    }
+
+    fn reject_unknown(&self, allowed: &[&str]) -> Result<(), ParseError> {
+        for (k, _) in &self.pairs {
+            if !allowed.contains(k) {
+                return Err(ParseError(format!("unknown option `--{k}`")));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Parses `argv` (without the program name) into a [`Command`].
+pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
+    let Some(first) = argv.first() else {
+        return Ok(Command::Help);
+    };
+    if first == "--help" || first == "-h" || first == "help" {
+        return Ok(Command::Help);
+    }
+    match first.as_str() {
+        "regions" => {
+            let opts = Options::scan(&argv[1..])?;
+            opts.reject_unknown(&["group", "year"])?;
+            Ok(Command::Regions {
+                group: opts.get("group").map(str::to_string),
+                year: opts.year()?,
+            })
+        }
+        "analyze" | "plan" | "forecast" | "export" => {
+            let Some(zone) = argv.get(1).filter(|z| !z.starts_with("--")) else {
+                return Err(ParseError(format!("`{first}` needs a zone code")));
+            };
+            let opts = Options::scan(&argv[2..])?;
+            let zone = zone.to_uppercase();
+            match first.as_str() {
+                "analyze" => {
+                    opts.reject_unknown(&["year"])?;
+                    Ok(Command::Analyze {
+                        zone,
+                        year: opts.year()?,
+                    })
+                }
+                "plan" => {
+                    opts.reject_unknown(&["hours", "slack", "arrive", "year"])?;
+                    let hours: usize = opts.parsed("hours", 0)?;
+                    if hours == 0 {
+                        return Err(ParseError("`plan` needs --hours ≥ 1".into()));
+                    }
+                    Ok(Command::Plan {
+                        zone,
+                        hours,
+                        slack: opts.parsed("slack", 24)?,
+                        arrive: opts.parsed("arrive", 0)?,
+                        year: opts.year()?,
+                    })
+                }
+                "forecast" => {
+                    opts.reject_unknown(&["days", "year"])?;
+                    let days: usize = opts.parsed("days", 60)?;
+                    if days < 5 {
+                        return Err(ParseError("--days must be at least 5".into()));
+                    }
+                    Ok(Command::Forecast {
+                        zone,
+                        days,
+                        year: opts.year()?,
+                    })
+                }
+                "export" => {
+                    opts.reject_unknown(&["year"])?;
+                    Ok(Command::Export {
+                        zone,
+                        year: opts.year()?,
+                    })
+                }
+                _ => unreachable!("outer match guards the command set"),
+            }
+        }
+        "rank" => {
+            let opts = Options::scan(&argv[1..])?;
+            opts.reject_unknown(&["year"])?;
+            Ok(Command::Rank { year: opts.year()? })
+        }
+        other => Err(ParseError(format!(
+            "unknown command `{other}` (try --help)"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn empty_and_help() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&argv(&["--help"])).unwrap(), Command::Help);
+        assert_eq!(parse(&argv(&["help"])).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn regions_with_filters() {
+        let cmd = parse(&argv(&["regions", "--group", "europe", "--year", "2021"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Regions {
+                group: Some("europe".into()),
+                year: 2021
+            }
+        );
+        assert_eq!(
+            parse(&argv(&["regions"])).unwrap(),
+            Command::Regions {
+                group: None,
+                year: 2022
+            }
+        );
+    }
+
+    #[test]
+    fn plan_requires_hours() {
+        assert!(parse(&argv(&["plan", "DE"])).is_err());
+        let cmd = parse(&argv(&["plan", "de", "--hours", "6", "--slack", "48"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Plan {
+                zone: "DE".into(),
+                hours: 6,
+                slack: 48,
+                arrive: 0,
+                year: 2022
+            }
+        );
+    }
+
+    #[test]
+    fn zone_codes_are_uppercased() {
+        let cmd = parse(&argv(&["analyze", "us-ca"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Analyze {
+                zone: "US-CA".into(),
+                year: 2022
+            }
+        );
+    }
+
+    #[test]
+    fn unknown_options_are_rejected() {
+        assert!(parse(&argv(&["regions", "--bogus", "1"])).is_err());
+        assert!(parse(&argv(&["analyze", "DE", "--hours", "4"])).is_err());
+    }
+
+    #[test]
+    fn year_bounds_enforced() {
+        assert!(parse(&argv(&["rank", "--year", "2019"])).is_err());
+        assert!(parse(&argv(&["rank", "--year", "2030"])).is_err());
+        assert!(parse(&argv(&["rank", "--year", "2020"])).is_ok());
+    }
+
+    #[test]
+    fn malformed_options() {
+        assert!(parse(&argv(&["regions", "--year"])).is_err());
+        assert!(parse(&argv(&["regions", "stray"])).is_err());
+        assert!(parse(&argv(&["regions", "--year", "twenty"])).is_err());
+        assert!(parse(&argv(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn forecast_day_floor() {
+        assert!(parse(&argv(&["forecast", "DE", "--days", "2"])).is_err());
+        assert!(parse(&argv(&["forecast", "DE", "--days", "10"])).is_ok());
+    }
+}

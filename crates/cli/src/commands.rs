@@ -1,0 +1,536 @@
+//! Subcommand implementations: each renders a `String` for `main` to
+//! print, so tests can assert on the exact output.
+
+use std::fmt::Write as _;
+
+use decarb_core::rankings::rank_stability;
+use decarb_core::spatial::{inf_migration, one_migration};
+use decarb_core::temporal::TemporalPlanner;
+use decarb_forecast::{
+    backtest, BacktestConfig, DiurnalTemplate, Forecaster, LinearAr, Persistence, SeasonalNaive,
+};
+use decarb_stats::daily::average_daily_cv;
+use decarb_stats::periodicity::periodicity_score;
+use decarb_traces::time::{hours_in_year, year_start};
+use decarb_traces::{csv, TraceError, TraceSet};
+
+use crate::args::{Command, ParseError, USAGE};
+
+/// A CLI failure: bad arguments or a data-layer error.
+#[derive(Debug)]
+pub enum CliError {
+    /// Argument parsing failed.
+    Parse(ParseError),
+    /// The trace layer rejected a request (unknown zone, out of range).
+    Trace(TraceError),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Parse(e) => write!(f, "{e}\n\n{USAGE}"),
+            CliError::Trace(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<TraceError> for CliError {
+    fn from(e: TraceError) -> Self {
+        CliError::Trace(e)
+    }
+}
+
+/// Runs a parsed command against an explicit dataset (the built-in one in
+/// [`crate::run`], an imported one under `--data`).
+pub fn run_on(command: &Command, data: &TraceSet) -> Result<String, CliError> {
+    match command {
+        Command::Help => Ok(USAGE.to_string()),
+        Command::Regions { group, year } => regions(data, group.as_deref(), *year),
+        Command::Analyze { zone, year } => analyze(data, zone, *year),
+        Command::Plan {
+            zone,
+            hours,
+            slack,
+            arrive,
+            year,
+        } => plan(data, zone, *hours, *slack, *arrive, *year),
+        Command::Forecast { zone, days, year } => forecast(data, zone, *days, *year),
+        Command::Rank { year } => rank(data, *year),
+        Command::Export { zone, year } => export(data, zone, *year),
+    }
+}
+
+fn year_values<'a>(data: &'a TraceSet, zone: &str, year: i32) -> Result<&'a [f64], CliError> {
+    Ok(data
+        .series(zone)?
+        .window(year_start(year), hours_in_year(year))?)
+}
+
+fn regions(data: &TraceSet, group: Option<&str>, year: i32) -> Result<String, CliError> {
+    let needle = group.map(str::to_lowercase);
+    let mut rows: Vec<(&str, &str, f64, f64)> = Vec::new();
+    for (region, _) in data.iter() {
+        if let Some(ref n) = needle {
+            if !region.group.label().to_lowercase().starts_with(n) {
+                continue;
+            }
+        }
+        let values = year_values(data, region.code, year)?;
+        rows.push((
+            region.code,
+            region.group.label(),
+            decarb_stats::descriptive::mean(values),
+            average_daily_cv(values),
+        ));
+    }
+    if rows.is_empty() {
+        return Err(CliError::Parse(ParseError(format!(
+            "no regions match group `{}`",
+            group.unwrap_or("")
+        ))));
+    }
+    rows.sort_by(|a, b| a.2.total_cmp(&b.2));
+    let mut out = format!(
+        "{} regions, {year} (sorted by mean CI)\n{:<8} {:<11} {:>10} {:>9}\n",
+        rows.len(),
+        "zone",
+        "group",
+        "mean g/kWh",
+        "daily CV"
+    );
+    for (code, label, mean, cv) in rows {
+        let _ = writeln!(out, "{code:<8} {label:<11} {mean:>10.1} {cv:>9.3}");
+    }
+    Ok(out)
+}
+
+fn analyze(data: &TraceSet, zone: &str, year: i32) -> Result<String, CliError> {
+    let region = data.region(zone)?;
+    let series = data.series(zone)?;
+    // Imported datasets (`--data`) may not cover the whole requested
+    // year; fall back to the full stored range rather than failing.
+    let (values, range_label) = match series.window(year_start(year), hours_in_year(year)) {
+        Ok(window) => (window, format!("year {year}")),
+        Err(_) => (
+            series.values(),
+            format!("full stored range ({} hours)", series.len()),
+        ),
+    };
+    let mean = decarb_stats::descriptive::mean(values);
+    let cv = average_daily_cv(values);
+    let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let p24 = periodicity_score(values, 24);
+    let p168 = periodicity_score(values, 168);
+    let drift = year_values(data, zone, 2020)
+        .ok()
+        .map(|first| mean - decarb_stats::descriptive::mean(first));
+
+    let mut out = String::new();
+    let _ = writeln!(out, "{} — {} ({})", region.code, region.name, region.group);
+    let _ = writeln!(out, "  {range_label}");
+    let _ = writeln!(out, "  mean CI        {mean:8.1} g/kWh");
+    let _ = writeln!(
+        out,
+        "  daily CV       {cv:8.3}  ({})",
+        if cv < 0.1 {
+            "low variation — weak temporal-shifting case (§4)"
+        } else {
+            "variable — temporal shifting can help"
+        }
+    );
+    let _ = writeln!(out, "  min / max      {min:8.1} / {max:.1} g/kWh");
+    let _ = writeln!(out, "  period scores  24h {p24:.2}, 168h {p168:.2}");
+    if let Some(d) = decarb_stats::seasonal::decompose(values, 24) {
+        let _ = writeln!(
+            out,
+            "  seasonality    {:8.2} (daily strength), trend {:.2}",
+            d.seasonal_strength(),
+            d.trend_strength()
+        );
+    }
+    match drift {
+        Some(drift) => {
+            let _ = writeln!(out, "  drift 2020→{year} {drift:+8.1} g/kWh");
+        }
+        None => {
+            let _ = writeln!(out, "  drift 2020→{year}      n/a (no 2020 data)");
+        }
+    }
+    let _ = writeln!(
+        out,
+        "  generation mix fossil {:.0}%, renewable {:.0}%",
+        region.mix.fossil_share() * 100.0,
+        region.mix.renewable_share() * 100.0
+    );
+    Ok(out)
+}
+
+fn plan(
+    data: &TraceSet,
+    zone: &str,
+    hours: usize,
+    slack: usize,
+    arrive: usize,
+    year: i32,
+) -> Result<String, CliError> {
+    if arrive + hours + slack > hours_in_year(year) {
+        return Err(CliError::Parse(ParseError(
+            "job window extends past the year end; lower --arrive/--slack".into(),
+        )));
+    }
+    let series = data.series(zone)?;
+    let arrival = year_start(year).plus(arrive);
+    // Check the job itself fits the stored data before the (panicking)
+    // planner kernels see it — imported datasets may be short. The
+    // planners clamp the *slack* at the trace end themselves.
+    series.window(arrival, hours)?;
+    let planner = TemporalPlanner::new(series);
+    let baseline = planner.baseline_cost(arrival, hours);
+    let deferred = planner.best_deferred(arrival, hours, slack);
+    let (_, interrupted) = planner.best_interruptible(arrival, hours, slack);
+    let candidates = data.regions().to_vec();
+    // Full calendar coverage unlocks the paper's annual-mean migration
+    // policies; short imports fall back to stored-range means.
+    let full_year = data
+        .iter()
+        .all(|(_, s)| s.window(year_start(year), hours_in_year(year)).is_ok());
+    let (migrated, hopped, hops) = if full_year {
+        let migrated = one_migration(data, &candidates, year, arrival, hours);
+        let (hopped, hops) = inf_migration(data, &candidates, arrival, hours);
+        (migrated, hopped, hops)
+    } else {
+        let (dest, _) = data
+            .stored_means()
+            .into_iter()
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("dataset is non-empty");
+        let cost: f64 = data.series(dest.code)?.window(arrival, hours)?.iter().sum();
+        let migrated = decarb_core::spatial::SpatialOutcome {
+            destination: dest.code,
+            cost_g: cost,
+        };
+        // Hourly hop on the instantaneous minimum across candidates.
+        let mut hop_cost = 0.0;
+        let mut hops = 0usize;
+        let mut last: Option<&str> = None;
+        for k in 0..hours {
+            let hour = arrival.plus(k);
+            let (code, ci) = data
+                .iter()
+                .filter_map(|(r, s)| s.at(hour).map(|ci| (r.code, ci)))
+                .min_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(b.0)))
+                .ok_or(TraceError::OutOfRange { hour })?;
+            hop_cost += ci;
+            if last.is_some_and(|l| l != code) {
+                hops += 1;
+            }
+            last = Some(code);
+        }
+        let hopped = decarb_core::spatial::SpatialOutcome {
+            destination: last.unwrap_or(dest.code),
+            cost_g: hop_cost,
+        };
+        (migrated, hopped, hops)
+    };
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{hours}h job at {zone}, arriving hour {arrive} of {year}, slack {slack}h"
+    );
+    let pct = |cost: f64| (cost - baseline) / baseline * 100.0;
+    let _ = writeln!(out, "  run now             {baseline:9.1} g");
+    let _ = writeln!(
+        out,
+        "  defer               {:9.1} g ({:+5.1}%, start {})",
+        deferred.cost_g,
+        pct(deferred.cost_g),
+        deferred.start
+    );
+    let _ = writeln!(
+        out,
+        "  defer + interrupt   {:9.1} g ({:+5.1}%)",
+        interrupted,
+        pct(interrupted)
+    );
+    let _ = writeln!(
+        out,
+        "  migrate once → {:<6}{:9.1} g ({:+5.1}%)",
+        migrated.destination,
+        migrated.cost_g,
+        pct(migrated.cost_g)
+    );
+    let _ = writeln!(
+        out,
+        "  hop hourly ({hops:>2} hops){:9.1} g ({:+5.1}%)",
+        hopped.cost_g,
+        pct(hopped.cost_g)
+    );
+    Ok(out)
+}
+
+fn forecast(data: &TraceSet, zone: &str, days: usize, year: i32) -> Result<String, CliError> {
+    let series = data.series(zone)?;
+    let eval_start = year_start(year);
+    let eval_hours = (days * 24).min(hours_in_year(year));
+    let config = BacktestConfig::default();
+    let train = series.slice(year_start(year - 1), 8760)?;
+    let mut models: Vec<(&str, Box<dyn Forecaster>)> = vec![
+        ("persistence", Box::new(Persistence)),
+        ("seasonal-naive", Box::new(SeasonalNaive::daily())),
+        ("diurnal-template", Box::new(DiurnalTemplate::default())),
+    ];
+    if let Some(ar) = LinearAr::fit(&train) {
+        models.push(("linear-ar", Box::new(ar)));
+    }
+    let mut out = format!(
+        "backtesting {zone}, {days} days of {year}, 96h horizon\n{:<18} {:>8} {:>8} {:>8}\n",
+        "model", "MAPE %", "day1 %", "day4 %"
+    );
+    for (name, model) in &models {
+        let report = backtest(model.as_ref(), series, eval_start, eval_hours, &config);
+        let _ = writeln!(
+            out,
+            "{name:<18} {:>8.2} {:>8.2} {:>8.2}",
+            report.mape_pct, report.mape_by_lead_day[0], report.mape_by_lead_day[3]
+        );
+    }
+    Ok(out)
+}
+
+fn rank(data: &TraceSet, year: i32) -> Result<String, CliError> {
+    let s = rank_stability(data, year, 73, 5);
+    let mut out = String::new();
+    let _ = writeln!(out, "rank-order stability, {} regions, {year}", data.len());
+    let _ = writeln!(
+        out,
+        "  mean Kendall tau vs annual ranking  {:.3}",
+        s.mean_tau
+    );
+    let _ = writeln!(
+        out,
+        "  worst sampled hour                  {:.3}",
+        s.min_tau
+    );
+    let _ = writeln!(
+        out,
+        "  greenest == annual greenest         {:.1}% of hours",
+        s.greenest_match * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "  top-{} set overlap                   {:.1}%",
+        s.k,
+        s.topk_overlap * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "stable ranks mean one migration captures nearly everything (§5.1.4)"
+    );
+    Ok(out)
+}
+
+fn export(data: &TraceSet, zone: &str, year: i32) -> Result<String, CliError> {
+    let series = data
+        .series(zone)?
+        .slice(year_start(year), hours_in_year(year))?;
+    let mut buffer = Vec::new();
+    csv::write_series(&series, &mut buffer)?;
+    Ok(String::from_utf8(buffer).expect("CSV output is ASCII"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dispatch;
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn help_shows_usage() {
+        let out = dispatch(&[]).unwrap();
+        assert!(out.contains("usage: decarb-cli"));
+    }
+
+    #[test]
+    fn regions_sorted_by_mean() {
+        let out = dispatch(&argv(&["regions"])).unwrap();
+        assert!(out.starts_with("123 regions"));
+        // Sweden is the global minimum and must appear before Poland.
+        let se = out.find("SE ").expect("SE listed");
+        let pl = out.find("PL ").expect("PL listed");
+        assert!(se < pl);
+    }
+
+    #[test]
+    fn regions_group_filter() {
+        let out = dispatch(&argv(&["regions", "--group", "oce"])).unwrap();
+        assert!(out.contains("AU-"));
+        assert!(!out.contains("DE "));
+        assert!(dispatch(&argv(&["regions", "--group", "atlantis"])).is_err());
+    }
+
+    #[test]
+    fn analyze_renders_profile() {
+        let out = dispatch(&argv(&["analyze", "us-ca"])).unwrap();
+        assert!(out.contains("US-CA"));
+        assert!(out.contains("mean CI"));
+        assert!(out.contains("period scores"));
+        assert!(out.contains("temporal shifting can help"));
+        let stable = dispatch(&argv(&["analyze", "IN-WE"])).unwrap();
+        assert!(stable.contains("low variation"));
+    }
+
+    #[test]
+    fn unknown_zone_is_a_trace_error() {
+        let err = dispatch(&argv(&["analyze", "XX-NOPE"])).unwrap_err();
+        assert!(matches!(err, CliError::Trace(_)));
+    }
+
+    #[test]
+    fn plan_orders_costs() {
+        let out = dispatch(&argv(&["plan", "DE", "--hours", "6", "--slack", "48"])).unwrap();
+        assert!(out.contains("run now"));
+        assert!(out.contains("migrate once → SE"));
+        // Interruption cannot be worse than deferral, which cannot be
+        // worse than running now: all percentages non-positive. The
+        // percentage lives in the *last* parenthesized group (the hop
+        // line has an earlier "(N hops)" group).
+        for line in out.lines().filter(|l| l.contains('%')) {
+            let group = line.rsplit('(').next().unwrap();
+            let pct: f64 = group.split('%').next().unwrap().trim().parse().unwrap();
+            assert!(pct <= 1e-9, "line {line}");
+        }
+    }
+
+    #[test]
+    fn plan_rejects_overlong_windows() {
+        let err = dispatch(&argv(&[
+            "plan", "DE", "--hours", "24", "--arrive", "8750", "--slack", "24",
+        ]))
+        .unwrap_err();
+        assert!(format!("{err}").contains("past the year end"));
+    }
+
+    #[test]
+    fn forecast_lists_all_models() {
+        let out = dispatch(&argv(&["forecast", "US-CA", "--days", "20"])).unwrap();
+        for model in [
+            "persistence",
+            "seasonal-naive",
+            "diurnal-template",
+            "linear-ar",
+        ] {
+            assert!(out.contains(model), "missing {model}");
+        }
+    }
+
+    #[test]
+    fn rank_reports_stability() {
+        let out = dispatch(&argv(&["rank"])).unwrap();
+        assert!(out.contains("Kendall tau"));
+        assert!(out.contains("123 regions"));
+    }
+
+    #[test]
+    fn export_is_csv_round_trippable() {
+        let out = dispatch(&argv(&["export", "SE", "--year", "2021"])).unwrap();
+        let parsed = csv::read_series(out.as_bytes()).unwrap();
+        assert_eq!(parsed.len(), hours_in_year(2021));
+        assert_eq!(parsed.start(), year_start(2021));
+    }
+
+    #[test]
+    fn parse_errors_render_usage() {
+        let err = dispatch(&argv(&["plan", "DE"])).unwrap_err();
+        let msg = format!("{err}");
+        assert!(msg.contains("--hours"));
+        assert!(msg.contains("usage:"));
+    }
+
+    /// Writes a tiny two-zone dataset (with injected defects) to a temp
+    /// file and returns its path.
+    fn write_defective_dataset(name: &str) -> std::path::PathBuf {
+        use std::io::Write as _;
+        let path = std::env::temp_dir().join(name);
+        let mut file = std::fs::File::create(&path).unwrap();
+        writeln!(file, "zone,hour,ci_g_per_kwh").unwrap();
+        // 10 days of diurnal data for SE, one NaN and one zero inside.
+        for h in 0..240u32 {
+            let v = if h == 50 {
+                "NaN".to_string()
+            } else if h == 51 {
+                "0".to_string()
+            } else {
+                format!(
+                    "{}",
+                    20.0 + 5.0 * (std::f64::consts::TAU * (h % 24) as f64 / 24.0).sin()
+                )
+            };
+            writeln!(file, "SE,{h},{v}").unwrap();
+        }
+        for h in 0..240u32 {
+            writeln!(
+                file,
+                "DE,{h},{}",
+                400.0 + 80.0 * (std::f64::consts::TAU * (h % 24) as f64 / 24.0).sin()
+            )
+            .unwrap();
+        }
+        path
+    }
+
+    #[test]
+    fn data_option_loads_validates_and_repairs() {
+        let path = write_defective_dataset("decarb_cli_test_data.csv");
+        let out = dispatch(&argv(&["--data", path.to_str().unwrap(), "analyze", "se"])).unwrap();
+        // Falls back to the stored range (no full 2022 coverage) and
+        // reports no drift baseline.
+        assert!(out.contains("full stored range (240 hours)"), "{out}");
+        assert!(out.contains("n/a (no 2020 data)"), "{out}");
+        // The NaN/zero were repaired: the mean stays near 20.
+        let mean_line = out.lines().find(|l| l.contains("mean CI")).unwrap();
+        assert!(mean_line.contains("20."), "{mean_line}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn data_option_supports_planning_on_imported_traces() {
+        let path = write_defective_dataset("decarb_cli_test_plan.csv");
+        // Hour 0 of the import is hour 0 of 2020.
+        let out = dispatch(&argv(&[
+            "--data",
+            path.to_str().unwrap(),
+            "plan",
+            "DE",
+            "--hours",
+            "2",
+            "--slack",
+            "12",
+            "--year",
+            "2020",
+        ]))
+        .unwrap();
+        assert!(out.contains("migrate once → SE"), "{out}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn data_option_rejects_missing_files_and_bad_zones() {
+        let err = dispatch(&argv(&["--data", "/nonexistent/x.csv", "rank"])).unwrap_err();
+        assert!(matches!(err, CliError::Trace(TraceError::Io(_))));
+        let err = dispatch(&argv(&["--data"])).unwrap_err();
+        assert!(format!("{err}").contains("needs a file path"));
+    }
+
+    #[test]
+    fn analyze_reports_seasonal_strength() {
+        let out = dispatch(&argv(&["analyze", "US-CA"])).unwrap();
+        assert!(out.contains("seasonality"), "{out}");
+    }
+}

@@ -1,0 +1,84 @@
+//! `decarb-cli` — a command-line interface to the carbon-aware scheduling
+//! toolkit.
+//!
+//! Every subcommand is a pure function from parsed arguments to a
+//! rendered `String` (so the whole surface is unit-testable); `main` only
+//! parses `argv` and prints. Subcommands:
+//!
+//! | command | what it does |
+//! |---------|--------------|
+//! | `regions [--group G] [--year Y]` | list regions with annual mean and daily CV |
+//! | `analyze <ZONE> [--year Y]` | one region's profile: mean, CV, extremes, periodicity, seasonal strength, drift |
+//! | `plan <ZONE> --hours L [--slack H] [--arrive H0]` | cost of run-now / defer / interrupt / migrate for one job |
+//! | `forecast <ZONE> [--days N] [--year Y]` | backtest all forecasters on the region |
+//! | `rank [--year Y]` | rank-order stability of the global region set |
+//! | `export <ZONE> [--year Y]` | CSV of the region's hourly trace to stdout |
+//!
+//! A leading global option `--data FILE` replaces the built-in synthetic
+//! dataset with a `zone,hour,value` CSV (e.g. a real Electricity Maps
+//! export re-keyed to hours since 2020-01-01 UTC); zone codes must exist
+//! in the built-in catalog, and imported traces are validated and
+//! repaired (interpolating NaN/non-positive samples) before use.
+
+use std::fs::File;
+
+use decarb_traces::{builtin_dataset, csv, repair, validate, TraceSet, ValidationConfig};
+
+pub mod args;
+pub mod commands;
+
+pub use args::{parse, Command, ParseError};
+pub use commands::{run_on, CliError};
+
+/// Runs a parsed command against the built-in dataset.
+pub fn run(command: &Command) -> Result<String, CliError> {
+    let data = builtin_dataset();
+    run_on(command, &data)
+}
+
+/// Loads, validates, and repairs a `zone,hour,value` CSV dataset.
+pub fn load_dataset(path: &str) -> Result<TraceSet, CliError> {
+    let file = File::open(path).map_err(decarb_traces::TraceError::from)?;
+    let raw = csv::read_dataset(file)?;
+    let config = ValidationConfig::default();
+    let pairs = raw
+        .iter()
+        .map(|(region, series)| {
+            let report = validate(series, &config);
+            let series = if report.non_finite.is_empty() && report.non_positive.is_empty() {
+                series.clone()
+            } else {
+                repair(series).ok_or_else(|| {
+                    CliError::Parse(ParseError(format!(
+                        "zone {} has no valid samples to repair from",
+                        region.code
+                    )))
+                })?
+            };
+            Ok((region, series))
+        })
+        .collect::<Result<Vec<_>, CliError>>()?;
+    Ok(TraceSet::from_series(pairs))
+}
+
+/// Entry point shared by `main` and the tests: parse, run, render.
+///
+/// Recognizes the global `--data FILE` option before the command.
+pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
+    let (data, rest): (Option<TraceSet>, &[String]) =
+        if argv.first().map(String::as_str) == Some("--data") {
+            let Some(path) = argv.get(1) else {
+                return Err(CliError::Parse(ParseError(
+                    "--data needs a file path".into(),
+                )));
+            };
+            (Some(load_dataset(path)?), &argv[2..])
+        } else {
+            (None, argv)
+        };
+    let command = parse(rest).map_err(CliError::Parse)?;
+    match data {
+        Some(set) => run_on(&command, &set),
+        None => run(&command),
+    }
+}

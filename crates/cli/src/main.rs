@@ -1,0 +1,12 @@
+//! Binary entry point: parse `argv`, dispatch, print.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match decarb_cli::dispatch(&argv) {
+        Ok(output) => println!("{output}"),
+        Err(error) => {
+            eprintln!("error: {error}");
+            std::process::exit(2);
+        }
+    }
+}

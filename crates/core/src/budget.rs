@@ -1,0 +1,244 @@
+//! Migration-budget analysis (extension of §5.1.4).
+//!
+//! The paper compares 1-migration against clairvoyant ∞-migration; this
+//! module fills in the curve between them with a dynamic program over
+//! (hour, region, migrations-used): what does a job gain from a budget of
+//! exactly `m` migrations? The answer — essentially nothing beyond the
+//! first — is the quantitative form of the paper's "one migration
+//! suffices" takeaway.
+
+use decarb_traces::{Hour, Region, TraceSet};
+
+/// Result of the budgeted-migration DP.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BudgetedOutcome {
+    /// Carbon cost of the job (g·CO2eq).
+    pub cost_g: f64,
+    /// Number of migrations actually used (≤ budget).
+    pub migrations_used: usize,
+}
+
+/// Schedules a `slots`-hour job starting at `arrival` in `origin`, allowed
+/// at most `budget` zero-cost migrations among `candidates` (the origin is
+/// always a candidate). Migration is instantaneous at hour boundaries.
+///
+/// Runs an O(slots × |candidates| × budget) dynamic program; the budget is
+/// internally capped at `slots − 1` (more migrations than hour boundaries
+/// cannot help).
+///
+/// # Panics
+///
+/// Panics if `candidates` is empty or `slots` is zero.
+// The time loop indexes several parallel per-region arrays; an iterator
+// form would obscure the recurrence.
+#[allow(clippy::needless_range_loop)]
+pub fn budgeted_migration(
+    set: &TraceSet,
+    origin: &Region,
+    candidates: &[&Region],
+    arrival: Hour,
+    slots: usize,
+    budget: usize,
+) -> BudgetedOutcome {
+    assert!(!candidates.is_empty(), "candidate set must be non-empty");
+    assert!(slots > 0, "job must have at least one slot");
+    let budget = budget.min(slots - 1);
+
+    // Candidate traces as slices over the job window.
+    let mut regions: Vec<&Region> = Vec::with_capacity(candidates.len() + 1);
+    if !candidates.iter().any(|r| r.code == origin.code) {
+        regions.push(origin);
+    }
+    regions.extend_from_slice(candidates);
+    let windows: Vec<&[f64]> = regions
+        .iter()
+        .map(|r| {
+            set.series(r.code)
+                .expect("candidate trace exists")
+                .window(arrival, slots)
+                .expect("job window inside horizon")
+        })
+        .collect();
+    let origin_idx = regions
+        .iter()
+        .position(|r| r.code == origin.code)
+        .expect("origin inserted above");
+
+    let n = regions.len();
+    // dp[m][r]: min cost of the first t slots, ending hour t−1 in region r
+    // having used m migrations.
+    let inf = f64::INFINITY;
+    let mut dp = vec![vec![inf; n]; budget + 1];
+    dp[0][origin_idx] = windows[origin_idx][0];
+    for (r, w) in windows.iter().enumerate() {
+        if budget >= 1 && r != origin_idx {
+            dp[1][r] = w[0];
+        }
+    }
+    for t in 1..slots {
+        let mut next = vec![vec![inf; n]; budget + 1];
+        for m in 0..=budget {
+            // Cheapest predecessor with m−1 migrations (for a switch).
+            let (best_prev_idx, best_prev) = if m > 0 {
+                dp[m - 1]
+                    .iter()
+                    .enumerate()
+                    .min_by(|a, b| a.1.total_cmp(b.1))
+                    .map(|(i, &v)| (i, v))
+                    .unwrap_or((0, inf))
+            } else {
+                (0, inf)
+            };
+            for r in 0..n {
+                let stay = dp[m][r];
+                let switch = if m > 0 && best_prev_idx != r {
+                    best_prev
+                } else if m > 0 {
+                    // Best predecessor is r itself; switching from another
+                    // region needs the runner-up.
+                    dp[m - 1]
+                        .iter()
+                        .enumerate()
+                        .filter(|&(i, _)| i != r)
+                        .map(|(_, &v)| v)
+                        .fold(inf, f64::min)
+                } else {
+                    inf
+                };
+                let base = stay.min(switch);
+                if base < inf {
+                    next[m][r] = base + windows[r][t];
+                }
+            }
+        }
+        dp = next;
+    }
+
+    let mut best = (inf, 0usize);
+    for (m, row) in dp.iter().enumerate() {
+        for &v in row {
+            if v < best.0 {
+                best = (v, m);
+            }
+        }
+    }
+    BudgetedOutcome {
+        cost_g: best.0,
+        migrations_used: best.1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spatial::inf_migration;
+    use decarb_traces::builtin_dataset;
+    use decarb_traces::time::year_start;
+
+    fn setup() -> (
+        std::sync::Arc<decarb_traces::TraceSet>,
+        Vec<&'static Region>,
+        &'static Region,
+    ) {
+        let set = builtin_dataset();
+        let candidates: Vec<&Region> = set
+            .regions()
+            .iter()
+            .filter(|r| ["SE", "US-CA", "DE", "IN-WE", "AU-SA"].contains(&r.code))
+            .copied()
+            .collect();
+        let origin = set.region("IN-WE").unwrap();
+        (set, candidates, origin)
+    }
+
+    #[test]
+    fn zero_budget_stays_home() {
+        let (set, candidates, origin) = setup();
+        let arrival = year_start(2022).plus(100);
+        let outcome = budgeted_migration(&set, origin, &candidates, arrival, 24, 0);
+        let home: f64 = set
+            .series("IN-WE")
+            .unwrap()
+            .window(arrival, 24)
+            .unwrap()
+            .iter()
+            .sum();
+        assert!((outcome.cost_g - home).abs() < 1e-9);
+        assert_eq!(outcome.migrations_used, 0);
+    }
+
+    #[test]
+    fn cost_monotone_in_budget() {
+        let (set, candidates, origin) = setup();
+        let arrival = year_start(2022).plus(5000);
+        let mut last = f64::INFINITY;
+        for budget in [0usize, 1, 2, 4, 8, 23] {
+            let outcome = budgeted_migration(&set, origin, &candidates, arrival, 24, budget);
+            assert!(outcome.cost_g <= last + 1e-9, "budget {budget}");
+            assert!(outcome.migrations_used <= budget);
+            last = outcome.cost_g;
+        }
+    }
+
+    #[test]
+    fn unbounded_budget_matches_inf_migration() {
+        let (set, candidates, origin) = setup();
+        let arrival = year_start(2022).plus(777);
+        let slots = 48;
+        let outcome = budgeted_migration(&set, origin, &candidates, arrival, slots, slots - 1);
+        // ∞-migration over candidates ∪ {origin} (origin is a candidate).
+        let (inf_outcome, _) = inf_migration(&set, &candidates, arrival, slots);
+        assert!(
+            (outcome.cost_g - inf_outcome.cost_g).abs() < 1e-9,
+            "dp {} vs envelope {}",
+            outcome.cost_g,
+            inf_outcome.cost_g
+        );
+    }
+
+    #[test]
+    fn one_migration_captures_nearly_everything() {
+        // The paper's §5.1.4 claim, quantified: budget 1 is within a few
+        // grams per hour of budget ∞.
+        let (set, candidates, origin) = setup();
+        let arrival = year_start(2022).plus(3000);
+        let slots = 168;
+        let one = budgeted_migration(&set, origin, &candidates, arrival, slots, 1);
+        let unbounded = budgeted_migration(&set, origin, &candidates, arrival, slots, slots - 1);
+        let advantage_per_hour = (one.cost_g - unbounded.cost_g) / slots as f64;
+        assert!(
+            advantage_per_hour < 10.0,
+            "unbounded advantage {advantage_per_hour} g/h"
+        );
+    }
+
+    #[test]
+    fn origin_always_candidate() {
+        let (set, _, _) = setup();
+        // Candidate set without the origin: DP must still allow staying.
+        let origin = set.region("PL").unwrap();
+        let others: Vec<&Region> = set
+            .regions()
+            .iter()
+            .filter(|r| r.code == "XK")
+            .copied()
+            .collect();
+        let arrival = year_start(2022).plus(10);
+        let outcome = budgeted_migration(&set, origin, &others, arrival, 12, 0);
+        let home: f64 = set
+            .series("PL")
+            .unwrap()
+            .window(arrival, 12)
+            .unwrap()
+            .iter()
+            .sum();
+        assert!((outcome.cost_g - home).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_slots_panics() {
+        let (set, candidates, origin) = setup();
+        budgeted_migration(&set, origin, &candidates, year_start(2022), 0, 1);
+    }
+}

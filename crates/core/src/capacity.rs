@@ -1,0 +1,312 @@
+//! Capacity-constrained spatial assignment (§5.1.2).
+//!
+//! The paper's constrained setting gives every region identical capacity
+//! (normalized to 1) operating at a given idle fraction `f`: each region
+//! carries local load `1 − f` and can absorb at most `f` of migrated load.
+//! Migration is greedy rank-matching — the dirtiest region's load moves to
+//! the greenest region with spare idle capacity, the second-dirtiest to
+//! the next, and so on while the move still lowers emissions — which is
+//! exactly the water-filling that maximizes total reduction under uniform
+//! capacities.
+
+use decarb_traces::Region;
+
+/// Capacity regime for spatial assignment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum IdleCapacity {
+    /// Unbounded recipients (§5.1.1's ideal case).
+    Infinite,
+    /// Every region has idle fraction `f ∈ [0, 1)` of its capacity free.
+    Fraction(f64),
+}
+
+/// One migration decision: `amount` units of load move `from` → `to`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Assignment {
+    /// Donor zone code.
+    pub from: &'static str,
+    /// Recipient zone code.
+    pub to: &'static str,
+    /// Amount of load moved (capacity units).
+    pub amount: f64,
+}
+
+/// Result of a capacity-constrained assignment.
+#[derive(Debug, Clone)]
+pub struct CapacityOutcome {
+    /// Load-weighted average CI before migration (g·CO2eq/kWh).
+    pub before_g: f64,
+    /// Load-weighted average CI after migration.
+    pub after_g: f64,
+    /// Fraction of total load that migrated.
+    pub moved_fraction: f64,
+    /// Individual migration decisions.
+    pub assignments: Vec<Assignment>,
+    /// Per-region reduction in g·CO2eq per unit of the region's own load.
+    pub per_region_reduction: Vec<(&'static Region, f64)>,
+}
+
+impl CapacityOutcome {
+    /// Returns the absolute global reduction in g·CO2eq per unit load.
+    pub fn reduction_g(&self) -> f64 {
+        self.before_g - self.after_g
+    }
+}
+
+/// Runs the water-filling assignment over `(region, annual mean CI)`
+/// pairs under the given capacity regime. `feasible(from, to)` restricts
+/// destinations (geography, latency, regulation); a move is only made when
+/// the recipient is strictly greener than the donor.
+///
+/// # Panics
+///
+/// Panics if `regions` is empty or a fractional idle capacity is outside
+/// `[0, 1)`.
+pub fn water_filling(
+    regions: &[(&'static Region, f64)],
+    idle: IdleCapacity,
+    feasible: &dyn Fn(&Region, &Region) -> bool,
+) -> CapacityOutcome {
+    assert!(!regions.is_empty(), "region set must be non-empty");
+    let (load_per_region, idle_per_region) = match idle {
+        IdleCapacity::Infinite => (1.0, f64::INFINITY),
+        IdleCapacity::Fraction(f) => {
+            assert!((0.0..1.0).contains(&f), "idle fraction must be in [0, 1)");
+            (1.0 - f, f)
+        }
+    };
+
+    let n = regions.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    // Donors processed dirtiest-first.
+    order.sort_by(|&a, &b| regions[b].1.total_cmp(&regions[a].1));
+    // Recipients considered greenest-first.
+    let mut recipients = order.clone();
+    recipients.reverse();
+
+    let mut idle_left = vec![idle_per_region; n];
+    let mut assignments = Vec::new();
+    let mut moved_total = 0.0;
+    // Emissions of each donor's own load after assignment.
+    let mut donor_emissions = vec![0.0f64; n];
+
+    for &d in &order {
+        let (donor, donor_mean) = regions[d];
+        let mut remaining = load_per_region;
+        for &r in &recipients {
+            if remaining <= 0.0 {
+                break;
+            }
+            if r == d {
+                continue;
+            }
+            let (recipient, recipient_mean) = regions[r];
+            if recipient_mean >= donor_mean {
+                // Recipients are sorted ascending; nothing greener remains.
+                break;
+            }
+            if idle_left[r] <= 0.0 || !feasible(donor, recipient) {
+                continue;
+            }
+            let amount = remaining.min(idle_left[r]);
+            idle_left[r] -= amount;
+            remaining -= amount;
+            moved_total += amount;
+            donor_emissions[d] += amount * recipient_mean;
+            assignments.push(Assignment {
+                from: donor.code,
+                to: recipient.code,
+                amount,
+            });
+        }
+        donor_emissions[d] += remaining * donor_mean;
+    }
+
+    let total_load = load_per_region * n as f64;
+    let before_g = regions
+        .iter()
+        .map(|(_, m)| m * load_per_region)
+        .sum::<f64>()
+        / total_load;
+    let after_g = donor_emissions.iter().sum::<f64>() / total_load;
+    let per_region_reduction = (0..n)
+        .map(|i| {
+            let (region, mean) = regions[i];
+            let own = if load_per_region > 0.0 {
+                donor_emissions[i] / load_per_region
+            } else {
+                mean
+            };
+            (region, mean - own)
+        })
+        .collect();
+
+    CapacityOutcome {
+        before_g,
+        after_g,
+        moved_fraction: moved_total / total_load,
+        assignments,
+        per_region_reduction,
+    }
+}
+
+/// Sweeps idle-capacity fractions and returns `(fraction, outcome)` pairs
+/// (Fig. 5(c)).
+pub fn idle_sweep(
+    regions: &[(&'static Region, f64)],
+    fractions: &[f64],
+    feasible: &dyn Fn(&Region, &Region) -> bool,
+) -> Vec<(f64, CapacityOutcome)> {
+    fractions
+        .iter()
+        .map(|&f| {
+            (
+                f,
+                water_filling(regions, IdleCapacity::Fraction(f), feasible),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decarb_traces::catalog::region;
+
+    fn four_regions() -> Vec<(&'static Region, f64)> {
+        // Arbitrary catalog regions carrying synthetic means.
+        vec![
+            (region("SE").unwrap(), 100.0),
+            (region("DE").unwrap(), 200.0),
+            (region("PL").unwrap(), 300.0),
+            (region("IN-WE").unwrap(), 400.0),
+        ]
+    }
+
+    fn all_feasible(_: &Region, _: &Region) -> bool {
+        true
+    }
+
+    #[test]
+    fn infinite_capacity_moves_everything_to_greenest() {
+        let outcome = water_filling(&four_regions(), IdleCapacity::Infinite, &all_feasible);
+        assert!((outcome.before_g - 250.0).abs() < 1e-9);
+        assert!((outcome.after_g - 100.0).abs() < 1e-9);
+        assert!((outcome.reduction_g() - 150.0).abs() < 1e-9);
+        // Three of four regions migrate (the greenest stays).
+        assert!((outcome.moved_fraction - 0.75).abs() < 1e-9);
+        assert!(outcome.assignments.iter().all(|a| a.to == "SE"));
+    }
+
+    #[test]
+    fn half_idle_rank_pairing() {
+        let outcome = water_filling(&four_regions(), IdleCapacity::Fraction(0.5), &all_feasible);
+        // Dirtiest (400) fills the greenest (100); 300 fills 200.
+        assert!((outcome.before_g - 250.0).abs() < 1e-9);
+        assert!((outcome.after_g - 150.0).abs() < 1e-9);
+        assert!((outcome.moved_fraction - 0.5).abs() < 1e-9);
+        assert_eq!(outcome.assignments.len(), 2);
+        assert_eq!(outcome.assignments[0].from, "IN-WE");
+        assert_eq!(outcome.assignments[0].to, "SE");
+        assert_eq!(outcome.assignments[1].from, "PL");
+        assert_eq!(outcome.assignments[1].to, "DE");
+    }
+
+    #[test]
+    fn zero_idle_moves_nothing() {
+        let outcome = water_filling(&four_regions(), IdleCapacity::Fraction(0.0), &all_feasible);
+        assert_eq!(outcome.assignments.len(), 0);
+        assert!((outcome.reduction_g()).abs() < 1e-9);
+        assert_eq!(outcome.moved_fraction, 0.0);
+    }
+
+    #[test]
+    fn reduction_monotone_in_idle_capacity() {
+        let regions = four_regions();
+        let sweep = idle_sweep(&regions, &[0.0, 0.25, 0.5, 0.75, 0.99], &all_feasible);
+        let mut last = -1.0;
+        for (f, outcome) in &sweep {
+            assert!(
+                outcome.reduction_g() >= last - 1e-9,
+                "reduction not monotone at f={f}"
+            );
+            last = outcome.reduction_g();
+        }
+        // Near-complete idleness approaches the infinite-capacity bound.
+        let inf = water_filling(&regions, IdleCapacity::Infinite, &all_feasible);
+        let near = &sweep.last().unwrap().1;
+        assert!(inf.reduction_g() - near.reduction_g() < 20.0);
+    }
+
+    #[test]
+    fn load_is_conserved() {
+        let outcome = water_filling(&four_regions(), IdleCapacity::Fraction(0.3), &all_feasible);
+        let moved: f64 = outcome.assignments.iter().map(|a| a.amount).sum();
+        assert!((moved / (0.7 * 4.0) - outcome.moved_fraction).abs() < 1e-9);
+        // No recipient may exceed its idle capacity.
+        for code in ["SE", "DE", "PL", "IN-WE"] {
+            let received: f64 = outcome
+                .assignments
+                .iter()
+                .filter(|a| a.to == code)
+                .map(|a| a.amount)
+                .sum();
+            assert!(received <= 0.3 + 1e-9, "{code} over capacity");
+        }
+    }
+
+    #[test]
+    fn never_migrates_to_dirtier_region() {
+        let outcome = water_filling(&four_regions(), IdleCapacity::Fraction(0.8), &all_feasible);
+        let mean_of = |code: &str| {
+            four_regions()
+                .iter()
+                .find(|(r, _)| r.code == code)
+                .unwrap()
+                .1
+        };
+        for a in &outcome.assignments {
+            assert!(mean_of(a.to) < mean_of(a.from));
+        }
+    }
+
+    #[test]
+    fn feasibility_restricts_moves() {
+        // Forbid any move into Sweden.
+        let not_sweden = |_: &Region, to: &Region| to.code != "SE";
+        let outcome = water_filling(&four_regions(), IdleCapacity::Fraction(0.5), &not_sweden);
+        assert!(outcome.assignments.iter().all(|a| a.to != "SE"));
+        let unrestricted =
+            water_filling(&four_regions(), IdleCapacity::Fraction(0.5), &all_feasible);
+        assert!(outcome.reduction_g() <= unrestricted.reduction_g() + 1e-9);
+    }
+
+    #[test]
+    fn per_region_reduction_zero_for_greenest() {
+        let outcome = water_filling(&four_regions(), IdleCapacity::Fraction(0.5), &all_feasible);
+        let se = outcome
+            .per_region_reduction
+            .iter()
+            .find(|(r, _)| r.code == "SE")
+            .unwrap();
+        assert!(se.1.abs() < 1e-9, "greenest region cannot improve");
+        let inwe = outcome
+            .per_region_reduction
+            .iter()
+            .find(|(r, _)| r.code == "IN-WE")
+            .unwrap();
+        assert!((inwe.1 - 300.0).abs() < 1e-9, "400 → 100 per unit load");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_regions_panics() {
+        water_filling(&[], IdleCapacity::Infinite, &all_feasible);
+    }
+
+    #[test]
+    #[should_panic(expected = "idle fraction")]
+    fn bad_fraction_panics() {
+        water_filling(&four_regions(), IdleCapacity::Fraction(1.0), &all_feasible);
+    }
+}

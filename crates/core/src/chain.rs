@@ -1,0 +1,247 @@
+//! Workflow-chain scheduling (extension of §5.3.2).
+//!
+//! The paper's system-design implications suggest breaking long jobs into
+//! "a workflow of several smaller jobs" so each component can chase a
+//! low-carbon valley. This module provides the optimal schedule for such
+//! a chain: `k` stages that must run in order, each contiguously, with
+//! idle gaps allowed, all inside `[arrival, arrival + total + slack]`.
+//!
+//! The dynamic program runs in O(k × window): `f_i(t)` is the cheapest way
+//! to finish the first `i` stages by hour `t`, computed with prefix-sum
+//! window costs and a running minimum.
+
+use decarb_traces::Hour;
+
+use crate::temporal::TemporalPlanner;
+
+/// An optimal chain schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChainPlacement {
+    /// Start hour of every stage, in order.
+    pub starts: Vec<Hour>,
+    /// Total carbon cost (g·CO2eq).
+    pub cost_g: f64,
+}
+
+/// Schedules an ordered chain of contiguous stages with a shared slack.
+///
+/// `stage_slots` lists each stage's length in hours; the chain must finish
+/// within `arrival + total_slots + slack` (clamped at the trace horizon).
+///
+/// # Panics
+///
+/// Panics if `stage_slots` is empty, any stage is zero-length, or the
+/// chain cannot fit before the trace end.
+pub fn best_chain(
+    planner: &TemporalPlanner,
+    arrival: Hour,
+    stage_slots: &[usize],
+    slack: usize,
+) -> ChainPlacement {
+    assert!(
+        !stage_slots.is_empty(),
+        "chain must have at least one stage"
+    );
+    assert!(
+        stage_slots.iter().all(|&s| s > 0),
+        "stages must be non-empty"
+    );
+    let total: usize = stage_slots.iter().sum();
+    let trace_len = (planner.trace_end().0 - planner.trace_start().0) as usize;
+    let first = (arrival.0 - planner.trace_start().0) as usize;
+    assert!(
+        first + total <= trace_len,
+        "chain cannot fit before trace end"
+    );
+    let window = (total + slack).min(trace_len - first);
+
+    let stage_cost = |start_off: usize, len: usize| -> f64 {
+        planner.baseline_cost(arrival.plus(start_off), len)
+    };
+
+    // g[i][t] = cheapest cost of stages 0..=i with stage i ending exactly
+    // at offset t; f[t] = min over ends ≤ t of the previous stage's g.
+    let k = stage_slots.len();
+    let inf = f64::INFINITY;
+    let mut g_all: Vec<Vec<f64>> = Vec::with_capacity(k);
+    // No predecessor constraint before the first stage.
+    let mut f = vec![0.0f64; window + 1];
+    let mut consumed = 0usize;
+    for &len in stage_slots {
+        consumed += len;
+        let mut g = vec![inf; window + 1];
+        for (t, slot) in g.iter_mut().enumerate().take(window + 1).skip(consumed) {
+            let start = t - len;
+            let prev = f[start];
+            if prev < inf {
+                *slot = prev + stage_cost(start, len);
+            }
+        }
+        // f_next[t] = min over ends ≤ t of g.
+        let mut best = inf;
+        let mut f_next = vec![inf; window + 1];
+        for (t, &v) in g.iter().enumerate() {
+            if v < best {
+                best = v;
+            }
+            f_next[t] = best;
+        }
+        f = f_next;
+        g_all.push(g);
+    }
+
+    // The optimum is the smallest exact end of the last stage; backtrack
+    // stage by stage, each time taking the cheapest end no later than the
+    // next stage's start.
+    let last = &g_all[k - 1];
+    let (mut end, mut cost) = (window, inf);
+    for (t, &v) in last.iter().enumerate() {
+        if v < cost {
+            cost = v;
+            end = t;
+        }
+    }
+    let mut starts = vec![Hour(0); k];
+    let mut cur_end = end;
+    for i in (0..k).rev() {
+        let start = cur_end - stage_slots[i];
+        starts[i] = arrival.plus(start);
+        if i > 0 {
+            let (mut best_end, mut best_cost) = (start, inf);
+            for (t, &v) in g_all[i - 1].iter().enumerate().take(start + 1) {
+                if v < best_cost {
+                    best_cost = v;
+                    best_end = t;
+                }
+            }
+            cur_end = best_end;
+        }
+    }
+    debug_assert!(starts
+        .windows(2)
+        .zip(stage_slots.windows(2))
+        .all(|(s, l)| s[1].0 >= s[0].0 + l[0] as u32));
+    ChainPlacement {
+        starts,
+        cost_g: cost,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decarb_traces::TimeSeries;
+
+    fn planner(values: &[f64]) -> TemporalPlanner {
+        TemporalPlanner::new(&TimeSeries::new(Hour(0), values.to_vec()))
+    }
+
+    fn two_valley() -> TemporalPlanner {
+        planner(&[9.0, 1.0, 1.0, 9.0, 9.0, 9.0, 1.5, 1.5, 9.0, 9.0, 9.0, 9.0])
+    }
+
+    #[test]
+    fn single_stage_equals_deferral() {
+        let p = two_valley();
+        for slack in [0usize, 3, 8] {
+            let chain = best_chain(&p, Hour(0), &[2], slack);
+            let deferred = p.best_deferred(Hour(0), 2, slack);
+            assert!(
+                (chain.cost_g - deferred.cost_g).abs() < 1e-12,
+                "slack {slack}"
+            );
+            assert_eq!(chain.starts[0], deferred.start);
+        }
+    }
+
+    #[test]
+    fn chain_splits_across_valleys() {
+        let p = two_valley();
+        // A monolithic 4-hour job must bridge the plateau; a 2+2 chain
+        // lands both stages in the valleys.
+        let mono = p.best_deferred(Hour(0), 4, 6).cost_g;
+        let chain = best_chain(&p, Hour(0), &[2, 2], 6);
+        assert!(
+            chain.cost_g < mono - 1.0,
+            "chain {} mono {mono}",
+            chain.cost_g
+        );
+        assert_eq!(chain.starts, vec![Hour(1), Hour(6)]);
+        assert!((chain.cost_g - (2.0 + 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chain_bounded_by_interruptible_and_deferral() {
+        let p = two_valley();
+        for (stages, slack) in [
+            (vec![2usize, 2], 5usize),
+            (vec![1, 2, 1], 6),
+            (vec![3, 1], 4),
+        ] {
+            let total: usize = stages.iter().sum();
+            let chain = best_chain(&p, Hour(0), &stages, slack);
+            let mono = p.best_deferred(Hour(0), total, slack).cost_g;
+            let (_, lower) = p.best_interruptible(Hour(0), total, slack);
+            assert!(chain.cost_g <= mono + 1e-12, "{stages:?}");
+            assert!(chain.cost_g >= lower - 1e-12, "{stages:?}");
+        }
+    }
+
+    #[test]
+    fn stage_order_and_spacing_respected() {
+        let p = two_valley();
+        let stages = [1usize, 2, 1];
+        let chain = best_chain(&p, Hour(0), &stages, 8);
+        for i in 1..stages.len() {
+            assert!(
+                chain.starts[i].0 >= chain.starts[i - 1].0 + stages[i - 1] as u32,
+                "stage {i} overlaps"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_slack_runs_back_to_back() {
+        let p = two_valley();
+        let chain = best_chain(&p, Hour(0), &[2, 2], 0);
+        assert_eq!(chain.starts, vec![Hour(0), Hour(2)]);
+        let expected: f64 = p.baseline_cost(Hour(0), 4);
+        assert!((chain.cost_g - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cost_monotone_in_slack() {
+        let p = two_valley();
+        let mut last = f64::INFINITY;
+        for slack in 0..8 {
+            let chain = best_chain(&p, Hour(0), &[2, 2], slack);
+            assert!(chain.cost_g <= last + 1e-12);
+            last = chain.cost_g;
+        }
+    }
+
+    #[test]
+    fn fine_splits_approach_interruptible_bound() {
+        let p = two_valley();
+        let slack = 8;
+        let mono = best_chain(&p, Hour(0), &[4], slack).cost_g;
+        let halves = best_chain(&p, Hour(0), &[2, 2], slack).cost_g;
+        let hourly = best_chain(&p, Hour(0), &[1, 1, 1, 1], slack).cost_g;
+        let (_, lower) = p.best_interruptible(Hour(0), 4, slack);
+        assert!(halves <= mono + 1e-12);
+        assert!(hourly <= halves + 1e-12);
+        assert!((hourly - lower).abs() < 1e-12, "1-hour stages = k-smallest");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stage")]
+    fn empty_chain_panics() {
+        best_chain(&two_valley(), Hour(0), &[], 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot fit")]
+    fn oversized_chain_panics() {
+        best_chain(&two_valley(), Hour(0), &[20], 4);
+    }
+}

@@ -1,0 +1,125 @@
+//! Combined spatial + temporal shifting (§6.4, Fig. 12).
+//!
+//! A job migrates once to a destination region, then defers within its
+//! slack inside that region. The paper decomposes the net reduction into a
+//! *spatial* component (global average CI minus the destination's mean)
+//! and a *temporal* component (the destination's average deferral saving),
+//! and observes that the spatial term dominates the sign of the net gain.
+
+use decarb_traces::time::{hours_in_year, year_start};
+use decarb_traces::{Region, TraceSet, GLOBAL_AVG_CI};
+
+use crate::temporal::TemporalPlanner;
+
+/// Decomposed reductions for one destination region (all in g·CO2eq,
+/// normalized per job hour).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CombinedBreakdown {
+    /// Destination zone code.
+    pub destination: &'static str,
+    /// Spatial component: global average CI − destination annual mean.
+    /// Negative when the destination is dirtier than the global average.
+    pub spatial_g: f64,
+    /// Temporal component: the destination's mean deferral saving per job
+    /// hour at the given slack.
+    pub temporal_g: f64,
+}
+
+impl CombinedBreakdown {
+    /// Net reduction: spatial + temporal.
+    pub fn net_g(&self) -> f64 {
+        self.spatial_g + self.temporal_g
+    }
+}
+
+/// Computes the Fig. 12 decomposition for `destination`.
+///
+/// The temporal component averages deferral savings per job hour over
+/// every arrival of `year` for a job of `slots` hours with `slack` hours
+/// of slack, evaluated inside the destination's trace.
+pub fn combined_shift(
+    set: &TraceSet,
+    destination: &Region,
+    year: i32,
+    slots: usize,
+    slack: usize,
+) -> CombinedBreakdown {
+    let series = set.series(destination.code).expect("destination trace");
+    let planner = TemporalPlanner::new(series);
+    let start = year_start(year);
+    let count = hours_in_year(year);
+    let baseline = planner.baseline_sweep(start, count, slots);
+    let deferred = planner.deferral_sweep(start, count, slots, slack);
+    let temporal_g = baseline
+        .iter()
+        .zip(&deferred)
+        .map(|(b, d)| (b - d) / slots as f64)
+        .sum::<f64>()
+        / count as f64;
+    let dest_mean = series
+        .window(start, count)
+        .expect("year within horizon")
+        .iter()
+        .sum::<f64>()
+        / count as f64;
+    CombinedBreakdown {
+        destination: destination.code,
+        spatial_g: GLOBAL_AVG_CI - dest_mean,
+        temporal_g,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decarb_traces::builtin_dataset;
+    use decarb_traces::catalog::region;
+
+    #[test]
+    fn sweden_dominated_by_spatial() {
+        let set = builtin_dataset();
+        let breakdown = combined_shift(&set, region("SE").unwrap(), 2022, 24, 24);
+        assert!(
+            breakdown.spatial_g > 300.0,
+            "spatial {}",
+            breakdown.spatial_g
+        );
+        assert!(breakdown.temporal_g >= 0.0);
+        assert!(breakdown.net_g() > 300.0);
+        assert_eq!(breakdown.destination, "SE");
+    }
+
+    #[test]
+    fn dirty_destination_has_negative_net() {
+        // Fig. 12: migrating to Utah (US-UT, coal) costs more carbon than
+        // it saves, despite any temporal savings there.
+        let set = builtin_dataset();
+        let breakdown = combined_shift(&set, region("US-UT").unwrap(), 2022, 24, 24);
+        assert!(breakdown.spatial_g < 0.0);
+        assert!(breakdown.net_g() < 0.0, "net {}", breakdown.net_g());
+    }
+
+    #[test]
+    fn temporal_component_nonnegative_and_bounded() {
+        let set = builtin_dataset();
+        for code in ["US-CA", "DE", "IN-WE"] {
+            let b = combined_shift(&set, region(code).unwrap(), 2022, 24, 24);
+            assert!(b.temporal_g >= 0.0, "{code}");
+            assert!(
+                b.temporal_g < 200.0,
+                "{code} temporal {} implausibly large",
+                b.temporal_g
+            );
+        }
+    }
+
+    #[test]
+    fn longer_slack_does_not_reduce_temporal() {
+        let set = builtin_dataset();
+        let short = combined_shift(&set, region("US-CA").unwrap(), 2022, 24, 24);
+        let long = combined_shift(&set, region("US-CA").unwrap(), 2022, 24, 24 * 14);
+        assert!(long.temporal_g >= short.temporal_g - 1e-9);
+        // Spatial component is slack-independent.
+        assert!((long.spatial_g - short.spatial_g).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,218 @@
+//! Embodied-carbon accounting for the idle-capacity trade-off.
+//!
+//! §5.1.2 and §5.3.1 of the paper note that the idle capacity which makes
+//! spatial shifting effective is not free: "the originating datacenters
+//! remain underutilized, which increases operational and non-operational
+//! costs such as embodied carbon". The paper leaves that cost
+//! unquantified; this module prices it.
+//!
+//! Embodied (Scope-3) emissions of a server are amortized over its
+//! lifetime into a constant g·CO2eq per server-hour, independent of
+//! utilization. Provisioning a global fleet with idle fraction `f` to
+//! serve fixed useful work `W` requires `W / (1 − f)` server-hours, so the
+//! embodied burden *per useful server-hour* grows as `1 / (1 − f)` while
+//! the operational saving from spatial shifting grows roughly linearly in
+//! `f` (Fig. 5(c)). Their sum has an interior optimum: past it, adding
+//! idle capacity for migration headroom emits more in manufacturing than
+//! it saves in operations.
+
+use serde::Serialize;
+
+/// Embodied-carbon parameters for one server class.
+///
+/// Defaults follow the published life-cycle analyses cloud providers cite
+/// (≈ 1–2 t CO2eq embodied per server, 4–6 year deployment, ≈ 300–500 W
+/// wall power under load). The paper's 1 kW "energy-optimized" job model
+/// (Table 1) maps one job to one kW of IT load.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct EmbodiedParams {
+    /// Embodied emissions of manufacturing one server, kg·CO2eq.
+    pub embodied_kg: f64,
+    /// Deployed lifetime over which the embodied carbon is amortized,
+    /// hours.
+    pub lifetime_hours: f64,
+    /// Server power draw, kW (converts server-hours to the job model's
+    /// kWh).
+    pub power_kw: f64,
+}
+
+impl Default for EmbodiedParams {
+    fn default() -> Self {
+        Self {
+            embodied_kg: 1500.0,
+            lifetime_hours: 5.0 * 365.0 * 24.0,
+            power_kw: 1.0,
+        }
+    }
+}
+
+impl EmbodiedParams {
+    /// Amortized embodied emissions per server-hour, g·CO2eq.
+    pub fn per_server_hour_g(&self) -> f64 {
+        self.embodied_kg * 1000.0 / self.lifetime_hours
+    }
+
+    /// Amortized embodied emissions per *useful* kWh when the fleet runs
+    /// at `1 − idle` utilization, g·CO2eq.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `idle` lies in `[0, 1)`.
+    pub fn per_useful_kwh_g(&self, idle: f64) -> f64 {
+        assert!((0.0..1.0).contains(&idle), "idle fraction must be in [0,1)");
+        self.per_server_hour_g() / (self.power_kw * (1.0 - idle))
+    }
+}
+
+/// One point of the idle-capacity sweep with embodied carbon priced in.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct NetPoint {
+    /// Global idle fraction.
+    pub idle: f64,
+    /// Operational emissions per useful kWh after spatial shifting,
+    /// g·CO2eq (from the Fig. 5(c) machinery).
+    pub operational_g: f64,
+    /// Amortized embodied emissions per useful kWh, g·CO2eq.
+    pub embodied_g: f64,
+}
+
+impl NetPoint {
+    /// Total footprint per useful kWh, g·CO2eq.
+    pub fn net_g(&self) -> f64 {
+        self.operational_g + self.embodied_g
+    }
+}
+
+/// Combines an operational idle-capacity sweep with embodied amortization.
+///
+/// `operational` holds `(idle_fraction, operational_g_per_kwh)` pairs, the
+/// output shape of `capacity::idle_sweep` reduced to global means.
+pub fn net_footprint_sweep(operational: &[(f64, f64)], params: &EmbodiedParams) -> Vec<NetPoint> {
+    operational
+        .iter()
+        .map(|&(idle, op)| NetPoint {
+            idle,
+            operational_g: op,
+            embodied_g: params.per_useful_kwh_g(idle),
+        })
+        .collect()
+}
+
+/// Returns the sweep point minimizing the net footprint.
+///
+/// # Panics
+///
+/// Panics if `points` is empty.
+pub fn optimal_idle(points: &[NetPoint]) -> NetPoint {
+    *points
+        .iter()
+        .min_by(|a, b| a.net_g().total_cmp(&b.net_g()))
+        .expect("sweep must be non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn amortization_arithmetic() {
+        let p = EmbodiedParams {
+            embodied_kg: 876.0,
+            lifetime_hours: 8760.0,
+            power_kw: 1.0,
+        };
+        // 876 kg over 8760 h = 100 g per server-hour.
+        assert!((p.per_server_hour_g() - 100.0).abs() < 1e-9);
+        // At 50 % idle each useful kWh carries two server-hours of
+        // embodied burden.
+        assert!((p.per_useful_kwh_g(0.5) - 200.0).abs() < 1e-9);
+        assert!((p.per_useful_kwh_g(0.0) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn default_params_are_modest_relative_to_grid_ci() {
+        let p = EmbodiedParams::default();
+        // ≈ 34 g per server-hour: a tenth of the global average CI, as
+        // expected for operational-dominated footprints.
+        let g = p.per_server_hour_g();
+        assert!((30.0..40.0).contains(&g), "{g}");
+    }
+
+    #[test]
+    fn embodied_burden_diverges_with_idleness() {
+        let p = EmbodiedParams::default();
+        assert!(p.per_useful_kwh_g(0.9) > 5.0 * p.per_useful_kwh_g(0.0));
+        assert!(p.per_useful_kwh_g(0.99) > 50.0 * p.per_useful_kwh_g(0.0));
+    }
+
+    #[test]
+    fn net_sweep_finds_interior_optimum() {
+        // Operational emissions fall linearly with idle (the Fig. 5(c)
+        // shape: ≈ 368 g at 0 % idle to ≈ 16 g at 99 %).
+        let operational: Vec<(f64, f64)> = (0..100)
+            .map(|i| {
+                let idle = i as f64 / 100.0;
+                (idle, 368.39 - (368.39 - 16.0) * idle / 0.99)
+            })
+            .collect();
+        let points = net_footprint_sweep(&operational, &EmbodiedParams::default());
+        let best = optimal_idle(&points);
+        // The optimum is interior: not at zero idle (operational savings
+        // dominate early) and not at maximal idle (embodied divergence).
+        assert!(best.idle > 0.05, "optimum at idle {}", best.idle);
+        assert!(best.idle < 0.99, "optimum at idle {}", best.idle);
+        let at_zero = points.first().unwrap().net_g();
+        let at_max = points.last().unwrap().net_g();
+        assert!(best.net_g() < at_zero);
+        assert!(best.net_g() < at_max);
+    }
+
+    #[test]
+    fn heavier_servers_pull_the_optimum_down() {
+        let operational: Vec<(f64, f64)> = (0..100)
+            .map(|i| {
+                let idle = i as f64 / 100.0;
+                (idle, 368.39 - (368.39 - 16.0) * idle / 0.99)
+            })
+            .collect();
+        let light = optimal_idle(&net_footprint_sweep(
+            &operational,
+            &EmbodiedParams::default(),
+        ));
+        let heavy = optimal_idle(&net_footprint_sweep(
+            &operational,
+            &EmbodiedParams {
+                embodied_kg: 6000.0,
+                ..EmbodiedParams::default()
+            },
+        ));
+        assert!(
+            heavy.idle <= light.idle,
+            "heavy {} vs light {}",
+            heavy.idle,
+            light.idle
+        );
+    }
+
+    #[test]
+    fn net_point_sums_components() {
+        let p = NetPoint {
+            idle: 0.5,
+            operational_g: 100.0,
+            embodied_g: 60.0,
+        };
+        assert!((p.net_g() - 160.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "idle fraction")]
+    fn full_idle_panics() {
+        EmbodiedParams::default().per_useful_kwh_g(1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_sweep_panics() {
+        optimal_idle(&[]);
+    }
+}

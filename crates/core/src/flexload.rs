@@ -1,0 +1,474 @@
+//! Flexible datacenter load as a grid resource (the paper's future work).
+//!
+//! The paper's conclusion argues that, rather than chasing the grid's
+//! carbon-intensity signal, cloud platforms may be more effective as
+//! *flexible load* that helps the grid absorb intermittent renewables.
+//! This module quantifies that claim on the merit-order dispatch model of
+//! [`decarb_traces::grid`]:
+//!
+//! * [`allocate_flexible`] — places a datacenter's flexible energy across
+//!   a window to minimize true *system* emissions (greedy on consequential
+//!   deltas, optimal for convex merit-order stacks up to step granularity);
+//! * [`flat_allocation`] / [`allocate_by_average_ci`] — the carbon-agnostic
+//!   and average-CI-guided baselines;
+//! * [`consequential_emissions_kg`] — what a load *actually* adds to grid
+//!   emissions, which the average-CI signal systematically misestimates
+//!   whenever the marginal generator differs from the average mix (§2.1's
+//!   average-vs-marginal discussion made quantitative).
+//!
+//! The canonical failure mode of average-CI scheduling falls out directly:
+//! an hour with must-run coal plus curtailed wind has a *high* average CI
+//! but a *zero-ish* marginal CI (new load soaks up curtailment), while a
+//! clean-looking solar noon can sit on a gas margin. Scheduling by average
+//! CI then moves load exactly the wrong way.
+
+use decarb_traces::grid::Fleet;
+use decarb_traces::Hour;
+
+/// The outcome of allocating a flexible load across a window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlexAllocation {
+    /// First hour of the window.
+    pub start: Hour,
+    /// Datacenter load placed in each hour, MW.
+    pub per_hour_mw: Vec<f64>,
+    /// Total system emissions over the window with the load placed, kg.
+    pub system_kg: f64,
+    /// System emissions the load itself is responsible for (system with
+    /// load minus system without), kg.
+    pub added_kg: f64,
+    /// Curtailed renewable energy absorbed by the load, MWh (how much the
+    /// placement reduced the grid's curtailment).
+    pub absorbed_curtailment_mwh: f64,
+}
+
+impl FlexAllocation {
+    /// Total energy placed, MWh.
+    pub fn total_mwh(&self) -> f64 {
+        self.per_hour_mw.iter().sum()
+    }
+}
+
+/// Returns the grid's total emissions in kg over `[start, start+hours)`
+/// with `extra_mw[i]` of additional load in hour `i`.
+pub fn system_emissions_kg(
+    fleet: &Fleet,
+    demand_mw: impl Fn(Hour) -> f64,
+    start: Hour,
+    extra_mw: &[f64],
+) -> f64 {
+    extra_mw
+        .iter()
+        .enumerate()
+        .map(|(i, &extra)| {
+            let hour = start.plus(i);
+            fleet.dispatch(hour, demand_mw(hour) + extra).emissions_kg()
+        })
+        .sum()
+}
+
+/// Returns the emissions a load *adds* to the system, in kg: dispatch with
+/// the load minus dispatch without it (consequential accounting).
+pub fn consequential_emissions_kg(
+    fleet: &Fleet,
+    demand_mw: impl Fn(Hour) -> f64,
+    start: Hour,
+    extra_mw: &[f64],
+) -> f64 {
+    let with = system_emissions_kg(fleet, &demand_mw, start, extra_mw);
+    let without = system_emissions_kg(fleet, &demand_mw, start, &vec![0.0; extra_mw.len()]);
+    with - without
+}
+
+/// Curtailed renewable energy over the window, MWh, with `extra_mw`
+/// placed.
+fn curtailment_mwh(
+    fleet: &Fleet,
+    demand_mw: impl Fn(Hour) -> f64,
+    start: Hour,
+    extra_mw: &[f64],
+) -> f64 {
+    extra_mw
+        .iter()
+        .enumerate()
+        .map(|(i, &extra)| {
+            let hour = start.plus(i);
+            fleet.dispatch(hour, demand_mw(hour) + extra).curtailed_mw
+        })
+        .sum()
+}
+
+fn finish(
+    fleet: &Fleet,
+    demand_mw: impl Fn(Hour) -> f64,
+    start: Hour,
+    per_hour_mw: Vec<f64>,
+) -> FlexAllocation {
+    let hours = per_hour_mw.len();
+    let system_kg = system_emissions_kg(fleet, &demand_mw, start, &per_hour_mw);
+    let base_kg = system_emissions_kg(fleet, &demand_mw, start, &vec![0.0; hours]);
+    let curtailed_before = curtailment_mwh(fleet, &demand_mw, start, &vec![0.0; hours]);
+    let curtailed_after = curtailment_mwh(fleet, &demand_mw, start, &per_hour_mw);
+    FlexAllocation {
+        start,
+        per_hour_mw,
+        system_kg,
+        added_kg: system_kg - base_kg,
+        absorbed_curtailment_mwh: curtailed_before - curtailed_after,
+    }
+}
+
+/// Spreads `total_mwh` evenly over the window (the carbon-agnostic
+/// baseline a constantly-drawing datacenter represents).
+///
+/// # Panics
+///
+/// Panics if `hours` is zero.
+pub fn flat_allocation(
+    fleet: &Fleet,
+    demand_mw: impl Fn(Hour) -> f64,
+    start: Hour,
+    hours: usize,
+    total_mwh: f64,
+) -> FlexAllocation {
+    assert!(hours > 0, "window must be non-empty");
+    let per_hour = vec![total_mwh / hours as f64; hours];
+    finish(fleet, demand_mw, start, per_hour)
+}
+
+/// Allocates `total_mwh` greedily to the hours with the lowest *average*
+/// CI (the signal carbon-information services publish), respecting the
+/// per-hour power cap.
+///
+/// This is what an average-CI-driven scheduler does; on grids where the
+/// margin diverges from the average it misplaces load (see module docs).
+///
+/// # Panics
+///
+/// Panics if `hours` is zero, or `cap_mw × hours` cannot fit `total_mwh`.
+pub fn allocate_by_average_ci(
+    fleet: &Fleet,
+    demand_mw: impl Fn(Hour) -> f64,
+    start: Hour,
+    hours: usize,
+    total_mwh: f64,
+    cap_mw: f64,
+) -> FlexAllocation {
+    assert!(hours > 0, "window must be non-empty");
+    assert!(
+        cap_mw * hours as f64 >= total_mwh - 1e-9,
+        "cap too small to place the energy"
+    );
+    // Rank hours by the average CI of the grid *before* our load. Hours
+    // whose fleet cannot serve extra load (shortfall) are infeasible: a
+    // datacenter cannot draw power the grid does not have.
+    let mut ranked: Vec<(usize, f64, f64)> = (0..hours)
+        .map(|i| {
+            let hour = start.plus(i);
+            let headroom = fleet.available_capacity_mw(hour) - demand_mw(hour);
+            (
+                i,
+                fleet.dispatch(hour, demand_mw(hour)).average_ci,
+                headroom,
+            )
+        })
+        .filter(|&(_, _, headroom)| headroom > 0.0)
+        .collect();
+    ranked.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+    let mut per_hour = vec![0.0; hours];
+    let mut remaining = total_mwh;
+    for (i, _, headroom) in ranked {
+        if remaining <= 0.0 {
+            break;
+        }
+        let take = cap_mw.min(remaining).min(headroom);
+        per_hour[i] = take;
+        remaining -= take;
+    }
+    assert!(
+        remaining <= 1e-9,
+        "insufficient grid headroom to place the energy"
+    );
+    finish(fleet, demand_mw, start, per_hour)
+}
+
+/// Allocates `total_mwh` to minimize true system emissions: repeatedly
+/// place `step_mw` in the hour where it adds the least emissions
+/// (consequential greedy).
+///
+/// Because each hour's emissions are convex and increasing in load under
+/// merit-order dispatch, the greedy is optimal *among allocations in
+/// multiples of `step_mw`* (standard exchange argument). Finer steps
+/// approach the continuous optimum; when comparing against another
+/// allocation, pick a step that divides its per-hour quantities, or the
+/// coarse greedy can lose on piecewise-linear segment boundaries.
+/// Hours whose fleet has no headroom (shortfall) receive no load — a
+/// datacenter cannot draw power the grid does not have.
+///
+/// # Panics
+///
+/// Panics if `hours` is zero, `step_mw` is not positive, or
+/// `cap_mw × hours` cannot fit `total_mwh`.
+pub fn allocate_flexible(
+    fleet: &Fleet,
+    demand_mw: impl Fn(Hour) -> f64,
+    start: Hour,
+    hours: usize,
+    total_mwh: f64,
+    cap_mw: f64,
+    step_mw: f64,
+) -> FlexAllocation {
+    assert!(hours > 0, "window must be non-empty");
+    assert!(step_mw > 0.0, "step must be positive");
+    assert!(
+        cap_mw * hours as f64 >= total_mwh - 1e-9,
+        "cap too small to place the energy"
+    );
+    let base: Vec<f64> = (0..hours).map(|i| demand_mw(start.plus(i))).collect();
+    // Grid headroom per hour: load beyond it would go unserved, which the
+    // dispatch model would mis-account as free energy.
+    let headroom: Vec<f64> = (0..hours)
+        .map(|i| (fleet.available_capacity_mw(start.plus(i)) - base[i]).max(0.0))
+        .collect();
+    let mut per_hour = vec![0.0; hours];
+    // Current emissions per hour, updated incrementally.
+    let mut current_kg: Vec<f64> = (0..hours)
+        .map(|i| fleet.dispatch(start.plus(i), base[i]).emissions_kg())
+        .collect();
+    let mut remaining = total_mwh;
+    while remaining > 1e-9 {
+        let step = step_mw.min(remaining);
+        // Find the hour where adding `step` costs least.
+        let mut best: Option<(usize, f64, f64)> = None; // (hour, delta, new_kg)
+        for i in 0..hours {
+            if per_hour[i] + step > cap_mw.min(headroom[i]) + 1e-9 {
+                continue;
+            }
+            let new_kg = fleet
+                .dispatch(start.plus(i), base[i] + per_hour[i] + step)
+                .emissions_kg();
+            let delta = new_kg - current_kg[i];
+            if best.is_none_or(|(_, d, _)| delta < d) {
+                best = Some((i, delta, new_kg));
+            }
+        }
+        let (i, _, new_kg) = best.expect("insufficient grid headroom to place the energy");
+        per_hour[i] += step;
+        current_kg[i] = new_kg;
+        remaining -= step;
+    }
+    finish(fleet, demand_mw, start, per_hour)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decarb_traces::grid::{solar_availability, Generator};
+    use decarb_traces::mix::Source;
+
+    /// Night wind (often curtailed against must-run coal), solar noon on a
+    /// gas margin: the canonical grid where average and marginal CI
+    /// disagree.
+    fn disagreement_fleet() -> Fleet {
+        fn night_wind(hour: Hour) -> f64 {
+            let h = hour.hour_of_day();
+            if !(6..20).contains(&h) {
+                1.0
+            } else {
+                0.1
+            }
+        }
+        Fleet::new(vec![
+            Generator {
+                name: "must-run coal",
+                source: Source::Coal,
+                capacity_mw: 500.0,
+                marginal_cost: -5.0,
+                availability: None,
+            },
+            Generator {
+                name: "wind",
+                source: Source::Wind,
+                capacity_mw: 400.0,
+                marginal_cost: 0.0,
+                availability: Some(night_wind),
+            },
+            Generator {
+                name: "solar",
+                source: Source::Solar,
+                capacity_mw: 800.0,
+                marginal_cost: 1.0,
+                availability: Some(solar_availability),
+            },
+            Generator {
+                name: "gas",
+                source: Source::Gas,
+                capacity_mw: 1200.0,
+                marginal_cost: 40.0,
+                availability: None,
+            },
+        ])
+    }
+
+    /// Demand: 800 MW at night (wind surplus → curtailment), 1400 MW by
+    /// day (past the renewables → gas margin).
+    fn disagreement_demand(hour: Hour) -> f64 {
+        let h = hour.hour_of_day();
+        if (8..20).contains(&h) {
+            1400.0
+        } else {
+            800.0
+        }
+    }
+
+    #[test]
+    fn signals_disagree_on_the_crafted_grid() {
+        let fleet = disagreement_fleet();
+        let night = fleet.dispatch(Hour(2), disagreement_demand(Hour(2)));
+        let noon = fleet.dispatch(Hour(12), disagreement_demand(Hour(12)));
+        // Average CI prefers noon; marginal CI prefers night.
+        assert!(noon.average_ci < night.average_ci, "avg prefers noon");
+        assert!(night.marginal_ci < noon.marginal_ci, "margin prefers night");
+        assert!(night.curtailed_mw > 0.0, "night wind is curtailed");
+    }
+
+    #[test]
+    fn flexible_allocation_beats_flat_and_average_guided() {
+        let fleet = disagreement_fleet();
+        let demand = disagreement_demand;
+        let (start, hours, energy, cap) = (Hour(0), 24, 1200.0, 100.0);
+        let flexible = allocate_flexible(&fleet, demand, start, hours, energy, cap, 25.0);
+        let flat = flat_allocation(&fleet, demand, start, hours, energy);
+        let by_avg = allocate_by_average_ci(&fleet, demand, start, hours, energy, cap);
+        assert!(flexible.added_kg <= flat.added_kg + 1e-6);
+        assert!(flexible.added_kg <= by_avg.added_kg + 1e-6);
+        // The average-CI signal sends load to gas-margin noon hours: it
+        // must be strictly, substantially worse here.
+        assert!(
+            by_avg.added_kg > flexible.added_kg * 2.0,
+            "avg-guided {} vs flexible {}",
+            by_avg.added_kg,
+            flexible.added_kg
+        );
+    }
+
+    #[test]
+    fn flexible_allocation_absorbs_curtailment() {
+        let fleet = disagreement_fleet();
+        let flexible =
+            allocate_flexible(&fleet, disagreement_demand, Hour(0), 24, 800.0, 100.0, 25.0);
+        assert!(
+            flexible.absorbed_curtailment_mwh > 0.0,
+            "absorbed {}",
+            flexible.absorbed_curtailment_mwh
+        );
+        // Night hours (wind surplus) receive the load.
+        let night_load: f64 = flexible.per_hour_mw[0..6].iter().sum::<f64>()
+            + flexible.per_hour_mw[20..24].iter().sum::<f64>();
+        assert!(
+            night_load > flexible.total_mwh() * 0.9,
+            "night load {night_load} of {}",
+            flexible.total_mwh()
+        );
+    }
+
+    #[test]
+    fn allocations_conserve_energy() {
+        let fleet = disagreement_fleet();
+        for alloc in [
+            flat_allocation(&fleet, disagreement_demand, Hour(0), 24, 600.0),
+            allocate_by_average_ci(&fleet, disagreement_demand, Hour(0), 24, 600.0, 50.0),
+            allocate_flexible(&fleet, disagreement_demand, Hour(0), 24, 600.0, 50.0, 10.0),
+        ] {
+            assert!((alloc.total_mwh() - 600.0).abs() < 1e-6);
+            assert!(alloc.per_hour_mw.iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn caps_are_respected() {
+        let fleet = disagreement_fleet();
+        let alloc = allocate_flexible(&fleet, disagreement_demand, Hour(0), 24, 1000.0, 60.0, 15.0);
+        assert!(alloc.per_hour_mw.iter().all(|&v| v <= 60.0 + 1e-9));
+        let by_avg = allocate_by_average_ci(&fleet, disagreement_demand, Hour(0), 24, 1000.0, 60.0);
+        assert!(by_avg.per_hour_mw.iter().all(|&v| v <= 60.0 + 1e-9));
+    }
+
+    #[test]
+    fn consequential_matches_added() {
+        let fleet = disagreement_fleet();
+        let alloc = flat_allocation(&fleet, disagreement_demand, Hour(0), 12, 300.0);
+        let direct =
+            consequential_emissions_kg(&fleet, disagreement_demand, Hour(0), &alloc.per_hour_mw);
+        assert!((direct - alloc.added_kg).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_energy_allocation_is_free() {
+        let fleet = disagreement_fleet();
+        let alloc = allocate_flexible(&fleet, disagreement_demand, Hour(0), 24, 0.0, 10.0, 5.0);
+        assert_eq!(alloc.added_kg, 0.0);
+        assert_eq!(alloc.total_mwh(), 0.0);
+        assert_eq!(alloc.absorbed_curtailment_mwh, 0.0);
+    }
+
+    #[test]
+    fn shortfall_hours_receive_no_load() {
+        // Shrink the gas fleet so day hours 18–19 (no solar, 1400 MW
+        // demand) are short: a naive greedy would see "free" energy there.
+        let fleet = Fleet::new(vec![
+            Generator {
+                name: "must-run coal",
+                source: Source::Coal,
+                capacity_mw: 500.0,
+                marginal_cost: -5.0,
+                availability: None,
+            },
+            Generator {
+                name: "wind",
+                source: Source::Wind,
+                capacity_mw: 400.0,
+                marginal_cost: 0.0,
+                availability: Some(|hour: Hour| {
+                    if !(6..20).contains(&hour.hour_of_day()) {
+                        1.0
+                    } else {
+                        0.1
+                    }
+                }),
+            },
+            Generator {
+                name: "gas",
+                source: Source::Gas,
+                capacity_mw: 800.0,
+                marginal_cost: 40.0,
+                availability: None,
+            },
+        ]);
+        let alloc = allocate_flexible(&fleet, disagreement_demand, Hour(0), 24, 500.0, 100.0, 25.0);
+        for (i, &mw) in alloc.per_hour_mw.iter().enumerate() {
+            let hour = Hour(i as u32);
+            let headroom = fleet.available_capacity_mw(hour) - disagreement_demand(hour);
+            assert!(
+                mw <= headroom.max(0.0) + 1e-9,
+                "hour {i}: {mw} MW over headroom {headroom}"
+            );
+        }
+        let by_avg = allocate_by_average_ci(&fleet, disagreement_demand, Hour(0), 24, 500.0, 100.0);
+        assert!((by_avg.total_mwh() - 500.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "cap too small")]
+    fn infeasible_cap_panics() {
+        let fleet = disagreement_fleet();
+        allocate_flexible(&fleet, disagreement_demand, Hour(0), 4, 1000.0, 10.0, 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be non-empty")]
+    fn empty_window_panics() {
+        let fleet = disagreement_fleet();
+        flat_allocation(&fleet, disagreement_demand, Hour(0), 0, 10.0);
+    }
+}

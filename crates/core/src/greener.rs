@@ -1,0 +1,144 @@
+//! Rising renewable penetration what-ifs (§6.3).
+//!
+//! The paper's `add_renewables` experiment injects additional renewable
+//! generation into a region's raw trace and recomputes carbon-intensity.
+//! We model the same blend: if a fraction `p` of the (constant) demand is
+//! newly served by renewables, the new carbon-intensity is the
+//! generation-weighted mix of the old grid and the added renewables:
+//!
+//! ```text
+//! CI'(t) = (1 − w(t)) · CI(t) + w(t) · CI_renewable
+//! w(t)   = p · profile(t) / (1 − p + p · profile(t))
+//! ```
+//!
+//! where `profile(t)` is the renewables' diurnal output shape (mean 1
+//! across a day; solar-dominated, so near zero at night and > 1 at noon).
+//! Adding renewables therefore *lowers the mean* and *raises the daily
+//! variability* of carbon-intensity — the two effects behind the paper's
+//! conclusion that a greener grid shrinks the advantage of carbon-aware
+//! over carbon-agnostic scheduling.
+
+use decarb_traces::{Hour, TimeSeries};
+
+/// Life-cycle CI of the added renewable blend (g·CO2eq/kWh): an even
+/// wind/solar split of IPCC medians (11 and 45).
+pub const ADDED_RENEWABLE_CI: f64 = 28.0;
+
+/// Share of the added renewables that follows the solar diurnal shape;
+/// the remainder is flat (wind average).
+const SOLAR_SHARE: f64 = 0.6;
+
+/// The added renewables' output profile at a UTC hour, mean ≈ 1 over a
+/// day. Solar output follows a half-sine between 06:00 and 18:00 local
+/// time (the `lon_offset_hours` shifts UTC to local solar time).
+pub fn renewable_profile(hour: Hour, lon_offset_hours: i64) -> f64 {
+    let local = (hour.hour_of_day() as i64 + lon_offset_hours).rem_euclid(24) as usize;
+    let solar = if (6..18).contains(&local) {
+        ((local - 6) as f64 * std::f64::consts::PI / 12.0).sin()
+    } else {
+        0.0
+    };
+    // The half-sine's daily mean is (2/π)·(12/24) ≈ 0.318.
+    let solar_normalized = solar / (2.0 / std::f64::consts::PI / 2.0);
+    (1.0 - SOLAR_SHARE) + SOLAR_SHARE * solar_normalized
+}
+
+/// Returns `series` with an extra fraction `p` of demand served by
+/// renewables, per the blend model above.
+///
+/// # Panics
+///
+/// Panics unless `0 ≤ p < 1`.
+pub fn greener_trace(series: &TimeSeries, p: f64, lon_offset_hours: i64) -> TimeSeries {
+    assert!(
+        (0.0..1.0).contains(&p),
+        "renewable fraction must be in [0, 1)"
+    );
+    let mut out = series.clone();
+    out.map_in_place(|hour, ci| {
+        let profile = renewable_profile(hour, lon_offset_hours);
+        let renewable_supply = p * profile;
+        let w = renewable_supply / ((1.0 - p) + renewable_supply);
+        (1.0 - w) * ci + w * ADDED_RENEWABLE_CI
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flat(n: usize, level: f64) -> TimeSeries {
+        TimeSeries::new(Hour(0), vec![level; n])
+    }
+
+    #[test]
+    fn profile_mean_is_one() {
+        let mean: f64 = (0..24).map(|h| renewable_profile(Hour(h), 0)).sum::<f64>() / 24.0;
+        assert!((mean - 1.0).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn profile_peaks_at_local_noon() {
+        let noon = renewable_profile(Hour(12), 0);
+        let midnight = renewable_profile(Hour(0), 0);
+        assert!(noon > 2.0, "noon {noon}");
+        assert!((midnight - (1.0 - SOLAR_SHARE)).abs() < 1e-12);
+        // Longitude offset shifts the peak.
+        let shifted = renewable_profile(Hour(0), 12);
+        assert!((shifted - noon).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_fraction_is_identity() {
+        let base = flat(48, 400.0);
+        let same = greener_trace(&base, 0.0, 0);
+        assert_eq!(base, same);
+    }
+
+    #[test]
+    fn mean_falls_as_renewables_grow() {
+        let base = flat(24 * 30, 500.0);
+        let mut last = base.mean();
+        for p in [0.2, 0.4, 0.6, 0.8] {
+            let greener = greener_trace(&base, p, 0);
+            assert!(greener.mean() < last, "p={p}");
+            last = greener.mean();
+        }
+        // At very high penetration the mean approaches the renewable CI.
+        let nearly_green = greener_trace(&base, 0.95, 0);
+        let _ = nearly_green; // p = 0.95 is valid input
+        assert!(greener_trace(&base, 0.9, 0).mean() < 150.0);
+    }
+
+    #[test]
+    fn variability_rises_with_renewables() {
+        use decarb_stats::average_daily_cv;
+        let base = flat(24 * 30, 500.0);
+        let greener = greener_trace(&base, 0.5, 0);
+        assert!(average_daily_cv(greener.values()) > average_daily_cv(base.values()));
+    }
+
+    #[test]
+    fn blend_bounded_by_endpoints() {
+        let base = flat(24 * 7, 600.0);
+        let greener = greener_trace(&base, 0.5, 0);
+        for (_, v) in greener.iter() {
+            assert!(v <= 600.0 + 1e-9);
+            assert!(v >= ADDED_RENEWABLE_CI - 1e-9);
+        }
+    }
+
+    #[test]
+    fn noon_greener_than_midnight() {
+        let base = flat(24 * 7, 600.0);
+        let greener = greener_trace(&base, 0.4, 0);
+        assert!(greener.get(Hour(12)) < greener.get(Hour(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0, 1)")]
+    fn full_fraction_panics() {
+        greener_trace(&flat(24, 100.0), 1.0, 0);
+    }
+}

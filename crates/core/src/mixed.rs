@@ -1,0 +1,89 @@
+//! Mixed migratable/pinned workloads (§6.1).
+//!
+//! Real clouds serve a mix of migratable batch work and pinned interactive
+//! work (≈ 30 % of VMs are interactive with strict SLOs). The migratable
+//! fraction runs in the region with the lowest carbon-intensity *at its
+//! arrival hour*; the pinned fraction runs at its origin.
+
+use decarb_traces::time::{hours_in_year, year_start};
+use decarb_traces::TraceSet;
+
+/// Emissions per unit workload when a fraction `migratable` of every
+/// region's load can chase the instantaneous global minimum.
+///
+/// Returns `(baseline_g, mixed_g)`: the all-local average CI and the
+/// mixed-workload average CI over `year` (g·CO2eq per kWh of load).
+///
+/// # Panics
+///
+/// Panics unless `migratable` is in `[0, 1]`.
+pub fn mixed_workload_emissions(set: &TraceSet, migratable: f64, year: i32) -> (f64, f64) {
+    assert!(
+        (0.0..=1.0).contains(&migratable),
+        "migratable fraction must be in [0, 1]"
+    );
+    let start = year_start(year);
+    let len = hours_in_year(year);
+    // Per-hour global minimum CI (the destination of migratable work).
+    let envelope = crate::spatial::lower_envelope(set, set.regions(), start, len);
+    let envelope_mean = envelope.mean();
+    let baseline = set.global_mean(year);
+    let mixed = (1.0 - migratable) * baseline + migratable * envelope_mean;
+    (baseline, mixed)
+}
+
+/// Sweeps migratable fractions, returning `(fraction, reduction_g)` rows
+/// for Fig. 11(a).
+pub fn migratable_sweep(set: &TraceSet, fractions: &[f64], year: i32) -> Vec<(f64, f64)> {
+    fractions
+        .iter()
+        .map(|&p| {
+            let (baseline, mixed) = mixed_workload_emissions(set, p, year);
+            (p, baseline - mixed)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decarb_traces::builtin_dataset;
+
+    #[test]
+    fn zero_migratable_is_baseline() {
+        let set = builtin_dataset();
+        let (baseline, mixed) = mixed_workload_emissions(&set, 0.0, 2022);
+        assert!((baseline - mixed).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reduction_linear_in_fraction() {
+        let set = builtin_dataset();
+        let rows = migratable_sweep(&set, &[0.0, 0.25, 0.5, 0.75, 1.0], 2022);
+        let full = rows.last().unwrap().1;
+        for (p, reduction) in &rows {
+            assert!(
+                (reduction - p * full).abs() < 1e-6,
+                "reduction at p={p} not linear"
+            );
+        }
+        // Full migratability reaches (slightly below) the Sweden bound
+        // because the envelope dips under Sweden's mean at some hours.
+        assert!(full > 300.0, "full reduction {full}");
+    }
+
+    #[test]
+    fn envelope_beats_greenest_region_mean() {
+        let set = builtin_dataset();
+        let (baseline, mixed) = mixed_workload_emissions(&set, 1.0, 2022);
+        let (_, sweden_mean) = set.greenest_region(2022);
+        assert!(baseline - mixed >= baseline - sweden_mean - 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0, 1]")]
+    fn bad_fraction_panics() {
+        let set = builtin_dataset();
+        mixed_workload_emissions(&set, 1.5, 2022);
+    }
+}

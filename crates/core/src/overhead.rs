@@ -1,0 +1,140 @@
+//! Suspend/resume overhead sensitivity (extension).
+//!
+//! The paper's interruptibility bound assumes zero overhead (§3.1.2); real
+//! suspend/resume costs time and energy proportional to the job's memory
+//! footprint. This module quantifies how a per-resume overhead erodes the
+//! interruptibility benefit: the k-cheapest-hours schedule is costed with
+//! an extra `overhead_g` for every contiguous segment beyond the first,
+//! and falls back to plain deferral when fragmentation stops paying.
+
+use decarb_traces::Hour;
+
+use crate::temporal::TemporalPlanner;
+
+/// An interruptible placement costed under a per-resume overhead.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverheadPlacement {
+    /// Total cost including overheads (g·CO2eq).
+    pub cost_g: f64,
+    /// Number of contiguous execution segments.
+    pub segments: usize,
+    /// `true` if the contiguous (deferral) schedule won.
+    pub fell_back_to_contiguous: bool,
+}
+
+/// Counts the contiguous segments of an ascending hour list.
+fn count_segments(hours: &[Hour]) -> usize {
+    if hours.is_empty() {
+        return 0;
+    }
+    1 + hours
+        .windows(2)
+        .filter(|pair| pair[1].0 != pair[0].0 + 1)
+        .count()
+}
+
+/// Schedules an interruptible job under a per-resume overhead of
+/// `overhead_g` grams (charged for every segment after the first).
+///
+/// Returns the cheaper of: the zero-overhead k-smallest schedule costed
+/// with its fragmentation overheads, and the best contiguous window.
+/// This is an upper bound on the true overhead-aware optimum (which could
+/// trade a little carbon for less fragmentation), which is exactly the
+/// direction the paper's bound analysis needs: if even this schedule loses
+/// its advantage, so does the optimum. The returned cost is monotone in
+/// `overhead_g` and capped at the deferral cost.
+pub fn interruptible_with_overhead(
+    planner: &TemporalPlanner,
+    arrival: Hour,
+    slots: usize,
+    slack: usize,
+    overhead_g: f64,
+) -> OverheadPlacement {
+    assert!(overhead_g >= 0.0, "overhead must be non-negative");
+    let (hours, base_cost) = planner.best_interruptible(arrival, slots, slack);
+    let segments = count_segments(&hours);
+    let fragmented = base_cost + overhead_g * segments.saturating_sub(1) as f64;
+    let contiguous = planner.best_deferred(arrival, slots, slack).cost_g;
+    if contiguous <= fragmented {
+        OverheadPlacement {
+            cost_g: contiguous,
+            segments: 1,
+            fell_back_to_contiguous: true,
+        }
+    } else {
+        OverheadPlacement {
+            cost_g: fragmented,
+            segments,
+            fell_back_to_contiguous: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decarb_traces::TimeSeries;
+
+    fn planner() -> TemporalPlanner {
+        // Two deep valleys separated by a plateau.
+        TemporalPlanner::new(&TimeSeries::new(
+            Hour(0),
+            vec![9.0, 1.0, 1.0, 9.0, 9.0, 9.0, 1.0, 1.0, 9.0, 9.0, 9.0, 9.0],
+        ))
+    }
+
+    #[test]
+    fn zero_overhead_matches_plain_interruptible() {
+        let p = planner();
+        let placement = interruptible_with_overhead(&p, Hour(0), 4, 8, 0.0);
+        let (_, expected) = p.best_interruptible(Hour(0), 4, 8);
+        assert!((placement.cost_g - expected).abs() < 1e-12);
+        assert_eq!(placement.segments, 2);
+        assert!(!placement.fell_back_to_contiguous);
+    }
+
+    #[test]
+    fn overhead_charged_per_resume() {
+        let p = planner();
+        // 4 slots across two 2-hour valleys: 1 resume → one overhead.
+        let placement = interruptible_with_overhead(&p, Hour(0), 4, 8, 3.0);
+        assert!((placement.cost_g - (4.0 + 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn large_overhead_falls_back_to_contiguous() {
+        let p = planner();
+        let placement = interruptible_with_overhead(&p, Hour(0), 4, 8, 100.0);
+        assert!(placement.fell_back_to_contiguous);
+        assert_eq!(placement.segments, 1);
+        let contiguous = p.best_deferred(Hour(0), 4, 8).cost_g;
+        assert!((placement.cost_g - contiguous).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cost_monotone_in_overhead() {
+        let p = planner();
+        let mut last = -1.0;
+        for overhead in [0.0, 1.0, 2.0, 5.0, 20.0, 200.0] {
+            let cost = interruptible_with_overhead(&p, Hour(0), 4, 8, overhead).cost_g;
+            assert!(cost >= last - 1e-12);
+            last = cost;
+        }
+        // Never exceeds the deferral cost.
+        assert!(last <= p.best_deferred(Hour(0), 4, 8).cost_g + 1e-12);
+    }
+
+    #[test]
+    fn segment_counting() {
+        assert_eq!(count_segments(&[]), 0);
+        assert_eq!(count_segments(&[Hour(3)]), 1);
+        assert_eq!(count_segments(&[Hour(3), Hour(4), Hour(5)]), 1);
+        assert_eq!(count_segments(&[Hour(3), Hour(5), Hour(6), Hour(9)]), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_overhead_panics() {
+        interruptible_with_overhead(&planner(), Hour(0), 2, 4, -1.0);
+    }
+}

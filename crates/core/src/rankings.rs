@@ -1,0 +1,153 @@
+//! Rank-order stability of regional carbon-intensity (§5.1.4's premise).
+//!
+//! The paper's case against sophisticated migration policies is that
+//! "regions' carbon-intensity maintains the same rank order most of the
+//! time": if the instantaneous ranking rarely deviates from the annual
+//! ranking, migrating once to the annually-greenest region already
+//! captures (almost) everything, which Fig. 6(b) then confirms in carbon
+//! terms. This module quantifies the premise itself: Kendall's τ between
+//! each hour's ranking and the annual-mean ranking, how often the
+//! instantaneous greenest region is the annual greenest, and how much of
+//! the instantaneous top-k set the annual top-k covers.
+
+use decarb_stats::rank::kendall_tau;
+use decarb_traces::time::{hours_in_year, year_start};
+use decarb_traces::TraceSet;
+use serde::Serialize;
+
+/// Rank-stability statistics over one year.
+#[derive(Debug, Clone, Serialize)]
+pub struct RankStability {
+    /// Mean Kendall's τ between hourly rankings and the annual ranking.
+    pub mean_tau: f64,
+    /// Worst sampled hour's τ.
+    pub min_tau: f64,
+    /// Fraction of sampled hours whose instantaneous greenest region is
+    /// the annual greenest.
+    pub greenest_match: f64,
+    /// Mean overlap between the instantaneous and annual top-`k` sets,
+    /// as a fraction of `k`.
+    pub topk_overlap: f64,
+    /// The `k` used for the overlap statistic.
+    pub k: usize,
+    /// Number of hours sampled.
+    pub samples: usize,
+}
+
+/// Indices of the `k` smallest entries of `values`.
+fn smallest_k(values: &[f64], k: usize) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..values.len()).collect();
+    order.sort_by(|&a, &b| values[a].total_cmp(&values[b]).then(a.cmp(&b)));
+    order.truncate(k);
+    order
+}
+
+/// Measures rank stability for `year`, sampling every `stride`-th hour.
+///
+/// # Examples
+///
+/// ```
+/// use decarb_core::rankings::rank_stability;
+/// use decarb_traces::builtin_dataset;
+///
+/// let data = builtin_dataset();
+/// let s = rank_stability(&data, 2022, 500, 5);
+/// assert!(s.mean_tau > 0.8); // §5.1.4: rankings barely move.
+/// ```
+///
+/// # Panics
+///
+/// Panics if the dataset holds fewer than two regions, `stride` is zero,
+/// or `k` exceeds the region count.
+pub fn rank_stability(set: &TraceSet, year: i32, stride: usize, k: usize) -> RankStability {
+    assert!(set.len() >= 2, "need at least two regions to rank");
+    assert!(stride > 0, "stride must be positive");
+    assert!(k <= set.len(), "top-k cannot exceed the region count");
+    let annual: Vec<f64> = set.annual_means(year).iter().map(|&(_, m)| m).collect();
+    let annual_topk = smallest_k(&annual, k);
+    let annual_greenest = annual_topk[0];
+
+    let start = year_start(year);
+    let hours = hours_in_year(year);
+    let mut tau_sum = 0.0;
+    let mut min_tau = f64::INFINITY;
+    let mut greenest_hits = 0usize;
+    let mut overlap_sum = 0usize;
+    let mut samples = 0usize;
+    let mut offset = 0usize;
+    while offset < hours {
+        let hour = start.plus(offset);
+        let now: Vec<f64> = set.iter().map(|(_, series)| series.get(hour)).collect();
+        let tau = kendall_tau(&annual, &now).expect("two or more regions");
+        tau_sum += tau;
+        min_tau = min_tau.min(tau);
+        let now_topk = smallest_k(&now, k);
+        if now_topk[0] == annual_greenest {
+            greenest_hits += 1;
+        }
+        overlap_sum += now_topk.iter().filter(|i| annual_topk.contains(i)).count();
+        samples += 1;
+        offset += stride;
+    }
+
+    RankStability {
+        mean_tau: tau_sum / samples as f64,
+        min_tau,
+        greenest_match: greenest_hits as f64 / samples as f64,
+        topk_overlap: overlap_sum as f64 / (samples * k) as f64,
+        k,
+        samples,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decarb_traces::builtin_dataset;
+
+    #[test]
+    fn builtin_dataset_has_highly_stable_ranks() {
+        let data = builtin_dataset();
+        let s = rank_stability(&data, 2022, 97, 5);
+        // The paper's premise: rankings barely move hour to hour.
+        assert!(s.mean_tau > 0.8, "mean tau {}", s.mean_tau);
+        assert!(s.min_tau > 0.5, "min tau {}", s.min_tau);
+        assert!(
+            s.greenest_match > 0.9,
+            "greenest match {}",
+            s.greenest_match
+        );
+        assert!(s.topk_overlap > 0.7, "top-5 overlap {}", s.topk_overlap);
+        assert!(s.samples > 80);
+    }
+
+    #[test]
+    fn smallest_k_orders_ascending() {
+        let idx = smallest_k(&[5.0, 1.0, 3.0, 0.5], 3);
+        assert_eq!(idx, vec![3, 1, 2]);
+    }
+
+    #[test]
+    fn stride_controls_sample_count() {
+        let data = builtin_dataset();
+        let coarse = rank_stability(&data, 2022, 2000, 3);
+        let fine = rank_stability(&data, 2022, 500, 3);
+        assert!(fine.samples > coarse.samples);
+        // Both agree on the headline story within a tolerance.
+        assert!((fine.mean_tau - coarse.mean_tau).abs() < 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "stride must be positive")]
+    fn zero_stride_panics() {
+        let data = builtin_dataset();
+        rank_stability(&data, 2022, 0, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "top-k cannot exceed")]
+    fn oversized_k_panics() {
+        let data = builtin_dataset();
+        rank_stability(&data, 2022, 1000, 500);
+    }
+}

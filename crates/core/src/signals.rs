@@ -1,0 +1,303 @@
+//! Average- vs marginal-CI scheduling signals, evaluated consequentially.
+//!
+//! §2.1 of the paper explains that it analyzes *average* carbon-intensity
+//! because the GHG protocol reports it, while acknowledging that marginal
+//! carbon-intensity is the consequential signal. This module quantifies
+//! the gap: a deferrable job is scheduled once against each signal
+//! (derived from the same merit-order fleet), and each choice is charged
+//! with the emissions its load *actually adds* to the system.
+//!
+//! On grids where the merit-order margin tracks the average mix, the two
+//! signals pick the same hours. They diverge exactly where the paper's
+//! future-work discussion points: high-renewable grids with curtailment,
+//! where average-CI scheduling leaves free wind on the table.
+
+use decarb_traces::grid::Fleet;
+use decarb_traces::{Hour, TimeSeries};
+
+use crate::flexload::consequential_emissions_kg;
+use crate::temporal::TemporalPlanner;
+
+/// Outcome of scheduling one deferrable block job against both signals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SignalComparison {
+    /// Start hour picked by the average-CI signal.
+    pub average_start: Hour,
+    /// Start hour picked by the marginal-CI signal.
+    pub marginal_start: Hour,
+    /// True added system emissions of the average-guided choice, kg.
+    pub average_added_kg: f64,
+    /// True added system emissions of the marginal-guided choice, kg.
+    pub marginal_added_kg: f64,
+    /// True added system emissions of the consequentially optimal
+    /// contiguous window, kg.
+    pub optimal_added_kg: f64,
+}
+
+impl SignalComparison {
+    /// Excess emissions of average-guided over marginal-guided
+    /// scheduling, kg (positive when the average signal misleads).
+    pub fn average_penalty_kg(&self) -> f64 {
+        self.average_added_kg - self.marginal_added_kg
+    }
+
+    /// How close the marginal signal gets to the consequential optimum,
+    /// as a ratio in `(0, 1]` (1 means it found the optimum).
+    pub fn marginal_efficiency(&self) -> f64 {
+        if self.marginal_added_kg <= 0.0 {
+            1.0
+        } else {
+            self.optimal_added_kg / self.marginal_added_kg
+        }
+    }
+}
+
+/// Consequential cost, in kg, of running a `job_mw` block in
+/// `[chosen, chosen+slots)` on this grid.
+fn added_kg(
+    fleet: &Fleet,
+    demand_mw: &impl Fn(Hour) -> f64,
+    window_start: Hour,
+    horizon: usize,
+    chosen: Hour,
+    slots: usize,
+    job_mw: f64,
+) -> f64 {
+    let mut extra = vec![0.0; horizon];
+    let offset = (chosen.0 - window_start.0) as usize;
+    for slot in extra.iter_mut().skip(offset).take(slots) {
+        *slot = job_mw;
+    }
+    consequential_emissions_kg(fleet, demand_mw, window_start, &extra)
+}
+
+/// Schedules a contiguous `slots`-hour, `job_mw` job arriving at
+/// `window_start` with `slack` hours of slack, once per signal, and
+/// evaluates every choice consequentially.
+///
+/// # Panics
+///
+/// Panics if the scheduling window `slots + slack` does not fit in
+/// `horizon` hours from `window_start`.
+pub fn compare_signals(
+    fleet: &Fleet,
+    demand_mw: impl Fn(Hour) -> f64,
+    window_start: Hour,
+    horizon: usize,
+    slots: usize,
+    slack: usize,
+    job_mw: f64,
+) -> SignalComparison {
+    assert!(
+        slots + slack <= horizon,
+        "scheduling window exceeds the horizon"
+    );
+    let average: TimeSeries = fleet.dispatch_series(window_start, &demand_mw, horizon);
+    let marginal: TimeSeries = fleet.marginal_series(window_start, &demand_mw, horizon);
+
+    let average_start = TemporalPlanner::new(&average)
+        .best_deferred(window_start, slots, slack)
+        .start;
+    let marginal_start = TemporalPlanner::new(&marginal)
+        .best_deferred(window_start, slots, slack)
+        .start;
+
+    let average_added_kg = added_kg(
+        fleet,
+        &demand_mw,
+        window_start,
+        horizon,
+        average_start,
+        slots,
+        job_mw,
+    );
+    let marginal_added_kg = added_kg(
+        fleet,
+        &demand_mw,
+        window_start,
+        horizon,
+        marginal_start,
+        slots,
+        job_mw,
+    );
+
+    // Brute-force consequential optimum over every feasible start.
+    let optimal_added_kg = (0..=slack)
+        .map(|d| {
+            added_kg(
+                fleet,
+                &demand_mw,
+                window_start,
+                horizon,
+                window_start.plus(d),
+                slots,
+                job_mw,
+            )
+        })
+        .fold(f64::INFINITY, f64::min);
+
+    SignalComparison {
+        average_start,
+        marginal_start,
+        average_added_kg,
+        marginal_added_kg,
+        optimal_added_kg,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decarb_traces::grid::{solar_availability, Generator};
+    use decarb_traces::mix::Source;
+
+    fn curtailment_grid() -> Fleet {
+        fn night_wind(hour: Hour) -> f64 {
+            let h = hour.hour_of_day();
+            if !(6..20).contains(&h) {
+                1.0
+            } else {
+                0.1
+            }
+        }
+        Fleet::new(vec![
+            Generator {
+                name: "must-run coal",
+                source: Source::Coal,
+                capacity_mw: 500.0,
+                marginal_cost: -5.0,
+                availability: None,
+            },
+            Generator {
+                name: "wind",
+                source: Source::Wind,
+                capacity_mw: 400.0,
+                marginal_cost: 0.0,
+                availability: Some(night_wind),
+            },
+            Generator {
+                name: "solar",
+                source: Source::Solar,
+                capacity_mw: 800.0,
+                marginal_cost: 1.0,
+                availability: Some(solar_availability),
+            },
+            Generator {
+                name: "gas",
+                source: Source::Gas,
+                capacity_mw: 1200.0,
+                marginal_cost: 40.0,
+                availability: None,
+            },
+        ])
+    }
+
+    fn demand(hour: Hour) -> f64 {
+        if (8..20).contains(&hour.hour_of_day()) {
+            1400.0
+        } else {
+            800.0
+        }
+    }
+
+    /// A grid with no curtailment and a margin that tracks the average:
+    /// clean baseload, gas on the margin at all hours.
+    fn aligned_grid() -> Fleet {
+        Fleet::new(vec![
+            Generator {
+                name: "nuclear",
+                source: Source::Nuclear,
+                capacity_mw: 400.0,
+                marginal_cost: 5.0,
+                availability: None,
+            },
+            Generator {
+                name: "gas",
+                source: Source::Gas,
+                capacity_mw: 1000.0,
+                marginal_cost: 40.0,
+                availability: None,
+            },
+        ])
+    }
+
+    #[test]
+    fn signals_agree_on_aligned_grid() {
+        let fleet = aligned_grid();
+        // Diurnal demand: both signals prefer the overnight demand trough.
+        let diurnal = |hour: Hour| {
+            600.0
+                + 300.0
+                    * (std::f64::consts::TAU * (hour.hour_of_day() as f64 - 9.0) / 24.0)
+                        .sin()
+                        .max(-0.6)
+        };
+        let cmp = compare_signals(&fleet, diurnal, Hour(0), 48, 4, 20, 50.0);
+        // Both place the job in the same trough (average CI falls when gas
+        // share falls, which is exactly when total demand falls).
+        assert_eq!(cmp.average_start, cmp.marginal_start);
+        assert!((cmp.average_penalty_kg()).abs() < 1e-9);
+        assert!(cmp.marginal_efficiency() > 0.999);
+    }
+
+    #[test]
+    fn average_signal_pays_a_penalty_under_curtailment() {
+        let fleet = curtailment_grid();
+        let cmp = compare_signals(&fleet, demand, Hour(0), 48, 4, 30, 100.0);
+        // The marginal signal finds the curtailed night wind; the average
+        // signal is lured to solar noon where gas is on the margin.
+        assert!(
+            cmp.average_penalty_kg() > 0.0,
+            "penalty {}",
+            cmp.average_penalty_kg()
+        );
+        // Marginal-guided is within 1 % of the consequential optimum.
+        assert!(
+            cmp.marginal_efficiency() > 0.99,
+            "{}",
+            cmp.marginal_efficiency()
+        );
+        // And the penalty is large: gas (490) vs wind (11) margins.
+        assert!(
+            cmp.average_added_kg > cmp.marginal_added_kg * 5.0,
+            "avg {} vs marg {}",
+            cmp.average_added_kg,
+            cmp.marginal_added_kg
+        );
+    }
+
+    #[test]
+    fn marginal_choice_lands_at_night() {
+        let fleet = curtailment_grid();
+        let cmp = compare_signals(&fleet, demand, Hour(0), 48, 4, 30, 100.0);
+        let h = cmp.marginal_start.hour_of_day();
+        assert!(!(6..20).contains(&h), "marginal start at hour {h}");
+    }
+
+    #[test]
+    fn optimal_never_exceeds_either_signal() {
+        let fleet = curtailment_grid();
+        for slack in [0usize, 6, 12, 30] {
+            let cmp = compare_signals(&fleet, demand, Hour(0), 48, 3, slack, 80.0);
+            assert!(cmp.optimal_added_kg <= cmp.average_added_kg + 1e-9);
+            assert!(cmp.optimal_added_kg <= cmp.marginal_added_kg + 1e-9);
+        }
+    }
+
+    #[test]
+    fn zero_slack_forces_identical_choices() {
+        let fleet = curtailment_grid();
+        let cmp = compare_signals(&fleet, demand, Hour(0), 24, 4, 0, 50.0);
+        assert_eq!(cmp.average_start, Hour(0));
+        assert_eq!(cmp.marginal_start, Hour(0));
+        assert!((cmp.average_added_kg - cmp.marginal_added_kg).abs() < 1e-9);
+        assert!((cmp.optimal_added_kg - cmp.average_added_kg).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the horizon")]
+    fn oversized_window_panics() {
+        let fleet = curtailment_grid();
+        compare_signals(&fleet, demand, Hour(0), 10, 8, 8, 10.0);
+    }
+}

@@ -1,0 +1,57 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro all                 # run every experiment
+//! repro fig5 fig6a          # run selected experiments
+//! repro --list              # list experiment ids
+//! repro --json fig3a        # emit JSON instead of text tables
+//! ```
+
+use decarb_experiments::{run_experiment, Context, EXPERIMENT_IDS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: repro [--json] [--list] <experiment-id>... | all");
+        eprintln!("experiments: {}", EXPERIMENT_IDS.join(", "));
+        std::process::exit(if args.is_empty() { 2 } else { 0 });
+    }
+    if args.iter().any(|a| a == "--list") {
+        for id in EXPERIMENT_IDS {
+            println!("{id}");
+        }
+        return;
+    }
+    let json = args.iter().any(|a| a == "--json");
+    let mut ids: Vec<String> = args.into_iter().filter(|a| !a.starts_with("--")).collect();
+    if ids.iter().any(|a| a == "all") {
+        ids = EXPERIMENT_IDS.iter().map(|s| s.to_string()).collect();
+    }
+    let ctx = Context::default();
+    let mut failed = false;
+    for id in &ids {
+        match run_experiment(&ctx, id) {
+            Some(tables) => {
+                for table in tables {
+                    if json {
+                        println!(
+                            "{}",
+                            serde_json::to_string_pretty(&table).expect("tables serialize cleanly")
+                        );
+                    } else {
+                        println!("{table}");
+                    }
+                }
+            }
+            None => {
+                eprintln!("unknown experiment id: {id}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

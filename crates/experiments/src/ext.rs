@@ -1,0 +1,265 @@
+//! Extension ablations beyond the paper's figures.
+//!
+//! Three knobs the paper identifies but does not sweep:
+//!
+//! * **suspend/resume overhead** (§3.1.2 assumes zero): how fast does the
+//!   interruptibility benefit of Fig. 8 erode as each resume costs carbon?
+//! * **migration budget** (§5.1.4 compares only 1 and ∞): the full curve
+//!   of savings vs allowed migrations;
+//! * **workflow splitting** (§5.3.2's design implication): how much of
+//!   the interruptibility benefit can a long job recover by being split
+//!   into an ordered chain of smaller stages?
+
+use decarb_core::budget::budgeted_migration;
+use decarb_core::chain::best_chain;
+use decarb_core::overhead::interruptible_with_overhead;
+use decarb_core::temporal::TemporalPlanner;
+use decarb_traces::time::{hours_in_year, year_start};
+use serde::Serialize;
+
+use crate::context::{Context, EVAL_YEAR};
+use crate::table::{f1, ExperimentTable};
+
+/// One suspend-overhead sweep point.
+#[derive(Debug, Clone, Serialize)]
+pub struct OverheadPoint {
+    /// Per-resume overhead in g·CO2eq.
+    pub overhead_g: f64,
+    /// Mean saving vs baseline per job hour (48 h job, 7-day slack).
+    pub saving_g_per_h: f64,
+    /// Fraction of sampled arrivals that fell back to contiguous runs.
+    pub fallback_frac: f64,
+}
+
+/// One migration-budget sweep point.
+#[derive(Debug, Clone, Serialize)]
+pub struct BudgetPoint {
+    /// Allowed migrations.
+    pub budget: usize,
+    /// Mean job cost per hour across sampled arrivals (g/kWh).
+    pub cost_g_per_h: f64,
+}
+
+/// One workflow-splitting sweep point.
+#[derive(Debug, Clone, Serialize)]
+pub struct SplitPoint {
+    /// Number of equal stages the 48-hour job is split into.
+    pub stages: usize,
+    /// Mean saving vs the monolithic baseline per job hour.
+    pub saving_g_per_h: f64,
+}
+
+/// Extension results.
+#[derive(Debug, Clone, Serialize)]
+pub struct Ext {
+    /// Overhead sweep (averaged over sample regions).
+    pub overhead: Vec<OverheadPoint>,
+    /// Budget sweep.
+    pub budget: Vec<BudgetPoint>,
+    /// Splitting sweep.
+    pub split: Vec<SplitPoint>,
+}
+
+const SAMPLE_REGIONS: [&str; 5] = ["US-CA", "DE", "IN-WE", "AU-NSW", "GB"];
+const ARRIVAL_STRIDE: usize = 241;
+
+/// Runs the extension ablations.
+pub fn run(ctx: &Context) -> Ext {
+    let start = year_start(EVAL_YEAR);
+    let count = hours_in_year(EVAL_YEAR) - 48 - 7 * 24;
+
+    // --- Suspend/resume overhead (48 h job, 7-day slack).
+    let overhead = [0.0, 10.0, 50.0, 100.0, 250.0, 500.0, 1000.0]
+        .iter()
+        .map(|&ov| {
+            let mut saving = 0.0;
+            let mut fallbacks = 0usize;
+            let mut n = 0usize;
+            for code in SAMPLE_REGIONS {
+                let planner = TemporalPlanner::new(ctx.data().series(code).expect("trace"));
+                let mut a = 0usize;
+                while a < count {
+                    let arrival = start.plus(a);
+                    let baseline = planner.baseline_cost(arrival, 48);
+                    let placed = interruptible_with_overhead(&planner, arrival, 48, 7 * 24, ov);
+                    saving += (baseline - placed.cost_g) / 48.0;
+                    fallbacks += usize::from(placed.fell_back_to_contiguous);
+                    n += 1;
+                    a += ARRIVAL_STRIDE;
+                }
+            }
+            OverheadPoint {
+                overhead_g: ov,
+                saving_g_per_h: saving / n as f64,
+                fallback_frac: fallbacks as f64 / n as f64,
+            }
+        })
+        .collect();
+
+    // --- Migration budget (24 h job, global candidates, dirty origin).
+    let origin = ctx.data().region("IN-WE").expect("origin");
+    let candidates = ctx.regions().to_vec();
+    let budget = [0usize, 1, 2, 4, 8, 23]
+        .iter()
+        .map(|&m| {
+            let mut cost = 0.0;
+            let mut n = 0usize;
+            let mut a = 0usize;
+            while a < count {
+                let arrival = start.plus(a);
+                let outcome = budgeted_migration(ctx.data(), origin, &candidates, arrival, 24, m);
+                cost += outcome.cost_g / 24.0;
+                n += 1;
+                a += ARRIVAL_STRIDE * 4;
+            }
+            BudgetPoint {
+                budget: m,
+                cost_g_per_h: cost / n as f64,
+            }
+        })
+        .collect();
+
+    // --- Workflow splitting (48 h job, 7-day slack).
+    let split = [1usize, 2, 4, 8, 16, 48]
+        .iter()
+        .map(|&stages| {
+            let stage_len = 48 / stages;
+            let lens = vec![stage_len; stages];
+            let mut saving = 0.0;
+            let mut n = 0usize;
+            for code in SAMPLE_REGIONS {
+                let planner = TemporalPlanner::new(ctx.data().series(code).expect("trace"));
+                let mut a = 0usize;
+                while a < count {
+                    let arrival = start.plus(a);
+                    let baseline = planner.baseline_cost(arrival, 48);
+                    let chain = best_chain(&planner, arrival, &lens, 7 * 24);
+                    saving += (baseline - chain.cost_g) / 48.0;
+                    n += 1;
+                    a += ARRIVAL_STRIDE * 4;
+                }
+            }
+            SplitPoint {
+                stages,
+                saving_g_per_h: saving / n as f64,
+            }
+        })
+        .collect();
+
+    Ext {
+        overhead,
+        budget,
+        split,
+    }
+}
+
+impl Ext {
+    /// Renders the three extension tables.
+    pub fn tables(&self) -> Vec<ExperimentTable> {
+        let overhead = ExperimentTable::new(
+            "ext-overhead",
+            "Ext: interruptibility saving vs suspend/resume overhead (48h job, 7D slack)",
+            vec![
+                "overhead g/resume".into(),
+                "saving g/h".into(),
+                "fallback".into(),
+            ],
+            self.overhead
+                .iter()
+                .map(|p| {
+                    vec![
+                        f1(p.overhead_g),
+                        f1(p.saving_g_per_h),
+                        format!("{:.0}%", p.fallback_frac * 100.0),
+                    ]
+                })
+                .collect(),
+        );
+        let budget = ExperimentTable::new(
+            "ext-budget",
+            "Ext: job cost vs migration budget (24h job from IN-WE, global candidates)",
+            vec!["budget".into(), "cost g/h".into()],
+            self.budget
+                .iter()
+                .map(|p| vec![p.budget.to_string(), f1(p.cost_g_per_h)])
+                .collect(),
+        );
+        let split = ExperimentTable::new(
+            "ext-split",
+            "Ext: workflow splitting of a 48h job (7D slack)",
+            vec!["stages".into(), "saving g/h".into()],
+            self.split
+                .iter()
+                .map(|p| vec![p.stages.to_string(), f1(p.saving_g_per_h)])
+                .collect(),
+        );
+        vec![overhead, budget, split]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::shared;
+    use std::sync::OnceLock;
+
+    fn ext() -> &'static Ext {
+        static EXT: OnceLock<Ext> = OnceLock::new();
+        EXT.get_or_init(|| run(shared()))
+    }
+
+    #[test]
+    fn overhead_erodes_interruptibility_monotonically() {
+        let sweep = &ext().overhead;
+        for pair in sweep.windows(2) {
+            assert!(pair[1].saving_g_per_h <= pair[0].saving_g_per_h + 1e-9);
+            assert!(pair[1].fallback_frac >= pair[0].fallback_frac - 1e-9);
+        }
+        // Zero overhead reproduces a healthy interruptibility saving…
+        assert!(sweep[0].saving_g_per_h > 10.0);
+        // …and a 1 kg/resume overhead forces (almost) everyone contiguous.
+        let last = sweep.last().unwrap();
+        assert!(last.fallback_frac > 0.8, "fallback {}", last.fallback_frac);
+        assert!(last.saving_g_per_h >= 0.0, "never worse than deferral");
+    }
+
+    #[test]
+    fn first_migration_dominates_budget_curve() {
+        let sweep = &ext().budget;
+        let stay = sweep[0].cost_g_per_h;
+        let one = sweep[1].cost_g_per_h;
+        let unbounded = sweep.last().unwrap().cost_g_per_h;
+        // Monotone decreasing in budget.
+        for pair in sweep.windows(2) {
+            assert!(pair[1].cost_g_per_h <= pair[0].cost_g_per_h + 1e-9);
+        }
+        // The first migration captures ≥ 95 % of the total benefit.
+        let captured = (stay - one) / (stay - unbounded);
+        assert!(captured > 0.95, "first migration captured {captured:.3}");
+    }
+
+    #[test]
+    fn splitting_recovers_interruptibility_gradually() {
+        let sweep = &ext().split;
+        for pair in sweep.windows(2) {
+            assert!(
+                pair[1].saving_g_per_h >= pair[0].saving_g_per_h - 1e-9,
+                "finer splits can't hurt"
+            );
+        }
+        let mono = sweep[0].saving_g_per_h;
+        let hourly = sweep.last().unwrap().saving_g_per_h;
+        assert!(hourly > mono, "splitting must help a 48h job");
+        // A handful of stages already recovers most of the hourly bound.
+        let quarters = sweep.iter().find(|p| p.stages == 4).unwrap();
+        let recovered = (quarters.saving_g_per_h - mono) / (hourly - mono);
+        assert!(recovered > 0.5, "4 stages recovered {recovered:.2}");
+    }
+
+    #[test]
+    fn tables_render() {
+        let tables = ext().tables();
+        assert_eq!(tables.len(), 3);
+        assert!(format!("{}", tables[1]).contains("budget"));
+    }
+}

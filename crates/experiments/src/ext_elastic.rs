@@ -1,0 +1,160 @@
+//! Extension: the value of elasticity (CarbonScaler's dimension).
+//!
+//! §5.3.2 recommends splitting long jobs; the paper's reference [22]
+//! (CarbonScaler) goes further and *scales* elastic jobs with the carbon
+//! signal. This experiment sweeps the parallelism ceiling for a fixed
+//! amount of work and reports the clairvoyant cost: interruptibility is
+//! the `m = 1` point, and each doubling of the ceiling digs deeper into
+//! the carbon valleys at diminishing returns.
+
+use decarb_core::elastic::elastic_plan;
+use decarb_traces::time::{hours_in_year, year_start};
+use serde::Serialize;
+
+use crate::context::{Context, EVAL_YEAR};
+use crate::table::{f1, pct, ExperimentTable};
+
+const SAMPLE_REGIONS: [&str; 5] = ["US-CA", "DE", "GB", "SE", "IN-WE"];
+
+/// Work: 48 replica-hours (a 48-hour single-replica job) in a 7-day
+/// window.
+const WORK: usize = 48;
+const WINDOW: usize = 7 * 24;
+
+/// One ceiling's outcome, averaged over regions and arrivals.
+#[derive(Debug, Clone, Serialize)]
+pub struct ElasticRow {
+    /// Parallelism ceiling.
+    pub max_replicas: usize,
+    /// Mean cost per replica-hour, g/kWh.
+    pub cost_per_h: f64,
+    /// Mean makespan, hours.
+    pub makespan_h: f64,
+    /// Saving vs the inelastic (m = 1) interruptible bound, percent.
+    pub saving_vs_serial_pct: f64,
+}
+
+/// Extension results.
+#[derive(Debug, Clone, Serialize)]
+pub struct ExtElastic {
+    /// One row per ceiling.
+    pub rows: Vec<ElasticRow>,
+}
+
+/// Runs the elasticity extension.
+pub fn run(ctx: &Context) -> ExtElastic {
+    let start = year_start(EVAL_YEAR);
+    let count = hours_in_year(EVAL_YEAR) - WINDOW;
+    let ceilings = [1usize, 2, 4, 8, 16, 48];
+    let stride = 997usize;
+
+    let mut sums = vec![(0.0f64, 0.0f64); ceilings.len()];
+    let mut n = 0usize;
+    for code in SAMPLE_REGIONS {
+        let series = ctx.data().series(code).expect("sample region trace");
+        let mut a = 0usize;
+        while a < count {
+            let arrival = start.plus(a);
+            for (i, &m) in ceilings.iter().enumerate() {
+                let plan = elastic_plan(series, arrival, WORK, m, WINDOW);
+                sums[i].0 += plan.cost_g / WORK as f64;
+                sums[i].1 += plan.makespan_hours() as f64;
+            }
+            n += 1;
+            a += stride;
+        }
+    }
+
+    let serial = sums[0].0 / n as f64;
+    let rows = ceilings
+        .iter()
+        .zip(&sums)
+        .map(|(&m, &(cost, makespan))| {
+            let cost_per_h = cost / n as f64;
+            ElasticRow {
+                max_replicas: m,
+                cost_per_h,
+                makespan_h: makespan / n as f64,
+                saving_vs_serial_pct: (serial - cost_per_h) / serial * 100.0,
+            }
+        })
+        .collect();
+
+    ExtElastic { rows }
+}
+
+impl ExtElastic {
+    /// Renders the elasticity table.
+    pub fn tables(&self) -> Vec<ExperimentTable> {
+        vec![ExperimentTable::new(
+            "ext-elastic",
+            "Ext: elastic scaling of 48 replica-hours in a 7D window (clairvoyant)",
+            vec![
+                "max replicas".into(),
+                "cost g/h".into(),
+                "makespan h".into(),
+                "saving vs serial".into(),
+            ],
+            self.rows
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.max_replicas.to_string(),
+                        f1(r.cost_per_h),
+                        f1(r.makespan_h),
+                        pct(r.saving_vs_serial_pct),
+                    ]
+                })
+                .collect(),
+        )]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::shared;
+    use std::sync::OnceLock;
+
+    fn ext() -> &'static ExtElastic {
+        static EXT: OnceLock<ExtElastic> = OnceLock::new();
+        EXT.get_or_init(|| run(shared()))
+    }
+
+    #[test]
+    fn cost_non_increasing_and_makespan_shrinking_in_ceiling() {
+        let rows = &ext().rows;
+        assert_eq!(rows.len(), 6);
+        for pair in rows.windows(2) {
+            assert!(pair[1].cost_per_h <= pair[0].cost_per_h + 1e-9);
+            assert!(pair[1].makespan_h <= pair[0].makespan_h + 1e-9);
+        }
+    }
+
+    #[test]
+    fn serial_row_is_the_reference() {
+        let rows = &ext().rows;
+        assert_eq!(rows[0].max_replicas, 1);
+        assert!(rows[0].saving_vs_serial_pct.abs() < 1e-9);
+        assert!(rows.last().unwrap().saving_vs_serial_pct > 0.0);
+    }
+
+    #[test]
+    fn elasticity_shows_diminishing_returns() {
+        let rows = &ext().rows;
+        // The 1→4 doubling pair gains more than the 16→48 step.
+        let early_gain = rows[0].cost_per_h - rows[2].cost_per_h;
+        let late_gain = rows[4].cost_per_h - rows[5].cost_per_h;
+        assert!(
+            early_gain > late_gain,
+            "early {early_gain} vs late {late_gain}"
+        );
+    }
+
+    #[test]
+    fn tables_render() {
+        let tables = ext().tables();
+        assert_eq!(tables.len(), 1);
+        assert!(format!("{}", tables[0]).contains("max replicas"));
+    }
+}

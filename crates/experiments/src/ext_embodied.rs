@@ -1,0 +1,167 @@
+//! Extension: pricing the embodied carbon of idle capacity (§5.3.1).
+//!
+//! Fig. 5(c) shows operational emissions falling almost linearly as global
+//! idle capacity grows — but the paper notes (without quantifying) that
+//! the idle fleet itself carries embodied carbon. Combining the Fig. 5(c)
+//! machinery with amortized embodied emissions yields a *net* footprint
+//! curve with an interior optimum: beyond it, provisioning more headroom
+//! for migration emits more in manufacturing than it saves in operations.
+
+use decarb_core::capacity::{idle_sweep, IdleCapacity};
+use decarb_core::embodied::{net_footprint_sweep, optimal_idle, EmbodiedParams, NetPoint};
+use decarb_core::water_filling;
+use decarb_traces::Region;
+use serde::Serialize;
+
+use crate::context::{Context, EVAL_YEAR};
+use crate::table::{f1, pct, ExperimentTable};
+
+/// Extension results.
+#[derive(Debug, Clone, Serialize)]
+pub struct ExtEmbodied {
+    /// The net-footprint sweep under default server parameters.
+    pub sweep: Vec<NetPoint>,
+    /// Optimal idle fraction per embodied weight (kg per server).
+    pub optima: Vec<(f64, f64)>,
+}
+
+fn all_feasible(_: &Region, _: &Region) -> bool {
+    true
+}
+
+/// Runs the embodied-carbon extension.
+pub fn run(ctx: &Context) -> ExtEmbodied {
+    let means = ctx.data().annual_means(EVAL_YEAR);
+    let fractions: Vec<f64> = (0..20).map(|i| i as f64 * 0.05).chain([0.99]).collect();
+    let operational: Vec<(f64, f64)> = idle_sweep(&means, &fractions, &all_feasible)
+        .into_iter()
+        .map(|(f, outcome)| (f, outcome.after_g))
+        .collect();
+
+    let sweep = net_footprint_sweep(&operational, &EmbodiedParams::default());
+
+    // How the optimum moves with the server's embodied weight.
+    let optima = [375.0, 750.0, 1500.0, 3000.0, 6000.0]
+        .iter()
+        .map(|&kg| {
+            let params = EmbodiedParams {
+                embodied_kg: kg,
+                ..EmbodiedParams::default()
+            };
+            let points = net_footprint_sweep(&operational, &params);
+            (kg, optimal_idle(&points).idle)
+        })
+        .collect();
+
+    // Sanity link: the 0-idle sweep point equals the no-migration world.
+    let zero = water_filling(&means, IdleCapacity::Fraction(0.0), &all_feasible);
+    debug_assert!((zero.reduction_g()).abs() < 1e-9);
+
+    ExtEmbodied { sweep, optima }
+}
+
+impl ExtEmbodied {
+    /// Renders the net-footprint and optima tables.
+    pub fn tables(&self) -> Vec<ExperimentTable> {
+        let sweep = ExperimentTable::new(
+            "ext-embodied-sweep",
+            "Ext: net footprint per useful kWh vs global idle capacity (default server)",
+            vec![
+                "idle".into(),
+                "operational g".into(),
+                "embodied g".into(),
+                "net g".into(),
+            ],
+            self.sweep
+                .iter()
+                .filter(|p| ((p.idle * 100.0).round() as usize).is_multiple_of(10) || p.idle > 0.95)
+                .map(|p| {
+                    vec![
+                        pct(p.idle * 100.0),
+                        f1(p.operational_g),
+                        f1(p.embodied_g),
+                        f1(p.net_g()),
+                    ]
+                })
+                .collect(),
+        );
+        let optima = ExperimentTable::new(
+            "ext-embodied-optima",
+            "Ext: net-optimal idle fraction vs server embodied weight",
+            vec!["embodied kg/server".into(), "optimal idle".into()],
+            self.optima
+                .iter()
+                .map(|&(kg, idle)| vec![f1(kg), pct(idle * 100.0)])
+                .collect(),
+        );
+        vec![sweep, optima]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::shared;
+    use std::sync::OnceLock;
+
+    fn ext() -> &'static ExtEmbodied {
+        static EXT: OnceLock<ExtEmbodied> = OnceLock::new();
+        EXT.get_or_init(|| run(shared()))
+    }
+
+    #[test]
+    fn operational_falls_and_embodied_rises_along_the_sweep() {
+        let sweep = &ext().sweep;
+        assert!(sweep.len() > 10);
+        for pair in sweep.windows(2) {
+            assert!(pair[1].operational_g <= pair[0].operational_g + 1e-6);
+            assert!(pair[1].embodied_g >= pair[0].embodied_g - 1e-9);
+        }
+    }
+
+    #[test]
+    fn net_optimum_is_interior_for_default_server() {
+        let sweep = &ext().sweep;
+        let best = optimal_idle(sweep);
+        assert!(best.idle > 0.0, "optimum at {}", best.idle);
+        assert!(best.idle < 0.99, "optimum at {}", best.idle);
+        // The endpoints are strictly worse.
+        assert!(best.net_g() < sweep.first().unwrap().net_g());
+        assert!(best.net_g() < sweep.last().unwrap().net_g());
+    }
+
+    #[test]
+    fn heavier_servers_justify_less_idle_capacity() {
+        let optima = &ext().optima;
+        for pair in optima.windows(2) {
+            assert!(
+                pair[1].1 <= pair[0].1 + 1e-9,
+                "{} kg → {}, {} kg → {}",
+                pair[0].0,
+                pair[0].1,
+                pair[1].0,
+                pair[1].1
+            );
+        }
+    }
+
+    #[test]
+    fn zero_idle_has_no_operational_reduction() {
+        let sweep = &ext().sweep;
+        let zero = &sweep[0];
+        assert_eq!(zero.idle, 0.0);
+        // Equals the global average CI (nothing can move).
+        assert!(
+            (zero.operational_g - shared().data().global_mean(EVAL_YEAR)).abs() < 1.0,
+            "{} vs global mean",
+            zero.operational_g
+        );
+    }
+
+    #[test]
+    fn tables_render() {
+        let tables = ext().tables();
+        assert_eq!(tables.len(), 2);
+        assert!(format!("{}", tables[0]).contains("net g"));
+    }
+}

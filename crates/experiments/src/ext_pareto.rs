@@ -1,0 +1,233 @@
+//! Extension: the performance price of carbon savings.
+//!
+//! Two trade-off curves the paper gestures at but does not draw:
+//!
+//! 1. **Carbon–delay frontier** (§5.2 / ref. [21]) — the mean cost and
+//!    the *realized* delay of the optimal deferring schedule as the slack
+//!    budget grows, averaged over the five sample regions;
+//! 2. **Online latency routing** (§5.1.3 made online) — the simulator's
+//!    [`decarb_sim::LatencyAwareRouter`] routing an interactive-job
+//!    stream from every deployed origin under a sweep of RTT SLOs, the
+//!    discrete-event counterpart of Fig. 6(a).
+
+use decarb_core::pareto::{carbon_delay_frontier, FrontierPoint};
+use decarb_sim::{LatencyAwareRouter, SimConfig, Simulator};
+use decarb_traces::time::{hours_in_year, year_start};
+use decarb_traces::Region;
+use decarb_workloads::{Job, Slack};
+use serde::Serialize;
+
+use crate::context::{Context, EVAL_YEAR};
+use crate::table::{f1, f2, pct, ExperimentTable};
+
+const SAMPLE_REGIONS: [&str; 5] = ["US-CA", "DE", "GB", "SE", "IN-WE"];
+
+/// One SLO point of the online routing sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct SloPoint {
+    /// RTT budget, ms.
+    pub slo_ms: f64,
+    /// Mean CI of delivered energy, g/kWh.
+    pub avg_ci: f64,
+    /// Reduction vs the 0 ms (stay-home) run, percent.
+    pub reduction_pct: f64,
+    /// Fraction of jobs that left their origin.
+    pub moved_frac: f64,
+}
+
+/// Extension results.
+#[derive(Debug, Clone, Serialize)]
+pub struct ExtPareto {
+    /// Slack → (cost, delay) frontier averaged over the sample regions.
+    pub frontier: Vec<FrontierPoint>,
+    /// SLO → emissions sweep from the online router.
+    pub routing: Vec<SloPoint>,
+}
+
+/// Runs the trade-off extension.
+pub fn run(ctx: &Context) -> ExtPareto {
+    // --- Frontier: 6-hour job, slacks from none to one week.
+    let slacks = [0usize, 6, 12, 24, 48, 96, 168];
+    let start = year_start(EVAL_YEAR);
+    let count = hours_in_year(EVAL_YEAR) - 6 - 168;
+    let mut acc: Vec<FrontierPoint> = slacks
+        .iter()
+        .map(|&s| FrontierPoint {
+            slack: s,
+            mean_cost_g: 0.0,
+            mean_delay_h: 0.0,
+            mean_slowdown: 0.0,
+        })
+        .collect();
+    for code in SAMPLE_REGIONS {
+        let series = ctx.data().series(code).expect("sample region trace");
+        let points = carbon_delay_frontier(series, start, count, 6, &slacks, 131);
+        for (a, p) in acc.iter_mut().zip(points) {
+            a.mean_cost_g += p.mean_cost_g / SAMPLE_REGIONS.len() as f64;
+            a.mean_delay_h += p.mean_delay_h / SAMPLE_REGIONS.len() as f64;
+            a.mean_slowdown += p.mean_slowdown / SAMPLE_REGIONS.len() as f64;
+        }
+    }
+
+    // --- Online routing: hourly 1-hour migratable jobs from every
+    // deployed hyperscaler origin for a month.
+    let deployed: Vec<&'static Region> = ctx
+        .regions()
+        .iter()
+        .filter(|r| r.providers.has_hyperscaler())
+        .copied()
+        .collect();
+    let jobs: Vec<Job> = deployed
+        .iter()
+        .enumerate()
+        .flat_map(|(i, r)| {
+            (0..30usize).map(move |day| {
+                Job::batch(
+                    (i * 1000 + day) as u64 + 1,
+                    r.code,
+                    start.plus(day * 24 + (i % 24)),
+                    1.0,
+                    Slack::None,
+                )
+            })
+        })
+        .collect();
+    let mut routing = Vec::new();
+    let mut base_ci = 0.0;
+    for &slo in &[0.0f64, 30.0, 60.0, 100.0, 250.0] {
+        let mut sim = Simulator::new(ctx.data(), &deployed, SimConfig::new(start, 31 * 24, 1024));
+        let mut router = LatencyAwareRouter::new(&deployed, slo);
+        let report = sim.run(&mut router, &jobs);
+        assert_eq!(report.completed_count(), jobs.len(), "all requests served");
+        let avg_ci = report.average_ci();
+        if slo == 0.0 {
+            base_ci = avg_ci;
+        }
+        let moved = report
+            .completed
+            .iter()
+            .filter(|c| c.region != c.job.origin)
+            .count();
+        routing.push(SloPoint {
+            slo_ms: slo,
+            avg_ci,
+            reduction_pct: (base_ci - avg_ci) / base_ci * 100.0,
+            moved_frac: moved as f64 / jobs.len() as f64,
+        });
+    }
+
+    ExtPareto {
+        frontier: acc,
+        routing,
+    }
+}
+
+impl ExtPareto {
+    /// Renders the frontier and routing tables.
+    pub fn tables(&self) -> Vec<ExperimentTable> {
+        let frontier = ExperimentTable::new(
+            "ext-pareto-frontier",
+            "Ext: carbon-delay frontier of a 6h deferrable job (5-region mean)",
+            vec![
+                "slack h".into(),
+                "cost g".into(),
+                "delay h".into(),
+                "slowdown".into(),
+            ],
+            self.frontier
+                .iter()
+                .map(|p| {
+                    vec![
+                        p.slack.to_string(),
+                        f1(p.mean_cost_g),
+                        f1(p.mean_delay_h),
+                        f2(p.mean_slowdown),
+                    ]
+                })
+                .collect(),
+        );
+        let routing = ExperimentTable::new(
+            "ext-pareto-routing",
+            "Ext: online latency-SLO routing (hyperscaler regions, 1h requests)",
+            vec![
+                "SLO ms".into(),
+                "avg CI g/kWh".into(),
+                "reduction".into(),
+                "moved".into(),
+            ],
+            self.routing
+                .iter()
+                .map(|p| {
+                    vec![
+                        f1(p.slo_ms),
+                        f1(p.avg_ci),
+                        pct(p.reduction_pct),
+                        pct(p.moved_frac * 100.0),
+                    ]
+                })
+                .collect(),
+        );
+        vec![frontier, routing]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::shared;
+    use std::sync::OnceLock;
+
+    fn ext() -> &'static ExtPareto {
+        static EXT: OnceLock<ExtPareto> = OnceLock::new();
+        EXT.get_or_init(|| run(shared()))
+    }
+
+    #[test]
+    fn frontier_trades_delay_for_carbon() {
+        let f = &ext().frontier;
+        assert_eq!(f.len(), 7);
+        for pair in f.windows(2) {
+            assert!(pair[1].mean_cost_g <= pair[0].mean_cost_g + 1e-9);
+            assert!(pair[1].mean_delay_h >= pair[0].mean_delay_h - 2.0);
+        }
+        assert_eq!(f[0].mean_delay_h, 0.0);
+        assert!(f.last().unwrap().mean_cost_g < f[0].mean_cost_g);
+    }
+
+    #[test]
+    fn schedules_spend_only_part_of_their_budget() {
+        // Diurnal valleys repeat: even a week of slack is mostly unused.
+        let week = ext().frontier.last().unwrap();
+        assert_eq!(week.slack, 168);
+        assert!(
+            week.mean_delay_h < 100.0,
+            "mean delay {} should sit well below the 168h budget",
+            week.mean_delay_h
+        );
+    }
+
+    #[test]
+    fn routing_reduction_grows_with_slo() {
+        let r = &ext().routing;
+        assert_eq!(r[0].reduction_pct, 0.0);
+        assert_eq!(r[0].moved_frac, 0.0, "0ms SLO keeps everything home");
+        for pair in r.windows(2) {
+            assert!(pair[1].reduction_pct >= pair[0].reduction_pct - 1e-9);
+            assert!(pair[1].moved_frac >= pair[0].moved_frac - 1e-9);
+        }
+        let wide = r.last().unwrap();
+        assert!(
+            wide.reduction_pct > 30.0,
+            "250ms unlocks most of spatial shifting"
+        );
+        assert!(wide.moved_frac > 0.5);
+    }
+
+    #[test]
+    fn tables_render() {
+        let tables = ext().tables();
+        assert_eq!(tables.len(), 2);
+        assert!(format!("{}", tables[0]).contains("slowdown"));
+        assert!(format!("{}", tables[1]).contains("SLO"));
+    }
+}

@@ -1,0 +1,157 @@
+//! Extension: verifying §5.1.4's rank-stability premise directly.
+//!
+//! Fig. 6(b) shows the *consequence* of stable rankings (∞-migration
+//! barely beats 1-migration); this experiment measures the premise
+//! itself. For the whole 123-region set and for the latency-realistic
+//! case of regions within one geographic grouping, it reports Kendall's τ
+//! between hourly and annual rankings, how often the instantaneous
+//! greenest region is the annual greenest, and the top-5 set overlap.
+
+use decarb_core::rankings::{rank_stability, RankStability};
+use decarb_traces::{GeoGroup, TraceSet};
+use serde::Serialize;
+
+use crate::context::{Context, EVAL_YEAR};
+use crate::table::{f2, pct, ExperimentTable};
+
+/// One region-set's stability row.
+#[derive(Debug, Clone, Serialize)]
+pub struct RankRow {
+    /// Region-set label.
+    pub set: String,
+    /// Number of regions ranked.
+    pub regions: usize,
+    /// The stability statistics.
+    pub stability: RankStability,
+}
+
+/// Extension results.
+#[derive(Debug, Clone, Serialize)]
+pub struct ExtRank {
+    /// Global set plus per-grouping rows.
+    pub rows: Vec<RankRow>,
+}
+
+const STRIDE: usize = 73; // ≈ 120 samples per year.
+
+fn subset(ctx: &Context, group: GeoGroup) -> TraceSet {
+    let pairs = ctx
+        .data()
+        .iter()
+        .filter(|(r, _)| r.group == group)
+        .map(|(r, s)| (r, s.clone()))
+        .collect();
+    TraceSet::from_series(pairs)
+}
+
+/// Runs the rank-stability extension.
+pub fn run(ctx: &Context) -> ExtRank {
+    let mut rows = vec![RankRow {
+        set: "global (123 regions)".into(),
+        regions: ctx.data().len(),
+        stability: rank_stability(ctx.data(), EVAL_YEAR, STRIDE, 5),
+    }];
+    for group in GeoGroup::ALL {
+        let set = subset(ctx, group);
+        if set.len() < 5 {
+            continue;
+        }
+        let k = 3.min(set.len());
+        rows.push(RankRow {
+            set: group.label().to_string(),
+            regions: set.len(),
+            stability: rank_stability(&set, EVAL_YEAR, STRIDE, k),
+        });
+    }
+    ExtRank { rows }
+}
+
+impl ExtRank {
+    /// Renders the stability table.
+    pub fn tables(&self) -> Vec<ExperimentTable> {
+        vec![ExperimentTable::new(
+            "ext-rank",
+            "Ext: rank-order stability of regional CI (hourly vs annual ranking)",
+            vec![
+                "region set".into(),
+                "n".into(),
+                "mean tau".into(),
+                "min tau".into(),
+                "greenest match".into(),
+                "top-k overlap".into(),
+            ],
+            self.rows
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.set.clone(),
+                        r.regions.to_string(),
+                        f2(r.stability.mean_tau),
+                        f2(r.stability.min_tau),
+                        pct(r.stability.greenest_match * 100.0),
+                        pct(r.stability.topk_overlap * 100.0),
+                    ]
+                })
+                .collect(),
+        )]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::shared;
+    use std::sync::OnceLock;
+
+    fn ext() -> &'static ExtRank {
+        static EXT: OnceLock<ExtRank> = OnceLock::new();
+        EXT.get_or_init(|| run(shared()))
+    }
+
+    #[test]
+    fn global_ranking_is_highly_stable() {
+        let global = &ext().rows[0];
+        assert_eq!(global.regions, 123);
+        assert!(
+            global.stability.mean_tau > 0.85,
+            "{}",
+            global.stability.mean_tau
+        );
+        assert!(global.stability.greenest_match > 0.9);
+        assert!(global.stability.topk_overlap > 0.8);
+    }
+
+    #[test]
+    fn groupings_are_less_stable_than_the_global_set() {
+        // Within a grouping, regions are closer in CI, so rankings cross
+        // more — exactly where the paper's conclusion expects future
+        // sophisticated policies to matter.
+        let rows = &ext().rows;
+        let global_tau = rows[0].stability.mean_tau;
+        let min_group_tau = rows[1..]
+            .iter()
+            .map(|r| r.stability.mean_tau)
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            min_group_tau < global_tau,
+            "some grouping must churn more than the global set ({min_group_tau} vs {global_tau})"
+        );
+    }
+
+    #[test]
+    fn every_row_is_internally_consistent() {
+        for r in &ext().rows {
+            assert!(r.stability.mean_tau >= r.stability.min_tau);
+            assert!((0.0..=1.0).contains(&r.stability.greenest_match));
+            assert!((0.0..=1.0).contains(&r.stability.topk_overlap));
+            assert!(r.stability.samples > 100);
+        }
+    }
+
+    #[test]
+    fn tables_render() {
+        let tables = ext().tables();
+        assert_eq!(tables.len(), 1);
+        assert!(format!("{}", tables[0]).contains("mean tau"));
+    }
+}

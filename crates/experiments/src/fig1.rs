@@ -1,0 +1,168 @@
+//! Fig. 1: example carbon traces and generation mixes.
+//!
+//! Reproduces the paper's motivating observation: carbon-intensity varies
+//! ≈ 2× within a day in California and > 40× across regions (Ontario vs
+//! Mumbai), and those properties follow from each grid's generation mix.
+
+use decarb_traces::time::year_start;
+use serde::Serialize;
+
+use crate::context::{Context, EVAL_YEAR};
+use crate::table::{f1, f2, ExperimentTable};
+
+/// The three example zones of Fig. 1.
+pub const EXAMPLE_ZONES: [&str; 3] = ["US-CA", "CA-ON", "IN-WE"];
+
+/// One zone's Fig. 1 summary.
+#[derive(Debug, Clone, Serialize)]
+pub struct ZoneSummary {
+    /// Zone code.
+    pub code: &'static str,
+    /// Annual mean CI (g/kWh).
+    pub mean: f64,
+    /// Median within-day max/min swing.
+    pub daily_swing: f64,
+    /// Fossil share of the generation mix.
+    pub fossil_share: f64,
+    /// Renewable share of the generation mix.
+    pub renewable_share: f64,
+}
+
+/// Fig. 1 results.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig1 {
+    /// Per-zone summaries.
+    pub zones: Vec<ZoneSummary>,
+    /// Max cross-region instantaneous ratio observed between the cleanest
+    /// and dirtiest example zones over the year.
+    pub max_spatial_ratio: f64,
+}
+
+/// Runs the Fig. 1 analysis.
+pub fn run(ctx: &Context) -> Fig1 {
+    let start = year_start(EVAL_YEAR);
+    let len = decarb_traces::time::hours_in_year(EVAL_YEAR);
+    let mut zones = Vec::new();
+    let mut cleanest: Vec<f64> = Vec::new();
+    let mut dirtiest: Vec<f64> = Vec::new();
+    for code in EXAMPLE_ZONES {
+        let region = ctx.data().region(code).expect("example zone in catalog");
+        let series = ctx.data().series(code).expect("example zone trace");
+        let window = series.window(start, len).expect("year in horizon");
+        let mean = window.iter().sum::<f64>() / len as f64;
+        let mut swings: Vec<f64> = window
+            .chunks_exact(24)
+            .map(|day| {
+                let max = day.iter().cloned().fold(f64::MIN, f64::max);
+                let min = day.iter().cloned().fold(f64::MAX, f64::min);
+                max / min
+            })
+            .collect();
+        swings.sort_by(f64::total_cmp);
+        let daily_swing = swings[swings.len() / 2];
+        if code == "CA-ON" {
+            cleanest = window.to_vec();
+        }
+        if code == "IN-WE" {
+            dirtiest = window.to_vec();
+        }
+        zones.push(ZoneSummary {
+            code: region.code,
+            mean,
+            daily_swing,
+            fossil_share: region.mix.fossil_share(),
+            renewable_share: region.mix.renewable_share(),
+        });
+    }
+    let max_spatial_ratio = cleanest
+        .iter()
+        .zip(&dirtiest)
+        .map(|(c, d)| d / c)
+        .fold(0.0f64, f64::max);
+    Fig1 {
+        zones,
+        max_spatial_ratio,
+    }
+}
+
+impl Fig1 {
+    /// Renders the Fig. 1(a) and 1(b) tables.
+    pub fn tables(&self) -> Vec<ExperimentTable> {
+        let rows_a = self
+            .zones
+            .iter()
+            .map(|z| {
+                vec![
+                    z.code.to_string(),
+                    f1(z.mean),
+                    format!("{:.2}x", z.daily_swing),
+                ]
+            })
+            .collect();
+        let a = ExperimentTable::new(
+            "fig1a",
+            format!(
+                "Fig 1(a): example traces (max Ontario-vs-Mumbai spatial ratio {:.0}x)",
+                self.max_spatial_ratio
+            ),
+            vec![
+                "zone".into(),
+                "mean gCO2/kWh".into(),
+                "median daily swing".into(),
+            ],
+            rows_a,
+        );
+        let rows_b = self
+            .zones
+            .iter()
+            .map(|z| {
+                vec![
+                    z.code.to_string(),
+                    f2(z.fossil_share),
+                    f2(z.renewable_share),
+                ]
+            })
+            .collect();
+        let b = ExperimentTable::new(
+            "fig1b",
+            "Fig 1(b): generation mix of the example zones",
+            vec![
+                "zone".into(),
+                "fossil share".into(),
+                "renewable share".into(),
+            ],
+            rows_b,
+        );
+        vec![a, b]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_fig1_shape() {
+        let ctx = Context::default();
+        let fig = run(&ctx);
+        let ca = fig.zones.iter().find(|z| z.code == "US-CA").unwrap();
+        let on = fig.zones.iter().find(|z| z.code == "CA-ON").unwrap();
+        let mumbai = fig.zones.iter().find(|z| z.code == "IN-WE").unwrap();
+        // California: ≈ 2× daily swing; half-renewable mix.
+        assert!(ca.daily_swing > 1.4, "CA swing {:.2}", ca.daily_swing);
+        assert!(ca.renewable_share > 0.4);
+        // Mumbai: dirty, fossil-dominated, flat.
+        assert!(mumbai.mean > 600.0);
+        assert!(mumbai.fossil_share > 0.7);
+        assert!(mumbai.daily_swing < ca.daily_swing);
+        // Ontario is far cleaner than Mumbai; the instantaneous ratio
+        // reaches tens of times (paper: 43×).
+        assert!(on.mean < 40.0);
+        assert!(
+            fig.max_spatial_ratio > 20.0,
+            "spatial ratio {:.0}",
+            fig.max_spatial_ratio
+        );
+        assert_eq!(fig.tables().len(), 2);
+    }
+}

@@ -1,0 +1,240 @@
+//! Fig. 10: workload-weighted temporal reductions (§5.2.4–§5.2.6).
+//!
+//! * (a)–(c): per-grouping average savings (deferral + interruptibility,
+//!   one-year slack) weighted across job lengths by the Equal, Azure-like
+//!   and Google-like distributions;
+//! * (d): the global savings as a function of slack, exhibiting the
+//!   paper's sub-linear growth (31 → 127 g while slack grows 365×).
+
+use decarb_traces::{GeoGroup, GLOBAL_AVG_CI};
+use decarb_workloads::JobLengthDistribution;
+use serde::Serialize;
+
+use crate::context::Context;
+use crate::fig7to9::TEMPORAL_LENGTHS;
+use crate::table::{f1, pct, ExperimentTable};
+
+/// A per-grouping weighted-savings row.
+#[derive(Debug, Clone, Serialize)]
+pub struct GroupSavings {
+    /// Grouping label ("Global" first).
+    pub group: String,
+    /// Weighted savings per job hour under each distribution, in
+    /// [`JobLengthDistribution::ALL`] order.
+    pub savings_g: [f64; 3],
+}
+
+/// One slack-sweep point (Fig. 10(d)).
+#[derive(Debug, Clone, Serialize)]
+pub struct SlackPoint {
+    /// Slack label.
+    pub label: String,
+    /// Slack in hours.
+    pub slack: usize,
+    /// Global equal-weighted savings per job hour.
+    pub savings_g: f64,
+}
+
+/// Fig. 10 results.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig10 {
+    /// Rows for (a)–(c).
+    pub groups: Vec<GroupSavings>,
+    /// The slack sweep for (d).
+    pub slack_sweep: Vec<SlackPoint>,
+}
+
+/// Per-region total saving (deferral + interrupt) per job hour for each
+/// length, weighted by a distribution.
+///
+/// The temporal analysis covers the batch buckets (1 h – 168 h); the
+/// 36-second interactive bucket has no temporal flexibility, so — as in
+/// the paper's Fig. 10 — the distribution weights are renormalized over
+/// the batch buckets.
+fn weighted_savings(
+    ctx: &Context,
+    dist: JobLengthDistribution,
+    slack: usize,
+    group: Option<GeoGroup>,
+) -> f64 {
+    let weights = dist.resource_weights();
+    let batch_mass: f64 = weights[1..].iter().sum();
+    let mut total = 0.0;
+    for (i, &length) in TEMPORAL_LENGTHS.iter().enumerate() {
+        let stats = ctx.temporal_stats(length, slack);
+        let filtered: Vec<f64> = stats
+            .iter()
+            .filter(|s| match group {
+                None => true,
+                Some(g) => ctx
+                    .data()
+                    .region(s.code)
+                    .map(|r| r.group == g)
+                    .unwrap_or(false),
+            })
+            .map(|s| s.total_saving())
+            .collect();
+        let mean = filtered.iter().sum::<f64>() / filtered.len().max(1) as f64;
+        total += weights[i + 1] / batch_mass * mean;
+    }
+    total
+}
+
+/// Runs the Fig. 10 analysis.
+pub fn run(ctx: &Context) -> Fig10 {
+    let year_slack = 365 * 24;
+    let mut groups = Vec::new();
+    let mut global = [0.0; 3];
+    for (d, dist) in JobLengthDistribution::ALL.iter().enumerate() {
+        global[d] = weighted_savings(ctx, *dist, year_slack, None);
+    }
+    groups.push(GroupSavings {
+        group: "Global".into(),
+        savings_g: global,
+    });
+    for g in GeoGroup::ALL {
+        let mut savings = [0.0; 3];
+        for (d, dist) in JobLengthDistribution::ALL.iter().enumerate() {
+            savings[d] = weighted_savings(ctx, *dist, year_slack, Some(g));
+        }
+        groups.push(GroupSavings {
+            group: g.label().into(),
+            savings_g: savings,
+        });
+    }
+
+    let slacks = [
+        ("24H", 24usize),
+        ("7D", 7 * 24),
+        ("24D", 24 * 24),
+        ("30D", 30 * 24),
+        ("1Y", 365 * 24),
+    ];
+    let slack_sweep = slacks
+        .iter()
+        .map(|&(label, slack)| SlackPoint {
+            label: label.into(),
+            slack,
+            savings_g: weighted_savings(ctx, JobLengthDistribution::Equal, slack, None),
+        })
+        .collect();
+
+    Fig10 {
+        groups,
+        slack_sweep,
+    }
+}
+
+impl Fig10 {
+    /// Renders the Fig. 10(a–c) and (d) tables.
+    pub fn tables(&self) -> Vec<ExperimentTable> {
+        let abc = ExperimentTable::new(
+            "fig10abc",
+            "Fig 10(a-c): temporal savings per job hour by grouping and distribution (1Y slack)",
+            vec![
+                "grouping".into(),
+                "Equal g".into(),
+                "Azure g".into(),
+                "Google g".into(),
+            ],
+            self.groups
+                .iter()
+                .map(|g| {
+                    vec![
+                        g.group.clone(),
+                        f1(g.savings_g[0]),
+                        f1(g.savings_g[1]),
+                        f1(g.savings_g[2]),
+                    ]
+                })
+                .collect(),
+        );
+        let d = ExperimentTable::new(
+            "fig10d",
+            "Fig 10(d): global temporal savings vs slack (equal distribution)",
+            vec!["slack".into(), "savings g/h".into(), "vs global avg".into()],
+            self.slack_sweep
+                .iter()
+                .map(|p| {
+                    vec![
+                        p.label.clone(),
+                        f1(p.savings_g),
+                        pct(p.savings_g / GLOBAL_AVG_CI * 100.0),
+                    ]
+                })
+                .collect(),
+        );
+        vec![abc, d]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::shared;
+    use std::sync::OnceLock;
+
+    fn fig() -> &'static Fig10 {
+        static FIG: OnceLock<Fig10> = OnceLock::new();
+        FIG.get_or_init(|| run(shared()))
+    }
+
+    #[test]
+    fn cloud_distributions_save_less_than_equal() {
+        let global = &fig().groups[0];
+        let [equal, azure, google] = global.savings_g;
+        // §5.2.5: equal ≈ 135 g; Azure ≈ 100 g; Google ≈ 112 g. Order and
+        // rough magnitude must hold.
+        assert!((80.0..190.0).contains(&equal), "equal {equal}");
+        assert!(azure < equal, "azure {azure} < equal {equal}");
+        assert!(google < equal, "google {google} < equal {equal}");
+        assert!(azure < google + 5.0, "azure below (or near) google");
+    }
+
+    #[test]
+    fn oceania_highest_asia_lowest() {
+        let groups = &fig().groups;
+        let get = |label: &str| {
+            groups
+                .iter()
+                .find(|g| g.group == label)
+                .map(|g| g.savings_g[0])
+                .unwrap()
+        };
+        let oceania = get("Oceania");
+        let asia = get("Asia");
+        // §5.2.4: Oceania ≈ 189 g is the highest grouping, Asia ≈ 60 g the
+        // lowest.
+        assert!(oceania > 100.0, "oceania {oceania}");
+        assert!(asia < 110.0, "asia {asia}");
+        assert!(oceania > asia * 1.5, "oceania {oceania} vs asia {asia}");
+    }
+
+    #[test]
+    fn slack_growth_is_sublinear() {
+        let sweep = &fig().slack_sweep;
+        // Monotone non-decreasing.
+        for pair in sweep.windows(2) {
+            assert!(pair[1].savings_g >= pair[0].savings_g - 1e-9);
+        }
+        let day = sweep.first().unwrap();
+        let year = sweep.last().unwrap();
+        // §5.2.6: slack grows 365×, savings only ≈ 3.1× (31 → 127 g). We
+        // require the ratio to stay well under 8×.
+        let ratio = year.savings_g / day.savings_g.max(1e-9);
+        assert!((1.5..8.0).contains(&ratio), "ratio {ratio:.2}");
+        // Beyond 7 days, gains flatten: the 24D → 1Y step is smaller than
+        // the 24H → 7D step.
+        let step_small = sweep[1].savings_g - sweep[0].savings_g;
+        let step_large = sweep[4].savings_g - sweep[2].savings_g;
+        assert!(step_large < step_small * 2.0, "flattening expected");
+    }
+
+    #[test]
+    fn tables_render() {
+        let tables = fig().tables();
+        assert_eq!(tables.len(), 2);
+        assert!(format!("{}", tables[0]).contains("Google"));
+        assert!(format!("{}", tables[1]).contains("1Y"));
+    }
+}

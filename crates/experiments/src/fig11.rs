@@ -1,0 +1,342 @@
+//! Fig. 11: what-if scenarios (§6.1–§6.3).
+//!
+//! * (a) mixed workloads: reduction vs the migratable fraction;
+//! * (b) forecast error: emission increase vs uniform prediction error;
+//! * (c,d) increasing renewables: carbon-aware vs carbon-agnostic
+//!   emissions as California's grid gets greener.
+
+use decarb_core::forecast::{spatial_increase_pct, temporal_increase_pct, with_uniform_error};
+use decarb_core::greener::greener_trace;
+use decarb_core::mixed::migratable_sweep;
+use decarb_core::spatial::lower_envelope;
+use decarb_core::temporal::TemporalPlanner;
+use decarb_traces::time::{hours_in_year, year_start};
+use decarb_traces::{TimeSeries, GLOBAL_AVG_CI};
+use serde::Serialize;
+
+use crate::context::{Context, EVAL_YEAR};
+use crate::table::{f1, pct, ExperimentTable};
+
+// ---------------------------------------------------------------- Fig 11(a)
+
+/// One mixed-workload sweep point.
+#[derive(Debug, Clone, Serialize)]
+pub struct MixedPoint {
+    /// Migratable fraction.
+    pub migratable: f64,
+    /// Global reduction (g·CO2eq per kWh of load).
+    pub reduction_g: f64,
+}
+
+/// Fig. 11(a) results.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig11a {
+    /// The sweep rows.
+    pub points: Vec<MixedPoint>,
+}
+
+/// Runs the mixed-workload sweep.
+pub fn run_a(ctx: &Context) -> Fig11a {
+    let fractions: Vec<f64> = (0..=10).map(|i| i as f64 / 10.0).collect();
+    let points = migratable_sweep(ctx.data(), &fractions, EVAL_YEAR)
+        .into_iter()
+        .map(|(migratable, reduction_g)| MixedPoint {
+            migratable,
+            reduction_g,
+        })
+        .collect();
+    Fig11a { points }
+}
+
+impl Fig11a {
+    /// Renders the Fig. 11(a) table.
+    pub fn table(&self) -> ExperimentTable {
+        ExperimentTable::new(
+            "fig11a",
+            "Fig 11(a): reduction vs migratable workload fraction",
+            vec![
+                "migratable".into(),
+                "reduction g".into(),
+                "vs global avg".into(),
+            ],
+            self.points
+                .iter()
+                .map(|p| {
+                    vec![
+                        pct(p.migratable * 100.0),
+                        f1(p.reduction_g),
+                        pct(p.reduction_g / GLOBAL_AVG_CI * 100.0),
+                    ]
+                })
+                .collect(),
+        )
+    }
+}
+
+// ---------------------------------------------------------------- Fig 11(b)
+
+/// One forecast-error sweep point.
+#[derive(Debug, Clone, Serialize)]
+pub struct ErrorPoint {
+    /// Uniform error magnitude (0.5 = ±50 %).
+    pub error: f64,
+    /// Temporal-scheduling emission increase, percent.
+    pub temporal_pct: f64,
+    /// Spatial-scheduling emission increase, percent.
+    pub spatial_pct: f64,
+}
+
+/// Fig. 11(b) results.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig11b {
+    /// The sweep rows.
+    pub points: Vec<ErrorPoint>,
+}
+
+/// Representative regions for the (more expensive) temporal error sweep.
+const ERROR_REGIONS: [&str; 8] = [
+    "US-CA", "DE", "GB", "IN-WE", "AU-NSW", "SE", "JP-TK", "BR-CS",
+];
+
+/// Runs the forecast-error sweep.
+pub fn run_b(ctx: &Context) -> Fig11b {
+    let start = year_start(EVAL_YEAR);
+    let count = hours_in_year(EVAL_YEAR);
+    let truths: Vec<&TimeSeries> = ctx
+        .regions()
+        .iter()
+        .map(|r| ctx.data().series(r.code).expect("trace"))
+        .collect();
+    let points = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5]
+        .iter()
+        .map(|&error| {
+            // Temporal: deferral with one-year slack, 6-hour jobs, strided
+            // arrivals over representative regions.
+            let mut temporal_acc = 0.0;
+            for (i, code) in ERROR_REGIONS.iter().enumerate() {
+                let truth = ctx.data().series(code).expect("trace");
+                let noisy = with_uniform_error(truth, error, 0xE44 + i as u64);
+                temporal_acc += temporal_increase_pct(truth, &noisy, start, count, 6, 365 * 24, 97);
+            }
+            let temporal_pct = temporal_acc / ERROR_REGIONS.len() as f64;
+            // Spatial: ∞-migration across all 123 regions.
+            let noisy: Vec<TimeSeries> = truths
+                .iter()
+                .enumerate()
+                .map(|(i, t)| with_uniform_error(t, error, 0x5A7 + i as u64))
+                .collect();
+            let noisy_refs: Vec<&TimeSeries> = noisy.iter().collect();
+            let spatial_pct = spatial_increase_pct(&truths, &noisy_refs, start, count);
+            ErrorPoint {
+                error,
+                temporal_pct,
+                spatial_pct,
+            }
+        })
+        .collect();
+    Fig11b { points }
+}
+
+impl Fig11b {
+    /// Renders the Fig. 11(b) table.
+    pub fn table(&self) -> ExperimentTable {
+        ExperimentTable::new(
+            "fig11b",
+            "Fig 11(b): carbon increase vs prediction error",
+            vec![
+                "error".into(),
+                "temporal increase".into(),
+                "spatial increase".into(),
+            ],
+            self.points
+                .iter()
+                .map(|p| {
+                    vec![
+                        pct(p.error * 100.0),
+                        pct(p.temporal_pct),
+                        pct(p.spatial_pct),
+                    ]
+                })
+                .collect(),
+        )
+    }
+}
+
+// -------------------------------------------------------------- Fig 11(c,d)
+
+/// One renewable-penetration sweep point for California.
+#[derive(Debug, Clone, Serialize)]
+pub struct GreenerPoint {
+    /// Added renewable fraction.
+    pub renewables: f64,
+    /// Carbon-agnostic temporal emissions (mean CI, g/kWh).
+    pub temporal_agnostic_g: f64,
+    /// Carbon-aware temporal emissions (1-year-slack deferral, g/kWh).
+    pub temporal_aware_g: f64,
+    /// Carbon-agnostic spatial emissions (run locally, g/kWh).
+    pub spatial_agnostic_g: f64,
+    /// Carbon-aware spatial emissions (∞-migration incl. the greener
+    /// local grid, g/kWh).
+    pub spatial_aware_g: f64,
+}
+
+/// Fig. 11(c,d) results for California.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig11cd {
+    /// The sweep rows.
+    pub points: Vec<GreenerPoint>,
+}
+
+/// Runs the increasing-renewables sweep for California (US-CA).
+pub fn run_cd(ctx: &Context) -> Fig11cd {
+    let start = year_start(EVAL_YEAR);
+    let count = hours_in_year(EVAL_YEAR);
+    let region = ctx.data().region("US-CA").expect("California in catalog");
+    let base = ctx
+        .data()
+        .series("US-CA")
+        .expect("California trace")
+        .slice(start, count + 8 * 24)
+        .expect("year + margin in horizon");
+    let lon_offset = (region.lon / 15.0).round() as i64;
+    // Envelope of all other regions (unchanged by California's greening).
+    let others: Vec<&decarb_traces::Region> = ctx
+        .regions()
+        .iter()
+        .filter(|r| r.code != "US-CA")
+        .copied()
+        .collect();
+    let envelope = lower_envelope(ctx.data(), &others, start, count);
+
+    let points = (0..=9)
+        .map(|i| {
+            let p = i as f64 / 10.0;
+            let greener = greener_trace(&base, p, lon_offset);
+            let year_mean = greener
+                .window(start, count)
+                .expect("year in slice")
+                .iter()
+                .sum::<f64>()
+                / count as f64;
+            // Temporal: deferral sweep with a 6-hour job; slack bounded by
+            // the slice (clairvoyant within the greener year).
+            let planner = TemporalPlanner::new(&greener);
+            let deferred = planner.deferral_sweep(start, count - 8760.min(count - 1), 6, 8760);
+            let aware_temporal = deferred.iter().sum::<f64>() / deferred.len() as f64 / 6.0;
+            // Spatial: hourly min of the greener local trace vs the world.
+            let mut aware_spatial = 0.0;
+            for j in 0..count {
+                let hour = start.plus(j);
+                aware_spatial += greener.get(hour).min(envelope.get(hour));
+            }
+            aware_spatial /= count as f64;
+            GreenerPoint {
+                renewables: p,
+                temporal_agnostic_g: year_mean,
+                temporal_aware_g: aware_temporal,
+                spatial_agnostic_g: year_mean,
+                spatial_aware_g: aware_spatial,
+            }
+        })
+        .collect();
+    Fig11cd { points }
+}
+
+impl Fig11cd {
+    /// Renders the Fig. 11(c,d) table.
+    pub fn table(&self) -> ExperimentTable {
+        ExperimentTable::new(
+            "fig11cd",
+            "Fig 11(c,d): California emissions vs renewable penetration",
+            vec![
+                "renewables".into(),
+                "temporal agnostic g".into(),
+                "temporal aware g".into(),
+                "spatial agnostic g".into(),
+                "spatial aware g".into(),
+            ],
+            self.points
+                .iter()
+                .map(|p| {
+                    vec![
+                        pct(p.renewables * 100.0),
+                        f1(p.temporal_agnostic_g),
+                        f1(p.temporal_aware_g),
+                        f1(p.spatial_agnostic_g),
+                        f1(p.spatial_aware_g),
+                    ]
+                })
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::shared;
+
+    #[test]
+    fn mixed_workload_linear() {
+        let fig = run_a(shared());
+        assert_eq!(fig.points.len(), 11);
+        assert!(fig.points[0].reduction_g.abs() < 1e-9);
+        let full = fig.points.last().unwrap().reduction_g;
+        assert!(full > 300.0, "full migratability {full}");
+        // §6.1: reduction grows linearly with the migratable share.
+        let half = fig.points[5].reduction_g;
+        assert!(
+            (half - full / 2.0).abs() < 1.0,
+            "half {half} vs full {full}"
+        );
+    }
+
+    #[test]
+    fn forecast_error_increases_emissions() {
+        let fig = run_b(shared());
+        assert!(fig.points[0].temporal_pct.abs() < 1e-6);
+        assert!(fig.points[0].spatial_pct.abs() < 1e-6);
+        // Monotone-ish growth; at 50 % error the paper reports ≈ 10–12 %.
+        let last = fig.points.last().unwrap();
+        assert!(last.temporal_pct > 1.0, "temporal {}", last.temporal_pct);
+        assert!(
+            (2.0..35.0).contains(&last.spatial_pct),
+            "spatial {}",
+            last.spatial_pct
+        );
+        for pair in fig.points.windows(2) {
+            assert!(pair[1].temporal_pct >= pair[0].temporal_pct - 1.5);
+            assert!(pair[1].spatial_pct >= pair[0].spatial_pct - 1.5);
+        }
+    }
+
+    #[test]
+    fn greener_grid_shrinks_the_carbon_aware_gap() {
+        let fig = run_cd(shared());
+        assert_eq!(fig.points.len(), 10);
+        for p in &fig.points {
+            // Aware never exceeds agnostic.
+            assert!(p.temporal_aware_g <= p.temporal_agnostic_g + 1e-9);
+            assert!(p.spatial_aware_g <= p.spatial_agnostic_g + 1e-9);
+        }
+        let first = &fig.points[0];
+        let last = fig.points.last().unwrap();
+        // §6.3: both lines fall as the grid gets greener…
+        assert!(last.temporal_agnostic_g < first.temporal_agnostic_g);
+        assert!(last.temporal_aware_g < first.temporal_aware_g + 1e-9);
+        // …and the agnostic-vs-aware gap narrows.
+        let gap_first = first.temporal_agnostic_g - first.temporal_aware_g;
+        let gap_last = last.temporal_agnostic_g - last.temporal_aware_g;
+        assert!(gap_last < gap_first, "gap {gap_first} → {gap_last}");
+        let sgap_first = first.spatial_agnostic_g - first.spatial_aware_g;
+        let sgap_last = last.spatial_agnostic_g - last.spatial_aware_g;
+        assert!(sgap_last < sgap_first, "spatial gap must narrow");
+    }
+
+    #[test]
+    fn tables_render() {
+        let ctx = shared();
+        assert!(format!("{}", run_a(ctx).table()).contains("migratable"));
+        assert!(format!("{}", run_cd(ctx).table()).contains("renewables"));
+    }
+}

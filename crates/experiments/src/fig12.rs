@@ -1,0 +1,184 @@
+//! Fig. 12: combined spatial + temporal shifting decomposition (§6.4).
+//!
+//! For a set of destination regions, the net reduction of "migrate there,
+//! then defer within the slack" splits into a spatial component (global
+//! average CI minus the destination's mean — possibly negative) and a
+//! temporal component (the destination's deferral saving). The paper's
+//! takeaway: the spatial term dominates the sign of the net gain.
+
+use decarb_core::combined::{combined_shift, CombinedBreakdown};
+use serde::Serialize;
+
+use crate::context::{Context, EVAL_YEAR};
+use crate::table::{f1, ExperimentTable};
+
+/// Destination zones shown in the figure (the paper's flag row).
+pub const DESTINATIONS: [&str; 14] = [
+    "SE", "CA-ON", "BE", "CH", "FR", "GB", "US-CA", "US-VA", "DE", "NL", "JP-TK", "KR", "US-UT",
+    "IN-WE",
+];
+
+/// One destination's decomposition under both slack settings.
+#[derive(Debug, Clone, Serialize)]
+pub struct DestinationRow {
+    /// Destination zone code.
+    pub destination: &'static str,
+    /// Spatial component (g, slack-independent).
+    pub spatial_g: f64,
+    /// Temporal component with one-year slack.
+    pub temporal_1y_g: f64,
+    /// Temporal component with 24-hour slack.
+    pub temporal_24h_g: f64,
+}
+
+impl DestinationRow {
+    /// Net reduction with one-year slack.
+    pub fn net_1y(&self) -> f64 {
+        self.spatial_g + self.temporal_1y_g
+    }
+
+    /// Net reduction with 24-hour slack.
+    pub fn net_24h(&self) -> f64 {
+        self.spatial_g + self.temporal_24h_g
+    }
+}
+
+/// Fig. 12 results.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig12 {
+    /// One row per destination.
+    pub rows: Vec<DestinationRow>,
+}
+
+/// Runs the Fig. 12 analysis with 24-hour jobs.
+pub fn run(ctx: &Context) -> Fig12 {
+    let rows = DESTINATIONS
+        .iter()
+        .map(|code| {
+            let region = ctx.data().region(code).expect("destination in catalog");
+            let ideal: CombinedBreakdown =
+                combined_shift(ctx.data(), region, EVAL_YEAR, 24, 365 * 24);
+            let practical = combined_shift(ctx.data(), region, EVAL_YEAR, 24, 24);
+            DestinationRow {
+                destination: region.code,
+                spatial_g: ideal.spatial_g,
+                temporal_1y_g: ideal.temporal_g,
+                temporal_24h_g: practical.temporal_g,
+            }
+        })
+        .collect();
+    Fig12 { rows }
+}
+
+impl Fig12 {
+    /// Renders the Fig. 12 table.
+    pub fn table(&self) -> ExperimentTable {
+        ExperimentTable::new(
+            "fig12",
+            "Fig 12: spatial + temporal decomposition by destination (24h jobs)",
+            vec![
+                "destination".into(),
+                "spatial g".into(),
+                "temporal 1Y g".into(),
+                "net 1Y g".into(),
+                "temporal 24H g".into(),
+                "net 24H g".into(),
+            ],
+            self.rows
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.destination.to_string(),
+                        f1(r.spatial_g),
+                        f1(r.temporal_1y_g),
+                        f1(r.net_1y()),
+                        f1(r.temporal_24h_g),
+                        f1(r.net_24h()),
+                    ]
+                })
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::shared;
+    use std::sync::OnceLock;
+
+    fn fig() -> &'static Fig12 {
+        static FIG: OnceLock<Fig12> = OnceLock::new();
+        FIG.get_or_init(|| run(shared()))
+    }
+
+    fn row(code: &str) -> &'static DestinationRow {
+        fig().rows.iter().find(|r| r.destination == code).unwrap()
+    }
+
+    #[test]
+    fn green_destinations_have_high_positive_net() {
+        // §6.4: Sweden, Ontario and Belgium yield high net reductions even
+        // though their temporal component is small.
+        for code in ["SE", "CA-ON", "BE"] {
+            let r = row(code);
+            assert!(r.net_1y() > 150.0, "{code} net {}", r.net_1y());
+            assert!(r.spatial_g > r.temporal_1y_g, "{code} spatial dominates");
+        }
+    }
+
+    #[test]
+    fn dirty_destinations_net_negative_despite_temporal_gains() {
+        // §6.4: NL, KR and US-UT have low-to-negative net gains.
+        for code in ["KR", "US-UT", "IN-WE"] {
+            let r = row(code);
+            assert!(r.net_1y() < 60.0, "{code} net {}", r.net_1y());
+        }
+        let utah = row("US-UT");
+        assert!(utah.net_1y() < 0.0, "Utah must be net-negative");
+        // Netherlands sits above the global mean in our catalog → negative
+        // spatial term.
+        assert!(row("NL").spatial_g < 0.0);
+    }
+
+    #[test]
+    fn california_is_the_temporal_exception() {
+        // §6.4: California (and Virginia) combine modest spatial terms
+        // with high temporal reductions for a positive net.
+        let ca = row("US-CA");
+        assert!(ca.temporal_1y_g > 30.0, "CA temporal {}", ca.temporal_1y_g);
+        assert!(ca.net_1y() > 100.0, "CA net {}", ca.net_1y());
+    }
+
+    #[test]
+    fn slack_only_affects_temporal_term() {
+        for r in &fig().rows {
+            assert!(
+                r.temporal_24h_g <= r.temporal_1y_g + 1e-9,
+                "{}",
+                r.destination
+            );
+            assert!(r.temporal_24h_g >= -1e-9);
+        }
+    }
+
+    #[test]
+    fn spatial_dominates_net_sign_for_most_destinations() {
+        // The paper's key takeaway: the spatial term determines whether
+        // migration pays off.
+        let agree = fig()
+            .rows
+            .iter()
+            .filter(|r| (r.spatial_g >= 0.0) == (r.net_1y() >= 0.0))
+            .count();
+        assert!(
+            agree >= fig().rows.len() - 3,
+            "spatial sign should predict net sign for most destinations"
+        );
+    }
+
+    #[test]
+    fn table_renders() {
+        assert!(format!("{}", fig().table()).contains("US-UT"));
+    }
+}

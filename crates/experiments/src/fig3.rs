@@ -1,0 +1,277 @@
+//! Fig. 3: the global carbon analysis (§4.1, §4.2).
+//!
+//! * Fig. 3(a): each region's 2022 annual mean CI against its average
+//!   daily CV, the quadrant structure, and the headline shares (46 % of
+//!   regions above 400 g, > 70 % below 0.1 daily CV, ≈ 40× max/min).
+//! * Fig. 3(b): the 2020→2022 change in mean and daily CV, clustered with
+//!   K-Means++ (k = 3), and the ±25 g insignificance band.
+
+use decarb_stats::daily::average_daily_cv;
+use decarb_stats::kmeans;
+use decarb_traces::time::{hours_in_year, year_start};
+use serde::Serialize;
+
+use crate::context::Context;
+use crate::table::{f1, f2, pct, ExperimentTable};
+
+/// One region's point in Fig. 3(a).
+#[derive(Debug, Clone, Serialize)]
+pub struct MeanCvPoint {
+    /// Zone code.
+    pub code: &'static str,
+    /// 2022 annual mean CI.
+    pub mean: f64,
+    /// 2022 average daily CV.
+    pub daily_cv: f64,
+}
+
+/// Fig. 3(a) results.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig3a {
+    /// All 123 region points.
+    pub points: Vec<MeanCvPoint>,
+    /// Fraction of regions with mean above 400 g.
+    pub above_400_frac: f64,
+    /// Fraction of regions with daily CV below 0.1.
+    pub low_cv_frac: f64,
+    /// Max/min spread of annual means.
+    pub spread: f64,
+    /// Quadrant counts (low/low, low/high, high/low, high/high) relative
+    /// to the cross-region averages.
+    pub quadrants: [usize; 4],
+}
+
+/// Computes per-region `(mean, daily CV)` for a year.
+fn mean_cv_points(ctx: &Context, year: i32) -> Vec<MeanCvPoint> {
+    let start = year_start(year);
+    let len = hours_in_year(year);
+    ctx.data()
+        .iter()
+        .map(|(region, series)| {
+            let window = series.window(start, len).expect("year in horizon");
+            MeanCvPoint {
+                code: region.code,
+                mean: window.iter().sum::<f64>() / len as f64,
+                daily_cv: average_daily_cv(window),
+            }
+        })
+        .collect()
+}
+
+/// Runs the Fig. 3(a) analysis for 2022.
+pub fn run_a(ctx: &Context) -> Fig3a {
+    let points = mean_cv_points(ctx, 2022);
+    let n = points.len() as f64;
+    let above_400_frac = points.iter().filter(|p| p.mean > 400.0).count() as f64 / n;
+    let low_cv_frac = points.iter().filter(|p| p.daily_cv < 0.1).count() as f64 / n;
+    let max = points.iter().map(|p| p.mean).fold(f64::MIN, f64::max);
+    let min = points.iter().map(|p| p.mean).fold(f64::MAX, f64::min);
+    let mean_of_means = points.iter().map(|p| p.mean).sum::<f64>() / n;
+    let mean_of_cvs = points.iter().map(|p| p.daily_cv).sum::<f64>() / n;
+    let mut quadrants = [0usize; 4];
+    for p in &points {
+        let hi_ci = p.mean >= mean_of_means;
+        let hi_cv = p.daily_cv >= mean_of_cvs;
+        quadrants[usize::from(hi_ci) * 2 + usize::from(hi_cv)] += 1;
+    }
+    Fig3a {
+        points,
+        above_400_frac,
+        low_cv_frac,
+        spread: max / min,
+        quadrants,
+    }
+}
+
+impl Fig3a {
+    /// Renders the Fig. 3(a) summary table.
+    pub fn table(&self) -> ExperimentTable {
+        let mut rows = vec![
+            vec!["regions".into(), self.points.len().to_string()],
+            vec!["above 400 g".into(), pct(self.above_400_frac * 100.0)],
+            vec!["daily CV < 0.1".into(), pct(self.low_cv_frac * 100.0)],
+            vec!["max/min spread".into(), format!("{:.0}x", self.spread)],
+            vec![
+                "quadrants (CI/CV: ll,lh,hl,hh)".into(),
+                format!(
+                    "{}, {}, {}, {}",
+                    self.quadrants[0], self.quadrants[1], self.quadrants[2], self.quadrants[3]
+                ),
+            ],
+        ];
+        // Representative extremes, as the paper highlights.
+        for code in ["SE", "US-CA", "IN-WE"] {
+            if let Some(p) = self.points.iter().find(|p| p.code == code) {
+                rows.push(vec![
+                    format!("{} (mean, dailyCV)", p.code),
+                    format!("{}, {}", f1(p.mean), f2(p.daily_cv)),
+                ]);
+            }
+        }
+        ExperimentTable::new(
+            "fig3a",
+            "Fig 3(a): mean CI vs average daily CV, 2022",
+            vec!["metric".into(), "value".into()],
+            rows,
+        )
+    }
+}
+
+/// One region's point in Fig. 3(b) with its cluster assignment.
+#[derive(Debug, Clone, Serialize)]
+pub struct DriftPoint {
+    /// Zone code.
+    pub code: &'static str,
+    /// Change in annual mean CI, 2020 → 2022 (g).
+    pub delta_ci: f64,
+    /// Change in average daily CV, 2020 → 2022.
+    pub delta_cv: f64,
+    /// K-Means cluster index (0..3).
+    pub cluster: usize,
+}
+
+/// Fig. 3(b) results.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig3b {
+    /// All 123 drift points.
+    pub points: Vec<DriftPoint>,
+    /// Fraction of regions whose CI fell by more than 25 g.
+    pub decarbonizing_frac: f64,
+    /// Fraction whose CI rose by more than 25 g.
+    pub increasing_frac: f64,
+    /// Fraction within the ±25 g insignificance band.
+    pub stable_frac: f64,
+    /// K-Means centroids in `(ΔCI, ΔCV)` space.
+    pub centroids: Vec<Vec<f64>>,
+}
+
+/// Runs the Fig. 3(b) analysis (2020 → 2022 drift, K-Means++ k = 3).
+pub fn run_b(ctx: &Context) -> Fig3b {
+    let base = mean_cv_points(ctx, 2020);
+    let now = mean_cv_points(ctx, 2022);
+    let deltas: Vec<(&'static str, f64, f64)> = base
+        .iter()
+        .zip(&now)
+        .map(|(b, n)| (n.code, n.mean - b.mean, n.daily_cv - b.daily_cv))
+        .collect();
+    // Cluster on (ΔCI, scaled ΔCV) as the artifact does; CV deltas are two
+    // orders of magnitude smaller, so scale them up for K-Means.
+    let points_2d: Vec<Vec<f64>> = deltas
+        .iter()
+        .map(|(_, dci, dcv)| vec![*dci, dcv * 500.0])
+        .collect();
+    let clustering = kmeans::kmeans(&points_2d, 3, 0xF1B3, 200).expect("non-empty input");
+    let n = deltas.len() as f64;
+    let decarbonizing = deltas.iter().filter(|(_, d, _)| *d < -25.0).count() as f64 / n;
+    let increasing = deltas.iter().filter(|(_, d, _)| *d > 25.0).count() as f64 / n;
+    Fig3b {
+        points: deltas
+            .iter()
+            .zip(&clustering.assignments)
+            .map(|((code, dci, dcv), &cluster)| DriftPoint {
+                code,
+                delta_ci: *dci,
+                delta_cv: *dcv,
+                cluster,
+            })
+            .collect(),
+        decarbonizing_frac: decarbonizing,
+        increasing_frac: increasing,
+        stable_frac: 1.0 - decarbonizing - increasing,
+        centroids: clustering.centroids,
+    }
+}
+
+impl Fig3b {
+    /// Renders the Fig. 3(b) summary table.
+    pub fn table(&self) -> ExperimentTable {
+        let mut rows = vec![
+            vec![
+                "CI fell > 25 g (decarbonizing)".into(),
+                pct(self.decarbonizing_frac * 100.0),
+            ],
+            vec![
+                "CI rose > 25 g (increasing)".into(),
+                pct(self.increasing_frac * 100.0),
+            ],
+            vec![
+                "within +/-25 g (stable)".into(),
+                pct(self.stable_frac * 100.0),
+            ],
+        ];
+        for (i, c) in self.centroids.iter().enumerate() {
+            let members = self.points.iter().filter(|p| p.cluster == i).count();
+            rows.push(vec![
+                format!("cluster {i} centroid (dCI, dCV)"),
+                format!("{}, {} ({} regions)", f1(c[0]), f2(c[1] / 500.0), members),
+            ]);
+        }
+        ExperimentTable::new(
+            "fig3b",
+            "Fig 3(b): change in mean CI and daily CV, 2020-2022 (K-Means++ k=3)",
+            vec!["metric".into(), "value".into()],
+            rows,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3a_headline_claims_hold() {
+        let ctx = Context::default();
+        let fig = run_a(&ctx);
+        assert_eq!(fig.points.len(), 123);
+        // §4.1: 46 % above 400 g (we tolerate ±10 points).
+        assert!(
+            (0.36..0.56).contains(&fig.above_400_frac),
+            "above-400 {:.2}",
+            fig.above_400_frac
+        );
+        // §1: > 70 % of regions below 0.1 daily CV.
+        assert!(fig.low_cv_frac > 0.70, "low-CV {:.2}", fig.low_cv_frac);
+        // §4.1: ≈ 40× spread.
+        assert!(
+            (25.0..60.0).contains(&fig.spread),
+            "spread {:.0}",
+            fig.spread
+        );
+        assert_eq!(fig.quadrants.iter().sum::<usize>(), 123);
+    }
+
+    #[test]
+    fn fig3b_cluster_shares_match_paper() {
+        let ctx = Context::default();
+        let fig = run_b(&ctx);
+        // §4.2: ≈ 23 % decarbonizing, ≈ 20 % increasing, ≈ 57 % stable.
+        assert!(
+            (0.10..0.32).contains(&fig.decarbonizing_frac),
+            "decarb {:.2}",
+            fig.decarbonizing_frac
+        );
+        assert!(
+            (0.10..0.30).contains(&fig.increasing_frac),
+            "incr {:.2}",
+            fig.increasing_frac
+        );
+        assert!(
+            (0.45..0.75).contains(&fig.stable_frac),
+            "stable {:.2}",
+            fig.stable_frac
+        );
+        assert_eq!(fig.centroids.len(), 3);
+        // Every region got a cluster.
+        assert!(fig.points.iter().all(|p| p.cluster < 3));
+    }
+
+    #[test]
+    fn tables_render() {
+        let ctx = Context::default();
+        let a = format!("{}", run_a(&ctx).table());
+        assert!(a.contains("max/min spread"));
+        let b = format!("{}", run_b(&ctx).table());
+        assert!(b.contains("cluster 2 centroid"));
+    }
+}

@@ -1,0 +1,249 @@
+//! Fig. 5: spatial shifting under capacity constraints (§5.1.1–§5.1.2).
+//!
+//! * (a) infinite capacity: per-grouping reductions when all load migrates
+//!   to the global greenest region (Sweden);
+//! * (b) the same under 50 % idle capacity (water-filling);
+//! * (c) global reduction as a function of idle capacity, plus the §5.3.1
+//!   regression (every 1 % of idle capacity ≈ 1 % / ≈ 3.68 g of reduction).
+
+use decarb_core::capacity::{water_filling, IdleCapacity};
+use decarb_stats::regression::linear_fit;
+use decarb_traces::{GeoGroup, Region, GLOBAL_AVG_CI};
+use serde::Serialize;
+
+use crate::context::{Context, EVAL_YEAR};
+use crate::table::{f1, f2, pct, ExperimentTable};
+
+/// Per-grouping reduction rows for one capacity regime.
+#[derive(Debug, Clone, Serialize)]
+pub struct GroupReduction {
+    /// Grouping label.
+    pub group: String,
+    /// Average reduction of the grouping's origins (g·CO2eq).
+    pub reduction_g: f64,
+    /// The same relative to the global average CI, in percent.
+    pub relative_pct: f64,
+}
+
+/// One idle-capacity sweep point.
+#[derive(Debug, Clone, Serialize)]
+pub struct IdlePoint {
+    /// Idle fraction in `[0, 1)`.
+    pub idle: f64,
+    /// Global reduction (g·CO2eq per unit load).
+    pub reduction_g: f64,
+    /// Reduction relative to the global average CI, in percent.
+    pub relative_pct: f64,
+}
+
+/// Fig. 5 results.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig5 {
+    /// (a): per-grouping reductions with infinite capacity.
+    pub infinite: Vec<GroupReduction>,
+    /// (b): per-grouping reductions at 50 % idle capacity.
+    pub half_idle: Vec<GroupReduction>,
+    /// (c): the idle-capacity sweep.
+    pub sweep: Vec<IdlePoint>,
+    /// Regression slope of reduction (g) per 1 % idle capacity.
+    pub g_per_idle_pct: f64,
+    /// Global reduction at infinite capacity (the 352 g / 96 % headline).
+    pub global_infinite_g: f64,
+    /// Global reduction at 50 % idle (the 190 g / 52 % headline).
+    pub global_half_g: f64,
+}
+
+fn group_rows(
+    regions: &[(&'static Region, f64)],
+    per_region: &[(&'static Region, f64)],
+) -> Vec<GroupReduction> {
+    let mut rows = Vec::new();
+    // Global first, then each grouping.
+    let global: f64 = per_region.iter().map(|(_, r)| r).sum::<f64>() / per_region.len() as f64;
+    rows.push(GroupReduction {
+        group: "Global".into(),
+        reduction_g: global,
+        relative_pct: global / GLOBAL_AVG_CI * 100.0,
+    });
+    for group in GeoGroup::ALL {
+        let members: Vec<f64> = per_region
+            .iter()
+            .filter(|(r, _)| r.group == group)
+            .map(|(_, v)| *v)
+            .collect();
+        if members.is_empty() {
+            continue;
+        }
+        let mean = members.iter().sum::<f64>() / members.len() as f64;
+        rows.push(GroupReduction {
+            group: group.label().into(),
+            reduction_g: mean,
+            relative_pct: mean / GLOBAL_AVG_CI * 100.0,
+        });
+    }
+    let _ = regions;
+    rows
+}
+
+/// Runs the Fig. 5 analysis.
+pub fn run(ctx: &Context) -> Fig5 {
+    let means: Vec<(&'static Region, f64)> = ctx.data().annual_means(EVAL_YEAR);
+    let all = |_: &Region, _: &Region| true;
+
+    let infinite = water_filling(&means, IdleCapacity::Infinite, &all);
+    let half = water_filling(&means, IdleCapacity::Fraction(0.5), &all);
+
+    let mut sweep = Vec::new();
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for pct_idle in (0..=99).step_by(3) {
+        let f = pct_idle as f64 / 100.0;
+        let outcome = water_filling(&means, IdleCapacity::Fraction(f), &all);
+        let reduction = outcome.reduction_g();
+        sweep.push(IdlePoint {
+            idle: f,
+            reduction_g: reduction,
+            relative_pct: reduction / GLOBAL_AVG_CI * 100.0,
+        });
+        xs.push(pct_idle as f64);
+        ys.push(reduction);
+    }
+    let fit = linear_fit(&xs, &ys).expect("sweep has many points");
+
+    Fig5 {
+        infinite: group_rows(&means, &infinite.per_region_reduction),
+        half_idle: group_rows(&means, &half.per_region_reduction),
+        sweep,
+        g_per_idle_pct: fit.slope,
+        global_infinite_g: infinite.reduction_g(),
+        global_half_g: half.reduction_g(),
+    }
+}
+
+impl Fig5 {
+    /// Renders Fig. 5(a), (b) and (c) tables.
+    pub fn tables(&self) -> Vec<ExperimentTable> {
+        let render = |id: &str, title: String, rows: &[GroupReduction]| {
+            ExperimentTable::new(
+                id,
+                title,
+                vec![
+                    "grouping".into(),
+                    "reduction g".into(),
+                    "vs global avg".into(),
+                ],
+                rows.iter()
+                    .map(|r| vec![r.group.clone(), f1(r.reduction_g), pct(r.relative_pct)])
+                    .collect(),
+            )
+        };
+        let a = render(
+            "fig5a",
+            format!(
+                "Fig 5(a): spatial reduction, infinite capacity (global {} g)",
+                f1(self.global_infinite_g)
+            ),
+            &self.infinite,
+        );
+        let b = render(
+            "fig5b",
+            format!(
+                "Fig 5(b): spatial reduction, 50% idle capacity (global {} g)",
+                f1(self.global_half_g)
+            ),
+            &self.half_idle,
+        );
+        let c = ExperimentTable::new(
+            "fig5c",
+            format!(
+                "Fig 5(c): reduction vs idle capacity (slope {} g per 1% idle)",
+                f2(self.g_per_idle_pct)
+            ),
+            vec!["idle".into(), "reduction g".into(), "vs global avg".into()],
+            self.sweep
+                .iter()
+                .step_by(4)
+                .map(|p| vec![pct(p.idle * 100.0), f1(p.reduction_g), pct(p.relative_pct)])
+                .collect(),
+        );
+        vec![a, b, c]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn headline_numbers_match_paper_shape() {
+        let ctx = Context::default();
+        let fig = run(&ctx);
+        // §5.1.1: ideal global reduction ≈ 352 g ≈ 96 %.
+        assert!(
+            (320.0..380.0).contains(&fig.global_infinite_g),
+            "infinite {}",
+            fig.global_infinite_g
+        );
+        // §5.1.2: at 50 % idle ≈ 190 g ≈ 52 % (we allow a generous band).
+        assert!(
+            (150.0..240.0).contains(&fig.global_half_g),
+            "half {}",
+            fig.global_half_g
+        );
+        // Capacity constraint costs roughly a 1.9× reduction factor.
+        let ratio = fig.global_infinite_g / fig.global_half_g;
+        assert!((1.4..2.5).contains(&ratio), "ratio {ratio:.2}");
+    }
+
+    #[test]
+    fn asia_gains_most_europe_least() {
+        let ctx = Context::default();
+        let fig = run(&ctx);
+        let get = |rows: &[GroupReduction], label: &str| {
+            rows.iter()
+                .find(|r| r.group == label)
+                .map(|r| r.reduction_g)
+                .unwrap()
+        };
+        let asia = get(&fig.infinite, "Asia");
+        let europe = get(&fig.infinite, "Europe");
+        // §5.1.1: Asia ≈ 556 g (highest), Europe ≈ 281 g (lowest of the
+        // large groupings).
+        assert!(asia > 450.0, "asia {asia}");
+        assert!(europe < 330.0, "europe {europe}");
+        assert!(asia > europe);
+        // Asia's reductions largely survive the capacity constraint
+        // (§5.1.2: the dirtiest donors migrate first, and Asia hosts most
+        // of them).
+        let asia_half = get(&fig.half_idle, "Asia");
+        let global_half = get(&fig.half_idle, "Global");
+        assert!(asia_half > 300.0, "asia at 50% idle {asia_half}");
+        assert!(asia_half > 1.5 * global_half, "asia keeps its lead");
+    }
+
+    #[test]
+    fn sweep_monotone_and_linearish() {
+        let ctx = Context::default();
+        let fig = run(&ctx);
+        for pair in fig.sweep.windows(2) {
+            assert!(pair[1].reduction_g >= pair[0].reduction_g - 1e-9);
+        }
+        // §5.3.1: ≈ 3.68 g per 1 % idle capacity.
+        assert!(
+            (2.5..4.5).contains(&fig.g_per_idle_pct),
+            "slope {}",
+            fig.g_per_idle_pct
+        );
+        // 99 % idle approaches the 95.68 % headline.
+        let last = fig.sweep.last().unwrap();
+        assert!(last.relative_pct > 85.0, "99% idle {}", last.relative_pct);
+    }
+
+    #[test]
+    fn tables_render() {
+        let ctx = Context::default();
+        let tables = run(&ctx).tables();
+        assert_eq!(tables.len(), 3);
+        assert!(format!("{}", tables[0]).contains("Global"));
+    }
+}

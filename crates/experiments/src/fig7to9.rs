@@ -1,0 +1,261 @@
+//! Figs. 7, 8 and 9: deferral and interruptibility bounds by job length
+//! (§5.2.1–§5.2.3).
+//!
+//! All three figures are views of the same sweep: per-region, per-length
+//! average costs under baseline / deferred / deferred+interruptible
+//! policies, for the ideal one-year slack and the practical 24-hour slack.
+//! The context memoizes sweeps, so running all three figures costs one
+//! pass.
+
+use decarb_traces::GLOBAL_AVG_CI;
+use serde::Serialize;
+
+use crate::context::Context;
+use crate::table::{f1, pct, ExperimentTable};
+
+/// Job lengths analyzed by the temporal figures (whole-hour grid; the
+/// 36-second interactive bucket has no temporal flexibility).
+pub const TEMPORAL_LENGTHS: [usize; 7] = [1, 6, 12, 24, 48, 96, 168];
+
+/// Slack settings compared throughout: (label, hours).
+pub const SLACKS: [(&str, usize); 2] = [("1Y", 365 * 24), ("24H", 24)];
+
+/// One `(length, slack)` cell of the temporal analysis.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct LengthRow {
+    /// Job length in hours.
+    pub length: usize,
+    /// Slack in hours.
+    pub slack: usize,
+    /// Global mean deferral saving per job hour (Fig. 7's y-axis).
+    pub deferral_g: f64,
+    /// Global mean *extra* interruptibility saving per job hour (Fig. 8).
+    pub interrupt_extra_g: f64,
+    /// Global mean total saving per job hour (Fig. 9 = 7 + 8).
+    pub total_g: f64,
+}
+
+/// Results for Figs. 7–9.
+#[derive(Debug, Clone, Serialize)]
+pub struct TemporalFigures {
+    /// One row per `(length, slack)` combination.
+    pub rows: Vec<LengthRow>,
+}
+
+impl TemporalFigures {
+    /// Returns the rows for one slack setting, ordered by length.
+    pub fn for_slack(&self, slack: usize) -> Vec<&LengthRow> {
+        self.rows.iter().filter(|r| r.slack == slack).collect()
+    }
+}
+
+/// Runs the shared sweep behind Figs. 7–9.
+pub fn run(ctx: &Context) -> TemporalFigures {
+    let mut rows = Vec::new();
+    for (_, slack) in SLACKS {
+        for length in TEMPORAL_LENGTHS {
+            let stats = ctx.temporal_stats(length, slack);
+            let deferral = Context::global_mean_of(&stats, |s| s.deferral_saving());
+            let extra = Context::global_mean_of(&stats, |s| s.interrupt_extra_saving());
+            rows.push(LengthRow {
+                length,
+                slack,
+                deferral_g: deferral,
+                interrupt_extra_g: extra,
+                total_g: deferral + extra,
+            });
+        }
+    }
+    TemporalFigures { rows }
+}
+
+fn render(
+    id: &str,
+    title: &str,
+    figures: &TemporalFigures,
+    value: impl Fn(&LengthRow) -> f64,
+) -> ExperimentTable {
+    let mut rows = Vec::new();
+    for length in TEMPORAL_LENGTHS {
+        let mut cells = vec![format!("{length}h")];
+        for (_, slack) in SLACKS {
+            let row = figures
+                .rows
+                .iter()
+                .find(|r| r.length == length && r.slack == slack)
+                .expect("all combinations computed");
+            let v = value(row);
+            cells.push(f1(v));
+            cells.push(pct(v / GLOBAL_AVG_CI * 100.0));
+        }
+        rows.push(cells);
+    }
+    ExperimentTable::new(
+        id,
+        title,
+        vec![
+            "job length".into(),
+            "1Y slack g/h".into(),
+            "1Y rel".into(),
+            "24H slack g/h".into(),
+            "24H rel".into(),
+        ],
+        rows,
+    )
+}
+
+impl TemporalFigures {
+    /// Renders Fig. 7 (deferral savings per job hour).
+    pub fn fig7_table(&self) -> ExperimentTable {
+        render(
+            "fig7",
+            "Fig 7: carbon reduction from deferrability, per job hour",
+            self,
+            |r| r.deferral_g,
+        )
+    }
+
+    /// Renders Fig. 8 (extra interruptibility savings per job hour).
+    pub fn fig8_table(&self) -> ExperimentTable {
+        render(
+            "fig8",
+            "Fig 8: additional reduction from interruptibility, per job hour",
+            self,
+            |r| r.interrupt_extra_g,
+        )
+    }
+
+    /// Renders Fig. 9 (combined savings per job hour).
+    pub fn fig9_table(&self) -> ExperimentTable {
+        render(
+            "fig9",
+            "Fig 9: combined deferral + interruptibility reduction, per job hour",
+            self,
+            |r| r.total_g,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::shared;
+    use std::sync::OnceLock;
+
+    fn figures() -> &'static TemporalFigures {
+        static FIGS: OnceLock<TemporalFigures> = OnceLock::new();
+        FIGS.get_or_init(|| run(shared()))
+    }
+
+    #[test]
+    fn fig7_deferral_decreases_with_length_ideal() {
+        let fig = figures();
+        let ideal = fig.for_slack(365 * 24);
+        // §5.2.1: per-unit reductions fall from ≈ 154 g (1 h) to ≈ 70 g
+        // (168 h) with one-year slack.
+        let one_h = ideal.first().unwrap();
+        let week = ideal.last().unwrap();
+        assert!(
+            (90.0..220.0).contains(&one_h.deferral_g),
+            "1h ideal {}",
+            one_h.deferral_g
+        );
+        assert!(week.deferral_g < one_h.deferral_g, "must decrease");
+        assert!(
+            week.deferral_g / one_h.deferral_g < 0.75,
+            "168h/1h ratio {:.2}",
+            week.deferral_g / one_h.deferral_g
+        );
+        for pair in ideal.windows(2) {
+            assert!(
+                pair[1].deferral_g <= pair[0].deferral_g + 1e-9,
+                "monotone decreasing in length"
+            );
+        }
+    }
+
+    #[test]
+    fn fig7_practical_slack_much_smaller() {
+        let fig = figures();
+        let practical = fig.for_slack(24);
+        // §5.2.1: 24 h slack yields ≈ 57 g (1 h) falling to ≈ 3 g (168 h).
+        let one_h = practical.first().unwrap();
+        let week = practical.last().unwrap();
+        assert!(
+            (20.0..90.0).contains(&one_h.deferral_g),
+            "1h practical {}",
+            one_h.deferral_g
+        );
+        assert!(week.deferral_g < 15.0, "168h practical {}", week.deferral_g);
+        // The ideal/practical gap is the paper's headline.
+        let ideal_one_h = fig.for_slack(365 * 24)[0].deferral_g;
+        assert!(ideal_one_h > 1.8 * one_h.deferral_g);
+    }
+
+    #[test]
+    fn fig8_interruptibility_grows_with_length_ideal() {
+        let fig = figures();
+        let ideal = fig.for_slack(365 * 24);
+        // §5.2.2: 0 g for a 1 h job, growing with length (to ≈ 43 g).
+        assert!(ideal[0].interrupt_extra_g < 1e-9, "1h job can't interrupt");
+        let week = ideal.last().unwrap();
+        assert!(
+            week.interrupt_extra_g > 5.0,
+            "168h extra {}",
+            week.interrupt_extra_g
+        );
+        assert!(
+            week.interrupt_extra_g > ideal[1].interrupt_extra_g,
+            "longer jobs gain more"
+        );
+    }
+
+    #[test]
+    fn fig8_practical_peaks_near_24h_jobs() {
+        let fig = figures();
+        let practical = fig.for_slack(24);
+        // §5.2.2: with 24 h slack the extra saving peaks around 24 h jobs
+        // (≈ 18 g) and declines for longer jobs.
+        let peak = practical
+            .iter()
+            .max_by(|a, b| a.interrupt_extra_g.total_cmp(&b.interrupt_extra_g))
+            .unwrap();
+        assert!((6..=48).contains(&peak.length), "peak at {}h", peak.length);
+        let week = practical.last().unwrap();
+        assert!(week.interrupt_extra_g < peak.interrupt_extra_g);
+    }
+
+    #[test]
+    fn fig9_total_is_sum_and_long_jobs_gain_little_practically() {
+        let fig = figures();
+        for row in &fig.rows {
+            assert!((row.total_g - (row.deferral_g + row.interrupt_extra_g)).abs() < 1e-9);
+        }
+        // §5.2.3: a 168 h job with 24 h slack saves only ≈ 3 %.
+        let week_practical = fig
+            .rows
+            .iter()
+            .find(|r| r.length == 168 && r.slack == 24)
+            .unwrap();
+        let rel = week_practical.total_g / GLOBAL_AVG_CI * 100.0;
+        assert!(rel < 10.0, "168h practical total {rel:.1}%");
+        // §5.2.3: with one-year slack interruptibility lifts a 168 h job's
+        // total meaningfully above deferral alone.
+        let week_ideal = fig
+            .rows
+            .iter()
+            .find(|r| r.length == 168 && r.slack == 365 * 24)
+            .unwrap();
+        assert!(week_ideal.total_g > week_ideal.deferral_g * 1.05);
+    }
+
+    #[test]
+    fn tables_render() {
+        let fig = figures();
+        for t in [fig.fig7_table(), fig.fig8_table(), fig.fig9_table()] {
+            let s = format!("{t}");
+            assert!(s.contains("168h"));
+            assert!(s.contains("1Y slack"));
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Plain-text table rendering for experiment output.
+
+use serde::Serialize;
+
+/// A rendered experiment table: the rows/series a paper figure reports.
+#[derive(Debug, Clone, Serialize)]
+pub struct ExperimentTable {
+    /// Experiment identifier, e.g. `"fig5a"`.
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Formatted body cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl ExperimentTable {
+    /// Creates a table from headers and rows.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        columns: Vec<String>,
+        rows: Vec<Vec<String>>,
+    ) -> Self {
+        Self {
+            id: id.into(),
+            title: title.into(),
+            columns,
+            rows,
+        }
+    }
+}
+
+impl std::fmt::Display for ExperimentTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i < widths.len() {
+                    widths[i] = widths[i].max(cell.len());
+                } else {
+                    widths.push(cell.len());
+                }
+            }
+        }
+        writeln!(f, "== {} [{}] ==", self.title, self.id)?;
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:width$}", c, width = widths[i]))
+            .collect();
+        writeln!(f, "| {} |", header.join(" | "))?;
+        let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        writeln!(f, "|-{}-|", rule.join("-|-"))?;
+        for row in &self.rows {
+            let cells: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:width$}", c, width = widths.get(i).copied().unwrap_or(0)))
+                .collect();
+            writeln!(f, "| {} |", cells.join(" | "))?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float with one decimal place.
+pub fn f1(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+/// Formats a float with two decimal places.
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Formats a percentage with one decimal place.
+pub fn pct(v: f64) -> String {
+    format!("{v:.1}%")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let t = ExperimentTable::new(
+            "figX",
+            "Example",
+            vec!["region".into(), "value".into()],
+            vec![
+                vec!["SE".into(), "16.0".into()],
+                vec!["US-CA".into(), "250.0".into()],
+            ],
+        );
+        let s = format!("{t}");
+        assert!(s.contains("== Example [figX] =="));
+        assert!(s.contains("| region | value"));
+        assert!(s.contains("| US-CA  | 250.0"));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(f1(3.46159), "3.5");
+        assert_eq!(f2(3.46159), "3.46");
+        assert_eq!(pct(51.54), "51.5%");
+    }
+
+    #[test]
+    fn ragged_rows_do_not_panic() {
+        let t = ExperimentTable::new(
+            "figY",
+            "Ragged",
+            vec!["a".into()],
+            vec![vec!["1".into(), "extra".into()]],
+        );
+        let s = format!("{t}");
+        assert!(s.contains("extra"));
+    }
+}

@@ -1,0 +1,240 @@
+//! Minimal dense linear algebra for the ridge regression in [`crate::linear`].
+//!
+//! The feature dimension is tiny (≈ 12), so a straightforward Gaussian
+//! elimination with partial pivoting is both simple and fast; no external
+//! linear-algebra dependency is justified.
+
+/// A dense row-major matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a zero matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Returns the number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Returns the number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns the element at `(r, c)`.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets the element at `(r, c)`.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Adds `v` to the element at `(r, c)`.
+    #[inline]
+    pub fn add(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * self.cols + c] += v;
+    }
+}
+
+/// Solves the square system `A x = b` in place via Gaussian elimination
+/// with partial pivoting.
+///
+/// Returns `None` when the system is (numerically) singular — the caller
+/// decides how to degrade. `A` and `b` are consumed as working storage.
+pub fn solve(mut a: Matrix, mut b: Vec<f64>) -> Option<Vec<f64>> {
+    let n = a.rows();
+    assert_eq!(n, a.cols(), "solve requires a square matrix");
+    assert_eq!(n, b.len(), "rhs length must match");
+    const SINGULAR_EPS: f64 = 1e-12;
+
+    for col in 0..n {
+        // Partial pivot: the largest |entry| on or below the diagonal.
+        let pivot_row = (col..n)
+            .max_by(|&r1, &r2| a.get(r1, col).abs().total_cmp(&a.get(r2, col).abs()))
+            .expect("non-empty range");
+        if a.get(pivot_row, col).abs() < SINGULAR_EPS {
+            return None;
+        }
+        if pivot_row != col {
+            for c in 0..n {
+                let tmp = a.get(col, c);
+                a.set(col, c, a.get(pivot_row, c));
+                a.set(pivot_row, c, tmp);
+            }
+            b.swap(col, pivot_row);
+        }
+        let pivot = a.get(col, col);
+        for row in col + 1..n {
+            let factor = a.get(row, col) / pivot;
+            if factor == 0.0 {
+                continue;
+            }
+            for c in col..n {
+                let v = a.get(row, c) - factor * a.get(col, c);
+                a.set(row, c, v);
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for (c, &xc) in x.iter().enumerate().skip(row + 1) {
+            acc -= a.get(row, c) * xc;
+        }
+        x[row] = acc / a.get(row, row);
+    }
+    Some(x)
+}
+
+/// Solves the ridge-regularized least-squares problem
+/// `min ‖X w − y‖² + λ‖w‖²` via the normal equations
+/// `(XᵀX + λI) w = Xᵀy`.
+///
+/// `x` holds one feature row per observation; `y` the targets. The
+/// intercept, if wanted, must be an explicit all-ones feature column
+/// (conventionally excluded from regularization; for the tiny λ used here
+/// the distinction is immaterial, so this routine regularizes uniformly).
+///
+/// Returns `None` when the normal equations are singular even after
+/// regularization (e.g. zero observations).
+pub fn ridge(x: &[Vec<f64>], y: &[f64], lambda: f64) -> Option<Vec<f64>> {
+    assert_eq!(x.len(), y.len(), "feature/target counts must match");
+    let n = x.len();
+    if n == 0 {
+        return None;
+    }
+    let d = x[0].len();
+    let mut xtx = Matrix::zeros(d, d);
+    let mut xty = vec![0.0; d];
+    for (row, &target) in x.iter().zip(y) {
+        assert_eq!(row.len(), d, "ragged feature rows");
+        for i in 0..d {
+            xty[i] += row[i] * target;
+            for j in i..d {
+                xtx.add(i, j, row[i] * row[j]);
+            }
+        }
+    }
+    // Mirror the upper triangle and add the ridge.
+    for i in 0..d {
+        for j in 0..i {
+            let v = xtx.get(j, i);
+            xtx.set(i, j, v);
+        }
+        xtx.add(i, i, lambda);
+    }
+    solve(xtx, xty)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_small_system_exactly() {
+        // 2x + y = 5; x − y = 1  →  x = 2, y = 1.
+        let mut a = Matrix::zeros(2, 2);
+        a.set(0, 0, 2.0);
+        a.set(0, 1, 1.0);
+        a.set(1, 0, 1.0);
+        a.set(1, 1, -1.0);
+        let x = solve(a, vec![5.0, 1.0]).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_diagonal() {
+        // Without pivoting this system fails on the zero at (0,0).
+        let mut a = Matrix::zeros(2, 2);
+        a.set(0, 0, 0.0);
+        a.set(0, 1, 1.0);
+        a.set(1, 0, 1.0);
+        a.set(1, 1, 0.0);
+        let x = solve(a, vec![3.0, 4.0]).unwrap();
+        assert!((x[0] - 4.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_system_returns_none() {
+        let mut a = Matrix::zeros(2, 2);
+        a.set(0, 0, 1.0);
+        a.set(0, 1, 2.0);
+        a.set(1, 0, 2.0);
+        a.set(1, 1, 4.0);
+        assert!(solve(a, vec![1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn ridge_recovers_linear_relation() {
+        // y = 3 a − 2 b + 1 with an intercept column.
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..50 {
+            let a = (i as f64 * 0.37).sin();
+            let b = (i as f64 * 0.11).cos();
+            rows.push(vec![a, b, 1.0]);
+            y.push(3.0 * a - 2.0 * b + 1.0);
+        }
+        let w = ridge(&rows, &y, 1e-9).unwrap();
+        assert!((w[0] - 3.0).abs() < 1e-6, "w0 {}", w[0]);
+        assert!((w[1] + 2.0).abs() < 1e-6, "w1 {}", w[1]);
+        assert!((w[2] - 1.0).abs() < 1e-6, "w2 {}", w[2]);
+    }
+
+    #[test]
+    fn ridge_shrinks_under_collinearity() {
+        // Two identical features: OLS is singular, ridge splits the weight.
+        let rows: Vec<Vec<f64>> = (0..30)
+            .map(|i| {
+                let v = i as f64 / 10.0;
+                vec![v, v]
+            })
+            .collect();
+        let y: Vec<f64> = rows.iter().map(|r| 4.0 * r[0]).collect();
+        let w = ridge(&rows, &y, 1e-6).unwrap();
+        assert!((w[0] - w[1]).abs() < 1e-6, "symmetric split");
+        assert!((w[0] + w[1] - 4.0).abs() < 1e-3, "sum ≈ 4");
+    }
+
+    #[test]
+    fn ridge_with_no_observations_is_none() {
+        assert!(ridge(&[], &[], 1.0).is_none());
+    }
+
+    #[test]
+    fn matrix_accessors() {
+        let mut m = Matrix::zeros(2, 3);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+        m.set(1, 2, 5.0);
+        m.add(1, 2, 1.5);
+        assert_eq!(m.get(1, 2), 6.5);
+        assert_eq!(m.get(0, 0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn non_square_solve_panics() {
+        solve(Matrix::zeros(2, 3), vec![0.0, 0.0]);
+    }
+}

@@ -1,0 +1,226 @@
+//! Forecast accuracy metrics.
+//!
+//! CarbonCast reports mean absolute percentage error (MAPE); the paper's
+//! §6.2 translates a given error magnitude into a carbon-emission
+//! increase. This module provides MAPE plus the standard companions (RMSE,
+//! MAE, bias) and per-lead-day aggregation for multi-day forecasts.
+
+use serde::Serialize;
+
+/// Mean absolute percentage error, in percent.
+///
+/// Hours with zero actual value are skipped (a percentage error is
+/// undefined there); returns 0 when nothing remains.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn mape_pct(actual: &[f64], predicted: &[f64]) -> f64 {
+    assert_eq!(actual.len(), predicted.len(), "series must align");
+    let mut total = 0.0;
+    let mut n = 0usize;
+    for (&a, &p) in actual.iter().zip(predicted) {
+        if a == 0.0 {
+            continue;
+        }
+        total += ((a - p) / a).abs();
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        total / n as f64 * 100.0
+    }
+}
+
+/// Root-mean-square error in the units of the series (g·CO2eq/kWh).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn rmse(actual: &[f64], predicted: &[f64]) -> f64 {
+    assert_eq!(actual.len(), predicted.len(), "series must align");
+    if actual.is_empty() {
+        return 0.0;
+    }
+    let sq: f64 = actual
+        .iter()
+        .zip(predicted)
+        .map(|(&a, &p)| (a - p) * (a - p))
+        .sum();
+    (sq / actual.len() as f64).sqrt()
+}
+
+/// Mean absolute error in the units of the series.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn mae(actual: &[f64], predicted: &[f64]) -> f64 {
+    assert_eq!(actual.len(), predicted.len(), "series must align");
+    if actual.is_empty() {
+        return 0.0;
+    }
+    let abs: f64 = actual
+        .iter()
+        .zip(predicted)
+        .map(|(&a, &p)| (a - p).abs())
+        .sum();
+    abs / actual.len() as f64
+}
+
+/// Mean signed bias `predicted − actual`; positive means the forecaster
+/// over-predicts.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn mean_bias(actual: &[f64], predicted: &[f64]) -> f64 {
+    assert_eq!(actual.len(), predicted.len(), "series must align");
+    if actual.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = actual.iter().zip(predicted).map(|(&a, &p)| p - a).sum();
+    sum / actual.len() as f64
+}
+
+/// The error profile of one forecast (or one pooled set of forecasts).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct ForecastErrors {
+    /// Mean absolute percentage error, percent.
+    pub mape_pct: f64,
+    /// Root-mean-square error, g·CO2eq/kWh.
+    pub rmse: f64,
+    /// Mean absolute error, g·CO2eq/kWh.
+    pub mae: f64,
+    /// Mean signed bias (predicted − actual), g·CO2eq/kWh.
+    pub bias: f64,
+}
+
+impl ForecastErrors {
+    /// Computes all metrics over one aligned pair of series.
+    pub fn of(actual: &[f64], predicted: &[f64]) -> Self {
+        Self {
+            mape_pct: mape_pct(actual, predicted),
+            rmse: rmse(actual, predicted),
+            mae: mae(actual, predicted),
+            bias: mean_bias(actual, predicted),
+        }
+    }
+}
+
+/// MAPE aggregated per lead day: entry `d` pools all forecast hours with
+/// lead time in `[24 d, 24 (d+1))` across every (actual, predicted) pair.
+///
+/// CarbonCast reports accuracy this way (day-1 vs day-2 vs day-3 ahead);
+/// the decay across lead days is the signal schedulers care about, since a
+/// 24-hour-slack deferral only consumes day-1 forecasts while a 96-hour
+/// one consumes day-4.
+pub fn mape_by_lead_day(pairs: &[(&[f64], &[f64])], horizon: usize) -> Vec<f64> {
+    let days = horizon.div_ceil(24);
+    let mut total = vec![0.0; days];
+    let mut count = vec![0usize; days];
+    for (actual, predicted) in pairs {
+        assert_eq!(actual.len(), predicted.len(), "series must align");
+        for (k, (&a, &p)) in actual.iter().zip(*predicted).enumerate() {
+            if k >= horizon || a == 0.0 {
+                continue;
+            }
+            let d = k / 24;
+            total[d] += ((a - p) / a).abs();
+            count[d] += 1;
+        }
+    }
+    total
+        .iter()
+        .zip(&count)
+        .map(|(&t, &n)| if n == 0 { 0.0 } else { t / n as f64 * 100.0 })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_forecast_has_zero_errors() {
+        let a = [100.0, 200.0, 300.0];
+        let e = ForecastErrors::of(&a, &a);
+        assert_eq!(e.mape_pct, 0.0);
+        assert_eq!(e.rmse, 0.0);
+        assert_eq!(e.mae, 0.0);
+        assert_eq!(e.bias, 0.0);
+    }
+
+    #[test]
+    fn mape_is_scale_free() {
+        let a = [100.0, 200.0];
+        let p = [110.0, 220.0];
+        assert!((mape_pct(&a, &p) - 10.0).abs() < 1e-12);
+        let a10: Vec<f64> = a.iter().map(|v| v * 10.0).collect();
+        let p10: Vec<f64> = p.iter().map(|v| v * 10.0).collect();
+        assert!((mape_pct(&a10, &p10) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mape_skips_zero_actuals() {
+        let a = [0.0, 100.0];
+        let p = [50.0, 150.0];
+        assert!((mape_pct(&a, &p) - 50.0).abs() < 1e-12);
+        assert_eq!(mape_pct(&[0.0], &[5.0]), 0.0);
+    }
+
+    #[test]
+    fn rmse_penalizes_outliers_more_than_mae() {
+        let a = [100.0; 4];
+        let p = [100.0, 100.0, 100.0, 140.0];
+        assert!(rmse(&a, &p) > mae(&a, &p));
+        assert!((mae(&a, &p) - 10.0).abs() < 1e-12);
+        assert!((rmse(&a, &p) - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bias_sign_convention() {
+        let a = [100.0, 100.0];
+        assert!(mean_bias(&a, &[110.0, 110.0]) > 0.0, "over-prediction");
+        assert!(mean_bias(&a, &[90.0, 90.0]) < 0.0, "under-prediction");
+    }
+
+    #[test]
+    fn empty_series_yield_zeros() {
+        let e = ForecastErrors::of(&[], &[]);
+        assert_eq!(e.rmse, 0.0);
+        assert_eq!(e.mae, 0.0);
+        assert_eq!(e.bias, 0.0);
+    }
+
+    #[test]
+    fn lead_day_aggregation_buckets_correctly() {
+        // 48-hour forecast: day 1 perfect, day 2 off by 10 %.
+        let actual: Vec<f64> = vec![100.0; 48];
+        let mut predicted = vec![100.0; 24];
+        predicted.extend(vec![110.0; 24]);
+        let by_day = mape_by_lead_day(&[(&actual[..], &predicted[..])], 48);
+        assert_eq!(by_day.len(), 2);
+        assert!((by_day[0] - 0.0).abs() < 1e-12);
+        assert!((by_day[1] - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lead_day_pools_across_pairs() {
+        let a = [100.0; 24];
+        let p1 = [120.0; 24];
+        let p2 = [100.0; 24];
+        let by_day = mape_by_lead_day(&[(&a[..], &p1[..]), (&a[..], &p2[..])], 24);
+        assert!(
+            (by_day[0] - 10.0).abs() < 1e-12,
+            "pooled mean of 20% and 0%"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "must align")]
+    fn mismatched_lengths_panic() {
+        mape_pct(&[1.0], &[1.0, 2.0]);
+    }
+}

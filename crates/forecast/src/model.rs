@@ -1,0 +1,86 @@
+//! The forecaster interface.
+
+use decarb_traces::{Hour, TimeSeries};
+
+/// A carbon-intensity forecaster.
+///
+/// A forecaster sees the trace *history* — every hourly sample strictly
+/// before the forecast origin `history.end()` — and predicts the next
+/// `horizon` hourly values. Implementations must be deterministic: the
+/// same history and horizon always produce the same forecast (schedulers
+/// built on top rely on replayability).
+pub trait Forecaster {
+    /// Returns a short model name for tables and reports.
+    fn name(&self) -> &'static str;
+
+    /// Predicts the `horizon` hourly values following `history.end()`.
+    ///
+    /// The returned vector has exactly `horizon` entries; entry `k` is the
+    /// prediction for hour `history.end() + k`. Implementations must cope
+    /// with histories shorter than their preferred context by degrading
+    /// gracefully (e.g. falling back to the history mean), never by
+    /// panicking, as long as the history holds at least one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `history` is empty.
+    fn predict(&self, history: &TimeSeries, horizon: usize) -> Vec<f64>;
+
+    /// Predicts and wraps the result as a [`TimeSeries`] anchored at the
+    /// forecast origin.
+    fn predict_series(&self, history: &TimeSeries, horizon: usize) -> TimeSeries {
+        TimeSeries::new(history.end(), self.predict(history, horizon))
+    }
+}
+
+/// The minimum history (in hours) a forecaster can always rely on in the
+/// rolling backtests of this workspace: one week of hourly samples.
+pub const MIN_HISTORY_HOURS: usize = 168;
+
+/// Returns the trailing `len` samples of `history` (or everything when the
+/// history is shorter), with the absolute hour of the first returned
+/// sample.
+///
+/// Convenience shared by the concrete models.
+pub(crate) fn tail(history: &TimeSeries, len: usize) -> (Hour, &[f64]) {
+    let values = history.values();
+    let skip = values.len().saturating_sub(len);
+    (history.start().plus(skip), &values[skip..])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Flat;
+    impl Forecaster for Flat {
+        fn name(&self) -> &'static str {
+            "flat"
+        }
+        fn predict(&self, history: &TimeSeries, horizon: usize) -> Vec<f64> {
+            assert!(!history.is_empty(), "history must be non-empty");
+            vec![history.mean(); horizon]
+        }
+    }
+
+    #[test]
+    fn predict_series_is_anchored_at_origin() {
+        let history = TimeSeries::new(Hour(5), vec![1.0, 3.0]);
+        let fc = Flat.predict_series(&history, 3);
+        assert_eq!(fc.start(), Hour(7));
+        assert_eq!(fc.len(), 3);
+        assert_eq!(fc.values(), &[2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn tail_returns_trailing_window() {
+        let history = TimeSeries::new(Hour(0), vec![1.0, 2.0, 3.0, 4.0]);
+        let (start, values) = tail(&history, 2);
+        assert_eq!(start, Hour(2));
+        assert_eq!(values, &[3.0, 4.0]);
+        // Longer than the history: everything comes back.
+        let (start, values) = tail(&history, 10);
+        assert_eq!(start, Hour(0));
+        assert_eq!(values.len(), 4);
+    }
+}

@@ -1,0 +1,156 @@
+//! Datacenter and cloud state.
+
+use std::collections::HashMap;
+
+use decarb_traces::{Hour, Region, TraceSet};
+use decarb_workloads::Job;
+
+/// A running (or suspended) job instance inside a datacenter.
+#[derive(Debug, Clone)]
+pub struct RunningJob {
+    /// The job being executed.
+    pub job: Job,
+    /// Hours of work still to perform.
+    pub remaining_slots: usize,
+    /// Emissions accumulated so far (g·CO2eq).
+    pub emitted_g: f64,
+    /// Whether the job is currently suspended.
+    pub suspended: bool,
+    /// Hour of the job's first executed slot, once it has run.
+    pub started: Option<Hour>,
+}
+
+impl RunningJob {
+    /// Creates a freshly admitted (not yet running) instance.
+    pub fn admitted(job: Job) -> Self {
+        let remaining = job.length_slots();
+        Self {
+            job,
+            remaining_slots: remaining,
+            emitted_g: 0.0,
+            suspended: true,
+            started: None,
+        }
+    }
+
+    /// Returns `true` once the job has executed at least one slot.
+    pub fn has_run(&self) -> bool {
+        self.started.is_some()
+    }
+}
+
+/// One region's datacenter with a fixed capacity in job slots.
+#[derive(Debug, Clone)]
+pub struct Datacenter {
+    /// The region this datacenter draws power from.
+    pub region: &'static Region,
+    /// Maximum number of concurrently *running* (non-suspended) jobs.
+    pub capacity: usize,
+    /// Jobs admitted to this datacenter (running or suspended).
+    pub jobs: Vec<RunningJob>,
+}
+
+impl Datacenter {
+    /// Creates a datacenter with `capacity` slots.
+    pub fn new(region: &'static Region, capacity: usize) -> Self {
+        Self {
+            region,
+            capacity,
+            jobs: Vec::new(),
+        }
+    }
+
+    /// Returns the number of actively running jobs.
+    pub fn running(&self) -> usize {
+        self.jobs.iter().filter(|j| !j.suspended).count()
+    }
+
+    /// Returns the number of free capacity slots.
+    pub fn free_slots(&self) -> usize {
+        self.capacity.saturating_sub(self.running())
+    }
+}
+
+/// A read-only view of the cloud handed to policies.
+pub struct CloudView<'a> {
+    /// All datacenters keyed by zone code.
+    pub datacenters: &'a HashMap<&'static str, Datacenter>,
+    /// The carbon traces.
+    pub traces: &'a TraceSet,
+    /// The current simulation hour.
+    pub now: Hour,
+}
+
+impl CloudView<'_> {
+    /// Returns the current carbon-intensity of a zone.
+    pub fn current_ci(&self, code: &str) -> Option<f64> {
+        self.traces.series(code).ok()?.at(self.now)
+    }
+
+    /// Returns the zone with the lowest current CI among those with free
+    /// capacity, if any.
+    pub fn greenest_with_capacity(&self) -> Option<&'static str> {
+        self.datacenters
+            .values()
+            .filter(|dc| dc.free_slots() > 0)
+            .filter_map(|dc| {
+                self.current_ci(dc.region.code)
+                    .map(|ci| (dc.region.code, ci))
+            })
+            .min_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(b.0)))
+            .map(|(code, _)| code)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decarb_traces::builtin_dataset;
+    use decarb_traces::catalog::region;
+    use decarb_traces::time::year_start;
+    use decarb_workloads::Slack;
+
+    #[test]
+    fn capacity_accounting() {
+        let mut dc = Datacenter::new(region("SE").unwrap(), 2);
+        assert_eq!(dc.free_slots(), 2);
+        let mut active = RunningJob::admitted(Job::batch(1, "SE", Hour(0), 4.0, Slack::None));
+        active.suspended = false;
+        dc.jobs.push(active);
+        dc.jobs.push(RunningJob::admitted(Job::batch(
+            2,
+            "SE",
+            Hour(0),
+            4.0,
+            Slack::None,
+        )));
+        assert_eq!(dc.running(), 1);
+        assert_eq!(dc.free_slots(), 1);
+    }
+
+    #[test]
+    fn admitted_jobs_have_not_run() {
+        let rj = RunningJob::admitted(Job::batch(1, "SE", Hour(0), 3.0, Slack::None));
+        assert!(rj.suspended);
+        assert!(!rj.has_run());
+        assert_eq!(rj.remaining_slots, 3);
+        assert_eq!(rj.emitted_g, 0.0);
+    }
+
+    #[test]
+    fn view_finds_greenest_free() {
+        let traces = builtin_dataset();
+        let mut dcs = HashMap::new();
+        for code in ["SE", "PL", "IN-WE"] {
+            dcs.insert(code, Datacenter::new(region(code).unwrap(), 1));
+        }
+        let view = CloudView {
+            datacenters: &dcs,
+            traces: &traces,
+            now: year_start(2022),
+        };
+        assert_eq!(view.greenest_with_capacity(), Some("SE"));
+        assert!(view.current_ci("SE").unwrap() < view.current_ci("PL").unwrap());
+        assert!(view.current_ci("NOPE").is_none());
+    }
+}

@@ -1,0 +1,572 @@
+//! The hourly discrete-event simulation engine.
+//!
+//! Time advances in one-hour steps (the carbon traces' resolution). Each
+//! step processes, in order: arrivals → planned starts → run-set selection
+//! (capacity and suspend decisions) → execution and accounting. Planned
+//! starts live in an event calendar keyed by hour, so deferring policies
+//! cost nothing until their chosen start arrives.
+
+use std::collections::{BinaryHeap, HashMap};
+
+use decarb_traces::{Hour, Region, TraceSet};
+use decarb_workloads::Job;
+
+use crate::accounting::{CompletedJob, SimReport};
+use crate::cluster::{CloudView, Datacenter, RunningJob};
+use crate::overheads::OverheadModel;
+use crate::policy::Policy;
+
+/// Simulation parameters.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// First simulated hour.
+    pub start: Hour,
+    /// Number of hours to simulate.
+    pub horizon: usize,
+    /// Capacity (concurrent running jobs) of every datacenter.
+    pub capacity_per_region: usize,
+    /// Energy overheads for suspend/resume/migration transitions
+    /// (defaults to the paper's zero-overhead idealization).
+    pub overheads: OverheadModel,
+}
+
+impl SimConfig {
+    /// Creates a zero-overhead configuration (the paper's idealization).
+    pub fn new(start: Hour, horizon: usize, capacity_per_region: usize) -> Self {
+        Self {
+            start,
+            horizon,
+            capacity_per_region,
+            overheads: OverheadModel::ZERO,
+        }
+    }
+
+    /// Replaces the overhead model (builder style).
+    pub fn with_overheads(mut self, overheads: OverheadModel) -> Self {
+        self.overheads = overheads;
+        self
+    }
+}
+
+/// A calendar entry: a job admitted to `region` that should start at
+/// `start`.
+#[derive(Debug)]
+struct PlannedStart {
+    start: Hour,
+    seq: u64,
+    job: Job,
+    region: &'static str,
+}
+
+impl PartialEq for PlannedStart {
+    fn eq(&self, other: &Self) -> bool {
+        self.start == other.start && self.seq == other.seq
+    }
+}
+impl Eq for PlannedStart {}
+impl PartialOrd for PlannedStart {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for PlannedStart {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reverse order: BinaryHeap is a max-heap, we need earliest first.
+        other.start.cmp(&self.start).then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// The simulator: datacenters, an event calendar, and a policy-driven run
+/// loop.
+pub struct Simulator<'a> {
+    traces: &'a TraceSet,
+    config: SimConfig,
+    datacenters: HashMap<&'static str, Datacenter>,
+    calendar: BinaryHeap<PlannedStart>,
+    seq: u64,
+}
+
+impl<'a> Simulator<'a> {
+    /// Creates a simulator with one datacenter per region in `regions`.
+    pub fn new(traces: &'a TraceSet, regions: &[&'static Region], config: SimConfig) -> Self {
+        let datacenters = regions
+            .iter()
+            .map(|r| (r.code, Datacenter::new(r, config.capacity_per_region)))
+            .collect();
+        Self {
+            traces,
+            config,
+            datacenters,
+            calendar: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Runs `jobs` (sorted or unsorted by arrival) under `policy` and
+    /// returns the aggregate report.
+    ///
+    /// Jobs whose arrival lies outside the simulated horizon are counted
+    /// as unfinished.
+    pub fn run<P: Policy>(&mut self, policy: &mut P, jobs: &[Job]) -> SimReport {
+        let mut report = SimReport::default();
+        let mut arrivals: Vec<Job> = jobs.to_vec();
+        arrivals.sort_by_key(|j| (j.arrival, j.id));
+        let mut next_arrival = 0usize;
+        let end = self.config.start.plus(self.config.horizon);
+
+        for step in 0..self.config.horizon {
+            let now = self.config.start.plus(step);
+
+            // 1. Place arrivals for this hour.
+            while next_arrival < arrivals.len() && arrivals[next_arrival].arrival <= now {
+                let job = arrivals[next_arrival].clone();
+                next_arrival += 1;
+                if job.arrival < now {
+                    // Arrived before the horizon; treat as arriving now.
+                }
+                let placement = {
+                    let view = CloudView {
+                        datacenters: &self.datacenters,
+                        traces: self.traces,
+                        now,
+                    };
+                    policy.place(&job, &view)
+                };
+                let region = if self.datacenters.contains_key(placement.region) {
+                    placement.region
+                } else {
+                    job.origin
+                };
+                self.seq += 1;
+                self.calendar.push(PlannedStart {
+                    start: placement.start.max(now),
+                    seq: self.seq,
+                    job,
+                    region,
+                });
+            }
+
+            // 2. Admit planned starts due now; migrations (destination ≠
+            // origin) pay the state-copy overhead at the origin's current
+            // CI — the state leaves the origin's servers.
+            while let Some(top) = self.calendar.peek() {
+                if top.start > now {
+                    break;
+                }
+                let planned = self.calendar.pop().expect("peeked entry exists");
+                if planned.region != planned.job.origin {
+                    report.migrations += 1;
+                    let kwh = self.config.overheads.migration_kwh();
+                    if kwh > 0.0 {
+                        let ci = self
+                            .traces
+                            .series(planned.job.origin)
+                            .ok()
+                            .and_then(|s| s.at(now))
+                            .or_else(|| {
+                                self.traces
+                                    .series(planned.region)
+                                    .ok()
+                                    .and_then(|s| s.at(now))
+                            })
+                            .unwrap_or(0.0);
+                        report.overhead_kwh += kwh;
+                        report.overhead_g += kwh * ci;
+                        report.total_energy_kwh += kwh;
+                        report.total_emissions_g += kwh * ci;
+                        *report.per_region_g.entry(planned.job.origin).or_insert(0.0) += kwh * ci;
+                    }
+                }
+                let dc = self
+                    .datacenters
+                    .get_mut(planned.region)
+                    .expect("placement validated at arrival");
+                dc.jobs.push(RunningJob::admitted(planned.job));
+            }
+
+            // 3. Select the run set for each datacenter.
+            let codes: Vec<&'static str> = self.datacenters.keys().copied().collect();
+            for code in &codes {
+                let decisions: Vec<bool> = {
+                    let dc = &self.datacenters[code];
+                    let view = CloudView {
+                        datacenters: &self.datacenters,
+                        traces: self.traces,
+                        now,
+                    };
+                    dc.jobs
+                        .iter()
+                        .map(|rj| {
+                            if !rj.job.interruptible {
+                                return true;
+                            }
+                            let deadline = rj.job.arrival.plus(rj.job.window_hours());
+                            policy.should_run(&rj.job, rj.remaining_slots, deadline, &view)
+                        })
+                        .collect()
+                };
+                let ci_here = self
+                    .traces
+                    .series(code)
+                    .ok()
+                    .and_then(|s| s.at(now))
+                    .unwrap_or(0.0);
+                let dc = self.datacenters.get_mut(code).expect("known code");
+                let mut running = 0usize;
+                let mut suspends = 0usize;
+                let mut resumes = 0usize;
+                for (rj, want_run) in dc.jobs.iter_mut().zip(&decisions) {
+                    let was_suspended = rj.suspended;
+                    if *want_run && running < dc.capacity {
+                        if was_suspended && rj.has_run() {
+                            resumes += 1;
+                        }
+                        rj.suspended = false;
+                        running += 1;
+                    } else {
+                        if !was_suspended && rj.remaining_slots > 0 {
+                            suspends += 1;
+                        }
+                        rj.suspended = true;
+                    }
+                }
+                report.suspends += suspends;
+                report.resumes += resumes;
+                // Checkpoint/restore energy is drawn in this region at
+                // this hour.
+                let kwh = suspends as f64 * self.config.overheads.suspend_kwh
+                    + resumes as f64 * self.config.overheads.resume_kwh;
+                if kwh > 0.0 {
+                    report.overhead_kwh += kwh;
+                    report.overhead_g += kwh * ci_here;
+                    report.total_energy_kwh += kwh;
+                    report.total_emissions_g += kwh * ci_here;
+                    *report.per_region_g.entry(code).or_insert(0.0) += kwh * ci_here;
+                }
+            }
+
+            // 4. Execute and account.
+            for dc in self.datacenters.values_mut() {
+                let ci = self
+                    .traces
+                    .series(dc.region.code)
+                    .ok()
+                    .and_then(|s| s.at(now));
+                let Some(ci) = ci else { continue };
+                let mut finished: Vec<usize> = Vec::new();
+                for (i, rj) in dc.jobs.iter_mut().enumerate() {
+                    if rj.suspended {
+                        continue;
+                    }
+                    if rj.started.is_none() {
+                        rj.started = Some(now);
+                    }
+                    // Fractional jobs draw proportionally less energy in
+                    // their single slot.
+                    let energy = rj.job.length_hours / rj.job.length_slots() as f64;
+                    rj.emitted_g += ci * energy;
+                    report.total_energy_kwh += energy;
+                    report.total_emissions_g += ci * energy;
+                    *report.per_region_g.entry(dc.region.code).or_insert(0.0) += ci * energy;
+                    rj.remaining_slots -= 1;
+                    if rj.remaining_slots == 0 {
+                        finished.push(i);
+                    }
+                }
+                for &i in finished.iter().rev() {
+                    let rj = dc.jobs.swap_remove(i);
+                    let deadline = rj.job.arrival.plus(rj.job.window_hours());
+                    report.completed.push(CompletedJob {
+                        region: dc.region.code,
+                        started: rj.started.expect("finished jobs have run"),
+                        finished: now,
+                        emitted_g: rj.emitted_g,
+                        missed_deadline: now >= deadline && rj.job.slack_hours() > 0,
+                        job: rj.job,
+                    });
+                }
+            }
+        }
+
+        // Whatever remains anywhere is unfinished.
+        report.unfinished = self
+            .datacenters
+            .values()
+            .map(|dc| dc.jobs.len())
+            .sum::<usize>()
+            + self.calendar.len()
+            + arrivals.len().saturating_sub(next_arrival);
+        let _ = end;
+        report
+    }
+
+    /// Returns a datacenter by zone code (for inspection in tests).
+    pub fn datacenter(&self, code: &str) -> Option<&Datacenter> {
+        self.datacenters.get(code)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{CarbonAgnostic, GreenestRouter, PlannedDeferral, ThresholdSuspend};
+    use decarb_core::temporal::TemporalPlanner;
+    use decarb_traces::builtin_dataset;
+    use decarb_traces::catalog::region;
+    use decarb_traces::time::year_start;
+    use decarb_workloads::Slack;
+
+    fn config(horizon: usize) -> SimConfig {
+        SimConfig::new(year_start(2022), horizon, 4)
+    }
+
+    fn regions(codes: &[&str]) -> Vec<&'static Region> {
+        codes.iter().map(|c| region(c).unwrap()).collect()
+    }
+
+    #[test]
+    fn suspend_resume_overheads_are_charged() {
+        let traces = builtin_dataset();
+        let rs = regions(&["US-CA"]);
+        let start = year_start(2022);
+        let job = Job::batch(1, "US-CA", start, 12.0, Slack::TenX).with_interruptible();
+        // Ideal run.
+        let mut ideal_sim = Simulator::new(&traces, &rs, config(24 * 30));
+        let ideal = ideal_sim.run(&mut ThresholdSuspend::default(), std::slice::from_ref(&job));
+        // Same policy, but every transition costs energy.
+        let model = OverheadModel {
+            suspend_kwh: 0.05,
+            resume_kwh: 0.05,
+            ..OverheadModel::ZERO
+        };
+        let mut costed_sim = Simulator::new(&traces, &rs, config(24 * 30).with_overheads(model));
+        let costed = costed_sim.run(&mut ThresholdSuspend::default(), &[job]);
+        // Decisions are identical (the policy does not see overheads), so
+        // transition counts match and only the accounting differs.
+        assert_eq!(ideal.suspends, costed.suspends);
+        assert_eq!(ideal.resumes, costed.resumes);
+        assert!(ideal.suspends > 0, "diurnal CA trace must cause suspends");
+        assert_eq!(ideal.overhead_g, 0.0);
+        assert!(costed.overhead_g > 0.0);
+        let expected_kwh = 0.05 * (costed.suspends + costed.resumes) as f64;
+        assert!((costed.overhead_kwh - expected_kwh).abs() < 1e-9);
+        assert!(
+            costed.total_emissions_g > ideal.total_emissions_g,
+            "overheads must raise total emissions"
+        );
+        assert!(
+            (costed.total_emissions_g - ideal.total_emissions_g - costed.overhead_g).abs() < 1e-6
+        );
+    }
+
+    #[test]
+    fn migration_overhead_charged_at_origin() {
+        let traces = builtin_dataset();
+        let rs = regions(&["SE", "IN-WE"]);
+        let start = year_start(2022);
+        let job = Job::batch(1, "IN-WE", start, 4.0, Slack::None);
+        let model = OverheadModel {
+            migrate_kwh_per_gb: 0.05,
+            state_gb: 50.0,
+            ..OverheadModel::ZERO
+        };
+        let mut sim = Simulator::new(&traces, &rs, config(100).with_overheads(model));
+        let report = sim.run(&mut GreenestRouter, &[job]);
+        assert_eq!(report.completed_count(), 1);
+        assert_eq!(report.migrations, 1);
+        assert!((report.overhead_kwh - 2.5).abs() < 1e-12);
+        // Charged at the origin's CI at the migration hour.
+        let origin_ci = traces.series("IN-WE").unwrap().get(start);
+        assert!((report.overhead_g - 2.5 * origin_ci).abs() < 1e-9);
+        // The per-region ledger bills the origin.
+        assert!((report.per_region_g["IN-WE"] - 2.5 * origin_ci).abs() < 1e-9);
+    }
+
+    #[test]
+    fn local_jobs_pay_no_migration_overhead() {
+        let traces = builtin_dataset();
+        let rs = regions(&["SE"]);
+        let start = year_start(2022);
+        let model = OverheadModel::realistic();
+        let mut sim = Simulator::new(&traces, &rs, config(50).with_overheads(model));
+        let report = sim.run(
+            &mut CarbonAgnostic,
+            &[Job::batch(1, "SE", start, 3.0, Slack::None)],
+        );
+        assert_eq!(report.migrations, 0);
+        assert_eq!(report.suspends, 0);
+        assert_eq!(report.overhead_g, 0.0);
+    }
+
+    #[test]
+    fn completed_jobs_record_start_and_wait() {
+        let traces = builtin_dataset();
+        let rs = regions(&["US-CA"]);
+        let start = year_start(2022);
+        let job = Job::batch(9, "US-CA", start, 2.0, Slack::Day);
+        let mut sim = Simulator::new(&traces, &rs, config(24 * 3));
+        let report = sim.run(&mut PlannedDeferral, &[job]);
+        assert_eq!(report.completed_count(), 1);
+        let c = &report.completed[0];
+        assert!(c.started >= start);
+        assert_eq!(c.wait_hours() as u32, c.started.0 - start.0);
+        assert!(c.slowdown() >= 1.0);
+        assert!(report.mean_slowdown() >= 1.0);
+    }
+
+    #[test]
+    fn agnostic_job_emissions_match_trace() {
+        let traces = builtin_dataset();
+        let rs = regions(&["DE"]);
+        let mut sim = Simulator::new(&traces, &rs, config(100));
+        let start = year_start(2022);
+        let job = Job::batch(1, "DE", start.plus(3), 5.0, Slack::None);
+        let report = sim.run(&mut CarbonAgnostic, &[job]);
+        assert_eq!(report.completed_count(), 1);
+        assert_eq!(report.unfinished, 0);
+        let expected: f64 = traces
+            .series("DE")
+            .unwrap()
+            .window(start.plus(3), 5)
+            .unwrap()
+            .iter()
+            .sum();
+        assert!((report.total_emissions_g - expected).abs() < 1e-9);
+        assert!((report.total_energy_kwh - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn planned_deferral_reproduces_analytic_bound() {
+        let traces = builtin_dataset();
+        let rs = regions(&["US-CA"]);
+        let start = year_start(2022);
+        let mut sim = Simulator::new(&traces, &rs, config(24 * 10));
+        let job = Job::batch(7, "US-CA", start, 6.0, Slack::Day);
+        let report = sim.run(&mut PlannedDeferral, &[job]);
+        assert_eq!(report.completed_count(), 1);
+        let planner = TemporalPlanner::new(traces.series("US-CA").unwrap());
+        let expected = planner.best_deferred(start, 6, 24).cost_g;
+        assert!(
+            (report.emissions_of(7).unwrap() - expected).abs() < 1e-9,
+            "sim {} vs analytic {}",
+            report.emissions_of(7).unwrap(),
+            expected
+        );
+    }
+
+    #[test]
+    fn capacity_queues_excess_jobs() {
+        let traces = builtin_dataset();
+        let rs = regions(&["SE"]);
+        let mut sim = Simulator::new(&traces, &rs, SimConfig::new(year_start(2022), 50, 1));
+        let start = year_start(2022);
+        let jobs = vec![
+            Job::batch(1, "SE", start, 3.0, Slack::None),
+            Job::batch(2, "SE", start, 3.0, Slack::None),
+        ];
+        let report = sim.run(&mut CarbonAgnostic, &jobs);
+        assert_eq!(report.completed_count(), 2);
+        // Serialized: job 1 finishes at hour 2, job 2 at hour 5.
+        let first = report.completed.iter().find(|c| c.job.id == 1).unwrap();
+        let second = report.completed.iter().find(|c| c.job.id == 2).unwrap();
+        assert_eq!(first.finished, start.plus(2));
+        assert_eq!(second.finished, start.plus(5));
+    }
+
+    #[test]
+    fn router_sends_batch_to_sweden() {
+        let traces = builtin_dataset();
+        let rs = regions(&["SE", "PL", "IN-WE"]);
+        let mut sim = Simulator::new(&traces, &rs, config(100));
+        let start = year_start(2022);
+        let jobs = vec![Job::batch(1, "IN-WE", start, 4.0, Slack::None)];
+        let report = sim.run(&mut GreenestRouter, &jobs);
+        assert_eq!(report.completed[0].region, "SE");
+        // Routed emissions far below origin emissions.
+        let origin_cost: f64 = traces
+            .series("IN-WE")
+            .unwrap()
+            .window(start, 4)
+            .unwrap()
+            .iter()
+            .sum();
+        assert!(report.total_emissions_g < origin_cost / 5.0);
+    }
+
+    #[test]
+    fn threshold_policy_between_bounds() {
+        let traces = builtin_dataset();
+        let rs = regions(&["US-CA"]);
+        let start = year_start(2022);
+        let slots = 12usize;
+        let slack = 72usize;
+        let job = Job::batch(3, "US-CA", start, slots as f64, Slack::TenX).with_interruptible();
+        assert_eq!(job.slack_hours(), 120);
+        let mut sim = Simulator::new(&traces, &rs, config(24 * 30));
+        let report = sim.run(&mut ThresholdSuspend::default(), &[job]);
+        assert_eq!(report.completed_count(), 1);
+        let emitted = report.emissions_of(3).unwrap();
+        let planner = TemporalPlanner::new(traces.series("US-CA").unwrap());
+        let clairvoyant = planner.best_interruptible(start, slots, 120).1;
+        let baseline = planner.baseline_cost(start, slots);
+        assert!(emitted >= clairvoyant - 1e-9, "below clairvoyant bound");
+        // The online policy must capture some of the savings on a
+        // strongly diurnal trace.
+        assert!(
+            emitted < baseline * 1.02,
+            "online {emitted} vs baseline {baseline}"
+        );
+        let _ = slack;
+    }
+
+    #[test]
+    fn unfinished_jobs_counted() {
+        let traces = builtin_dataset();
+        let rs = regions(&["SE"]);
+        let mut sim = Simulator::new(&traces, &rs, config(3));
+        let start = year_start(2022);
+        let jobs = vec![Job::batch(1, "SE", start, 10.0, Slack::None)];
+        let report = sim.run(&mut CarbonAgnostic, &jobs);
+        assert_eq!(report.completed_count(), 0);
+        assert_eq!(report.unfinished, 1);
+        // Partial work is still accounted.
+        assert!(report.total_energy_kwh > 0.0);
+    }
+
+    #[test]
+    fn fractional_interactive_jobs_scale_energy() {
+        let traces = builtin_dataset();
+        let rs = regions(&["SE"]);
+        let mut sim = Simulator::new(&traces, &rs, config(10));
+        let start = year_start(2022);
+        let jobs = vec![Job::interactive(1, "SE", start)];
+        let report = sim.run(&mut CarbonAgnostic, &jobs);
+        assert_eq!(report.completed_count(), 1);
+        assert!((report.total_energy_kwh - 0.01).abs() < 1e-12);
+        let ci = traces.series("SE").unwrap().get(start);
+        assert!((report.total_emissions_g - ci * 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_placement_region_falls_back_to_origin() {
+        struct BadPolicy;
+        impl Policy for BadPolicy {
+            fn place(&mut self, _job: &Job, view: &CloudView<'_>) -> crate::policy::Placement {
+                crate::policy::Placement {
+                    region: "NOPE",
+                    start: view.now,
+                }
+            }
+        }
+        let traces = builtin_dataset();
+        let rs = regions(&["SE"]);
+        let mut sim = Simulator::new(&traces, &rs, config(10));
+        let start = year_start(2022);
+        let report = sim.run(
+            &mut BadPolicy,
+            &[Job::batch(1, "SE", start, 2.0, Slack::None)],
+        );
+        assert_eq!(report.completed_count(), 1);
+        assert_eq!(report.completed[0].region, "SE");
+    }
+}

@@ -1,0 +1,192 @@
+//! Latency-constrained request routing (§5.1.3 made online).
+//!
+//! Fig. 6(a) computes the analytic reduction when migration is limited to
+//! regions within a latency SLO; this policy is the online counterpart: a
+//! router that sends each migratable job to the greenest datacenter whose
+//! round-trip time from the job's origin fits the SLO and which has free
+//! capacity, falling back to the origin.
+
+use std::collections::HashMap;
+
+use decarb_core::latency::LatencyMatrix;
+use decarb_traces::{Hour, Region};
+use decarb_workloads::Job;
+
+use crate::cluster::CloudView;
+use crate::policy::{Placement, Policy};
+
+/// Routes to the greenest region within a latency SLO of the origin.
+///
+/// The router performs its own admission control: the simulator's
+/// capacity view only reflects *running* jobs, so a burst of same-hour
+/// arrivals would all see the same free slot. The router remembers what
+/// it has placed in the current hour and treats those slots as taken.
+pub struct LatencyAwareRouter {
+    matrix: LatencyMatrix,
+    /// Round-trip-time budget in milliseconds.
+    pub slo_ms: f64,
+    placed_now: HashMap<&'static str, usize>,
+    placed_at: Option<Hour>,
+}
+
+impl LatencyAwareRouter {
+    /// Builds the router over the deployed regions.
+    pub fn new(regions: &[&'static Region], slo_ms: f64) -> Self {
+        Self {
+            matrix: LatencyMatrix::build(regions),
+            slo_ms,
+            placed_now: HashMap::new(),
+            placed_at: None,
+        }
+    }
+
+    /// Returns the RTT between two zones, if both are deployed.
+    pub fn rtt(&self, a: &str, b: &str) -> Option<f64> {
+        self.matrix.get(a, b)
+    }
+}
+
+impl Policy for LatencyAwareRouter {
+    fn place(&mut self, job: &Job, view: &CloudView<'_>) -> Placement {
+        if self.placed_at != Some(view.now) {
+            self.placed_now.clear();
+            self.placed_at = Some(view.now);
+        }
+        let mut region = job.origin;
+        if job.migratable {
+            let mut best_ci = view.current_ci(job.origin).unwrap_or(f64::INFINITY);
+            for dc in view.datacenters.values() {
+                let code = dc.region.code;
+                let already = self.placed_now.get(code).copied().unwrap_or(0);
+                if dc.free_slots() <= already {
+                    continue;
+                }
+                let Some(rtt) = self.matrix.get(job.origin, code) else {
+                    continue;
+                };
+                if rtt > self.slo_ms {
+                    continue;
+                }
+                let Some(ci) = view.current_ci(code) else {
+                    continue;
+                };
+                // Strict improvement, ties broken to the lexicographically
+                // first zone for determinism.
+                if ci < best_ci || (ci == best_ci && code < region) {
+                    best_ci = ci;
+                    region = code;
+                }
+            }
+        }
+        *self.placed_now.entry(region).or_insert(0) += 1;
+        Placement {
+            region,
+            start: view.now,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{SimConfig, Simulator};
+    use decarb_traces::builtin_dataset;
+    use decarb_traces::catalog::region;
+    use decarb_traces::time::year_start;
+    use decarb_workloads::Slack;
+
+    fn regions(codes: &[&str]) -> Vec<&'static Region> {
+        codes.iter().map(|c| region(c).unwrap()).collect()
+    }
+
+    /// Deployed: origin Germany plus near (Sweden) and far (Australia)
+    /// green regions.
+    const DEPLOYED: [&str; 4] = ["DE", "SE", "PL", "AU-TAS"];
+
+    fn route_one(slo_ms: f64) -> &'static str {
+        let traces = builtin_dataset();
+        let rs = regions(&DEPLOYED);
+        let start = year_start(2022);
+        let mut sim = Simulator::new(&traces, &rs, SimConfig::new(start, 50, 4));
+        let mut router = LatencyAwareRouter::new(&rs, slo_ms);
+        let job = Job::batch(1, "DE", start, 4.0, Slack::None);
+        let report = sim.run(&mut router, &[job]);
+        assert_eq!(report.completed_count(), 1);
+        report.completed[0].region
+    }
+
+    #[test]
+    fn zero_slo_keeps_jobs_home() {
+        assert_eq!(route_one(0.0), "DE");
+    }
+
+    #[test]
+    fn regional_slo_reaches_nearby_green_region() {
+        // Germany → Sweden is a short intra-European hop; Tasmania is
+        // antipodal and must remain out of reach.
+        let region = route_one(60.0);
+        assert_eq!(region, "SE");
+    }
+
+    #[test]
+    fn unbounded_slo_still_picks_the_greenest() {
+        // With everything feasible the router behaves like the greenest
+        // router; SE is greener than AU-TAS at this hour.
+        let rs = regions(&DEPLOYED);
+        let router = LatencyAwareRouter::new(&rs, f64::INFINITY);
+        assert!(router.rtt("DE", "AU-TAS").unwrap() > 200.0);
+        assert_eq!(route_one(f64::INFINITY), "SE");
+    }
+
+    #[test]
+    fn pinned_jobs_never_move() {
+        let traces = builtin_dataset();
+        let rs = regions(&DEPLOYED);
+        let start = year_start(2022);
+        let mut sim = Simulator::new(&traces, &rs, SimConfig::new(start, 10, 4));
+        let mut router = LatencyAwareRouter::new(&rs, f64::INFINITY);
+        let job = Job::interactive(1, "PL", start);
+        let report = sim.run(&mut router, &[job]);
+        assert_eq!(report.completed[0].region, "PL");
+    }
+
+    #[test]
+    fn full_destinations_are_skipped() {
+        let traces = builtin_dataset();
+        let rs = regions(&["DE", "SE"]);
+        let start = year_start(2022);
+        // Capacity 1: the second simultaneous job finds Sweden full.
+        let mut sim = Simulator::new(&traces, &rs, SimConfig::new(start, 50, 1));
+        let mut router = LatencyAwareRouter::new(&rs, 1000.0);
+        let jobs = vec![
+            Job::batch(1, "DE", start, 4.0, Slack::None),
+            Job::batch(2, "DE", start, 4.0, Slack::None),
+        ];
+        let report = sim.run(&mut router, &jobs);
+        assert_eq!(report.completed_count(), 2);
+        let to_se = report.completed.iter().filter(|c| c.region == "SE").count();
+        let at_home = report.completed.iter().filter(|c| c.region == "DE").count();
+        assert_eq!(to_se, 1, "exactly one fits in Sweden");
+        assert_eq!(at_home, 1, "the other runs at the origin");
+    }
+
+    #[test]
+    fn tighter_slo_never_lowers_emissions() {
+        let traces = builtin_dataset();
+        let rs = regions(&DEPLOYED);
+        let start = year_start(2022);
+        let jobs: Vec<Job> = (0..10)
+            .map(|i| Job::batch(i + 1, "DE", start.plus(i as usize * 3), 2.0, Slack::None))
+            .collect();
+        let run = |slo: f64| {
+            let mut sim = Simulator::new(&traces, &rs, SimConfig::new(start, 100, 16));
+            let mut router = LatencyAwareRouter::new(&rs, slo);
+            sim.run(&mut router, &jobs).total_emissions_g
+        };
+        let tight = run(0.0);
+        let regional = run(60.0);
+        let global = run(1000.0);
+        assert!(regional <= tight + 1e-9);
+        assert!(global <= regional + 1e-9);
+    }
+}

@@ -1,0 +1,72 @@
+//! Normalized autocorrelation.
+
+/// Computes the normalized autocorrelation of `signal` at `lag`.
+///
+/// The signal is mean-centered; the result is in `[-1, 1]` for stationary
+/// signals. Returns 0.0 when the lag leaves fewer than two overlapping
+/// samples or the signal has no variance.
+pub fn autocorrelation(signal: &[f64], lag: usize) -> f64 {
+    if signal.len() < 2 || lag + 2 > signal.len() {
+        return 0.0;
+    }
+    let n = signal.len();
+    let mean = signal.iter().sum::<f64>() / n as f64;
+    let var: f64 = signal.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+    if var <= 0.0 {
+        return 0.0;
+    }
+    let cov: f64 = signal[..n - lag]
+        .iter()
+        .zip(&signal[lag..])
+        .map(|(&a, &b)| (a - mean) * (b - mean))
+        .sum::<f64>()
+        / (n - lag) as f64;
+    cov / var
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lag_zero_is_one() {
+        let signal: Vec<f64> = (0..100).map(|i| (i as f64 * 0.3).sin()).collect();
+        assert!((autocorrelation(&signal, 0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn periodic_signal_peaks_at_period() {
+        let period = 24;
+        let signal: Vec<f64> = (0..24 * 60)
+            .map(|t| (std::f64::consts::TAU * t as f64 / period as f64).sin())
+            .collect();
+        let at_period = autocorrelation(&signal, period);
+        let off_period = autocorrelation(&signal, period / 2);
+        assert!(at_period > 0.95, "at period: {at_period}");
+        assert!(off_period < -0.9, "half period: {off_period}");
+    }
+
+    #[test]
+    fn white_noise_decorrelates() {
+        // A simple LCG noise sequence.
+        let mut x = 12345u64;
+        let signal: Vec<f64> = (0..5000)
+            .map(|_| {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (x >> 33) as f64 / (1u64 << 31) as f64 - 0.5
+            })
+            .collect();
+        assert!(autocorrelation(&signal, 7).abs() < 0.05);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(autocorrelation(&[], 1), 0.0);
+        assert_eq!(autocorrelation(&[1.0], 0), 0.0);
+        assert_eq!(autocorrelation(&[1.0, 1.0, 1.0], 1), 0.0);
+        // Lag too large for overlap.
+        assert_eq!(autocorrelation(&[1.0, 2.0, 3.0], 2), 0.0);
+    }
+}

@@ -1,0 +1,237 @@
+//! Iterative radix-2 Cooley–Tukey fast Fourier transform.
+//!
+//! Supports power-of-two lengths directly; callers with arbitrary lengths
+//! (a year is 8760 hours) zero-pad via [`fft_padded`]. This is the engine
+//! behind the periodogram in [`crate::periodicity`].
+
+/// A complex number with `f64` components.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Creates a complex number.
+    pub const fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// Returns the squared magnitude.
+    pub fn norm_sq(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Returns the magnitude.
+    pub fn abs(self) -> f64 {
+        self.norm_sq().sqrt()
+    }
+
+    fn mul(self, other: Complex) -> Complex {
+        Complex::new(
+            self.re * other.re - self.im * other.im,
+            self.re * other.im + self.im * other.re,
+        )
+    }
+
+    fn add(self, other: Complex) -> Complex {
+        Complex::new(self.re + other.re, self.im + other.im)
+    }
+
+    fn sub(self, other: Complex) -> Complex {
+        Complex::new(self.re - other.re, self.im - other.im)
+    }
+}
+
+/// Computes the in-place FFT of `data`.
+///
+/// # Panics
+///
+/// Panics unless `data.len()` is a power of two (use [`fft_padded`] for
+/// arbitrary lengths).
+pub fn fft(data: &mut [Complex]) {
+    transform(data, false);
+}
+
+/// Computes the in-place inverse FFT of `data`, including the 1/N scaling.
+///
+/// # Panics
+///
+/// Panics unless `data.len()` is a power of two.
+pub fn ifft(data: &mut [Complex]) {
+    transform(data, true);
+    let n = data.len() as f64;
+    for v in data.iter_mut() {
+        v.re /= n;
+        v.im /= n;
+    }
+}
+
+fn transform(data: &mut [Complex], inverse: bool) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "FFT length must be a power of two");
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = i.reverse_bits() >> (usize::BITS - bits);
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+    // Butterfly stages.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let angle = sign * std::f64::consts::TAU / len as f64;
+        let w_len = Complex::new(angle.cos(), angle.sin());
+        for chunk in data.chunks_exact_mut(len) {
+            let mut w = Complex::new(1.0, 0.0);
+            let (lo, hi) = chunk.split_at_mut(len / 2);
+            for (a, b) in lo.iter_mut().zip(hi.iter_mut()) {
+                let t = w.mul(*b);
+                let u = *a;
+                *a = u.add(t);
+                *b = u.sub(t);
+                w = w.mul(w_len);
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// Computes the FFT of a real signal, zero-padded to the next power of two
+/// at least `min_len` long. Returns the complex spectrum.
+pub fn fft_padded(signal: &[f64], min_len: usize) -> Vec<Complex> {
+    let n = signal.len().max(min_len).max(1).next_power_of_two();
+    let mut data: Vec<Complex> = signal.iter().map(|&v| Complex::new(v, 0.0)).collect();
+    data.resize(n, Complex::default());
+    fft(&mut data);
+    data
+}
+
+/// Computes the power spectrum (squared magnitudes, DC removed) of a real
+/// signal after mean-centering and zero-padding.
+///
+/// Returns `(power, padded_len)`; `power[k]` corresponds to frequency
+/// `k / padded_len` cycles per sample for `k < padded_len / 2`.
+pub fn power_spectrum(signal: &[f64]) -> (Vec<f64>, usize) {
+    if signal.is_empty() {
+        return (Vec::new(), 0);
+    }
+    let mean = signal.iter().sum::<f64>() / signal.len() as f64;
+    let centered: Vec<f64> = signal.iter().map(|v| v - mean).collect();
+    let spectrum = fft_padded(&centered, centered.len());
+    let n = spectrum.len();
+    let power: Vec<f64> = spectrum[..n / 2].iter().map(|c| c.norm_sq()).collect();
+    (power, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brute-force DFT oracle.
+    fn dft(signal: &[Complex]) -> Vec<Complex> {
+        let n = signal.len();
+        (0..n)
+            .map(|k| {
+                let mut acc = Complex::default();
+                for (t, &x) in signal.iter().enumerate() {
+                    let angle = -std::f64::consts::TAU * (k * t) as f64 / n as f64;
+                    acc = acc.add(x.mul(Complex::new(angle.cos(), angle.sin())));
+                }
+                acc
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_dft_oracle() {
+        let signal: Vec<Complex> = (0..32)
+            .map(|i| Complex::new((i as f64 * 0.7).sin(), (i as f64 * 0.3).cos()))
+            .collect();
+        let expected = dft(&signal);
+        let mut actual = signal;
+        fft(&mut actual);
+        for (a, e) in actual.iter().zip(&expected) {
+            assert!((a.re - e.re).abs() < 1e-9 && (a.im - e.im).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn roundtrip_fft_ifft() {
+        let original: Vec<Complex> = (0..64)
+            .map(|i| Complex::new((i as f64).sin(), (i as f64 * 2.0).cos()))
+            .collect();
+        let mut data = original.clone();
+        fft(&mut data);
+        ifft(&mut data);
+        for (a, b) in data.iter().zip(&original) {
+            assert!((a.re - b.re).abs() < 1e-9 && (a.im - b.im).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn pure_tone_peaks_at_frequency() {
+        let n = 256;
+        let freq = 8;
+        let signal: Vec<f64> = (0..n)
+            .map(|t| (std::f64::consts::TAU * freq as f64 * t as f64 / n as f64).sin())
+            .collect();
+        let (power, padded) = power_spectrum(&signal);
+        assert_eq!(padded, n);
+        let peak = power
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        assert_eq!(peak, freq);
+    }
+
+    #[test]
+    fn dc_component_removed() {
+        let signal = vec![5.0; 128];
+        let (power, _) = power_spectrum(&signal);
+        assert!(power.iter().all(|&p| p < 1e-18));
+    }
+
+    #[test]
+    fn padding_to_power_of_two() {
+        let spectrum = fft_padded(&[1.0, 2.0, 3.0], 5);
+        assert_eq!(spectrum.len(), 8);
+        let (power, padded) = power_spectrum(&[]);
+        assert!(power.is_empty());
+        assert_eq!(padded, 0);
+    }
+
+    #[test]
+    fn tiny_sizes() {
+        let mut one = vec![Complex::new(3.0, 0.0)];
+        fft(&mut one);
+        assert_eq!(one[0], Complex::new(3.0, 0.0));
+        let mut two = vec![Complex::new(1.0, 0.0), Complex::new(2.0, 0.0)];
+        fft(&mut two);
+        assert!((two[0].re - 3.0).abs() < 1e-12);
+        assert!((two[1].re + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_panics() {
+        let mut data = vec![Complex::default(); 3];
+        fft(&mut data);
+    }
+
+    #[test]
+    fn complex_helpers() {
+        let c = Complex::new(3.0, 4.0);
+        assert!((c.abs() - 5.0).abs() < 1e-12);
+        assert!((c.norm_sq() - 25.0).abs() < 1e-12);
+    }
+}

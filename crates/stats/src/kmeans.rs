@@ -1,0 +1,220 @@
+//! Deterministic K-Means++ clustering.
+//!
+//! The paper clusters regions by their 2020→2022 change in carbon-intensity
+//! and daily CV (Fig. 3(b)) with scikit-learn's K-Means++ and `k = 3`. This
+//! implementation uses the same algorithm (D² seeding followed by Lloyd
+//! iterations) with a deterministic seeded generator so cluster assignments
+//! are reproducible.
+
+/// Result of a K-Means clustering run.
+#[derive(Debug, Clone)]
+pub struct KMeansResult {
+    /// Cluster centroids, `k × dim`.
+    pub centroids: Vec<Vec<f64>>,
+    /// Cluster index for every input point.
+    pub assignments: Vec<usize>,
+    /// Sum of squared distances of points to their centroid (inertia).
+    pub inertia: f64,
+    /// Number of Lloyd iterations performed.
+    pub iterations: usize,
+}
+
+/// Simple deterministic generator for seeding (SplitMix64).
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    fn uniform(&mut self) -> f64 {
+        (self.next() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Runs K-Means++ on `points` with `k` clusters.
+///
+/// Returns `None` when `points` is empty, `k` is zero, or the points have
+/// inconsistent dimensionality.
+pub fn kmeans(points: &[Vec<f64>], k: usize, seed: u64, max_iters: usize) -> Option<KMeansResult> {
+    if points.is_empty() || k == 0 {
+        return None;
+    }
+    let dim = points[0].len();
+    if points.iter().any(|p| p.len() != dim) {
+        return None;
+    }
+    let k = k.min(points.len());
+    let mut rng = Rng(seed);
+
+    // K-Means++ seeding: first centroid uniform, then D²-weighted.
+    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+    let first = (rng.uniform() * points.len() as f64) as usize % points.len();
+    centroids.push(points[first].clone());
+    let mut dists: Vec<f64> = points.iter().map(|p| sq_dist(p, &centroids[0])).collect();
+    while centroids.len() < k {
+        let total: f64 = dists.iter().sum();
+        let next = if total <= 0.0 {
+            // All points coincide with existing centroids; pick round-robin.
+            centroids.len() % points.len()
+        } else {
+            let mut target = rng.uniform() * total;
+            let mut chosen = points.len() - 1;
+            for (i, &d) in dists.iter().enumerate() {
+                if target < d {
+                    chosen = i;
+                    break;
+                }
+                target -= d;
+            }
+            chosen
+        };
+        centroids.push(points[next].clone());
+        for (i, p) in points.iter().enumerate() {
+            let d = sq_dist(p, centroids.last().unwrap());
+            if d < dists[i] {
+                dists[i] = d;
+            }
+        }
+    }
+
+    // Lloyd iterations.
+    let mut assignments = vec![0usize; points.len()];
+    let mut iterations = 0;
+    for iter in 0..max_iters {
+        iterations = iter + 1;
+        let mut changed = false;
+        for (i, p) in points.iter().enumerate() {
+            let best = (0..centroids.len())
+                .min_by(|&a, &b| sq_dist(p, &centroids[a]).total_cmp(&sq_dist(p, &centroids[b])))
+                .unwrap();
+            if assignments[i] != best {
+                assignments[i] = best;
+                changed = true;
+            }
+        }
+        // Recompute centroids.
+        let mut sums = vec![vec![0.0; dim]; centroids.len()];
+        let mut counts = vec![0usize; centroids.len()];
+        for (p, &a) in points.iter().zip(&assignments) {
+            counts[a] += 1;
+            for (s, &v) in sums[a].iter_mut().zip(p) {
+                *s += v;
+            }
+        }
+        for (c, (sum, &count)) in centroids.iter_mut().zip(sums.iter().zip(&counts)) {
+            if count > 0 {
+                for (cv, &sv) in c.iter_mut().zip(sum) {
+                    *cv = sv / count as f64;
+                }
+            }
+        }
+        if !changed && iter > 0 {
+            break;
+        }
+    }
+
+    let inertia = points
+        .iter()
+        .zip(&assignments)
+        .map(|(p, &a)| sq_dist(p, &centroids[a]))
+        .sum();
+    Some(KMeansResult {
+        centroids,
+        assignments,
+        inertia,
+        iterations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three_blobs() -> Vec<Vec<f64>> {
+        let mut points = Vec::new();
+        for i in 0..20 {
+            let jitter = (i % 5) as f64 * 0.01;
+            points.push(vec![0.0 + jitter, 0.0 - jitter]);
+            points.push(vec![10.0 - jitter, 10.0 + jitter]);
+            points.push(vec![-10.0 + jitter, 10.0 - jitter]);
+        }
+        points
+    }
+
+    #[test]
+    fn separates_three_blobs() {
+        let points = three_blobs();
+        let result = kmeans(&points, 3, 42, 100).unwrap();
+        // Points 0, 1, 2 are in different blobs; their clusters must differ
+        // pairwise, and blob membership must be consistent.
+        let c0 = result.assignments[0];
+        let c1 = result.assignments[1];
+        let c2 = result.assignments[2];
+        assert!(c0 != c1 && c1 != c2 && c0 != c2);
+        for i in 0..20 {
+            assert_eq!(result.assignments[3 * i], c0);
+            assert_eq!(result.assignments[3 * i + 1], c1);
+            assert_eq!(result.assignments[3 * i + 2], c2);
+        }
+        assert!(result.inertia < 1.0, "inertia {}", result.inertia);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let points = three_blobs();
+        let a = kmeans(&points, 3, 7, 100).unwrap();
+        let b = kmeans(&points, 3, 7, 100).unwrap();
+        assert_eq!(a.assignments, b.assignments);
+        assert_eq!(a.centroids, b.centroids);
+    }
+
+    #[test]
+    fn k_larger_than_points_clamps() {
+        let points = vec![vec![0.0], vec![1.0]];
+        let result = kmeans(&points, 10, 1, 50).unwrap();
+        assert_eq!(result.centroids.len(), 2);
+    }
+
+    #[test]
+    fn identical_points_are_fine() {
+        let points = vec![vec![1.0, 1.0]; 8];
+        let result = kmeans(&points, 3, 1, 50).unwrap();
+        assert!(result.inertia < 1e-18);
+        assert!(result
+            .assignments
+            .iter()
+            .all(|&a| a < result.centroids.len()));
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(kmeans(&[], 3, 1, 10).is_none());
+        assert!(kmeans(&[vec![1.0]], 0, 1, 10).is_none());
+        assert!(kmeans(&[vec![1.0], vec![1.0, 2.0]], 2, 1, 10).is_none());
+    }
+
+    #[test]
+    fn single_cluster_centroid_is_mean() {
+        let points = vec![vec![1.0], vec![3.0], vec![5.0]];
+        let result = kmeans(&points, 1, 9, 50).unwrap();
+        assert!((result.centroids[0][0] - 3.0).abs() < 1e-12);
+        assert_eq!(result.assignments, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn inertia_decreases_with_more_clusters() {
+        let points = three_blobs();
+        let k1 = kmeans(&points, 1, 3, 100).unwrap().inertia;
+        let k3 = kmeans(&points, 3, 3, 100).unwrap().inertia;
+        assert!(k3 < k1);
+    }
+}

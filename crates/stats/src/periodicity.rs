@@ -1,0 +1,247 @@
+//! Period detection with periodicity scores — the equivalent of Azure Data
+//! Explorer's `series_periods_detect()` used for the paper's Fig. 4.
+//!
+//! The pipeline mirrors the Kusto implementation's structure:
+//!
+//! 1. compute the FFT periodogram of the mean-centered signal and take
+//!    local maxima as candidate periods;
+//! 2. detrend the signal (subtract a centered moving average) so slow
+//!    seasonal drift does not masquerade as short-period correlation;
+//! 3. score each candidate as the detrended autocorrelation at that lag
+//!    minus any *positive* correlation at the half lag (anti-phase test:
+//!    genuinely periodic signals correlate at `p` but not at `p/2`, while
+//!    smooth trends correlate at both), refining the lag in a ±2 sample
+//!    neighbourhood;
+//! 4. return candidates sorted by score in `[0, 1]`.
+//!
+//! A score of 1 means the pattern repeats exactly (US-WA in the paper);
+//! a score of 0 means no periodicity (Hong Kong, Indonesia).
+
+use crate::autocorr::autocorrelation;
+use crate::fft::power_spectrum;
+
+/// A detected period with its periodicity score.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DetectedPeriod {
+    /// Period length in samples (hours for hourly traces).
+    pub period: usize,
+    /// Score in `[0, 1]`; higher means a stronger, more exact repeat.
+    pub score: f64,
+}
+
+/// Maximum number of candidate periodogram peaks examined.
+const MAX_CANDIDATES: usize = 16;
+
+/// Detects periods in `signal`, returning candidates with score at least
+/// `min_score`, sorted by descending score.
+///
+/// Periods are constrained to `[2, signal.len() / 3]` so at least three
+/// full cycles support each detection.
+pub fn detect_periods(signal: &[f64], min_score: f64) -> Vec<DetectedPeriod> {
+    if signal.len() < 6 {
+        return Vec::new();
+    }
+    let (power, padded) = power_spectrum(signal);
+    if power.is_empty() {
+        return Vec::new();
+    }
+    let max_period = signal.len() / 3;
+
+    // Collect local maxima of the periodogram.
+    let mut peaks: Vec<(usize, f64)> = Vec::new();
+    for k in 2..power.len().saturating_sub(1) {
+        if power[k] > power[k - 1] && power[k] >= power[k + 1] {
+            peaks.push((k, power[k]));
+        }
+    }
+    peaks.sort_by(|a, b| b.1.total_cmp(&a.1));
+    peaks.truncate(MAX_CANDIDATES);
+
+    let detrended = detrend(signal, 169);
+    let mut results: Vec<DetectedPeriod> = Vec::new();
+    for (bin, _) in peaks {
+        let est = padded as f64 / bin as f64;
+        let rounded = est.round() as usize;
+        if rounded < 2 || rounded > max_period {
+            continue;
+        }
+        // Refine the lag in a small neighbourhood.
+        let (best_period, best_score) = ((rounded.saturating_sub(2))..=(rounded + 2))
+            .filter(|&p| p >= 2 && p <= max_period)
+            .map(|p| (p, score_at(&detrended, p)))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .unwrap_or((rounded, 0.0));
+        if best_score >= min_score && !results.iter().any(|r| r.period == best_period) {
+            results.push(DetectedPeriod {
+                period: best_period,
+                score: best_score.min(1.0),
+            });
+        }
+    }
+    results.sort_by(|a, b| b.score.total_cmp(&a.score));
+    results
+}
+
+/// Scores a specific `period` for `signal` in `[0, 1]`.
+///
+/// This is the Fig. 4 primitive: the anti-phase-corrected detrended
+/// autocorrelation at the period lag, refined over a ±1 neighbourhood to
+/// absorb rounding of non-integer periods.
+pub fn periodicity_score(signal: &[f64], period: usize) -> f64 {
+    if period < 2 || signal.len() < 3 * period {
+        return 0.0;
+    }
+    let detrended = detrend(signal, 169);
+    (period - 1..=period + 1)
+        .map(|p| score_at(&detrended, p))
+        .fold(0.0f64, f64::max)
+        .clamp(0.0, 1.0)
+}
+
+/// Scores lag `p` on an already-detrended signal: the autocorrelation at
+/// `p` discounted by any positive autocorrelation at the anti-phase lag
+/// `p / 2`. Smooth (trend-like) signals correlate at both lags and score
+/// ≈ 0; genuinely periodic signals only correlate at the full lag.
+fn score_at(detrended: &[f64], p: usize) -> f64 {
+    let at_period = autocorrelation(detrended, p);
+    let anti = if p >= 4 {
+        autocorrelation(detrended, p / 2).max(0.0)
+    } else {
+        0.0
+    };
+    (at_period - anti).clamp(0.0, 1.0)
+}
+
+/// Subtracts a centered moving average of odd width `window` (clamped to
+/// the signal length) to remove slow trends.
+fn detrend(signal: &[f64], window: usize) -> Vec<f64> {
+    let n = signal.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let window = window
+        .min(if n.is_multiple_of(2) { n - 1 } else { n })
+        .max(1);
+    let half = window / 2;
+    // Prefix sums for O(1) windowed means.
+    let mut prefix = Vec::with_capacity(n + 1);
+    prefix.push(0.0);
+    let mut acc = 0.0;
+    for &v in signal {
+        acc += v;
+        prefix.push(acc);
+    }
+    (0..n)
+        .map(|i| {
+            let lo = i.saturating_sub(half);
+            let hi = (i + half + 1).min(n);
+            let mean = (prefix[hi] - prefix[lo]) / (hi - lo) as f64;
+            signal[i] - mean
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn daily_signal(days: usize, noise: f64) -> Vec<f64> {
+        let mut x = 987654321u64;
+        (0..days * 24)
+            .map(|t| {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let n = (x >> 33) as f64 / (1u64 << 31) as f64 - 0.5;
+                100.0 + 20.0 * (std::f64::consts::TAU * t as f64 / 24.0).sin() + noise * n
+            })
+            .collect()
+    }
+
+    #[test]
+    fn detects_clean_daily_period() {
+        let signal = daily_signal(60, 0.0);
+        let periods = detect_periods(&signal, 0.3);
+        assert!(!periods.is_empty());
+        assert_eq!(periods[0].period, 24);
+        assert!(periods[0].score > 0.95, "score {}", periods[0].score);
+    }
+
+    #[test]
+    fn detects_noisy_daily_period() {
+        let signal = daily_signal(60, 15.0);
+        let periods = detect_periods(&signal, 0.3);
+        assert!(periods.iter().any(|p| p.period == 24));
+    }
+
+    #[test]
+    fn detects_weekly_and_daily() {
+        let signal: Vec<f64> = (0..24 * 7 * 20)
+            .map(|t| {
+                let daily = (std::f64::consts::TAU * t as f64 / 24.0).sin();
+                let weekly = (std::f64::consts::TAU * t as f64 / 168.0).sin();
+                100.0 + 10.0 * daily + 8.0 * weekly
+            })
+            .collect();
+        let periods = detect_periods(&signal, 0.3);
+        assert!(periods.iter().any(|p| p.period == 24), "{periods:?}");
+        assert!(
+            periods.iter().any(|p| (166..=170).contains(&p.period)),
+            "{periods:?}"
+        );
+    }
+
+    #[test]
+    fn white_noise_has_no_periods() {
+        let mut x = 5u64;
+        let signal: Vec<f64> = (0..24 * 90)
+            .map(|_| {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (x >> 33) as f64 / (1u64 << 31) as f64
+            })
+            .collect();
+        let periods = detect_periods(&signal, 0.4);
+        assert!(periods.is_empty(), "{periods:?}");
+        assert!(periodicity_score(&signal, 24) < 0.2);
+    }
+
+    #[test]
+    fn score_ignores_slow_trend() {
+        // Pure slow seasonal drift must not register as 24 h periodicity.
+        let signal: Vec<f64> = (0..24 * 365)
+            .map(|t| 400.0 + 100.0 * (std::f64::consts::TAU * t as f64 / 8760.0).cos())
+            .collect();
+        assert!(
+            periodicity_score(&signal, 24) < 0.3,
+            "score {}",
+            periodicity_score(&signal, 24)
+        );
+    }
+
+    #[test]
+    fn score_of_exact_daily_pattern_is_one() {
+        let signal = daily_signal(365, 0.0);
+        let score = periodicity_score(&signal, 24);
+        assert!(score > 0.98, "score {score}");
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(detect_periods(&[1.0, 2.0], 0.1).is_empty());
+        assert_eq!(periodicity_score(&[1.0; 10], 24), 0.0);
+        assert_eq!(periodicity_score(&[1.0; 100], 1), 0.0);
+        assert!(detrend(&[], 5).is_empty());
+    }
+
+    #[test]
+    fn detrend_removes_linear_trend() {
+        let signal: Vec<f64> = (0..200).map(|i| i as f64).collect();
+        let detrended = detrend(&signal, 21);
+        // Interior points should be ≈ 0 (boundary effects at the ends).
+        for v in &detrended[20..180] {
+            assert!(v.abs() < 1e-9, "{v}");
+        }
+    }
+}

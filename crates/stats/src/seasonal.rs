@@ -1,0 +1,222 @@
+//! Classical seasonal decomposition of hourly series.
+//!
+//! §4.3 of the paper establishes *that* carbon-intensity is periodic;
+//! decomposition shows *how much* of the signal the period explains. The
+//! additive model `x = trend + seasonal + residual` with a centered
+//! moving-average trend is the textbook method (the core of STL without
+//! the loess robustness pass), and Hyndman's strength-of-seasonality
+//! statistic turns it into the single number the temporal-shifting story
+//! depends on: high seasonal strength means valleys are predictable and
+//! deferral works; low strength leaves only noise to chase.
+
+use serde::Serialize;
+
+/// An additive decomposition `x = trend + seasonal + residual`.
+#[derive(Debug, Clone, Serialize)]
+pub struct Decomposition {
+    /// The period used, in samples.
+    pub period: usize,
+    /// Centered moving-average trend (edges extended flat).
+    pub trend: Vec<f64>,
+    /// Zero-mean seasonal component, one value per phase, tiled.
+    pub seasonal: Vec<f64>,
+    /// What remains.
+    pub residual: Vec<f64>,
+}
+
+impl Decomposition {
+    /// Reconstructs the original series (exact by construction).
+    pub fn reconstruct(&self) -> Vec<f64> {
+        self.trend
+            .iter()
+            .zip(&self.seasonal)
+            .zip(&self.residual)
+            .map(|((t, s), r)| t + s + r)
+            .collect()
+    }
+
+    /// Strength of seasonality in `[0, 1]` (Hyndman & Athanasopoulos):
+    /// `max(0, 1 − var(residual) / var(seasonal + residual))`.
+    pub fn seasonal_strength(&self) -> f64 {
+        strength(&self.residual, &self.seasonal)
+    }
+
+    /// Strength of trend in `[0, 1]`, analogous with the trend component.
+    pub fn trend_strength(&self) -> f64 {
+        strength(&self.residual, &self.trend)
+    }
+}
+
+fn variance(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mean = values.iter().sum::<f64>() / values.len() as f64;
+    values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / values.len() as f64
+}
+
+fn strength(residual: &[f64], component: &[f64]) -> f64 {
+    let combined: Vec<f64> = residual.iter().zip(component).map(|(r, c)| r + c).collect();
+    let denom = variance(&combined);
+    if denom == 0.0 {
+        return 0.0;
+    }
+    (1.0 - variance(residual) / denom).max(0.0)
+}
+
+/// Decomposes `values` additively at `period`.
+///
+/// Returns `None` when the series is shorter than two full periods (the
+/// seasonal means would be meaningless) or `period < 2`.
+pub fn decompose(values: &[f64], period: usize) -> Option<Decomposition> {
+    if period < 2 || values.len() < 2 * period {
+        return None;
+    }
+    let n = values.len();
+
+    // Centered moving average; for even periods the standard 2×MA with
+    // half-weights at both ends.
+    let half = period / 2;
+    let mut trend = vec![f64::NAN; n];
+    for (i, slot) in trend.iter_mut().enumerate().take(n - half).skip(half) {
+        let sum = if period % 2 == 1 {
+            values[i - half..=i + half].iter().sum::<f64>() / period as f64
+        } else {
+            let core: f64 = values[i - half + 1..i + half].iter().sum();
+            (core + 0.5 * values[i - half] + 0.5 * values[i + half]) / period as f64
+        };
+        *slot = sum;
+    }
+    // Extend the edges flat so every sample decomposes.
+    let first = trend[half];
+    let last = trend[n - half - 1];
+    for slot in trend.iter_mut().take(half) {
+        *slot = first;
+    }
+    for slot in trend.iter_mut().skip(n - half) {
+        *slot = last;
+    }
+
+    // Per-phase means of the detrended series, recentered to zero.
+    let mut phase_sum = vec![0.0; period];
+    let mut phase_n = vec![0usize; period];
+    for i in 0..n {
+        let detrended = values[i] - trend[i];
+        phase_sum[i % period] += detrended;
+        phase_n[i % period] += 1;
+    }
+    let mut phase_mean: Vec<f64> = phase_sum
+        .iter()
+        .zip(&phase_n)
+        .map(|(&s, &c)| if c > 0 { s / c as f64 } else { 0.0 })
+        .collect();
+    let grand = phase_mean.iter().sum::<f64>() / period as f64;
+    for m in &mut phase_mean {
+        *m -= grand;
+    }
+
+    let seasonal: Vec<f64> = (0..n).map(|i| phase_mean[i % period]).collect();
+    // Fold the recentering constant into the trend so the reconstruction
+    // stays exact.
+    let trend: Vec<f64> = trend.iter().map(|t| t + grand).collect();
+    let residual: Vec<f64> = (0..n).map(|i| values[i] - trend[i] - seasonal[i]).collect();
+
+    Some(Decomposition {
+        period,
+        trend,
+        seasonal,
+        residual,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sine_plus_trend(n: usize, amp: f64, slope: f64) -> Vec<f64> {
+        (0..n)
+            .map(|t| {
+                300.0 + slope * t as f64 + amp * (std::f64::consts::TAU * t as f64 / 24.0).sin()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn reconstruction_is_exact() {
+        let x = sine_plus_trend(24 * 10, 100.0, 0.05);
+        let d = decompose(&x, 24).unwrap();
+        for (a, b) in d.reconstruct().iter().zip(&x) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn recovers_a_pure_daily_cycle() {
+        let x = sine_plus_trend(24 * 20, 100.0, 0.0);
+        let d = decompose(&x, 24).unwrap();
+        assert!(d.seasonal_strength() > 0.99, "{}", d.seasonal_strength());
+        // The seasonal component carries (almost) the full amplitude.
+        let max_seasonal = d.seasonal.iter().cloned().fold(f64::MIN, f64::max);
+        assert!((max_seasonal - 100.0).abs() < 2.0, "{max_seasonal}");
+        // The trend is flat at the base level.
+        for t in &d.trend[24..d.trend.len() - 24] {
+            assert!((t - 300.0).abs() < 1.0, "{t}");
+        }
+    }
+
+    #[test]
+    fn separates_trend_from_cycle() {
+        let x = sine_plus_trend(24 * 20, 50.0, 0.2);
+        let d = decompose(&x, 24).unwrap();
+        assert!(d.seasonal_strength() > 0.95);
+        assert!(d.trend_strength() > 0.95);
+        // Interior trend follows the slope.
+        let rise = d.trend[300] - d.trend[100];
+        assert!((rise - 0.2 * 200.0).abs() < 5.0, "rise {rise}");
+    }
+
+    #[test]
+    fn noise_has_low_seasonal_strength() {
+        // A deterministic pseudo-random walkless noise series.
+        let x: Vec<f64> = (0..24 * 15)
+            .map(|t| 300.0 + ((t * 2654435761usize) % 199) as f64 - 99.0)
+            .collect();
+        let d = decompose(&x, 24).unwrap();
+        assert!(d.seasonal_strength() < 0.5, "{}", d.seasonal_strength());
+    }
+
+    #[test]
+    fn seasonal_component_sums_to_zero_per_cycle() {
+        let x = sine_plus_trend(24 * 12, 80.0, 0.1);
+        let d = decompose(&x, 24).unwrap();
+        let cycle_sum: f64 = d.seasonal[..24].iter().sum();
+        assert!(cycle_sum.abs() < 1e-9, "{cycle_sum}");
+    }
+
+    #[test]
+    fn odd_periods_work() {
+        let x: Vec<f64> = (0..70)
+            .map(|t| 100.0 + 10.0 * (std::f64::consts::TAU * t as f64 / 7.0).sin())
+            .collect();
+        let d = decompose(&x, 7).unwrap();
+        assert!(d.seasonal_strength() > 0.9);
+        for (a, b) in d.reconstruct().iter().zip(&x) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn too_short_or_degenerate_returns_none() {
+        assert!(decompose(&[1.0; 47], 24).is_none());
+        assert!(decompose(&[1.0; 100], 1).is_none());
+        assert!(decompose(&[], 24).is_none());
+    }
+
+    #[test]
+    fn constant_series_has_zero_strengths() {
+        let x = vec![42.0; 24 * 5];
+        let d = decompose(&x, 24).unwrap();
+        assert_eq!(d.seasonal_strength(), 0.0);
+        assert_eq!(d.trend_strength(), 0.0);
+    }
+}

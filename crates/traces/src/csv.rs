@@ -1,0 +1,269 @@
+//! CSV import/export for carbon-intensity traces.
+//!
+//! The paper's artifact stores processed traces as CSV files; this module
+//! provides the same interchange format so users can swap in real
+//! Electricity Maps exports for the synthetic data. The format is
+//! `hour,value` with a one-line header, where `hour` is the absolute hour
+//! index since 2020-01-01 00:00 UTC.
+
+use std::io::{BufRead, BufReader, Read, Write};
+
+use crate::error::TraceError;
+use crate::series::TimeSeries;
+use crate::time::Hour;
+
+/// Writes `series` as CSV to `out`.
+pub fn write_series<W: Write>(series: &TimeSeries, out: &mut W) -> Result<(), TraceError> {
+    writeln!(out, "hour,ci_g_per_kwh")?;
+    for (hour, value) in series.iter() {
+        writeln!(out, "{},{}", hour.0, value)?;
+    }
+    Ok(())
+}
+
+/// Reads a CSV trace written by [`write_series`].
+///
+/// Hours must be contiguous and ascending; the first data row defines the
+/// series start.
+pub fn read_series<R: Read>(input: R) -> Result<TimeSeries, TraceError> {
+    let reader = BufReader::new(input);
+    let mut start: Option<Hour> = None;
+    let mut values = Vec::new();
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if i == 0 || line.is_empty() {
+            // Header or trailing blank line.
+            continue;
+        }
+        let (hour_str, value_str) = line.split_once(',').ok_or_else(|| TraceError::Parse {
+            line: i + 1,
+            message: "expected `hour,value`".to_string(),
+        })?;
+        let hour: u32 = hour_str.trim().parse().map_err(|e| TraceError::Parse {
+            line: i + 1,
+            message: format!("bad hour: {e}"),
+        })?;
+        let value: f64 = value_str.trim().parse().map_err(|e| TraceError::Parse {
+            line: i + 1,
+            message: format!("bad value: {e}"),
+        })?;
+        match start {
+            None => start = Some(Hour(hour)),
+            Some(s) => {
+                let expected = s.0 + values.len() as u32;
+                if hour != expected {
+                    return Err(TraceError::Parse {
+                        line: i + 1,
+                        message: format!("non-contiguous hour {hour}, expected {expected}"),
+                    });
+                }
+            }
+        }
+        values.push(value);
+    }
+    Ok(TimeSeries::new(start.unwrap_or(Hour(0)), values))
+}
+
+/// Writes a whole dataset as CSV: `zone,hour,ci_g_per_kwh`, rows grouped
+/// by zone with ascending hours.
+pub fn write_dataset<W: Write>(set: &crate::TraceSet, out: &mut W) -> Result<(), TraceError> {
+    writeln!(out, "zone,hour,ci_g_per_kwh")?;
+    for (region, series) in set.iter() {
+        for (hour, value) in series.iter() {
+            writeln!(out, "{},{},{}", region.code, hour.0, value)?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads a dataset written by [`write_dataset`] (or exported from a real
+/// carbon-information service in the same `zone,hour,value` shape).
+///
+/// Rows must be grouped by zone with contiguous ascending hours inside
+/// each group; every zone code must exist in the built-in catalog, which
+/// supplies the region metadata (geography, providers, generation mix)
+/// the policies need.
+pub fn read_dataset<R: Read>(input: R) -> Result<crate::TraceSet, TraceError> {
+    let reader = BufReader::new(input);
+    let mut pairs: Vec<(&'static crate::Region, TimeSeries)> = Vec::new();
+    let mut current: Option<(&'static crate::Region, Hour, Vec<f64>)> = None;
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if i == 0 || line.is_empty() {
+            continue;
+        }
+        let mut fields = line.splitn(3, ',');
+        let (Some(zone), Some(hour_str), Some(value_str)) =
+            (fields.next(), fields.next(), fields.next())
+        else {
+            return Err(TraceError::Parse {
+                line: i + 1,
+                message: "expected `zone,hour,value`".to_string(),
+            });
+        };
+        let hour: u32 = hour_str.trim().parse().map_err(|e| TraceError::Parse {
+            line: i + 1,
+            message: format!("bad hour: {e}"),
+        })?;
+        let value: f64 = value_str.trim().parse().map_err(|e| TraceError::Parse {
+            line: i + 1,
+            message: format!("bad value: {e}"),
+        })?;
+        let switch = match &current {
+            Some((region, _, _)) => region.code != zone.trim(),
+            None => true,
+        };
+        if switch {
+            if let Some((region, start, values)) = current.take() {
+                pairs.push((region, TimeSeries::new(start, values)));
+            }
+            let region = crate::catalog::region(zone.trim())
+                .ok_or_else(|| TraceError::UnknownRegion(zone.trim().to_string()))?;
+            if pairs.iter().any(|(r, _)| r.code == region.code) {
+                return Err(TraceError::Parse {
+                    line: i + 1,
+                    message: format!("zone {zone} appears in two separate groups"),
+                });
+            }
+            current = Some((region, Hour(hour), Vec::new()));
+        }
+        let (_, start, values) = current.as_mut().expect("set above");
+        let expected = start.0 + values.len() as u32;
+        if hour != expected {
+            return Err(TraceError::Parse {
+                line: i + 1,
+                message: format!("non-contiguous hour {hour}, expected {expected}"),
+            });
+        }
+        values.push(value);
+    }
+    if let Some((region, start, values)) = current.take() {
+        pairs.push((region, TimeSeries::new(start, values)));
+    }
+    Ok(crate::TraceSet::from_series(pairs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let series = TimeSeries::new(Hour(100), vec![1.5, 2.25, 3.125]);
+        let mut buf = Vec::new();
+        write_series(&series, &mut buf).unwrap();
+        let back = read_series(buf.as_slice()).unwrap();
+        assert_eq!(series, back);
+    }
+
+    #[test]
+    fn empty_input_gives_empty_series() {
+        let back = read_series("hour,ci_g_per_kwh\n".as_bytes()).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn rejects_malformed_rows() {
+        let err = read_series("header\nnot-a-row\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, TraceError::Parse { line: 2, .. }));
+        let err = read_series("header\nx,1.0\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, TraceError::Parse { line: 2, .. }));
+        let err = read_series("header\n1,abc\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, TraceError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn rejects_gaps() {
+        let err = read_series("header\n1,1.0\n3,2.0\n".as_bytes()).unwrap_err();
+        match err {
+            TraceError::Parse { line, message } => {
+                assert_eq!(line, 3);
+                assert!(message.contains("non-contiguous"));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn roundtrip_synthetic_region() {
+        use crate::catalog;
+        use crate::synth::Synthesizer;
+        let series = Synthesizer::default().generate(catalog::region("SE").unwrap());
+        let head = series.slice(Hour(0), 500).unwrap();
+        let mut buf = Vec::new();
+        write_series(&head, &mut buf).unwrap();
+        let back = read_series(buf.as_slice()).unwrap();
+        assert_eq!(head.len(), back.len());
+        for ((_, a), (_, b)) in head.iter().zip(back.iter()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    fn tiny_dataset() -> crate::TraceSet {
+        use crate::catalog;
+        let pairs = vec![
+            (
+                catalog::region("SE").unwrap(),
+                TimeSeries::new(Hour(10), vec![16.0, 17.5, 15.0]),
+            ),
+            (
+                catalog::region("DE").unwrap(),
+                TimeSeries::new(Hour(10), vec![380.0, 410.0, 395.0]),
+            ),
+        ];
+        crate::TraceSet::from_series(pairs)
+    }
+
+    #[test]
+    fn dataset_roundtrip() {
+        let set = tiny_dataset();
+        let mut buf = Vec::new();
+        write_dataset(&set, &mut buf).unwrap();
+        let back = read_dataset(buf.as_slice()).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.series("SE").unwrap(), set.series("SE").unwrap());
+        assert_eq!(back.series("DE").unwrap(), set.series("DE").unwrap());
+    }
+
+    #[test]
+    fn dataset_rejects_unknown_zone() {
+        let input = "zone,hour,ci\nZZ-NOWHERE,0,100.0\n";
+        let err = read_dataset(input.as_bytes()).unwrap_err();
+        assert_eq!(err, TraceError::UnknownRegion("ZZ-NOWHERE".into()));
+    }
+
+    #[test]
+    fn dataset_rejects_split_groups() {
+        let input = "zone,hour,ci\nSE,0,16.0\nDE,0,400.0\nSE,1,17.0\n";
+        let err = read_dataset(input.as_bytes()).unwrap_err();
+        assert!(matches!(err, TraceError::Parse { line: 4, .. }), "{err:?}");
+    }
+
+    #[test]
+    fn dataset_rejects_gaps_within_a_group() {
+        let input = "zone,hour,ci\nSE,0,16.0\nSE,2,17.0\n";
+        let err = read_dataset(input.as_bytes()).unwrap_err();
+        match err {
+            TraceError::Parse { line, message } => {
+                assert_eq!(line, 3);
+                assert!(message.contains("non-contiguous"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dataset_rejects_short_rows() {
+        let input = "zone,hour,ci\nSE;0;16.0\n";
+        let err = read_dataset(input.as_bytes()).unwrap_err();
+        assert!(matches!(err, TraceError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn empty_dataset_parses() {
+        let back = read_dataset("zone,hour,ci\n".as_bytes()).unwrap();
+        assert!(back.is_empty());
+    }
+}

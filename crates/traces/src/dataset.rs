@@ -1,0 +1,232 @@
+//! The `TraceSet` container: every region's trace plus lookup helpers.
+
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
+
+use crate::catalog;
+use crate::error::TraceError;
+use crate::region::{GeoGroup, Region};
+use crate::series::TimeSeries;
+use crate::synth::{SynthConfig, Synthesizer};
+use crate::time::{self, Hour};
+
+/// A set of carbon-intensity traces keyed by region code.
+///
+/// This is the dataset object every experiment consumes. The built-in set
+/// ([`builtin_dataset`]) covers all 123 catalog regions over 2020–2023.
+#[derive(Debug, Clone)]
+pub struct TraceSet {
+    regions: Vec<&'static Region>,
+    series: HashMap<&'static str, TimeSeries>,
+}
+
+impl TraceSet {
+    /// Builds a trace set by synthesizing every region in `regions`.
+    pub fn synthesize(regions: &[&'static Region], config: SynthConfig) -> Self {
+        let synth = Synthesizer::new(config);
+        let mut series = HashMap::with_capacity(regions.len());
+        for region in regions {
+            series.insert(region.code, synth.generate(region));
+        }
+        Self {
+            regions: regions.to_vec(),
+            series,
+        }
+    }
+
+    /// Builds a trace set from explicit `(region, series)` pairs.
+    pub fn from_series(pairs: Vec<(&'static Region, TimeSeries)>) -> Self {
+        let mut regions = Vec::with_capacity(pairs.len());
+        let mut series = HashMap::with_capacity(pairs.len());
+        for (region, s) in pairs {
+            regions.push(region);
+            series.insert(region.code, s);
+        }
+        Self { regions, series }
+    }
+
+    /// Returns the number of regions.
+    pub fn len(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Returns `true` if the set holds no regions.
+    pub fn is_empty(&self) -> bool {
+        self.regions.is_empty()
+    }
+
+    /// Returns the regions in catalog order.
+    pub fn regions(&self) -> &[&'static Region] {
+        &self.regions
+    }
+
+    /// Returns the region metadata for `code`.
+    pub fn region(&self, code: &str) -> Result<&'static Region, TraceError> {
+        self.regions
+            .iter()
+            .find(|r| r.code == code)
+            .copied()
+            .ok_or_else(|| TraceError::UnknownRegion(code.to_string()))
+    }
+
+    /// Returns the trace for `code`.
+    pub fn series(&self, code: &str) -> Result<&TimeSeries, TraceError> {
+        self.series
+            .get(code)
+            .ok_or_else(|| TraceError::UnknownRegion(code.to_string()))
+    }
+
+    /// Iterates over `(region, series)` pairs in catalog order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static Region, &TimeSeries)> + '_ {
+        self.regions.iter().map(move |r| (*r, &self.series[r.code]))
+    }
+
+    /// Returns the regions belonging to `group`.
+    pub fn regions_in_group(&self, group: GeoGroup) -> Vec<&'static Region> {
+        self.regions
+            .iter()
+            .filter(|r| r.group == group)
+            .copied()
+            .collect()
+    }
+
+    /// Returns each region's mean CI over the window `[from, from+len)`.
+    pub fn window_means(
+        &self,
+        from: Hour,
+        len: usize,
+    ) -> Result<Vec<(&'static Region, f64)>, TraceError> {
+        self.iter()
+            .map(|(region, series)| {
+                let w = series.window(from, len)?;
+                Ok((region, w.iter().sum::<f64>() / len as f64))
+            })
+            .collect()
+    }
+
+    /// Returns each region's mean CI over calendar `year`.
+    pub fn annual_means(&self, year: i32) -> Vec<(&'static Region, f64)> {
+        let start = time::year_start(year);
+        let len = time::hours_in_year(year);
+        self.iter()
+            .map(|(region, series)| {
+                let w = series
+                    .window(start, len)
+                    .expect("dataset horizon covers requested year");
+                (region, w.iter().sum::<f64>() / len as f64)
+            })
+            .collect()
+    }
+
+    /// Returns each region's mean CI over its *whole stored range* — the
+    /// fallback ranking for imported datasets that do not cover a full
+    /// calendar year (see [`TraceSet::annual_means`] for the calendar
+    /// version the paper's experiments use).
+    pub fn stored_means(&self) -> Vec<(&'static Region, f64)> {
+        self.iter()
+            .map(|(region, series)| (region, series.mean()))
+            .collect()
+    }
+
+    /// Returns the average of all regions' annual means for `year` — the
+    /// paper's "global average carbon-intensity".
+    pub fn global_mean(&self, year: i32) -> f64 {
+        let means = self.annual_means(year);
+        means.iter().map(|(_, m)| m).sum::<f64>() / means.len() as f64
+    }
+
+    /// Returns the region with the lowest annual mean in `year` (Sweden in
+    /// the built-in dataset) together with that mean.
+    pub fn greenest_region(&self, year: i32) -> (&'static Region, f64) {
+        self.annual_means(year)
+            .into_iter()
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("dataset is non-empty")
+    }
+}
+
+/// Returns the shared built-in dataset: all 123 regions, 2020–2023,
+/// synthesized once per process and shared behind an `Arc`.
+pub fn builtin_dataset() -> Arc<TraceSet> {
+    static DATASET: OnceLock<Arc<TraceSet>> = OnceLock::new();
+    DATASET
+        .get_or_init(|| {
+            let regions: Vec<&'static Region> = catalog::builtin_catalog().iter().collect();
+            Arc::new(TraceSet::synthesize(&regions, SynthConfig::default()))
+        })
+        .clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_covers_all_regions() {
+        let data = builtin_dataset();
+        assert_eq!(data.len(), 123);
+        assert!(!data.is_empty());
+        for (region, series) in data.iter() {
+            assert_eq!(series.len(), time::horizon_hours(), "{}", region.code);
+        }
+    }
+
+    #[test]
+    fn builtin_is_shared() {
+        let a = builtin_dataset();
+        let b = builtin_dataset();
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn global_mean_near_paper_value() {
+        let data = builtin_dataset();
+        let mean = data.global_mean(2022);
+        assert!(
+            (mean - 368.39).abs() < 12.0,
+            "global 2022 mean {mean:.2} vs paper 368.39"
+        );
+    }
+
+    #[test]
+    fn greenest_region_is_sweden() {
+        let data = builtin_dataset();
+        let (region, mean) = data.greenest_region(2022);
+        assert_eq!(region.code, "SE");
+        assert!((mean - 16.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn lookup_errors_for_unknown_codes() {
+        let data = builtin_dataset();
+        assert!(matches!(
+            data.series("NOPE"),
+            Err(TraceError::UnknownRegion(_))
+        ));
+        assert!(matches!(
+            data.region("NOPE"),
+            Err(TraceError::UnknownRegion(_))
+        ));
+    }
+
+    #[test]
+    fn window_means_match_annual_means() {
+        let data = builtin_dataset();
+        let start = time::year_start(2022);
+        let len = time::hours_in_year(2022);
+        let windows = data.window_means(start, len).unwrap();
+        let annual = data.annual_means(2022);
+        for (w, a) in windows.iter().zip(annual.iter()) {
+            assert_eq!(w.0.code, a.0.code);
+            assert!((w.1 - a.1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn group_queries() {
+        let data = builtin_dataset();
+        let oceania = data.regions_in_group(GeoGroup::Oceania);
+        assert_eq!(oceania.len(), 7);
+        assert!(oceania.iter().all(|r| r.group == GeoGroup::Oceania));
+    }
+}

@@ -1,0 +1,68 @@
+//! Error types for the trace substrate.
+
+use crate::time::Hour;
+
+/// Errors produced by trace containers and I/O.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceError {
+    /// A lookup or window extended beyond the stored horizon.
+    OutOfRange {
+        /// The offending hour.
+        hour: Hour,
+    },
+    /// A region code was not found in the catalog or dataset.
+    UnknownRegion(String),
+    /// A CSV record could not be parsed.
+    Parse {
+        /// Line number (1-based) of the malformed record.
+        line: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// An underlying I/O failure, carried as a string to keep the error
+    /// type `Clone + PartialEq` for test assertions.
+    Io(String),
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::OutOfRange { hour } => {
+                write!(f, "hour {hour} is outside the stored horizon")
+            }
+            TraceError::UnknownRegion(code) => write!(f, "unknown region code {code:?}"),
+            TraceError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
+            TraceError::Io(message) => write!(f, "I/O error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl From<std::io::Error> for TraceError {
+    fn from(err: std::io::Error) -> Self {
+        TraceError::Io(err.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = TraceError::OutOfRange { hour: Hour(3) };
+        assert!(format!("{e}").contains("outside"));
+        let e = TraceError::UnknownRegion("ZZ".into());
+        assert!(format!("{e}").contains("ZZ"));
+        let e = TraceError::Parse {
+            line: 7,
+            message: "bad float".into(),
+        };
+        assert!(format!("{e}").contains("line 7"));
+        let e: TraceError = std::io::Error::other("boom").into();
+        assert!(format!("{e}").contains("boom"));
+    }
+}

@@ -1,0 +1,228 @@
+//! Region metadata: geography, cloud presence, and calibration targets.
+
+use serde::{Deserialize, Serialize};
+
+use crate::mix::EnergyMix;
+
+/// Geographical grouping used throughout the paper's spatial analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GeoGroup {
+    /// African zones.
+    Africa,
+    /// Asian and Middle-Eastern zones.
+    Asia,
+    /// European zones.
+    Europe,
+    /// North American zones.
+    NorthAmerica,
+    /// South American zones.
+    SouthAmerica,
+    /// Australian and New Zealand zones.
+    Oceania,
+}
+
+impl GeoGroup {
+    /// All groupings, in display order.
+    pub const ALL: [GeoGroup; 6] = [
+        GeoGroup::Africa,
+        GeoGroup::Asia,
+        GeoGroup::Europe,
+        GeoGroup::NorthAmerica,
+        GeoGroup::SouthAmerica,
+        GeoGroup::Oceania,
+    ];
+
+    /// Returns a short label for table output.
+    pub fn label(self) -> &'static str {
+        match self {
+            GeoGroup::Africa => "Africa",
+            GeoGroup::Asia => "Asia",
+            GeoGroup::Europe => "Europe",
+            GeoGroup::NorthAmerica => "N. America",
+            GeoGroup::SouthAmerica => "S. America",
+            GeoGroup::Oceania => "Oceania",
+        }
+    }
+}
+
+impl std::fmt::Display for GeoGroup {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Cloud-provider presence flags for a region.
+///
+/// The catalog tags 99 of the 123 regions with at least one provider,
+/// matching the datacenter-location counts in §3.1.1 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub struct Providers(u8);
+
+impl Providers {
+    /// No cloud presence.
+    pub const NONE: Providers = Providers(0);
+    /// Google Cloud Platform.
+    pub const GCP: Providers = Providers(1);
+    /// Microsoft Azure.
+    pub const AZURE: Providers = Providers(2);
+    /// Amazon Web Services.
+    pub const AWS: Providers = Providers(4);
+    /// IBM Cloud.
+    pub const IBM: Providers = Providers(8);
+    /// Alibaba Cloud.
+    pub const ALIBABA: Providers = Providers(16);
+
+    /// Combines two provider sets.
+    pub const fn union(self, other: Providers) -> Providers {
+        Providers(self.0 | other.0)
+    }
+
+    /// Returns `true` if this set contains all providers in `other`.
+    pub const fn contains(self, other: Providers) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Returns `true` if no provider is present.
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Returns `true` if at least one hyperscaler (GCP, Azure, AWS) is
+    /// present — the criterion for the paper's Fig. 4 region set.
+    pub const fn has_hyperscaler(self) -> bool {
+        self.0 & (Self::GCP.0 | Self::AZURE.0 | Self::AWS.0) != 0
+    }
+
+    /// Returns the number of distinct providers present.
+    pub const fn count(self) -> u32 {
+        self.0.count_ones()
+    }
+}
+
+impl std::ops::BitOr for Providers {
+    type Output = Providers;
+    fn bitor(self, rhs: Providers) -> Providers {
+        self.union(rhs)
+    }
+}
+
+/// Static metadata for one grid region (an Electricity Maps-style zone).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Region {
+    /// Zone code, e.g. `"SE"` or `"US-CA"`.
+    pub code: &'static str,
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Geographical grouping.
+    pub group: GeoGroup,
+    /// Latitude in degrees (region centroid / main metro).
+    pub lat: f64,
+    /// Longitude in degrees.
+    pub lon: f64,
+    /// Cloud providers with datacenters in this zone.
+    pub providers: Providers,
+    /// Annual average generation mix.
+    pub mix: EnergyMix,
+    /// Calibration target: 2022 annual mean carbon-intensity (g·CO2eq/kWh).
+    pub mean_ci_2022: f64,
+    /// Calibration target: total change in annual mean CI from 2020 to 2022
+    /// (negative = decarbonizing).
+    pub ci_delta_2020_2022: f64,
+    /// Calibration target: average daily coefficient of variation of the
+    /// carbon-intensity signal.
+    pub daily_cv: f64,
+    /// Strength of the diurnal/weekly cycle in `[0, 1]`; 0 produces an
+    /// aperiodic signal (e.g. Hong Kong, Indonesia in Fig. 4).
+    pub periodicity: f64,
+    /// Member of the 40-region hyperscale set analyzed in Fig. 4.
+    pub hyperscale_set: bool,
+}
+
+impl Region {
+    /// Returns the 2020 annual mean implied by the calibration targets.
+    pub fn mean_ci_2020(&self) -> f64 {
+        self.mean_ci_2022 - self.ci_delta_2020_2022
+    }
+
+    /// Returns the calibrated annual mean for `year`, linearly
+    /// interpolating the 2020→2022 drift and extrapolating to 2023.
+    pub fn mean_ci(&self, year: i32) -> f64 {
+        let per_year = self.ci_delta_2020_2022 / 2.0;
+        (self.mean_ci_2022 + per_year * f64::from(year - 2022)).max(1.0)
+    }
+
+    /// Returns `true` if the region hosts any cloud datacenter.
+    pub fn has_datacenter(&self) -> bool {
+        !self.providers.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mix::EnergyMix;
+
+    fn region(mean: f64, delta: f64) -> Region {
+        Region {
+            code: "XX",
+            name: "Test",
+            group: GeoGroup::Europe,
+            lat: 0.0,
+            lon: 0.0,
+            providers: Providers::GCP | Providers::AWS,
+            mix: EnergyMix::new([0.5, 0.0, 0.0, 0.0, 0.5, 0.0, 0.0, 0.0, 0.0]),
+            mean_ci_2022: mean,
+            ci_delta_2020_2022: delta,
+            daily_cv: 0.1,
+            periodicity: 1.0,
+            hyperscale_set: false,
+        }
+    }
+
+    #[test]
+    fn provider_flags() {
+        let p = Providers::GCP | Providers::AZURE;
+        assert!(p.contains(Providers::GCP));
+        assert!(p.contains(Providers::AZURE));
+        assert!(!p.contains(Providers::AWS));
+        assert!(p.has_hyperscaler());
+        assert_eq!(p.count(), 2);
+        assert!(Providers::NONE.is_empty());
+        assert!(!Providers::IBM.has_hyperscaler());
+        assert!(!Providers::ALIBABA.has_hyperscaler());
+    }
+
+    #[test]
+    fn mean_ci_interpolation() {
+        let r = region(300.0, -50.0);
+        assert!((r.mean_ci_2020() - 350.0).abs() < 1e-9);
+        assert!((r.mean_ci(2020) - 350.0).abs() < 1e-9);
+        assert!((r.mean_ci(2021) - 325.0).abs() < 1e-9);
+        assert!((r.mean_ci(2022) - 300.0).abs() < 1e-9);
+        assert!((r.mean_ci(2023) - 275.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_ci_floors_at_one() {
+        let r = region(2.0, -50.0);
+        assert_eq!(r.mean_ci(2023), 1.0);
+    }
+
+    #[test]
+    fn group_labels_unique() {
+        let labels: Vec<&str> = GeoGroup::ALL.iter().map(|g| g.label()).collect();
+        let mut dedup = labels.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), labels.len());
+        assert_eq!(format!("{}", GeoGroup::Oceania), "Oceania");
+    }
+
+    #[test]
+    fn has_datacenter_from_providers() {
+        let mut r = region(100.0, 0.0);
+        assert!(r.has_datacenter());
+        r.providers = Providers::NONE;
+        assert!(!r.has_datacenter());
+    }
+}

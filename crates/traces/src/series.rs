@@ -1,0 +1,292 @@
+//! Hourly time series and prefix-sum acceleration structures.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::TraceError;
+use crate::time::Hour;
+
+/// An hourly time series anchored at an absolute [`Hour`].
+///
+/// The series owns a dense `Vec<f64>` of samples; index `i` holds the value
+/// for hour `start + i`. All scheduling kernels in `decarb-core` consume
+/// slices of this type.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeries {
+    start: Hour,
+    values: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// Creates a series from a start hour and raw samples.
+    pub fn new(start: Hour, values: Vec<f64>) -> Self {
+        Self { start, values }
+    }
+
+    /// Returns the absolute hour of the first sample.
+    #[inline]
+    pub fn start(&self) -> Hour {
+        self.start
+    }
+
+    /// Returns the absolute hour just past the last sample.
+    #[inline]
+    pub fn end(&self) -> Hour {
+        self.start.plus(self.len())
+    }
+
+    /// Returns the number of samples.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns `true` if the series holds no samples.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Returns the raw sample slice.
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Returns the sample at absolute hour `hour`, if in range.
+    #[inline]
+    pub fn at(&self, hour: Hour) -> Option<f64> {
+        let i = hour.0.checked_sub(self.start.0)? as usize;
+        self.values.get(i).copied()
+    }
+
+    /// Returns the sample at absolute hour `hour`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hour` is out of range; use [`TimeSeries::at`] for a
+    /// fallible lookup.
+    #[inline]
+    pub fn get(&self, hour: Hour) -> f64 {
+        self.at(hour).unwrap_or_else(|| {
+            panic!(
+                "hour {hour} outside series [{}, {})",
+                self.start,
+                self.end()
+            )
+        })
+    }
+
+    /// Returns the contiguous window of `len` samples starting at `from`.
+    pub fn window(&self, from: Hour, len: usize) -> Result<&[f64], TraceError> {
+        let i = from
+            .0
+            .checked_sub(self.start.0)
+            .ok_or(TraceError::OutOfRange { hour: from })? as usize;
+        if i + len > self.values.len() {
+            return Err(TraceError::OutOfRange {
+                hour: from.plus(len.saturating_sub(1)),
+            });
+        }
+        Ok(&self.values[i..i + len])
+    }
+
+    /// Returns a new series holding the samples for hours `[from, from+len)`.
+    pub fn slice(&self, from: Hour, len: usize) -> Result<TimeSeries, TraceError> {
+        Ok(TimeSeries::new(from, self.window(from, len)?.to_vec()))
+    }
+
+    /// Returns the arithmetic mean of all samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        self.values.iter().sum::<f64>() / self.values.len() as f64
+    }
+
+    /// Returns the minimum sample (+∞ when empty).
+    pub fn min(&self) -> f64 {
+        self.values.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Returns the maximum sample (−∞ when empty).
+    pub fn max(&self) -> f64 {
+        self.values
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Iterates over `(hour, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (Hour, f64)> + '_ {
+        self.values
+            .iter()
+            .enumerate()
+            .map(move |(i, &v)| (self.start.plus(i), v))
+    }
+
+    /// Applies `f` to every sample in place.
+    pub fn map_in_place(&mut self, mut f: impl FnMut(Hour, f64) -> f64) {
+        for (i, v) in self.values.iter_mut().enumerate() {
+            *v = f(self.start.plus(i), *v);
+        }
+    }
+
+    /// Builds a prefix-sum accelerator over this series.
+    pub fn prefix_sum(&self) -> PrefixSum {
+        PrefixSum::build(self)
+    }
+}
+
+/// Prefix sums over a [`TimeSeries`], enabling O(1) window-cost queries.
+///
+/// `sum(from, len)` returns the total carbon cost (assuming a unit 1 kW
+/// draw) of running for `len` contiguous hours starting at `from`, which is
+/// the primitive every temporal-shifting kernel is built on.
+#[derive(Debug, Clone)]
+pub struct PrefixSum {
+    start: Hour,
+    // `prefix[i]` is the sum of the first `i` samples.
+    prefix: Vec<f64>,
+}
+
+impl PrefixSum {
+    /// Builds prefix sums for `series`.
+    pub fn build(series: &TimeSeries) -> Self {
+        let mut prefix = Vec::with_capacity(series.len() + 1);
+        let mut acc = 0.0;
+        prefix.push(0.0);
+        for &v in series.values() {
+            acc += v;
+            prefix.push(acc);
+        }
+        Self {
+            start: series.start(),
+            prefix,
+        }
+    }
+
+    /// Returns the number of underlying samples.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.prefix.len() - 1
+    }
+
+    /// Returns `true` if there are no underlying samples.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns the start hour of the underlying series.
+    #[inline]
+    pub fn start(&self) -> Hour {
+        self.start
+    }
+
+    /// Returns the sum of `len` samples starting at absolute hour `from`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is out of range.
+    #[inline]
+    pub fn sum(&self, from: Hour, len: usize) -> f64 {
+        let i = (from.0 - self.start.0) as usize;
+        self.prefix[i + len] - self.prefix[i]
+    }
+
+    /// Fallible version of [`PrefixSum::sum`].
+    pub fn try_sum(&self, from: Hour, len: usize) -> Result<f64, TraceError> {
+        let i = from
+            .0
+            .checked_sub(self.start.0)
+            .ok_or(TraceError::OutOfRange { hour: from })? as usize;
+        if i + len > self.len() {
+            return Err(TraceError::OutOfRange {
+                hour: from.plus(len.saturating_sub(1)),
+            });
+        }
+        Ok(self.prefix[i + len] - self.prefix[i])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(values: &[f64]) -> TimeSeries {
+        TimeSeries::new(Hour(10), values.to_vec())
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let s = ts(&[1.0, 2.0, 3.0]);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        assert_eq!(s.start(), Hour(10));
+        assert_eq!(s.end(), Hour(13));
+        assert_eq!(s.at(Hour(11)), Some(2.0));
+        assert_eq!(s.at(Hour(13)), None);
+        assert_eq!(s.at(Hour(9)), None);
+        assert_eq!(s.get(Hour(12)), 3.0);
+    }
+
+    #[test]
+    fn window_and_slice() {
+        let s = ts(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.window(Hour(11), 2).unwrap(), &[2.0, 3.0]);
+        assert!(s.window(Hour(11), 4).is_err());
+        assert!(s.window(Hour(9), 1).is_err());
+        let sub = s.slice(Hour(12), 2).unwrap();
+        assert_eq!(sub.start(), Hour(12));
+        assert_eq!(sub.values(), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn stats() {
+        let s = ts(&[2.0, 4.0, 6.0]);
+        assert!((s.mean() - 4.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 6.0);
+        let empty = TimeSeries::new(Hour(0), vec![]);
+        assert_eq!(empty.mean(), 0.0);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn iter_yields_absolute_hours() {
+        let s = ts(&[1.0, 2.0]);
+        let pairs: Vec<_> = s.iter().collect();
+        assert_eq!(pairs, vec![(Hour(10), 1.0), (Hour(11), 2.0)]);
+    }
+
+    #[test]
+    fn map_in_place_applies() {
+        let mut s = ts(&[1.0, 2.0]);
+        s.map_in_place(|h, v| v + h.index() as f64);
+        assert_eq!(s.values(), &[11.0, 13.0]);
+    }
+
+    #[test]
+    fn prefix_sums_match_direct() {
+        let s = ts(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        let p = s.prefix_sum();
+        for from in 0..5usize {
+            for len in 0..=(5 - from) {
+                let direct: f64 = s.values()[from..from + len].iter().sum();
+                let fast = p.sum(Hour(10 + from as u32), len);
+                assert!((direct - fast).abs() < 1e-12, "from={from} len={len}");
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_try_sum_bounds() {
+        let s = ts(&[1.0, 2.0]);
+        let p = s.prefix_sum();
+        assert!(p.try_sum(Hour(10), 2).is_ok());
+        assert!(p.try_sum(Hour(10), 3).is_err());
+        assert!(p.try_sum(Hour(9), 1).is_err());
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+    }
+}

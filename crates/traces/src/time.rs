@@ -1,0 +1,227 @@
+//! Calendar and hour-index arithmetic for the 2020–2023 trace horizon.
+//!
+//! All traces in this workspace are hourly and share a common epoch:
+//! **2020-01-01 00:00 UTC**. An [`Hour`] is an absolute index into that
+//! horizon. Keeping time as a plain index (instead of a datetime library)
+//! makes every scheduling kernel a straightforward array computation, which
+//! is exactly how the paper's analysis operates.
+
+use serde::{Deserialize, Serialize};
+
+/// Hours in a day.
+pub const HOURS_PER_DAY: usize = 24;
+/// Hours in a week.
+pub const HOURS_PER_WEEK: usize = 168;
+/// Hours in a non-leap year.
+pub const HOURS_PER_YEAR: usize = 8760;
+
+/// First year covered by the built-in dataset.
+pub const EPOCH_YEAR: i32 = 2020;
+/// Last year covered by the built-in dataset (inclusive).
+pub const LAST_YEAR: i32 = 2023;
+
+/// Day of week of the epoch (2020-01-01 was a Wednesday; Monday = 0).
+const EPOCH_WEEKDAY: usize = 2;
+
+/// An absolute hour index since 2020-01-01 00:00 UTC.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct Hour(pub u32);
+
+impl Hour {
+    /// Returns the hour index as a `usize`, for array indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the hour-of-day in UTC (0–23).
+    #[inline]
+    pub fn hour_of_day(self) -> usize {
+        self.index() % HOURS_PER_DAY
+    }
+
+    /// Returns the day-of-week (Monday = 0 … Sunday = 6).
+    #[inline]
+    pub fn day_of_week(self) -> usize {
+        (self.index() / HOURS_PER_DAY + EPOCH_WEEKDAY) % 7
+    }
+
+    /// Returns `true` if the hour falls on a Saturday or Sunday.
+    #[inline]
+    pub fn is_weekend(self) -> bool {
+        self.day_of_week() >= 5
+    }
+
+    /// Returns the calendar year containing this hour.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the hour lies beyond [`LAST_YEAR`].
+    pub fn year(self) -> i32 {
+        let mut rest = self.index();
+        for year in EPOCH_YEAR..=LAST_YEAR {
+            let len = hours_in_year(year);
+            if rest < len {
+                return year;
+            }
+            rest -= len;
+        }
+        panic!("hour {} beyond dataset horizon", self.0);
+    }
+
+    /// Returns the hour offset within its calendar year.
+    pub fn hour_of_year(self) -> usize {
+        self.index() - year_start(self.year()).index()
+    }
+
+    /// Returns the (zero-based) day-of-year containing this hour.
+    pub fn day_of_year(self) -> usize {
+        self.hour_of_year() / HOURS_PER_DAY
+    }
+
+    /// Returns a new hour advanced by `delta` hours.
+    #[inline]
+    pub fn plus(self, delta: usize) -> Hour {
+        Hour(self.0 + delta as u32)
+    }
+}
+
+impl std::fmt::Display for Hour {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}y+{:04}h", self.year(), self.hour_of_year())
+    }
+}
+
+/// Returns `true` if `year` is a leap year.
+#[inline]
+pub fn is_leap_year(year: i32) -> bool {
+    (year % 4 == 0 && year % 100 != 0) || year % 400 == 0
+}
+
+/// Returns the number of hours in `year`.
+#[inline]
+pub fn hours_in_year(year: i32) -> usize {
+    if is_leap_year(year) {
+        HOURS_PER_YEAR + HOURS_PER_DAY
+    } else {
+        HOURS_PER_YEAR
+    }
+}
+
+/// Returns the number of days in `year`.
+#[inline]
+pub fn days_in_year(year: i32) -> usize {
+    hours_in_year(year) / HOURS_PER_DAY
+}
+
+/// Returns the absolute hour at which `year` starts.
+///
+/// # Panics
+///
+/// Panics if `year` lies outside the `2020..=2023` dataset horizon.
+pub fn year_start(year: i32) -> Hour {
+    assert!(
+        (EPOCH_YEAR..=LAST_YEAR).contains(&year),
+        "year {year} outside dataset horizon"
+    );
+    let mut acc = 0usize;
+    for y in EPOCH_YEAR..year {
+        acc += hours_in_year(y);
+    }
+    Hour(acc as u32)
+}
+
+/// Returns the total number of hours in the full 2020–2023 horizon.
+pub fn horizon_hours() -> usize {
+    (EPOCH_YEAR..=LAST_YEAR).map(hours_in_year).sum()
+}
+
+/// Returns every hourly start time within `year` as absolute hours.
+pub fn hours_of_year(year: i32) -> impl Iterator<Item = Hour> {
+    let start = year_start(year).0;
+    let len = hours_in_year(year) as u32;
+    (start..start + len).map(Hour)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leap_years() {
+        assert!(is_leap_year(2020));
+        assert!(!is_leap_year(2021));
+        assert!(!is_leap_year(2022));
+        assert!(!is_leap_year(2023));
+        assert!(is_leap_year(2000));
+        assert!(!is_leap_year(1900));
+    }
+
+    #[test]
+    fn year_lengths() {
+        assert_eq!(hours_in_year(2020), 8784);
+        assert_eq!(hours_in_year(2021), 8760);
+        assert_eq!(horizon_hours(), 8784 + 3 * 8760);
+    }
+
+    #[test]
+    fn year_starts_chain() {
+        assert_eq!(year_start(2020), Hour(0));
+        assert_eq!(year_start(2021), Hour(8784));
+        assert_eq!(year_start(2022), Hour(8784 + 8760));
+        assert_eq!(year_start(2023), Hour(8784 + 2 * 8760));
+    }
+
+    #[test]
+    fn hour_year_roundtrip() {
+        for year in EPOCH_YEAR..=LAST_YEAR {
+            let start = year_start(year);
+            assert_eq!(start.year(), year);
+            assert_eq!(start.hour_of_year(), 0);
+            let last = Hour(start.0 + hours_in_year(year) as u32 - 1);
+            assert_eq!(last.year(), year);
+            assert_eq!(last.hour_of_year(), hours_in_year(year) - 1);
+        }
+    }
+
+    #[test]
+    fn epoch_weekday_is_wednesday() {
+        // 2020-01-01 was a Wednesday (Monday = 0 → Wednesday = 2).
+        assert_eq!(Hour(0).day_of_week(), 2);
+        // 2020-01-04 was a Saturday.
+        assert!(Hour(3 * 24).is_weekend());
+        // 2020-01-06 was a Monday.
+        assert_eq!(Hour(5 * 24).day_of_week(), 0);
+        assert!(!Hour(5 * 24).is_weekend());
+    }
+
+    #[test]
+    fn hour_of_day_cycles() {
+        assert_eq!(Hour(0).hour_of_day(), 0);
+        assert_eq!(Hour(23).hour_of_day(), 23);
+        assert_eq!(Hour(24).hour_of_day(), 0);
+    }
+
+    #[test]
+    fn hours_of_year_iterates_full_year() {
+        let hours: Vec<Hour> = hours_of_year(2022).collect();
+        assert_eq!(hours.len(), 8760);
+        assert_eq!(hours[0], year_start(2022));
+        assert_eq!(hours[0].year(), 2022);
+        assert_eq!(hours.last().unwrap().year(), 2022);
+    }
+
+    #[test]
+    fn display_formats() {
+        let h = year_start(2022).plus(5);
+        assert_eq!(format!("{h}"), "2022y+0005h");
+    }
+
+    #[test]
+    #[should_panic(expected = "outside dataset horizon")]
+    fn year_start_out_of_range_panics() {
+        let _ = year_start(2019);
+    }
+}

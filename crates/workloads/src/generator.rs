@@ -1,0 +1,162 @@
+//! Workload generators: arrival sweeps and mixed populations.
+
+use decarb_traces::rng::Xoshiro256;
+use decarb_traces::time::{hours_in_year, year_start};
+use decarb_traces::Hour;
+
+use crate::job::{Job, Slack};
+
+/// Returns every hourly arrival time in calendar `year`.
+///
+/// The paper evaluates all 8760 possible start times in a year and reports
+/// averages across them (§3.1.2); this is that sweep.
+pub fn arrival_sweep(year: i32) -> impl Iterator<Item = Hour> {
+    let start = year_start(year).0;
+    let len = hours_in_year(year) as u32;
+    (start..start + len).map(Hour)
+}
+
+/// A mixed population of migratable batch and pinned interactive jobs
+/// (§6.1's what-if).
+#[derive(Debug, Clone)]
+pub struct MixedWorkload {
+    /// Fraction of the workload that is migratable batch work, in `[0, 1]`.
+    pub migratable_fraction: f64,
+    /// Job length for the batch portion, in hours.
+    pub batch_length_hours: f64,
+    /// Slack for the batch portion.
+    pub batch_slack: Slack,
+}
+
+impl MixedWorkload {
+    /// Creates a mixed workload with the given migratable fraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `migratable_fraction` is in `[0, 1]`.
+    pub fn new(migratable_fraction: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&migratable_fraction),
+            "migratable fraction must be in [0, 1]"
+        );
+        Self {
+            migratable_fraction,
+            batch_length_hours: 1.0,
+            batch_slack: Slack::None,
+        }
+    }
+
+    /// Samples `n` jobs arriving at `arrival` from `origin`, using `rng`
+    /// to draw each job's class.
+    pub fn sample(
+        &self,
+        n: usize,
+        origin: &'static str,
+        arrival: Hour,
+        rng: &mut Xoshiro256,
+    ) -> Vec<Job> {
+        (0..n as u64)
+            .map(|id| {
+                if rng.uniform() < self.migratable_fraction {
+                    Job::batch(
+                        id,
+                        origin,
+                        arrival,
+                        self.batch_length_hours,
+                        self.batch_slack,
+                    )
+                } else {
+                    Job::interactive(id, origin, arrival)
+                }
+            })
+            .collect()
+    }
+
+    /// Returns the expected fraction of jobs in each class as
+    /// `(migratable, pinned)`.
+    pub fn expected_split(&self) -> (f64, f64) {
+        (self.migratable_fraction, 1.0 - self.migratable_fraction)
+    }
+}
+
+/// Generates one batch job per hourly arrival over a year — the unit
+/// workload used by every temporal experiment.
+pub fn hourly_batch_jobs(
+    year: i32,
+    origin: &'static str,
+    length_hours: f64,
+    slack: Slack,
+    interruptible: bool,
+) -> Vec<Job> {
+    arrival_sweep(year)
+        .enumerate()
+        .map(|(i, arrival)| {
+            let job = Job::batch(i as u64, origin, arrival, length_hours, slack);
+            if interruptible {
+                job.with_interruptible()
+            } else {
+                job
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobClass;
+
+    #[test]
+    fn sweep_covers_whole_year() {
+        let arrivals: Vec<Hour> = arrival_sweep(2022).collect();
+        assert_eq!(arrivals.len(), 8760);
+        assert_eq!(arrivals[0], year_start(2022));
+        assert_eq!(arrivals[8759].0, year_start(2022).0 + 8759);
+        // Leap year has 8784 arrivals.
+        assert_eq!(arrival_sweep(2020).count(), 8784);
+    }
+
+    #[test]
+    fn mixed_split_converges_to_fraction() {
+        let workload = MixedWorkload::new(0.3);
+        let mut rng = Xoshiro256::seeded(1);
+        let jobs = workload.sample(20_000, "US-CA", Hour(0), &mut rng);
+        let batch = jobs.iter().filter(|j| j.class == JobClass::Batch).count();
+        let frac = batch as f64 / jobs.len() as f64;
+        assert!((frac - 0.3).abs() < 0.02, "batch fraction {frac}");
+        // Interactive jobs are pinned; batch ones are migratable.
+        for job in &jobs {
+            match job.class {
+                JobClass::Batch => assert!(job.migratable),
+                JobClass::Interactive => assert!(!job.migratable),
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_extremes() {
+        let mut rng = Xoshiro256::seeded(2);
+        let all_batch = MixedWorkload::new(1.0).sample(100, "SE", Hour(0), &mut rng);
+        assert!(all_batch.iter().all(|j| j.class == JobClass::Batch));
+        let none_batch = MixedWorkload::new(0.0).sample(100, "SE", Hour(0), &mut rng);
+        assert!(none_batch.iter().all(|j| j.class == JobClass::Interactive));
+        assert_eq!(MixedWorkload::new(0.25).expected_split(), (0.25, 0.75));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0, 1]")]
+    fn bad_fraction_panics() {
+        MixedWorkload::new(1.5);
+    }
+
+    #[test]
+    fn hourly_batch_jobs_shape() {
+        let jobs = hourly_batch_jobs(2022, "DE", 6.0, Slack::Day, true);
+        assert_eq!(jobs.len(), 8760);
+        assert!(jobs.iter().all(|j| j.interruptible));
+        assert!(jobs.iter().all(|j| j.length_hours == 6.0));
+        assert_eq!(jobs[0].arrival, year_start(2022));
+        let not_int = hourly_batch_jobs(2022, "DE", 6.0, Slack::Day, false);
+        assert!(not_int.iter().all(|j| !j.interruptible));
+    }
+}

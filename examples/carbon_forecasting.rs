@@ -1,0 +1,72 @@
+//! Carbon forecasting: how predictable is the grid, and does it matter?
+//!
+//! Backtests four forecasters on California's 2022 trace, then schedules
+//! a deferrable job against each model's day-ahead forecast and pays for
+//! it on the true trace — the gap to the clairvoyant bound is the real
+//! cost of imperfect forecasts (the practical counterpart of the paper's
+//! §6.2 uniform-error what-if).
+//!
+//! Run with `cargo run --release --example carbon_forecasting`.
+
+use decarb::forecast::{
+    backtest, rolling_forecast_trace, BacktestConfig, DiurnalTemplate, Forecaster, LinearAr,
+    Persistence, SeasonalNaive,
+};
+use decarb::prelude::*;
+use decarb_core::forecast::temporal_increase_pct;
+use decarb_traces::time::year_start;
+
+fn main() {
+    let data = builtin_dataset();
+    let region = "US-CA";
+    let series = data.series(region).expect("trace exists");
+    let eval_start = year_start(2022);
+    let eval_hours = 120 * 24;
+
+    // Fit the learned model on the preceding year, like a deployment would.
+    let train = series
+        .slice(year_start(2021), 8760)
+        .expect("training year in trace");
+    let ar = LinearAr::fit(&train).expect("full year of history fits the AR model");
+    let models: Vec<(&str, Box<dyn Forecaster>)> = vec![
+        ("persistence", Box::new(Persistence)),
+        ("seasonal-naive (24h)", Box::new(SeasonalNaive::daily())),
+        ("diurnal-template", Box::new(DiurnalTemplate::default())),
+        ("linear-AR", Box::new(ar)),
+    ];
+
+    println!("forecasting {region}'s carbon-intensity, 96-hour horizon\n");
+    println!(
+        "{:<22} {:>8} {:>8} {:>8}",
+        "model", "MAPE %", "day1 %", "day4 %"
+    );
+    let config = BacktestConfig::default();
+    for (name, model) in &models {
+        let report = backtest(model.as_ref(), series, eval_start, eval_hours, &config);
+        println!(
+            "{name:<22} {:>8.2} {:>8.2} {:>8.2}",
+            report.mape_pct, report.mape_by_lead_day[0], report.mape_by_lead_day[3]
+        );
+    }
+
+    // Now the part schedulers care about: schedule a 6-hour job with 48
+    // hours of slack on the *believed* trace, pay on the truth.
+    println!("\nscheduling a 6h job (48h slack) on each model's rolling forecast:");
+    let (slots, slack) = (6usize, 48usize);
+    let sweep = eval_hours - slots - slack;
+    for (name, model) in &models {
+        let believed = rolling_forecast_trace(
+            model.as_ref(),
+            series,
+            eval_start,
+            eval_hours,
+            24,
+            config.history,
+        );
+        let increase =
+            temporal_increase_pct(series, &believed, eval_start, sweep, slots, slack, 13);
+        println!("  {name:<22} +{increase:5.2}% emissions vs clairvoyant deferral");
+    }
+    println!("\na CarbonCast-grade forecaster gives up only a few percent of the ideal");
+    println!("savings — forecast quality is not the binding constraint the paper finds.");
+}

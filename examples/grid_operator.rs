@@ -1,0 +1,120 @@
+//! The grid operator's view: average vs marginal signals and flexible load.
+//!
+//! Builds a merit-order grid with must-run coal, night wind (regularly
+//! curtailed), solar noon, and gas peaking — the canonical case where the
+//! *average* carbon-intensity signal that carbon-information services
+//! publish points the wrong way. A deferrable job scheduled by average CI
+//! lands on the gas margin; scheduled by marginal CI it soaks up curtailed
+//! wind. Then a datacenter's whole daily energy is placed as flexible
+//! load, quantifying the paper's closing argument that clouds may serve
+//! decarbonization best by supporting the grid.
+//!
+//! Run with `cargo run --release --example grid_operator`.
+
+use decarb::core::flexload::{allocate_by_average_ci, allocate_flexible, flat_allocation};
+use decarb::core::signals::compare_signals;
+use decarb::traces::grid::{solar_availability, Fleet, Generator};
+use decarb::traces::mix::Source;
+use decarb::traces::Hour;
+
+fn night_wind(hour: Hour) -> f64 {
+    if !(6..20).contains(&hour.hour_of_day()) {
+        1.0
+    } else {
+        0.1
+    }
+}
+
+fn grid() -> Fleet {
+    Fleet::new(vec![
+        Generator {
+            name: "must-run coal",
+            source: Source::Coal,
+            capacity_mw: 500.0,
+            marginal_cost: -5.0,
+            availability: None,
+        },
+        Generator {
+            name: "wind",
+            source: Source::Wind,
+            capacity_mw: 400.0,
+            marginal_cost: 0.0,
+            availability: Some(night_wind),
+        },
+        Generator {
+            name: "solar",
+            source: Source::Solar,
+            capacity_mw: 800.0,
+            marginal_cost: 1.0,
+            availability: Some(solar_availability),
+        },
+        Generator {
+            name: "gas",
+            source: Source::Gas,
+            capacity_mw: 1200.0,
+            marginal_cost: 40.0,
+            availability: None,
+        },
+    ])
+}
+
+fn demand(hour: Hour) -> f64 {
+    if (8..20).contains(&hour.hour_of_day()) {
+        1400.0
+    } else {
+        800.0
+    }
+}
+
+fn main() {
+    let fleet = grid();
+
+    println!("hour-by-hour: average CI vs marginal CI vs curtailment\n");
+    println!(
+        "{:>4} {:>10} {:>10} {:>12}",
+        "hour", "avg g/kWh", "marg g/kWh", "curtailed MW"
+    );
+    for h in [0u32, 4, 8, 12, 16, 20] {
+        let d = fleet.dispatch(Hour(h), demand(Hour(h)));
+        println!(
+            "{h:>4} {:>10.1} {:>10.1} {:>12.1}",
+            d.average_ci, d.marginal_ci, d.curtailed_mw
+        );
+    }
+
+    let cmp = compare_signals(&fleet, demand, Hour(0), 48, 4, 30, 100.0);
+    println!("\na 100 MW, 4-hour job with 30h slack:");
+    println!(
+        "  scheduled by average CI  → starts {:>3} (hour {:>2}), adds {:>9.0} kg",
+        cmp.average_start,
+        cmp.average_start.hour_of_day(),
+        cmp.average_added_kg
+    );
+    println!(
+        "  scheduled by marginal CI → starts {:>3} (hour {:>2}), adds {:>9.0} kg",
+        cmp.marginal_start,
+        cmp.marginal_start.hour_of_day(),
+        cmp.marginal_added_kg
+    );
+    println!(
+        "  the average signal costs {:.0}x more than the margin-aware choice",
+        cmp.average_added_kg / cmp.marginal_added_kg.max(1.0)
+    );
+
+    println!("\nplacing a datacenter's 1.2 GWh/day as flexible load (100 MW cap):");
+    let flat = flat_allocation(&fleet, demand, Hour(0), 24, 1200.0);
+    let avg = allocate_by_average_ci(&fleet, demand, Hour(0), 24, 1200.0, 100.0);
+    let flex = allocate_flexible(&fleet, demand, Hour(0), 24, 1200.0, 100.0, 25.0);
+    for (name, alloc) in [
+        ("flat (always-on)", &flat),
+        ("average-CI greedy", &avg),
+        ("consequential greedy", &flex),
+    ] {
+        println!(
+            "  {name:<22} adds {:>9.0} kg, absorbs {:>6.0} MWh of curtailed wind",
+            alloc.added_kg, alloc.absorbed_curtailment_mwh
+        );
+    }
+    println!("\nthe consequential placement both cuts the datacenter's true footprint and");
+    println!("raises the grid's renewable utilization — the paper's future-work thesis.");
+}

@@ -1,0 +1,103 @@
+//! Carbon-aware scheduling of an ML training campaign.
+//!
+//! The paper's §2.2.1 motivates temporal shifting with batch ML training:
+//! long jobs with slack that can be suspended and resumed. This example
+//! runs a month-long campaign of training jobs (Google-like length mix)
+//! through the discrete-event simulator under three policies and compares
+//! realized emissions:
+//!
+//! * carbon-agnostic FIFO (run on arrival),
+//! * clairvoyant planned deferral (the paper's upper bound),
+//! * online threshold suspend/resume (no future knowledge).
+//!
+//! Run with `cargo run --release --example ml_training`.
+
+use decarb::sim::{CarbonAgnostic, PlannedDeferral, SimConfig, Simulator, ThresholdSuspend};
+use decarb::traces::builtin_dataset;
+use decarb::traces::time::year_start;
+use decarb::workloads::{ClusterTrace, ClusterTraceConfig, JobLengthDistribution, Slack};
+
+fn main() {
+    let data = builtin_dataset();
+    let origin = "US-CA";
+    let trace = ClusterTrace::generate(
+        origin,
+        &ClusterTraceConfig {
+            year: 2022,
+            jobs: 3000,
+            distribution: JobLengthDistribution::GoogleLike,
+            slack: Slack::Day,
+            interruptible: true,
+            seed: 7,
+        },
+    );
+    // Keep the batch (≥ 1 h) jobs arriving in the first month so the
+    // simulation horizon comfortably covers every deadline.
+    let start = year_start(2022);
+    let jobs: Vec<_> = trace
+        .jobs
+        .iter()
+        .filter(|j| j.arrival.0 < start.0 + 28 * 24 && j.length_hours >= 1.0)
+        .cloned()
+        .collect();
+    let region = data.region(origin).expect("origin in catalog");
+
+    let config = SimConfig::new(start, 60 * 24, 64);
+
+    let mut results = Vec::new();
+    for (name, report) in [
+        (
+            "carbon-agnostic FIFO",
+            Simulator::new(&data, &[region], config.clone()).run(&mut CarbonAgnostic, &jobs),
+        ),
+        (
+            "clairvoyant deferral",
+            Simulator::new(&data, &[region], config.clone()).run(&mut PlannedDeferral, &jobs),
+        ),
+        (
+            "online threshold",
+            Simulator::new(&data, &[region], config.clone())
+                .run(&mut ThresholdSuspend::default(), &jobs),
+        ),
+    ] {
+        results.push((name, report));
+    }
+
+    println!(
+        "{} training jobs in {} (Google-like lengths, 24h slack, interruptible)",
+        jobs.len(),
+        origin
+    );
+    let baseline = results[0].1.total_emissions_g;
+    for (name, report) in &results {
+        println!(
+            "  {name:22} {:>12.0} g CO2eq  ({:>6.1} g/kWh avg, {:+5.1}% vs agnostic, {} done, {} missed deadlines)",
+            report.total_emissions_g,
+            report.average_ci(),
+            (report.total_emissions_g - baseline) / baseline * 100.0,
+            report.completed_count(),
+            report.missed_deadlines(),
+        );
+    }
+
+    // The paper's true upper bound: clairvoyant deferral + interruption.
+    let planner = decarb::core::temporal::TemporalPlanner::new(data.series(origin).expect("trace"));
+    let bound: f64 = jobs
+        .iter()
+        .map(|j| {
+            planner
+                .best_interruptible(j.arrival, j.length_slots(), j.slack_hours())
+                .1
+        })
+        .sum();
+    println!(
+        "  {:22} {:>12.0} g CO2eq  ({:+5.1}% vs agnostic)",
+        "defer+interrupt bound",
+        bound,
+        (bound - baseline) / baseline * 100.0
+    );
+    println!();
+    println!("with mostly week-long jobs and 24h slack, even the clairvoyant bound");
+    println!("saves only a few percent — the paper's central \"limited in practice\"");
+    println!("finding. The online threshold policy lands between FIFO and the bound.");
+}

@@ -1,0 +1,65 @@
+//! Quickstart: how much carbon can one job save?
+//!
+//! Loads the built-in 123-region dataset, takes a 6-hour batch job
+//! arriving in Germany at evening peak, and compares the paper's four
+//! scheduling options: run now, defer within 24 h, defer+interrupt, and
+//! migrate to the greenest region.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use decarb::prelude::*;
+use decarb_traces::time::year_start;
+
+fn main() {
+    let data = builtin_dataset();
+    let arrival = year_start(2022).plus(9 * 24 + 17); // Jan 10, 17:00 UTC
+    let job = Job::batch(1, "DE", arrival, 6.0, Slack::Day);
+
+    let series = data.series(job.origin).expect("origin trace exists");
+    let planner = TemporalPlanner::new(series);
+    let slots = job.length_slots();
+    let slack = job.slack_hours();
+
+    let baseline = planner.baseline_cost(job.arrival, slots);
+    let deferred = planner.best_deferred(job.arrival, slots, slack);
+    let (_, interrupted) = planner.best_interruptible(job.arrival, slots, slack);
+
+    let all_regions = data.regions().to_vec();
+    let migrated = one_migration(&data, &all_regions, 2022, job.arrival, slots);
+    let (hopped, hops) = inf_migration(&data, &all_regions, job.arrival, slots);
+
+    println!("6-hour job arriving in {} at {arrival}", job.origin);
+    println!("  run immediately:          {baseline:8.1} g CO2eq");
+    println!(
+        "  defer within 24h:         {:8.1} g CO2eq ({:+5.1}% vs baseline, start {})",
+        deferred.cost_g,
+        (deferred.cost_g - baseline) / baseline * 100.0,
+        deferred.start
+    );
+    println!(
+        "  defer + interrupt:        {:8.1} g CO2eq ({:+5.1}%)",
+        interrupted,
+        (interrupted - baseline) / baseline * 100.0
+    );
+    println!(
+        "  migrate once ({}):        {:8.1} g CO2eq ({:+5.1}%)",
+        migrated.destination,
+        migrated.cost_g,
+        (migrated.cost_g - baseline) / baseline * 100.0
+    );
+    println!(
+        "  hop hourly ({} hops):      {:8.1} g CO2eq ({:+5.1}%)",
+        hops,
+        hopped.cost_g,
+        (hopped.cost_g - baseline) / baseline * 100.0
+    );
+    println!();
+    let per_hour = absolute_reduction(baseline, migrated.cost_g) / slots as f64;
+    println!(
+        "spatial shifting saves {:.1} g per job hour — {:.1}% of the global average CI",
+        per_hour,
+        relative_reduction(per_hour)
+    );
+    println!("note how little the clairvoyant hourly hopping adds over one migration —");
+    println!("that is the paper's §5.1.4 takeaway.");
+}

@@ -1,0 +1,233 @@
+//! Property-based tests over the core data structures and kernels.
+//!
+//! Each scheduling kernel is checked against a brute-force oracle on
+//! arbitrary inputs, and the capacity/greener transforms are checked for
+//! their conservation and bounding invariants.
+
+use decarb::core::capacity::{water_filling, IdleCapacity};
+use decarb::core::greener::{greener_trace, ADDED_RENEWABLE_CI};
+use decarb::core::ksmallest::SlidingKSmallest;
+use decarb::core::temporal::TemporalPlanner;
+use decarb::stats::fft::{fft, ifft, Complex};
+use decarb::stats::kmeans::kmeans;
+use decarb::traces::{Hour, Region, TimeSeries};
+use proptest::prelude::*;
+
+/// Strategy: a positive carbon trace of 30–300 hourly samples.
+fn trace_strategy() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(1.0f64..900.0, 30..300)
+}
+
+/// Oracle: sum of the k smallest values of a slice.
+fn naive_k_sum(values: &[f64], k: usize) -> f64 {
+    let mut sorted = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    sorted.iter().take(k).sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sliding_k_smallest_matches_oracle(
+        values in trace_strategy(),
+        k in 1usize..8,
+        window in 4usize..40,
+    ) {
+        let mut s = SlidingKSmallest::new(k);
+        for i in 0..values.len() {
+            s.insert(values[i]);
+            if i >= window {
+                s.remove(values[i - window]);
+            }
+            let lo = (i + 1).saturating_sub(window);
+            let expected = naive_k_sum(&values[lo..=i], k);
+            prop_assert!((s.k_sum() - expected).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn deferral_sweep_matches_naive(
+        values in trace_strategy(),
+        slots in 1usize..6,
+        slack in 0usize..30,
+    ) {
+        prop_assume!(values.len() > slots + 1);
+        let series = TimeSeries::new(Hour(0), values.clone());
+        let planner = TemporalPlanner::new(&series);
+        let count = values.len() - slots;
+        let sweep = planner.deferral_sweep(Hour(0), count, slots, slack);
+        for (a, &swept) in sweep.iter().enumerate() {
+            // Naive: scan all allowed starts.
+            let last = (a + slack).min(values.len() - slots);
+            let mut best = f64::INFINITY;
+            for s in a..=last {
+                let cost: f64 = values[s..s + slots].iter().sum();
+                if cost < best {
+                    best = cost;
+                }
+            }
+            prop_assert!((swept - best).abs() < 1e-6, "arrival {}", a);
+        }
+    }
+
+    #[test]
+    fn interruptible_sweep_matches_naive(
+        values in trace_strategy(),
+        slots in 1usize..6,
+        slack in 0usize..30,
+    ) {
+        prop_assume!(values.len() > slots + 1);
+        let series = TimeSeries::new(Hour(0), values.clone());
+        let planner = TemporalPlanner::new(&series);
+        let count = values.len() - slots;
+        let sweep = planner.interruptible_sweep(Hour(0), count, slots, slack);
+        for a in (0..count).step_by(7) {
+            let end = (a + slots + slack).min(values.len());
+            let expected = naive_k_sum(&values[a..end], slots);
+            prop_assert!((sweep[a] - expected).abs() < 1e-6, "arrival {}", a);
+        }
+    }
+
+    #[test]
+    fn interruptible_never_beats_window_minimum(
+        values in trace_strategy(),
+        slots in 1usize..6,
+        slack in 0usize..30,
+    ) {
+        prop_assume!(values.len() > slots + slack + 1);
+        let series = TimeSeries::new(Hour(0), values.clone());
+        let planner = TemporalPlanner::new(&series);
+        let (hours, cost) = planner.best_interruptible(Hour(0), slots, slack);
+        prop_assert_eq!(hours.len(), slots);
+        // Cost is at least slots × the global window minimum.
+        let min = values[..slots + slack]
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
+        prop_assert!(cost >= min * slots as f64 - 1e-9);
+        // And no worse than the best contiguous window.
+        let deferred = planner.best_deferred(Hour(0), slots, slack).cost_g;
+        prop_assert!(cost <= deferred + 1e-9);
+    }
+
+    #[test]
+    fn prefix_sums_match_direct(values in trace_strategy()) {
+        let series = TimeSeries::new(Hour(7), values.clone());
+        let prefix = series.prefix_sum();
+        let n = values.len();
+        for from in (0..n).step_by(11) {
+            for len in [0, 1, n / 3, n - from] {
+                if from + len > n {
+                    continue;
+                }
+                let direct: f64 = values[from..from + len].iter().sum();
+                let fast = prefix.sum(Hour(7 + from as u32), len);
+                prop_assert!((direct - fast).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn fft_roundtrip(re in prop::collection::vec(-100.0f64..100.0, 1..65)) {
+        let n = re.len().next_power_of_two();
+        let mut data: Vec<Complex> = re.iter().map(|&r| Complex::new(r, 0.0)).collect();
+        data.resize(n, Complex::default());
+        let original = data.clone();
+        fft(&mut data);
+        ifft(&mut data);
+        for (a, b) in data.iter().zip(&original) {
+            prop_assert!((a.re - b.re).abs() < 1e-6);
+            prop_assert!((a.im - b.im).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn fft_preserves_energy(re in prop::collection::vec(-100.0f64..100.0, 1..65)) {
+        // Parseval: sum |x|^2 = (1/N) sum |X|^2.
+        let n = re.len().next_power_of_two();
+        let mut data: Vec<Complex> = re.iter().map(|&r| Complex::new(r, 0.0)).collect();
+        data.resize(n, Complex::default());
+        let time_energy: f64 = data.iter().map(|c| c.norm_sq()).sum();
+        fft(&mut data);
+        let freq_energy: f64 = data.iter().map(|c| c.norm_sq()).sum::<f64>() / n as f64;
+        prop_assert!((time_energy - freq_energy).abs() < 1e-4 * time_energy.max(1.0));
+    }
+
+    #[test]
+    fn water_filling_invariants(
+        mut means in prop::collection::vec(5.0f64..900.0, 2..40),
+        idle_pct in 0usize..100,
+    ) {
+        // Attach synthetic means to distinct catalog regions.
+        let catalog = decarb::traces::builtin_catalog();
+        means.truncate(catalog.len());
+        let regions: Vec<(&'static Region, f64)> = catalog
+            .iter()
+            .zip(means.iter())
+            .map(|(r, &m)| (r, m))
+            .collect();
+        let idle = idle_pct as f64 / 100.0;
+        prop_assume!(idle < 1.0);
+        let outcome = water_filling(&regions, IdleCapacity::Fraction(idle), &|_, _| true);
+        // Emissions never increase.
+        prop_assert!(outcome.after_g <= outcome.before_g + 1e-9);
+        // Moves only go to strictly greener regions.
+        let mean_of = |code: &str| regions.iter().find(|(r, _)| r.code == code).unwrap().1;
+        for a in &outcome.assignments {
+            prop_assert!(mean_of(a.to) < mean_of(a.from));
+            prop_assert!(a.amount > 0.0);
+        }
+        // No recipient exceeds its idle capacity.
+        for (region, _) in &regions {
+            let received: f64 = outcome
+                .assignments
+                .iter()
+                .filter(|a| a.to == region.code)
+                .map(|a| a.amount)
+                .sum();
+            prop_assert!(received <= idle + 1e-9);
+        }
+        // Moved load is bounded by the total load.
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&outcome.moved_fraction));
+    }
+
+    #[test]
+    fn greener_trace_bounded_and_monotone(
+        values in prop::collection::vec(30.0f64..900.0, 24..96),
+        p in 0.0f64..0.95,
+    ) {
+        let base = TimeSeries::new(Hour(0), values.clone());
+        let greener = greener_trace(&base, p, 0);
+        for ((_, g), (_, b)) in greener.iter().zip(base.iter()) {
+            prop_assert!(g <= b + 1e-9, "never dirtier than the base grid");
+            prop_assert!(g >= ADDED_RENEWABLE_CI.min(b) - 1e-9);
+        }
+        prop_assert!(greener.mean() <= base.mean() + 1e-9);
+    }
+
+    #[test]
+    fn kmeans_assignments_are_valid(
+        points in prop::collection::vec(
+            prop::collection::vec(-50.0f64..50.0, 2..3usize), 1..60),
+        k in 1usize..5,
+    ) {
+        let dims: Vec<usize> = points.iter().map(|p| p.len()).collect();
+        prop_assume!(dims.windows(2).all(|w| w[0] == w[1]));
+        let result = kmeans(&points, k, 99, 100).unwrap();
+        prop_assert_eq!(result.assignments.len(), points.len());
+        for &a in &result.assignments {
+            prop_assert!(a < result.centroids.len());
+        }
+        // Each point is assigned to its nearest centroid.
+        for (p, &a) in points.iter().zip(&result.assignments) {
+            let d = |c: &Vec<f64>| -> f64 {
+                c.iter().zip(p).map(|(x, y)| (x - y) * (x - y)).sum()
+            };
+            let assigned = d(&result.centroids[a]);
+            for c in &result.centroids {
+                prop_assert!(assigned <= d(c) + 1e-9);
+            }
+        }
+    }
+}
