@@ -2,22 +2,23 @@
 //! scaling, flexible grid load, merit-order dispatch, and the online
 //! simulator.
 //!
-//! Like `figures.rs`, each group first prints the regenerated extension
-//! tables so a `cargo bench` log doubles as a reproduction run, then
-//! times the underlying kernels.
+//! Extension figures are timed through the registry like `figures.rs`;
+//! the rows below time the underlying kernels. `DECARB_BENCH_PRINT=1`
+//! also prints the regenerated extension tables.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use std::sync::OnceLock;
 
+use decarb_bench::{print_tables, Harness};
 use decarb_core::elastic::elastic_plan;
 use decarb_core::flexload::{allocate_by_average_ci, allocate_flexible};
 use decarb_core::signals::compare_signals;
-use decarb_experiments::{ext_grid, run_experiment, Context};
+use decarb_experiments::{registry, Context};
 use decarb_forecast::{
     backtest, BacktestConfig, DiurnalTemplate, Forecaster, LinearAr, Persistence, SeasonalNaive,
 };
 use decarb_sim::{CarbonAgnostic, SimConfig, Simulator, ThresholdSuspend};
+use decarb_traces::grid::{curtailment_grid, two_level_demand};
 use decarb_traces::time::year_start;
 use decarb_traces::Region;
 use decarb_workloads::{Job, Slack};
@@ -29,24 +30,27 @@ fn ctx() -> &'static Context {
 
 /// Prints an experiment's tables once, outside any timed section.
 fn print_once(id: &str) {
+    if !print_tables() {
+        return;
+    }
     static PRINTED: std::sync::Mutex<Vec<String>> = std::sync::Mutex::new(Vec::new());
     let mut printed = PRINTED.lock().expect("print lock");
     if printed.iter().any(|p| p == id) {
         return;
     }
     printed.push(id.to_string());
-    for table in run_experiment(ctx(), id).expect("known experiment id") {
+    let experiment = registry::find(id).expect("known experiment id");
+    for table in experiment.run(ctx()) {
         println!("{table}");
     }
 }
 
-fn bench_ext_forecast(c: &mut Criterion) {
+fn bench_ext_forecast(h: &Harness) {
     print_once("ext-forecast");
     let data = ctx().data();
     let series = data.series("US-CA").expect("trace");
     let history = series.slice(year_start(2021), 8760).expect("training year");
 
-    let mut group = c.benchmark_group("bench_ext_forecast");
     // Single 96-hour forecast per model.
     let ar = LinearAr::fit(&history).expect("full-year fit");
     let models: Vec<(&str, Box<dyn Forecaster>)> = vec![
@@ -56,102 +60,86 @@ fn bench_ext_forecast(c: &mut Criterion) {
         ("linear_ar", Box::new(ar)),
     ];
     for (name, model) in &models {
-        group.bench_with_input(BenchmarkId::new("predict_96h", name), model, |b, m| {
-            b.iter(|| black_box(m.predict(&history, 96)))
+        h.bench(&format!("extensions/forecast/predict_96h/{name}"), || {
+            black_box(model.predict(&history, 96))
         });
     }
-    group.bench_function("fit_linear_ar_1y", |b| {
-        b.iter(|| black_box(LinearAr::fit(&history)))
+    h.bench("extensions/forecast/fit_linear_ar_1y", || {
+        black_box(LinearAr::fit(&history))
     });
-    group.sample_size(10);
-    group.bench_function("backtest_template_30d", |b| {
-        let cfg = BacktestConfig::default();
-        b.iter(|| {
-            black_box(backtest(
-                &DiurnalTemplate::default(),
-                series,
-                year_start(2022),
-                30 * 24,
-                &cfg,
-            ))
-        })
+    let cfg = BacktestConfig::default();
+    h.bench("extensions/forecast/backtest_template_30d", || {
+        black_box(backtest(
+            &DiurnalTemplate::default(),
+            series,
+            year_start(2022),
+            30 * 24,
+            &cfg,
+        ))
     });
-    group.finish();
 }
 
-fn bench_ext_elastic(c: &mut Criterion) {
+fn bench_ext_elastic(h: &Harness) {
     print_once("ext-elastic");
     let data = ctx().data();
     let series = data.series("US-CA").expect("trace");
     let arrival = year_start(2022);
-    let mut group = c.benchmark_group("bench_ext_elastic");
     for &m in &[1usize, 8, 48] {
-        group.bench_with_input(BenchmarkId::new("plan_48h_in_7d", m), &m, |b, &m| {
-            b.iter(|| black_box(elastic_plan(series, arrival, 48, m, 7 * 24)))
+        h.bench(&format!("extensions/elastic/plan_48h_in_7d/{m}"), || {
+            black_box(elastic_plan(series, arrival, 48, m, 7 * 24))
         });
     }
     // Scaling in the window length (the sort dominates).
     for &days in &[7usize, 30, 365] {
-        group.bench_with_input(
-            BenchmarkId::new("plan_window_days", days),
-            &days,
-            |b, &d| b.iter(|| black_box(elastic_plan(series, arrival, 48, 8, d * 24))),
+        h.bench(
+            &format!("extensions/elastic/plan_window_days/{days}"),
+            || black_box(elastic_plan(series, arrival, 48, 8, days * 24)),
         );
     }
-    group.finish();
 }
 
-fn bench_ext_grid(c: &mut Criterion) {
+fn bench_ext_grid(h: &Harness) {
     print_once("ext-grid");
-    let fleet = ext_grid::curtailment_grid();
-    let demand = ext_grid::two_level_demand;
-    let mut group = c.benchmark_group("bench_ext_grid");
-    group.bench_function("dispatch_week", |b| {
-        b.iter(|| black_box(fleet.dispatch_series(decarb_traces::Hour(0), demand, 168)))
+    let fleet = curtailment_grid();
+    let demand = two_level_demand;
+    h.bench("extensions/grid/dispatch_week", || {
+        black_box(fleet.dispatch_series(decarb_traces::Hour(0), demand, 168))
     });
-    group.bench_function("allocate_flexible_day", |b| {
-        b.iter(|| {
-            black_box(allocate_flexible(
-                &fleet,
-                demand,
-                decarb_traces::Hour(0),
-                24,
-                1200.0,
-                100.0,
-                25.0,
-            ))
-        })
+    h.bench("extensions/grid/allocate_flexible_day", || {
+        black_box(allocate_flexible(
+            &fleet,
+            demand,
+            decarb_traces::Hour(0),
+            24,
+            1200.0,
+            100.0,
+            25.0,
+        ))
     });
-    group.bench_function("allocate_by_average_day", |b| {
-        b.iter(|| {
-            black_box(allocate_by_average_ci(
-                &fleet,
-                demand,
-                decarb_traces::Hour(0),
-                24,
-                1200.0,
-                100.0,
-            ))
-        })
+    h.bench("extensions/grid/allocate_by_average_day", || {
+        black_box(allocate_by_average_ci(
+            &fleet,
+            demand,
+            decarb_traces::Hour(0),
+            24,
+            1200.0,
+            100.0,
+        ))
     });
-    group.sample_size(20);
-    group.bench_function("compare_signals_48h", |b| {
-        b.iter(|| {
-            black_box(compare_signals(
-                &fleet,
-                demand,
-                decarb_traces::Hour(0),
-                48,
-                4,
-                30,
-                100.0,
-            ))
-        })
+    h.bench("extensions/grid/compare_signals_48h", || {
+        black_box(compare_signals(
+            &fleet,
+            demand,
+            decarb_traces::Hour(0),
+            48,
+            4,
+            30,
+            100.0,
+        ))
     });
-    group.finish();
 }
 
-fn bench_ext_sim(c: &mut Criterion) {
+fn bench_ext_sim(h: &Harness) {
     print_once("ext-embodied");
     let data = ctx().data();
     let codes = ["US-CA", "DE", "GB", "SE", "IN-WE"];
@@ -172,28 +160,43 @@ fn bench_ext_sim(c: &mut Criterion) {
             .with_interruptible()
         })
         .collect();
-    let mut group = c.benchmark_group("bench_ext_sim");
-    group.sample_size(10);
-    group.bench_function("year_5dc_50jobs_agnostic", |b| {
-        b.iter(|| {
-            let mut sim = Simulator::new(data, &regions, SimConfig::new(start, 8760, 16));
-            black_box(sim.run(&mut CarbonAgnostic, &jobs))
-        })
+    h.bench("extensions/sim/year_5dc_50jobs_agnostic", || {
+        let mut sim = Simulator::new(data, &regions, SimConfig::new(start, 8760, 16));
+        black_box(sim.run(&mut CarbonAgnostic, &jobs))
     });
-    group.bench_function("year_5dc_50jobs_threshold", |b| {
-        b.iter(|| {
-            let mut sim = Simulator::new(data, &regions, SimConfig::new(start, 8760, 16));
-            black_box(sim.run(&mut ThresholdSuspend::default(), &jobs))
-        })
+    h.bench("extensions/sim/year_5dc_50jobs_threshold", || {
+        let mut sim = Simulator::new(data, &regions, SimConfig::new(start, 8760, 16));
+        black_box(sim.run(&mut ThresholdSuspend::default(), &jobs))
     });
-    group.finish();
 }
 
-criterion_group!(
-    extensions,
-    bench_ext_forecast,
-    bench_ext_elastic,
-    bench_ext_grid,
-    bench_ext_sim
-);
-criterion_main!(extensions);
+fn bench_ext_registry(h: &Harness) {
+    // End-to-end timings of the extension experiments through the
+    // registry. `ext-sim` is deliberately absent: a single run takes
+    // tens of seconds, and its simulator hot loop is already timed by
+    // the `extensions/sim/*` rows above.
+    for id in [
+        "ext",
+        "ext-forecast",
+        "ext-grid",
+        "ext-embodied",
+        "ext-elastic",
+        "ext-rank",
+        "ext-pareto",
+    ] {
+        print_once(id);
+        let experiment = registry::find(id).expect("known experiment id");
+        h.bench(&format!("extensions/registry/{id}"), || {
+            black_box(experiment.run(ctx()))
+        });
+    }
+}
+
+fn main() {
+    let h = Harness::from_args("extensions");
+    bench_ext_forecast(&h);
+    bench_ext_elastic(&h);
+    bench_ext_grid(&h);
+    bench_ext_sim(&h);
+    bench_ext_registry(&h);
+}

@@ -1,19 +1,20 @@
 //! One benchmark group per paper table/figure.
 //!
-//! Each group first prints the regenerated rows (so a `cargo bench` log is
-//! also a full reproduction run), then times the computation behind the
-//! figure. Heavyweight sweeps are timed at a representative reduced scale;
-//! the printed tables always use the full 123-region dataset.
+//! Figure-level timings go through the experiment registry (the same
+//! uniform pipeline `repro` and `decarb-cli run` use); kernel-scale
+//! rows below time the computation behind the figure directly. With
+//! `DECARB_BENCH_PRINT=1` each group first prints the regenerated
+//! tables, so a bench log doubles as a reproduction run.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::sync::OnceLock;
 
+use decarb_bench::{print_tables, Harness};
 use decarb_core::capacity::{water_filling, IdleCapacity};
 use decarb_core::latency::LatencyMatrix;
 use decarb_core::spatial::lower_envelope;
 use decarb_core::temporal::TemporalPlanner;
-use decarb_experiments::{run_experiment, Context};
+use decarb_experiments::{registry, Context};
 use decarb_stats::periodicity::periodicity_score;
 use decarb_traces::time::{hours_in_year, year_start};
 use decarb_traces::Region;
@@ -25,47 +26,31 @@ fn ctx() -> &'static Context {
 
 /// Prints an experiment's tables once, outside any timed section.
 fn print_once(id: &str) {
+    if !print_tables() {
+        return;
+    }
     static PRINTED: std::sync::Mutex<Vec<String>> = std::sync::Mutex::new(Vec::new());
     let mut printed = PRINTED.lock().expect("print lock");
     if printed.iter().any(|p| p == id) {
         return;
     }
     printed.push(id.to_string());
-    for table in run_experiment(ctx(), id).expect("known experiment id") {
+    let experiment = registry::find(id).expect("known experiment id");
+    for table in experiment.run(ctx()) {
         println!("{table}");
     }
 }
 
-fn bench_table1(c: &mut Criterion) {
-    print_once("table1");
-    c.bench_function("bench_table1/render", |b| {
-        b.iter(|| black_box(decarb_experiments::table1::run()))
+/// Times one registry experiment end-to-end.
+fn bench_experiment(h: &Harness, id: &str) {
+    print_once(id);
+    let experiment = registry::find(id).expect("known experiment id");
+    h.bench(&format!("figures/registry/{id}"), || {
+        black_box(experiment.run(ctx()))
     });
 }
 
-fn bench_fig1(c: &mut Criterion) {
-    print_once("fig1");
-    c.bench_function("bench_fig1/example_traces", |b| {
-        b.iter(|| black_box(decarb_experiments::fig1::run(ctx())))
-    });
-}
-
-fn bench_fig3(c: &mut Criterion) {
-    print_once("fig3a");
-    print_once("fig3b");
-    let mut group = c.benchmark_group("bench_fig3");
-    group.sample_size(10);
-    group.bench_function("mean_and_daily_cv", |b| {
-        b.iter(|| black_box(decarb_experiments::fig3::run_a(ctx())))
-    });
-    group.bench_function("drift_and_kmeans", |b| {
-        b.iter(|| black_box(decarb_experiments::fig3::run_b(ctx())))
-    });
-    group.finish();
-}
-
-fn bench_fig4(c: &mut Criterion) {
-    print_once("fig4");
+fn bench_fig4_kernel(h: &Harness) {
     let data = ctx().data();
     let start = year_start(2022);
     let len = hours_in_year(2022);
@@ -75,123 +60,93 @@ fn bench_fig4(c: &mut Criterion) {
         .window(start, len)
         .expect("year")
         .to_vec();
-    let mut group = c.benchmark_group("bench_fig4");
-    group.sample_size(20);
-    group.bench_function("periodicity_score_one_region_year", |b| {
-        b.iter(|| black_box(periodicity_score(&window, 24)))
+    h.bench("figures/kernel/periodicity_score_one_region_year", || {
+        black_box(periodicity_score(&window, 24))
     });
-    group.finish();
 }
 
-fn bench_fig5(c: &mut Criterion) {
-    print_once("fig5");
+fn bench_fig5_kernel(h: &Harness) {
     let means = ctx().data().annual_means(2022);
     let feasible = |_: &Region, _: &Region| true;
-    let mut group = c.benchmark_group("bench_fig5");
-    group.bench_function("water_filling_123_regions", |b| {
-        b.iter(|| {
-            black_box(water_filling(
-                &means,
-                IdleCapacity::Fraction(0.5),
-                &feasible,
-            ))
-        })
+    h.bench("figures/kernel/water_filling_123_regions", || {
+        black_box(water_filling(
+            &means,
+            IdleCapacity::Fraction(0.5),
+            &feasible,
+        ))
     });
-    group.finish();
 }
 
-fn bench_fig6(c: &mut Criterion) {
-    print_once("fig6a");
-    print_once("fig6b");
+fn bench_fig6_kernels(h: &Harness) {
     let regions = ctx().regions();
-    let mut group = c.benchmark_group("bench_fig6");
-    group.sample_size(10);
-    group.bench_function("latency_matrix_build", |b| {
-        b.iter(|| black_box(LatencyMatrix::build(regions)))
+    h.bench("figures/kernel/latency_matrix_build", || {
+        black_box(LatencyMatrix::build(regions))
     });
     let data = ctx().data();
     let start = year_start(2022);
-    group.bench_function("lower_envelope_global_week", |b| {
-        b.iter(|| black_box(lower_envelope(data, regions, start, 168)))
+    h.bench("figures/kernel/lower_envelope_global_week", || {
+        black_box(lower_envelope(data, regions, start, 168))
     });
-    group.finish();
 }
 
 /// Times one region's full-year sweep — the unit of work Figs. 7–10 fan
 /// out over 123 regions × 7 lengths × slacks.
-fn bench_fig7to10(c: &mut Criterion) {
-    print_once("fig7");
-    print_once("fig8");
-    print_once("fig9");
-    print_once("fig10");
+fn bench_fig7to10_kernels(h: &Harness) {
     let data = ctx().data();
     let planner = TemporalPlanner::new(data.series("DE").expect("trace"));
     let start = year_start(2022);
     let count = hours_in_year(2022);
-    let mut group = c.benchmark_group("bench_fig7to10");
-    group.sample_size(10);
-    group.bench_function("deferral_sweep_year_24h_job_1y_slack", |b| {
-        b.iter(|| black_box(planner.deferral_sweep(start, count, 24, 365 * 24)))
-    });
-    group.bench_function("interruptible_sweep_year_24h_job_1y_slack", |b| {
-        b.iter(|| black_box(planner.interruptible_sweep(start, count, 24, 365 * 24)))
-    });
-    group.finish();
+    h.bench(
+        "figures/kernel/deferral_sweep_year_24h_job_1y_slack",
+        || black_box(planner.deferral_sweep(start, count, 24, 365 * 24)),
+    );
+    h.bench(
+        "figures/kernel/interruptible_sweep_year_24h_job_1y_slack",
+        || black_box(planner.interruptible_sweep(start, count, 24, 365 * 24)),
+    );
 }
 
-fn bench_fig11(c: &mut Criterion) {
-    print_once("fig11a");
-    print_once("fig11b");
-    print_once("fig11cd");
+fn bench_fig11_kernels(h: &Harness) {
     let data = ctx().data();
-    let mut group = c.benchmark_group("bench_fig11");
-    group.sample_size(10);
-    group.bench_function("mixed_workload_sweep", |b| {
-        b.iter(|| {
-            black_box(decarb_core::mixed::migratable_sweep(
-                data,
-                &[0.0, 0.5, 1.0],
-                2022,
-            ))
-        })
+    h.bench("figures/kernel/mixed_workload_sweep", || {
+        black_box(decarb_core::mixed::migratable_sweep(
+            data,
+            &[0.0, 0.5, 1.0],
+            2022,
+        ))
     });
     let base = data
         .series("US-CA")
         .expect("trace")
         .slice(year_start(2022), hours_in_year(2022))
         .expect("year");
-    group.bench_function("greener_trace_transform_year", |b| {
-        b.iter(|| black_box(decarb_core::greener::greener_trace(&base, 0.5, -8)))
+    h.bench("figures/kernel/greener_trace_transform_year", || {
+        black_box(decarb_core::greener::greener_trace(&base, 0.5, -8))
     });
-    group.finish();
 }
 
-fn bench_fig12(c: &mut Criterion) {
-    print_once("fig12");
+fn bench_fig12_kernel(h: &Harness) {
     let data = ctx().data();
     let region = data.region("US-CA").expect("region");
-    let mut group = c.benchmark_group("bench_fig12");
-    group.sample_size(10);
-    group.bench_function("combined_shift_one_destination", |b| {
-        b.iter(|| {
-            black_box(decarb_core::combined::combined_shift(
-                data, region, 2022, 24, 24,
-            ))
-        })
+    h.bench("figures/kernel/combined_shift_one_destination", || {
+        black_box(decarb_core::combined::combined_shift(
+            data, region, 2022, 24, 24,
+        ))
     });
-    group.finish();
 }
 
-criterion_group!(
-    figures,
-    bench_table1,
-    bench_fig1,
-    bench_fig3,
-    bench_fig4,
-    bench_fig5,
-    bench_fig6,
-    bench_fig7to10,
-    bench_fig11,
-    bench_fig12
-);
-criterion_main!(figures);
+fn main() {
+    let h = Harness::from_args("figures");
+    for id in [
+        "table1", "fig1", "fig3a", "fig3b", "fig4", "fig5", "fig6a", "fig6b", "fig7", "fig8",
+        "fig9", "fig10", "fig11a", "fig11b", "fig11cd", "fig12",
+    ] {
+        bench_experiment(&h, id);
+    }
+    bench_fig4_kernel(&h);
+    bench_fig5_kernel(&h);
+    bench_fig6_kernels(&h);
+    bench_fig7to10_kernels(&h);
+    bench_fig11_kernels(&h);
+    bench_fig12_kernel(&h);
+}

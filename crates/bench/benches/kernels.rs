@@ -3,9 +3,9 @@
 //! Each pair compares the optimized kernel used by `decarb-core` against
 //! the naive alternative it replaced, on identical inputs.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
+use decarb_bench::Harness;
 use decarb_core::ksmallest::SlidingKSmallest;
 use decarb_core::temporal::TemporalPlanner;
 use decarb_stats::autocorr::autocorrelation;
@@ -47,114 +47,93 @@ fn naive_interruptible_sweep(values: &[f64], count: usize, slots: usize, slack: 
         .collect()
 }
 
-fn bench_kernel_deferral(c: &mut Criterion) {
+fn bench_kernel_deferral(h: &Harness) {
     let values = synthetic_trace(24 * 120);
     let series = TimeSeries::new(Hour(0), values.clone());
     let planner = TemporalPlanner::new(&series);
     let slots = 24;
     let slack = 168;
     let count = values.len() - slots - slack;
-    let mut group = c.benchmark_group("bench_kernel_deferral");
-    group.bench_function("monotonic_deque", |b| {
-        b.iter(|| black_box(planner.deferral_sweep(Hour(0), count, slots, slack)))
+    h.bench("kernels/deferral/monotonic_deque", || {
+        black_box(planner.deferral_sweep(Hour(0), count, slots, slack))
     });
-    group.bench_function("naive_rescan", |b| {
-        b.iter(|| black_box(naive_deferral_sweep(&values, count, slots, slack)))
+    h.bench("kernels/deferral/naive_rescan", || {
+        black_box(naive_deferral_sweep(&values, count, slots, slack))
     });
-    group.finish();
 }
 
-fn bench_kernel_ksmallest(c: &mut Criterion) {
+fn bench_kernel_ksmallest(h: &Harness) {
     let values = synthetic_trace(24 * 120);
     let series = TimeSeries::new(Hour(0), values.clone());
     let planner = TemporalPlanner::new(&series);
     let slots = 24;
     let slack = 168;
     let count = values.len() - slots - slack;
-    let mut group = c.benchmark_group("bench_kernel_ksmallest");
-    group.bench_function("two_multiset_sliding", |b| {
-        b.iter(|| black_box(planner.interruptible_sweep(Hour(0), count, slots, slack)))
+    h.bench("kernels/ksmallest/two_multiset_sliding", || {
+        black_box(planner.interruptible_sweep(Hour(0), count, slots, slack))
     });
-    group.bench_function("sort_per_window", |b| {
-        b.iter(|| black_box(naive_interruptible_sweep(&values, count, slots, slack)))
+    h.bench("kernels/ksmallest/sort_per_window", || {
+        black_box(naive_interruptible_sweep(&values, count, slots, slack))
     });
-    group.finish();
 }
 
-fn bench_kernel_prefix(c: &mut Criterion) {
+fn bench_kernel_prefix(h: &Harness) {
     let values = synthetic_trace(8760);
     let series = TimeSeries::new(Hour(0), values.clone());
     let prefix = series.prefix_sum();
-    let mut group = c.benchmark_group("bench_kernel_prefix");
-    group.bench_function("prefix_sum_queries", |b| {
-        b.iter(|| {
-            let mut acc = 0.0;
-            for from in (0..8000).step_by(7) {
-                acc += prefix.sum(Hour(from as u32), 168);
-            }
-            black_box(acc)
-        })
+    h.bench("kernels/prefix/prefix_sum_queries", || {
+        let mut acc = 0.0;
+        for from in (0..8000).step_by(7) {
+            acc += prefix.sum(Hour(from as u32), 168);
+        }
+        black_box(acc)
     });
-    group.bench_function("direct_summation", |b| {
-        b.iter(|| {
-            let mut acc = 0.0;
-            for from in (0..8000).step_by(7) {
-                acc += values[from..from + 168].iter().sum::<f64>();
-            }
-            black_box(acc)
-        })
+    h.bench("kernels/prefix/direct_summation", || {
+        let mut acc = 0.0;
+        for from in (0..8000).step_by(7) {
+            acc += values[from..from + 168].iter().sum::<f64>();
+        }
+        black_box(acc)
     });
-    group.finish();
 }
 
-fn bench_kernel_period(c: &mut Criterion) {
+fn bench_kernel_period(h: &Harness) {
     let values = synthetic_trace(8760);
-    let mut group = c.benchmark_group("bench_kernel_period");
-    group.sample_size(20);
-    group.bench_function("fft_periodogram_detect", |b| {
-        b.iter(|| black_box(detect_periods(&values, 0.2)))
+    h.bench("kernels/period/fft_periodogram_detect", || {
+        black_box(detect_periods(&values, 0.2))
     });
-    group.bench_function("brute_acf_scan", |b| {
-        b.iter(|| {
-            // Scan every candidate lag up to a week.
-            let best = (2..=168)
-                .map(|lag| (lag, autocorrelation(&values, lag)))
-                .max_by(|a, b| a.1.total_cmp(&b.1));
-            black_box(best)
-        })
+    h.bench("kernels/period/brute_acf_scan", || {
+        // Scan every candidate lag up to a week.
+        let best = (2..=168)
+            .map(|lag| (lag, autocorrelation(&values, lag)))
+            .max_by(|a, b| a.1.total_cmp(&b.1));
+        black_box(best)
     });
-    group.finish();
 }
 
-fn bench_sliding_structure_scaling(c: &mut Criterion) {
+fn bench_sliding_structure_scaling(h: &Harness) {
     let values = synthetic_trace(20_000);
-    let mut group = c.benchmark_group("bench_sliding_structure_scaling");
-    group.sample_size(20);
     for window in [48usize, 336, 2048] {
-        group.bench_with_input(BenchmarkId::new("k16", window), &window, |b, &window| {
-            b.iter(|| {
-                let mut s = SlidingKSmallest::new(16);
-                let mut acc = 0.0;
-                for i in 0..values.len() {
-                    s.insert(values[i]);
-                    if i >= window {
-                        s.remove(values[i - window]);
-                    }
-                    acc += s.k_sum();
+        h.bench(&format!("kernels/sliding_scaling/k16/{window}"), || {
+            let mut s = SlidingKSmallest::new(16);
+            let mut acc = 0.0;
+            for i in 0..values.len() {
+                s.insert(values[i]);
+                if i >= window {
+                    s.remove(values[i - window]);
                 }
-                black_box(acc)
-            })
+                acc += s.k_sum();
+            }
+            black_box(acc)
         });
     }
-    group.finish();
 }
 
-criterion_group!(
-    kernels,
-    bench_kernel_deferral,
-    bench_kernel_ksmallest,
-    bench_kernel_prefix,
-    bench_kernel_period,
-    bench_sliding_structure_scaling
-);
-criterion_main!(kernels);
+fn main() {
+    let h = Harness::from_args("kernels");
+    bench_kernel_deferral(&h);
+    bench_kernel_ksmallest(&h);
+    bench_kernel_prefix(&h);
+    bench_kernel_period(&h);
+    bench_sliding_structure_scaling(&h);
+}

@@ -1,17 +1,111 @@
-//! `decarb-bench` — Criterion benchmark harness.
+//! `decarb-bench` — benchmark harness.
 //!
-//! Two bench targets live under `benches/`:
+//! Three bench targets live under `benches/` (all `harness = false`;
+//! the container this workspace builds in has no route to a crates
+//! registry, so the timing loop below stands in for criterion):
 //!
-//! * `figures` — one benchmark group per paper table/figure. Each group
-//!   prints the regenerated rows/series once (so `cargo bench` doubles as
-//!   a reproduction run) and then times the computation that produces
-//!   them, at full or reduced scale depending on cost.
-//! * `kernels` — ablation benchmarks for the design choices documented in
-//!   `DESIGN.md` §4: sliding-window minimum vs naive rescan, the
-//!   two-multiset k-smallest structure vs per-window sorting, prefix sums
-//!   vs direct summation, and FFT periodograms vs brute-force ACF scans.
+//! * `figures` — one benchmark group per paper table/figure, timing the
+//!   computation behind each at full or reduced scale.
+//! * `extensions` — forecasting models, elastic scaling, flexible grid
+//!   load, merit-order dispatch, and the online simulator.
+//! * `kernels` — ablation benchmarks for the design choices documented
+//!   in `DESIGN.md` §4: sliding-window minimum vs naive rescan, the
+//!   two-multiset k-smallest structure vs per-window sorting, prefix
+//!   sums vs direct summation, and FFT periodograms vs brute-force ACF.
+//!
+//! Usage: `cargo bench -p decarb-bench` runs everything;
+//! `cargo bench -p decarb-bench --bench kernels -- deferral` filters by
+//! substring; `DECARB_BENCH_QUICK=1` shrinks the per-benchmark time
+//! budget for smoke runs; `DECARB_BENCH_PRINT=1` additionally prints
+//! each figure's regenerated tables so a bench log doubles as a
+//! reproduction run.
+
+use std::time::{Duration, Instant};
 
 /// Returns the shared experiment context used by the bench targets.
 pub fn bench_context() -> decarb_experiments::Context {
     decarb_experiments::Context::default()
+}
+
+/// Whether the bench log should also print each experiment's tables.
+pub fn print_tables() -> bool {
+    std::env::var("DECARB_BENCH_PRINT").is_ok_and(|v| v != "0")
+}
+
+/// A minimal benchmark runner: measures each closure over an adaptive
+/// iteration count within a fixed per-benchmark time budget and prints
+/// one aligned `name  mean-per-iter (iters)` line.
+pub struct Harness {
+    filter: Option<String>,
+    budget: Duration,
+}
+
+impl Harness {
+    /// Creates the runner for one bench target, reading the CLI filter
+    /// (first non-flag argument after the ones Cargo passes) and the
+    /// `DECARB_BENCH_QUICK` budget override.
+    pub fn from_args(suite: &str) -> Self {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with("--"))
+            .filter(|a| !a.is_empty());
+        let quick = std::env::var("DECARB_BENCH_QUICK").is_ok_and(|v| v != "0");
+        let budget = if quick {
+            Duration::from_millis(150)
+        } else {
+            Duration::from_millis(900)
+        };
+        println!("== bench suite: {suite} ==");
+        Self { filter, budget }
+    }
+
+    /// Times `f` and prints its mean per-iteration runtime.
+    ///
+    /// The first (warmup) call sizes the iteration count so the
+    /// measured loop fits the time budget; single calls slower than the
+    /// budget run exactly once more.
+    pub fn bench<R>(&self, name: &str, mut f: impl FnMut() -> R) {
+        if let Some(needle) = &self.filter {
+            if !name.contains(needle.as_str()) {
+                return;
+            }
+        }
+        let warmup = Instant::now();
+        std::hint::black_box(f());
+        let once = warmup.elapsed().max(Duration::from_nanos(1));
+        let iters = (self.budget.as_nanos() / once.as_nanos()).clamp(1, 10_000) as u32;
+        let run = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        let mean = run.elapsed() / iters;
+        println!("{name:<58} {:>12} ({iters} iters)", format_duration(mean));
+    }
+}
+
+/// Formats a duration with an SI-appropriate unit.
+pub fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1} us", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.1} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_units_scale() {
+        assert_eq!(format_duration(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(format_duration(Duration::from_micros(12)), "12.0 us");
+        assert_eq!(format_duration(Duration::from_millis(3)), "3.0 ms");
+        assert_eq!(format_duration(Duration::from_secs(2)), "2.00 s");
+    }
 }

@@ -54,6 +54,15 @@ pub enum Command {
         /// Evaluation year.
         year: i32,
     },
+    /// `list` — enumerate the experiment registry.
+    List,
+    /// `run <ID|all> [--json]` — run registered experiments.
+    Run {
+        /// Experiment id, or `all` for the whole registry.
+        id: String,
+        /// Emit JSON instead of text tables.
+        json: bool,
+    },
     /// `--help` / no arguments.
     Help,
 }
@@ -82,6 +91,8 @@ commands:
   forecast <ZONE> [--days N] [--year Y] backtest all forecasters
   rank     [--year Y]                  rank-order stability of all regions
   export   <ZONE> [--year Y]           hourly trace as CSV on stdout
+  list                                 list registered experiments
+  run      <ID|all> [--json]           run experiments from the registry
 
 defaults: --year 2022, --slack 24, --arrive 0, --days 60
 
@@ -218,6 +229,43 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
             opts.reject_unknown(&["year"])?;
             Ok(Command::Rank { year: opts.year()? })
         }
+        "list" => {
+            if argv.len() > 1 {
+                return Err(ParseError("`list` takes no arguments".into()));
+            }
+            Ok(Command::List)
+        }
+        "run" => {
+            // Flags and the id may come in either order (`run --json
+            // fig5` and `run fig5 --json` both work, matching `repro`).
+            let mut json = false;
+            let mut id: Option<&String> = None;
+            for arg in &argv[1..] {
+                match arg.as_str() {
+                    "--json" => json = true,
+                    other if other.starts_with("--") => {
+                        return Err(ParseError(format!("unknown option `{other}` for `run`")));
+                    }
+                    _ => {
+                        if id.is_some() {
+                            return Err(ParseError(format!(
+                                "unexpected argument `{arg}` (`run` takes one id)"
+                            )));
+                        }
+                        id = Some(arg);
+                    }
+                }
+            }
+            let Some(id) = id else {
+                return Err(ParseError(
+                    "`run` needs an experiment id or `all` (see `list`)".into(),
+                ));
+            };
+            Ok(Command::Run {
+                id: id.clone(),
+                json,
+            })
+        }
         other => Err(ParseError(format!(
             "unknown command `{other}` (try --help)"
         ))),
@@ -311,5 +359,31 @@ mod tests {
     fn forecast_day_floor() {
         assert!(parse(&argv(&["forecast", "DE", "--days", "2"])).is_err());
         assert!(parse(&argv(&["forecast", "DE", "--days", "10"])).is_ok());
+    }
+
+    #[test]
+    fn run_accepts_flag_and_id_in_either_order() {
+        let expected = Command::Run {
+            id: "fig5".into(),
+            json: true,
+        };
+        assert_eq!(parse(&argv(&["run", "fig5", "--json"])).unwrap(), expected);
+        assert_eq!(parse(&argv(&["run", "--json", "fig5"])).unwrap(), expected);
+        assert_eq!(
+            parse(&argv(&["run", "all"])).unwrap(),
+            Command::Run {
+                id: "all".into(),
+                json: false
+            }
+        );
+    }
+
+    #[test]
+    fn run_and_list_reject_malformed_argv() {
+        assert!(parse(&argv(&["run"])).is_err());
+        assert!(parse(&argv(&["run", "--bogus", "fig5"])).is_err());
+        assert!(parse(&argv(&["run", "fig5", "fig6"])).is_err());
+        assert!(parse(&argv(&["list", "extra"])).is_err());
+        assert_eq!(parse(&argv(&["list"])).unwrap(), Command::List);
     }
 }

@@ -6,9 +6,11 @@ use std::fmt::Write as _;
 use decarb_core::rankings::rank_stability;
 use decarb_core::spatial::{inf_migration, one_migration};
 use decarb_core::temporal::TemporalPlanner;
+use decarb_experiments::registry;
 use decarb_forecast::{
     backtest, BacktestConfig, DiurnalTemplate, Forecaster, LinearAr, Persistence, SeasonalNaive,
 };
+use decarb_json::Value;
 use decarb_stats::daily::average_daily_cv;
 use decarb_stats::periodicity::periodicity_score;
 use decarb_traces::time::{hours_in_year, year_start};
@@ -44,6 +46,10 @@ impl From<TraceError> for CliError {
 
 /// Runs a parsed command against an explicit dataset (the built-in one in
 /// [`crate::run`], an imported one under `--data`).
+///
+/// `list` and `run` are registry commands with no dataset parameter;
+/// they are routed directly by [`crate::run`] and error here rather
+/// than silently ignoring `data`.
 pub fn run_on(command: &Command, data: &TraceSet) -> Result<String, CliError> {
     match command {
         Command::Help => Ok(USAGE.to_string()),
@@ -59,7 +65,58 @@ pub fn run_on(command: &Command, data: &TraceSet) -> Result<String, CliError> {
         Command::Forecast { zone, days, year } => forecast(data, zone, *days, *year),
         Command::Rank { year } => rank(data, *year),
         Command::Export { zone, year } => export(data, zone, *year),
+        Command::List | Command::Run { .. } => Err(CliError::Parse(ParseError(
+            "`list` and `run` always use the built-in dataset; drop --data".into(),
+        ))),
     }
+}
+
+/// Renders the experiment registry, one `id  description` line per
+/// registered experiment.
+pub(crate) fn list() -> String {
+    let mut out = String::new();
+    for experiment in registry::all() {
+        let _ = writeln!(out, "{:<14} {}", experiment.id(), experiment.description());
+    }
+    let _ = writeln!(
+        out,
+        "{} experiments; `run <id>` or `run all`",
+        registry::count()
+    );
+    out
+}
+
+/// Runs one experiment (or the whole registry, in parallel) and renders
+/// text tables or JSON.
+pub(crate) fn run_experiments(id: &str, json: bool) -> Result<String, CliError> {
+    let ctx = decarb_experiments::context::shared();
+    if id == "all" {
+        let runs = registry::run_all(ctx);
+        if json {
+            let value = Value::Array(runs.iter().map(|r| r.to_json()).collect());
+            return Ok(value.pretty());
+        }
+        let mut out = String::new();
+        for run in runs {
+            for table in &run.tables {
+                let _ = writeln!(out, "{table}");
+            }
+        }
+        return Ok(out);
+    }
+    let experiment = registry::find(id).ok_or_else(|| {
+        CliError::Parse(ParseError(format!(
+            "unknown experiment id `{id}` (see `list`)"
+        )))
+    })?;
+    if json {
+        return Ok(experiment.run_json(ctx).pretty());
+    }
+    let mut out = String::new();
+    for table in experiment.run(ctx) {
+        let _ = writeln!(out, "{table}");
+    }
+    Ok(out)
 }
 
 fn year_values<'a>(data: &'a TraceSet, zone: &str, year: i32) -> Result<&'a [f64], CliError> {
@@ -532,5 +589,52 @@ mod tests {
     fn analyze_reports_seasonal_strength() {
         let out = dispatch(&argv(&["analyze", "US-CA"])).unwrap();
         assert!(out.contains("seasonality"), "{out}");
+    }
+
+    #[test]
+    fn list_shows_every_registered_experiment() {
+        let out = dispatch(&argv(&["list"])).unwrap();
+        for id in registry::ids() {
+            assert!(
+                out.lines().any(|l| l.split_whitespace().next() == Some(id)),
+                "missing {id}"
+            );
+        }
+        assert!(out.contains(&format!("{} experiments", registry::count())));
+    }
+
+    #[test]
+    fn run_unknown_experiment_is_a_parse_error() {
+        let err = dispatch(&argv(&["run", "fig99"])).unwrap_err();
+        assert!(matches!(err, CliError::Parse(_)));
+        assert!(format!("{err}").contains("unknown experiment id `fig99`"));
+    }
+
+    #[test]
+    fn run_single_experiment_renders_tables() {
+        let out = dispatch(&argv(&["run", "table1"])).unwrap();
+        assert!(out.contains("[table1]"), "{out}");
+    }
+
+    #[test]
+    fn run_json_emits_id_and_tables() {
+        let out = dispatch(&argv(&["run", "table1", "--json"])).unwrap();
+        assert!(out.contains("\"id\": \"table1\""), "{out}");
+        assert!(out.contains("\"tables\""), "{out}");
+    }
+
+    #[test]
+    fn run_on_refuses_explicit_datasets_for_registry_commands() {
+        let data = decarb_traces::builtin_dataset();
+        for command in [
+            Command::List,
+            Command::Run {
+                id: "table1".into(),
+                json: false,
+            },
+        ] {
+            let err = run_on(&command, &data).unwrap_err();
+            assert!(format!("{err}").contains("built-in dataset"));
+        }
     }
 }

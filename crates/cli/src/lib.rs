@@ -13,6 +13,8 @@
 //! | `forecast <ZONE> [--days N] [--year Y]` | backtest all forecasters on the region |
 //! | `rank [--year Y]` | rank-order stability of the global region set |
 //! | `export <ZONE> [--year Y]` | CSV of the region's hourly trace to stdout |
+//! | `list` | enumerate the experiment registry |
+//! | `run <ID\|all> [--json]` | run experiments through the shared registry |
 //!
 //! A leading global option `--data FILE` replaces the built-in synthetic
 //! dataset with a `zone,hour,value` CSV (e.g. a real Electricity Maps
@@ -32,8 +34,12 @@ pub use commands::{run_on, CliError};
 
 /// Runs a parsed command against the built-in dataset.
 pub fn run(command: &Command) -> Result<String, CliError> {
-    let data = builtin_dataset();
-    run_on(command, &data)
+    match command {
+        // Registry commands take no dataset; route them directly.
+        Command::List => Ok(commands::list()),
+        Command::Run { id, json } => commands::run_experiments(id, *json),
+        other => run_on(other, &builtin_dataset()),
+    }
 }
 
 /// Loads, validates, and repairs a `zone,hour,value` CSV dataset.

@@ -1,9 +1,15 @@
 //! Binary entry point: parse `argv`, dispatch, print.
 
+use std::io::Write as _;
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match decarb_cli::dispatch(&argv) {
-        Ok(output) => println!("{output}"),
+        Ok(output) => {
+            // Tolerate a closed pipe (`decarb-cli list | head`) instead
+            // of panicking mid-print.
+            let _ = writeln!(std::io::stdout(), "{output}");
+        }
         Err(error) => {
             eprintln!("error: {error}");
             std::process::exit(2);

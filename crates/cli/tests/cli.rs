@@ -1,0 +1,153 @@
+//! Integration tests driving the `decarb-cli` binary end-to-end:
+//! usage text, exit codes, registry listing, and error surfaces.
+//!
+//! The container has no route to a crates registry, so instead of
+//! `assert_cmd` these tests spawn the binary Cargo builds for us via
+//! `CARGO_BIN_EXE_decarb-cli` and assert on `std::process::Output`
+//! directly — same shape, no dependency.
+
+use std::process::{Command, Output};
+
+/// Runs the compiled binary with `args` and returns its output.
+fn decarb_cli(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_decarb-cli"))
+        .args(args)
+        .output()
+        .expect("binary spawns")
+}
+
+fn stdout(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stdout).into_owned()
+}
+
+fn stderr(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stderr).into_owned()
+}
+
+#[test]
+fn no_arguments_prints_usage_and_succeeds() {
+    let out = decarb_cli(&[]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("usage: decarb-cli"));
+    assert!(text.contains("run      <ID|all> [--json]"));
+}
+
+#[test]
+fn help_flag_prints_usage() {
+    for flag in ["--help", "-h", "help"] {
+        let out = decarb_cli(&[flag]);
+        assert!(out.status.success(), "{flag}");
+        assert!(stdout(&out).contains("usage: decarb-cli"), "{flag}");
+    }
+}
+
+#[test]
+fn unknown_command_exits_2_with_usage_on_stderr() {
+    let out = decarb_cli(&["frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert!(err.contains("unknown command `frobnicate`"));
+    assert!(err.contains("usage: decarb-cli"));
+    assert!(stdout(&out).is_empty());
+}
+
+#[test]
+fn list_enumerates_the_whole_registry() {
+    let out = decarb_cli(&["list"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    // Every registered id appears at the start of its own line.
+    for id in [
+        "table1",
+        "fig1",
+        "fig3a",
+        "fig3b",
+        "fig4",
+        "fig5",
+        "fig6a",
+        "fig6b",
+        "fig7",
+        "fig8",
+        "fig9",
+        "fig10",
+        "fig11a",
+        "fig11b",
+        "fig11cd",
+        "fig12",
+        "ext",
+        "ext-forecast",
+        "ext-grid",
+        "ext-embodied",
+        "ext-sim",
+        "ext-elastic",
+        "ext-rank",
+        "ext-pareto",
+    ] {
+        assert!(
+            text.lines()
+                .any(|l| l.split_whitespace().next() == Some(id)),
+            "missing {id} in list output"
+        );
+    }
+    assert!(text.contains("24 experiments"));
+}
+
+#[test]
+fn run_unknown_id_exits_2_and_points_at_list() {
+    let out = decarb_cli(&["run", "fig99"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert!(err.contains("unknown experiment id `fig99`"));
+    assert!(err.contains("see `list`"));
+}
+
+#[test]
+fn run_without_id_exits_2() {
+    let out = decarb_cli(&["run"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("needs an experiment id"));
+}
+
+#[test]
+fn run_rejects_unknown_flags() {
+    let out = decarb_cli(&["run", "table1", "--bogus"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("unknown option `--bogus`"));
+}
+
+#[test]
+fn run_table1_renders_the_text_table() {
+    let out = decarb_cli(&["run", "table1"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("[table1]"), "{text}");
+    assert!(text.contains('|'), "table body rendered");
+}
+
+#[test]
+fn run_table1_json_is_structured() {
+    let out = decarb_cli(&["run", "table1", "--json"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.starts_with('{'), "{text}");
+    assert!(text.contains("\"id\": \"table1\""));
+    assert!(text.contains("\"tables\""));
+    assert!(text.contains("\"columns\""));
+}
+
+#[test]
+fn run_and_list_reject_imported_datasets() {
+    let out = decarb_cli(&["--data", "/dev/null", "list"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("built-in dataset"));
+}
+
+#[test]
+fn export_pipes_csv_to_stdout() {
+    let out = decarb_cli(&["export", "SE", "--year", "2021"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    let header = text.lines().next().expect("csv header");
+    assert!(header.contains("hour"), "{header}");
+}

@@ -16,15 +16,13 @@
 //! idle capacity for migration headroom emits more in manufacturing than
 //! it saves in operations.
 
-use serde::Serialize;
-
 /// Embodied-carbon parameters for one server class.
 ///
 /// Defaults follow the published life-cycle analyses cloud providers cite
 /// (≈ 1–2 t CO2eq embodied per server, 4–6 year deployment, ≈ 300–500 W
 /// wall power under load). The paper's 1 kW "energy-optimized" job model
 /// (Table 1) maps one job to one kW of IT load.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EmbodiedParams {
     /// Embodied emissions of manufacturing one server, kg·CO2eq.
     pub embodied_kg: f64,
@@ -65,7 +63,7 @@ impl EmbodiedParams {
 }
 
 /// One point of the idle-capacity sweep with embodied carbon priced in.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct NetPoint {
     /// Global idle fraction.
     pub idle: f64,

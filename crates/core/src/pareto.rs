@@ -8,12 +8,11 @@
 //! actually incurs — the frontier a cluster operator picks an SLO from.
 
 use decarb_traces::{Hour, TimeSeries};
-use serde::Serialize;
 
 use crate::temporal::TemporalPlanner;
 
 /// One point of the carbon–delay frontier.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct FrontierPoint {
     /// Slack budget, hours.
     pub slack: usize,

@@ -13,10 +13,9 @@
 use decarb_stats::rank::kendall_tau;
 use decarb_traces::time::{hours_in_year, year_start};
 use decarb_traces::TraceSet;
-use serde::Serialize;
 
 /// Rank-stability statistics over one year.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct RankStability {
     /// Mean Kendall's τ between hourly rankings and the annual ranking.
     pub mean_tau: f64,

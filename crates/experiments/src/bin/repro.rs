@@ -1,50 +1,57 @@
-//! `repro` — regenerate every table and figure of the paper.
+//! `repro` — regenerate every table and figure of the paper through the
+//! experiment registry.
 //!
 //! Usage:
 //!
 //! ```text
-//! repro all                 # run every experiment
+//! repro all                 # run every experiment (parallel)
 //! repro fig5 fig6a          # run selected experiments
-//! repro --list              # list experiment ids
+//! repro --list              # list experiment ids and descriptions
 //! repro --json fig3a        # emit JSON instead of text tables
 //! ```
 
-use decarb_experiments::{run_experiment, Context, EXPERIMENT_IDS};
+use std::io::Write as _;
+
+use decarb_experiments::{registry, Context};
+
+/// Prints one line, tolerating a closed pipe (`repro --list | head`).
+fn say(line: std::fmt::Arguments<'_>) {
+    let _ = writeln!(std::io::stdout(), "{line}");
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!("usage: repro [--json] [--list] <experiment-id>... | all");
-        eprintln!("experiments: {}", EXPERIMENT_IDS.join(", "));
+        eprintln!("experiments: {}", registry::ids().join(", "));
         std::process::exit(if args.is_empty() { 2 } else { 0 });
     }
     if args.iter().any(|a| a == "--list") {
-        for id in EXPERIMENT_IDS {
-            println!("{id}");
+        for experiment in registry::all() {
+            say(format_args!(
+                "{:<14} {}",
+                experiment.id(),
+                experiment.description()
+            ));
         }
         return;
     }
     let json = args.iter().any(|a| a == "--json");
-    let mut ids: Vec<String> = args.into_iter().filter(|a| !a.starts_with("--")).collect();
-    if ids.iter().any(|a| a == "all") {
-        ids = EXPERIMENT_IDS.iter().map(|s| s.to_string()).collect();
-    }
+    let ids: Vec<String> = args.into_iter().filter(|a| !a.starts_with("--")).collect();
     let ctx = Context::default();
+
+    // `all` routes through the parallel registry runner; explicit ids run
+    // in the order given.
+    if ids.iter().any(|a| a == "all") {
+        for run in registry::run_all(&ctx) {
+            emit(&run.tables, json);
+        }
+        return;
+    }
     let mut failed = false;
     for id in &ids {
-        match run_experiment(&ctx, id) {
-            Some(tables) => {
-                for table in tables {
-                    if json {
-                        println!(
-                            "{}",
-                            serde_json::to_string_pretty(&table).expect("tables serialize cleanly")
-                        );
-                    } else {
-                        println!("{table}");
-                    }
-                }
-            }
+        match registry::find(id) {
+            Some(experiment) => emit(&experiment.run(&ctx), json),
             None => {
                 eprintln!("unknown experiment id: {id}");
                 failed = true;
@@ -53,5 +60,15 @@ fn main() {
     }
     if failed {
         std::process::exit(1);
+    }
+}
+
+fn emit(tables: &[decarb_experiments::ExperimentTable], json: bool) {
+    for table in tables {
+        if json {
+            say(format_args!("{}", table.to_json().pretty()));
+        } else {
+            say(format_args!("{table}"));
+        }
     }
 }

@@ -6,7 +6,6 @@ use std::sync::{Arc, Mutex};
 use decarb_core::temporal::TemporalPlanner;
 use decarb_traces::time::{hours_in_year, year_start};
 use decarb_traces::{builtin_dataset, Region, TraceSet};
-use serde::Serialize;
 
 /// The evaluation year used throughout the experiments (matches the
 /// paper's headline 2022 analysis).
@@ -14,7 +13,7 @@ pub const EVAL_YEAR: i32 = 2022;
 
 /// Per-region, per-configuration temporal statistics, normalized per job
 /// hour (g·CO2eq/kWh-equivalent).
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct RegionTemporal {
     /// Zone code.
     pub code: &'static str,
@@ -43,8 +42,12 @@ impl RegionTemporal {
     }
 }
 
-/// Memoized per-`(slots, slack)` sweep results.
-type SweepMemo = Mutex<HashMap<(usize, usize), Arc<Vec<RegionTemporal>>>>;
+/// Memoized per-`(slots, slack)` sweep results. Each key holds a
+/// compute-once cell so concurrent first callers (e.g. figs 7–10
+/// scheduled on different `run_all` workers) block on one computation
+/// instead of all recomputing the sweep.
+type SweepCell = Arc<std::sync::OnceLock<Arc<Vec<RegionTemporal>>>>;
+type SweepMemo = Mutex<HashMap<(usize, usize), SweepCell>>;
 
 /// Shared state for all experiments: the dataset and a sweep memo so
 /// figures 7–10 reuse each other's computations.
@@ -88,16 +91,25 @@ impl Context {
     /// Computes (or returns memoized) per-region temporal statistics for a
     /// `slots`-hour job with `slack` hours of slack, averaged over every
     /// arrival of [`EVAL_YEAR`].
+    ///
+    /// The 123 per-region sweeps are independent, so they fan out across
+    /// threads with `decarb_par`; the memo keeps figures 7–10 reusing
+    /// each other's results.
     pub fn temporal_stats(&self, slots: usize, slack: usize) -> Arc<Vec<RegionTemporal>> {
-        if let Some(hit) = self.memo.lock().expect("memo lock").get(&(slots, slack)) {
-            return hit.clone();
-        }
-        let start = year_start(EVAL_YEAR);
-        let count = hours_in_year(EVAL_YEAR);
-        let result: Vec<RegionTemporal> = self
-            .data
-            .iter()
-            .map(|(region, series)| {
+        // Grab (or install) the key's compute-once cell under the map
+        // lock, then compute outside it so other keys stay unblocked.
+        let cell: SweepCell = self
+            .memo
+            .lock()
+            .expect("memo lock")
+            .entry((slots, slack))
+            .or_default()
+            .clone();
+        cell.get_or_init(|| {
+            let start = year_start(EVAL_YEAR);
+            let count = hours_in_year(EVAL_YEAR);
+            let pairs: Vec<_> = self.data.iter().collect();
+            let result: Vec<RegionTemporal> = decarb_par::par_map(&pairs, |(region, series)| {
                 let planner = TemporalPlanner::new(series);
                 let baseline = planner.baseline_sweep(start, count, slots);
                 let deferred = planner.deferral_sweep(start, count, slots, slack);
@@ -110,14 +122,10 @@ impl Context {
                     deferred_per_h: per_h(deferred.iter().sum()),
                     interruptible_per_h: per_h(interruptible.iter().sum()),
                 }
-            })
-            .collect();
-        let arc = Arc::new(result);
-        self.memo
-            .lock()
-            .expect("memo lock")
-            .insert((slots, slack), arc.clone());
-        arc
+            });
+            Arc::new(result)
+        })
+        .clone()
     }
 
     /// Averages a per-region statistic over all regions.

@@ -15,13 +15,12 @@ use decarb_core::chain::best_chain;
 use decarb_core::overhead::interruptible_with_overhead;
 use decarb_core::temporal::TemporalPlanner;
 use decarb_traces::time::{hours_in_year, year_start};
-use serde::Serialize;
 
 use crate::context::{Context, EVAL_YEAR};
 use crate::table::{f1, ExperimentTable};
 
 /// One suspend-overhead sweep point.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct OverheadPoint {
     /// Per-resume overhead in g·CO2eq.
     pub overhead_g: f64,
@@ -32,7 +31,7 @@ pub struct OverheadPoint {
 }
 
 /// One migration-budget sweep point.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct BudgetPoint {
     /// Allowed migrations.
     pub budget: usize,
@@ -41,7 +40,7 @@ pub struct BudgetPoint {
 }
 
 /// One workflow-splitting sweep point.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct SplitPoint {
     /// Number of equal stages the 48-hour job is split into.
     pub stages: usize,
@@ -50,7 +49,7 @@ pub struct SplitPoint {
 }
 
 /// Extension results.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Ext {
     /// Overhead sweep (averaged over sample regions).
     pub overhead: Vec<OverheadPoint>,

@@ -9,7 +9,6 @@
 
 use decarb_core::elastic::elastic_plan;
 use decarb_traces::time::{hours_in_year, year_start};
-use serde::Serialize;
 
 use crate::context::{Context, EVAL_YEAR};
 use crate::table::{f1, pct, ExperimentTable};
@@ -22,7 +21,7 @@ const WORK: usize = 48;
 const WINDOW: usize = 7 * 24;
 
 /// One ceiling's outcome, averaged over regions and arrivals.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ElasticRow {
     /// Parallelism ceiling.
     pub max_replicas: usize,
@@ -35,7 +34,7 @@ pub struct ElasticRow {
 }
 
 /// Extension results.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ExtElastic {
     /// One row per ceiling.
     pub rows: Vec<ElasticRow>,

@@ -11,13 +11,12 @@ use decarb_core::capacity::{idle_sweep, IdleCapacity};
 use decarb_core::embodied::{net_footprint_sweep, optimal_idle, EmbodiedParams, NetPoint};
 use decarb_core::water_filling;
 use decarb_traces::Region;
-use serde::Serialize;
 
 use crate::context::{Context, EVAL_YEAR};
 use crate::table::{f1, pct, ExperimentTable};
 
 /// Extension results.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ExtEmbodied {
     /// The net-footprint sweep under default server parameters.
     pub sweep: Vec<NetPoint>,

@@ -18,7 +18,6 @@ use decarb_forecast::{
 };
 use decarb_traces::time::year_start;
 use decarb_traces::TimeSeries;
-use serde::Serialize;
 
 use crate::context::{Context, EVAL_YEAR};
 use crate::table::{f1, f2, ExperimentTable};
@@ -38,7 +37,7 @@ const SPATIAL_REGIONS: [&str; 5] = ["DE", "GB", "NL", "DK", "IE"];
 const EVAL_HOURS: usize = 90 * 24;
 
 /// One model's pooled accuracy across the region sample.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ModelQuality {
     /// Model name.
     pub model: &'static str,
@@ -51,7 +50,7 @@ pub struct ModelQuality {
 }
 
 /// One model's scheduling impact.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ModelImpact {
     /// Model name (or "uniform-50%" for the paper's abstraction).
     pub model: &'static str,
@@ -62,7 +61,7 @@ pub struct ModelImpact {
 }
 
 /// Extension results.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ExtForecast {
     /// Accuracy table.
     pub quality: Vec<ModelQuality>,

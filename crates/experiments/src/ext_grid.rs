@@ -17,85 +17,10 @@
 
 use decarb_core::flexload::{allocate_by_average_ci, allocate_flexible, flat_allocation};
 use decarb_core::signals::compare_signals;
-use decarb_traces::grid::{solar_availability, Fleet, Generator};
-use decarb_traces::mix::Source;
+use decarb_traces::grid::{aligned_grid, curtailment_grid, two_level_demand};
 use decarb_traces::Hour;
-use serde::Serialize;
 
 use crate::table::{f1, ExperimentTable};
-
-/// Night-wind availability: full at night, 10 % by day.
-fn night_wind(hour: Hour) -> f64 {
-    if !(6..20).contains(&hour.hour_of_day()) {
-        1.0
-    } else {
-        0.1
-    }
-}
-
-/// A grid whose margin diverges from its average: must-run coal base,
-/// night wind that is regularly curtailed, solar noon, gas peaking.
-pub fn curtailment_grid() -> Fleet {
-    Fleet::new(vec![
-        Generator {
-            name: "must-run coal",
-            source: Source::Coal,
-            capacity_mw: 500.0,
-            marginal_cost: -5.0,
-            availability: None,
-        },
-        Generator {
-            name: "wind",
-            source: Source::Wind,
-            capacity_mw: 400.0,
-            marginal_cost: 0.0,
-            availability: Some(night_wind),
-        },
-        Generator {
-            name: "solar",
-            source: Source::Solar,
-            capacity_mw: 800.0,
-            marginal_cost: 1.0,
-            availability: Some(solar_availability),
-        },
-        Generator {
-            name: "gas",
-            source: Source::Gas,
-            capacity_mw: 1200.0,
-            marginal_cost: 40.0,
-            availability: None,
-        },
-    ])
-}
-
-/// A grid whose margin tracks its average: nuclear base, gas for the rest.
-pub fn aligned_grid() -> Fleet {
-    Fleet::new(vec![
-        Generator {
-            name: "nuclear",
-            source: Source::Nuclear,
-            capacity_mw: 400.0,
-            marginal_cost: 5.0,
-            availability: None,
-        },
-        Generator {
-            name: "gas",
-            source: Source::Gas,
-            capacity_mw: 1400.0,
-            marginal_cost: 40.0,
-            availability: None,
-        },
-    ])
-}
-
-/// Demand on the curtailment grid: 800 MW at night, 1400 MW by day.
-pub fn two_level_demand(hour: Hour) -> f64 {
-    if (8..20).contains(&hour.hour_of_day()) {
-        1400.0
-    } else {
-        800.0
-    }
-}
 
 /// Diurnal demand for the aligned grid.
 fn diurnal_demand(hour: Hour) -> f64 {
@@ -107,7 +32,7 @@ fn diurnal_demand(hour: Hour) -> f64 {
 }
 
 /// One grid's signal-comparison row.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct SignalRow {
     /// Grid label.
     pub grid: &'static str,
@@ -120,7 +45,7 @@ pub struct SignalRow {
 }
 
 /// One flexible-load policy row.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct FlexRow {
     /// Placement policy.
     pub policy: &'static str,
@@ -131,7 +56,7 @@ pub struct FlexRow {
 }
 
 /// Extension results.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ExtGrid {
     /// Average- vs marginal-signal comparison per grid.
     pub signals: Vec<SignalRow>,

@@ -15,7 +15,6 @@ use decarb_sim::{LatencyAwareRouter, SimConfig, Simulator};
 use decarb_traces::time::{hours_in_year, year_start};
 use decarb_traces::Region;
 use decarb_workloads::{Job, Slack};
-use serde::Serialize;
 
 use crate::context::{Context, EVAL_YEAR};
 use crate::table::{f1, f2, pct, ExperimentTable};
@@ -23,7 +22,7 @@ use crate::table::{f1, f2, pct, ExperimentTable};
 const SAMPLE_REGIONS: [&str; 5] = ["US-CA", "DE", "GB", "SE", "IN-WE"];
 
 /// One SLO point of the online routing sweep.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct SloPoint {
     /// RTT budget, ms.
     pub slo_ms: f64,
@@ -36,7 +35,7 @@ pub struct SloPoint {
 }
 
 /// Extension results.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ExtPareto {
     /// Slack → (cost, delay) frontier averaged over the sample regions.
     pub frontier: Vec<FrontierPoint>,

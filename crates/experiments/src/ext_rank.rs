@@ -9,13 +9,12 @@
 
 use decarb_core::rankings::{rank_stability, RankStability};
 use decarb_traces::{GeoGroup, TraceSet};
-use serde::Serialize;
 
 use crate::context::{Context, EVAL_YEAR};
 use crate::table::{f2, pct, ExperimentTable};
 
 /// One region-set's stability row.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct RankRow {
     /// Region-set label.
     pub set: String,
@@ -26,7 +25,7 @@ pub struct RankRow {
 }
 
 /// Extension results.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ExtRank {
     /// Global set plus per-grouping rows.
     pub rows: Vec<RankRow>,

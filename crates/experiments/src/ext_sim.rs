@@ -15,7 +15,6 @@ use decarb_sim::{
 use decarb_traces::time::year_start;
 use decarb_traces::Region;
 use decarb_workloads::{Job, Slack};
-use serde::Serialize;
 
 use crate::context::{Context, EVAL_YEAR};
 use crate::table::{f1, f2, pct, ExperimentTable};
@@ -23,7 +22,7 @@ use crate::table::{f1, f2, pct, ExperimentTable};
 const SAMPLE_REGIONS: [&str; 5] = ["US-CA", "DE", "GB", "SE", "IN-WE"];
 
 /// One policy's aggregate outcome on the shared workload.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct PolicyRow {
     /// Policy label.
     pub policy: &'static str,
@@ -38,7 +37,7 @@ pub struct PolicyRow {
 }
 
 /// One overhead-sensitivity row.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct OverheadRow {
     /// Policy label.
     pub policy: &'static str,
@@ -49,7 +48,7 @@ pub struct OverheadRow {
 }
 
 /// Extension results.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ExtSim {
     /// Online-vs-clairvoyant comparison.
     pub policies: Vec<PolicyRow>,

@@ -5,7 +5,6 @@
 //! Mumbai), and those properties follow from each grid's generation mix.
 
 use decarb_traces::time::year_start;
-use serde::Serialize;
 
 use crate::context::{Context, EVAL_YEAR};
 use crate::table::{f1, f2, ExperimentTable};
@@ -14,7 +13,7 @@ use crate::table::{f1, f2, ExperimentTable};
 pub const EXAMPLE_ZONES: [&str; 3] = ["US-CA", "CA-ON", "IN-WE"];
 
 /// One zone's Fig. 1 summary.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ZoneSummary {
     /// Zone code.
     pub code: &'static str,
@@ -29,7 +28,7 @@ pub struct ZoneSummary {
 }
 
 /// Fig. 1 results.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig1 {
     /// Per-zone summaries.
     pub zones: Vec<ZoneSummary>,

@@ -8,14 +8,13 @@
 
 use decarb_traces::{GeoGroup, GLOBAL_AVG_CI};
 use decarb_workloads::JobLengthDistribution;
-use serde::Serialize;
 
 use crate::context::Context;
 use crate::fig7to9::TEMPORAL_LENGTHS;
 use crate::table::{f1, pct, ExperimentTable};
 
 /// A per-grouping weighted-savings row.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct GroupSavings {
     /// Grouping label ("Global" first).
     pub group: String,
@@ -25,7 +24,7 @@ pub struct GroupSavings {
 }
 
 /// One slack-sweep point (Fig. 10(d)).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct SlackPoint {
     /// Slack label.
     pub label: String,
@@ -36,7 +35,7 @@ pub struct SlackPoint {
 }
 
 /// Fig. 10 results.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig10 {
     /// Rows for (a)–(c).
     pub groups: Vec<GroupSavings>,
@@ -152,12 +151,18 @@ impl Fig10 {
         let d = ExperimentTable::new(
             "fig10d",
             "Fig 10(d): global temporal savings vs slack (equal distribution)",
-            vec!["slack".into(), "savings g/h".into(), "vs global avg".into()],
+            vec![
+                "slack".into(),
+                "hours".into(),
+                "savings g/h".into(),
+                "vs global avg".into(),
+            ],
             self.slack_sweep
                 .iter()
                 .map(|p| {
                     vec![
                         p.label.clone(),
+                        p.slack.to_string(),
                         f1(p.savings_g),
                         pct(p.savings_g / GLOBAL_AVG_CI * 100.0),
                     ]

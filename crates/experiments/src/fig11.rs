@@ -12,7 +12,6 @@ use decarb_core::spatial::lower_envelope;
 use decarb_core::temporal::TemporalPlanner;
 use decarb_traces::time::{hours_in_year, year_start};
 use decarb_traces::{TimeSeries, GLOBAL_AVG_CI};
-use serde::Serialize;
 
 use crate::context::{Context, EVAL_YEAR};
 use crate::table::{f1, pct, ExperimentTable};
@@ -20,7 +19,7 @@ use crate::table::{f1, pct, ExperimentTable};
 // ---------------------------------------------------------------- Fig 11(a)
 
 /// One mixed-workload sweep point.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct MixedPoint {
     /// Migratable fraction.
     pub migratable: f64,
@@ -29,7 +28,7 @@ pub struct MixedPoint {
 }
 
 /// Fig. 11(a) results.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig11a {
     /// The sweep rows.
     pub points: Vec<MixedPoint>,
@@ -76,7 +75,7 @@ impl Fig11a {
 // ---------------------------------------------------------------- Fig 11(b)
 
 /// One forecast-error sweep point.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ErrorPoint {
     /// Uniform error magnitude (0.5 = ±50 %).
     pub error: f64,
@@ -87,7 +86,7 @@ pub struct ErrorPoint {
 }
 
 /// Fig. 11(b) results.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig11b {
     /// The sweep rows.
     pub points: Vec<ErrorPoint>,
@@ -165,7 +164,7 @@ impl Fig11b {
 // -------------------------------------------------------------- Fig 11(c,d)
 
 /// One renewable-penetration sweep point for California.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct GreenerPoint {
     /// Added renewable fraction.
     pub renewables: f64,
@@ -181,7 +180,7 @@ pub struct GreenerPoint {
 }
 
 /// Fig. 11(c,d) results for California.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig11cd {
     /// The sweep rows.
     pub points: Vec<GreenerPoint>,

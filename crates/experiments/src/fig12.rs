@@ -7,7 +7,6 @@
 //! takeaway: the spatial term dominates the sign of the net gain.
 
 use decarb_core::combined::{combined_shift, CombinedBreakdown};
-use serde::Serialize;
 
 use crate::context::{Context, EVAL_YEAR};
 use crate::table::{f1, ExperimentTable};
@@ -19,7 +18,7 @@ pub const DESTINATIONS: [&str; 14] = [
 ];
 
 /// One destination's decomposition under both slack settings.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct DestinationRow {
     /// Destination zone code.
     pub destination: &'static str,
@@ -44,7 +43,7 @@ impl DestinationRow {
 }
 
 /// Fig. 12 results.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig12 {
     /// One row per destination.
     pub rows: Vec<DestinationRow>,

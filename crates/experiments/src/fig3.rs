@@ -9,13 +9,12 @@
 use decarb_stats::daily::average_daily_cv;
 use decarb_stats::kmeans;
 use decarb_traces::time::{hours_in_year, year_start};
-use serde::Serialize;
 
 use crate::context::Context;
 use crate::table::{f1, f2, pct, ExperimentTable};
 
 /// One region's point in Fig. 3(a).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct MeanCvPoint {
     /// Zone code.
     pub code: &'static str,
@@ -26,7 +25,7 @@ pub struct MeanCvPoint {
 }
 
 /// Fig. 3(a) results.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig3a {
     /// All 123 region points.
     pub points: Vec<MeanCvPoint>,
@@ -118,7 +117,7 @@ impl Fig3a {
 }
 
 /// One region's point in Fig. 3(b) with its cluster assignment.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct DriftPoint {
     /// Zone code.
     pub code: &'static str,
@@ -131,7 +130,7 @@ pub struct DriftPoint {
 }
 
 /// Fig. 3(b) results.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig3b {
     /// All 123 drift points.
     pub points: Vec<DriftPoint>,
@@ -205,6 +204,27 @@ impl Fig3b {
                 format!("cluster {i} centroid (dCI, dCV)"),
                 format!("{}, {} ({} regions)", f1(c[0]), f2(c[1] / 500.0), members),
             ]);
+        }
+        for (label, point) in [
+            (
+                "largest CI fall",
+                self.points
+                    .iter()
+                    .min_by(|a, b| a.delta_ci.total_cmp(&b.delta_ci)),
+            ),
+            (
+                "largest CI rise",
+                self.points
+                    .iter()
+                    .max_by(|a, b| a.delta_ci.total_cmp(&b.delta_ci)),
+            ),
+        ] {
+            if let Some(p) = point {
+                rows.push(vec![
+                    label.into(),
+                    format!("{} ({:+.1} g, dCV {:+.3})", p.code, p.delta_ci, p.delta_cv),
+                ]);
+            }
         }
         ExperimentTable::new(
             "fig3b",

@@ -7,13 +7,12 @@
 use decarb_stats::periodicity::periodicity_score;
 use decarb_traces::catalog::hyperscale_regions;
 use decarb_traces::time::{hours_in_year, year_start};
-use serde::Serialize;
 
 use crate::context::{Context, EVAL_YEAR};
 use crate::table::{f1, f2, ExperimentTable};
 
 /// One region's periodicity row.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct PeriodicityRow {
     /// Zone code.
     pub code: &'static str,
@@ -26,7 +25,7 @@ pub struct PeriodicityRow {
 }
 
 /// Fig. 4 results.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig4 {
     /// Rows ordered by ascending mean CI, as in the figure.
     pub rows: Vec<PeriodicityRow>,

@@ -9,13 +9,12 @@
 use decarb_core::capacity::{water_filling, IdleCapacity};
 use decarb_stats::regression::linear_fit;
 use decarb_traces::{GeoGroup, Region, GLOBAL_AVG_CI};
-use serde::Serialize;
 
 use crate::context::{Context, EVAL_YEAR};
 use crate::table::{f1, f2, pct, ExperimentTable};
 
 /// Per-grouping reduction rows for one capacity regime.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct GroupReduction {
     /// Grouping label.
     pub group: String,
@@ -26,7 +25,7 @@ pub struct GroupReduction {
 }
 
 /// One idle-capacity sweep point.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct IdlePoint {
     /// Idle fraction in `[0, 1)`.
     pub idle: f64,
@@ -37,7 +36,7 @@ pub struct IdlePoint {
 }
 
 /// Fig. 5 results.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig5 {
     /// (a): per-grouping reductions with infinite capacity.
     pub infinite: Vec<GroupReduction>,

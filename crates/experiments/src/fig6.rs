@@ -6,13 +6,12 @@ use decarb_core::latency::LatencyMatrix;
 use decarb_core::spatial::lower_envelope;
 use decarb_traces::time::{hours_in_year, year_start};
 use decarb_traces::{GeoGroup, Region, GLOBAL_AVG_CI};
-use serde::Serialize;
 
 use crate::context::{Context, EVAL_YEAR};
 use crate::table::{f1, pct, ExperimentTable};
 
 /// One latency-SLO sweep point (Fig. 6(a)).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct LatencyPoint {
     /// Latency SLO in milliseconds.
     pub slo_ms: f64,
@@ -23,7 +22,7 @@ pub struct LatencyPoint {
 }
 
 /// Fig. 6(a) results.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig6a {
     /// The latency sweep.
     pub points: Vec<LatencyPoint>,
@@ -68,7 +67,7 @@ impl Fig6a {
 }
 
 /// One grouping's 1-migration vs ∞-migration comparison (Fig. 6(b)).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct HoppingRow {
     /// Grouping label.
     pub group: String,
@@ -88,7 +87,7 @@ impl HoppingRow {
 }
 
 /// Fig. 6(b) results.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig6b {
     /// Per-grouping rows.
     pub rows: Vec<HoppingRow>,

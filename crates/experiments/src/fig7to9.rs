@@ -8,7 +8,6 @@
 //! pass.
 
 use decarb_traces::GLOBAL_AVG_CI;
-use serde::Serialize;
 
 use crate::context::Context;
 use crate::table::{f1, pct, ExperimentTable};
@@ -21,7 +20,7 @@ pub const TEMPORAL_LENGTHS: [usize; 7] = [1, 6, 12, 24, 48, 96, 168];
 pub const SLACKS: [(&str, usize); 2] = [("1Y", 365 * 24), ("24H", 24)];
 
 /// One `(length, slack)` cell of the temporal analysis.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct LengthRow {
     /// Job length in hours.
     pub length: usize,
@@ -36,7 +35,7 @@ pub struct LengthRow {
 }
 
 /// Results for Figs. 7–9.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct TemporalFigures {
     /// One row per `(length, slack)` combination.
     pub rows: Vec<LengthRow>,
@@ -75,14 +74,17 @@ fn render(
     figures: &TemporalFigures,
     value: impl Fn(&LengthRow) -> f64,
 ) -> ExperimentTable {
+    let by_slack: Vec<Vec<&LengthRow>> = SLACKS
+        .iter()
+        .map(|&(_, slack)| figures.for_slack(slack))
+        .collect();
     let mut rows = Vec::new();
     for length in TEMPORAL_LENGTHS {
         let mut cells = vec![format!("{length}h")];
-        for (_, slack) in SLACKS {
-            let row = figures
-                .rows
+        for column in &by_slack {
+            let row = column
                 .iter()
-                .find(|r| r.length == length && r.slack == slack)
+                .find(|r| r.length == length)
                 .expect("all combinations computed");
             let v = value(row);
             cells.push(f1(v));

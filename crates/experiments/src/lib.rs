@@ -1,123 +1,72 @@
-//! Reproduction harness: one module per figure/table of the paper.
+//! Reproduction harness: one module per figure/table of the paper, all
+//! registered behind the [`registry::Experiment`] trait.
 //!
-//! Every module exposes a `run(&Context) -> <FigureResult>` function whose
-//! result is `serde::Serialize` (for `repro --json`) and convertible to a
-//! text [`table::ExperimentTable`] printing the same rows/series the paper
-//! reports. `EXPERIMENTS.md` records the paper-value vs measured-value
-//! comparison for each.
+//! Every experiment module exposes a `run(&Context)` function whose
+//! result renders to text [`table::ExperimentTable`]s printing the same
+//! rows/series the paper reports; the modules are private and reachable
+//! only through the [`registry`] — look an experiment up with
+//! [`registry::find`] (or iterate [`registry::all`]) and call
+//! [`registry::Experiment::run`]. [`registry::run_all`] fans the whole
+//! suite out across threads. `EXPERIMENTS.md` records the paper-value vs
+//! measured-value comparison for each.
 //!
-//! | Module | Reproduces |
-//! |--------|------------|
-//! | [`table1`]  | Table 1 (workload dimensions) |
-//! | [`fig1`]    | Fig. 1 (example traces + generation mix) |
-//! | [`fig3`]    | Fig. 3(a) mean/CV map, Fig. 3(b) 2020→2022 drift + K-Means |
-//! | [`fig4`]    | Fig. 4 (periodicity scores, 40 hyperscale regions) |
-//! | [`fig5`]    | Fig. 5(a–c) capacity-constrained spatial shifting |
-//! | [`fig6`]    | Fig. 6(a) capacity+latency, 6(b) 1- vs ∞-migration |
-//! | [`fig7to9`] | Figs. 7, 8, 9 (deferral / interruptibility bounds) |
-//! | [`fig10`]   | Fig. 10(a–d) workload-weighted temporal reductions |
-//! | [`fig11`]   | Fig. 11(a) mixed, (b) forecast error, (c,d) greener grids |
-//! | [`fig12`]   | Fig. 12 (combined spatial + temporal decomposition) |
+//! | Id | Reproduces |
+//! |----|------------|
+//! | `table1`  | Table 1 (workload dimensions) |
+//! | `fig1`    | Fig. 1 (example traces + generation mix) |
+//! | `fig3a`, `fig3b` | Fig. 3(a) mean/CV map, Fig. 3(b) 2020→2022 drift + K-Means |
+//! | `fig4`    | Fig. 4 (periodicity scores, 40 hyperscale regions) |
+//! | `fig5`    | Fig. 5(a–c) capacity-constrained spatial shifting |
+//! | `fig6a`, `fig6b` | Fig. 6(a) capacity+latency, 6(b) 1- vs ∞-migration |
+//! | `fig7`–`fig9` | Figs. 7, 8, 9 (deferral / interruptibility bounds) |
+//! | `fig10`   | Fig. 10(a–d) workload-weighted temporal reductions |
+//! | `fig11a`, `fig11b`, `fig11cd` | Fig. 11 mixed / forecast error / greener grids |
+//! | `fig12`   | Fig. 12 (combined spatial + temporal decomposition) |
 //!
-//! The `ext*` modules go beyond the paper's figures (see DESIGN.md §2.0):
+//! The `ext*` ids go beyond the paper's figures (see DESIGN.md §2.0):
 //!
-//! | Module | Extends |
-//! |--------|---------|
-//! | [`ext`]          | suspend overhead, migration budget, workflow splitting |
-//! | [`ext_forecast`] | real forecasters replacing §6.2's uniform error |
-//! | [`ext_grid`]     | average vs marginal CI; datacenter as flexible grid load |
-//! | [`ext_embodied`] | §5.3.1's embodied cost of idle capacity |
-//! | [`ext_sim`]      | online policies vs clairvoyant bounds; overhead erosion |
-//! | [`ext_elastic`]  | CarbonScaler-style elastic scaling |
-//! | [`ext_rank`]     | §5.1.4's rank-stability premise, measured directly |
-//! | [`ext_pareto`]   | carbon–delay frontier; online latency-SLO routing |
+//! | Id | Extends |
+//! |----|---------|
+//! | `ext`          | suspend overhead, migration budget, workflow splitting |
+//! | `ext-forecast` | real forecasters replacing §6.2's uniform error |
+//! | `ext-grid`     | average vs marginal CI; datacenter as flexible grid load |
+//! | `ext-embodied` | §5.3.1's embodied cost of idle capacity |
+//! | `ext-sim`      | online policies vs clairvoyant bounds; overhead erosion |
+//! | `ext-elastic`  | CarbonScaler-style elastic scaling |
+//! | `ext-rank`     | §5.1.4's rank-stability premise, measured directly |
+//! | `ext-pareto`   | carbon–delay frontier; online latency-SLO routing |
 
 pub mod context;
-pub mod ext;
-pub mod ext_elastic;
-pub mod ext_embodied;
-pub mod ext_forecast;
-pub mod ext_grid;
-pub mod ext_pareto;
-pub mod ext_rank;
-pub mod ext_sim;
-pub mod fig1;
-pub mod fig10;
-pub mod fig11;
-pub mod fig12;
-pub mod fig3;
-pub mod fig4;
-pub mod fig5;
-pub mod fig6;
-pub mod fig7to9;
+pub mod registry;
 pub mod table;
-pub mod table1;
+
+mod ext;
+mod ext_elastic;
+mod ext_embodied;
+mod ext_forecast;
+mod ext_grid;
+mod ext_pareto;
+mod ext_rank;
+mod ext_sim;
+mod fig1;
+mod fig10;
+mod fig11;
+mod fig12;
+mod fig3;
+mod fig4;
+mod fig5;
+mod fig6;
+mod fig7to9;
+mod table1;
 
 pub use context::Context;
+pub use registry::{CompletedRun, Experiment};
 pub use table::ExperimentTable;
-
-/// All experiment identifiers accepted by the `repro` binary. `ext` runs
-/// the original extension ablations (suspend overhead, migration budget,
-/// workflow splitting); the `ext-*` ids cover the further extensions:
-/// realistic forecasting, grid-side signals and flexible load, embodied
-/// carbon, online simulation, and elastic scaling.
-pub const EXPERIMENT_IDS: [&str; 24] = [
-    "table1",
-    "fig1",
-    "fig3a",
-    "fig3b",
-    "fig4",
-    "fig5",
-    "fig6a",
-    "fig6b",
-    "fig7",
-    "fig8",
-    "fig9",
-    "fig10",
-    "fig11a",
-    "fig11b",
-    "fig11cd",
-    "fig12",
-    "ext",
-    "ext-forecast",
-    "ext-grid",
-    "ext-embodied",
-    "ext-sim",
-    "ext-elastic",
-    "ext-rank",
-    "ext-pareto",
-];
 
 /// Runs one experiment by id and returns its rendered tables.
 ///
-/// Returns `None` for an unknown id.
+/// Returns `None` for an unknown id. Thin compatibility wrapper over
+/// [`registry::find`] + [`Experiment::run`].
 pub fn run_experiment(ctx: &Context, id: &str) -> Option<Vec<ExperimentTable>> {
-    let tables = match id {
-        "table1" => vec![table1::run()],
-        "fig1" => fig1::run(ctx).tables(),
-        "fig3a" => vec![fig3::run_a(ctx).table()],
-        "fig3b" => vec![fig3::run_b(ctx).table()],
-        "fig4" => vec![fig4::run(ctx).table()],
-        "fig5" => fig5::run(ctx).tables(),
-        "fig6a" => vec![fig6::run_a(ctx).table()],
-        "fig6b" => vec![fig6::run_b(ctx).table()],
-        "fig7" => vec![fig7to9::run(ctx).fig7_table()],
-        "fig8" => vec![fig7to9::run(ctx).fig8_table()],
-        "fig9" => vec![fig7to9::run(ctx).fig9_table()],
-        "fig10" => fig10::run(ctx).tables(),
-        "fig11a" => vec![fig11::run_a(ctx).table()],
-        "fig11b" => vec![fig11::run_b(ctx).table()],
-        "fig11cd" => vec![fig11::run_cd(ctx).table()],
-        "fig12" => vec![fig12::run(ctx).table()],
-        "ext" => ext::run(ctx).tables(),
-        "ext-forecast" => ext_forecast::run(ctx).tables(),
-        "ext-grid" => ext_grid::run().tables(),
-        "ext-embodied" => ext_embodied::run(ctx).tables(),
-        "ext-sim" => ext_sim::run(ctx).tables(),
-        "ext-elastic" => ext_elastic::run(ctx).tables(),
-        "ext-rank" => ext_rank::run(ctx).tables(),
-        "ext-pareto" => ext_pareto::run(ctx).tables(),
-        _ => return None,
-    };
-    Some(tables)
+    registry::find(id).map(|experiment| experiment.run(ctx))
 }

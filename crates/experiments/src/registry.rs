@@ -1,0 +1,300 @@
+//! The experiment registry: every figure, table, and extension study
+//! behind one [`Experiment`] trait.
+//!
+//! The experiment modules themselves are private to this crate; the only
+//! way to reach them is through the registry — [`find`] an experiment by
+//! id (or iterate [`all`]) and call [`Experiment::run`]. This gives every
+//! consumer (the `repro` binary, `decarb-cli run`, the bench harness,
+//! tests) the same uniform pipeline, and lets [`run_all`] fan the whole
+//! suite out across threads with `decarb_par`.
+
+use std::time::Instant;
+
+use decarb_json::Value;
+use decarb_par::par_map;
+
+use crate::context::Context;
+use crate::table::ExperimentTable;
+use crate::{
+    ext, ext_elastic, ext_embodied, ext_forecast, ext_grid, ext_pareto, ext_rank, ext_sim, fig1,
+    fig10, fig11, fig12, fig3, fig4, fig5, fig6, fig7to9, table1,
+};
+
+/// One registered experiment: a stable id, a human-readable description,
+/// and a uniform `run` entry point producing the figure's tables.
+pub trait Experiment: Sync {
+    /// Stable identifier accepted by `repro` and `decarb-cli run`.
+    fn id(&self) -> &'static str;
+
+    /// One-line description shown by `list`.
+    fn description(&self) -> &'static str;
+
+    /// Recomputes the experiment and renders its tables.
+    fn run(&self, ctx: &Context) -> Vec<ExperimentTable>;
+
+    /// Runs the experiment and packages the result as a JSON value
+    /// (`{id, description, tables: [...]}`).
+    fn run_json(&self, ctx: &Context) -> Value {
+        let tables = self.run(ctx);
+        Value::object([
+            ("id", Value::from(self.id())),
+            ("description", Value::from(self.description())),
+            (
+                "tables",
+                Value::Array(tables.iter().map(ExperimentTable::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+/// A registry row: the concrete [`Experiment`] every module registers as.
+struct Entry {
+    id: &'static str,
+    description: &'static str,
+    runner: fn(&Context) -> Vec<ExperimentTable>,
+}
+
+impl Experiment for Entry {
+    fn id(&self) -> &'static str {
+        self.id
+    }
+
+    fn description(&self) -> &'static str {
+        self.description
+    }
+
+    fn run(&self, ctx: &Context) -> Vec<ExperimentTable> {
+        (self.runner)(ctx)
+    }
+}
+
+/// The static registry, in the paper's presentation order.
+static ENTRIES: &[Entry] = &[
+    Entry {
+        id: "table1",
+        description: "Table 1: cloud workload dimensions, lengths, and slack classes",
+        runner: |_| vec![table1::run()],
+    },
+    Entry {
+        id: "fig1",
+        description: "Fig 1: example carbon traces and generation mix of three zones",
+        runner: |ctx| fig1::run(ctx).tables(),
+    },
+    Entry {
+        id: "fig3a",
+        description: "Fig 3(a): annual mean CI vs average daily CV, 123 regions, 2022",
+        runner: |ctx| vec![fig3::run_a(ctx).table()],
+    },
+    Entry {
+        id: "fig3b",
+        description: "Fig 3(b): 2020-2022 drift in mean/CV with K-Means++ clustering",
+        runner: |ctx| vec![fig3::run_b(ctx).table()],
+    },
+    Entry {
+        id: "fig4",
+        description: "Fig 4: periodicity scores of 40 hyperscale regions",
+        runner: |ctx| vec![fig4::run(ctx).table()],
+    },
+    Entry {
+        id: "fig5",
+        description: "Fig 5(a-c): capacity-constrained spatial shifting",
+        runner: |ctx| fig5::run(ctx).tables(),
+    },
+    Entry {
+        id: "fig6a",
+        description: "Fig 6(a): spatial shifting under capacity plus latency SLOs",
+        runner: |ctx| vec![fig6::run_a(ctx).table()],
+    },
+    Entry {
+        id: "fig6b",
+        description: "Fig 6(b): single-migration vs unlimited-migration bounds",
+        runner: |ctx| vec![fig6::run_b(ctx).table()],
+    },
+    Entry {
+        id: "fig7",
+        description: "Fig 7: ideal deferral savings by job length",
+        runner: |ctx| vec![fig7to9::run(ctx).fig7_table()],
+    },
+    Entry {
+        id: "fig8",
+        description: "Fig 8: interruptibility savings on top of deferral",
+        runner: |ctx| vec![fig7to9::run(ctx).fig8_table()],
+    },
+    Entry {
+        id: "fig9",
+        description: "Fig 9: temporal savings vs slack budget",
+        runner: |ctx| vec![fig7to9::run(ctx).fig9_table()],
+    },
+    Entry {
+        id: "fig10",
+        description: "Fig 10(a-d): workload-weighted temporal reductions",
+        runner: |ctx| fig10::run(ctx).tables(),
+    },
+    Entry {
+        id: "fig11a",
+        description: "Fig 11(a): reduction vs migratable workload fraction",
+        runner: |ctx| vec![fig11::run_a(ctx).table()],
+    },
+    Entry {
+        id: "fig11b",
+        description: "Fig 11(b): carbon increase vs forecast error",
+        runner: |ctx| vec![fig11::run_b(ctx).table()],
+    },
+    Entry {
+        id: "fig11cd",
+        description: "Fig 11(c,d): California emissions vs renewable penetration",
+        runner: |ctx| vec![fig11::run_cd(ctx).table()],
+    },
+    Entry {
+        id: "fig12",
+        description: "Fig 12: combined spatial + temporal decomposition",
+        runner: |ctx| vec![fig12::run(ctx).table()],
+    },
+    Entry {
+        id: "ext",
+        description: "Ext: suspend overhead, migration budget, and workflow splitting",
+        runner: |ctx| ext::run(ctx).tables(),
+    },
+    Entry {
+        id: "ext-forecast",
+        description: "Ext: real forecasters replacing the paper's uniform error model",
+        runner: |ctx| ext_forecast::run(ctx).tables(),
+    },
+    Entry {
+        id: "ext-grid",
+        description: "Ext: average vs marginal CI; datacenter as flexible grid load",
+        runner: |_| ext_grid::run().tables(),
+    },
+    Entry {
+        id: "ext-embodied",
+        description: "Ext: embodied cost of idle capacity and the net-footprint optimum",
+        runner: |ctx| ext_embodied::run(ctx).tables(),
+    },
+    Entry {
+        id: "ext-sim",
+        description: "Ext: online policies vs clairvoyant bounds; overhead erosion",
+        runner: |ctx| ext_sim::run(ctx).tables(),
+    },
+    Entry {
+        id: "ext-elastic",
+        description: "Ext: CarbonScaler-style elastic scaling",
+        runner: |ctx| ext_elastic::run(ctx).tables(),
+    },
+    Entry {
+        id: "ext-rank",
+        description: "Ext: rank-order stability of regional carbon intensity",
+        runner: |ctx| ext_rank::run(ctx).tables(),
+    },
+    Entry {
+        id: "ext-pareto",
+        description: "Ext: carbon-delay frontier and online latency-SLO routing",
+        runner: |ctx| ext_pareto::run(ctx).tables(),
+    },
+];
+
+/// Iterates every registered experiment, in presentation order.
+pub fn all() -> impl Iterator<Item = &'static dyn Experiment> {
+    ENTRIES.iter().map(|e| e as &dyn Experiment)
+}
+
+/// Looks an experiment up by id.
+pub fn find(id: &str) -> Option<&'static dyn Experiment> {
+    ENTRIES.iter().find(|e| e.id == id).map(|e| e as _)
+}
+
+/// All registered experiment ids, in presentation order.
+pub fn ids() -> Vec<&'static str> {
+    ENTRIES.iter().map(|e| e.id).collect()
+}
+
+/// Number of registered experiments.
+pub fn count() -> usize {
+    ENTRIES.len()
+}
+
+/// One completed experiment run: what `run_all` hands back per entry.
+pub struct CompletedRun {
+    /// The experiment's id.
+    pub id: &'static str,
+    /// The experiment's description.
+    pub description: &'static str,
+    /// The rendered tables.
+    pub tables: Vec<ExperimentTable>,
+    /// Wall-clock runtime of this experiment.
+    pub elapsed: std::time::Duration,
+}
+
+impl CompletedRun {
+    /// Packages the run as JSON (`{id, description, elapsed_s, tables}`).
+    pub fn to_json(&self) -> Value {
+        Value::object([
+            ("id", Value::from(self.id)),
+            ("description", Value::from(self.description)),
+            ("elapsed_s", Value::from(self.elapsed.as_secs_f64())),
+            (
+                "tables",
+                Value::Array(self.tables.iter().map(ExperimentTable::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+/// Runs every registered experiment against `ctx`, fanning out across
+/// threads; results come back in registry order.
+pub fn run_all(ctx: &Context) -> Vec<CompletedRun> {
+    let entries: Vec<&Entry> = ENTRIES.iter().collect();
+    par_map(&entries, |entry| {
+        let started = Instant::now();
+        let tables = entry.run(ctx);
+        CompletedRun {
+            id: entry.id,
+            description: entry.description,
+            tables,
+            elapsed: started.elapsed(),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique_and_nonempty() {
+        let ids = ids();
+        assert_eq!(ids.len(), count());
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), ids.len(), "duplicate experiment id");
+        for experiment in all() {
+            assert!(!experiment.id().is_empty());
+            assert!(!experiment.description().is_empty());
+        }
+    }
+
+    #[test]
+    fn find_roundtrips_every_id() {
+        for experiment in all() {
+            let found = find(experiment.id()).expect("registered id resolves");
+            assert_eq!(found.id(), experiment.id());
+        }
+        assert!(find("fig99").is_none());
+    }
+
+    #[test]
+    fn every_experiment_is_runnable() {
+        // Run the full registry through the shared context (sweeps are
+        // memoized across experiments, as in a real `run all`).
+        let ctx = crate::context::shared();
+        for run in run_all(ctx) {
+            assert!(!run.tables.is_empty(), "{} produced no tables", run.id);
+            for table in &run.tables {
+                assert!(!table.columns.is_empty(), "{}: headerless table", run.id);
+                assert!(!table.rows.is_empty(), "{}: empty table", run.id);
+                let json = run.to_json();
+                assert_eq!(json.get("id"), Some(&Value::from(run.id)));
+            }
+        }
+    }
+}

@@ -1,9 +1,9 @@
 //! Plain-text table rendering for experiment output.
 
-use serde::Serialize;
+use decarb_json::Value;
 
 /// A rendered experiment table: the rows/series a paper figure reports.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ExperimentTable {
     /// Experiment identifier, e.g. `"fig5a"`.
     pub id: String,
@@ -29,6 +29,22 @@ impl ExperimentTable {
             columns,
             rows,
         }
+    }
+}
+
+impl ExperimentTable {
+    /// Renders the table as a JSON object
+    /// (`{id, title, columns, rows}`).
+    pub fn to_json(&self) -> Value {
+        Value::object([
+            ("id", Value::from(self.id.as_str())),
+            ("title", Value::from(self.title.as_str())),
+            ("columns", Value::from(self.columns.clone())),
+            (
+                "rows",
+                Value::Array(self.rows.iter().map(|r| Value::from(r.clone())).collect()),
+            ),
+        ])
     }
 }
 

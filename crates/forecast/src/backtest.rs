@@ -11,7 +11,6 @@
 //!   uniform random error to realistic structured error.
 
 use decarb_traces::{Hour, TimeSeries};
-use serde::Serialize;
 
 use crate::metrics::{mape_by_lead_day, ForecastErrors};
 use crate::model::Forecaster;
@@ -39,7 +38,7 @@ impl Default for BacktestConfig {
 }
 
 /// The outcome of a rolling-origin backtest.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct BacktestReport {
     /// Model name.
     pub model: &'static str,

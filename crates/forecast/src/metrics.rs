@@ -5,8 +5,6 @@
 //! increase. This module provides MAPE plus the standard companions (RMSE,
 //! MAE, bias) and per-lead-day aggregation for multi-day forecasts.
 
-use serde::Serialize;
-
 /// Mean absolute percentage error, in percent.
 ///
 /// Hours with zero actual value are skipped (a percentage error is
@@ -85,7 +83,7 @@ pub fn mean_bias(actual: &[f64], predicted: &[f64]) -> f64 {
 }
 
 /// The error profile of one forecast (or one pooled set of forecasts).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ForecastErrors {
     /// Mean absolute percentage error, percent.
     pub mape_pct: f64,

@@ -1,0 +1,169 @@
+//! Scoped-thread data parallelism for the `decarb` workspace.
+//!
+//! The workspace builds without a route to a crates registry, so
+//! `rayon` is not available; this crate provides the slice of its API
+//! the experiment pipeline needs — an indexed parallel map with
+//! work-stealing over a shared atomic cursor — on top of
+//! `std::thread::scope`. Swapping a call site to rayon later is a
+//! one-line change (`par_map(&items, f)` ↔ `items.par_iter().map(f)`).
+//!
+//! Results are returned in input order regardless of which worker
+//! computed them, so `par_map` is a drop-in replacement for a serial
+//! `iter().map().collect()`.
+//!
+//! # Examples
+//!
+//! ```
+//! let squares = decarb_par::par_map(&[1, 2, 3, 4], |&x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Returns the worker count used by [`par_map`]: the machine's
+/// available parallelism, overridable via the `DECARB_THREADS`
+/// environment variable (values are clamped to at least 1).
+pub fn thread_count() -> usize {
+    if let Ok(raw) = std::env::var("DECARB_THREADS") {
+        if let Ok(n) = raw.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Maps `f` over `items` on up to [`thread_count`] scoped threads and
+/// collects the results in input order.
+///
+/// Workers claim indices from a shared atomic cursor, so uneven item
+/// costs (e.g. a 123-region sweep where some regions are cheaper) still
+/// balance. A panic in `f` propagates: the scope joins all workers and
+/// panics on the calling thread.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map_with(thread_count(), items, f)
+}
+
+/// [`par_map`] with an explicit worker count (`workers == 1` runs
+/// serially on the calling thread).
+pub fn par_map_with<T, R, F>(workers: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = workers.min(items.len());
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+    let slots_ptr = SendPtr(slots.as_mut_ptr());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let f = &f;
+            let cursor = &cursor;
+            let slots_ptr = &slots_ptr;
+            scope.spawn(move || loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let result = f(&items[i]);
+                // SAFETY: `i` is claimed by exactly one worker (the
+                // cursor is fetch_add), every `i` is in bounds, and the
+                // scope guarantees workers finish before `slots` is
+                // read or dropped.
+                unsafe { *slots_ptr.0.add(i) = Some(result) };
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every index was claimed by a worker"))
+        .collect()
+}
+
+/// Runs `f` over `(index, item)` pairs in parallel purely for effects.
+pub fn par_for_each<T, F>(items: &[T], f: F)
+where
+    T: Sync,
+    F: Fn(usize, &T) + Sync,
+{
+    let indices: Vec<usize> = (0..items.len()).collect();
+    par_map(&indices, |&i| f(i, &items[i]));
+}
+
+/// A raw pointer wrapper that is `Sync` so workers can share the result
+/// buffer; all access is through disjoint indices (see `par_map`).
+struct SendPtr<R>(*mut Option<R>);
+unsafe impl<R: Send> Sync for SendPtr<R> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<usize> = (0..1000).collect();
+        for workers in [1, 2, 4, 16] {
+            let out = par_map_with(workers, &items, |&x| x * 2);
+            assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u8> = Vec::new();
+        assert!(par_map(&empty, |&x| x).is_empty());
+        assert_eq!(par_map(&[7], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn visits_every_item_exactly_once() {
+        let hits = AtomicU32::new(0);
+        let items: Vec<u32> = (0..257).collect();
+        let out = par_map_with(4, &items, |&x| {
+            hits.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 257);
+        assert_eq!(out.len(), 257);
+    }
+
+    #[test]
+    fn par_for_each_sees_correct_pairs() {
+        let items = vec![10u32, 20, 30];
+        let sum = AtomicU32::new(0);
+        par_for_each(&items, |i, &x| {
+            assert_eq!(x, (i as u32 + 1) * 10);
+            sum.fetch_add(x, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 60);
+    }
+
+    #[test]
+    #[should_panic(expected = "scoped thread panicked")]
+    fn worker_panics_propagate() {
+        let items: Vec<u32> = (0..64).collect();
+        par_map_with(4, &items, |&x| {
+            if x == 13 {
+                panic!("boom");
+            }
+            x
+        });
+    }
+
+    #[test]
+    fn thread_count_is_positive() {
+        assert!(thread_count() >= 1);
+    }
+}

@@ -8,15 +8,13 @@
 //! it across the WAN — which is charged at the carbon-intensity of the
 //! hour and region where it happens.
 
-use serde::Serialize;
-
 /// Energy overheads charged by the simulator on state transitions.
 ///
 /// The default is the paper's zero-overhead idealization; realistic values
 /// follow checkpoint/restore measurements (roughly 10–60 s of full-power
 /// I/O per 10 GB of state, i.e. a few hundredths of a kWh for the 1 kW job
 /// model).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OverheadModel {
     /// Energy to checkpoint a job's state on suspension, kWh.
     pub suspend_kwh: f64,

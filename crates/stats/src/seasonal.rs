@@ -9,10 +9,8 @@
 //! depends on: high seasonal strength means valleys are predictable and
 //! deferral works; low strength leaves only noise to chase.
 
-use serde::Serialize;
-
 /// An additive decomposition `x = trend + seasonal + residual`.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Decomposition {
     /// The period used, in samples.
     pub period: usize,

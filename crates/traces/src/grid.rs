@@ -180,6 +180,82 @@ pub fn diurnal_demand(base_mw: f64, swing_mw: f64) -> impl Fn(Hour) -> f64 {
     }
 }
 
+/// Night-wind availability: full at night, 10 % by day.
+pub fn night_wind_availability(hour: Hour) -> f64 {
+    if !(6..20).contains(&hour.hour_of_day()) {
+        1.0
+    } else {
+        0.1
+    }
+}
+
+/// A reference grid whose margin diverges from its average: must-run
+/// coal base, night wind that is regularly curtailed, solar noon, gas
+/// peaking. Used by the grid-extension study and the bench harness.
+pub fn curtailment_grid() -> Fleet {
+    Fleet::new(vec![
+        Generator {
+            name: "must-run coal",
+            source: Source::Coal,
+            capacity_mw: 500.0,
+            marginal_cost: -5.0,
+            availability: None,
+        },
+        Generator {
+            name: "wind",
+            source: Source::Wind,
+            capacity_mw: 400.0,
+            marginal_cost: 0.0,
+            availability: Some(night_wind_availability),
+        },
+        Generator {
+            name: "solar",
+            source: Source::Solar,
+            capacity_mw: 800.0,
+            marginal_cost: 1.0,
+            availability: Some(solar_availability),
+        },
+        Generator {
+            name: "gas",
+            source: Source::Gas,
+            capacity_mw: 1200.0,
+            marginal_cost: 40.0,
+            availability: None,
+        },
+    ])
+}
+
+/// A reference grid whose margin tracks its average: nuclear base, gas
+/// for the rest.
+pub fn aligned_grid() -> Fleet {
+    Fleet::new(vec![
+        Generator {
+            name: "nuclear",
+            source: Source::Nuclear,
+            capacity_mw: 400.0,
+            marginal_cost: 5.0,
+            availability: None,
+        },
+        Generator {
+            name: "gas",
+            source: Source::Gas,
+            capacity_mw: 1400.0,
+            marginal_cost: 40.0,
+            availability: None,
+        },
+    ])
+}
+
+/// Two-level demand for [`curtailment_grid`]: 800 MW at night, 1400 MW
+/// by day.
+pub fn two_level_demand(hour: Hour) -> f64 {
+    if (8..20).contains(&hour.hour_of_day()) {
+        1400.0
+    } else {
+        800.0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -5,10 +5,8 @@
 //! the IPCC AR5 median life-cycle values in g·CO2eq/kWh, the same family of
 //! constants Electricity Maps uses.
 
-use serde::{Deserialize, Serialize};
-
 /// A generation source category.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Source {
     /// Hard coal and lignite.
     Coal,
@@ -86,7 +84,7 @@ impl Source {
 }
 
 /// A region's annual average generation mix (shares sum to 1).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EnergyMix {
     shares: [f64; 9],
 }

@@ -1,11 +1,9 @@
 //! Region metadata: geography, cloud presence, and calibration targets.
 
-use serde::{Deserialize, Serialize};
-
 use crate::mix::EnergyMix;
 
 /// Geographical grouping used throughout the paper's spatial analysis.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum GeoGroup {
     /// African zones.
     Africa,
@@ -55,7 +53,7 @@ impl std::fmt::Display for GeoGroup {
 ///
 /// The catalog tags 99 of the 123 regions with at least one provider,
 /// matching the datacenter-location counts in §3.1.1 of the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct Providers(u8);
 
 impl Providers {
@@ -107,7 +105,7 @@ impl std::ops::BitOr for Providers {
 }
 
 /// Static metadata for one grid region (an Electricity Maps-style zone).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Region {
     /// Zone code, e.g. `"SE"` or `"US-CA"`.
     pub code: &'static str,

@@ -1,7 +1,5 @@
 //! Hourly time series and prefix-sum acceleration structures.
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::TraceError;
 use crate::time::Hour;
 
@@ -10,7 +8,7 @@ use crate::time::Hour;
 /// The series owns a dense `Vec<f64>` of samples; index `i` holds the value
 /// for hour `start + i`. All scheduling kernels in `decarb-core` consume
 /// slices of this type.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TimeSeries {
     start: Hour,
     values: Vec<f64>,

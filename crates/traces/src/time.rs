@@ -6,8 +6,6 @@
 //! makes every scheduling kernel a straightforward array computation, which
 //! is exactly how the paper's analysis operates.
 
-use serde::{Deserialize, Serialize};
-
 /// Hours in a day.
 pub const HOURS_PER_DAY: usize = 24;
 /// Hours in a week.
@@ -24,9 +22,7 @@ pub const LAST_YEAR: i32 = 2023;
 const EPOCH_WEEKDAY: usize = 2;
 
 /// An absolute hour index since 2020-01-01 00:00 UTC.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Hour(pub u32);
 
 impl Hour {

@@ -8,8 +8,6 @@
 //! should pass through [`validate`] (and, when acceptable, [`repair`])
 //! first.
 
-use serde::Serialize;
-
 use crate::series::TimeSeries;
 use crate::time::Hour;
 
@@ -37,7 +35,7 @@ impl Default for ValidationConfig {
 }
 
 /// The outcome of validating one trace.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ValidationReport {
     /// Number of samples inspected.
     pub samples: usize,

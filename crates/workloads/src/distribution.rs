@@ -8,12 +8,10 @@
 //! ≈ 1 % of jobs running longer than a week account for ≈ 90 % of
 //! utilization.
 
-use serde::{Deserialize, Serialize};
-
 use crate::job::JOB_LENGTHS_HOURS;
 
 /// A distribution of workload resource usage over the 8 job-length buckets.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum JobLengthDistribution {
     /// Equal resource share per bucket (the paper's Fig. 10(a)).
     Equal,

@@ -1,7 +1,5 @@
 //! The job model of Table 1.
 
-use serde::{Deserialize, Serialize};
-
 use decarb_traces::Hour;
 
 /// The job-length grid of Table 1, in hours.
@@ -12,7 +10,7 @@ use decarb_traces::Hour;
 pub const JOB_LENGTHS_HOURS: [f64; 8] = [0.01, 1.0, 6.0, 12.0, 24.0, 48.0, 96.0, 168.0];
 
 /// Workload class (§2.2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum JobClass {
     /// Delay-tolerant batch work (training, analytics, simulation).
     Batch,
@@ -22,7 +20,7 @@ pub enum JobClass {
 
 /// Temporal slack: how long a job may be delayed past its arrival
 /// (Table 1's deferrability dimension).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Slack {
     /// No deferral permitted.
     None,
@@ -78,7 +76,7 @@ impl Slack {
 }
 
 /// A schedulable unit of work.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Job {
     /// Unique identifier.
     pub id: u64,

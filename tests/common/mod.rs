@@ -1,0 +1,48 @@
+//! Shared generator for the seeded property-style test suites.
+//!
+//! The workspace builds without a route to a crates registry, so
+//! `proptest` is unavailable; these suites keep the same
+//! oracle-vs-kernel structure by drawing `CASES` random inputs per
+//! property from the workspace's own deterministic [`Xoshiro256`]
+//! generator. Failures print the case seed, so a red case reproduces
+//! exactly.
+
+#![allow(dead_code)]
+
+use decarb::traces::rng::Xoshiro256;
+
+/// Number of random cases per property (matches the proptest config the
+/// suite used originally).
+pub const CASES: u64 = 64;
+
+/// A deterministic input generator for one property case.
+pub struct Gen {
+    rng: Xoshiro256,
+}
+
+impl Gen {
+    /// Creates the generator for `(property, case)`; seeds never collide
+    /// across properties because the label is hashed in.
+    pub fn new(property: &str, case: u64) -> Self {
+        Self {
+            rng: Xoshiro256::from_label(property, case),
+        }
+    }
+
+    /// Uniform float in `[lo, hi)`.
+    pub fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        self.rng.uniform_in(lo, hi)
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        lo + self.rng.below(hi - lo)
+    }
+
+    /// A vector of `len ∈ [min_len, max_len)` uniform samples from
+    /// `[lo, hi)`.
+    pub fn vec_in(&mut self, lo: f64, hi: f64, min_len: usize, max_len: usize) -> Vec<f64> {
+        let len = self.usize_in(min_len, max_len);
+        (0..len).map(|_| self.f64_in(lo, hi)).collect()
+    }
+}

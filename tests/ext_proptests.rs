@@ -2,9 +2,13 @@
 //! elastic scaling, flexible grid load, and the small linear solver.
 //!
 //! As in `proptests.rs`, every optimizing kernel is pitted against a
-//! brute-force oracle on arbitrary inputs, and the physical invariants
-//! (energy conservation, caps, bounds) are checked directly.
+//! brute-force oracle on randomized inputs, and the physical invariants
+//! (energy conservation, caps, bounds) are checked directly. Inputs come
+//! from the seeded generator in `common`.
 
+mod common;
+
+use common::{Gen, CASES};
 use decarb::core::elastic::elastic_plan;
 use decarb::core::flexload::{allocate_flexible, flat_allocation};
 use decarb::forecast::linalg::{ridge, solve, Matrix};
@@ -14,11 +18,10 @@ use decarb::forecast::{
 use decarb::traces::grid::{Fleet, Generator};
 use decarb::traces::mix::Source;
 use decarb::traces::{Hour, TimeSeries};
-use proptest::prelude::*;
 
-/// Strategy: a positive carbon trace of 2–10 days of hourly samples.
-fn trace_strategy() -> impl Strategy<Value = Vec<f64>> {
-    prop::collection::vec(1.0f64..900.0, 48..240)
+/// A positive carbon trace of 2–10 days of hourly samples.
+fn trace(g: &mut Gen) -> Vec<f64> {
+    g.vec_in(1.0, 900.0, 48, 240)
 }
 
 /// Oracle: cheapest allocation of `work` replica-hours with ceiling `m`
@@ -40,7 +43,7 @@ fn elastic_oracle(values: &[f64], work: usize, m: usize) -> f64 {
 }
 
 /// A small random-but-feasible fleet: one clean baseload, one mid, one
-/// dirty peaker, capacities drawn from the strategy.
+/// dirty peaker, capacities drawn from the generator.
 fn fleet_of(caps: [f64; 3]) -> Fleet {
     Fleet::new(vec![
         Generator {
@@ -67,62 +70,65 @@ fn fleet_of(caps: [f64; 3]) -> Fleet {
     ])
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn elastic_plan_matches_oracle(
-        values in trace_strategy(),
-        work in 1usize..40,
-        m in 1usize..8,
-    ) {
+#[test]
+fn elastic_plan_matches_oracle() {
+    for case in 0..CASES {
+        let mut g = Gen::new("elastic_oracle", case);
+        let values = trace(&mut g);
+        let work = g.usize_in(1, 40);
+        let m = g.usize_in(1, 8);
+        // `work ≤ m × window` always holds: work < 40 < 48 ≤ window.
         let window = values.len();
-        prop_assume!(work <= m * window);
         let series = TimeSeries::new(Hour(0), values.clone());
         let plan = elastic_plan(&series, Hour(0), work, m, window);
         let expected = elastic_oracle(&values, work, m);
-        prop_assert!((plan.cost_g - expected).abs() < 1e-6);
-        prop_assert_eq!(plan.work_hours(), work);
-        prop_assert!(plan.peak_replicas() <= m);
+        assert!((plan.cost_g - expected).abs() < 1e-6, "case {case}");
+        assert_eq!(plan.work_hours(), work, "case {case}");
+        assert!(plan.peak_replicas() <= m, "case {case}");
     }
+}
 
-    #[test]
-    fn elastic_cost_monotone_in_ceiling(
-        values in trace_strategy(),
-        work in 1usize..30,
-    ) {
+#[test]
+fn elastic_cost_monotone_in_ceiling() {
+    for case in 0..CASES {
+        let mut g = Gen::new("elastic_monotone", case);
+        let values = trace(&mut g);
+        let work = g.usize_in(1, 30);
         let window = values.len();
         let series = TimeSeries::new(Hour(0), values);
         let mut last = f64::INFINITY;
         for m in [1usize, 2, 4, 8] {
-            prop_assume!(work <= m * window);
             let cost = elastic_plan(&series, Hour(0), work, m, window).cost_g;
-            prop_assert!(cost <= last + 1e-9);
+            assert!(cost <= last + 1e-9, "case {case} ceiling {m}");
             last = cost;
         }
     }
+}
 
-    #[test]
-    fn seasonal_naive_is_exact_on_periodic_traces(
-        base in prop::collection::vec(10.0f64..500.0, 24),
-        days in 2usize..8,
-        horizon in 1usize..72,
-    ) {
+#[test]
+fn seasonal_naive_is_exact_on_periodic_traces() {
+    for case in 0..CASES {
+        let mut g = Gen::new("seasonal_exact", case);
+        let base = g.vec_in(10.0, 500.0, 24, 25);
+        let days = g.usize_in(2, 8);
+        let horizon = g.usize_in(1, 72);
         // Build a perfectly periodic history from one day's profile.
         let values: Vec<f64> = (0..days * 24).map(|i| base[i % 24]).collect();
         let history = TimeSeries::new(Hour(0), values);
         let fc = SeasonalNaive::daily().predict(&history, horizon);
         for (k, v) in fc.iter().enumerate() {
             let expected = base[(days * 24 + k) % 24];
-            prop_assert!((v - expected).abs() < 1e-9, "lead {}", k);
+            assert!((v - expected).abs() < 1e-9, "case {case} lead {k}");
         }
     }
+}
 
-    #[test]
-    fn forecasts_have_requested_length_and_are_finite(
-        values in trace_strategy(),
-        horizon in 1usize..120,
-    ) {
+#[test]
+fn forecasts_have_requested_length_and_are_finite() {
+    for case in 0..CASES {
+        let mut g = Gen::new("forecast_shape", case);
+        let values = trace(&mut g);
+        let horizon = g.usize_in(1, 120);
         let history = TimeSeries::new(Hour(3), values);
         for model in [
             Box::new(Persistence) as Box<dyn Forecaster>,
@@ -131,16 +137,18 @@ proptest! {
             Box::new(DiurnalTemplate::default()),
         ] {
             let fc = model.predict(&history, horizon);
-            prop_assert_eq!(fc.len(), horizon);
-            prop_assert!(fc.iter().all(|v| v.is_finite() && *v >= 0.0));
+            assert_eq!(fc.len(), horizon, "case {case}");
+            assert!(fc.iter().all(|v| v.is_finite() && *v >= 0.0), "case {case}");
         }
     }
+}
 
-    #[test]
-    fn rolling_trace_of_perfect_model_has_zero_mape(
-        base in prop::collection::vec(10.0f64..500.0, 24),
-        days in 3usize..8,
-    ) {
+#[test]
+fn rolling_trace_of_perfect_model_has_zero_mape() {
+    for case in 0..CASES {
+        let mut g = Gen::new("rolling_zero_mape", case);
+        let base = g.vec_in(10.0, 500.0, 24, 25);
+        let days = g.usize_in(3, 8);
         // On a perfectly periodic trace the daily seasonal naive *is* a
         // perfect forecaster, so the stitched believed trace equals truth.
         let values: Vec<f64> = (0..days * 24).map(|i| base[i % 24]).collect();
@@ -148,17 +156,24 @@ proptest! {
         let eval_start = Hour(24);
         let eval_hours = (days - 1) * 24;
         let believed = rolling_forecast_trace(
-            &SeasonalNaive::daily(), &series, eval_start, eval_hours, 24, 24,
+            &SeasonalNaive::daily(),
+            &series,
+            eval_start,
+            eval_hours,
+            24,
+            24,
         );
         let truth = series.window(eval_start, eval_hours).unwrap();
-        prop_assert!(mape_pct(truth, believed.values()) < 1e-9);
+        assert!(mape_pct(truth, believed.values()) < 1e-9, "case {case}");
     }
+}
 
-    #[test]
-    fn solver_solution_satisfies_the_system(
-        seed in prop::collection::vec(-10.0f64..10.0, 9),
-        rhs in prop::collection::vec(-10.0f64..10.0, 3),
-    ) {
+#[test]
+fn solver_solution_satisfies_the_system() {
+    for case in 0..CASES {
+        let mut g = Gen::new("solver_system", case);
+        let seed: Vec<f64> = (0..9).map(|_| g.f64_in(-10.0, 10.0)).collect();
+        let rhs: Vec<f64> = (0..3).map(|_| g.f64_in(-10.0, 10.0)).collect();
         let mut a = Matrix::zeros(3, 3);
         for r in 0..3 {
             for c in 0..3 {
@@ -172,17 +187,19 @@ proptest! {
         if let Some(x) = solve(a, rhs.clone()) {
             for (r, &target) in rhs.iter().enumerate() {
                 let lhs: f64 = (0..3).map(|c| a2.get(r, c) * x[c]).sum();
-                prop_assert!((lhs - target).abs() < 1e-6, "row {}", r);
+                assert!((lhs - target).abs() < 1e-6, "case {case} row {r}");
             }
         }
     }
+}
 
-    #[test]
-    fn ridge_residual_never_beats_ols_target(
-        xs in prop::collection::vec(-5.0f64..5.0, 10..40),
-        w0 in -3.0f64..3.0,
-        w1 in -3.0f64..3.0,
-    ) {
+#[test]
+fn ridge_residual_never_beats_ols_target() {
+    for case in 0..CASES {
+        let mut g = Gen::new("ridge_residual", case);
+        let xs = g.vec_in(-5.0, 5.0, 10, 40);
+        let w0 = g.f64_in(-3.0, 3.0);
+        let w1 = g.f64_in(-3.0, 3.0);
         // Exact linear data: tiny ridge recovers near-zero residual.
         let rows: Vec<Vec<f64>> = xs.iter().map(|&x| vec![x, 1.0]).collect();
         let y: Vec<f64> = xs.iter().map(|&x| w0 * x + w1).collect();
@@ -195,15 +212,21 @@ proptest! {
                 (p - t) * (p - t)
             })
             .sum();
-        prop_assert!(rss < 1e-6, "rss {}", rss);
+        assert!(rss < 1e-6, "case {case} rss {rss}");
     }
+}
 
-    #[test]
-    fn flexible_allocation_never_loses_to_flat(
-        caps in [200.0f64..800.0, 100.0f64..600.0, 100.0f64..600.0],
-        demand_frac in 0.2f64..0.6,
-        energy_frac in 0.05f64..0.25,
-    ) {
+#[test]
+fn flexible_allocation_never_loses_to_flat() {
+    for case in 0..CASES {
+        let mut g = Gen::new("flexload_vs_flat", case);
+        let caps = [
+            g.f64_in(200.0, 800.0),
+            g.f64_in(100.0, 600.0),
+            g.f64_in(100.0, 600.0),
+        ];
+        let demand_frac = g.f64_in(0.2, 0.6);
+        let energy_frac = g.f64_in(0.05, 0.25);
         let fleet = fleet_of(caps);
         let total_cap = caps[0] + caps[1] + caps[2];
         let demand_mw = total_cap * demand_frac;
@@ -217,16 +240,19 @@ proptest! {
             .sum();
         let energy = (headroom * energy_frac).max(1.0);
         let cap = energy; // Per-hour cap never binds in this test.
-        // The step must divide flat's per-hour share: greedy at step `s`
-        // is optimal among allocations in multiples of `s`, so flat
-        // (energy/24 everywhere = 4 steps of energy/96) is in its search
-        // space. A coarser step can genuinely lose to flat on
-        // piecewise-linear merit-order costs.
+                          // The step must divide flat's per-hour share: greedy at step `s`
+                          // is optimal among allocations in multiples of `s`, so flat
+                          // (energy/24 everywhere = 4 steps of energy/96) is in its search
+                          // space. A coarser step can genuinely lose to flat on
+                          // piecewise-linear merit-order costs.
         let flexible =
             allocate_flexible(&fleet, demand, Hour(0), hours, energy, cap, energy / 96.0);
         let flat = flat_allocation(&fleet, demand, Hour(0), hours, energy);
-        prop_assert!((flexible.total_mwh() - energy).abs() < 1e-6);
-        prop_assert!(flexible.added_kg <= flat.added_kg + 1e-6);
-        prop_assert!(flexible.added_kg >= -1e-9, "adding load cannot reduce emissions");
+        assert!((flexible.total_mwh() - energy).abs() < 1e-6, "case {case}");
+        assert!(flexible.added_kg <= flat.added_kg + 1e-6, "case {case}");
+        assert!(
+            flexible.added_kg >= -1e-9,
+            "case {case}: adding load cannot reduce emissions"
+        );
     }
 }

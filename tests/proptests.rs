@@ -1,9 +1,14 @@
 //! Property-based tests over the core data structures and kernels.
 //!
 //! Each scheduling kernel is checked against a brute-force oracle on
-//! arbitrary inputs, and the capacity/greener transforms are checked for
-//! their conservation and bounding invariants.
+//! randomized inputs, and the capacity/greener transforms are checked
+//! for their conservation and bounding invariants. Inputs come from the
+//! seeded generator in `common` (see its module docs for why proptest
+//! itself is not used).
 
+mod common;
+
+use common::{Gen, CASES};
 use decarb::core::capacity::{water_filling, IdleCapacity};
 use decarb::core::greener::{greener_trace, ADDED_RENEWABLE_CI};
 use decarb::core::ksmallest::SlidingKSmallest;
@@ -11,11 +16,10 @@ use decarb::core::temporal::TemporalPlanner;
 use decarb::stats::fft::{fft, ifft, Complex};
 use decarb::stats::kmeans::kmeans;
 use decarb::traces::{Hour, Region, TimeSeries};
-use proptest::prelude::*;
 
-/// Strategy: a positive carbon trace of 30–300 hourly samples.
-fn trace_strategy() -> impl Strategy<Value = Vec<f64>> {
-    prop::collection::vec(1.0f64..900.0, 30..300)
+/// A positive carbon trace of 30–300 hourly samples.
+fn trace(g: &mut Gen) -> Vec<f64> {
+    g.vec_in(1.0, 900.0, 30, 300)
 }
 
 /// Oracle: sum of the k smallest values of a slice.
@@ -25,15 +29,13 @@ fn naive_k_sum(values: &[f64], k: usize) -> f64 {
     sorted.iter().take(k).sum()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn sliding_k_smallest_matches_oracle(
-        values in trace_strategy(),
-        k in 1usize..8,
-        window in 4usize..40,
-    ) {
+#[test]
+fn sliding_k_smallest_matches_oracle() {
+    for case in 0..CASES {
+        let mut g = Gen::new("sliding_k_smallest", case);
+        let values = trace(&mut g);
+        let k = g.usize_in(1, 8);
+        let window = g.usize_in(4, 40);
         let mut s = SlidingKSmallest::new(k);
         for i in 0..values.len() {
             s.insert(values[i]);
@@ -42,17 +44,18 @@ proptest! {
             }
             let lo = (i + 1).saturating_sub(window);
             let expected = naive_k_sum(&values[lo..=i], k);
-            prop_assert!((s.k_sum() - expected).abs() < 1e-6);
+            assert!((s.k_sum() - expected).abs() < 1e-6, "case {case} index {i}");
         }
     }
+}
 
-    #[test]
-    fn deferral_sweep_matches_naive(
-        values in trace_strategy(),
-        slots in 1usize..6,
-        slack in 0usize..30,
-    ) {
-        prop_assume!(values.len() > slots + 1);
+#[test]
+fn deferral_sweep_matches_naive() {
+    for case in 0..CASES {
+        let mut g = Gen::new("deferral_sweep", case);
+        let values = trace(&mut g);
+        let slots = g.usize_in(1, 6);
+        let slack = g.usize_in(0, 30);
         let series = TimeSeries::new(Hour(0), values.clone());
         let planner = TemporalPlanner::new(&series);
         let count = values.len() - slots;
@@ -67,17 +70,18 @@ proptest! {
                     best = cost;
                 }
             }
-            prop_assert!((swept - best).abs() < 1e-6, "arrival {}", a);
+            assert!((swept - best).abs() < 1e-6, "case {case} arrival {a}");
         }
     }
+}
 
-    #[test]
-    fn interruptible_sweep_matches_naive(
-        values in trace_strategy(),
-        slots in 1usize..6,
-        slack in 0usize..30,
-    ) {
-        prop_assume!(values.len() > slots + 1);
+#[test]
+fn interruptible_sweep_matches_naive() {
+    for case in 0..CASES {
+        let mut g = Gen::new("interruptible_sweep", case);
+        let values = trace(&mut g);
+        let slots = g.usize_in(1, 6);
+        let slack = g.usize_in(0, 30);
         let series = TimeSeries::new(Hour(0), values.clone());
         let planner = TemporalPlanner::new(&series);
         let count = values.len() - slots;
@@ -85,34 +89,43 @@ proptest! {
         for a in (0..count).step_by(7) {
             let end = (a + slots + slack).min(values.len());
             let expected = naive_k_sum(&values[a..end], slots);
-            prop_assert!((sweep[a] - expected).abs() < 1e-6, "arrival {}", a);
+            assert!(
+                (sweep[a] - expected).abs() < 1e-6,
+                "case {case} arrival {a}"
+            );
         }
     }
+}
 
-    #[test]
-    fn interruptible_never_beats_window_minimum(
-        values in trace_strategy(),
-        slots in 1usize..6,
-        slack in 0usize..30,
-    ) {
-        prop_assume!(values.len() > slots + slack + 1);
+#[test]
+fn interruptible_never_beats_window_minimum() {
+    for case in 0..CASES {
+        let mut g = Gen::new("interruptible_window_min", case);
+        // Draw long enough traces that `slots + slack` always fits.
+        let values = g.vec_in(1.0, 900.0, 40, 300);
+        let slots = g.usize_in(1, 6);
+        let slack = g.usize_in(0, 30);
         let series = TimeSeries::new(Hour(0), values.clone());
         let planner = TemporalPlanner::new(&series);
         let (hours, cost) = planner.best_interruptible(Hour(0), slots, slack);
-        prop_assert_eq!(hours.len(), slots);
+        assert_eq!(hours.len(), slots, "case {case}");
         // Cost is at least slots × the global window minimum.
         let min = values[..slots + slack]
             .iter()
             .cloned()
             .fold(f64::INFINITY, f64::min);
-        prop_assert!(cost >= min * slots as f64 - 1e-9);
+        assert!(cost >= min * slots as f64 - 1e-9, "case {case}");
         // And no worse than the best contiguous window.
         let deferred = planner.best_deferred(Hour(0), slots, slack).cost_g;
-        prop_assert!(cost <= deferred + 1e-9);
+        assert!(cost <= deferred + 1e-9, "case {case}");
     }
+}
 
-    #[test]
-    fn prefix_sums_match_direct(values in trace_strategy()) {
+#[test]
+fn prefix_sums_match_direct() {
+    for case in 0..CASES {
+        let mut g = Gen::new("prefix_sums", case);
+        let values = trace(&mut g);
         let series = TimeSeries::new(Hour(7), values.clone());
         let prefix = series.prefix_sum();
         let n = values.len();
@@ -123,13 +136,17 @@ proptest! {
                 }
                 let direct: f64 = values[from..from + len].iter().sum();
                 let fast = prefix.sum(Hour(7 + from as u32), len);
-                prop_assert!((direct - fast).abs() < 1e-6);
+                assert!((direct - fast).abs() < 1e-6, "case {case} from {from}");
             }
         }
     }
+}
 
-    #[test]
-    fn fft_roundtrip(re in prop::collection::vec(-100.0f64..100.0, 1..65)) {
+#[test]
+fn fft_roundtrip() {
+    for case in 0..CASES {
+        let mut g = Gen::new("fft_roundtrip", case);
+        let re = g.vec_in(-100.0, 100.0, 1, 65);
         let n = re.len().next_power_of_two();
         let mut data: Vec<Complex> = re.iter().map(|&r| Complex::new(r, 0.0)).collect();
         data.resize(n, Complex::default());
@@ -137,13 +154,17 @@ proptest! {
         fft(&mut data);
         ifft(&mut data);
         for (a, b) in data.iter().zip(&original) {
-            prop_assert!((a.re - b.re).abs() < 1e-6);
-            prop_assert!((a.im - b.im).abs() < 1e-6);
+            assert!((a.re - b.re).abs() < 1e-6, "case {case}");
+            assert!((a.im - b.im).abs() < 1e-6, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn fft_preserves_energy(re in prop::collection::vec(-100.0f64..100.0, 1..65)) {
+#[test]
+fn fft_preserves_energy() {
+    for case in 0..CASES {
+        let mut g = Gen::new("fft_energy", case);
+        let re = g.vec_in(-100.0, 100.0, 1, 65);
         // Parseval: sum |x|^2 = (1/N) sum |X|^2.
         let n = re.len().next_power_of_two();
         let mut data: Vec<Complex> = re.iter().map(|&r| Complex::new(r, 0.0)).collect();
@@ -151,14 +172,19 @@ proptest! {
         let time_energy: f64 = data.iter().map(|c| c.norm_sq()).sum();
         fft(&mut data);
         let freq_energy: f64 = data.iter().map(|c| c.norm_sq()).sum::<f64>() / n as f64;
-        prop_assert!((time_energy - freq_energy).abs() < 1e-4 * time_energy.max(1.0));
+        assert!(
+            (time_energy - freq_energy).abs() < 1e-4 * time_energy.max(1.0),
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn water_filling_invariants(
-        mut means in prop::collection::vec(5.0f64..900.0, 2..40),
-        idle_pct in 0usize..100,
-    ) {
+#[test]
+fn water_filling_invariants() {
+    for case in 0..CASES {
+        let mut g = Gen::new("water_filling", case);
+        let mut means = g.vec_in(5.0, 900.0, 2, 40);
+        let idle = g.usize_in(0, 100) as f64 / 100.0;
         // Attach synthetic means to distinct catalog regions.
         let catalog = decarb::traces::builtin_catalog();
         means.truncate(catalog.len());
@@ -167,16 +193,14 @@ proptest! {
             .zip(means.iter())
             .map(|(r, &m)| (r, m))
             .collect();
-        let idle = idle_pct as f64 / 100.0;
-        prop_assume!(idle < 1.0);
         let outcome = water_filling(&regions, IdleCapacity::Fraction(idle), &|_, _| true);
         // Emissions never increase.
-        prop_assert!(outcome.after_g <= outcome.before_g + 1e-9);
+        assert!(outcome.after_g <= outcome.before_g + 1e-9, "case {case}");
         // Moves only go to strictly greener regions.
         let mean_of = |code: &str| regions.iter().find(|(r, _)| r.code == code).unwrap().1;
         for a in &outcome.assignments {
-            prop_assert!(mean_of(a.to) < mean_of(a.from));
-            prop_assert!(a.amount > 0.0);
+            assert!(mean_of(a.to) < mean_of(a.from), "case {case}");
+            assert!(a.amount > 0.0, "case {case}");
         }
         // No recipient exceeds its idle capacity.
         for (region, _) in &regions {
@@ -186,47 +210,55 @@ proptest! {
                 .filter(|a| a.to == region.code)
                 .map(|a| a.amount)
                 .sum();
-            prop_assert!(received <= idle + 1e-9);
+            assert!(received <= idle + 1e-9, "case {case}");
         }
         // Moved load is bounded by the total load.
-        prop_assert!((0.0..=1.0 + 1e-9).contains(&outcome.moved_fraction));
+        assert!(
+            (0.0..=1.0 + 1e-9).contains(&outcome.moved_fraction),
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn greener_trace_bounded_and_monotone(
-        values in prop::collection::vec(30.0f64..900.0, 24..96),
-        p in 0.0f64..0.95,
-    ) {
+#[test]
+fn greener_trace_bounded_and_monotone() {
+    for case in 0..CASES {
+        let mut g = Gen::new("greener_trace", case);
+        let values = g.vec_in(30.0, 900.0, 24, 96);
+        let p = g.f64_in(0.0, 0.95);
         let base = TimeSeries::new(Hour(0), values.clone());
         let greener = greener_trace(&base, p, 0);
-        for ((_, g), (_, b)) in greener.iter().zip(base.iter()) {
-            prop_assert!(g <= b + 1e-9, "never dirtier than the base grid");
-            prop_assert!(g >= ADDED_RENEWABLE_CI.min(b) - 1e-9);
+        for ((_, gr), (_, b)) in greener.iter().zip(base.iter()) {
+            assert!(
+                gr <= b + 1e-9,
+                "case {case}: never dirtier than the base grid"
+            );
+            assert!(gr >= ADDED_RENEWABLE_CI.min(b) - 1e-9, "case {case}");
         }
-        prop_assert!(greener.mean() <= base.mean() + 1e-9);
+        assert!(greener.mean() <= base.mean() + 1e-9, "case {case}");
     }
+}
 
-    #[test]
-    fn kmeans_assignments_are_valid(
-        points in prop::collection::vec(
-            prop::collection::vec(-50.0f64..50.0, 2..3usize), 1..60),
-        k in 1usize..5,
-    ) {
-        let dims: Vec<usize> = points.iter().map(|p| p.len()).collect();
-        prop_assume!(dims.windows(2).all(|w| w[0] == w[1]));
+#[test]
+fn kmeans_assignments_are_valid() {
+    for case in 0..CASES {
+        let mut g = Gen::new("kmeans_valid", case);
+        let count = g.usize_in(1, 60);
+        let points: Vec<Vec<f64>> = (0..count)
+            .map(|_| vec![g.f64_in(-50.0, 50.0), g.f64_in(-50.0, 50.0)])
+            .collect();
+        let k = g.usize_in(1, 5);
         let result = kmeans(&points, k, 99, 100).unwrap();
-        prop_assert_eq!(result.assignments.len(), points.len());
+        assert_eq!(result.assignments.len(), points.len(), "case {case}");
         for &a in &result.assignments {
-            prop_assert!(a < result.centroids.len());
+            assert!(a < result.centroids.len(), "case {case}");
         }
         // Each point is assigned to its nearest centroid.
         for (p, &a) in points.iter().zip(&result.assignments) {
-            let d = |c: &Vec<f64>| -> f64 {
-                c.iter().zip(p).map(|(x, y)| (x - y) * (x - y)).sum()
-            };
+            let d = |c: &Vec<f64>| -> f64 { c.iter().zip(p).map(|(x, y)| (x - y) * (x - y)).sum() };
             let assigned = d(&result.centroids[a]);
             for c in &result.centroids {
-                prop_assert!(assigned <= d(c) + 1e-9);
+                assert!(assigned <= d(c) + 1e-9, "case {case}");
             }
         }
     }
