@@ -8,10 +8,13 @@ use std::hint::black_box;
 use decarb_bench::Harness;
 use decarb_core::ksmallest::SlidingKSmallest;
 use decarb_core::temporal::TemporalPlanner;
+use decarb_sim::{CarbonAgnostic, SimConfig, Simulator, ThresholdSuspend};
 use decarb_stats::autocorr::autocorrelation;
 use decarb_stats::periodicity::detect_periods;
 use decarb_traces::rng::Xoshiro256;
-use decarb_traces::{Hour, TimeSeries};
+use decarb_traces::time::year_start;
+use decarb_traces::{builtin_dataset, Hour, Region, TimeSeries};
+use decarb_workloads::{Job, Slack};
 
 fn synthetic_trace(n: usize) -> Vec<f64> {
     let mut rng = Xoshiro256::seeded(0xBE7C);
@@ -129,6 +132,44 @@ fn bench_sliding_structure_scaling(h: &Harness) {
     }
 }
 
+/// The `Simulator::run` hot path at scenario-matrix scale: a year of
+/// hourly steps over five datacenters with 150 interruptible jobs.
+/// Tracks the placement (job move, not clone), per-step CI buffer, and
+/// hoisted-series-lookup optimizations.
+fn bench_kernel_sim(h: &Harness) {
+    let data = builtin_dataset();
+    let regions: Vec<&'static Region> = ["US-CA", "DE", "GB", "SE", "IN-WE"]
+        .iter()
+        .map(|c| data.region(c).expect("bench region"))
+        .collect();
+    let start = year_start(2022);
+    let jobs: Vec<Job> = (0..150u64)
+        .map(|i| {
+            let origin = regions[(i % 5) as usize].code;
+            Job::batch(
+                i,
+                origin,
+                start.plus(11 + (i as usize / 5) * 263),
+                24.0,
+                Slack::Week,
+            )
+            .with_interruptible()
+        })
+        .collect();
+    h.bench("kernels/sim/run_year_5dc_150jobs_agnostic", || {
+        let mut sim = Simulator::new(&data, &regions, SimConfig::new(start, 8760, 64));
+        black_box(sim.run(&mut CarbonAgnostic, &jobs))
+    });
+    h.bench("kernels/sim/run_year_5dc_150jobs_threshold", || {
+        let mut sim = Simulator::new(&data, &regions, SimConfig::new(start, 8760, 64));
+        black_box(sim.run(&mut ThresholdSuspend::default(), &jobs))
+    });
+    h.bench("kernels/sim/scenario_batch_deferral_europe", || {
+        let scenario = decarb_sim::find_scenario("batch-deferral-europe").expect("built-in");
+        black_box(scenario.run(&data))
+    });
+}
+
 fn main() {
     let h = Harness::from_args("kernels");
     bench_kernel_deferral(&h);
@@ -136,4 +177,5 @@ fn main() {
     bench_kernel_prefix(&h);
     bench_kernel_period(&h);
     bench_sliding_structure_scaling(&h);
+    bench_kernel_sim(&h);
 }

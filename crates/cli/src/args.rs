@@ -63,6 +63,15 @@ pub enum Command {
         /// Emit JSON instead of text tables.
         json: bool,
     },
+    /// `scenario list` — enumerate the built-in scenario matrix.
+    ScenarioList,
+    /// `scenario run <NAME|all> [--json]` — run built-in scenarios.
+    ScenarioRun {
+        /// Scenario name, or `all` for the whole matrix.
+        name: String,
+        /// Emit JSON instead of a text table.
+        json: bool,
+    },
     /// `--help` / no arguments.
     Help,
 }
@@ -93,6 +102,8 @@ commands:
   export   <ZONE> [--year Y]           hourly trace as CSV on stdout
   list                                 list registered experiments
   run      <ID|all> [--json]           run experiments from the registry
+  scenario list                        list the built-in scenario matrix
+  scenario run <NAME|all> [--json]     run scenario-matrix entries in parallel
 
 defaults: --year 2022, --slack 24, --arrive 0, --days 60
 
@@ -236,40 +247,69 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
             Ok(Command::List)
         }
         "run" => {
-            // Flags and the id may come in either order (`run --json
-            // fig5` and `run fig5 --json` both work, matching `repro`).
-            let mut json = false;
-            let mut id: Option<&String> = None;
-            for arg in &argv[1..] {
-                match arg.as_str() {
-                    "--json" => json = true,
-                    other if other.starts_with("--") => {
-                        return Err(ParseError(format!("unknown option `{other}` for `run`")));
-                    }
-                    _ => {
-                        if id.is_some() {
-                            return Err(ParseError(format!(
-                                "unexpected argument `{arg}` (`run` takes one id)"
-                            )));
-                        }
-                        id = Some(arg);
-                    }
-                }
-            }
-            let Some(id) = id else {
-                return Err(ParseError(
-                    "`run` needs an experiment id or `all` (see `list`)".into(),
-                ));
-            };
-            Ok(Command::Run {
-                id: id.clone(),
-                json,
-            })
+            let (id, json) = parse_run_like(
+                &argv[1..],
+                "run",
+                "`run` needs an experiment id or `all` (see `list`)",
+            )?;
+            Ok(Command::Run { id, json })
         }
+        "scenario" => match argv.get(1).map(String::as_str) {
+            Some("list") => {
+                if argv.len() > 2 {
+                    return Err(ParseError("`scenario list` takes no arguments".into()));
+                }
+                Ok(Command::ScenarioList)
+            }
+            Some("run") => {
+                let (name, json) = parse_run_like(
+                    &argv[2..],
+                    "scenario run",
+                    "`scenario run` needs a scenario name or `all` (see `scenario list`)",
+                )?;
+                Ok(Command::ScenarioRun { name, json })
+            }
+            _ => Err(ParseError(
+                "`scenario` needs a subcommand: `list` or `run <NAME|all>`".into(),
+            )),
+        },
         other => Err(ParseError(format!(
             "unknown command `{other}` (try --help)"
         ))),
     }
+}
+
+/// Shared `<NAME|all> [--json]` parsing for `run` and `scenario run`;
+/// flags and the positional may come in either order.
+fn parse_run_like(
+    rest: &[String],
+    command: &str,
+    missing: &str,
+) -> Result<(String, bool), ParseError> {
+    let mut json = false;
+    let mut name: Option<&String> = None;
+    for arg in rest {
+        match arg.as_str() {
+            "--json" => json = true,
+            other if other.starts_with("--") => {
+                return Err(ParseError(format!(
+                    "unknown option `{other}` for `{command}`"
+                )));
+            }
+            _ => {
+                if name.is_some() {
+                    return Err(ParseError(format!(
+                        "unexpected argument `{arg}` (`{command}` takes one name)"
+                    )));
+                }
+                name = Some(arg);
+            }
+        }
+    }
+    let Some(name) = name else {
+        return Err(ParseError(missing.into()));
+    };
+    Ok((name.clone(), json))
 }
 
 #[cfg(test)]
@@ -376,6 +416,55 @@ mod tests {
                 json: false
             }
         );
+    }
+
+    #[test]
+    fn scenario_subcommands_parse() {
+        assert_eq!(
+            parse(&argv(&["scenario", "list"])).unwrap(),
+            Command::ScenarioList
+        );
+        let expected = Command::ScenarioRun {
+            name: "batch-agnostic-europe".into(),
+            json: true,
+        };
+        assert_eq!(
+            parse(&argv(&[
+                "scenario",
+                "run",
+                "batch-agnostic-europe",
+                "--json"
+            ]))
+            .unwrap(),
+            expected
+        );
+        assert_eq!(
+            parse(&argv(&[
+                "scenario",
+                "run",
+                "--json",
+                "batch-agnostic-europe"
+            ]))
+            .unwrap(),
+            expected
+        );
+        assert_eq!(
+            parse(&argv(&["scenario", "run", "all"])).unwrap(),
+            Command::ScenarioRun {
+                name: "all".into(),
+                json: false
+            }
+        );
+    }
+
+    #[test]
+    fn scenario_rejects_malformed_argv() {
+        assert!(parse(&argv(&["scenario"])).is_err());
+        assert!(parse(&argv(&["scenario", "frobnicate"])).is_err());
+        assert!(parse(&argv(&["scenario", "list", "extra"])).is_err());
+        assert!(parse(&argv(&["scenario", "run"])).is_err());
+        assert!(parse(&argv(&["scenario", "run", "--bogus", "x"])).is_err());
+        assert!(parse(&argv(&["scenario", "run", "a", "b"])).is_err());
     }
 
     #[test]

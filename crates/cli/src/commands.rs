@@ -47,9 +47,9 @@ impl From<TraceError> for CliError {
 /// Runs a parsed command against an explicit dataset (the built-in one in
 /// [`crate::run`], an imported one under `--data`).
 ///
-/// `list` and `run` are registry commands with no dataset parameter;
-/// they are routed directly by [`crate::run`] and error here rather
-/// than silently ignoring `data`.
+/// `list`, `run`, and the `scenario` subcommands are registry commands
+/// with no dataset parameter; they are routed directly by [`crate::run`]
+/// and error here rather than silently ignoring `data`.
 pub fn run_on(command: &Command, data: &TraceSet) -> Result<String, CliError> {
     match command {
         Command::Help => Ok(USAGE.to_string()),
@@ -65,8 +65,11 @@ pub fn run_on(command: &Command, data: &TraceSet) -> Result<String, CliError> {
         Command::Forecast { zone, days, year } => forecast(data, zone, *days, *year),
         Command::Rank { year } => rank(data, *year),
         Command::Export { zone, year } => export(data, zone, *year),
-        Command::List | Command::Run { .. } => Err(CliError::Parse(ParseError(
-            "`list` and `run` always use the built-in dataset; drop --data".into(),
+        Command::List
+        | Command::Run { .. }
+        | Command::ScenarioList
+        | Command::ScenarioRun { .. } => Err(CliError::Parse(ParseError(
+            "`list`, `run`, and `scenario` always use the built-in dataset; drop --data".into(),
         ))),
     }
 }
@@ -115,6 +118,67 @@ pub(crate) fn run_experiments(id: &str, json: bool) -> Result<String, CliError> 
     let mut out = String::new();
     for table in experiment.run(ctx) {
         let _ = writeln!(out, "{table}");
+    }
+    Ok(out)
+}
+
+/// Renders the built-in scenario matrix, one `name  description` line
+/// per scenario.
+pub(crate) fn scenario_list() -> String {
+    let scenarios = decarb_sim::builtin_scenarios();
+    let mut out = String::new();
+    for scenario in &scenarios {
+        let _ = writeln!(out, "{:<28} {}", scenario.name, scenario.describe());
+    }
+    let _ = writeln!(
+        out,
+        "{} scenarios; `scenario run <name>` or `scenario run all`",
+        scenarios.len()
+    );
+    out
+}
+
+/// Runs one built-in scenario (or the whole matrix, in parallel) and
+/// renders a text table or JSON.
+pub(crate) fn run_scenarios_cmd(name: &str, json: bool) -> Result<String, CliError> {
+    let data = decarb_traces::builtin_dataset();
+    let selected: Vec<decarb_sim::Scenario> = if name == "all" {
+        decarb_sim::builtin_scenarios()
+    } else {
+        vec![decarb_sim::find_scenario(name).ok_or_else(|| {
+            CliError::Parse(ParseError(format!(
+                "unknown scenario `{name}` (see `scenario list`)"
+            )))
+        })?]
+    };
+    let reports = decarb_sim::run_scenarios(&data, &selected);
+    if json {
+        // One scenario renders as an object, a matrix as an array — in
+        // both cases one valid JSON document.
+        let value = match &reports[..] {
+            [only] => only.to_json(),
+            many => Value::Array(many.iter().map(|r| r.to_json()).collect()),
+        };
+        return Ok(value.pretty());
+    }
+    let mut out = format!(
+        "{:<28} {:>5} {:>5} {:>6} {:>6} {:>8} {:>12} {:>11} {:>9}\n",
+        "scenario", "jobs", "done", "unfin", "missed", "migrate", "kWh", "avg g/kWh", "slowdown"
+    );
+    for r in &reports {
+        let _ = writeln!(
+            out,
+            "{:<28} {:>5} {:>5} {:>6} {:>6} {:>8} {:>12.1} {:>11.1} {:>9.2}",
+            r.name,
+            r.jobs,
+            r.completed,
+            r.unfinished,
+            r.missed_deadlines,
+            r.migrations,
+            r.total_energy_kwh,
+            r.average_ci,
+            r.mean_slowdown,
+        );
     }
     Ok(out)
 }
@@ -632,9 +696,56 @@ mod tests {
                 id: "table1".into(),
                 json: false,
             },
+            Command::ScenarioList,
+            Command::ScenarioRun {
+                name: "batch-agnostic-europe".into(),
+                json: false,
+            },
         ] {
             let err = run_on(&command, &data).unwrap_err();
             assert!(format!("{err}").contains("built-in dataset"));
         }
+    }
+
+    #[test]
+    fn scenario_list_shows_every_builtin_scenario() {
+        let out = dispatch(&argv(&["scenario", "list"])).unwrap();
+        for scenario in decarb_sim::builtin_scenarios() {
+            assert!(
+                out.lines()
+                    .any(|l| l.split_whitespace().next() == Some(scenario.name.as_str())),
+                "missing {}",
+                scenario.name
+            );
+        }
+        assert!(out.contains("36 scenarios"));
+    }
+
+    #[test]
+    fn scenario_run_single_renders_table_row() {
+        let out = dispatch(&argv(&["scenario", "run", "batch-agnostic-us"])).unwrap();
+        assert!(out.contains("scenario"), "{out}");
+        assert!(out.contains("batch-agnostic-us"), "{out}");
+    }
+
+    #[test]
+    fn scenario_run_single_json_is_an_object() {
+        let out = dispatch(&argv(&[
+            "scenario",
+            "run",
+            "interactive-agnostic-europe",
+            "--json",
+        ]))
+        .unwrap();
+        assert!(out.starts_with('{'), "{out}");
+        assert!(out.contains("\"name\": \"interactive-agnostic-europe\""));
+        assert!(out.contains("\"avg_ci_g_per_kwh\""));
+    }
+
+    #[test]
+    fn scenario_run_unknown_name_is_a_parse_error() {
+        let err = dispatch(&argv(&["scenario", "run", "nope-nope-nope"])).unwrap_err();
+        assert!(matches!(err, CliError::Parse(_)));
+        assert!(format!("{err}").contains("unknown scenario `nope-nope-nope`"));
     }
 }

@@ -15,6 +15,8 @@
 //! | `export <ZONE> [--year Y]` | CSV of the region's hourly trace to stdout |
 //! | `list` | enumerate the experiment registry |
 //! | `run <ID\|all> [--json]` | run experiments through the shared registry |
+//! | `scenario list` | enumerate the built-in scenario matrix |
+//! | `scenario run <NAME\|all> [--json]` | run scenario-matrix entries in parallel |
 //!
 //! A leading global option `--data FILE` replaces the built-in synthetic
 //! dataset with a `zone,hour,value` CSV (e.g. a real Electricity Maps
@@ -35,9 +37,12 @@ pub use commands::{run_on, CliError};
 /// Runs a parsed command against the built-in dataset.
 pub fn run(command: &Command) -> Result<String, CliError> {
     match command {
-        // Registry commands take no dataset; route them directly.
+        // Registry and scenario commands take no dataset; route them
+        // directly.
         Command::List => Ok(commands::list()),
         Command::Run { id, json } => commands::run_experiments(id, *json),
+        Command::ScenarioList => Ok(commands::scenario_list()),
+        Command::ScenarioRun { name, json } => commands::run_scenarios_cmd(name, *json),
         other => run_on(other, &builtin_dataset()),
     }
 }

@@ -83,6 +83,7 @@ fn list_enumerates_the_whole_registry() {
         "ext-elastic",
         "ext-rank",
         "ext-pareto",
+        "ext-scenarios",
     ] {
         assert!(
             text.lines()
@@ -90,7 +91,7 @@ fn list_enumerates_the_whole_registry() {
             "missing {id} in list output"
         );
     }
-    assert!(text.contains("24 experiments"));
+    assert!(text.contains("25 experiments"));
 }
 
 #[test]
@@ -141,6 +142,51 @@ fn run_and_list_reject_imported_datasets() {
     let out = decarb_cli(&["--data", "/dev/null", "list"]);
     assert_eq!(out.status.code(), Some(2));
     assert!(stderr(&out).contains("built-in dataset"));
+}
+
+#[test]
+fn scenario_list_enumerates_the_matrix() {
+    let out = decarb_cli(&["scenario", "list"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("batch-agnostic-europe"), "{text}");
+    assert!(text.contains("mixed-greenest-global"), "{text}");
+    assert!(text.contains("36 scenarios"), "{text}");
+}
+
+#[test]
+fn scenario_run_one_emits_json_object() {
+    let out = decarb_cli(&["scenario", "run", "batch-deferral-europe", "--json"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.starts_with('{'), "{text}");
+    assert!(text.contains("\"name\": \"batch-deferral-europe\""));
+    assert!(text.contains("\"emissions_g\""));
+}
+
+#[test]
+fn scenario_run_all_json_is_one_array_document() {
+    let out = decarb_cli(&["scenario", "run", "all", "--json"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    let trimmed = text.trim();
+    assert!(trimmed.starts_with('['), "{text}");
+    assert!(trimmed.ends_with(']'), "{text}");
+    assert_eq!(text.matches("\"name\":").count(), 36, "{text}");
+}
+
+#[test]
+fn scenario_run_unknown_name_exits_2() {
+    let out = decarb_cli(&["scenario", "run", "bogus"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("unknown scenario `bogus`"));
+}
+
+#[test]
+fn scenario_without_subcommand_exits_2() {
+    let out = decarb_cli(&["scenario"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("`scenario` needs a subcommand"));
 }
 
 #[test]

@@ -35,6 +35,7 @@
 //! | `ext-elastic`  | CarbonScaler-style elastic scaling |
 //! | `ext-rank`     | §5.1.4's rank-stability premise, measured directly |
 //! | `ext-pareto`   | carbon–delay frontier; online latency-SLO routing |
+//! | `ext-scenarios`| the scenario matrix condensed into the headline savings table |
 
 pub mod context;
 pub mod registry;
@@ -47,6 +48,7 @@ mod ext_forecast;
 mod ext_grid;
 mod ext_pareto;
 mod ext_rank;
+mod ext_scenarios;
 mod ext_sim;
 mod fig1;
 mod fig10;

@@ -16,8 +16,8 @@ use decarb_par::par_map;
 use crate::context::Context;
 use crate::table::ExperimentTable;
 use crate::{
-    ext, ext_elastic, ext_embodied, ext_forecast, ext_grid, ext_pareto, ext_rank, ext_sim, fig1,
-    fig10, fig11, fig12, fig3, fig4, fig5, fig6, fig7to9, table1,
+    ext, ext_elastic, ext_embodied, ext_forecast, ext_grid, ext_pareto, ext_rank, ext_scenarios,
+    ext_sim, fig1, fig10, fig11, fig12, fig3, fig4, fig5, fig6, fig7to9, table1,
 };
 
 /// One registered experiment: a stable id, a human-readable description,
@@ -189,6 +189,11 @@ static ENTRIES: &[Entry] = &[
         id: "ext-pareto",
         description: "Ext: carbon-delay frontier and online latency-SLO routing",
         runner: |ctx| ext_pareto::run(ctx).tables(),
+    },
+    Entry {
+        id: "ext-scenarios",
+        description: "Ext: scenario matrix — savings vs the agnostic baseline across workload x policy x geography",
+        runner: |ctx| ext_scenarios::run(ctx).tables(),
     },
 ];
 

@@ -43,6 +43,12 @@ pub struct SimReport {
     pub completed: Vec<CompletedJob>,
     /// Jobs still unfinished when the horizon ended.
     pub unfinished: usize,
+    /// Job-hours in which an admitted, non-suspended job could not
+    /// execute because its region's trace had no sample for the hour
+    /// (trace coverage ended before the simulated horizon). Non-zero
+    /// values mean the horizon outruns the data and completion counts
+    /// understate the workload.
+    pub stalled_hours: usize,
     /// Total emissions across completed and partial work (g·CO2eq).
     pub total_emissions_g: f64,
     /// Total energy delivered in kWh (1 kW × executed hours, scaled for

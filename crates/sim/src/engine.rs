@@ -8,7 +8,7 @@
 
 use std::collections::{BinaryHeap, HashMap};
 
-use decarb_traces::{Hour, Region, TraceSet};
+use decarb_traces::{Hour, Region, TimeSeries, TraceSet};
 use decarb_workloads::Job;
 
 use crate::accounting::{CompletedJob, SimReport};
@@ -106,24 +106,43 @@ impl<'a> Simulator<'a> {
     /// returns the aggregate report.
     ///
     /// Jobs whose arrival lies outside the simulated horizon are counted
-    /// as unfinished.
+    /// as unfinished, as are jobs whose planned start lands at or past
+    /// the horizon end (they are never admitted). Jobs arriving before
+    /// the simulated window are treated as arriving at its first hour.
     pub fn run<P: Policy>(&mut self, policy: &mut P, jobs: &[Job]) -> SimReport {
         let mut report = SimReport::default();
+        // Sorted descending so each arrival is *moved* off the tail in
+        // arrival order — no per-job clone on the placement hot path.
         let mut arrivals: Vec<Job> = jobs.to_vec();
-        arrivals.sort_by_key(|j| (j.arrival, j.id));
-        let mut next_arrival = 0usize;
+        arrivals.sort_by_key(|j| std::cmp::Reverse((j.arrival, j.id)));
         let end = self.config.start.plus(self.config.horizon);
+        let mut never_admitted = 0usize;
+
+        // Hoisted trace lookups: one series resolution per datacenter
+        // for the whole run (instead of two map probes per datacenter
+        // per step), refreshed into a per-hour CI buffer shared by the
+        // run-set selection and execution phases.
+        let codes: Vec<&'static str> = {
+            let mut codes: Vec<&'static str> = self.datacenters.keys().copied().collect();
+            codes.sort_unstable();
+            codes
+        };
+        let dc_series: Vec<Option<&TimeSeries>> = codes
+            .iter()
+            .map(|code| self.traces.series(code).ok())
+            .collect();
+        let mut ci_now: Vec<Option<f64>> = vec![None; codes.len()];
+        let mut decisions: Vec<bool> = Vec::new();
 
         for step in 0..self.config.horizon {
             let now = self.config.start.plus(step);
+            for (slot, series) in ci_now.iter_mut().zip(&dc_series) {
+                *slot = series.and_then(|s| s.at(now));
+            }
 
             // 1. Place arrivals for this hour.
-            while next_arrival < arrivals.len() && arrivals[next_arrival].arrival <= now {
-                let job = arrivals[next_arrival].clone();
-                next_arrival += 1;
-                if job.arrival < now {
-                    // Arrived before the horizon; treat as arriving now.
-                }
+            while arrivals.last().is_some_and(|j| j.arrival <= now) {
+                let job = arrivals.pop().expect("peeked entry exists");
                 let placement = {
                     let view = CloudView {
                         datacenters: &self.datacenters,
@@ -137,9 +156,17 @@ impl<'a> Simulator<'a> {
                 } else {
                     job.origin
                 };
+                let start = placement.start.max(now);
+                if start >= end {
+                    // A start at or past the horizon end can never run;
+                    // count it unfinished instead of parking it in the
+                    // calendar.
+                    never_admitted += 1;
+                    continue;
+                }
                 self.seq += 1;
                 self.calendar.push(PlannedStart {
-                    start: placement.start.max(now),
+                    start,
                     seq: self.seq,
                     job,
                     region,
@@ -185,32 +212,24 @@ impl<'a> Simulator<'a> {
             }
 
             // 3. Select the run set for each datacenter.
-            let codes: Vec<&'static str> = self.datacenters.keys().copied().collect();
-            for code in &codes {
-                let decisions: Vec<bool> = {
+            for (k, code) in codes.iter().enumerate() {
+                decisions.clear();
+                {
                     let dc = &self.datacenters[code];
                     let view = CloudView {
                         datacenters: &self.datacenters,
                         traces: self.traces,
                         now,
                     };
-                    dc.jobs
-                        .iter()
-                        .map(|rj| {
-                            if !rj.job.interruptible {
-                                return true;
-                            }
-                            let deadline = rj.job.arrival.plus(rj.job.window_hours());
-                            policy.should_run(&rj.job, rj.remaining_slots, deadline, &view)
-                        })
-                        .collect()
-                };
-                let ci_here = self
-                    .traces
-                    .series(code)
-                    .ok()
-                    .and_then(|s| s.at(now))
-                    .unwrap_or(0.0);
+                    decisions.extend(dc.jobs.iter().map(|rj| {
+                        if !rj.job.interruptible {
+                            return true;
+                        }
+                        let deadline = rj.job.arrival.plus(rj.job.window_hours());
+                        policy.should_run(&rj.job, rj.remaining_slots, deadline, &view)
+                    }));
+                }
+                let ci_here = ci_now[k].unwrap_or(0.0);
                 let dc = self.datacenters.get_mut(code).expect("known code");
                 let mut running = 0usize;
                 let mut suspends = 0usize;
@@ -246,13 +265,16 @@ impl<'a> Simulator<'a> {
             }
 
             // 4. Execute and account.
-            for dc in self.datacenters.values_mut() {
-                let ci = self
-                    .traces
-                    .series(dc.region.code)
-                    .ok()
-                    .and_then(|s| s.at(now));
-                let Some(ci) = ci else { continue };
+            for (k, code) in codes.iter().enumerate() {
+                let dc = self.datacenters.get_mut(code).expect("known code");
+                let Some(ci) = ci_now[k] else {
+                    // Trace coverage does not reach this hour: jobs
+                    // selected to run can neither execute nor be
+                    // accounted. Record the stall instead of silently
+                    // freezing them.
+                    report.stalled_hours += dc.jobs.iter().filter(|rj| !rj.suspended).count();
+                    continue;
+                };
                 let mut finished: Vec<usize> = Vec::new();
                 for (i, rj) in dc.jobs.iter_mut().enumerate() {
                     if rj.suspended {
@@ -281,22 +303,28 @@ impl<'a> Simulator<'a> {
                         started: rj.started.expect("finished jobs have run"),
                         finished: now,
                         emitted_g: rj.emitted_g,
-                        missed_deadline: now >= deadline && rj.job.slack_hours() > 0,
+                        // The window covers hours [arrival, deadline);
+                        // finishing in the last window hour (deadline-1)
+                        // is on time, and zero-slack jobs delayed past
+                        // their own length (e.g. by queueing) miss too.
+                        missed_deadline: now >= deadline,
                         job: rj.job,
                     });
                 }
             }
         }
 
-        // Whatever remains anywhere is unfinished.
+        // Whatever remains anywhere is unfinished: jobs still holding
+        // work in a datacenter, planned starts not yet due, jobs whose
+        // plan fell past the horizon, and arrivals never reached.
         report.unfinished = self
             .datacenters
             .values()
             .map(|dc| dc.jobs.len())
             .sum::<usize>()
             + self.calendar.len()
-            + arrivals.len().saturating_sub(next_arrival);
-        let _ = end;
+            + never_admitted
+            + arrivals.len();
         report
     }
 
@@ -545,6 +573,128 @@ mod tests {
         assert!((report.total_energy_kwh - 0.01).abs() < 1e-12);
         let ci = traces.series("SE").unwrap().get(start);
         assert!((report.total_emissions_g - ci * 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn short_trace_records_stalled_hours_instead_of_freezing() {
+        // A trace covering only 5 of the 10 simulated hours: the 8-hour
+        // job executes 5 slots, then stalls (visibly) for the remaining
+        // 5 hours instead of silently freezing.
+        let start = year_start(2022);
+        let short = TimeSeries::new(start, vec![100.0; 5]);
+        let traces = TraceSet::from_series(vec![(region("SE").unwrap(), short)]);
+        let rs = regions(&["SE"]);
+        let mut sim = Simulator::new(&traces, &rs, SimConfig::new(start, 10, 4));
+        let report = sim.run(
+            &mut CarbonAgnostic,
+            &[Job::batch(1, "SE", start, 8.0, Slack::None)],
+        );
+        assert_eq!(report.completed_count(), 0);
+        assert_eq!(report.unfinished, 1);
+        assert!((report.total_energy_kwh - 5.0).abs() < 1e-9);
+        assert!((report.total_emissions_g - 500.0).abs() < 1e-9);
+        assert_eq!(report.stalled_hours, 5);
+    }
+
+    #[test]
+    fn full_coverage_runs_report_no_stalls() {
+        let traces = builtin_dataset();
+        let rs = regions(&["SE"]);
+        let start = year_start(2022);
+        let mut sim = Simulator::new(&traces, &rs, config(50));
+        let report = sim.run(
+            &mut CarbonAgnostic,
+            &[Job::batch(1, "SE", start, 3.0, Slack::None)],
+        );
+        assert_eq!(report.stalled_hours, 0);
+    }
+
+    /// A policy planning a fixed start offset from the arrival hour.
+    struct StartAt(usize);
+    impl Policy for StartAt {
+        fn place(&mut self, job: &Job, view: &CloudView<'_>) -> crate::policy::Placement {
+            crate::policy::Placement {
+                region: job.origin,
+                start: view.now.plus(self.0),
+            }
+        }
+    }
+
+    #[test]
+    fn starts_at_or_past_horizon_end_are_never_admitted() {
+        let traces = builtin_dataset();
+        let rs = regions(&["SE"]);
+        let start = year_start(2022);
+        let job = Job::batch(1, "SE", start, 1.0, Slack::None);
+        // Planned exactly at the horizon end: never admitted, no energy.
+        let mut sim = Simulator::new(&traces, &rs, config(10));
+        let report = sim.run(&mut StartAt(10), std::slice::from_ref(&job));
+        assert_eq!(report.completed_count(), 0);
+        assert_eq!(report.unfinished, 1);
+        assert_eq!(report.total_energy_kwh, 0.0);
+        // One hour earlier is admissible and the 1-hour job completes.
+        let mut sim = Simulator::new(&traces, &rs, config(10));
+        let report = sim.run(&mut StartAt(9), &[job]);
+        assert_eq!(report.completed_count(), 1);
+        assert_eq!(report.unfinished, 0);
+        assert_eq!(report.completed[0].finished, start.plus(9));
+    }
+
+    #[test]
+    fn finishing_in_last_window_hour_is_on_time() {
+        let traces = builtin_dataset();
+        let rs = regions(&["SE"]);
+        let start = year_start(2022);
+        // 2-hour job, 24 h slack: window covers hours [0, 26); the last
+        // permissible start is hour 24, finishing in hour 25.
+        let job = Job::batch(1, "SE", start, 2.0, Slack::Day);
+        let mut sim = Simulator::new(&traces, &rs, config(100));
+        let report = sim.run(&mut StartAt(24), std::slice::from_ref(&job));
+        assert_eq!(report.completed_count(), 1);
+        assert_eq!(report.completed[0].finished, start.plus(25));
+        assert!(!report.completed[0].missed_deadline);
+        assert_eq!(report.missed_deadlines(), 0);
+        // One hour later finishes at hour 26 == deadline: missed.
+        let mut sim = Simulator::new(&traces, &rs, config(100));
+        let report = sim.run(&mut StartAt(25), &[job]);
+        assert_eq!(report.completed_count(), 1);
+        assert!(report.completed[0].missed_deadline);
+    }
+
+    #[test]
+    fn queued_zero_slack_jobs_miss_their_deadline() {
+        // Two zero-slack 3-hour jobs on a capacity-1 datacenter: the
+        // first is on time, the second finishes at hour 5, past its
+        // hour-3 deadline — zero slack does not exempt it.
+        let traces = builtin_dataset();
+        let rs = regions(&["SE"]);
+        let start = year_start(2022);
+        let mut sim = Simulator::new(&traces, &rs, SimConfig::new(start, 50, 1));
+        let jobs = vec![
+            Job::batch(1, "SE", start, 3.0, Slack::None),
+            Job::batch(2, "SE", start, 3.0, Slack::None),
+        ];
+        let report = sim.run(&mut CarbonAgnostic, &jobs);
+        assert_eq!(report.completed_count(), 2);
+        let first = report.completed.iter().find(|c| c.job.id == 1).unwrap();
+        let second = report.completed.iter().find(|c| c.job.id == 2).unwrap();
+        assert!(!first.missed_deadline);
+        assert!(second.missed_deadline);
+        assert_eq!(report.missed_deadlines(), 1);
+    }
+
+    #[test]
+    fn immediate_zero_slack_jobs_are_on_time() {
+        let traces = builtin_dataset();
+        let rs = regions(&["SE"]);
+        let start = year_start(2022);
+        let mut sim = Simulator::new(&traces, &rs, config(20));
+        let report = sim.run(
+            &mut CarbonAgnostic,
+            &[Job::batch(1, "SE", start, 5.0, Slack::None)],
+        );
+        assert_eq!(report.completed_count(), 1);
+        assert!(!report.completed[0].missed_deadline);
     }
 
     #[test]

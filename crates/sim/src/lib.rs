@@ -26,6 +26,7 @@ pub mod forecast_policy;
 pub mod overheads;
 pub mod policy;
 pub mod routing;
+pub mod scenario;
 pub mod spatiotemporal;
 
 pub use accounting::SimReport;
@@ -37,4 +38,8 @@ pub use policy::{
     CarbonAgnostic, GreenestRouter, Placement, PlannedDeferral, Policy, ThresholdSuspend,
 };
 pub use routing::LatencyAwareRouter;
+pub use scenario::{
+    builtin_matrix, builtin_scenarios, find_scenario, run_scenarios, PolicyKind, RegionSet,
+    Scenario, ScenarioMatrix, ScenarioReport,
+};
 pub use spatiotemporal::SpatioTemporal;

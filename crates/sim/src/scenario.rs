@@ -1,0 +1,498 @@
+//! The scenario-matrix engine: declarative simulation configurations,
+//! cartesian expansion, and parallel execution.
+//!
+//! The paper's central claim — shifting savings are small and
+//! workload-dependent — only generalizes across *many* workload ×
+//! policy × geography combinations. A [`Scenario`] names one such
+//! combination declaratively (workload spec, policy, region set,
+//! overheads, capacity, horizon); a [`ScenarioMatrix`] expands the
+//! cartesian product into named scenarios; [`run_scenarios`] fans them
+//! out across threads with `decarb_par` against one shared dataset; and
+//! each run condenses into a [`ScenarioReport`] that serializes with
+//! `decarb_json` for machine consumers (`decarb-cli scenario run all
+//! --json`, CI smoke checks).
+
+use std::time::{Duration, Instant};
+
+use decarb_json::Value;
+use decarb_par::par_map;
+use decarb_traces::time::year_start;
+use decarb_traces::{Hour, Region, TraceSet};
+use decarb_workloads::{Slack, WorkloadSpec};
+
+use crate::accounting::SimReport;
+use crate::engine::{SimConfig, Simulator};
+use crate::overheads::OverheadModel;
+use crate::policy::{CarbonAgnostic, GreenestRouter, PlannedDeferral, ThresholdSuspend};
+
+/// A named, fixed set of regions scenarios deploy datacenters in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegionSet {
+    /// Eight European zones spanning the continent's CI extremes.
+    Europe,
+    /// Six United States zones with hyperscale presence.
+    UnitedStates,
+    /// Ten zones across five continents.
+    Global,
+}
+
+impl RegionSet {
+    /// All built-in region sets, in display order.
+    pub const ALL: [RegionSet; 3] = [
+        RegionSet::Europe,
+        RegionSet::UnitedStates,
+        RegionSet::Global,
+    ];
+
+    /// Returns the set's short label (used in scenario names).
+    pub fn label(self) -> &'static str {
+        match self {
+            RegionSet::Europe => "europe",
+            RegionSet::UnitedStates => "us",
+            RegionSet::Global => "global",
+        }
+    }
+
+    /// Returns the zone codes in the set.
+    pub fn codes(self) -> &'static [&'static str] {
+        match self {
+            RegionSet::Europe => &["SE", "DE", "FR", "GB", "PL", "ES", "NO", "FI"],
+            RegionSet::UnitedStates => &["US-CA", "US-TX", "US-NY", "US-WA", "US-VA", "US-OR"],
+            RegionSet::Global => &[
+                "SE", "DE", "GB", "US-CA", "US-TX", "IN-WE", "JP-TK", "AU-NSW", "BR-S", "ZA",
+            ],
+        }
+    }
+
+    /// Resolves the set against a dataset's catalog.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset lacks one of the set's zones (the built-in
+    /// dataset covers all of them).
+    pub fn resolve(self, data: &TraceSet) -> Vec<&'static Region> {
+        self.codes()
+            .iter()
+            .map(|code| data.region(code).expect("built-in region set resolves"))
+            .collect()
+    }
+}
+
+/// Which scheduling policy a scenario drives the simulator with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// Run immediately at the origin (the baseline).
+    CarbonAgnostic,
+    /// Clairvoyant deferral inside the origin region.
+    PlannedDeferral,
+    /// Online threshold suspend/resume at the origin.
+    ThresholdSuspend,
+    /// Route to the greenest region with free capacity at arrival.
+    GreenestRouter,
+}
+
+impl PolicyKind {
+    /// All built-in policies, baseline first.
+    pub const ALL: [PolicyKind; 4] = [
+        PolicyKind::CarbonAgnostic,
+        PolicyKind::PlannedDeferral,
+        PolicyKind::ThresholdSuspend,
+        PolicyKind::GreenestRouter,
+    ];
+
+    /// Returns the policy's short label (used in scenario names).
+    pub fn label(self) -> &'static str {
+        match self {
+            PolicyKind::CarbonAgnostic => "agnostic",
+            PolicyKind::PlannedDeferral => "deferral",
+            PolicyKind::ThresholdSuspend => "threshold",
+            PolicyKind::GreenestRouter => "greenest",
+        }
+    }
+
+    /// Returns `true` for the carbon-agnostic baseline.
+    pub fn is_baseline(self) -> bool {
+        matches!(self, PolicyKind::CarbonAgnostic)
+    }
+
+    /// Drives one simulation with the concrete policy.
+    fn execute(self, sim: &mut Simulator<'_>, jobs: &[decarb_workloads::Job]) -> SimReport {
+        match self {
+            PolicyKind::CarbonAgnostic => sim.run(&mut CarbonAgnostic, jobs),
+            PolicyKind::PlannedDeferral => sim.run(&mut PlannedDeferral, jobs),
+            PolicyKind::ThresholdSuspend => sim.run(&mut ThresholdSuspend::default(), jobs),
+            PolicyKind::GreenestRouter => sim.run(&mut GreenestRouter, jobs),
+        }
+    }
+}
+
+/// One fully specified simulation configuration.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Unique name, `{workload}-{policy}-{regions}` for built-ins.
+    pub name: String,
+    /// The workload recipe (materialized against the region set).
+    pub workload: WorkloadSpec,
+    /// The scheduling policy.
+    pub policy: PolicyKind,
+    /// The deployed region set (every region is also a job origin).
+    pub regions: RegionSet,
+    /// Transition-energy overheads.
+    pub overheads: OverheadModel,
+    /// Concurrent running-job capacity per datacenter.
+    pub capacity_per_region: usize,
+    /// First simulated hour.
+    pub start: Hour,
+    /// Simulated hours.
+    pub horizon: usize,
+}
+
+impl Scenario {
+    /// One-line human description for `scenario list`.
+    pub fn describe(&self) -> String {
+        format!(
+            "{} workload, {} policy, {} regions ({}), {} h horizon",
+            self.workload.label(),
+            self.policy.label(),
+            self.regions.codes().len(),
+            self.regions.label(),
+            self.horizon,
+        )
+    }
+
+    /// Runs the scenario against `data` and condenses the outcome.
+    pub fn run(&self, data: &TraceSet) -> ScenarioReport {
+        let regions = self.regions.resolve(data);
+        let origins: Vec<&'static str> = regions.iter().map(|r| r.code).collect();
+        let jobs = self.workload.materialize(&origins, self.start);
+        let config = SimConfig::new(self.start, self.horizon, self.capacity_per_region)
+            .with_overheads(self.overheads);
+        let mut sim = Simulator::new(data, &regions, config);
+        let started = Instant::now();
+        let report = self.policy.execute(&mut sim, &jobs);
+        ScenarioReport::condense(self, jobs.len(), &report, started.elapsed())
+    }
+}
+
+/// The condensed outcome of one scenario run.
+#[derive(Debug, Clone)]
+pub struct ScenarioReport {
+    /// The scenario's name.
+    pub name: String,
+    /// Workload class label.
+    pub workload: &'static str,
+    /// Policy label.
+    pub policy: &'static str,
+    /// Region-set label.
+    pub regions: &'static str,
+    /// Jobs submitted.
+    pub jobs: usize,
+    /// Jobs completed within the horizon.
+    pub completed: usize,
+    /// Jobs unfinished at the horizon end.
+    pub unfinished: usize,
+    /// Completed jobs that finished past their slack deadline.
+    pub missed_deadlines: usize,
+    /// Job-hours stalled on missing trace coverage (see
+    /// [`SimReport::stalled_hours`]).
+    pub stalled_hours: usize,
+    /// Cross-region migrations.
+    pub migrations: usize,
+    /// Suspend + resume transitions.
+    pub transitions: usize,
+    /// Energy delivered, kWh.
+    pub total_energy_kwh: f64,
+    /// Emissions, g·CO2eq.
+    pub total_emissions_g: f64,
+    /// Average CI of delivered energy, g/kWh.
+    pub average_ci: f64,
+    /// Mean slowdown of completed jobs.
+    pub mean_slowdown: f64,
+    /// Wall-clock runtime of the simulation.
+    pub elapsed: Duration,
+}
+
+impl ScenarioReport {
+    fn condense(
+        scenario: &Scenario,
+        jobs: usize,
+        report: &SimReport,
+        elapsed: Duration,
+    ) -> ScenarioReport {
+        ScenarioReport {
+            name: scenario.name.clone(),
+            workload: scenario.workload.label(),
+            policy: scenario.policy.label(),
+            regions: scenario.regions.label(),
+            jobs,
+            completed: report.completed_count(),
+            unfinished: report.unfinished,
+            missed_deadlines: report.missed_deadlines(),
+            stalled_hours: report.stalled_hours,
+            migrations: report.migrations,
+            transitions: report.suspends + report.resumes,
+            total_energy_kwh: report.total_energy_kwh,
+            total_emissions_g: report.total_emissions_g,
+            average_ci: report.average_ci(),
+            mean_slowdown: report.mean_slowdown(),
+            elapsed,
+        }
+    }
+
+    /// Serializes the report as a JSON object.
+    pub fn to_json(&self) -> Value {
+        Value::object([
+            ("name", Value::from(self.name.as_str())),
+            ("workload", Value::from(self.workload)),
+            ("policy", Value::from(self.policy)),
+            ("regions", Value::from(self.regions)),
+            ("jobs", Value::from(self.jobs as f64)),
+            ("completed", Value::from(self.completed as f64)),
+            ("unfinished", Value::from(self.unfinished as f64)),
+            (
+                "missed_deadlines",
+                Value::from(self.missed_deadlines as f64),
+            ),
+            ("stalled_hours", Value::from(self.stalled_hours as f64)),
+            ("migrations", Value::from(self.migrations as f64)),
+            ("transitions", Value::from(self.transitions as f64)),
+            ("energy_kwh", Value::from(self.total_energy_kwh)),
+            ("emissions_g", Value::from(self.total_emissions_g)),
+            ("avg_ci_g_per_kwh", Value::from(self.average_ci)),
+            ("mean_slowdown", Value::from(self.mean_slowdown)),
+            ("elapsed_s", Value::from(self.elapsed.as_secs_f64())),
+        ])
+    }
+}
+
+/// A cartesian grid of scenarios: every workload × policy × region set
+/// under shared overheads/capacity/horizon settings.
+#[derive(Debug, Clone)]
+pub struct ScenarioMatrix {
+    /// Workload recipes (one axis of the product).
+    pub workloads: Vec<WorkloadSpec>,
+    /// Policies (second axis).
+    pub policies: Vec<PolicyKind>,
+    /// Region sets (third axis).
+    pub region_sets: Vec<RegionSet>,
+    /// Overheads applied to every scenario.
+    pub overheads: OverheadModel,
+    /// Capacity applied to every scenario.
+    pub capacity_per_region: usize,
+    /// Start hour applied to every scenario.
+    pub start: Hour,
+    /// Horizon applied to every scenario.
+    pub horizon: usize,
+}
+
+impl ScenarioMatrix {
+    /// Expands the cartesian product into named scenarios
+    /// (`{workload}-{policy}-{regions}`), workload-major in axis order.
+    pub fn expand(&self) -> Vec<Scenario> {
+        let mut scenarios =
+            Vec::with_capacity(self.workloads.len() * self.policies.len() * self.region_sets.len());
+        for workload in &self.workloads {
+            for &policy in &self.policies {
+                for &regions in &self.region_sets {
+                    scenarios.push(Scenario {
+                        name: format!(
+                            "{}-{}-{}",
+                            workload.label(),
+                            policy.label(),
+                            regions.label()
+                        ),
+                        workload: workload.clone(),
+                        policy,
+                        regions,
+                        overheads: self.overheads,
+                        capacity_per_region: self.capacity_per_region,
+                        start: self.start,
+                        horizon: self.horizon,
+                    });
+                }
+            }
+        }
+        scenarios
+    }
+}
+
+/// The built-in matrix: 3 workload classes × 4 policies × 3 region sets
+/// = 36 scenarios over a 16-day window of the evaluation year.
+pub fn builtin_matrix() -> ScenarioMatrix {
+    ScenarioMatrix {
+        workloads: vec![
+            WorkloadSpec::Batch {
+                per_origin: 12,
+                spacing_hours: 24,
+                length_hours: 8.0,
+                slack: Slack::Day,
+                interruptible: true,
+            },
+            WorkloadSpec::Interactive {
+                per_origin: 48,
+                spacing_hours: 6,
+            },
+            WorkloadSpec::Mixed {
+                per_origin: 24,
+                spacing_hours: 12,
+                migratable_fraction: 0.5,
+                batch_length_hours: 4.0,
+                batch_slack: Slack::Day,
+                seed: 0x5EED,
+            },
+        ],
+        policies: PolicyKind::ALL.to_vec(),
+        region_sets: RegionSet::ALL.to_vec(),
+        overheads: OverheadModel::ZERO,
+        capacity_per_region: 8,
+        start: year_start(2022),
+        horizon: 16 * 24,
+    }
+}
+
+/// The built-in scenario suite, expanded and named.
+pub fn builtin_scenarios() -> Vec<Scenario> {
+    builtin_matrix().expand()
+}
+
+/// Looks a built-in scenario up by name.
+pub fn find_scenario(name: &str) -> Option<Scenario> {
+    builtin_scenarios().into_iter().find(|s| s.name == name)
+}
+
+/// Runs `scenarios` against `data`, fanning out across threads; reports
+/// come back in input order.
+pub fn run_scenarios(data: &TraceSet, scenarios: &[Scenario]) -> Vec<ScenarioReport> {
+    par_map(scenarios, |scenario| scenario.run(data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decarb_traces::builtin_dataset;
+
+    #[test]
+    fn builtin_suite_names_are_unique_and_cover_the_product() {
+        let scenarios = builtin_scenarios();
+        assert_eq!(scenarios.len(), 36);
+        assert!(scenarios.len() >= 24, "acceptance floor");
+        let mut names: Vec<&str> = scenarios.iter().map(|s| s.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), scenarios.len(), "duplicate scenario name");
+        for workload in ["batch", "interactive", "mixed"] {
+            for policy in ["agnostic", "deferral", "threshold", "greenest"] {
+                for regions in ["europe", "us", "global"] {
+                    let name = format!("{workload}-{policy}-{regions}");
+                    assert!(scenarios.iter().any(|s| s.name == name), "missing {name}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn builtin_horizons_cover_every_job_window() {
+        // Every scenario's workload must fit inside its horizon so no
+        // built-in run leaks unfinished jobs by construction.
+        for s in builtin_scenarios() {
+            let origins = s.regions.codes().len();
+            let last = s.workload.last_arrival_offset(origins);
+            // Worst case: arrive last, defer by full slack, run to length.
+            assert!(
+                last + 24 + 9 <= s.horizon,
+                "{}: last arrival {last} too close to horizon {}",
+                s.name,
+                s.horizon
+            );
+        }
+    }
+
+    #[test]
+    fn region_sets_resolve_against_builtin_dataset() {
+        let data = builtin_dataset();
+        for set in RegionSet::ALL {
+            let regions = set.resolve(&data);
+            assert_eq!(regions.len(), set.codes().len());
+            assert!(!regions.is_empty());
+        }
+    }
+
+    #[test]
+    fn find_scenario_roundtrips() {
+        let s = find_scenario("batch-deferral-europe").expect("built-in name resolves");
+        assert_eq!(s.policy, PolicyKind::PlannedDeferral);
+        assert_eq!(s.regions, RegionSet::Europe);
+        assert_eq!(s.workload.label(), "batch");
+        assert!(find_scenario("batch-deferral-atlantis").is_none());
+    }
+
+    #[test]
+    fn scenario_run_completes_all_jobs_and_serializes() {
+        let data = builtin_dataset();
+        let s = find_scenario("batch-agnostic-europe").unwrap();
+        let report = s.run(&data);
+        assert_eq!(report.jobs, 12 * 8);
+        assert_eq!(report.completed, report.jobs);
+        assert_eq!(report.unfinished, 0);
+        assert_eq!(report.stalled_hours, 0);
+        assert!(report.total_energy_kwh > 0.0);
+        assert!(report.average_ci > 0.0);
+        let json = report.to_json();
+        assert_eq!(
+            json.get("name"),
+            Some(&Value::from("batch-agnostic-europe"))
+        );
+        assert_eq!(
+            json.get("completed"),
+            Some(&Value::from(report.jobs as f64))
+        );
+    }
+
+    #[test]
+    fn carbon_aware_policies_do_not_exceed_the_baseline() {
+        let data = builtin_dataset();
+        let reports = run_scenarios(
+            &data,
+            &builtin_scenarios()
+                .into_iter()
+                .filter(|s| s.workload.label() == "batch" && s.regions == RegionSet::Europe)
+                .collect::<Vec<_>>(),
+        );
+        let ci_of = |policy: &str| {
+            reports
+                .iter()
+                .find(|r| r.policy == policy)
+                .expect("policy present")
+                .average_ci
+        };
+        let base = ci_of("agnostic");
+        assert!(ci_of("deferral") <= base + 1e-9);
+        assert!(
+            ci_of("threshold") <= base * 1.02,
+            "online policy near baseline"
+        );
+        assert!(
+            ci_of("greenest") < base,
+            "routing to SE must help in Europe"
+        );
+    }
+
+    #[test]
+    fn run_scenarios_preserves_input_order() {
+        let data = builtin_dataset();
+        let scenarios: Vec<Scenario> = builtin_scenarios().into_iter().take(5).collect();
+        let reports = run_scenarios(&data, &scenarios);
+        assert_eq!(reports.len(), 5);
+        for (s, r) in scenarios.iter().zip(&reports) {
+            assert_eq!(s.name, r.name);
+        }
+    }
+
+    #[test]
+    fn interactive_scenarios_pin_jobs_to_origin() {
+        let data = builtin_dataset();
+        let report = find_scenario("interactive-greenest-us").unwrap().run(&data);
+        assert_eq!(report.migrations, 0, "interactive jobs never migrate");
+        assert_eq!(report.completed, report.jobs);
+    }
+}

@@ -244,6 +244,43 @@ mod tests {
     }
 
     #[test]
+    fn repair_extrapolates_trailing_runs_flat() {
+        // A trailing defective run has no right anchor: the `(Some,
+        // None)` arm extends the last valid sample flat.
+        let s = series(&[120.0, 150.0, f64::NAN, 0.0, -8.0]);
+        let fixed = repair(&s).unwrap();
+        assert_eq!(fixed.values(), &[120.0, 150.0, 150.0, 150.0, 150.0]);
+        assert_eq!(fixed.start(), s.start());
+        assert!(validate(&fixed, &ValidationConfig::default()).is_clean());
+    }
+
+    #[test]
+    fn repair_extrapolates_leading_runs_flat() {
+        // A leading defective run has no left anchor: the `(None,
+        // Some)` arm extends the first valid sample backwards.
+        let s = series(&[f64::NAN, -1.0, 0.0, 240.0, 250.0]);
+        let fixed = repair(&s).unwrap();
+        assert_eq!(fixed.values(), &[240.0, 240.0, 240.0, 240.0, 250.0]);
+    }
+
+    #[test]
+    fn repair_handles_leading_and_trailing_runs_around_one_anchor() {
+        // A single valid sample anchors both edge extrapolations.
+        let s = series(&[f64::NAN, f64::NAN, 77.0, 0.0, f64::NAN]);
+        let fixed = repair(&s).unwrap();
+        assert_eq!(fixed.values(), &[77.0, 77.0, 77.0, 77.0, 77.0]);
+    }
+
+    #[test]
+    fn repair_of_all_defective_variants_is_none() {
+        // Every sample invalid, whatever the defect class.
+        assert!(repair(&series(&[f64::NAN, f64::NAN])).is_none());
+        assert!(repair(&series(&[0.0, 0.0, 0.0])).is_none());
+        assert!(repair(&series(&[f64::NEG_INFINITY, f64::INFINITY])).is_none());
+        assert!(repair(&series(&[])).is_none());
+    }
+
+    #[test]
     fn repair_preserves_clean_traces() {
         let s = series(&[10.0, 20.0, 30.0]);
         let fixed = repair(&s).unwrap();

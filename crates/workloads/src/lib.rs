@@ -15,8 +15,10 @@ pub mod cluster_trace;
 pub mod distribution;
 pub mod generator;
 pub mod job;
+pub mod spec;
 
 pub use cluster_trace::{ClusterTrace, ClusterTraceConfig};
 pub use distribution::JobLengthDistribution;
 pub use generator::{arrival_sweep, MixedWorkload};
 pub use job::{Job, JobClass, Slack, JOB_LENGTHS_HOURS};
+pub use spec::WorkloadSpec;

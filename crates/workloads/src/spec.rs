@@ -1,0 +1,258 @@
+//! Declarative workload specifications for scenario sweeps.
+//!
+//! A [`WorkloadSpec`] is a recipe, not a job list: it describes a
+//! population shape (class mix, length, slack, cadence) and is
+//! materialized against a concrete set of origin regions when a
+//! scenario runs. The same spec therefore reuses cleanly across region
+//! sets of different sizes, which is what the scenario matrix needs.
+
+use decarb_traces::rng::Xoshiro256;
+use decarb_traces::Hour;
+
+use crate::job::{Job, Slack};
+
+/// A declarative recipe for a population of jobs.
+///
+/// Every variant submits `per_origin` jobs from each origin region on a
+/// fixed `spacing_hours` cadence; origins are staggered by one hour each
+/// so arrivals do not all land on the same instant.
+#[derive(Debug, Clone)]
+pub enum WorkloadSpec {
+    /// Identical delay-tolerant batch jobs.
+    Batch {
+        /// Jobs submitted per origin region.
+        per_origin: usize,
+        /// Hours between consecutive submissions from one origin.
+        spacing_hours: usize,
+        /// Job length in hours.
+        length_hours: f64,
+        /// Temporal slack class.
+        slack: Slack,
+        /// Whether jobs may be suspended and resumed.
+        interruptible: bool,
+    },
+    /// Latency-sensitive interactive requests (no flexibility at all).
+    Interactive {
+        /// Jobs submitted per origin region.
+        per_origin: usize,
+        /// Hours between consecutive submissions from one origin.
+        spacing_hours: usize,
+    },
+    /// A seeded random mix of migratable batch work and pinned
+    /// interactive requests (§6.1's what-if, as a population).
+    Mixed {
+        /// Jobs submitted per origin region.
+        per_origin: usize,
+        /// Hours between consecutive submissions from one origin.
+        spacing_hours: usize,
+        /// Probability that a submission is batch work, in `[0, 1]`.
+        migratable_fraction: f64,
+        /// Job length of the batch portion, hours.
+        batch_length_hours: f64,
+        /// Slack of the batch portion.
+        batch_slack: Slack,
+        /// RNG seed, so materialization is deterministic.
+        seed: u64,
+    },
+}
+
+impl WorkloadSpec {
+    /// Returns the spec's class label (`batch` / `interactive` / `mixed`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            WorkloadSpec::Batch { .. } => "batch",
+            WorkloadSpec::Interactive { .. } => "interactive",
+            WorkloadSpec::Mixed { .. } => "mixed",
+        }
+    }
+
+    /// Returns the number of jobs materialized for `origins` origin
+    /// regions.
+    pub fn job_count(&self, origins: usize) -> usize {
+        let per_origin = match self {
+            WorkloadSpec::Batch { per_origin, .. }
+            | WorkloadSpec::Interactive { per_origin, .. }
+            | WorkloadSpec::Mixed { per_origin, .. } => *per_origin,
+        };
+        per_origin * origins
+    }
+
+    /// Returns the largest arrival offset (hours past `start`) any
+    /// materialized job can have, for sizing scenario horizons.
+    pub fn last_arrival_offset(&self, origins: usize) -> usize {
+        let (per_origin, spacing) = match self {
+            WorkloadSpec::Batch {
+                per_origin,
+                spacing_hours,
+                ..
+            }
+            | WorkloadSpec::Interactive {
+                per_origin,
+                spacing_hours,
+            }
+            | WorkloadSpec::Mixed {
+                per_origin,
+                spacing_hours,
+                ..
+            } => (*per_origin, *spacing_hours),
+        };
+        per_origin.saturating_sub(1) * spacing + origins.saturating_sub(1)
+    }
+
+    /// Materializes the spec into concrete jobs submitted from every
+    /// origin, starting at `start`. Job ids are unique across the whole
+    /// population and the result is deterministic.
+    pub fn materialize(&self, origins: &[&'static str], start: Hour) -> Vec<Job> {
+        let mut jobs = Vec::with_capacity(self.job_count(origins.len()));
+        let mut id = 0u64;
+        let mut rng = match self {
+            WorkloadSpec::Mixed { seed, .. } => Xoshiro256::seeded(*seed),
+            _ => Xoshiro256::seeded(0),
+        };
+        for (o, origin) in origins.iter().enumerate() {
+            let (per_origin, spacing) = match self {
+                WorkloadSpec::Batch {
+                    per_origin,
+                    spacing_hours,
+                    ..
+                }
+                | WorkloadSpec::Interactive {
+                    per_origin,
+                    spacing_hours,
+                }
+                | WorkloadSpec::Mixed {
+                    per_origin,
+                    spacing_hours,
+                    ..
+                } => (*per_origin, *spacing_hours),
+            };
+            for k in 0..per_origin {
+                id += 1;
+                let arrival = start.plus(o + k * spacing);
+                jobs.push(match self {
+                    WorkloadSpec::Batch {
+                        length_hours,
+                        slack,
+                        interruptible,
+                        ..
+                    } => {
+                        let job = Job::batch(id, origin, arrival, *length_hours, *slack);
+                        if *interruptible {
+                            job.with_interruptible()
+                        } else {
+                            job
+                        }
+                    }
+                    WorkloadSpec::Interactive { .. } => Job::interactive(id, origin, arrival),
+                    WorkloadSpec::Mixed {
+                        migratable_fraction,
+                        batch_length_hours,
+                        batch_slack,
+                        ..
+                    } => {
+                        if rng.uniform() < *migratable_fraction {
+                            Job::batch(id, origin, arrival, *batch_length_hours, *batch_slack)
+                        } else {
+                            Job::interactive(id, origin, arrival)
+                        }
+                    }
+                });
+            }
+        }
+        jobs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobClass;
+
+    const ORIGINS: [&str; 3] = ["SE", "DE", "US-CA"];
+
+    fn batch_spec() -> WorkloadSpec {
+        WorkloadSpec::Batch {
+            per_origin: 4,
+            spacing_hours: 24,
+            length_hours: 8.0,
+            slack: Slack::Day,
+            interruptible: true,
+        }
+    }
+
+    #[test]
+    fn batch_spec_materializes_per_origin_cadence() {
+        let spec = batch_spec();
+        assert_eq!(spec.label(), "batch");
+        assert_eq!(spec.job_count(3), 12);
+        assert_eq!(spec.last_arrival_offset(3), 3 * 24 + 2);
+        let jobs = spec.materialize(&ORIGINS, Hour(100));
+        assert_eq!(jobs.len(), 12);
+        assert!(jobs.iter().all(|j| j.interruptible && j.migratable));
+        assert!(jobs.iter().all(|j| j.length_hours == 8.0));
+        // Ids are unique across origins.
+        let mut ids: Vec<u64> = jobs.iter().map(|j| j.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 12);
+        // Origins are staggered by one hour; cadence is 24 h.
+        let se: Vec<u32> = jobs
+            .iter()
+            .filter(|j| j.origin == "SE")
+            .map(|j| j.arrival.0)
+            .collect();
+        assert_eq!(se, vec![100, 124, 148, 172]);
+        let de: Vec<u32> = jobs
+            .iter()
+            .filter(|j| j.origin == "DE")
+            .map(|j| j.arrival.0)
+            .collect();
+        assert_eq!(de, vec![101, 125, 149, 173]);
+    }
+
+    #[test]
+    fn interactive_spec_is_inflexible() {
+        let spec = WorkloadSpec::Interactive {
+            per_origin: 5,
+            spacing_hours: 6,
+        };
+        assert_eq!(spec.label(), "interactive");
+        let jobs = spec.materialize(&ORIGINS, Hour(0));
+        assert_eq!(jobs.len(), 15);
+        assert!(jobs
+            .iter()
+            .all(|j| j.class == JobClass::Interactive && !j.migratable));
+        assert!(jobs.iter().all(|j| j.slack_hours() == 0));
+    }
+
+    #[test]
+    fn mixed_spec_is_deterministic_and_mixes_classes() {
+        let spec = WorkloadSpec::Mixed {
+            per_origin: 40,
+            spacing_hours: 2,
+            migratable_fraction: 0.5,
+            batch_length_hours: 4.0,
+            batch_slack: Slack::Day,
+            seed: 7,
+        };
+        assert_eq!(spec.label(), "mixed");
+        let a = spec.materialize(&ORIGINS, Hour(0));
+        let b = spec.materialize(&ORIGINS, Hour(0));
+        assert_eq!(a, b, "same seed must give the same population");
+        let batch = a.iter().filter(|j| j.class == JobClass::Batch).count();
+        assert!(batch > 0 && batch < a.len(), "both classes present");
+        for job in &a {
+            match job.class {
+                JobClass::Batch => assert!(job.migratable),
+                JobClass::Interactive => assert!(!job.migratable),
+            }
+        }
+    }
+
+    #[test]
+    fn empty_origins_yield_no_jobs() {
+        assert!(batch_spec().materialize(&[], Hour(0)).is_empty());
+        assert_eq!(batch_spec().job_count(0), 0);
+        assert_eq!(batch_spec().last_arrival_offset(0), 3 * 24);
+    }
+}
