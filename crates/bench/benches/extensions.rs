@@ -199,4 +199,5 @@ fn main() {
     bench_ext_grid(&h);
     bench_ext_sim(&h);
     bench_ext_registry(&h);
+    std::process::exit(h.finish());
 }

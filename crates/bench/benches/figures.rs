@@ -149,4 +149,5 @@ fn main() {
     bench_fig7to10_kernels(&h);
     bench_fig11_kernels(&h);
     bench_fig12_kernel(&h);
+    std::process::exit(h.finish());
 }

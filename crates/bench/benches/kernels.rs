@@ -170,6 +170,65 @@ fn bench_kernel_sim(h: &Harness) {
     });
 }
 
+/// The shared planner cache against the per-placement rebuild it
+/// replaced: one scenario-sized deferral run under each policy, plus a
+/// ≥500-scenario matrix sweep through the scenario engine (which shares
+/// one cache across every scenario and worker thread).
+fn bench_planner_cache(h: &Harness) {
+    use decarb_sim::scenario::{OverheadKind, PolicyKind, RegionSet, ScenarioMatrix};
+    use decarb_sim::{CachedDeferral, PlannedDeferral, PlannerCache};
+    use decarb_workloads::WorkloadSpec;
+
+    let data = builtin_dataset();
+    let regions: Vec<&'static Region> = RegionSet::Europe.resolve(&data);
+    let start = year_start(2022);
+    let spec = WorkloadSpec::Batch {
+        per_origin: 12,
+        spacing_hours: 24,
+        length_hours: 8.0,
+        slack: Slack::Day,
+        interruptible: true,
+    };
+    let origins: Vec<&'static str> = regions.iter().map(|r| r.code).collect();
+    let jobs = spec.materialize(&origins, start);
+    h.bench("kernels/sim/deferral_96jobs_rebuild_per_placement", || {
+        let mut sim = Simulator::new(&data, &regions, SimConfig::new(start, 16 * 24, 8));
+        black_box(sim.run(&mut PlannedDeferral, &jobs))
+    });
+    h.bench("kernels/sim/deferral_96jobs_shared_cache", || {
+        let cache = PlannerCache::new();
+        let mut sim = Simulator::new(&data, &regions, SimConfig::new(start, 16 * 24, 8));
+        black_box(sim.run(&mut CachedDeferral::new(&cache), &jobs))
+    });
+    // A 540-entry matrix (capacity × overhead axes on deferral-heavy
+    // policies) through the scenario engine's shared-cache fan-out.
+    let matrix = ScenarioMatrix {
+        workloads: vec![("batch".to_string(), spec)],
+        policies: vec![
+            PolicyKind::CarbonAgnostic,
+            PolicyKind::PlannedDeferral,
+            PolicyKind::ThresholdSuspend,
+        ],
+        region_sets: RegionSet::ALL.iter().map(|&s| s.into()).collect(),
+        overheads: OverheadKind::ALL.to_vec(),
+        capacities: vec![
+            2, 3, 4, 5, 6, 7, 8, 10, 12, 14, 16, 20, 24, 28, 32, 40, 48, 56, 64, 96, 128, 192, 256,
+            384, 512, 768, 1024, 2048, 4096, 8192,
+        ],
+        start,
+        horizon: 16 * 24,
+    };
+    let scenarios = matrix.expand();
+    assert!(
+        scenarios.len() >= 500,
+        "sweep is {} scenarios",
+        scenarios.len()
+    );
+    h.bench("kernels/sim/matrix_540_shared_cache", || {
+        black_box(decarb_sim::run_scenarios(&data, &scenarios))
+    });
+}
+
 fn main() {
     let h = Harness::from_args("kernels");
     bench_kernel_deferral(&h);
@@ -178,4 +237,6 @@ fn main() {
     bench_kernel_period(&h);
     bench_sliding_structure_scaling(&h);
     bench_kernel_sim(&h);
+    bench_planner_cache(&h);
+    std::process::exit(h.finish());
 }

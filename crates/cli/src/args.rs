@@ -65,15 +65,35 @@ pub enum Command {
     },
     /// `scenario list` — enumerate the built-in scenario matrix.
     ScenarioList,
-    /// `scenario run <NAME|all> [--json]` — run built-in scenarios.
+    /// `scenario run <NAME|all> [--json]` / `scenario run --file PATH
+    /// [--json]` — run built-in or user-defined scenarios.
     ScenarioRun {
-        /// Scenario name, or `all` for the whole matrix.
-        name: String,
+        /// What to run: a built-in name (or `all`) or a scenario file.
+        target: ScenarioTarget,
         /// Emit JSON instead of a text table.
         json: bool,
     },
+    /// `scenario diff --report R --golden G [--tolerance-pct P]` — gate
+    /// per-scenario emissions drift against a golden JSON report.
+    ScenarioDiff {
+        /// Path of the freshly produced `scenario run ... --json` report.
+        report: String,
+        /// Path of the committed golden report.
+        golden: String,
+        /// Allowed absolute drift per scenario, percent.
+        tolerance_pct: f64,
+    },
     /// `--help` / no arguments.
     Help,
+}
+
+/// What `scenario run` executes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioTarget {
+    /// A built-in scenario name, or `all` for the whole matrix.
+    Name(String),
+    /// A user-defined scenario file (`--file PATH`).
+    File(String),
 }
 
 /// A parse failure with a user-facing message.
@@ -104,11 +124,16 @@ commands:
   run      <ID|all> [--json]           run experiments from the registry
   scenario list                        list the built-in scenario matrix
   scenario run <NAME|all> [--json]     run scenario-matrix entries in parallel
+  scenario run --file FILE [--json]    run a user-defined scenario file
+  scenario diff --report R --golden G [--tolerance-pct P]
+                                       fail when per-scenario emissions drift
 
-defaults: --year 2022, --slack 24, --arrive 0, --days 60
+defaults: --year 2022, --slack 24, --arrive 0, --days 60, --tolerance-pct 0.1
 
 global: --data FILE (first option) replaces the built-in dataset with a
-`zone,hour,value` CSV; imported traces are validated and repaired";
+`zone,hour,value` CSV; imported traces are validated and repaired.
+`scenario run` accepts --data (scenario region sets must exist in the
+imported dataset); `list`, `run`, and `scenario list` do not";
 
 /// Simple key-value option scanner: `--key value` pairs after the
 /// positional arguments.
@@ -261,16 +286,31 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
                 }
                 Ok(Command::ScenarioList)
             }
-            Some("run") => {
-                let (name, json) = parse_run_like(
-                    &argv[2..],
-                    "scenario run",
-                    "`scenario run` needs a scenario name or `all` (see `scenario list`)",
-                )?;
-                Ok(Command::ScenarioRun { name, json })
+            Some("run") => parse_scenario_run(&argv[2..]),
+            Some("diff") => {
+                let opts = Options::scan(&argv[2..])?;
+                opts.reject_unknown(&["report", "golden", "tolerance-pct"])?;
+                let report = opts
+                    .get("report")
+                    .ok_or_else(|| ParseError("`scenario diff` needs --report FILE".into()))?
+                    .to_string();
+                let golden = opts
+                    .get("golden")
+                    .ok_or_else(|| ParseError("`scenario diff` needs --golden FILE".into()))?
+                    .to_string();
+                let tolerance_pct: f64 = opts.parsed("tolerance-pct", 0.1)?;
+                if !tolerance_pct.is_finite() || tolerance_pct < 0.0 {
+                    return Err(ParseError("--tolerance-pct must be non-negative".into()));
+                }
+                Ok(Command::ScenarioDiff {
+                    report,
+                    golden,
+                    tolerance_pct,
+                })
             }
             _ => Err(ParseError(
-                "`scenario` needs a subcommand: `list` or `run <NAME|all>`".into(),
+                "`scenario` needs a subcommand: `list`, `run <NAME|all|--file FILE>`, or `diff`"
+                    .into(),
             )),
         },
         other => Err(ParseError(format!(
@@ -279,7 +319,63 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
     }
 }
 
-/// Shared `<NAME|all> [--json]` parsing for `run` and `scenario run`;
+/// Parses `scenario run` arguments: a positional `<NAME|all>` or
+/// `--file PATH` (exactly one of the two), plus `--json`, in any order.
+fn parse_scenario_run(rest: &[String]) -> Result<Command, ParseError> {
+    let mut json = false;
+    let mut name: Option<String> = None;
+    let mut file: Option<String> = None;
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--json" => {
+                json = true;
+                i += 1;
+            }
+            "--file" => {
+                let Some(path) = rest.get(i + 1) else {
+                    return Err(ParseError("`--file` needs a path".into()));
+                };
+                if file.replace(path.clone()).is_some() {
+                    return Err(ParseError("`--file` given twice".into()));
+                }
+                i += 2;
+            }
+            other if other.starts_with("--") => {
+                return Err(ParseError(format!(
+                    "unknown option `{other}` for `scenario run`"
+                )));
+            }
+            other => {
+                if name.replace(other.to_string()).is_some() {
+                    return Err(ParseError(format!(
+                        "unexpected argument `{other}` (`scenario run` takes one name)"
+                    )));
+                }
+                i += 1;
+            }
+        }
+    }
+    let target = match (name, file) {
+        (Some(_), Some(_)) => {
+            return Err(ParseError(
+                "pass a scenario name or `--file`, not both".into(),
+            ))
+        }
+        (Some(name), None) => ScenarioTarget::Name(name),
+        (None, Some(path)) => ScenarioTarget::File(path),
+        (None, None) => {
+            return Err(ParseError(
+                "`scenario run` needs a scenario name, `all`, or `--file FILE` \
+                 (see `scenario list`)"
+                    .into(),
+            ))
+        }
+    };
+    Ok(Command::ScenarioRun { target, json })
+}
+
+/// Shared `<NAME|all> [--json]` parsing for `run`;
 /// flags and the positional may come in either order.
 fn parse_run_like(
     rest: &[String],
@@ -425,7 +521,7 @@ mod tests {
             Command::ScenarioList
         );
         let expected = Command::ScenarioRun {
-            name: "batch-agnostic-europe".into(),
+            target: ScenarioTarget::Name("batch-agnostic-europe".into()),
             json: true,
         };
         assert_eq!(
@@ -451,10 +547,85 @@ mod tests {
         assert_eq!(
             parse(&argv(&["scenario", "run", "all"])).unwrap(),
             Command::ScenarioRun {
-                name: "all".into(),
+                target: ScenarioTarget::Name("all".into()),
                 json: false
             }
         );
+    }
+
+    #[test]
+    fn scenario_run_file_target_parses() {
+        assert_eq!(
+            parse(&argv(&[
+                "scenario",
+                "run",
+                "--file",
+                "my.scenario",
+                "--json"
+            ]))
+            .unwrap(),
+            Command::ScenarioRun {
+                target: ScenarioTarget::File("my.scenario".into()),
+                json: true
+            }
+        );
+        assert_eq!(
+            parse(&argv(&["scenario", "run", "--file", "my.scenario"])).unwrap(),
+            Command::ScenarioRun {
+                target: ScenarioTarget::File("my.scenario".into()),
+                json: false
+            }
+        );
+        // A name and a file together are ambiguous.
+        assert!(parse(&argv(&["scenario", "run", "all", "--file", "x"])).is_err());
+        assert!(parse(&argv(&["scenario", "run", "--file"])).is_err());
+        assert!(parse(&argv(&["scenario", "run", "--file", "a", "--file", "b"])).is_err());
+    }
+
+    #[test]
+    fn scenario_diff_parses_and_validates() {
+        assert_eq!(
+            parse(&argv(&[
+                "scenario", "diff", "--report", "r.json", "--golden", "g.json"
+            ]))
+            .unwrap(),
+            Command::ScenarioDiff {
+                report: "r.json".into(),
+                golden: "g.json".into(),
+                tolerance_pct: 0.1
+            }
+        );
+        assert_eq!(
+            parse(&argv(&[
+                "scenario",
+                "diff",
+                "--report",
+                "r.json",
+                "--golden",
+                "g.json",
+                "--tolerance-pct",
+                "2.5"
+            ]))
+            .unwrap(),
+            Command::ScenarioDiff {
+                report: "r.json".into(),
+                golden: "g.json".into(),
+                tolerance_pct: 2.5
+            }
+        );
+        assert!(parse(&argv(&["scenario", "diff", "--report", "r.json"])).is_err());
+        assert!(parse(&argv(&["scenario", "diff", "--golden", "g.json"])).is_err());
+        assert!(parse(&argv(&[
+            "scenario",
+            "diff",
+            "--report",
+            "r",
+            "--golden",
+            "g",
+            "--tolerance-pct",
+            "-1"
+        ]))
+        .is_err());
     }
 
     #[test]

@@ -1,7 +1,10 @@
 //! Subcommand implementations: each renders a `String` for `main` to
-//! print, so tests can assert on the exact output.
+//! print, so tests can assert on the exact output. The scenario runner
+//! additionally has a streaming variant writing to any `io::Write`
+//! sink, so thousand-scenario sweeps emit reports incrementally.
 
 use std::fmt::Write as _;
+use std::io;
 
 use decarb_core::rankings::rank_stability;
 use decarb_core::spatial::{inf_migration, one_migration};
@@ -16,15 +19,20 @@ use decarb_stats::periodicity::periodicity_score;
 use decarb_traces::time::{hours_in_year, year_start};
 use decarb_traces::{csv, TraceError, TraceSet};
 
-use crate::args::{Command, ParseError, USAGE};
+use crate::args::{Command, ParseError, ScenarioTarget, USAGE};
 
-/// A CLI failure: bad arguments or a data-layer error.
+/// A CLI failure: bad arguments, a data-layer error, an output error,
+/// or a failed check (e.g. `scenario diff` drift).
 #[derive(Debug)]
 pub enum CliError {
     /// Argument parsing failed.
     Parse(ParseError),
     /// The trace layer rejected a request (unknown zone, out of range).
     Trace(TraceError),
+    /// Writing the output failed (e.g. a closed pipe mid-stream).
+    Io(io::Error),
+    /// A gate ran and failed: the message explains the violations.
+    Check(String),
 }
 
 impl std::fmt::Display for CliError {
@@ -32,6 +40,8 @@ impl std::fmt::Display for CliError {
         match self {
             CliError::Parse(e) => write!(f, "{e}\n\n{USAGE}"),
             CliError::Trace(e) => write!(f, "{e}"),
+            CliError::Io(e) => write!(f, "{e}"),
+            CliError::Check(message) => write!(f, "{message}"),
         }
     }
 }
@@ -44,12 +54,21 @@ impl From<TraceError> for CliError {
     }
 }
 
+impl From<io::Error> for CliError {
+    fn from(e: io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
 /// Runs a parsed command against an explicit dataset (the built-in one in
 /// [`crate::run`], an imported one under `--data`).
 ///
-/// `list`, `run`, and the `scenario` subcommands are registry commands
-/// with no dataset parameter; they are routed directly by [`crate::run`]
-/// and error here rather than silently ignoring `data`.
+/// `list`, `run`, `scenario list`, and `scenario diff` are registry or
+/// file commands with no dataset parameter; they are routed directly by
+/// [`crate::run`] and error here rather than silently ignoring `data`.
+/// `scenario run` *does* take the dataset: user scenario files (and the
+/// built-in matrix) run against `--data` imports as long as every
+/// deployed zone is covered.
 pub fn run_on(command: &Command, data: &TraceSet) -> Result<String, CliError> {
     match command {
         Command::Help => Ok(USAGE.to_string()),
@@ -65,11 +84,14 @@ pub fn run_on(command: &Command, data: &TraceSet) -> Result<String, CliError> {
         Command::Forecast { zone, days, year } => forecast(data, zone, *days, *year),
         Command::Rank { year } => rank(data, *year),
         Command::Export { zone, year } => export(data, zone, *year),
+        Command::ScenarioRun { target, json } => run_scenarios_cmd(target, *json, data),
         Command::List
         | Command::Run { .. }
         | Command::ScenarioList
-        | Command::ScenarioRun { .. } => Err(CliError::Parse(ParseError(
-            "`list`, `run`, and `scenario` always use the built-in dataset; drop --data".into(),
+        | Command::ScenarioDiff { .. } => Err(CliError::Parse(ParseError(
+            "`list`, `run`, `scenario list`, and `scenario diff` always use the built-in \
+             dataset; drop --data"
+                .into(),
         ))),
     }
 }
@@ -128,59 +150,246 @@ pub(crate) fn scenario_list() -> String {
     let scenarios = decarb_sim::builtin_scenarios();
     let mut out = String::new();
     for scenario in &scenarios {
-        let _ = writeln!(out, "{:<28} {}", scenario.name, scenario.describe());
+        let _ = writeln!(out, "{:<34} {}", scenario.name, scenario.describe());
     }
     let _ = writeln!(
         out,
-        "{} scenarios; `scenario run <name>` or `scenario run all`",
+        "{} scenarios; `scenario run <name>`, `scenario run all`, or \
+         `scenario run --file FILE`",
         scenarios.len()
     );
     out
 }
 
-/// Runs one built-in scenario (or the whole matrix, in parallel) and
-/// renders a text table or JSON.
-pub(crate) fn run_scenarios_cmd(name: &str, json: bool) -> Result<String, CliError> {
-    let data = decarb_traces::builtin_dataset();
-    let selected: Vec<decarb_sim::Scenario> = if name == "all" {
-        decarb_sim::builtin_scenarios()
-    } else {
-        vec![decarb_sim::find_scenario(name).ok_or_else(|| {
-            CliError::Parse(ParseError(format!(
-                "unknown scenario `{name}` (see `scenario list`)"
-            )))
-        })?]
+/// Resolves a `scenario run` target into concrete scenarios, validated
+/// against the active dataset. Unknown built-in names list the valid
+/// ones; scenario files are parsed with line-numbered errors.
+fn select_scenarios(
+    target: &ScenarioTarget,
+    data: &TraceSet,
+) -> Result<Vec<decarb_sim::Scenario>, CliError> {
+    let selected = match target {
+        ScenarioTarget::Name(name) if name == "all" => decarb_sim::builtin_scenarios(),
+        ScenarioTarget::Name(name) => {
+            vec![decarb_sim::find_scenario(name).ok_or_else(|| {
+                let names: Vec<String> = decarb_sim::builtin_scenarios()
+                    .iter()
+                    .map(|s| s.name.clone())
+                    .collect();
+                CliError::Parse(ParseError(format!(
+                    "unknown scenario `{name}`; valid names: {}",
+                    names.join(", ")
+                )))
+            })?]
+        }
+        ScenarioTarget::File(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| CliError::Parse(ParseError(format!("--file {path}: {e}"))))?;
+            decarb_sim::parse_scenario_file(&text)
+                .map_err(|e| CliError::Parse(ParseError(format!("{path}: {e}"))))?
+        }
     };
-    let reports = decarb_sim::run_scenarios(&data, &selected);
-    if json {
-        // One scenario renders as an object, a matrix as an array — in
-        // both cases one valid JSON document.
-        let value = match &reports[..] {
-            [only] => only.to_json(),
-            many => Value::Array(many.iter().map(|r| r.to_json()).collect()),
+    for scenario in &selected {
+        scenario.validate_against(data).map_err(|e| {
+            CliError::Parse(ParseError(format!("scenario `{}`: {e}", scenario.name)))
+        })?;
+    }
+    Ok(selected)
+}
+
+/// Runs scenarios (built-in by name, the whole matrix, or a scenario
+/// file) in parallel against `data`, streaming each report to `out` as
+/// its chunk completes — a thousand-scenario sweep never buffers the
+/// full result set.
+pub(crate) fn run_scenarios_to(
+    out: &mut dyn io::Write,
+    target: &ScenarioTarget,
+    json: bool,
+    data: &TraceSet,
+) -> Result<(), CliError> {
+    let selected = select_scenarios(target, data)?;
+    let mut sink_error: Option<io::Error> = None;
+    {
+        // Returns `false` once the sink has failed, so the scenario
+        // engine aborts the sweep instead of simulating into a closed
+        // pipe.
+        let mut emit = |text: String| -> bool {
+            if sink_error.is_none() {
+                if let Err(e) = out.write_all(text.as_bytes()) {
+                    sink_error = Some(e);
+                }
+            }
+            sink_error.is_none()
         };
-        return Ok(value.pretty());
+        if json {
+            // One scenario renders as an object, many as an array — in
+            // both cases one valid JSON document, emitted incrementally.
+            let single = selected.len() == 1;
+            if !single {
+                emit("[\n".to_string());
+            }
+            let mut index = 0usize;
+            decarb_sim::run_scenarios_with(data, &selected, |report| {
+                let pretty = report.to_json().pretty();
+                let keep_going = if single {
+                    emit(pretty)
+                } else {
+                    let mut chunk = if index > 0 {
+                        ",\n".to_string()
+                    } else {
+                        String::new()
+                    };
+                    for (i, line) in pretty.lines().enumerate() {
+                        if i > 0 {
+                            chunk.push('\n');
+                        }
+                        chunk.push_str("  ");
+                        chunk.push_str(line);
+                    }
+                    emit(chunk)
+                };
+                index += 1;
+                keep_going
+            });
+            if !single {
+                emit("\n]".to_string());
+            }
+        } else {
+            emit(format!(
+                "{:<34} {:>5} {:>5} {:>6} {:>6} {:>8} {:>12} {:>11} {:>9}\n",
+                "scenario",
+                "jobs",
+                "done",
+                "unfin",
+                "missed",
+                "migrate",
+                "kWh",
+                "avg g/kWh",
+                "slowdown"
+            ));
+            decarb_sim::run_scenarios_with(data, &selected, |r| {
+                emit(format!(
+                    "{:<34} {:>5} {:>5} {:>6} {:>6} {:>8} {:>12.1} {:>11.1} {:>9.2}\n",
+                    r.name,
+                    r.jobs,
+                    r.completed,
+                    r.unfinished,
+                    r.missed_deadlines,
+                    r.migrations,
+                    r.total_energy_kwh,
+                    r.average_ci,
+                    r.mean_slowdown,
+                ))
+            });
+        }
     }
-    let mut out = format!(
-        "{:<28} {:>5} {:>5} {:>6} {:>6} {:>8} {:>12} {:>11} {:>9}\n",
-        "scenario", "jobs", "done", "unfin", "missed", "migrate", "kWh", "avg g/kWh", "slowdown"
-    );
-    for r in &reports {
-        let _ = writeln!(
-            out,
-            "{:<28} {:>5} {:>5} {:>6} {:>6} {:>8} {:>12.1} {:>11.1} {:>9.2}",
-            r.name,
-            r.jobs,
-            r.completed,
-            r.unfinished,
-            r.missed_deadlines,
-            r.migrations,
-            r.total_energy_kwh,
-            r.average_ci,
-            r.mean_slowdown,
-        );
+    match sink_error {
+        Some(e) => Err(CliError::Io(e)),
+        None => Ok(()),
     }
-    Ok(out)
+}
+
+/// Buffered variant of [`run_scenarios_to`] for the `String`-rendering
+/// dispatch path (and its tests).
+pub(crate) fn run_scenarios_cmd(
+    target: &ScenarioTarget,
+    json: bool,
+    data: &TraceSet,
+) -> Result<String, CliError> {
+    let mut buffer = Vec::new();
+    run_scenarios_to(&mut buffer, target, json, data)?;
+    Ok(String::from_utf8(buffer).expect("scenario output is UTF-8"))
+}
+
+/// Extracts `(name, emissions_g)` pairs from a `scenario run --json`
+/// report document (a single object or an array of objects).
+fn report_emissions(path: &str) -> Result<Vec<(String, f64)>, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Parse(ParseError(format!("{path}: {e}"))))?;
+    let value = decarb_json::parse(&text)
+        .map_err(|e| CliError::Parse(ParseError(format!("{path}: {e}"))))?;
+    let items: Vec<&Value> = match &value {
+        Value::Array(items) => items.iter().collect(),
+        object @ Value::Object(_) => vec![object],
+        _ => {
+            return Err(CliError::Parse(ParseError(format!(
+                "{path}: expected a scenario report object or array"
+            ))))
+        }
+    };
+    let mut pairs = Vec::with_capacity(items.len());
+    for item in items {
+        let Some(Value::String(name)) = item.get("name") else {
+            return Err(CliError::Parse(ParseError(format!(
+                "{path}: report entry without a `name`"
+            ))));
+        };
+        let Some(Value::Number(emissions)) = item.get("emissions_g") else {
+            return Err(CliError::Parse(ParseError(format!(
+                "{path}: scenario `{name}` has no `emissions_g`"
+            ))));
+        };
+        if pairs.iter().any(|(n, _)| n == name) {
+            return Err(CliError::Parse(ParseError(format!(
+                "{path}: duplicate scenario `{name}`"
+            ))));
+        }
+        pairs.push((name.clone(), *emissions));
+    }
+    Ok(pairs)
+}
+
+/// The CI emissions-regression gate: compares per-scenario emissions of
+/// a fresh report against a committed golden snapshot, failing on
+/// missing/extra scenarios or drift beyond `tolerance_pct` percent.
+pub(crate) fn scenario_diff(
+    report_path: &str,
+    golden_path: &str,
+    tolerance_pct: f64,
+) -> Result<String, CliError> {
+    let report = report_emissions(report_path)?;
+    let golden = report_emissions(golden_path)?;
+    let mut violations: Vec<String> = Vec::new();
+    let mut max_drift = 0.0f64;
+    for (name, expected) in &golden {
+        let Some((_, actual)) = report.iter().find(|(n, _)| n == name) else {
+            violations.push(format!("  {name}: missing from the report"));
+            continue;
+        };
+        let drift_pct = if expected.abs() > f64::EPSILON {
+            (actual - expected).abs() / expected.abs() * 100.0
+        } else if actual.abs() > f64::EPSILON {
+            f64::INFINITY
+        } else {
+            0.0
+        };
+        max_drift = max_drift.max(drift_pct);
+        if drift_pct > tolerance_pct {
+            violations.push(format!(
+                "  {name}: emissions {actual:.3} g vs golden {expected:.3} g \
+                 ({drift_pct:.3}% > {tolerance_pct}%)"
+            ));
+        }
+    }
+    for (name, _) in &report {
+        if !golden.iter().any(|(n, _)| n == name) {
+            violations.push(format!(
+                "  {name}: not in the golden snapshot (re-record {golden_path})"
+            ));
+        }
+    }
+    if !violations.is_empty() {
+        return Err(CliError::Check(format!(
+            "scenario emissions drifted beyond ±{tolerance_pct}% ({} violation{}):\n{}",
+            violations.len(),
+            if violations.len() == 1 { "" } else { "s" },
+            violations.join("\n")
+        )));
+    }
+    Ok(format!(
+        "{} scenarios within ±{tolerance_pct}% of {golden_path} (max drift {max_drift:.4}%)\n",
+        golden.len()
+    ))
 }
 
 fn year_values<'a>(data: &'a TraceSet, zone: &str, year: i32) -> Result<&'a [f64], CliError> {
@@ -697,9 +906,10 @@ mod tests {
                 json: false,
             },
             Command::ScenarioList,
-            Command::ScenarioRun {
-                name: "batch-agnostic-europe".into(),
-                json: false,
+            Command::ScenarioDiff {
+                report: "r.json".into(),
+                golden: "g.json".into(),
+                tolerance_pct: 0.1,
             },
         ] {
             let err = run_on(&command, &data).unwrap_err();
@@ -718,7 +928,7 @@ mod tests {
                 scenario.name
             );
         }
-        assert!(out.contains("36 scenarios"));
+        assert!(out.contains("54 scenarios"));
     }
 
     #[test]
@@ -740,12 +950,261 @@ mod tests {
         assert!(out.starts_with('{'), "{out}");
         assert!(out.contains("\"name\": \"interactive-agnostic-europe\""));
         assert!(out.contains("\"avg_ci_g_per_kwh\""));
+        assert!(out.contains("\"overheads\": \"zero\""));
     }
 
     #[test]
-    fn scenario_run_unknown_name_is_a_parse_error() {
+    fn scenario_run_unknown_name_is_a_parse_error_listing_valid_names() {
         let err = dispatch(&argv(&["scenario", "run", "nope-nope-nope"])).unwrap_err();
         assert!(matches!(err, CliError::Parse(_)));
-        assert!(format!("{err}").contains("unknown scenario `nope-nope-nope`"));
+        let text = format!("{err}");
+        assert!(text.contains("unknown scenario `nope-nope-nope`"));
+        assert!(text.contains("valid names:"), "{text}");
+        assert!(text.contains("batch-agnostic-europe"), "{text}");
+        assert!(text.contains("mixed-spatiotemporal-global"), "{text}");
+    }
+
+    #[test]
+    fn scenario_run_streams_same_bytes_as_buffered_dispatch() {
+        let argv = argv(&["scenario", "run", "batch-deferral-us", "--json"]);
+        let buffered = dispatch(&argv).unwrap();
+        let mut streamed = Vec::new();
+        crate::dispatch_stream(&argv, &mut streamed).unwrap();
+        // Byte-identical up to the wall-clock `elapsed_s` field (the two
+        // calls are separate simulation runs).
+        let strip = |text: &str| -> String {
+            text.lines()
+                .filter(|l| !l.contains("\"elapsed_s\""))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(
+            strip(&String::from_utf8(streamed).unwrap()),
+            strip(&format!("{buffered}\n"))
+        );
+    }
+
+    #[test]
+    fn scenario_run_accepts_imported_datasets_when_zones_are_covered() {
+        let data = decarb_traces::builtin_dataset();
+        let command = Command::ScenarioRun {
+            target: crate::args::ScenarioTarget::Name("batch-agnostic-europe".into()),
+            json: false,
+        };
+        let out = run_on(&command, &data).unwrap();
+        assert!(out.contains("batch-agnostic-europe"), "{out}");
+    }
+
+    /// Writes `text` to a unique temp file and returns its path.
+    fn temp_file(name: &str, text: &str) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(name);
+        std::fs::write(&path, text).unwrap();
+        path
+    }
+
+    #[test]
+    fn scenario_file_runs_parse_execute_and_serialize() {
+        let path = temp_file(
+            "decarb_cli_test_run.scenario",
+            "\
+[workload tiny]
+class = batch
+per_origin = 2
+spacing = 24
+length = 3
+slack = day
+
+[scenario tiny-forecast]
+workload = tiny
+policy = forecast
+regions = europe
+
+[scenario tiny-spatiotemporal]
+workload = tiny
+policy = spatiotemporal
+regions = europe
+",
+        );
+        let out = dispatch(&argv(&[
+            "scenario",
+            "run",
+            "--file",
+            path.to_str().unwrap(),
+            "--json",
+        ]))
+        .unwrap();
+        let value = decarb_json::parse(&out).expect("valid JSON document");
+        let decarb_json::Value::Array(items) = value else {
+            panic!("two scenarios render as an array: {out}");
+        };
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[0].get("name"), Some(&Value::from("tiny-forecast")));
+        assert_eq!(items[1].get("policy"), Some(&Value::from("spatiotemporal")));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn scenario_file_runs_against_imported_datasets() {
+        // A two-zone `--data` import plus a scenario file deploying
+        // exactly those zones: the sweep must run on the imported
+        // traces, and region sets the import lacks must error cleanly.
+        let data_path = write_defective_dataset("decarb_cli_test_scenario_data.csv");
+        let scenario_path = temp_file(
+            "decarb_cli_test_imported.scenario",
+            "\
+[defaults]
+year = 2020
+horizon = 120
+
+[workload tiny]
+class = batch
+per_origin = 2
+spacing = 24
+length = 3
+slack = day
+
+[regions pair]
+codes = SE, DE
+
+[scenario tiny-deferral-pair]
+workload = tiny
+policy = deferral
+regions = pair
+",
+        );
+        let out = dispatch(&argv(&[
+            "--data",
+            data_path.to_str().unwrap(),
+            "scenario",
+            "run",
+            "--file",
+            scenario_path.to_str().unwrap(),
+            "--json",
+        ]))
+        .unwrap();
+        assert!(out.contains("\"name\": \"tiny-deferral-pair\""), "{out}");
+        assert!(out.contains("\"completed\": 4"), "{out}");
+        // A built-in region set the import cannot cover errors instead
+        // of panicking.
+        let err = dispatch(&argv(&[
+            "--data",
+            data_path.to_str().unwrap(),
+            "scenario",
+            "run",
+            "batch-agnostic-europe",
+        ]))
+        .unwrap_err();
+        assert!(format!("{err}").contains("not in the dataset"), "{err}");
+        std::fs::remove_file(data_path).ok();
+        std::fs::remove_file(scenario_path).ok();
+    }
+
+    #[test]
+    fn scenario_file_errors_surface_with_line_numbers() {
+        let path = temp_file(
+            "decarb_cli_test_bad.scenario",
+            "[workload w]\nclass = batch\n\n[scenario s]\nworkload = w\npolicy = psychic\nregions = europe\n",
+        );
+        let err = dispatch(&argv(&[
+            "scenario",
+            "run",
+            "--file",
+            path.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        let text = format!("{err}");
+        assert!(text.contains("line 6"), "{text}");
+        assert!(text.contains("unknown policy `psychic`"), "{text}");
+        std::fs::remove_file(path).ok();
+        let err = dispatch(&argv(&[
+            "scenario",
+            "run",
+            "--file",
+            "/nonexistent.scenario",
+        ]))
+        .unwrap_err();
+        assert!(matches!(err, CliError::Parse(_)));
+    }
+
+    #[test]
+    fn scenario_diff_passes_identical_reports_and_catches_drift() {
+        let report = temp_file(
+            "decarb_cli_test_diff_report.json",
+            r#"[{"name": "a", "emissions_g": 100.0}, {"name": "b", "emissions_g": 50.0}]"#,
+        );
+        let golden = temp_file(
+            "decarb_cli_test_diff_golden.json",
+            r#"[{"name": "a", "emissions_g": 100.0}, {"name": "b", "emissions_g": 50.0}]"#,
+        );
+        let out = dispatch(&argv(&[
+            "scenario",
+            "diff",
+            "--report",
+            report.to_str().unwrap(),
+            "--golden",
+            golden.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("2 scenarios within"), "{out}");
+        // Drift beyond tolerance fails with the offending scenario named.
+        let drifted = temp_file(
+            "decarb_cli_test_diff_drifted.json",
+            r#"[{"name": "a", "emissions_g": 103.0}, {"name": "b", "emissions_g": 50.0}]"#,
+        );
+        let err = dispatch(&argv(&[
+            "scenario",
+            "diff",
+            "--report",
+            drifted.to_str().unwrap(),
+            "--golden",
+            golden.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert!(matches!(err, CliError::Check(_)));
+        let text = format!("{err}");
+        assert!(text.contains("a: emissions 103.000"), "{text}");
+        assert!(!text.contains("b:"), "{text}");
+        // A generous tolerance lets the same drift pass.
+        let out = dispatch(&argv(&[
+            "scenario",
+            "diff",
+            "--report",
+            drifted.to_str().unwrap(),
+            "--golden",
+            golden.to_str().unwrap(),
+            "--tolerance-pct",
+            "5",
+        ]))
+        .unwrap();
+        assert!(out.contains("max drift 3."), "{out}");
+        for path in [report, golden, drifted] {
+            std::fs::remove_file(path).ok();
+        }
+    }
+
+    #[test]
+    fn scenario_diff_catches_missing_and_extra_scenarios() {
+        let report = temp_file(
+            "decarb_cli_test_diff_extra.json",
+            r#"[{"name": "a", "emissions_g": 100.0}, {"name": "new", "emissions_g": 1.0}]"#,
+        );
+        let golden = temp_file(
+            "decarb_cli_test_diff_base.json",
+            r#"[{"name": "a", "emissions_g": 100.0}, {"name": "gone", "emissions_g": 2.0}]"#,
+        );
+        let err = dispatch(&argv(&[
+            "scenario",
+            "diff",
+            "--report",
+            report.to_str().unwrap(),
+            "--golden",
+            golden.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        let text = format!("{err}");
+        assert!(text.contains("gone: missing from the report"), "{text}");
+        assert!(text.contains("new: not in the golden snapshot"), "{text}");
+        std::fs::remove_file(report).ok();
+        std::fs::remove_file(golden).ok();
     }
 }

@@ -31,18 +31,22 @@ use decarb_traces::{builtin_dataset, csv, repair, validate, TraceSet, Validation
 pub mod args;
 pub mod commands;
 
-pub use args::{parse, Command, ParseError};
+pub use args::{parse, Command, ParseError, ScenarioTarget};
 pub use commands::{run_on, CliError};
 
 /// Runs a parsed command against the built-in dataset.
 pub fn run(command: &Command) -> Result<String, CliError> {
     match command {
-        // Registry and scenario commands take no dataset; route them
+        // Registry and file commands take no dataset; route them
         // directly.
         Command::List => Ok(commands::list()),
         Command::Run { id, json } => commands::run_experiments(id, *json),
         Command::ScenarioList => Ok(commands::scenario_list()),
-        Command::ScenarioRun { name, json } => commands::run_scenarios_cmd(name, *json),
+        Command::ScenarioDiff {
+            report,
+            golden,
+            tolerance_pct,
+        } => commands::scenario_diff(report, golden, *tolerance_pct),
         other => run_on(other, &builtin_dataset()),
     }
 }
@@ -72,24 +76,53 @@ pub fn load_dataset(path: &str) -> Result<TraceSet, CliError> {
     Ok(TraceSet::from_series(pairs))
 }
 
+/// Splits the global `--data FILE` option off `argv`, loading the
+/// dataset when present.
+fn split_data(argv: &[String]) -> Result<(Option<TraceSet>, &[String]), CliError> {
+    if argv.first().map(String::as_str) == Some("--data") {
+        let Some(path) = argv.get(1) else {
+            return Err(CliError::Parse(ParseError(
+                "--data needs a file path".into(),
+            )));
+        };
+        Ok((Some(load_dataset(path)?), &argv[2..]))
+    } else {
+        Ok((None, argv))
+    }
+}
+
 /// Entry point shared by `main` and the tests: parse, run, render.
 ///
 /// Recognizes the global `--data FILE` option before the command.
 pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
-    let (data, rest): (Option<TraceSet>, &[String]) =
-        if argv.first().map(String::as_str) == Some("--data") {
-            let Some(path) = argv.get(1) else {
-                return Err(CliError::Parse(ParseError(
-                    "--data needs a file path".into(),
-                )));
-            };
-            (Some(load_dataset(path)?), &argv[2..])
-        } else {
-            (None, argv)
-        };
+    let (data, rest) = split_data(argv)?;
     let command = parse(rest).map_err(CliError::Parse)?;
     match data {
         Some(set) => run_on(&command, &set),
         None => run(&command),
     }
+}
+
+/// [`dispatch`] writing straight to `out` instead of buffering a
+/// `String`. `scenario run` streams each report as its parallel chunk
+/// completes — a thousand-scenario `--json` sweep starts emitting
+/// after the first chunk instead of after the whole matrix. All other
+/// commands render exactly the bytes [`dispatch`] would print.
+pub fn dispatch_stream(argv: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError> {
+    let (data, rest) = split_data(argv)?;
+    let command = parse(rest).map_err(CliError::Parse)?;
+    if let Command::ScenarioRun { target, json } = &command {
+        match &data {
+            Some(set) => commands::run_scenarios_to(out, target, *json, set)?,
+            None => commands::run_scenarios_to(out, target, *json, &builtin_dataset())?,
+        }
+        writeln!(out)?;
+        return Ok(());
+    }
+    let text = match data {
+        Some(set) => run_on(&command, &set),
+        None => run(&command),
+    }?;
+    writeln!(out, "{text}")?;
+    Ok(())
 }

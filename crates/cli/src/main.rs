@@ -1,15 +1,13 @@
-//! Binary entry point: parse `argv`, dispatch, print.
-
-use std::io::Write as _;
+//! Binary entry point: parse `argv`, dispatch, stream to stdout.
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    match decarb_cli::dispatch(&argv) {
-        Ok(output) => {
-            // Tolerate a closed pipe (`decarb-cli list | head`) instead
-            // of panicking mid-print.
-            let _ = writeln!(std::io::stdout(), "{output}");
-        }
+    let mut stdout = std::io::stdout().lock();
+    match decarb_cli::dispatch_stream(&argv, &mut stdout) {
+        Ok(()) => {}
+        // Tolerate a closed pipe (`decarb-cli list | head`) instead of
+        // failing mid-print.
+        Err(decarb_cli::CliError::Io(e)) if e.kind() == std::io::ErrorKind::BrokenPipe => {}
         Err(error) => {
             eprintln!("error: {error}");
             std::process::exit(2);

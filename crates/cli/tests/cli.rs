@@ -151,7 +151,9 @@ fn scenario_list_enumerates_the_matrix() {
     let text = stdout(&out);
     assert!(text.contains("batch-agnostic-europe"), "{text}");
     assert!(text.contains("mixed-greenest-global"), "{text}");
-    assert!(text.contains("36 scenarios"), "{text}");
+    assert!(text.contains("batch-forecast-us"), "{text}");
+    assert!(text.contains("batch-spatiotemporal-europe"), "{text}");
+    assert!(text.contains("54 scenarios"), "{text}");
 }
 
 #[test]
@@ -172,14 +174,103 @@ fn scenario_run_all_json_is_one_array_document() {
     let trimmed = text.trim();
     assert!(trimmed.starts_with('['), "{text}");
     assert!(trimmed.ends_with(']'), "{text}");
-    assert_eq!(text.matches("\"name\":").count(), 36, "{text}");
+    assert_eq!(text.matches("\"name\":").count(), 54, "{text}");
 }
 
 #[test]
-fn scenario_run_unknown_name_exits_2() {
+fn scenario_run_unknown_name_exits_2_listing_valid_names() {
     let out = decarb_cli(&["scenario", "run", "bogus"]);
     assert_eq!(out.status.code(), Some(2));
-    assert!(stderr(&out).contains("unknown scenario `bogus`"));
+    assert!(stdout(&out).is_empty());
+    let err = stderr(&out);
+    assert!(err.contains("unknown scenario `bogus`"), "{err}");
+    // The error enumerates the valid names rather than being opaque.
+    assert!(err.contains("valid names:"), "{err}");
+    assert!(err.contains("batch-agnostic-europe"), "{err}");
+    assert!(err.contains("interactive-threshold-us"), "{err}");
+    assert!(err.contains("mixed-spatiotemporal-global"), "{err}");
+}
+
+#[test]
+fn scenario_run_file_round_trips_through_the_binary() {
+    // parse → run → JSON, end to end over a real file.
+    let path = std::env::temp_dir().join("decarb_cli_e2e.scenario");
+    std::fs::write(
+        &path,
+        "\
+[workload tiny]
+class = batch
+per_origin = 2
+spacing = 24
+length = 3
+slack = day
+
+[matrix m]
+workloads = tiny
+policies = agnostic, forecast, spatiotemporal
+regions = europe
+",
+    )
+    .unwrap();
+    let out = decarb_cli(&[
+        "scenario",
+        "run",
+        "--file",
+        path.to_str().unwrap(),
+        "--json",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert_eq!(text.matches("\"name\":").count(), 3, "{text}");
+    assert!(text.contains("\"tiny-forecast-europe\""), "{text}");
+    assert!(text.contains("\"tiny-spatiotemporal-europe\""), "{text}");
+    std::fs::remove_file(&path).ok();
+    // A missing file is a clean exit-2 error, not a panic.
+    let out = decarb_cli(&["scenario", "run", "--file", "/nonexistent.scenario"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("/nonexistent.scenario"));
+}
+
+#[test]
+fn scenario_diff_gates_emissions_drift_end_to_end() {
+    let dir = std::env::temp_dir();
+    let report = dir.join("decarb_cli_e2e_report.json");
+    let golden = dir.join("decarb_cli_e2e_golden.json");
+    let run = decarb_cli(&["scenario", "run", "batch-agnostic-europe", "--json"]);
+    assert!(run.status.success());
+    std::fs::write(&report, run.stdout.clone()).unwrap();
+    std::fs::write(&golden, run.stdout.clone()).unwrap();
+    let out = decarb_cli(&[
+        "scenario",
+        "diff",
+        "--report",
+        report.to_str().unwrap(),
+        "--golden",
+        golden.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(
+        stdout(&out).contains("1 scenarios within"),
+        "{}",
+        stdout(&out)
+    );
+    // Tamper with the golden: the gate must fail with exit code 2.
+    let tampered = String::from_utf8(run.stdout)
+        .unwrap()
+        .replace("\"emissions_g\": ", "\"emissions_g\": 9");
+    std::fs::write(&golden, tampered).unwrap();
+    let out = decarb_cli(&[
+        "scenario",
+        "diff",
+        "--report",
+        report.to_str().unwrap(),
+        "--golden",
+        golden.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("drifted beyond"), "{}", stderr(&out));
+    std::fs::remove_file(&report).ok();
+    std::fs::remove_file(&golden).ok();
 }
 
 #[test]

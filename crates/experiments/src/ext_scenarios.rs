@@ -1,14 +1,16 @@
 //! Extension: the scenario matrix condensed into the paper's headline
 //! finding — carbon-aware savings are small and workload-dependent.
 //!
-//! Runs the built-in 36-entry scenario matrix (workload class × policy ×
+//! Runs the built-in 54-entry scenario matrix (workload class × policy ×
 //! region set) through the discrete-event simulator and reports, per
 //! workload × geography cell, how much each carbon-aware policy saves
 //! over the carbon-agnostic baseline. The paper's narrative emerges
 //! directly: inflexible interactive work saves exactly nothing, temporal
-//! policies on batch work save single-digit percents, and only
-//! unconstrained spatial routing shows large numbers — which §5 then
-//! erodes with capacity and latency limits.
+//! policies on batch work save single-digit percents — with the
+//! forecast-driven variant trailing the clairvoyant bound — and only
+//! spatial routing (greenest, and the SLO-constrained spatiotemporal
+//! combination) shows large numbers — which §5 then erodes with
+//! capacity and latency limits.
 
 use decarb_sim::scenario::{builtin_scenarios, run_scenarios, ScenarioReport};
 
@@ -21,7 +23,7 @@ pub struct ScenarioCell {
     /// Workload class label.
     pub workload: &'static str,
     /// Region-set label.
-    pub regions: &'static str,
+    pub regions: String,
     /// Jobs submitted in the cell's scenarios.
     pub jobs: usize,
     /// Carbon-agnostic average CI, g/kWh.
@@ -32,6 +34,10 @@ pub struct ScenarioCell {
     pub threshold_saving_pct: f64,
     /// Greenest-router saving, percent.
     pub greenest_saving_pct: f64,
+    /// Forecast-driven deferral saving, percent.
+    pub forecast_saving_pct: f64,
+    /// SLO-constrained spatiotemporal saving, percent.
+    pub spatiotemporal_saving_pct: f64,
 }
 
 /// Extension results: the condensed savings table.
@@ -66,12 +72,14 @@ pub fn run(ctx: &Context) -> ExtScenarios {
             };
             cells.push(ScenarioCell {
                 workload: base.workload,
-                regions: base.regions,
+                regions: base.regions.clone(),
                 jobs: base.jobs,
                 baseline_ci: base.average_ci,
                 deferral_saving_pct: saving("deferral"),
                 threshold_saving_pct: saving("threshold"),
                 greenest_saving_pct: saving("greenest"),
+                forecast_saving_pct: saving("forecast"),
+                spatiotemporal_saving_pct: saving("spatiotemporal"),
             });
         }
     }
@@ -92,18 +100,22 @@ impl ExtScenarios {
                 "deferral".into(),
                 "threshold".into(),
                 "greenest".into(),
+                "forecast".into(),
+                "spatiotemp".into(),
             ],
             self.cells
                 .iter()
                 .map(|c| {
                     vec![
                         c.workload.to_string(),
-                        c.regions.to_string(),
+                        c.regions.clone(),
                         c.jobs.to_string(),
                         f1(c.baseline_ci),
                         pct(c.deferral_saving_pct),
                         pct(c.threshold_saving_pct),
                         pct(c.greenest_saving_pct),
+                        pct(c.forecast_saving_pct),
+                        pct(c.spatiotemporal_saving_pct),
                     ]
                 })
                 .collect(),
@@ -149,6 +161,8 @@ mod tests {
             assert!(c.deferral_saving_pct.abs() < 1e-9, "{regions}");
             assert!(c.threshold_saving_pct.abs() < 1e-9, "{regions}");
             assert!(c.greenest_saving_pct.abs() < 1e-9, "{regions}");
+            assert!(c.forecast_saving_pct.abs() < 1e-9, "{regions}");
+            assert!(c.spatiotemporal_saving_pct.abs() < 1e-9, "{regions}");
         }
     }
 
@@ -165,6 +179,13 @@ mod tests {
                 "{regions}: deferral saving {:.1}% should be modest",
                 c.deferral_saving_pct
             );
+            // The forecast-driven variant cannot beat clairvoyance.
+            assert!(
+                c.forecast_saving_pct <= c.deferral_saving_pct + 1e-9,
+                "{regions}: forecast {:.2}% above clairvoyant {:.2}%",
+                c.forecast_saving_pct,
+                c.deferral_saving_pct
+            );
         }
     }
 
@@ -175,6 +196,28 @@ mod tests {
         let c = cell("batch", "europe");
         assert!(c.greenest_saving_pct > c.deferral_saving_pct);
         assert!(c.greenest_saving_pct > 50.0);
+    }
+
+    #[test]
+    fn slo_constrained_spatiotemporal_still_captures_spatial_savings() {
+        // Within Europe the 120 ms SLO admits Sweden from everywhere, so
+        // the combined policy lands near the unconstrained router; on
+        // the global set the SLO excludes far hops, eroding the saving —
+        // the §5 latency point.
+        let europe = cell("batch", "europe");
+        assert!(
+            europe.spatiotemporal_saving_pct > 50.0,
+            "{:.1}%",
+            europe.spatiotemporal_saving_pct
+        );
+        let global = cell("batch", "global");
+        assert!(global.spatiotemporal_saving_pct >= 0.0);
+        assert!(
+            global.spatiotemporal_saving_pct < europe.spatiotemporal_saving_pct,
+            "global {:.1}% vs europe {:.1}%",
+            global.spatiotemporal_saving_pct,
+            europe.spatiotemporal_saving_pct
+        );
     }
 
     #[test]
@@ -201,5 +244,6 @@ mod tests {
         let text = format!("{}", tables[0]);
         assert!(text.contains("interactive"));
         assert!(text.contains("greenest"));
+        assert!(text.contains("spatiotemp"));
     }
 }

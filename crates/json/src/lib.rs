@@ -1,11 +1,12 @@
-//! A minimal JSON value model and serializer.
+//! A minimal JSON value model, serializer, and parser.
 //!
 //! The workspace builds in environments with no route to a crates
 //! registry, so `serde`/`serde_json` are not available. Experiment
-//! results only ever need to be *written* as JSON (for `repro --json`
-//! and `decarb-cli run --json`), never parsed back, so this crate keeps
-//! exactly that surface: a [`Value`] tree, escaping, compact and pretty
-//! rendering, and a [`ToJson`] conversion trait.
+//! results are *written* as JSON (for `repro --json` and `decarb-cli
+//! run --json`) through a [`Value`] tree with escaping, compact and
+//! pretty rendering, and a [`ToJson`] conversion trait; the CI
+//! emissions-regression gate also reads reports back through
+//! [`parse`].
 //!
 //! # Examples
 //!
@@ -20,6 +21,10 @@
 //! ```
 
 use std::fmt;
+
+pub mod parse;
+
+pub use parse::{parse, JsonParseError};
 
 /// A JSON value: the full JSON data model.
 ///

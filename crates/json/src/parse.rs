@@ -1,0 +1,385 @@
+//! A recursive-descent JSON parser for [`Value`].
+//!
+//! The crate started write-only (experiments only ever *emitted* JSON),
+//! but the CI emissions-regression gate needs to read reports back:
+//! `decarb-cli scenario diff` parses both the freshly produced report
+//! and the committed golden snapshot. The parser accepts exactly the
+//! JSON data model [`Value`] renders — no comments, no trailing commas
+//! — and reports errors with a byte offset.
+
+use crate::Value;
+
+/// Maximum array/object nesting accepted before the parser bails (keeps
+/// hostile inputs from overflowing the stack).
+const MAX_DEPTH: usize = 256;
+
+/// A parse failure: what went wrong and where.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonParseError {
+    /// Byte offset into the input at which the error was detected.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for JsonParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid JSON at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonParseError {}
+
+/// Parses `text` into a [`Value`]. The whole input must be one JSON
+/// document (trailing whitespace is allowed, trailing content is not).
+pub fn parse(text: &str) -> Result<Value, JsonParseError> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.error("trailing content after the document"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn error(&self, message: impl Into<String>) -> JsonParseError {
+        JsonParseError {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), JsonParseError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(format!("expected `{}`", byte as char)))
+        }
+    }
+
+    /// Consumes `word` if it is next (used for `true`/`false`/`null`).
+    fn literal(&mut self, word: &str, value: Value) -> Result<Value, JsonParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.error(format!("expected `{word}`")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Value, JsonParseError> {
+        if depth > MAX_DEPTH {
+            return Err(self.error("nesting deeper than 256 levels"));
+        }
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(other) => Err(self.error(format!("unexpected byte `{}`", other as char))),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Value, JsonParseError> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(pairs));
+                }
+                _ => return Err(self.error("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Value, JsonParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.error("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let escape = self.peek().ok_or_else(|| self.error("dangling escape"))?;
+                    self.pos += 1;
+                    match escape {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000C}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => out.push(self.unicode_escape()?),
+                        other => {
+                            self.pos -= 1;
+                            return Err(self.error(format!("bad escape `\\{}`", other as char)));
+                        }
+                    }
+                }
+                Some(byte) if byte < 0x20 => {
+                    return Err(self.error("raw control character in string"));
+                }
+                Some(_) => {
+                    // Copy one full UTF-8 scalar (the input is a &str, so
+                    // the byte stream is valid UTF-8 by construction).
+                    let rest = &self.bytes[self.pos..];
+                    let len = utf8_len(rest[0]);
+                    let chunk = std::str::from_utf8(&rest[..len])
+                        .map_err(|_| self.error("invalid UTF-8"))?;
+                    out.push_str(chunk);
+                    self.pos += len;
+                }
+            }
+        }
+    }
+
+    /// Parses the four hex digits of a `\uXXXX` escape (the `\u` is
+    /// already consumed), combining surrogate pairs.
+    fn unicode_escape(&mut self) -> Result<char, JsonParseError> {
+        let high = self.hex4()?;
+        if (0xD800..0xDC00).contains(&high) {
+            // High surrogate: a `\uXXXX` low surrogate must follow.
+            if self.bytes[self.pos..].starts_with(b"\\u") {
+                self.pos += 2;
+                let low = self.hex4()?;
+                if (0xDC00..0xE000).contains(&low) {
+                    let code = 0x10000 + ((high - 0xD800) << 10) + (low - 0xDC00);
+                    return char::from_u32(code).ok_or_else(|| self.error("bad surrogate pair"));
+                }
+            }
+            return Err(self.error("unpaired high surrogate"));
+        }
+        if (0xDC00..0xE000).contains(&high) {
+            return Err(self.error("unpaired low surrogate"));
+        }
+        char::from_u32(high).ok_or_else(|| self.error("bad \\u escape"))
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonParseError> {
+        let digits = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or_else(|| self.error("truncated \\u escape"))?;
+        let text = std::str::from_utf8(digits).map_err(|_| self.error("bad \\u escape"))?;
+        let code =
+            u32::from_str_radix(text, 16).map_err(|_| self.error("non-hex \\u escape digits"))?;
+        self.pos += 4;
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<Value, JsonParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        // Integer part: `0` alone or a nonzero-led digit run.
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(b'1'..=b'9') => self.digits(),
+            _ => return Err(self.error("expected a digit")),
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.error("expected digits after `.`"));
+            }
+            self.digits();
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.error("expected exponent digits"));
+            }
+            self.digits();
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII number");
+        let n: f64 = text
+            .parse()
+            .map_err(|_| self.error(format!("unparseable number `{text}`")))?;
+        Ok(Value::Number(n))
+    }
+
+    fn digits(&mut self) {
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+    }
+}
+
+/// Returns the byte length of the UTF-8 sequence starting with `lead`.
+fn utf8_len(lead: u8) -> usize {
+    match lead {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_parse() {
+        assert_eq!(parse("null").unwrap(), Value::Null);
+        assert_eq!(parse(" true ").unwrap(), Value::Bool(true));
+        assert_eq!(parse("false").unwrap(), Value::Bool(false));
+        assert_eq!(parse("42").unwrap(), Value::Number(42.0));
+        assert_eq!(parse("-3.25e2").unwrap(), Value::Number(-325.0));
+        assert_eq!(parse("\"hi\"").unwrap(), Value::from("hi"));
+    }
+
+    #[test]
+    fn containers_parse() {
+        let v = parse(r#"{"a": [1, 2, {"b": null}], "c": "d"}"#).unwrap();
+        assert_eq!(v.get("c"), Some(&Value::from("d")));
+        let Some(Value::Array(items)) = v.get("a") else {
+            panic!("a is an array");
+        };
+        assert_eq!(items.len(), 3);
+        assert_eq!(items[2].get("b"), Some(&Value::Null));
+        assert_eq!(parse("[]").unwrap(), Value::Array(vec![]));
+        assert_eq!(parse("{}").unwrap(), Value::Object(vec![]));
+    }
+
+    #[test]
+    fn escapes_parse() {
+        assert_eq!(
+            parse(r#""a\n\t\"\\\u0041\u00e9""#).unwrap(),
+            Value::from("a\n\t\"\\Aé")
+        );
+        // Surrogate pair: U+1F600.
+        assert_eq!(parse(r#""\ud83d\ude00""#).unwrap(), Value::from("😀"));
+        // Raw multi-byte UTF-8 passes through.
+        assert_eq!(parse("\"grön el\"").unwrap(), Value::from("grön el"));
+    }
+
+    #[test]
+    fn round_trips_rendered_values() {
+        let original = Value::object([
+            ("name", Value::from("batch-deferral-europe")),
+            ("emissions_g", Value::from(123456.789)),
+            ("jobs", Value::from(96)),
+            ("flags", Value::array([Value::Bool(true), Value::Null])),
+            ("nested", Value::object([("k", Value::from("v\n\"q\""))])),
+        ]);
+        assert_eq!(parse(&original.to_string()).unwrap(), original);
+        assert_eq!(parse(&original.pretty()).unwrap(), original);
+    }
+
+    #[test]
+    fn malformed_inputs_error_with_offsets() {
+        for (text, needle) in [
+            ("", "end of input"),
+            ("{", "expected `\""),
+            ("[1,]", "unexpected byte"),
+            ("{\"a\" 1}", "expected `:`"),
+            ("[1 2]", "expected `,` or `]`"),
+            ("\"abc", "unterminated"),
+            ("01", "trailing content"),
+            ("1.e3", "digits after `.`"),
+            ("\"\\q\"", "bad escape"),
+            ("\"\\ud800x\"", "unpaired high surrogate"),
+            ("nulll", "trailing content"),
+            ("tru", "expected `true`"),
+        ] {
+            let err = parse(text).unwrap_err();
+            assert!(
+                err.message.contains(needle),
+                "{text:?}: got `{}`, wanted `{needle}`",
+                err.message
+            );
+        }
+    }
+
+    #[test]
+    fn deep_nesting_is_bounded() {
+        let deep = "[".repeat(1000) + &"]".repeat(1000);
+        let err = parse(&deep).unwrap_err();
+        assert!(err.message.contains("nesting"));
+        // 200 levels are fine.
+        let ok = "[".repeat(200) + &"]".repeat(200);
+        assert!(parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn error_display_includes_offset() {
+        let err = parse("[1, x]").unwrap_err();
+        assert_eq!(err.offset, 4);
+        assert!(format!("{err}").contains("byte 4"));
+    }
+}

@@ -24,9 +24,11 @@ pub mod cluster;
 pub mod engine;
 pub mod forecast_policy;
 pub mod overheads;
+pub mod planner_cache;
 pub mod policy;
 pub mod routing;
 pub mod scenario;
+pub mod scenario_file;
 pub mod spatiotemporal;
 
 pub use accounting::SimReport;
@@ -34,12 +36,14 @@ pub use cluster::{CloudView, Datacenter};
 pub use engine::{SimConfig, Simulator};
 pub use forecast_policy::{ForecastDeferral, ForecastSuspend};
 pub use overheads::OverheadModel;
+pub use planner_cache::{CachedDeferral, PlannerCache};
 pub use policy::{
     CarbonAgnostic, GreenestRouter, Placement, PlannedDeferral, Policy, ThresholdSuspend,
 };
 pub use routing::LatencyAwareRouter;
 pub use scenario::{
-    builtin_matrix, builtin_scenarios, find_scenario, run_scenarios, PolicyKind, RegionSet,
-    Scenario, ScenarioMatrix, ScenarioReport,
+    builtin_matrix, builtin_scenarios, find_scenario, run_scenarios, run_scenarios_with,
+    OverheadKind, PolicyKind, RegionSet, RegionSpec, Scenario, ScenarioMatrix, ScenarioReport,
 };
+pub use scenario_file::{parse_scenario_file, ScenarioFileError};
 pub use spatiotemporal::SpatioTemporal;

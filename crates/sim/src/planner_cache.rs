@@ -1,0 +1,157 @@
+//! A shared, thread-safe cache of [`TemporalPlanner`]s.
+//!
+//! [`crate::policy::PlannedDeferral`] builds a fresh planner — a full
+//! copy of the origin's trace plus its prefix sums — for *every*
+//! placement. For one validation job that is fine; at scenario-matrix
+//! scale (hundreds of scenarios × ~100 jobs each) the rebuild dominates
+//! the whole sweep. A [`PlannerCache`] is created once per
+//! `run_scenarios` call and shared by reference across the worker
+//! threads: each region's planner is built the first time any scenario
+//! needs it and reused by every later placement.
+//!
+//! A planner spans a region's entire stored trace, so the cache is
+//! keyed by zone code alone — scenario horizons never change what a
+//! planner contains. One cache must only ever see one dataset (the
+//! scenario engine guarantees this by scoping the cache to a run).
+
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+
+use decarb_core::temporal::TemporalPlanner;
+use decarb_traces::TimeSeries;
+use decarb_workloads::Job;
+
+use crate::cluster::CloudView;
+use crate::policy::{Placement, Policy};
+
+/// A by-zone-code cache of temporal planners, safe to share across the
+/// scenario engine's worker threads.
+#[derive(Debug, Default)]
+pub struct PlannerCache {
+    planners: RwLock<HashMap<&'static str, Arc<TemporalPlanner>>>,
+}
+
+impl PlannerCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the planner for `code`, building it from `series` on the
+    /// first request.
+    pub fn planner(&self, code: &'static str, series: &TimeSeries) -> Arc<TemporalPlanner> {
+        if let Some(planner) = self.planners.read().expect("cache lock").get(code) {
+            return Arc::clone(planner);
+        }
+        let mut planners = self.planners.write().expect("cache lock");
+        // Another worker may have built it between the read and write
+        // lock; entry() keeps exactly one build either way.
+        Arc::clone(
+            planners
+                .entry(code)
+                .or_insert_with(|| Arc::new(TemporalPlanner::new(series))),
+        )
+    }
+
+    /// Returns how many regions have a cached planner.
+    pub fn len(&self) -> usize {
+        self.planners.read().expect("cache lock").len()
+    }
+
+    /// Returns `true` while no planner has been built.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// [`crate::policy::PlannedDeferral`] backed by a shared
+/// [`PlannerCache`]: identical placements, amortized planner builds.
+///
+/// This is what [`crate::scenario::PolicyKind::PlannedDeferral`] runs —
+/// the unit-struct `PlannedDeferral` remains the self-contained variant
+/// for one-off analytic validation.
+pub struct CachedDeferral<'a> {
+    cache: &'a PlannerCache,
+}
+
+impl<'a> CachedDeferral<'a> {
+    /// Creates the policy over a shared cache.
+    pub fn new(cache: &'a PlannerCache) -> Self {
+        Self { cache }
+    }
+}
+
+impl Policy for CachedDeferral<'_> {
+    fn place(&mut self, job: &Job, view: &CloudView<'_>) -> Placement {
+        let series = view.traces.series(job.origin).expect("origin trace exists");
+        let planner = self.cache.planner(job.origin, series);
+        let placement = planner.best_deferred(view.now, job.length_slots(), job.slack_hours());
+        Placement {
+            region: job.origin,
+            start: placement.start,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{SimConfig, Simulator};
+    use crate::policy::PlannedDeferral;
+    use decarb_traces::builtin_dataset;
+    use decarb_traces::catalog::region;
+    use decarb_traces::time::year_start;
+    use decarb_traces::Region;
+    use decarb_workloads::Slack;
+
+    #[test]
+    fn planner_is_built_once_per_region() {
+        let data = builtin_dataset();
+        let cache = PlannerCache::new();
+        assert!(cache.is_empty());
+        let first = cache.planner("SE", data.series("SE").unwrap());
+        let second = cache.planner("SE", data.series("SE").unwrap());
+        assert!(Arc::ptr_eq(&first, &second), "same planner instance");
+        cache.planner("DE", data.series("DE").unwrap());
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn cached_deferral_matches_the_uncached_policy() {
+        let data = builtin_dataset();
+        let start = year_start(2022);
+        let regions: Vec<&'static Region> =
+            ["US-CA", "DE"].iter().map(|c| region(c).unwrap()).collect();
+        let jobs: Vec<Job> = (0..20)
+            .map(|i| {
+                let origin = if i % 2 == 0 { "US-CA" } else { "DE" };
+                Job::batch(i + 1, origin, start.plus(i as usize * 5), 6.0, Slack::Day)
+            })
+            .collect();
+        let mut plain_sim = Simulator::new(&data, &regions, SimConfig::new(start, 24 * 10, 8));
+        let plain = plain_sim.run(&mut PlannedDeferral, &jobs);
+        let cache = PlannerCache::new();
+        let mut cached_sim = Simulator::new(&data, &regions, SimConfig::new(start, 24 * 10, 8));
+        let cached = cached_sim.run(&mut CachedDeferral::new(&cache), &jobs);
+        assert_eq!(plain.completed_count(), cached.completed_count());
+        assert!((plain.total_emissions_g - cached.total_emissions_g).abs() < 1e-9);
+        assert_eq!(cache.len(), 2, "one planner per origin region");
+    }
+
+    #[test]
+    fn cache_is_shareable_across_threads() {
+        let data = builtin_dataset();
+        let cache = PlannerCache::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for code in ["SE", "DE", "FR", "GB"] {
+                        let planner = cache.planner(code, data.series(code).unwrap());
+                        assert_eq!(planner.trace_start(), data.series(code).unwrap().start());
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.len(), 4);
+    }
+}

@@ -6,24 +6,40 @@
 //! policy × geography combinations. A [`Scenario`] names one such
 //! combination declaratively (workload spec, policy, region set,
 //! overheads, capacity, horizon); a [`ScenarioMatrix`] expands the
-//! cartesian product into named scenarios; [`run_scenarios`] fans them
-//! out across threads with `decarb_par` against one shared dataset; and
-//! each run condenses into a [`ScenarioReport`] that serializes with
-//! `decarb_json` for machine consumers (`decarb-cli scenario run all
-//! --json`, CI smoke checks).
+//! cartesian product — including overhead-model and capacity axes —
+//! into named scenarios; [`run_scenarios_with`] fans them out across
+//! threads with `decarb_par` against one shared dataset and a shared
+//! [`PlannerCache`], handing each condensed [`ScenarioReport`] to a
+//! sink in input order as chunks complete, so thousand-scenario sweeps
+//! stream instead of buffering. Reports serialize with `decarb_json`
+//! for machine consumers (`decarb-cli scenario run all --json`, the CI
+//! emissions-regression gate).
+//!
+//! Beyond the built-in matrix, users declare their own sweeps in
+//! scenario files (see [`crate::scenario_file`]) with custom region
+//! sets, workload recipes, and policy grids.
 
 use std::time::{Duration, Instant};
 
+use decarb_forecast::SeasonalNaive;
 use decarb_json::Value;
-use decarb_par::par_map;
+use decarb_par::{par_map, thread_count};
 use decarb_traces::time::year_start;
 use decarb_traces::{Hour, Region, TraceSet};
 use decarb_workloads::{Slack, WorkloadSpec};
 
 use crate::accounting::SimReport;
 use crate::engine::{SimConfig, Simulator};
+use crate::forecast_policy::ForecastDeferral;
 use crate::overheads::OverheadModel;
-use crate::policy::{CarbonAgnostic, GreenestRouter, PlannedDeferral, ThresholdSuspend};
+use crate::planner_cache::{CachedDeferral, PlannerCache};
+use crate::policy::{CarbonAgnostic, GreenestRouter, ThresholdSuspend};
+use crate::spatiotemporal::SpatioTemporal;
+
+/// Round-trip-time budget for the built-in spatiotemporal policy, ms —
+/// generous enough for intra-continental migration, tight enough to
+/// exclude antipodal hops.
+pub const SPATIOTEMPORAL_SLO_MS: f64 = 120.0;
 
 /// A named, fixed set of regions scenarios deploy datacenters in.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -76,6 +92,72 @@ impl RegionSet {
             .map(|code| data.region(code).expect("built-in region set resolves"))
             .collect()
     }
+
+    /// Parses a built-in region-set label.
+    pub fn parse(label: &str) -> Result<RegionSet, String> {
+        RegionSet::ALL
+            .into_iter()
+            .find(|set| set.label() == label)
+            .ok_or_else(|| {
+                let valid: Vec<&str> = RegionSet::ALL.iter().map(|s| s.label()).collect();
+                format!("unknown region set `{label}` (valid: {})", valid.join(", "))
+            })
+    }
+}
+
+/// Where a scenario deploys: a built-in named set or a user-defined
+/// list of zone codes (from a scenario file).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegionSpec {
+    /// One of the built-in [`RegionSet`]s.
+    Named(RegionSet),
+    /// A custom set declared in a scenario file.
+    Custom {
+        /// The set's name (used in scenario names).
+        label: String,
+        /// Zone codes, resolved against the active dataset at run time.
+        codes: Vec<String>,
+    },
+}
+
+impl From<RegionSet> for RegionSpec {
+    fn from(set: RegionSet) -> Self {
+        RegionSpec::Named(set)
+    }
+}
+
+impl RegionSpec {
+    /// Returns the set's label (used in scenario names).
+    pub fn label(&self) -> &str {
+        match self {
+            RegionSpec::Named(set) => set.label(),
+            RegionSpec::Custom { label, .. } => label,
+        }
+    }
+
+    /// Returns the zone codes in the set.
+    pub fn codes(&self) -> Vec<&str> {
+        match self {
+            RegionSpec::Named(set) => set.codes().to_vec(),
+            RegionSpec::Custom { codes, .. } => codes.iter().map(String::as_str).collect(),
+        }
+    }
+
+    /// Resolves the set against `data`, erroring on zones the dataset
+    /// does not cover (custom sets and `--data` imports can miss).
+    pub fn try_resolve(&self, data: &TraceSet) -> Result<Vec<&'static Region>, String> {
+        self.codes()
+            .iter()
+            .map(|code| {
+                data.region(code).map_err(|_| {
+                    format!(
+                        "region set `{}`: zone `{code}` is not in the dataset",
+                        self.label()
+                    )
+                })
+            })
+            .collect()
+    }
 }
 
 /// Which scheduling policy a scenario drives the simulator with.
@@ -89,15 +171,23 @@ pub enum PolicyKind {
     ThresholdSuspend,
     /// Route to the greenest region with free capacity at arrival.
     GreenestRouter,
+    /// Forecast-driven deferral at the origin (seasonal-naive model —
+    /// the online counterpart of the clairvoyant bound).
+    ForecastDeferral,
+    /// Greenest-within-SLO routing plus forecast deferral in the
+    /// destination (§6.4 made online).
+    SpatioTemporal,
 }
 
 impl PolicyKind {
     /// All built-in policies, baseline first.
-    pub const ALL: [PolicyKind; 4] = [
+    pub const ALL: [PolicyKind; 6] = [
         PolicyKind::CarbonAgnostic,
         PolicyKind::PlannedDeferral,
         PolicyKind::ThresholdSuspend,
         PolicyKind::GreenestRouter,
+        PolicyKind::ForecastDeferral,
+        PolicyKind::SpatioTemporal,
     ];
 
     /// Returns the policy's short label (used in scenario names).
@@ -107,7 +197,20 @@ impl PolicyKind {
             PolicyKind::PlannedDeferral => "deferral",
             PolicyKind::ThresholdSuspend => "threshold",
             PolicyKind::GreenestRouter => "greenest",
+            PolicyKind::ForecastDeferral => "forecast",
+            PolicyKind::SpatioTemporal => "spatiotemporal",
         }
+    }
+
+    /// Parses a policy label (scenario files, CLI errors).
+    pub fn parse(label: &str) -> Result<PolicyKind, String> {
+        PolicyKind::ALL
+            .into_iter()
+            .find(|kind| kind.label() == label)
+            .ok_or_else(|| {
+                let valid: Vec<&str> = PolicyKind::ALL.iter().map(|k| k.label()).collect();
+                format!("unknown policy `{label}` (valid: {})", valid.join(", "))
+            })
     }
 
     /// Returns `true` for the carbon-agnostic baseline.
@@ -116,13 +219,65 @@ impl PolicyKind {
     }
 
     /// Drives one simulation with the concrete policy.
-    fn execute(self, sim: &mut Simulator<'_>, jobs: &[decarb_workloads::Job]) -> SimReport {
+    fn execute(
+        self,
+        sim: &mut Simulator<'_>,
+        jobs: &[decarb_workloads::Job],
+        regions: &[&'static Region],
+        cache: &PlannerCache,
+    ) -> SimReport {
         match self {
             PolicyKind::CarbonAgnostic => sim.run(&mut CarbonAgnostic, jobs),
-            PolicyKind::PlannedDeferral => sim.run(&mut PlannedDeferral, jobs),
+            PolicyKind::PlannedDeferral => sim.run(&mut CachedDeferral::new(cache), jobs),
             PolicyKind::ThresholdSuspend => sim.run(&mut ThresholdSuspend::default(), jobs),
             PolicyKind::GreenestRouter => sim.run(&mut GreenestRouter, jobs),
+            PolicyKind::ForecastDeferral => {
+                sim.run(&mut ForecastDeferral::new(SeasonalNaive::daily()), jobs)
+            }
+            PolicyKind::SpatioTemporal => sim.run(
+                &mut SpatioTemporal::new(regions, SPATIOTEMPORAL_SLO_MS, SeasonalNaive::daily()),
+                jobs,
+            ),
         }
+    }
+}
+
+/// Which transition-overhead model a scenario charges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverheadKind {
+    /// The paper's idealization: all transitions are free.
+    Zero,
+    /// The checkpoint/restore + WAN-copy cost point of
+    /// [`OverheadModel::realistic`].
+    Realistic,
+}
+
+impl OverheadKind {
+    /// Both overhead models, ideal first.
+    pub const ALL: [OverheadKind; 2] = [OverheadKind::Zero, OverheadKind::Realistic];
+
+    /// Returns the model's short label (used in scenario names).
+    pub fn label(self) -> &'static str {
+        match self {
+            OverheadKind::Zero => "zero",
+            OverheadKind::Realistic => "realistic",
+        }
+    }
+
+    /// Returns the concrete energy-overhead model.
+    pub fn model(self) -> OverheadModel {
+        match self {
+            OverheadKind::Zero => OverheadModel::ZERO,
+            OverheadKind::Realistic => OverheadModel::realistic(),
+        }
+    }
+
+    /// Parses an overhead-model label (scenario files).
+    pub fn parse(label: &str) -> Result<OverheadKind, String> {
+        OverheadKind::ALL
+            .into_iter()
+            .find(|kind| kind.label() == label)
+            .ok_or_else(|| format!("unknown overhead model `{label}` (valid: zero, realistic)"))
     }
 }
 
@@ -136,9 +291,9 @@ pub struct Scenario {
     /// The scheduling policy.
     pub policy: PolicyKind,
     /// The deployed region set (every region is also a job origin).
-    pub regions: RegionSet,
-    /// Transition-energy overheads.
-    pub overheads: OverheadModel,
+    pub regions: RegionSpec,
+    /// Transition-energy overhead model.
+    pub overheads: OverheadKind,
     /// Concurrent running-job capacity per datacenter.
     pub capacity_per_region: usize,
     /// First simulated hour.
@@ -160,16 +315,36 @@ impl Scenario {
         )
     }
 
+    /// Checks the scenario can run against `data` (all zones covered).
+    pub fn validate_against(&self, data: &TraceSet) -> Result<(), String> {
+        self.regions.try_resolve(data).map(|_| ())
+    }
+
     /// Runs the scenario against `data` and condenses the outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset lacks one of the scenario's zones; call
+    /// [`Scenario::validate_against`] first when the dataset is not the
+    /// built-in one.
     pub fn run(&self, data: &TraceSet) -> ScenarioReport {
-        let regions = self.regions.resolve(data);
+        self.run_cached(data, &PlannerCache::new())
+    }
+
+    /// [`Scenario::run`] against a shared [`PlannerCache`] (one cache
+    /// per run and dataset — the scenario engine's hot path).
+    pub fn run_cached(&self, data: &TraceSet, cache: &PlannerCache) -> ScenarioReport {
+        let regions = self
+            .regions
+            .try_resolve(data)
+            .unwrap_or_else(|e| panic!("scenario `{}`: {e}", self.name));
         let origins: Vec<&'static str> = regions.iter().map(|r| r.code).collect();
         let jobs = self.workload.materialize(&origins, self.start);
         let config = SimConfig::new(self.start, self.horizon, self.capacity_per_region)
-            .with_overheads(self.overheads);
+            .with_overheads(self.overheads.model());
         let mut sim = Simulator::new(data, &regions, config);
         let started = Instant::now();
-        let report = self.policy.execute(&mut sim, &jobs);
+        let report = self.policy.execute(&mut sim, &jobs, &regions, cache);
         ScenarioReport::condense(self, jobs.len(), &report, started.elapsed())
     }
 }
@@ -184,7 +359,11 @@ pub struct ScenarioReport {
     /// Policy label.
     pub policy: &'static str,
     /// Region-set label.
-    pub regions: &'static str,
+    pub regions: String,
+    /// Overhead-model label.
+    pub overheads: &'static str,
+    /// Concurrent running-job capacity per datacenter.
+    pub capacity_per_region: usize,
     /// Jobs submitted.
     pub jobs: usize,
     /// Jobs completed within the horizon.
@@ -223,7 +402,9 @@ impl ScenarioReport {
             name: scenario.name.clone(),
             workload: scenario.workload.label(),
             policy: scenario.policy.label(),
-            regions: scenario.regions.label(),
+            regions: scenario.regions.label().to_string(),
+            overheads: scenario.overheads.label(),
+            capacity_per_region: scenario.capacity_per_region,
             jobs,
             completed: report.completed_count(),
             unfinished: report.unfinished,
@@ -245,7 +426,9 @@ impl ScenarioReport {
             ("name", Value::from(self.name.as_str())),
             ("workload", Value::from(self.workload)),
             ("policy", Value::from(self.policy)),
-            ("regions", Value::from(self.regions)),
+            ("regions", Value::from(self.regions.as_str())),
+            ("overheads", Value::from(self.overheads)),
+            ("capacity", Value::from(self.capacity_per_region as f64)),
             ("jobs", Value::from(self.jobs as f64)),
             ("completed", Value::from(self.completed as f64)),
             ("unfinished", Value::from(self.unfinished as f64)),
@@ -266,19 +449,22 @@ impl ScenarioReport {
 }
 
 /// A cartesian grid of scenarios: every workload × policy × region set
-/// under shared overheads/capacity/horizon settings.
+/// × overhead model × capacity under a shared start/horizon.
 #[derive(Debug, Clone)]
 pub struct ScenarioMatrix {
-    /// Workload recipes (one axis of the product).
-    pub workloads: Vec<WorkloadSpec>,
+    /// Named workload recipes (one axis of the product). The name feeds
+    /// scenario names; built-ins use the class label.
+    pub workloads: Vec<(String, WorkloadSpec)>,
     /// Policies (second axis).
     pub policies: Vec<PolicyKind>,
     /// Region sets (third axis).
-    pub region_sets: Vec<RegionSet>,
-    /// Overheads applied to every scenario.
-    pub overheads: OverheadModel,
-    /// Capacity applied to every scenario.
-    pub capacity_per_region: usize,
+    pub region_sets: Vec<RegionSpec>,
+    /// Overhead models (fourth axis; single-entry axes leave names
+    /// unchanged).
+    pub overheads: Vec<OverheadKind>,
+    /// Per-datacenter capacities (fifth axis; single-entry axes leave
+    /// names unchanged).
+    pub capacities: Vec<usize>,
     /// Start hour applied to every scenario.
     pub start: Hour,
     /// Horizon applied to every scenario.
@@ -286,29 +472,44 @@ pub struct ScenarioMatrix {
 }
 
 impl ScenarioMatrix {
-    /// Expands the cartesian product into named scenarios
-    /// (`{workload}-{policy}-{regions}`), workload-major in axis order.
+    /// Expands the cartesian product into named scenarios, workload-major
+    /// in axis order. Names are `{workload}-{policy}-{regions}`, suffixed
+    /// with `-{overheads}` and `-c{capacity}` only when the respective
+    /// axis has more than one value (so built-in names stay stable).
     pub fn expand(&self) -> Vec<Scenario> {
-        let mut scenarios =
-            Vec::with_capacity(self.workloads.len() * self.policies.len() * self.region_sets.len());
-        for workload in &self.workloads {
+        let mut scenarios = Vec::with_capacity(
+            self.workloads.len()
+                * self.policies.len()
+                * self.region_sets.len()
+                * self.overheads.len()
+                * self.capacities.len(),
+        );
+        for (workload_name, workload) in &self.workloads {
             for &policy in &self.policies {
-                for &regions in &self.region_sets {
-                    scenarios.push(Scenario {
-                        name: format!(
-                            "{}-{}-{}",
-                            workload.label(),
-                            policy.label(),
-                            regions.label()
-                        ),
-                        workload: workload.clone(),
-                        policy,
-                        regions,
-                        overheads: self.overheads,
-                        capacity_per_region: self.capacity_per_region,
-                        start: self.start,
-                        horizon: self.horizon,
-                    });
+                for regions in &self.region_sets {
+                    for &overheads in &self.overheads {
+                        for &capacity in &self.capacities {
+                            let mut name =
+                                format!("{}-{}-{}", workload_name, policy.label(), regions.label());
+                            if self.overheads.len() > 1 {
+                                name.push('-');
+                                name.push_str(overheads.label());
+                            }
+                            if self.capacities.len() > 1 {
+                                name.push_str(&format!("-c{capacity}"));
+                            }
+                            scenarios.push(Scenario {
+                                name,
+                                workload: workload.clone(),
+                                policy,
+                                regions: regions.clone(),
+                                overheads,
+                                capacity_per_region: capacity,
+                                start: self.start,
+                                horizon: self.horizon,
+                            });
+                        }
+                    }
                 }
             }
         }
@@ -316,35 +517,39 @@ impl ScenarioMatrix {
     }
 }
 
-/// The built-in matrix: 3 workload classes × 4 policies × 3 region sets
-/// = 36 scenarios over a 16-day window of the evaluation year.
+/// The built-in matrix: 3 workload classes × 6 policies × 3 region sets
+/// = 54 scenarios over a 16-day window of the evaluation year.
 pub fn builtin_matrix() -> ScenarioMatrix {
+    let workloads = vec![
+        WorkloadSpec::Batch {
+            per_origin: 12,
+            spacing_hours: 24,
+            length_hours: 8.0,
+            slack: Slack::Day,
+            interruptible: true,
+        },
+        WorkloadSpec::Interactive {
+            per_origin: 48,
+            spacing_hours: 6,
+        },
+        WorkloadSpec::Mixed {
+            per_origin: 24,
+            spacing_hours: 12,
+            migratable_fraction: 0.5,
+            batch_length_hours: 4.0,
+            batch_slack: Slack::Day,
+            seed: 0x5EED,
+        },
+    ];
     ScenarioMatrix {
-        workloads: vec![
-            WorkloadSpec::Batch {
-                per_origin: 12,
-                spacing_hours: 24,
-                length_hours: 8.0,
-                slack: Slack::Day,
-                interruptible: true,
-            },
-            WorkloadSpec::Interactive {
-                per_origin: 48,
-                spacing_hours: 6,
-            },
-            WorkloadSpec::Mixed {
-                per_origin: 24,
-                spacing_hours: 12,
-                migratable_fraction: 0.5,
-                batch_length_hours: 4.0,
-                batch_slack: Slack::Day,
-                seed: 0x5EED,
-            },
-        ],
+        workloads: workloads
+            .into_iter()
+            .map(|w| (w.label().to_string(), w))
+            .collect(),
         policies: PolicyKind::ALL.to_vec(),
-        region_sets: RegionSet::ALL.to_vec(),
-        overheads: OverheadModel::ZERO,
-        capacity_per_region: 8,
+        region_sets: RegionSet::ALL.iter().map(|&s| s.into()).collect(),
+        overheads: vec![OverheadKind::Zero],
+        capacities: vec![8],
         start: year_start(2022),
         horizon: 16 * 24,
     }
@@ -360,10 +565,39 @@ pub fn find_scenario(name: &str) -> Option<Scenario> {
     builtin_scenarios().into_iter().find(|s| s.name == name)
 }
 
-/// Runs `scenarios` against `data`, fanning out across threads; reports
-/// come back in input order.
+/// Runs `scenarios` against `data`, fanning out across threads over a
+/// shared planner cache; reports come back in input order.
 pub fn run_scenarios(data: &TraceSet, scenarios: &[Scenario]) -> Vec<ScenarioReport> {
-    par_map(scenarios, |scenario| scenario.run(data))
+    let mut reports = Vec::with_capacity(scenarios.len());
+    run_scenarios_with(data, scenarios, |report| {
+        reports.push(report);
+        true
+    });
+    reports
+}
+
+/// Streaming variant of [`run_scenarios`]: executes chunk-by-chunk in
+/// parallel (each chunk spans the worker threads) and hands every
+/// report to `sink` in input order as soon as its chunk completes, so
+/// thousand-scenario sweeps emit incrementally instead of buffering a
+/// matrix-sized `Vec`. A `false` return from `sink` aborts the sweep
+/// after the current chunk (e.g. the consumer's pipe closed), skipping
+/// the remaining scenarios. All scenarios in one call share one
+/// [`PlannerCache`].
+pub fn run_scenarios_with(
+    data: &TraceSet,
+    scenarios: &[Scenario],
+    mut sink: impl FnMut(ScenarioReport) -> bool,
+) {
+    let cache = PlannerCache::new();
+    let chunk = (thread_count() * 2).max(1);
+    for batch in scenarios.chunks(chunk) {
+        for report in par_map(batch, |scenario| scenario.run_cached(data, &cache)) {
+            if !sink(report) {
+                return;
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -374,14 +608,21 @@ mod tests {
     #[test]
     fn builtin_suite_names_are_unique_and_cover_the_product() {
         let scenarios = builtin_scenarios();
-        assert_eq!(scenarios.len(), 36);
+        assert_eq!(scenarios.len(), 54);
         assert!(scenarios.len() >= 24, "acceptance floor");
         let mut names: Vec<&str> = scenarios.iter().map(|s| s.name.as_str()).collect();
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), scenarios.len(), "duplicate scenario name");
         for workload in ["batch", "interactive", "mixed"] {
-            for policy in ["agnostic", "deferral", "threshold", "greenest"] {
+            for policy in [
+                "agnostic",
+                "deferral",
+                "threshold",
+                "greenest",
+                "forecast",
+                "spatiotemporal",
+            ] {
                 for regions in ["europe", "us", "global"] {
                     let name = format!("{workload}-{policy}-{regions}");
                     assert!(scenarios.iter().any(|s| s.name == name), "missing {name}");
@@ -418,10 +659,82 @@ mod tests {
     }
 
     #[test]
+    fn custom_region_specs_resolve_and_report_missing_zones() {
+        let data = builtin_dataset();
+        let nordics = RegionSpec::Custom {
+            label: "nordics".into(),
+            codes: vec!["SE".into(), "NO".into(), "FI".into()],
+        };
+        assert_eq!(nordics.label(), "nordics");
+        assert_eq!(nordics.try_resolve(&data).unwrap().len(), 3);
+        let bad = RegionSpec::Custom {
+            label: "atlantis".into(),
+            codes: vec!["SE".into(), "XX-NOPE".into()],
+        };
+        let err = bad.try_resolve(&data).unwrap_err();
+        assert!(err.contains("XX-NOPE"), "{err}");
+        assert!(err.contains("atlantis"), "{err}");
+    }
+
+    #[test]
+    fn policy_and_axis_labels_parse_round_trip() {
+        for kind in PolicyKind::ALL {
+            assert_eq!(PolicyKind::parse(kind.label()).unwrap(), kind);
+        }
+        let err = PolicyKind::parse("psychic").unwrap_err();
+        assert!(err.contains("spatiotemporal"), "{err}");
+        for kind in OverheadKind::ALL {
+            assert_eq!(OverheadKind::parse(kind.label()).unwrap(), kind);
+        }
+        assert!(OverheadKind::parse("free").is_err());
+        for set in RegionSet::ALL {
+            assert_eq!(RegionSet::parse(set.label()).unwrap(), set);
+        }
+        assert!(RegionSet::parse("mars").is_err());
+    }
+
+    #[test]
+    fn multi_value_axes_suffix_names() {
+        let mut matrix = builtin_matrix();
+        matrix.workloads.truncate(1);
+        matrix.policies = vec![PolicyKind::ThresholdSuspend];
+        matrix.region_sets = vec![RegionSet::Europe.into()];
+        matrix.overheads = OverheadKind::ALL.to_vec();
+        matrix.capacities = vec![4, 8];
+        let scenarios = matrix.expand();
+        assert_eq!(scenarios.len(), 4);
+        let names: Vec<&str> = scenarios.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "batch-threshold-europe-zero-c4",
+                "batch-threshold-europe-zero-c8",
+                "batch-threshold-europe-realistic-c4",
+                "batch-threshold-europe-realistic-c8",
+            ]
+        );
+    }
+
+    #[test]
+    fn realistic_overheads_raise_transitioning_scenario_emissions() {
+        let data = builtin_dataset();
+        let mut zero = find_scenario("batch-threshold-us").unwrap();
+        let ideal = zero.run(&data);
+        zero.overheads = OverheadKind::Realistic;
+        let costed = zero.run(&data);
+        assert!(ideal.transitions > 0, "threshold policy must transition");
+        assert_eq!(ideal.transitions, costed.transitions);
+        assert!(
+            costed.total_emissions_g > ideal.total_emissions_g,
+            "charged transitions must cost carbon"
+        );
+    }
+
+    #[test]
     fn find_scenario_roundtrips() {
         let s = find_scenario("batch-deferral-europe").expect("built-in name resolves");
         assert_eq!(s.policy, PolicyKind::PlannedDeferral);
-        assert_eq!(s.regions, RegionSet::Europe);
+        assert_eq!(s.regions, RegionSpec::Named(RegionSet::Europe));
         assert_eq!(s.workload.label(), "batch");
         assert!(find_scenario("batch-deferral-atlantis").is_none());
     }
@@ -446,6 +759,8 @@ mod tests {
             json.get("completed"),
             Some(&Value::from(report.jobs as f64))
         );
+        assert_eq!(json.get("overheads"), Some(&Value::from("zero")));
+        assert_eq!(json.get("capacity"), Some(&Value::from(8)));
     }
 
     #[test]
@@ -455,7 +770,10 @@ mod tests {
             &data,
             &builtin_scenarios()
                 .into_iter()
-                .filter(|s| s.workload.label() == "batch" && s.regions == RegionSet::Europe)
+                .filter(|s| {
+                    s.workload.label() == "batch"
+                        && s.regions == RegionSpec::Named(RegionSet::Europe)
+                })
                 .collect::<Vec<_>>(),
         );
         let ci_of = |policy: &str| {
@@ -475,6 +793,13 @@ mod tests {
             ci_of("greenest") < base,
             "routing to SE must help in Europe"
         );
+        // Forecast deferral is non-clairvoyant: bounded below by the
+        // clairvoyant deferral, and near the baseline at worst.
+        assert!(ci_of("forecast") >= ci_of("deferral") - 1e-9);
+        assert!(ci_of("forecast") <= base * 1.02);
+        // Spatial routing dominates; adding forecast deferral on top
+        // must not hurt materially.
+        assert!(ci_of("spatiotemporal") < base);
     }
 
     #[test]
@@ -486,6 +811,37 @@ mod tests {
         for (s, r) in scenarios.iter().zip(&reports) {
             assert_eq!(s.name, r.name);
         }
+    }
+
+    #[test]
+    fn streaming_runner_emits_every_report_in_order() {
+        let data = builtin_dataset();
+        let scenarios: Vec<Scenario> = builtin_scenarios()
+            .into_iter()
+            .filter(|s| s.regions == RegionSpec::Named(RegionSet::UnitedStates))
+            .collect();
+        let mut seen = Vec::new();
+        run_scenarios_with(&data, &scenarios, |report| {
+            seen.push(report.name.clone());
+            true
+        });
+        let expected: Vec<String> = scenarios.iter().map(|s| s.name.clone()).collect();
+        assert_eq!(seen, expected);
+    }
+
+    #[test]
+    fn streaming_runner_aborts_when_the_sink_declines() {
+        let data = builtin_dataset();
+        let scenarios = builtin_scenarios();
+        let mut delivered = 0usize;
+        run_scenarios_with(&data, &scenarios, |_| {
+            delivered += 1;
+            delivered < 3
+        });
+        // The sweep stops after the chunk containing the third report
+        // instead of running all 54 scenarios.
+        assert!(delivered >= 3);
+        assert!(delivered < scenarios.len(), "sweep must abort early");
     }
 
     #[test]

@@ -1,0 +1,798 @@
+//! The scenario-file format: user-defined scenario sweeps.
+//!
+//! The built-in matrix covers 54 scenarios; everything beyond it —
+//! custom region sets, workload recipes, overhead/capacity grids,
+//! different horizons — is declared in a plain-text scenario file and
+//! run via `decarb-cli scenario run --file <path>`. The format is
+//! INI-like (no external parser needed): `[kind name]` section headers,
+//! `key = value` lines, `#` comments, comma-separated lists.
+//!
+//! ```text
+//! [defaults]
+//! capacity = 8
+//! horizon = 384
+//! year = 2022
+//!
+//! [workload nightly]
+//! class = batch
+//! per_origin = 12
+//! spacing = 24
+//! length = 8
+//! slack = day
+//!
+//! [regions nordics]
+//! codes = SE, NO, FI
+//!
+//! [scenario nightly-forecast-nordics]
+//! workload = nightly
+//! policy = forecast
+//! regions = nordics
+//!
+//! [matrix sweep]
+//! workloads = nightly
+//! policies = agnostic, deferral, spatiotemporal
+//! regions = europe, nordics
+//! overheads = zero, realistic
+//! capacities = 4, 8
+//! ```
+//!
+//! Section kinds:
+//!
+//! * `[defaults]` — run-wide settings: `capacity`, `horizon`, `year`,
+//!   `start_offset` (hours into the year), `overheads`.
+//! * `[workload NAME]` — a [`WorkloadSpec`] recipe; keys are parsed by
+//!   [`WorkloadSpec::from_pairs`].
+//! * `[regions NAME]` — a custom region set: `codes = A, B, C`.
+//! * `[scenario NAME]` — one scenario: `workload`, `policy`, `regions`
+//!   (a built-in label or a `[regions]` section name), plus optional
+//!   overrides of any default.
+//! * `[matrix NAME]` — a cartesian sweep: `workloads`, `policies`
+//!   (labels or `all`), `regions`, `overheads`, `capacities`, plus
+//!   optional `horizon`/`year`/`start_offset` overrides. Expanded names
+//!   follow [`crate::scenario::ScenarioMatrix::expand`].
+//!
+//! Scenario names must be unique across the whole file; region codes
+//! are validated against the active dataset by the CLI before running.
+
+use std::collections::HashMap;
+
+use decarb_traces::time::{year_start, EPOCH_YEAR, LAST_YEAR};
+use decarb_traces::Hour;
+use decarb_workloads::WorkloadSpec;
+
+use crate::scenario::{OverheadKind, PolicyKind, RegionSet, RegionSpec, Scenario, ScenarioMatrix};
+
+/// A scenario-file parse failure, with the 1-based line it points at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioFileError {
+    /// 1-based line number of the offending section or pair.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ScenarioFileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "scenario file line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ScenarioFileError {}
+
+fn err(line: usize, message: impl Into<String>) -> ScenarioFileError {
+    ScenarioFileError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// One `[kind name]` section with its `key = value` pairs.
+#[derive(Debug)]
+struct Section {
+    kind: String,
+    name: String,
+    line: usize,
+    pairs: Vec<(String, String)>,
+    pair_lines: Vec<usize>,
+}
+
+impl Section {
+    fn get(&self, key: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn line_of(&self, key: &str) -> usize {
+        self.pairs
+            .iter()
+            .position(|(k, _)| k == key)
+            .map_or(self.line, |i| self.pair_lines[i])
+    }
+
+    fn parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ScenarioFileError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(raw) => raw.parse().map_err(|_| {
+                err(
+                    self.line_of(key),
+                    format!("invalid value `{raw}` for `{key}`"),
+                )
+            }),
+        }
+    }
+
+    fn list(&self, key: &str) -> Option<Vec<&str>> {
+        self.get(key).map(|raw| {
+            raw.split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .collect()
+        })
+    }
+
+    fn reject_unknown(&self, allowed: &[&str]) -> Result<(), ScenarioFileError> {
+        for (i, (key, _)) in self.pairs.iter().enumerate() {
+            if !allowed.contains(&key.as_str()) {
+                return Err(err(
+                    self.pair_lines[i],
+                    format!("unknown key `{key}` in [{} {}]", self.kind, self.name),
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Splits the file into sections, validating the line grammar.
+fn split_sections(text: &str) -> Result<Vec<Section>, ScenarioFileError> {
+    let mut sections: Vec<Section> = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = match raw.find('#') {
+            Some(pos) => &raw[..pos],
+            None => raw,
+        }
+        .trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('[') {
+            let Some(header) = header.strip_suffix(']') else {
+                return Err(err(line_no, format!("unterminated section header `{raw}`")));
+            };
+            let mut parts = header.split_whitespace();
+            let kind = parts.next().unwrap_or("").to_string();
+            let name = parts.next().unwrap_or("").to_string();
+            if parts.next().is_some() {
+                return Err(err(line_no, "section headers take one name"));
+            }
+            match kind.as_str() {
+                "defaults" => {
+                    if !name.is_empty() {
+                        return Err(err(line_no, "`[defaults]` takes no name"));
+                    }
+                }
+                "workload" | "regions" | "scenario" | "matrix" => {
+                    if name.is_empty() {
+                        return Err(err(line_no, format!("`[{kind} ...]` needs a name")));
+                    }
+                }
+                other => {
+                    return Err(err(
+                        line_no,
+                        format!(
+                            "unknown section kind `{other}` (valid: defaults, workload, \
+                             regions, scenario, matrix)"
+                        ),
+                    ));
+                }
+            }
+            sections.push(Section {
+                kind,
+                name,
+                line: line_no,
+                pairs: Vec::new(),
+                pair_lines: Vec::new(),
+            });
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(err(
+                line_no,
+                format!("expected `key = value`, got `{line}`"),
+            ));
+        };
+        let Some(section) = sections.last_mut() else {
+            return Err(err(line_no, "`key = value` before any section header"));
+        };
+        let key = key.trim().to_string();
+        if key.is_empty() {
+            return Err(err(line_no, "empty key"));
+        }
+        if section.pairs.iter().any(|(k, _)| *k == key) {
+            return Err(err(
+                line_no,
+                format!(
+                    "duplicate key `{key}` in [{} {}]",
+                    section.kind, section.name
+                ),
+            ));
+        }
+        section.pairs.push((key, value.trim().to_string()));
+        section.pair_lines.push(line_no);
+    }
+    Ok(sections)
+}
+
+/// Run-wide defaults, overridable per scenario/matrix section. The
+/// start is kept as its `year` + `start_offset` components so a
+/// section overriding one of the pair still inherits the other.
+#[derive(Debug, Clone, Copy)]
+struct Defaults {
+    capacity: usize,
+    horizon: usize,
+    year: i32,
+    start_offset: usize,
+    overheads: OverheadKind,
+}
+
+impl Defaults {
+    fn builtin() -> Self {
+        Self {
+            capacity: 8,
+            horizon: 16 * 24,
+            year: 2022,
+            start_offset: 0,
+            overheads: OverheadKind::Zero,
+        }
+    }
+
+    fn start(&self) -> Hour {
+        year_start(self.year).plus(self.start_offset)
+    }
+}
+
+/// Reads `year`/`start_offset`/`horizon`/`capacity` — and, unless the
+/// caller treats `overheads` as a list axis (matrix sections),
+/// `overheads` — from `section` on top of `base`.
+fn settings_from(
+    section: &Section,
+    base: Defaults,
+    include_overheads: bool,
+) -> Result<Defaults, ScenarioFileError> {
+    let year: i32 = section.parsed("year", base.year)?;
+    if !(EPOCH_YEAR..LAST_YEAR).contains(&year) {
+        return Err(err(
+            section.line_of("year"),
+            format!("`year` must lie in {EPOCH_YEAR}..{}", LAST_YEAR - 1),
+        ));
+    }
+    let start_offset: usize = section.parsed("start_offset", base.start_offset)?;
+    let capacity: usize = section.parsed("capacity", base.capacity)?;
+    if capacity == 0 {
+        return Err(err(section.line_of("capacity"), "`capacity` must be ≥ 1"));
+    }
+    let horizon: usize = section.parsed("horizon", base.horizon)?;
+    if horizon == 0 {
+        return Err(err(section.line_of("horizon"), "`horizon` must be ≥ 1"));
+    }
+    let overheads = match section.get("overheads").filter(|_| include_overheads) {
+        Some(raw) => OverheadKind::parse(raw).map_err(|e| err(section.line_of("overheads"), e))?,
+        None => base.overheads,
+    };
+    Ok(Defaults {
+        capacity,
+        horizon,
+        year,
+        start_offset,
+        overheads,
+    })
+}
+
+/// Resolves a region reference: a built-in label or a `[regions]`
+/// section name.
+fn resolve_regions(
+    name: &str,
+    custom: &HashMap<String, RegionSpec>,
+    line: usize,
+) -> Result<RegionSpec, ScenarioFileError> {
+    if let Ok(set) = RegionSet::parse(name) {
+        return Ok(set.into());
+    }
+    custom.get(name).cloned().ok_or_else(|| {
+        let mut valid: Vec<&str> = RegionSet::ALL.iter().map(|s| s.label()).collect();
+        valid.extend(custom.keys().map(String::as_str));
+        err(
+            line,
+            format!("unknown region set `{name}` (valid: {})", valid.join(", ")),
+        )
+    })
+}
+
+/// Parses a scenario file into its expanded scenario list.
+///
+/// Scenarios appear in declaration order (`[scenario]` entries as-is,
+/// `[matrix]` entries expanded in axis order). Names must be unique
+/// across the file.
+pub fn parse_scenario_file(text: &str) -> Result<Vec<Scenario>, ScenarioFileError> {
+    let sections = split_sections(text)?;
+
+    let mut defaults = Defaults::builtin();
+    let mut workloads: HashMap<String, WorkloadSpec> = HashMap::new();
+    let mut region_sets: HashMap<String, RegionSpec> = HashMap::new();
+
+    // First pass: defaults and named definitions (usable by any later —
+    // or earlier — scenario/matrix section).
+    for section in &sections {
+        match section.kind.as_str() {
+            "defaults" => {
+                section.reject_unknown(&[
+                    "capacity",
+                    "horizon",
+                    "year",
+                    "start_offset",
+                    "overheads",
+                ])?;
+                defaults = settings_from(section, defaults, true)?;
+            }
+            "workload" => {
+                let spec =
+                    WorkloadSpec::from_pairs(&section.pairs).map_err(|e| err(section.line, e))?;
+                if workloads.insert(section.name.clone(), spec).is_some() {
+                    return Err(err(
+                        section.line,
+                        format!("duplicate workload `{}`", section.name),
+                    ));
+                }
+            }
+            "regions" => {
+                section.reject_unknown(&["codes"])?;
+                if RegionSet::parse(&section.name).is_ok() {
+                    return Err(err(
+                        section.line,
+                        format!("region set `{}` shadows a built-in set", section.name),
+                    ));
+                }
+                let codes: Vec<String> = section
+                    .list("codes")
+                    .ok_or_else(|| err(section.line, "regions section needs `codes`"))?
+                    .iter()
+                    .map(|c| c.to_uppercase())
+                    .collect();
+                if codes.is_empty() {
+                    return Err(err(section.line_of("codes"), "`codes` must list a zone"));
+                }
+                let spec = RegionSpec::Custom {
+                    label: section.name.clone(),
+                    codes,
+                };
+                if region_sets.insert(section.name.clone(), spec).is_some() {
+                    return Err(err(
+                        section.line,
+                        format!("duplicate region set `{}`", section.name),
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // Second pass: scenarios and matrices, in order.
+    let mut scenarios: Vec<Scenario> = Vec::new();
+    for section in &sections {
+        match section.kind.as_str() {
+            "scenario" => {
+                section.reject_unknown(&[
+                    "workload",
+                    "policy",
+                    "regions",
+                    "capacity",
+                    "horizon",
+                    "year",
+                    "start_offset",
+                    "overheads",
+                ])?;
+                let settings = settings_from(section, defaults, true)?;
+                let workload_name = section
+                    .get("workload")
+                    .ok_or_else(|| err(section.line, "scenario needs `workload`"))?;
+                let workload = workloads.get(workload_name).cloned().ok_or_else(|| {
+                    err(
+                        section.line_of("workload"),
+                        format!("unknown workload `{workload_name}`"),
+                    )
+                })?;
+                let policy = section
+                    .get("policy")
+                    .ok_or_else(|| err(section.line, "scenario needs `policy`"))
+                    .and_then(|raw| {
+                        PolicyKind::parse(raw).map_err(|e| err(section.line_of("policy"), e))
+                    })?;
+                let regions_name = section
+                    .get("regions")
+                    .ok_or_else(|| err(section.line, "scenario needs `regions`"))?;
+                let regions =
+                    resolve_regions(regions_name, &region_sets, section.line_of("regions"))?;
+                scenarios.push(Scenario {
+                    name: section.name.clone(),
+                    workload,
+                    policy,
+                    regions,
+                    overheads: settings.overheads,
+                    capacity_per_region: settings.capacity,
+                    start: settings.start(),
+                    horizon: settings.horizon,
+                });
+            }
+            "matrix" => {
+                section.reject_unknown(&[
+                    "workloads",
+                    "policies",
+                    "regions",
+                    "overheads",
+                    "capacities",
+                    "capacity",
+                    "horizon",
+                    "year",
+                    "start_offset",
+                ])?;
+                let settings = settings_from(section, defaults, false)?;
+                let matrix_workloads: Vec<(String, WorkloadSpec)> = section
+                    .list("workloads")
+                    .ok_or_else(|| err(section.line, "matrix needs `workloads`"))?
+                    .iter()
+                    .map(|name| {
+                        workloads
+                            .get(*name)
+                            .cloned()
+                            .map(|spec| (name.to_string(), spec))
+                            .ok_or_else(|| {
+                                err(
+                                    section.line_of("workloads"),
+                                    format!("unknown workload `{name}`"),
+                                )
+                            })
+                    })
+                    .collect::<Result<_, _>>()?;
+                let policies: Vec<PolicyKind> = match section.list("policies") {
+                    None => return Err(err(section.line, "matrix needs `policies`")),
+                    Some(labels) if labels == ["all"] => PolicyKind::ALL.to_vec(),
+                    Some(labels) => labels
+                        .iter()
+                        .map(|label| {
+                            PolicyKind::parse(label)
+                                .map_err(|e| err(section.line_of("policies"), e))
+                        })
+                        .collect::<Result<_, _>>()?,
+                };
+                let matrix_regions: Vec<RegionSpec> = section
+                    .list("regions")
+                    .ok_or_else(|| err(section.line, "matrix needs `regions`"))?
+                    .iter()
+                    .map(|name| resolve_regions(name, &region_sets, section.line_of("regions")))
+                    .collect::<Result<_, _>>()?;
+                let overheads: Vec<OverheadKind> = match section.list("overheads") {
+                    None => vec![settings.overheads],
+                    Some(labels) => labels
+                        .iter()
+                        .map(|label| {
+                            OverheadKind::parse(label)
+                                .map_err(|e| err(section.line_of("overheads"), e))
+                        })
+                        .collect::<Result<_, _>>()?,
+                };
+                let capacities: Vec<usize> = match section.list("capacities") {
+                    None => vec![settings.capacity],
+                    Some(raws) => raws
+                        .iter()
+                        .map(|raw| {
+                            raw.parse::<usize>()
+                                .ok()
+                                .filter(|&c| c >= 1)
+                                .ok_or_else(|| {
+                                    err(
+                                        section.line_of("capacities"),
+                                        format!("invalid capacity `{raw}`"),
+                                    )
+                                })
+                        })
+                        .collect::<Result<_, _>>()?,
+                };
+                if matrix_workloads.is_empty() || policies.is_empty() || matrix_regions.is_empty() {
+                    return Err(err(section.line, "matrix axes must be non-empty"));
+                }
+                let matrix = ScenarioMatrix {
+                    workloads: matrix_workloads,
+                    policies,
+                    region_sets: matrix_regions,
+                    overheads,
+                    capacities,
+                    start: settings.start(),
+                    horizon: settings.horizon,
+                };
+                scenarios.extend(matrix.expand());
+            }
+            _ => {}
+        }
+    }
+
+    if scenarios.is_empty() {
+        return Err(err(
+            1,
+            "file declares no `[scenario]` or `[matrix]` section",
+        ));
+    }
+    let mut seen: HashMap<&str, ()> = HashMap::new();
+    for scenario in &scenarios {
+        if seen.insert(scenario.name.as_str(), ()).is_some() {
+            return Err(err(
+                1,
+                format!(
+                    "duplicate scenario id `{}` (rename the section or matrix workloads)",
+                    scenario.name
+                ),
+            ));
+        }
+    }
+    Ok(scenarios)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::run_scenarios;
+    use decarb_traces::builtin_dataset;
+
+    const EXAMPLE: &str = "\
+# A worked example exercising every section kind.
+[defaults]
+capacity = 6
+horizon = 480
+year = 2022
+start_offset = 24
+
+[workload nightly]
+class = batch
+per_origin = 4
+spacing = 24
+length = 6
+slack = day
+
+[workload web]
+class = interactive
+per_origin = 8
+spacing = 12
+
+[regions nordics]
+codes = se, NO, FI
+
+[scenario nightly-forecast-nordics]
+workload = nightly
+policy = forecast
+regions = nordics
+
+[matrix sweep]
+workloads = nightly, web
+policies = agnostic, spatiotemporal
+regions = europe, nordics
+overheads = zero, realistic
+";
+
+    #[test]
+    fn example_file_parses_and_expands() {
+        let scenarios = parse_scenario_file(EXAMPLE).unwrap();
+        // 1 single + 2 workloads × 2 policies × 2 region sets × 2 overheads.
+        assert_eq!(scenarios.len(), 1 + 16);
+        let single = &scenarios[0];
+        assert_eq!(single.name, "nightly-forecast-nordics");
+        assert_eq!(single.policy, PolicyKind::ForecastDeferral);
+        assert_eq!(single.capacity_per_region, 6);
+        assert_eq!(single.horizon, 480);
+        assert_eq!(single.start, year_start(2022).plus(24));
+        assert_eq!(single.regions.codes(), vec!["SE", "NO", "FI"]);
+        assert!(scenarios
+            .iter()
+            .any(|s| s.name == "web-spatiotemporal-nordics-realistic"));
+        assert!(scenarios
+            .iter()
+            .any(|s| s.name == "nightly-agnostic-europe-zero"));
+        // Matrix entries inherit the overridden defaults.
+        assert!(scenarios[1..].iter().all(|s| s.horizon == 480));
+    }
+
+    #[test]
+    fn parsed_scenarios_run_and_serialize() {
+        // The round-trip: parse → run → JSON.
+        let data = builtin_dataset();
+        let scenarios = parse_scenario_file(EXAMPLE).unwrap();
+        for s in &scenarios {
+            s.validate_against(&data).unwrap();
+        }
+        let subset: Vec<Scenario> = scenarios
+            .iter()
+            .filter(|s| s.name.contains("nordics"))
+            .take(3)
+            .cloned()
+            .collect();
+        let reports = run_scenarios(&data, &subset);
+        assert_eq!(reports.len(), subset.len());
+        for report in &reports {
+            assert!(report.completed > 0, "{}", report.name);
+            assert!(report.total_emissions_g > 0.0);
+            let json = report.to_json();
+            assert_eq!(
+                json.get("name"),
+                Some(&decarb_json::Value::from(report.name.as_str()))
+            );
+        }
+    }
+
+    #[test]
+    fn year_and_start_offset_inherit_independently() {
+        // A section overriding only one of the year/start_offset pair
+        // must inherit the other from [defaults].
+        let text = "\
+[defaults]
+year = 2020
+start_offset = 24
+
+[workload w]
+class = batch
+
+[scenario offset-only]
+workload = w
+policy = agnostic
+regions = europe
+start_offset = 48
+
+[scenario year-only]
+workload = w
+policy = agnostic
+regions = europe
+year = 2021
+";
+        let scenarios = parse_scenario_file(text).unwrap();
+        assert_eq!(scenarios[0].start, year_start(2020).plus(48));
+        assert_eq!(scenarios[1].start, year_start(2021).plus(24));
+    }
+
+    #[test]
+    fn comments_blank_lines_and_inline_comments_are_ignored() {
+        let text = "\
+[workload w]  # trailing comment
+class = batch # another
+
+[scenario s]
+workload = w
+policy = deferral
+regions = europe
+";
+        let scenarios = parse_scenario_file(text).unwrap();
+        assert_eq!(scenarios.len(), 1);
+        assert_eq!(scenarios[0].policy, PolicyKind::PlannedDeferral);
+    }
+
+    #[test]
+    fn malformed_sections_error_with_line_numbers() {
+        for (text, line, needle) in [
+            ("key = value\n", 1, "before any section"),
+            ("[scenario\n", 1, "unterminated section header"),
+            ("[defaults extra]\n", 1, "takes no name"),
+            ("[workload]\n", 1, "needs a name"),
+            ("[party time]\n", 1, "unknown section kind"),
+            ("[workload w]\nclass batch\n", 2, "expected `key = value`"),
+            (
+                "[workload w]\nclass = batch\nclass = mixed\n",
+                3,
+                "duplicate key",
+            ),
+            ("[scenario s]\nworkload = w\n", 2, "unknown workload"),
+            ("[regions r]\n", 1, "needs `codes`"),
+            ("[regions europe]\ncodes = SE\n", 1, "shadows a built-in"),
+            ("[defaults]\nyear = 1999\n", 2, "`year` must lie"),
+            ("[defaults]\ncapacity = 0\n", 2, "`capacity` must be"),
+        ] {
+            let error = parse_scenario_file(text).unwrap_err();
+            assert_eq!(error.line, line, "{text:?}: {error}");
+            assert!(error.message.contains(needle), "{text:?}: {error}");
+        }
+    }
+
+    #[test]
+    fn unknown_policy_names_list_the_valid_set() {
+        let text = "\
+[workload w]
+class = batch
+
+[scenario s]
+workload = w
+policy = psychic
+regions = europe
+";
+        let error = parse_scenario_file(text).unwrap_err();
+        assert_eq!(error.line, 6);
+        assert!(error.message.contains("unknown policy `psychic`"));
+        assert!(error.message.contains("forecast"), "{error}");
+        assert!(error.message.contains("spatiotemporal"), "{error}");
+    }
+
+    #[test]
+    fn duplicate_scenario_ids_are_rejected() {
+        let text = "\
+[workload w]
+class = batch
+
+[scenario twin]
+workload = w
+policy = agnostic
+regions = europe
+
+[scenario twin]
+workload = w
+policy = deferral
+regions = us
+";
+        let error = parse_scenario_file(text).unwrap_err();
+        assert!(error.message.contains("duplicate scenario id `twin`"));
+        // A matrix colliding with a single scenario is also caught.
+        let matrix_clash = "\
+[workload w]
+class = batch
+
+[scenario w-agnostic-europe]
+workload = w
+policy = agnostic
+regions = europe
+
+[matrix m]
+workloads = w
+policies = agnostic
+regions = europe
+";
+        let error = parse_scenario_file(matrix_clash).unwrap_err();
+        assert!(error
+            .message
+            .contains("duplicate scenario id `w-agnostic-europe`"));
+    }
+
+    #[test]
+    fn empty_or_scenario_free_files_are_rejected() {
+        assert!(parse_scenario_file("")
+            .unwrap_err()
+            .message
+            .contains("no `[scenario]`"));
+        let defs_only = "[workload w]\nclass = batch\n";
+        assert!(parse_scenario_file(defs_only)
+            .unwrap_err()
+            .message
+            .contains("no `[scenario]`"));
+    }
+
+    #[test]
+    fn policies_all_expands_the_full_axis() {
+        let text = "\
+[workload w]
+class = batch
+
+[matrix m]
+workloads = w
+policies = all
+regions = us
+";
+        let scenarios = parse_scenario_file(text).unwrap();
+        assert_eq!(scenarios.len(), PolicyKind::ALL.len());
+    }
+
+    #[test]
+    fn unknown_keys_are_rejected_per_section() {
+        let text = "\
+[defaults]
+frobnicate = 1
+";
+        let error = parse_scenario_file(text).unwrap_err();
+        assert_eq!(error.line, 2);
+        assert!(error.message.contains("unknown key `frobnicate`"));
+    }
+}

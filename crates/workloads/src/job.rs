@@ -73,6 +73,25 @@ impl Slack {
             Slack::TenX => "10x",
         }
     }
+
+    /// Parses a slack class from scenario-file text. Accepts the table
+    /// labels plus friendlier aliases (case-insensitive): `none`,
+    /// `day`/`24h`, `week`/`7d`, `24d`, `month`/`30d`, `year`/`1y`,
+    /// `10x`.
+    pub fn parse(text: &str) -> Result<Slack, String> {
+        match text.trim().to_lowercase().as_str() {
+            "none" => Ok(Slack::None),
+            "day" | "24h" => Ok(Slack::Day),
+            "week" | "7d" => Ok(Slack::Week),
+            "24d" => Ok(Slack::Days24),
+            "month" | "30d" => Ok(Slack::Month),
+            "year" | "1y" => Ok(Slack::Year),
+            "10x" => Ok(Slack::TenX),
+            other => Err(format!(
+                "unknown slack `{other}` (valid: none, day, week, 24d, month, year, 10x)"
+            )),
+        }
+    }
 }
 
 /// A schedulable unit of work.

@@ -56,7 +56,116 @@ pub enum WorkloadSpec {
     },
 }
 
+/// Key-value view used by [`WorkloadSpec::from_pairs`]: lookup with
+/// per-key parse errors and leftover-key detection.
+struct Pairs<'a> {
+    pairs: &'a [(String, String)],
+    used: Vec<bool>,
+}
+
+impl<'a> Pairs<'a> {
+    fn new(pairs: &'a [(String, String)]) -> Self {
+        Self {
+            pairs,
+            used: vec![false; pairs.len()],
+        }
+    }
+
+    fn get(&mut self, key: &str) -> Option<&'a str> {
+        let i = self.pairs.iter().position(|(k, _)| k == key)?;
+        self.used[i] = true;
+        Some(self.pairs[i].1.as_str())
+    }
+
+    fn parsed<T: std::str::FromStr>(&mut self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| format!("invalid value `{raw}` for workload key `{key}`")),
+        }
+    }
+
+    fn finish(self) -> Result<(), String> {
+        match self.used.iter().position(|&u| !u) {
+            Some(i) => Err(format!("unknown workload key `{}`", self.pairs[i].0)),
+            None => Ok(()),
+        }
+    }
+}
+
 impl WorkloadSpec {
+    /// Builds a spec from scenario-file `key = value` pairs.
+    ///
+    /// The `class` key selects the variant (`batch` / `interactive` /
+    /// `mixed`); the remaining keys fill its fields, with the built-in
+    /// matrix's values as defaults. Unknown keys, unparseable values,
+    /// and out-of-range fractions are errors.
+    pub fn from_pairs(pairs: &[(String, String)]) -> Result<WorkloadSpec, String> {
+        let mut p = Pairs::new(pairs);
+        let class = p.get("class").ok_or("workload section needs `class`")?;
+        let per_origin: usize = p.parsed("per_origin", 12)?;
+        if per_origin == 0 {
+            return Err("`per_origin` must be at least 1".into());
+        }
+        let spacing_hours: usize = p.parsed("spacing", 24)?;
+        if spacing_hours == 0 {
+            return Err("`spacing` must be at least 1".into());
+        }
+        let spec = match class {
+            "batch" => {
+                let length_hours: f64 = p.parsed("length", 8.0)?;
+                if !length_hours.is_finite() || length_hours <= 0.0 {
+                    return Err("`length` must be positive".into());
+                }
+                let slack = match p.get("slack") {
+                    Some(raw) => Slack::parse(raw)?,
+                    None => Slack::Day,
+                };
+                WorkloadSpec::Batch {
+                    per_origin,
+                    spacing_hours,
+                    length_hours,
+                    slack,
+                    interruptible: p.parsed("interruptible", true)?,
+                }
+            }
+            "interactive" => WorkloadSpec::Interactive {
+                per_origin,
+                spacing_hours,
+            },
+            "mixed" => {
+                let migratable_fraction: f64 = p.parsed("migratable_fraction", 0.5)?;
+                if !(0.0..=1.0).contains(&migratable_fraction) {
+                    return Err("`migratable_fraction` must lie in [0, 1]".into());
+                }
+                let batch_length_hours: f64 = p.parsed("length", 4.0)?;
+                if !batch_length_hours.is_finite() || batch_length_hours <= 0.0 {
+                    return Err("`length` must be positive".into());
+                }
+                let batch_slack = match p.get("slack") {
+                    Some(raw) => Slack::parse(raw)?,
+                    None => Slack::Day,
+                };
+                WorkloadSpec::Mixed {
+                    per_origin,
+                    spacing_hours,
+                    migratable_fraction,
+                    batch_length_hours,
+                    batch_slack,
+                    seed: p.parsed("seed", 0x5EED)?,
+                }
+            }
+            other => {
+                return Err(format!(
+                    "unknown workload class `{other}` (valid: batch, interactive, mixed)"
+                ))
+            }
+        };
+        p.finish()?;
+        Ok(spec)
+    }
+
     /// Returns the spec's class label (`batch` / `interactive` / `mixed`).
     pub fn label(&self) -> &'static str {
         match self {
@@ -247,6 +356,127 @@ mod tests {
                 JobClass::Interactive => assert!(!job.migratable),
             }
         }
+    }
+
+    fn pairs(kv: &[(&str, &str)]) -> Vec<(String, String)> {
+        kv.iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn from_pairs_builds_each_class() {
+        let batch = WorkloadSpec::from_pairs(&pairs(&[
+            ("class", "batch"),
+            ("per_origin", "3"),
+            ("spacing", "12"),
+            ("length", "6.5"),
+            ("slack", "week"),
+            ("interruptible", "false"),
+        ]))
+        .unwrap();
+        match batch {
+            WorkloadSpec::Batch {
+                per_origin,
+                spacing_hours,
+                length_hours,
+                slack,
+                interruptible,
+            } => {
+                assert_eq!(per_origin, 3);
+                assert_eq!(spacing_hours, 12);
+                assert_eq!(length_hours, 6.5);
+                assert_eq!(slack, Slack::Week);
+                assert!(!interruptible);
+            }
+            other => panic!("wrong class: {other:?}"),
+        }
+        let interactive =
+            WorkloadSpec::from_pairs(&pairs(&[("class", "interactive"), ("per_origin", "7")]))
+                .unwrap();
+        assert_eq!(interactive.label(), "interactive");
+        assert_eq!(interactive.job_count(2), 14);
+        let mixed = WorkloadSpec::from_pairs(&pairs(&[
+            ("class", "mixed"),
+            ("migratable_fraction", "0.25"),
+            ("seed", "99"),
+        ]))
+        .unwrap();
+        assert_eq!(mixed.label(), "mixed");
+    }
+
+    #[test]
+    fn from_pairs_defaults_match_the_builtin_batch_recipe() {
+        let spec = WorkloadSpec::from_pairs(&pairs(&[("class", "batch")])).unwrap();
+        match spec {
+            WorkloadSpec::Batch {
+                per_origin,
+                spacing_hours,
+                length_hours,
+                slack,
+                interruptible,
+            } => {
+                assert_eq!(
+                    (
+                        per_origin,
+                        spacing_hours,
+                        length_hours,
+                        slack,
+                        interruptible
+                    ),
+                    (12, 24, 8.0, Slack::Day, true)
+                );
+            }
+            other => panic!("wrong class: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn from_pairs_rejects_bad_inputs() {
+        for (kv, needle) in [
+            (vec![("per_origin", "3")], "needs `class`"),
+            (vec![("class", "streaming")], "unknown workload class"),
+            (vec![("class", "batch"), ("slack", "soon")], "unknown slack"),
+            (vec![("class", "batch"), ("length", "-1")], "positive"),
+            (vec![("class", "batch"), ("per_origin", "0")], "at least 1"),
+            (vec![("class", "batch"), ("spacing", "0")], "at least 1"),
+            (
+                vec![("class", "batch"), ("per_origin", "many")],
+                "invalid value",
+            ),
+            (
+                vec![("class", "mixed"), ("migratable_fraction", "1.5")],
+                "[0, 1]",
+            ),
+            (
+                vec![("class", "interactive"), ("length", "4")],
+                "unknown workload key",
+            ),
+            (vec![("class", "batch"), ("bogus", "1")], "unknown workload"),
+        ] {
+            let err = WorkloadSpec::from_pairs(&pairs(&kv)).unwrap_err();
+            assert!(err.contains(needle), "{kv:?}: got `{err}`");
+        }
+    }
+
+    #[test]
+    fn slack_parse_accepts_aliases() {
+        for (text, slack) in [
+            ("none", Slack::None),
+            ("DAY", Slack::Day),
+            ("24h", Slack::Day),
+            ("week", Slack::Week),
+            ("7d", Slack::Week),
+            ("24d", Slack::Days24),
+            ("month", Slack::Month),
+            ("30d", Slack::Month),
+            ("year", Slack::Year),
+            ("1y", Slack::Year),
+            (" 10x ", Slack::TenX),
+        ] {
+            assert_eq!(Slack::parse(text).unwrap(), slack, "{text}");
+        }
+        assert!(Slack::parse("fortnight").is_err());
     }
 
     #[test]
