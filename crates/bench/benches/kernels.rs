@@ -177,14 +177,14 @@ fn bench_kernel_sim(h: &Harness) {
 fn bench_planner_cache(h: &Harness) {
     use decarb_sim::scenario::{OverheadKind, PolicyKind, RegionSet, ScenarioMatrix};
     use decarb_sim::{CachedDeferral, PlannedDeferral, PlannerCache};
-    use decarb_workloads::WorkloadSpec;
+    use decarb_workloads::{Arrival, WorkloadSpec};
 
     let data = builtin_dataset();
     let regions: Vec<&'static Region> = RegionSet::Europe.resolve(&data);
     let start = year_start(2022);
     let spec = WorkloadSpec::Batch {
         per_origin: 12,
-        spacing_hours: 24,
+        arrival: Arrival::fixed(24),
         length_hours: 8.0,
         slack: Slack::Day,
         interruptible: true,
@@ -215,6 +215,8 @@ fn bench_planner_cache(h: &Harness) {
             2, 3, 4, 5, 6, 7, 8, 10, 12, 14, 16, 20, 24, 28, 32, 40, 48, 56, 64, 96, 128, 192, 256,
             384, 512, 768, 1024, 2048, 4096, 8192,
         ],
+        forecaster: decarb_sim::ForecasterKind::Seasonal,
+        slo_ms: decarb_sim::scenario::SPATIOTEMPORAL_SLO_MS,
         start,
         horizon: 16 * 24,
     };
@@ -226,6 +228,33 @@ fn bench_planner_cache(h: &Harness) {
     );
     h.bench("kernels/sim/matrix_540_shared_cache", || {
         black_box(decarb_sim::run_scenarios(&data, &scenarios))
+    });
+
+    // The sweep pipeline's non-simulation stages at the same 540-entry
+    // scale: planning (validation + content addressing), partitioning
+    // into 8 shards, and merging 4 shard report documents. These are
+    // the per-process overheads a sharded multi-process sweep pays on
+    // top of raw simulation time.
+    use decarb_sim::sweep::{merge_reports, SweepPlan};
+    h.bench("kernels/sweep/plan_540", || {
+        black_box(SweepPlan::plan(&data, scenarios.clone()).expect("plan validates"))
+    });
+    let plan = SweepPlan::plan(&data, scenarios.clone()).expect("plan validates");
+    h.bench("kernels/sweep/shard_partition_540x8", || {
+        let shards: Vec<_> = (0..8)
+            .map(|i| plan.shard(8, i).expect("index in range"))
+            .collect();
+        black_box(shards)
+    });
+    let shard_docs: Vec<decarb_json::Value> = (0..4)
+        .map(|i| {
+            let shard = plan.shard(4, i).expect("index in range");
+            decarb_json::Value::Array(shard.execute(&data).iter().map(|r| r.to_json()).collect())
+        })
+        .collect();
+    let names = plan.names();
+    h.bench("kernels/sweep/merge_540_reports_4shards", || {
+        black_box(merge_reports(Some(&names), &shard_docs).expect("shards merge"))
     });
 }
 

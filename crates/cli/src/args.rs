@@ -66,13 +66,32 @@ pub enum Command {
     /// `scenario list` — enumerate the built-in scenario matrix.
     ScenarioList,
     /// `scenario run <NAME|all> [--json]` / `scenario run --file PATH
-    /// [--json]` — run built-in or user-defined scenarios.
+    /// [--json]` — run built-in or user-defined scenarios, optionally
+    /// as one shard of a partitioned sweep (`--shards N --shard-index
+    /// I`) or fanned out across `--workers K` child processes.
     ScenarioRun {
         /// What to run: a built-in name (or `all`) or a scenario file.
         target: ScenarioTarget,
         /// Emit JSON instead of a text table.
         json: bool,
+        /// Run only one shard of the sweep plan.
+        shard: Option<ShardSpec>,
+        /// Spawn this many child shard processes and merge their
+        /// streams.
+        workers: Option<usize>,
     },
+    /// `scenario merge <REPORT...> [--expect all|FILE]` — recombine
+    /// per-shard JSON reports into one document.
+    ScenarioMerge {
+        /// Paths of the shard reports, in any order.
+        reports: Vec<String>,
+        /// Optional completeness check: the sweep the shards must
+        /// cover exactly.
+        expect: Option<MergeExpect>,
+    },
+    /// `scenario history append|show` — persist and inspect a per-run
+    /// emissions series (JSONL keyed by git rev).
+    ScenarioHistory(HistoryCommand),
     /// `scenario diff --report R --golden G [--tolerance-pct P]` — gate
     /// per-scenario emissions drift against a golden JSON report.
     ScenarioDiff {
@@ -94,6 +113,46 @@ pub enum ScenarioTarget {
     Name(String),
     /// A user-defined scenario file (`--file PATH`).
     File(String),
+}
+
+/// One shard of a partitioned sweep: `--shards N --shard-index I`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// Total disjoint shards the plan splits into.
+    pub shards: usize,
+    /// This process's shard, `0..shards`.
+    pub index: usize,
+}
+
+/// What a merged report must cover (`scenario merge --expect ...`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum MergeExpect {
+    /// The built-in 54-scenario matrix (`--expect all`).
+    All,
+    /// The expansion of a scenario file (`--expect PATH`).
+    File(String),
+}
+
+/// The `scenario history` subcommands.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HistoryCommand {
+    /// Append one run's emissions to the series.
+    Append {
+        /// Path of the `scenario run ... --json` report to record.
+        report: String,
+        /// Path of the JSONL history file (created when missing).
+        file: String,
+        /// Revision key; defaults to `$GITHUB_SHA`, then `git
+        /// rev-parse`, then `unknown`.
+        rev: Option<String>,
+    },
+    /// Render the series as a drift-trend table.
+    Show {
+        /// Path of the JSONL history file.
+        file: String,
+        /// Show only the last N entries (0 = all).
+        limit: usize,
+    },
 }
 
 /// A parse failure with a user-facing message.
@@ -125,6 +184,15 @@ commands:
   scenario list                        list the built-in scenario matrix
   scenario run <NAME|all> [--json]     run scenario-matrix entries in parallel
   scenario run --file FILE [--json]    run a user-defined scenario file
+  scenario run ... --shards N --shard-index I
+                                       run one disjoint shard of the sweep plan
+  scenario run ... --workers K         fan the sweep out over K child processes
+  scenario merge <REPORT...> [--expect all|FILE]
+                                       recombine shard reports into one document
+  scenario history append --report R --file H [--rev REV]
+                                       record a run in the emissions series
+  scenario history show --file H [--limit N]
+                                       render the emissions series as a trend
   scenario diff --report R --golden G [--tolerance-pct P]
                                        fail when per-scenario emissions drift
 
@@ -287,6 +355,8 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
                 Ok(Command::ScenarioList)
             }
             Some("run") => parse_scenario_run(&argv[2..]),
+            Some("merge") => parse_scenario_merge(&argv[2..]),
+            Some("history") => parse_scenario_history(&argv[2..]),
             Some("diff") => {
                 let opts = Options::scan(&argv[2..])?;
                 opts.reject_unknown(&["report", "golden", "tolerance-pct"])?;
@@ -309,7 +379,8 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
                 })
             }
             _ => Err(ParseError(
-                "`scenario` needs a subcommand: `list`, `run <NAME|all|--file FILE>`, or `diff`"
+                "`scenario` needs a subcommand: `list`, `run <NAME|all|--file FILE>`, \
+                 `merge`, `history`, or `diff`"
                     .into(),
             )),
         },
@@ -320,12 +391,30 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
 }
 
 /// Parses `scenario run` arguments: a positional `<NAME|all>` or
-/// `--file PATH` (exactly one of the two), plus `--json`, in any order.
+/// `--file PATH` (exactly one of the two), plus `--json`, `--shards N
+/// --shard-index I`, and `--workers K`, in any order.
 fn parse_scenario_run(rest: &[String]) -> Result<Command, ParseError> {
     let mut json = false;
     let mut name: Option<String> = None;
     let mut file: Option<String> = None;
+    let mut shards: Option<usize> = None;
+    let mut shard_index: Option<usize> = None;
+    let mut workers: Option<usize> = None;
     let mut i = 0;
+    // `--key VALUE` options with a numeric value, deduplicated.
+    let take_count =
+        |slot: &mut Option<usize>, key: &str, raw: Option<&String>| -> Result<(), ParseError> {
+            let Some(raw) = raw else {
+                return Err(ParseError(format!("`{key}` needs a value")));
+            };
+            let value: usize = raw
+                .parse()
+                .map_err(|_| ParseError(format!("invalid value `{raw}` for `{key}`")))?;
+            if slot.replace(value).is_some() {
+                return Err(ParseError(format!("`{key}` given twice")));
+            }
+            Ok(())
+        };
     while i < rest.len() {
         match rest[i].as_str() {
             "--json" => {
@@ -339,6 +428,18 @@ fn parse_scenario_run(rest: &[String]) -> Result<Command, ParseError> {
                 if file.replace(path.clone()).is_some() {
                     return Err(ParseError("`--file` given twice".into()));
                 }
+                i += 2;
+            }
+            "--shards" => {
+                take_count(&mut shards, "--shards", rest.get(i + 1))?;
+                i += 2;
+            }
+            "--shard-index" => {
+                take_count(&mut shard_index, "--shard-index", rest.get(i + 1))?;
+                i += 2;
+            }
+            "--workers" => {
+                take_count(&mut workers, "--workers", rest.get(i + 1))?;
                 i += 2;
             }
             other if other.starts_with("--") => {
@@ -372,7 +473,122 @@ fn parse_scenario_run(rest: &[String]) -> Result<Command, ParseError> {
             ))
         }
     };
-    Ok(Command::ScenarioRun { target, json })
+    let shard = match (shards, shard_index) {
+        (None, None) => None,
+        (Some(shards), Some(index)) => {
+            if shards == 0 {
+                return Err(ParseError("`--shards` must be at least 1".into()));
+            }
+            if index >= shards {
+                return Err(ParseError(format!(
+                    "`--shard-index` must lie in 0..{shards}"
+                )));
+            }
+            Some(ShardSpec { shards, index })
+        }
+        _ => {
+            return Err(ParseError(
+                "`--shards` and `--shard-index` must be given together".into(),
+            ))
+        }
+    };
+    if let Some(workers) = workers {
+        if workers == 0 {
+            return Err(ParseError("`--workers` must be at least 1".into()));
+        }
+        if shard.is_some() {
+            return Err(ParseError(
+                "pass `--workers` or `--shards`/`--shard-index`, not both".into(),
+            ));
+        }
+    }
+    Ok(Command::ScenarioRun {
+        target,
+        json,
+        shard,
+        workers,
+    })
+}
+
+/// Parses `scenario merge`: one or more report paths plus an optional
+/// `--expect all|FILE` completeness check.
+fn parse_scenario_merge(rest: &[String]) -> Result<Command, ParseError> {
+    let mut reports: Vec<String> = Vec::new();
+    let mut expect: Option<MergeExpect> = None;
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--expect" => {
+                let Some(what) = rest.get(i + 1) else {
+                    return Err(ParseError(
+                        "`--expect` needs `all` or a scenario file".into(),
+                    ));
+                };
+                let parsed = if what == "all" {
+                    MergeExpect::All
+                } else {
+                    MergeExpect::File(what.clone())
+                };
+                if expect.replace(parsed).is_some() {
+                    return Err(ParseError("`--expect` given twice".into()));
+                }
+                i += 2;
+            }
+            other if other.starts_with("--") => {
+                return Err(ParseError(format!(
+                    "unknown option `{other}` for `scenario merge`"
+                )));
+            }
+            path => {
+                reports.push(path.to_string());
+                i += 1;
+            }
+        }
+    }
+    if reports.is_empty() {
+        return Err(ParseError(
+            "`scenario merge` needs at least one shard report path".into(),
+        ));
+    }
+    Ok(Command::ScenarioMerge { reports, expect })
+}
+
+/// Parses `scenario history append|show`.
+fn parse_scenario_history(rest: &[String]) -> Result<Command, ParseError> {
+    match rest.first().map(String::as_str) {
+        Some("append") => {
+            let opts = Options::scan(&rest[1..])?;
+            opts.reject_unknown(&["report", "file", "rev"])?;
+            let report = opts
+                .get("report")
+                .ok_or_else(|| ParseError("`scenario history append` needs --report FILE".into()))?
+                .to_string();
+            let file = opts
+                .get("file")
+                .ok_or_else(|| ParseError("`scenario history append` needs --file FILE".into()))?
+                .to_string();
+            Ok(Command::ScenarioHistory(HistoryCommand::Append {
+                report,
+                file,
+                rev: opts.get("rev").map(str::to_string),
+            }))
+        }
+        Some("show") => {
+            let opts = Options::scan(&rest[1..])?;
+            opts.reject_unknown(&["file", "limit"])?;
+            let file = opts
+                .get("file")
+                .ok_or_else(|| ParseError("`scenario history show` needs --file FILE".into()))?
+                .to_string();
+            Ok(Command::ScenarioHistory(HistoryCommand::Show {
+                file,
+                limit: opts.parsed("limit", 0)?,
+            }))
+        }
+        _ => Err(ParseError(
+            "`scenario history` needs a subcommand: `append` or `show`".into(),
+        )),
+    }
 }
 
 /// Shared `<NAME|all> [--json]` parsing for `run`;
@@ -523,6 +739,8 @@ mod tests {
         let expected = Command::ScenarioRun {
             target: ScenarioTarget::Name("batch-agnostic-europe".into()),
             json: true,
+            shard: None,
+            workers: None,
         };
         assert_eq!(
             parse(&argv(&[
@@ -548,7 +766,9 @@ mod tests {
             parse(&argv(&["scenario", "run", "all"])).unwrap(),
             Command::ScenarioRun {
                 target: ScenarioTarget::Name("all".into()),
-                json: false
+                json: false,
+                shard: None,
+                workers: None,
             }
         );
     }
@@ -566,20 +786,187 @@ mod tests {
             .unwrap(),
             Command::ScenarioRun {
                 target: ScenarioTarget::File("my.scenario".into()),
-                json: true
+                json: true,
+                shard: None,
+                workers: None,
             }
         );
         assert_eq!(
             parse(&argv(&["scenario", "run", "--file", "my.scenario"])).unwrap(),
             Command::ScenarioRun {
                 target: ScenarioTarget::File("my.scenario".into()),
-                json: false
+                json: false,
+                shard: None,
+                workers: None,
             }
         );
         // A name and a file together are ambiguous.
         assert!(parse(&argv(&["scenario", "run", "all", "--file", "x"])).is_err());
         assert!(parse(&argv(&["scenario", "run", "--file"])).is_err());
         assert!(parse(&argv(&["scenario", "run", "--file", "a", "--file", "b"])).is_err());
+    }
+
+    #[test]
+    fn scenario_run_shard_and_worker_options_parse() {
+        assert_eq!(
+            parse(&argv(&[
+                "scenario",
+                "run",
+                "all",
+                "--shards",
+                "4",
+                "--shard-index",
+                "2",
+                "--json"
+            ]))
+            .unwrap(),
+            Command::ScenarioRun {
+                target: ScenarioTarget::Name("all".into()),
+                json: true,
+                shard: Some(ShardSpec {
+                    shards: 4,
+                    index: 2
+                }),
+                workers: None,
+            }
+        );
+        assert_eq!(
+            parse(&argv(&["scenario", "run", "all", "--workers", "3"])).unwrap(),
+            Command::ScenarioRun {
+                target: ScenarioTarget::Name("all".into()),
+                json: false,
+                shard: None,
+                workers: Some(3),
+            }
+        );
+        // Validation: the pair must be complete, in range, and not
+        // combined with --workers.
+        assert!(parse(&argv(&["scenario", "run", "all", "--shards", "4"])).is_err());
+        assert!(parse(&argv(&["scenario", "run", "all", "--shard-index", "0"])).is_err());
+        assert!(parse(&argv(&[
+            "scenario",
+            "run",
+            "all",
+            "--shards",
+            "4",
+            "--shard-index",
+            "4"
+        ]))
+        .is_err());
+        assert!(parse(&argv(&[
+            "scenario",
+            "run",
+            "all",
+            "--shards",
+            "0",
+            "--shard-index",
+            "0"
+        ]))
+        .is_err());
+        assert!(parse(&argv(&["scenario", "run", "all", "--workers", "0"])).is_err());
+        assert!(parse(&argv(&[
+            "scenario",
+            "run",
+            "all",
+            "--workers",
+            "2",
+            "--shards",
+            "2",
+            "--shard-index",
+            "0"
+        ]))
+        .is_err());
+        assert!(parse(&argv(&[
+            "scenario",
+            "run",
+            "all",
+            "--shards",
+            "two",
+            "--shard-index",
+            "0"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn scenario_merge_parses_reports_and_expectations() {
+        assert_eq!(
+            parse(&argv(&["scenario", "merge", "a.json", "b.json"])).unwrap(),
+            Command::ScenarioMerge {
+                reports: vec!["a.json".into(), "b.json".into()],
+                expect: None,
+            }
+        );
+        assert_eq!(
+            parse(&argv(&[
+                "scenario", "merge", "a.json", "--expect", "all", "b.json"
+            ]))
+            .unwrap(),
+            Command::ScenarioMerge {
+                reports: vec!["a.json".into(), "b.json".into()],
+                expect: Some(MergeExpect::All),
+            }
+        );
+        assert_eq!(
+            parse(&argv(&[
+                "scenario",
+                "merge",
+                "a.json",
+                "--expect",
+                "my.scenario"
+            ]))
+            .unwrap(),
+            Command::ScenarioMerge {
+                reports: vec!["a.json".into()],
+                expect: Some(MergeExpect::File("my.scenario".into())),
+            }
+        );
+        assert!(parse(&argv(&["scenario", "merge"])).is_err());
+        assert!(parse(&argv(&["scenario", "merge", "--expect", "all"])).is_err());
+        assert!(parse(&argv(&["scenario", "merge", "a.json", "--expect"])).is_err());
+        assert!(parse(&argv(&["scenario", "merge", "a.json", "--bogus", "x"])).is_err());
+    }
+
+    #[test]
+    fn scenario_history_parses_append_and_show() {
+        assert_eq!(
+            parse(&argv(&[
+                "scenario", "history", "append", "--report", "r.json", "--file", "h.jsonl"
+            ]))
+            .unwrap(),
+            Command::ScenarioHistory(HistoryCommand::Append {
+                report: "r.json".into(),
+                file: "h.jsonl".into(),
+                rev: None,
+            })
+        );
+        assert_eq!(
+            parse(&argv(&[
+                "scenario", "history", "append", "--report", "r.json", "--file", "h.jsonl",
+                "--rev", "abc123"
+            ]))
+            .unwrap(),
+            Command::ScenarioHistory(HistoryCommand::Append {
+                report: "r.json".into(),
+                file: "h.jsonl".into(),
+                rev: Some("abc123".into()),
+            })
+        );
+        assert_eq!(
+            parse(&argv(&[
+                "scenario", "history", "show", "--file", "h.jsonl", "--limit", "5"
+            ]))
+            .unwrap(),
+            Command::ScenarioHistory(HistoryCommand::Show {
+                file: "h.jsonl".into(),
+                limit: 5,
+            })
+        );
+        assert!(parse(&argv(&["scenario", "history"])).is_err());
+        assert!(parse(&argv(&["scenario", "history", "append"])).is_err());
+        assert!(parse(&argv(&["scenario", "history", "append", "--report", "r"])).is_err());
+        assert!(parse(&argv(&["scenario", "history", "show"])).is_err());
+        assert!(parse(&argv(&["scenario", "history", "prune", "--file", "h"])).is_err());
     }
 
     #[test]

@@ -19,7 +19,9 @@ use decarb_stats::periodicity::periodicity_score;
 use decarb_traces::time::{hours_in_year, year_start};
 use decarb_traces::{csv, TraceError, TraceSet};
 
-use crate::args::{Command, ParseError, ScenarioTarget, USAGE};
+use decarb_sim::sweep::SweepPlan;
+
+use crate::args::{Command, MergeExpect, ParseError, ScenarioTarget, ShardSpec, USAGE};
 
 /// A CLI failure: bad arguments, a data-layer error, an output error,
 /// or a failed check (e.g. `scenario diff` drift).
@@ -84,13 +86,35 @@ pub fn run_on(command: &Command, data: &TraceSet) -> Result<String, CliError> {
         Command::Forecast { zone, days, year } => forecast(data, zone, *days, *year),
         Command::Rank { year } => rank(data, *year),
         Command::Export { zone, year } => export(data, zone, *year),
-        Command::ScenarioRun { target, json } => run_scenarios_cmd(target, *json, data),
+        Command::ScenarioRun {
+            target,
+            json,
+            shard,
+            workers,
+        } => {
+            // `run_on` has the loaded dataset but not the `--data` path,
+            // so it cannot tell the child processes what to re-import —
+            // spawning them against the built-in dataset would silently
+            // answer a different question. The dispatch entry points
+            // thread the path through and handle `--workers` themselves.
+            if workers.is_some() {
+                return Err(CliError::Parse(ParseError(
+                    "`--workers` needs the CLI entry point (dispatch) to forward the \
+                     --data path to its child processes; use dispatch, or run the shards \
+                     in-process with --shards/--shard-index"
+                        .into(),
+                )));
+            }
+            run_scenarios_cmd(target, *json, *shard, None, None, data)
+        }
         Command::List
         | Command::Run { .. }
         | Command::ScenarioList
+        | Command::ScenarioMerge { .. }
+        | Command::ScenarioHistory(_)
         | Command::ScenarioDiff { .. } => Err(CliError::Parse(ParseError(
-            "`list`, `run`, `scenario list`, and `scenario diff` always use the built-in \
-             dataset; drop --data"
+            "`list`, `run`, `scenario list`, `scenario merge`, `scenario history`, and \
+             `scenario diff` always use the built-in dataset; drop --data"
                 .into(),
         ))),
     }
@@ -161,13 +185,15 @@ pub(crate) fn scenario_list() -> String {
     out
 }
 
-/// Resolves a `scenario run` target into concrete scenarios, validated
-/// against the active dataset. Unknown built-in names list the valid
-/// ones; scenario files are parsed with line-numbered errors.
-fn select_scenarios(
+/// Resolves a `scenario run`/`scenario merge` target into a validated
+/// [`SweepPlan`]. Unknown built-in names list the valid ones; scenario
+/// files are parsed with line-numbered errors; scenarios that cannot
+/// run against the dataset are *all* collected into one error instead
+/// of panicking mid-sweep.
+pub(crate) fn plan_for_target(
     target: &ScenarioTarget,
     data: &TraceSet,
-) -> Result<Vec<decarb_sim::Scenario>, CliError> {
+) -> Result<SweepPlan, CliError> {
     let selected = match target {
         ScenarioTarget::Name(name) if name == "all" => decarb_sim::builtin_scenarios(),
         ScenarioTarget::Name(name) => {
@@ -189,25 +215,75 @@ fn select_scenarios(
                 .map_err(|e| CliError::Parse(ParseError(format!("{path}: {e}"))))?
         }
     };
-    for scenario in &selected {
-        scenario.validate_against(data).map_err(|e| {
-            CliError::Parse(ParseError(format!("scenario `{}`: {e}", scenario.name)))
-        })?;
-    }
-    Ok(selected)
+    SweepPlan::plan(data, selected).map_err(|e| CliError::Parse(ParseError(e.to_string())))
+}
+
+/// The scenario table header row (text output).
+pub(crate) fn scenario_table_header() -> String {
+    format!(
+        "{:<34} {:>5} {:>5} {:>6} {:>6} {:>8} {:>12} {:>11} {:>9}\n",
+        "scenario", "jobs", "done", "unfin", "missed", "migrate", "kWh", "avg g/kWh", "slowdown"
+    )
+}
+
+/// One scenario table row; counts arrive as `f64` so JSON-sourced rows
+/// (the multi-process merge path) render identically to native ones.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn scenario_table_row(
+    name: &str,
+    jobs: f64,
+    completed: f64,
+    unfinished: f64,
+    missed: f64,
+    migrations: f64,
+    energy_kwh: f64,
+    average_ci: f64,
+    mean_slowdown: f64,
+) -> String {
+    format!(
+        "{:<34} {:>5} {:>5} {:>6} {:>6} {:>8} {:>12.1} {:>11.1} {:>9.2}\n",
+        name,
+        jobs as u64,
+        completed as u64,
+        unfinished as u64,
+        missed as u64,
+        migrations as u64,
+        energy_kwh,
+        average_ci,
+        mean_slowdown,
+    )
 }
 
 /// Runs scenarios (built-in by name, the whole matrix, or a scenario
 /// file) in parallel against `data`, streaming each report to `out` as
 /// its chunk completes — a thousand-scenario sweep never buffers the
 /// full result set.
+///
+/// `shard` restricts the run to one disjoint shard of the sweep plan
+/// (the multi-process partition unit; sharded JSON output is always an
+/// array, so shard reports merge uniformly). `workers` instead spawns
+/// that many child shard processes and merges their streams (see
+/// [`crate::fanout`]); `data_path` is forwarded to the children.
 pub(crate) fn run_scenarios_to(
     out: &mut dyn io::Write,
     target: &ScenarioTarget,
     json: bool,
+    shard: Option<ShardSpec>,
+    workers: Option<usize>,
+    data_path: Option<&str>,
     data: &TraceSet,
 ) -> Result<(), CliError> {
-    let selected = select_scenarios(target, data)?;
+    if let Some(workers) = workers {
+        return crate::fanout::run_workers(out, target, json, workers, data_path, data);
+    }
+    let plan = plan_for_target(target, data)?;
+    let single = plan.len() == 1 && shard.is_none();
+    let plan = match shard {
+        None => plan,
+        Some(spec) => plan
+            .shard(spec.shards, spec.index)
+            .map_err(|e| CliError::Parse(ParseError(e.to_string())))?,
+    };
     let mut sink_error: Option<io::Error> = None;
     {
         // Returns `false` once the sink has failed, so the scenario
@@ -222,14 +298,14 @@ pub(crate) fn run_scenarios_to(
             sink_error.is_none()
         };
         if json {
-            // One scenario renders as an object, many as an array — in
-            // both cases one valid JSON document, emitted incrementally.
-            let single = selected.len() == 1;
+            // One scenario renders as an object, many (or any sharded
+            // run) as an array — in both cases one valid JSON document,
+            // emitted incrementally.
             if !single {
-                emit("[\n".to_string());
+                emit("[".to_string());
             }
             let mut index = 0usize;
-            decarb_sim::run_scenarios_with(data, &selected, |report| {
+            plan.execute_with(data, |report| {
                 let pretty = report.to_json().pretty();
                 let keep_going = if single {
                     emit(pretty)
@@ -237,7 +313,7 @@ pub(crate) fn run_scenarios_to(
                     let mut chunk = if index > 0 {
                         ",\n".to_string()
                     } else {
-                        String::new()
+                        "\n".to_string()
                     };
                     for (i, line) in pretty.lines().enumerate() {
                         if i > 0 {
@@ -252,30 +328,22 @@ pub(crate) fn run_scenarios_to(
                 keep_going
             });
             if !single {
-                emit("\n]".to_string());
+                emit(if index == 0 {
+                    "]".to_string()
+                } else {
+                    "\n]".to_string()
+                });
             }
         } else {
-            emit(format!(
-                "{:<34} {:>5} {:>5} {:>6} {:>6} {:>8} {:>12} {:>11} {:>9}\n",
-                "scenario",
-                "jobs",
-                "done",
-                "unfin",
-                "missed",
-                "migrate",
-                "kWh",
-                "avg g/kWh",
-                "slowdown"
-            ));
-            decarb_sim::run_scenarios_with(data, &selected, |r| {
-                emit(format!(
-                    "{:<34} {:>5} {:>5} {:>6} {:>6} {:>8} {:>12.1} {:>11.1} {:>9.2}\n",
-                    r.name,
-                    r.jobs,
-                    r.completed,
-                    r.unfinished,
-                    r.missed_deadlines,
-                    r.migrations,
+            emit(scenario_table_header());
+            plan.execute_with(data, |r| {
+                emit(scenario_table_row(
+                    &r.name,
+                    r.jobs as f64,
+                    r.completed as f64,
+                    r.unfinished as f64,
+                    r.missed_deadlines as f64,
+                    r.migrations as f64,
                     r.total_energy_kwh,
                     r.average_ci,
                     r.mean_slowdown,
@@ -294,20 +362,20 @@ pub(crate) fn run_scenarios_to(
 pub(crate) fn run_scenarios_cmd(
     target: &ScenarioTarget,
     json: bool,
+    shard: Option<ShardSpec>,
+    workers: Option<usize>,
+    data_path: Option<&str>,
     data: &TraceSet,
 ) -> Result<String, CliError> {
     let mut buffer = Vec::new();
-    run_scenarios_to(&mut buffer, target, json, data)?;
+    run_scenarios_to(&mut buffer, target, json, shard, workers, data_path, data)?;
     Ok(String::from_utf8(buffer).expect("scenario output is UTF-8"))
 }
 
 /// Extracts `(name, emissions_g)` pairs from a `scenario run --json`
 /// report document (a single object or an array of objects).
 fn report_emissions(path: &str) -> Result<Vec<(String, f64)>, CliError> {
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| CliError::Parse(ParseError(format!("{path}: {e}"))))?;
-    let value = decarb_json::parse(&text)
-        .map_err(|e| CliError::Parse(ParseError(format!("{path}: {e}"))))?;
+    let value = read_report_doc(path)?;
     let items: Vec<&Value> = match &value {
         Value::Array(items) => items.iter().collect(),
         object @ Value::Object(_) => vec![object],
@@ -390,6 +458,182 @@ pub(crate) fn scenario_diff(
         "{} scenarios within ±{tolerance_pct}% of {golden_path} (max drift {max_drift:.4}%)\n",
         golden.len()
     ))
+}
+
+/// Reads and parses one JSON report document.
+fn read_report_doc(path: &str) -> Result<Value, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Parse(ParseError(format!("{path}: {e}"))))?;
+    decarb_json::parse(&text).map_err(|e| CliError::Parse(ParseError(format!("{path}: {e}"))))
+}
+
+/// The standalone shard recombiner: merges `scenario run --json` shard
+/// reports into one JSON array, failing on duplicate scenarios
+/// (overlapping shards) and — when `--expect` names a sweep — on
+/// missing or unexpected ones. The merged document is ordered like the
+/// expected sweep (or by name without one), so it is directly
+/// comparable with a single-process run and feeds `scenario diff`.
+pub(crate) fn scenario_merge(
+    reports: &[String],
+    expect: Option<&MergeExpect>,
+) -> Result<String, CliError> {
+    let docs = reports
+        .iter()
+        .map(|path| read_report_doc(path))
+        .collect::<Result<Vec<_>, _>>()?;
+    let expected: Option<Vec<String>> = match expect {
+        None => None,
+        Some(MergeExpect::All) => Some(
+            decarb_sim::builtin_scenarios()
+                .iter()
+                .map(|s| s.name.clone())
+                .collect(),
+        ),
+        Some(MergeExpect::File(path)) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| CliError::Parse(ParseError(format!("--expect {path}: {e}"))))?;
+            let scenarios = decarb_sim::parse_scenario_file(&text)
+                .map_err(|e| CliError::Parse(ParseError(format!("{path}: {e}"))))?;
+            Some(scenarios.iter().map(|s| s.name.clone()).collect())
+        }
+    };
+    let merged = decarb_sim::merge_reports(expected.as_deref(), &docs)
+        .map_err(|e| CliError::Check(format!("scenario merge: {e}")))?;
+    Ok(Value::Array(merged).pretty())
+}
+
+/// Resolves the revision key a history entry is recorded under:
+/// explicit `--rev`, then `$GITHUB_SHA` (the CI case), then the
+/// repository HEAD, then `unknown`.
+fn resolve_rev(explicit: Option<&str>) -> String {
+    if let Some(rev) = explicit {
+        return rev.to_string();
+    }
+    if let Ok(sha) = std::env::var("GITHUB_SHA") {
+        if !sha.trim().is_empty() {
+            return sha.trim().to_string();
+        }
+    }
+    if let Ok(output) = std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+    {
+        if output.status.success() {
+            let rev = String::from_utf8_lossy(&output.stdout).trim().to_string();
+            if !rev.is_empty() {
+                return rev;
+            }
+        }
+    }
+    "unknown".to_string()
+}
+
+/// Appends one run's per-scenario emissions to a JSONL history file
+/// (one object per line, keyed by git rev), creating the file when
+/// missing — the per-commit series behind `scenario history show`.
+pub(crate) fn scenario_history_append(
+    report_path: &str,
+    file: &str,
+    rev: Option<&str>,
+) -> Result<String, CliError> {
+    let pairs = report_emissions(report_path)?;
+    let total: f64 = pairs.iter().map(|(_, g)| g).sum();
+    let rev = resolve_rev(rev);
+    let entry = Value::object([
+        ("rev", Value::from(rev.as_str())),
+        ("scenarios", Value::from(pairs.len() as f64)),
+        ("total_emissions_g", Value::from(total)),
+        (
+            "emissions",
+            Value::Object(
+                pairs
+                    .iter()
+                    .map(|(name, g)| (name.clone(), Value::from(*g)))
+                    .collect(),
+            ),
+        ),
+    ]);
+    use std::io::Write as _;
+    let mut handle = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(file)
+        .map_err(|e| CliError::Parse(ParseError(format!("{file}: {e}"))))?;
+    writeln!(handle, "{entry}")?;
+    Ok(format!(
+        "recorded {rev}: {} scenarios, {total:.1} g·CO2eq total → {file}\n",
+        pairs.len()
+    ))
+}
+
+/// Renders the emissions-history series as a trend table: one row per
+/// recorded run with the total-emissions delta against the previous
+/// run, so gradual drift the per-commit golden gate cannot see becomes
+/// visible.
+pub(crate) fn scenario_history_show(file: &str, limit: usize) -> Result<String, CliError> {
+    let text = std::fs::read_to_string(file)
+        .map_err(|e| CliError::Parse(ParseError(format!("{file}: {e}"))))?;
+    let mut rows: Vec<(String, usize, f64)> = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let entry = decarb_json::parse(line)
+            .map_err(|e| CliError::Parse(ParseError(format!("{file} line {}: {e}", i + 1))))?;
+        let Some(Value::String(rev)) = entry.get("rev") else {
+            return Err(CliError::Parse(ParseError(format!(
+                "{file} line {}: entry without a `rev`",
+                i + 1
+            ))));
+        };
+        let Some(Value::Number(scenarios)) = entry.get("scenarios") else {
+            return Err(CliError::Parse(ParseError(format!(
+                "{file} line {}: entry without `scenarios`",
+                i + 1
+            ))));
+        };
+        let Some(Value::Number(total)) = entry.get("total_emissions_g") else {
+            return Err(CliError::Parse(ParseError(format!(
+                "{file} line {}: entry without `total_emissions_g`",
+                i + 1
+            ))));
+        };
+        rows.push((rev.clone(), *scenarios as usize, *total));
+    }
+    if rows.is_empty() {
+        return Ok(format!("{file}: no recorded runs\n"));
+    }
+    // Deltas are computed over the full series, then the tail is shown,
+    // so the first visible row still reports its drift.
+    let mut out = format!(
+        "{:<14} {:>9} {:>16} {:>9}\n",
+        "rev", "scenarios", "total g·CO2eq", "Δ total"
+    );
+    let skip = match limit {
+        0 => 0,
+        n => rows.len().saturating_sub(n),
+    };
+    for (i, (rev, scenarios, total)) in rows.iter().enumerate().skip(skip) {
+        let delta = if i == 0 {
+            "—".to_string()
+        } else {
+            let previous = rows[i - 1].2;
+            if previous.abs() > f64::EPSILON {
+                format!("{:+.3}%", (total - previous) / previous * 100.0)
+            } else {
+                "n/a".to_string()
+            }
+        };
+        let short: String = rev.chars().take(12).collect();
+        let _ = writeln!(out, "{short:<14} {scenarios:>9} {total:>16.1} {delta:>9}");
+    }
+    let _ = writeln!(
+        out,
+        "{} run{} recorded",
+        rows.len(),
+        if rows.len() == 1 { "" } else { "s" }
+    );
+    Ok(out)
 }
 
 fn year_values<'a>(data: &'a TraceSet, zone: &str, year: i32) -> Result<&'a [f64], CliError> {
@@ -990,6 +1234,8 @@ mod tests {
         let command = Command::ScenarioRun {
             target: crate::args::ScenarioTarget::Name("batch-agnostic-europe".into()),
             json: false,
+            shard: None,
+            workers: None,
         };
         let out = run_on(&command, &data).unwrap();
         assert!(out.contains("batch-agnostic-europe"), "{out}");

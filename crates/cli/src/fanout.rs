@@ -1,0 +1,137 @@
+//! Multi-process sweep fan-out: `scenario run ... --workers K`.
+//!
+//! The in-process scenario engine tops out at one machine's core count.
+//! This module spawns `K` child `decarb-cli` processes, each running
+//! one disjoint shard of the sweep plan (`--shards K --shard-index i
+//! --json`), drains their streams concurrently, and merges the shard
+//! reports back into one document with the same duplicate/missing
+//! detection the standalone `scenario merge` applies. Because shard
+//! membership is keyed by content-addressed scenario ids, the children
+//! need no coordination — the same partition falls out in every
+//! process — and the merged output is ordered like a single-process
+//! run.
+
+use std::io;
+use std::process::{Command as Process, Stdio};
+
+use decarb_json::Value;
+use decarb_traces::TraceSet;
+
+use crate::args::ScenarioTarget;
+use crate::commands::{plan_for_target, scenario_table_header, scenario_table_row, CliError};
+
+/// Spawns `workers` child shard processes over `target`, merges their
+/// JSON streams, and writes the combined report (JSON array or text
+/// table) to `out`. `data_path` re-imports the same `--data` dataset in
+/// every child.
+pub(crate) fn run_workers(
+    out: &mut dyn io::Write,
+    target: &ScenarioTarget,
+    json: bool,
+    workers: usize,
+    data_path: Option<&str>,
+    data: &TraceSet,
+) -> Result<(), CliError> {
+    // Plan locally first: argument errors (unknown scenario, bad file,
+    // invalid zones) surface here once instead of K times from the
+    // children, and the plan's names drive the merge expectation.
+    let plan = plan_for_target(target, data)?;
+    // A child costs a full process start plus dataset synthesis; never
+    // spawn more of them than there are scenarios to run.
+    let workers = workers.min(plan.len()).max(1);
+    let exe = std::env::current_exe().map_err(CliError::Io)?;
+    let mut children = Vec::with_capacity(workers);
+    for index in 0..workers {
+        let mut child = Process::new(&exe);
+        if let Some(path) = data_path {
+            child.arg("--data").arg(path);
+        }
+        child.arg("scenario").arg("run");
+        match target {
+            ScenarioTarget::Name(name) => {
+                child.arg(name);
+            }
+            ScenarioTarget::File(path) => {
+                child.arg("--file").arg(path);
+            }
+        }
+        child
+            .arg("--shards")
+            .arg(workers.to_string())
+            .arg("--shard-index")
+            .arg(index.to_string())
+            .arg("--json")
+            .stdin(Stdio::null())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped());
+        children.push(child.spawn().map_err(CliError::Io)?);
+    }
+    // Drain every child's pipes on its own thread: a sequential
+    // wait-in-order would deadlock once a later child fills its pipe
+    // buffer while an earlier one is still running.
+    let outputs: Vec<io::Result<std::process::Output>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = children
+            .into_iter()
+            .map(|child| scope.spawn(move || child.wait_with_output()))
+            .collect();
+        handles
+            .into_iter()
+            .map(|handle| handle.join().expect("shard reader thread"))
+            .collect()
+    });
+    let mut docs = Vec::with_capacity(workers);
+    for (index, result) in outputs.into_iter().enumerate() {
+        let output = result.map_err(CliError::Io)?;
+        if !output.status.success() {
+            return Err(CliError::Check(format!(
+                "shard worker {index}/{workers} failed ({}): {}",
+                output.status,
+                String::from_utf8_lossy(&output.stderr).trim()
+            )));
+        }
+        let text = String::from_utf8_lossy(&output.stdout);
+        let value = decarb_json::parse(&text).map_err(|e| {
+            CliError::Check(format!(
+                "shard worker {index}/{workers} emitted invalid JSON: {e}"
+            ))
+        })?;
+        docs.push(value);
+    }
+    let names = plan.names();
+    let merged = decarb_sim::merge_reports(Some(&names), &docs)
+        .map_err(|e| CliError::Check(format!("merging shard worker streams: {e}")))?;
+    if json {
+        out.write_all(Value::Array(merged).pretty().as_bytes())?;
+        return Ok(());
+    }
+    out.write_all(scenario_table_header().as_bytes())?;
+    for report in &merged {
+        let text = |key: &str| -> &str {
+            match report.get(key) {
+                Some(Value::String(s)) => s.as_str(),
+                _ => "?",
+            }
+        };
+        let number = |key: &str| -> f64 {
+            match report.get(key) {
+                Some(Value::Number(n)) => *n,
+                _ => f64::NAN,
+            }
+        };
+        out.write_all(
+            scenario_table_row(
+                text("name"),
+                number("jobs"),
+                number("completed"),
+                number("unfinished"),
+                number("missed_deadlines"),
+                number("migrations"),
+                number("energy_kwh"),
+                number("avg_ci_g_per_kwh"),
+                number("mean_slowdown"),
+            )
+            .as_bytes(),
+        )?;
+    }
+    Ok(())
+}

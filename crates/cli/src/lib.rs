@@ -17,6 +17,11 @@
 //! | `run <ID\|all> [--json]` | run experiments through the shared registry |
 //! | `scenario list` | enumerate the built-in scenario matrix |
 //! | `scenario run <NAME\|all> [--json]` | run scenario-matrix entries in parallel |
+//! | `scenario run ... --shards N --shard-index I` | run one disjoint shard of the sweep plan |
+//! | `scenario run ... --workers K` | fan the sweep out over K child shard processes |
+//! | `scenario merge <REPORT...> [--expect all\|FILE]` | recombine shard reports into one document |
+//! | `scenario history append\|show` | record / render the per-run emissions series |
+//! | `scenario diff --report R --golden G` | gate per-scenario emissions drift |
 //!
 //! A leading global option `--data FILE` replaces the built-in synthetic
 //! dataset with a `zone,hour,value` CSV (e.g. a real Electricity Maps
@@ -30,8 +35,11 @@ use decarb_traces::{builtin_dataset, csv, repair, validate, TraceSet, Validation
 
 pub mod args;
 pub mod commands;
+mod fanout;
 
-pub use args::{parse, Command, ParseError, ScenarioTarget};
+pub use args::{
+    parse, Command, HistoryCommand, MergeExpect, ParseError, ScenarioTarget, ShardSpec,
+};
 pub use commands::{run_on, CliError};
 
 /// Runs a parsed command against the built-in dataset.
@@ -42,11 +50,29 @@ pub fn run(command: &Command) -> Result<String, CliError> {
         Command::List => Ok(commands::list()),
         Command::Run { id, json } => commands::run_experiments(id, *json),
         Command::ScenarioList => Ok(commands::scenario_list()),
+        Command::ScenarioMerge { reports, expect } => {
+            commands::scenario_merge(reports, expect.as_ref())
+        }
+        Command::ScenarioHistory(HistoryCommand::Append { report, file, rev }) => {
+            commands::scenario_history_append(report, file, rev.as_deref())
+        }
+        Command::ScenarioHistory(HistoryCommand::Show { file, limit }) => {
+            commands::scenario_history_show(file, *limit)
+        }
         Command::ScenarioDiff {
             report,
             golden,
             tolerance_pct,
         } => commands::scenario_diff(report, golden, *tolerance_pct),
+        // `run_on` rejects `--workers` because it cannot know what
+        // `--data` path its children should re-import; here the dataset
+        // is the built-in one, which children load by default.
+        Command::ScenarioRun {
+            target,
+            json,
+            shard,
+            workers,
+        } => commands::run_scenarios_cmd(target, *json, *shard, *workers, None, &builtin_dataset()),
         other => run_on(other, &builtin_dataset()),
     }
 }
@@ -76,18 +102,36 @@ pub fn load_dataset(path: &str) -> Result<TraceSet, CliError> {
     Ok(TraceSet::from_series(pairs))
 }
 
+/// An imported `--data` dataset together with the path it came from —
+/// the path rides along so the multi-process fan-out can re-import the
+/// same dataset in its child processes.
+type ImportedData = Option<(String, TraceSet)>;
+
 /// Splits the global `--data FILE` option off `argv`, loading the
 /// dataset when present.
-fn split_data(argv: &[String]) -> Result<(Option<TraceSet>, &[String]), CliError> {
+fn split_data(argv: &[String]) -> Result<(ImportedData, &[String]), CliError> {
     if argv.first().map(String::as_str) == Some("--data") {
         let Some(path) = argv.get(1) else {
             return Err(CliError::Parse(ParseError(
                 "--data needs a file path".into(),
             )));
         };
-        Ok((Some(load_dataset(path)?), &argv[2..]))
+        Ok((Some((path.clone(), load_dataset(path)?)), &argv[2..]))
     } else {
         Ok((None, argv))
+    }
+}
+
+/// Binds a `scenario run` to its dataset: the imported `--data` pair
+/// when present (path forwarded so worker children re-import it), else
+/// the built-in set with no path.
+fn with_scenario_dataset<R>(
+    data: &ImportedData,
+    f: impl FnOnce(Option<&str>, &TraceSet) -> R,
+) -> R {
+    match data {
+        Some((path, set)) => f(Some(path), set),
+        None => f(None, &builtin_dataset()),
     }
 }
 
@@ -97,8 +141,19 @@ fn split_data(argv: &[String]) -> Result<(Option<TraceSet>, &[String]), CliError
 pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
     let (data, rest) = split_data(argv)?;
     let command = parse(rest).map_err(CliError::Parse)?;
+    if let Command::ScenarioRun {
+        target,
+        json,
+        shard,
+        workers,
+    } = &command
+    {
+        return with_scenario_dataset(&data, |path, set| {
+            commands::run_scenarios_cmd(target, *json, *shard, *workers, path, set)
+        });
+    }
     match data {
-        Some(set) => run_on(&command, &set),
+        Some((_, set)) => run_on(&command, &set),
         None => run(&command),
     }
 }
@@ -111,16 +166,21 @@ pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
 pub fn dispatch_stream(argv: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError> {
     let (data, rest) = split_data(argv)?;
     let command = parse(rest).map_err(CliError::Parse)?;
-    if let Command::ScenarioRun { target, json } = &command {
-        match &data {
-            Some(set) => commands::run_scenarios_to(out, target, *json, set)?,
-            None => commands::run_scenarios_to(out, target, *json, &builtin_dataset())?,
-        }
+    if let Command::ScenarioRun {
+        target,
+        json,
+        shard,
+        workers,
+    } = &command
+    {
+        with_scenario_dataset(&data, |path, set| {
+            commands::run_scenarios_to(out, target, *json, *shard, *workers, path, set)
+        })?;
         writeln!(out)?;
         return Ok(());
     }
     let text = match data {
-        Some(set) => run_on(&command, &set),
+        Some((_, set)) => run_on(&command, &set),
         None => run(&command),
     }?;
     writeln!(out, "{text}")?;

@@ -273,6 +273,255 @@ fn scenario_diff_gates_emissions_drift_end_to_end() {
     std::fs::remove_file(&golden).ok();
 }
 
+/// The sharded-sweep acceptance pin: `scenario run all --shards 4
+/// --shard-index {0..3} --json`, merged via `scenario merge --expect
+/// all`, must reproduce the single-process `scenario run all --json`
+/// per-scenario within the CI golden tolerance (0.1%).
+#[test]
+fn four_shard_sweep_merges_to_the_single_process_report() {
+    let dir = std::env::temp_dir();
+    let full_path = dir.join("decarb_cli_e2e_sweep_full.json");
+    let full = decarb_cli(&["scenario", "run", "all", "--json"]);
+    assert!(full.status.success(), "{}", stderr(&full));
+    std::fs::write(&full_path, &full.stdout).unwrap();
+
+    let mut shard_paths = Vec::new();
+    let mut shard_scenario_total = 0;
+    for index in 0..4 {
+        let shard = decarb_cli(&[
+            "scenario",
+            "run",
+            "all",
+            "--shards",
+            "4",
+            "--shard-index",
+            &index.to_string(),
+            "--json",
+        ]);
+        assert!(shard.status.success(), "shard {index}: {}", stderr(&shard));
+        let text = stdout(&shard);
+        assert!(
+            text.trim_start().starts_with('['),
+            "shard output is an array"
+        );
+        shard_scenario_total += text.matches("\"name\":").count();
+        let path = dir.join(format!("decarb_cli_e2e_sweep_shard{index}.json"));
+        std::fs::write(&path, shard.stdout).unwrap();
+        shard_paths.push(path);
+    }
+    assert_eq!(shard_scenario_total, 54, "shards cover the matrix exactly");
+
+    let merged_path = dir.join("decarb_cli_e2e_sweep_merged.json");
+    let mut merge_args = vec!["scenario".to_string(), "merge".to_string()];
+    merge_args.extend(shard_paths.iter().map(|p| p.to_str().unwrap().to_string()));
+    merge_args.extend(["--expect".to_string(), "all".to_string()]);
+    let merge_argv: Vec<&str> = merge_args.iter().map(String::as_str).collect();
+    let merged = decarb_cli(&merge_argv);
+    assert!(merged.status.success(), "{}", stderr(&merged));
+    let merged_text = stdout(&merged);
+    assert_eq!(merged_text.matches("\"name\":").count(), 54);
+    std::fs::write(&merged_path, merged.stdout).unwrap();
+
+    // The merged sharded sweep passes the same golden-diff gate the CI
+    // applies, against the single-process run, at the CI tolerance.
+    let diff = decarb_cli(&[
+        "scenario",
+        "diff",
+        "--report",
+        merged_path.to_str().unwrap(),
+        "--golden",
+        full_path.to_str().unwrap(),
+        "--tolerance-pct",
+        "0.1",
+    ]);
+    assert!(diff.status.success(), "{}", stderr(&diff));
+    assert!(
+        stdout(&diff).contains("54 scenarios within"),
+        "{}",
+        stdout(&diff)
+    );
+
+    // Overlapping shards and incomplete merges are rejected with exit 2.
+    let overlap = decarb_cli(&[
+        "scenario",
+        "merge",
+        shard_paths[0].to_str().unwrap(),
+        shard_paths[0].to_str().unwrap(),
+    ]);
+    assert_eq!(overlap.status.code(), Some(2));
+    assert!(
+        stderr(&overlap).contains("more than one shard report"),
+        "{}",
+        stderr(&overlap)
+    );
+    let incomplete = decarb_cli(&[
+        "scenario",
+        "merge",
+        shard_paths[0].to_str().unwrap(),
+        "--expect",
+        "all",
+    ]);
+    assert_eq!(incomplete.status.code(), Some(2));
+    assert!(
+        stderr(&incomplete).contains("missing"),
+        "{}",
+        stderr(&incomplete)
+    );
+
+    for path in shard_paths.iter().chain([&full_path, &merged_path]) {
+        std::fs::remove_file(path).ok();
+    }
+}
+
+#[test]
+fn worker_fanout_spawns_shard_processes_and_merges_their_streams() {
+    // A small scenario file keeps the multi-process test cheap.
+    let dir = std::env::temp_dir();
+    let file = dir.join("decarb_cli_e2e_workers.scenario");
+    std::fs::write(
+        &file,
+        "\
+[workload tiny]
+class = batch
+per_origin = 2
+spacing = 24
+length = 3
+slack = day
+
+[matrix m]
+workloads = tiny
+policies = agnostic, deferral, greenest
+regions = europe, us
+",
+    )
+    .unwrap();
+    let single = decarb_cli(&[
+        "scenario",
+        "run",
+        "--file",
+        file.to_str().unwrap(),
+        "--json",
+    ]);
+    assert!(single.status.success(), "{}", stderr(&single));
+    let fanned = decarb_cli(&[
+        "scenario",
+        "run",
+        "--file",
+        file.to_str().unwrap(),
+        "--workers",
+        "2",
+        "--json",
+    ]);
+    assert!(fanned.status.success(), "{}", stderr(&fanned));
+    // Deterministic simulation + plan-ordered merge: identical bytes up
+    // to the wall-clock elapsed field.
+    let strip = |text: &str| -> String {
+        text.lines()
+            .filter(|l| !l.contains("\"elapsed_s\""))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(strip(&stdout(&fanned)), strip(&stdout(&single)));
+    // Text mode renders the same table through the merge path.
+    let table = decarb_cli(&[
+        "scenario",
+        "run",
+        "--file",
+        file.to_str().unwrap(),
+        "--workers",
+        "2",
+    ]);
+    assert!(table.status.success(), "{}", stderr(&table));
+    let text = stdout(&table);
+    assert!(text.contains("tiny-deferral-us"), "{text}");
+    assert!(text.lines().count() >= 7, "header + 6 rows: {text}");
+    std::fs::remove_file(&file).ok();
+}
+
+#[test]
+fn scenario_history_appends_and_shows_the_emissions_trend() {
+    let dir = std::env::temp_dir();
+    let report = dir.join("decarb_cli_e2e_history_report.json");
+    let history = dir.join("decarb_cli_e2e_history.jsonl");
+    std::fs::remove_file(&history).ok();
+    let run = decarb_cli(&["scenario", "run", "batch-agnostic-europe", "--json"]);
+    assert!(run.status.success());
+    std::fs::write(&report, &run.stdout).unwrap();
+    let append = decarb_cli(&[
+        "scenario",
+        "history",
+        "append",
+        "--report",
+        report.to_str().unwrap(),
+        "--file",
+        history.to_str().unwrap(),
+        "--rev",
+        "rev-one",
+    ]);
+    assert!(append.status.success(), "{}", stderr(&append));
+    assert!(
+        stdout(&append).contains("recorded rev-one"),
+        "{}",
+        stdout(&append)
+    );
+    // A second recorded run with far lower emissions must surface as a
+    // delta in the trend table.
+    std::fs::write(
+        &report,
+        r#"{"name": "batch-agnostic-europe", "emissions_g": 100.0}"#,
+    )
+    .unwrap();
+    let append = decarb_cli(&[
+        "scenario",
+        "history",
+        "append",
+        "--report",
+        report.to_str().unwrap(),
+        "--file",
+        history.to_str().unwrap(),
+        "--rev",
+        "rev-two",
+    ]);
+    assert!(append.status.success(), "{}", stderr(&append));
+    // The JSONL file holds one object per line, keyed by rev.
+    let raw = std::fs::read_to_string(&history).unwrap();
+    assert_eq!(raw.lines().count(), 2, "{raw}");
+    assert!(
+        raw.lines().next().unwrap().contains("\"rev\":\"rev-one\""),
+        "{raw}"
+    );
+    let show = decarb_cli(&[
+        "scenario",
+        "history",
+        "show",
+        "--file",
+        history.to_str().unwrap(),
+    ]);
+    assert!(show.status.success(), "{}", stderr(&show));
+    let text = stdout(&show);
+    assert!(text.contains("rev-one"), "{text}");
+    assert!(text.contains("rev-two"), "{text}");
+    assert!(text.contains("2 runs recorded"), "{text}");
+    // The second row's delta against the first is a large negative drop.
+    let row = text.lines().find(|l| l.starts_with("rev-two")).unwrap();
+    assert!(row.contains("-99.9"), "{row}");
+    // --limit trims to the newest entries but keeps their deltas.
+    let limited = decarb_cli(&[
+        "scenario",
+        "history",
+        "show",
+        "--file",
+        history.to_str().unwrap(),
+        "--limit",
+        "1",
+    ]);
+    let text = stdout(&limited);
+    assert!(!text.contains("rev-one "), "{text}");
+    assert!(text.contains("rev-two"), "{text}");
+    std::fs::remove_file(&report).ok();
+    std::fs::remove_file(&history).ok();
+}
+
 #[test]
 fn scenario_without_subcommand_exits_2() {
     let out = decarb_cli(&["scenario"]);

@@ -12,7 +12,8 @@
 //! combination) shows large numbers — which §5 then erodes with
 //! capacity and latency limits.
 
-use decarb_sim::scenario::{builtin_scenarios, run_scenarios, ScenarioReport};
+use decarb_sim::scenario::{builtin_scenarios, ScenarioReport};
+use decarb_sim::sweep::SweepPlan;
 
 use crate::context::Context;
 use crate::table::{f1, pct, ExperimentTable};
@@ -59,9 +60,12 @@ fn find<'a>(
         .expect("built-in matrix covers the full product")
 }
 
-/// Runs the matrix and condenses it into per-cell savings.
+/// Runs the matrix through the sweep pipeline (plan → execute as one
+/// shard) and condenses it into per-cell savings.
 pub fn run(ctx: &Context) -> ExtScenarios {
-    let reports = run_scenarios(ctx.data(), &builtin_scenarios());
+    let plan = SweepPlan::plan(ctx.data(), builtin_scenarios())
+        .expect("the built-in matrix validates against the built-in dataset");
+    let reports = plan.execute(ctx.data());
     let mut cells = Vec::new();
     for workload in ["batch", "interactive", "mixed"] {
         for regions in ["europe", "us", "global"] {

@@ -22,8 +22,10 @@
 
 use std::fmt;
 
+pub mod merge;
 pub mod parse;
 
+pub use merge::merge_keyed;
 pub use parse::{parse, JsonParseError};
 
 /// A JSON value: the full JSON data model.

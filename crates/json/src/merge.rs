@@ -1,0 +1,106 @@
+//! Merging keyed report documents.
+//!
+//! The sharded sweep pipeline in `decarb-sim` recombines per-shard
+//! `scenario run --json` outputs; the generic half of that — flattening
+//! report documents into `(key, object)` pairs with shape validation —
+//! lives here so any JSON consumer can reuse it.
+
+use crate::Value;
+
+/// Flattens report documents into `(key, object)` pairs, in document
+/// order.
+///
+/// Each document must be a single object or an array of objects, and
+/// every object must carry a string-valued `key` field. Duplicate keys
+/// *within one document* are an error (the caller decides what
+/// duplicates across documents mean). Returns a human-readable message
+/// on shape violations.
+pub fn merge_keyed(docs: &[Value], key: &str) -> Result<Vec<(String, Value)>, String> {
+    let mut items: Vec<(String, Value)> = Vec::new();
+    for doc in docs {
+        let objects: Vec<&Value> = match doc {
+            Value::Array(entries) => entries.iter().collect(),
+            object @ Value::Object(_) => vec![object],
+            other => {
+                return Err(format!(
+                    "expected an object or array of objects, got {}",
+                    kind_of(other)
+                ))
+            }
+        };
+        let mut seen_in_doc: std::collections::HashSet<&str> = std::collections::HashSet::new();
+        for object in objects {
+            let Value::Object(_) = object else {
+                return Err(format!("array entry is {}, not an object", kind_of(object)));
+            };
+            let Some(Value::String(value)) = object.get(key) else {
+                return Err(format!("entry without a string `{key}` field"));
+            };
+            if !seen_in_doc.insert(value.as_str()) {
+                return Err(format!("duplicate `{key}` `{value}` within one document"));
+            }
+            items.push((value.clone(), object.clone()));
+        }
+    }
+    Ok(items)
+}
+
+/// Short type label for error messages.
+fn kind_of(value: &Value) -> &'static str {
+    match value {
+        Value::Null => "null",
+        Value::Bool(_) => "a boolean",
+        Value::Number(_) => "a number",
+        Value::String(_) => "a string",
+        Value::Array(_) => "an array",
+        Value::Object(_) => "an object",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(name: &str) -> Value {
+        Value::object([("name", Value::from(name)), ("x", Value::from(1.0))])
+    }
+
+    #[test]
+    fn flattens_objects_and_arrays_in_order() {
+        let docs = [
+            Value::Array(vec![entry("a"), entry("b")]),
+            entry("c"),
+            Value::Array(vec![]),
+        ];
+        let items = merge_keyed(&docs, "name").unwrap();
+        let keys: Vec<&str> = items.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, vec!["a", "b", "c"]);
+        assert_eq!(items[0].1.get("x"), Some(&Value::from(1.0)));
+    }
+
+    #[test]
+    fn rejects_malformed_shapes() {
+        for (doc, needle) in [
+            (Value::from(1.0), "expected an object or array"),
+            (Value::Array(vec![Value::from("x")]), "not an object"),
+            (
+                Value::Array(vec![Value::object([("id", Value::from(1.0))])]),
+                "without a string `name`",
+            ),
+            (
+                Value::Array(vec![entry("a"), entry("a")]),
+                "duplicate `name` `a` within",
+            ),
+        ] {
+            let err = merge_keyed(&[doc], "name").unwrap_err();
+            assert!(err.contains(needle), "{err}");
+        }
+    }
+
+    #[test]
+    fn duplicates_across_documents_are_allowed_here() {
+        // Cross-document duplicate semantics belong to the caller.
+        let items = merge_keyed(&[entry("a"), entry("a")], "name").unwrap();
+        assert_eq!(items.len(), 2);
+    }
+}

@@ -30,6 +30,7 @@ pub mod routing;
 pub mod scenario;
 pub mod scenario_file;
 pub mod spatiotemporal;
+pub mod sweep;
 
 pub use accounting::SimReport;
 pub use cluster::{CloudView, Datacenter};
@@ -43,7 +44,9 @@ pub use policy::{
 pub use routing::LatencyAwareRouter;
 pub use scenario::{
     builtin_matrix, builtin_scenarios, find_scenario, run_scenarios, run_scenarios_with,
-    OverheadKind, PolicyKind, RegionSet, RegionSpec, Scenario, ScenarioMatrix, ScenarioReport,
+    ForecasterKind, OverheadKind, PolicyKind, RegionSet, RegionSpec, Scenario, ScenarioMatrix,
+    ScenarioReport,
 };
 pub use scenario_file::{parse_scenario_file, ScenarioFileError};
 pub use spatiotemporal::SpatioTemporal;
+pub use sweep::{merge_reports, MergeError, PlannedScenario, SweepError, SweepPlan};

@@ -21,12 +21,11 @@
 
 use std::time::{Duration, Instant};
 
-use decarb_forecast::SeasonalNaive;
+use decarb_forecast::{Persistence, SeasonalNaive};
 use decarb_json::Value;
-use decarb_par::{par_map, thread_count};
 use decarb_traces::time::year_start;
 use decarb_traces::{Hour, Region, TraceSet};
-use decarb_workloads::{Slack, WorkloadSpec};
+use decarb_workloads::{Arrival, Slack, WorkloadSpec};
 
 use crate::accounting::SimReport;
 use crate::engine::{SimConfig, Simulator};
@@ -218,27 +217,76 @@ impl PolicyKind {
         matches!(self, PolicyKind::CarbonAgnostic)
     }
 
-    /// Drives one simulation with the concrete policy.
+    /// Drives one simulation with the concrete policy. Forecast-backed
+    /// policies instantiate the scenario's [`ForecasterKind`]; the
+    /// spatiotemporal router honors the scenario's `slo_ms`.
     fn execute(
         self,
         sim: &mut Simulator<'_>,
         jobs: &[decarb_workloads::Job],
         regions: &[&'static Region],
         cache: &PlannerCache,
+        forecaster: ForecasterKind,
+        slo_ms: f64,
     ) -> SimReport {
         match self {
             PolicyKind::CarbonAgnostic => sim.run(&mut CarbonAgnostic, jobs),
             PolicyKind::PlannedDeferral => sim.run(&mut CachedDeferral::new(cache), jobs),
             PolicyKind::ThresholdSuspend => sim.run(&mut ThresholdSuspend::default(), jobs),
             PolicyKind::GreenestRouter => sim.run(&mut GreenestRouter, jobs),
-            PolicyKind::ForecastDeferral => {
-                sim.run(&mut ForecastDeferral::new(SeasonalNaive::daily()), jobs)
-            }
-            PolicyKind::SpatioTemporal => sim.run(
-                &mut SpatioTemporal::new(regions, SPATIOTEMPORAL_SLO_MS, SeasonalNaive::daily()),
-                jobs,
-            ),
+            PolicyKind::ForecastDeferral => match forecaster {
+                ForecasterKind::Naive => sim.run(&mut ForecastDeferral::new(Persistence), jobs),
+                ForecasterKind::Seasonal => {
+                    sim.run(&mut ForecastDeferral::new(SeasonalNaive::daily()), jobs)
+                }
+            },
+            PolicyKind::SpatioTemporal => match forecaster {
+                ForecasterKind::Naive => {
+                    sim.run(&mut SpatioTemporal::new(regions, slo_ms, Persistence), jobs)
+                }
+                ForecasterKind::Seasonal => sim.run(
+                    &mut SpatioTemporal::new(regions, slo_ms, SeasonalNaive::daily()),
+                    jobs,
+                ),
+            },
         }
+    }
+}
+
+/// Which forecasting model the forecast-backed policies plan with.
+///
+/// The built-in matrix uses the seasonal-naive model; scenario files
+/// pick per scenario via the `forecaster` key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ForecasterKind {
+    /// Persistence: tomorrow looks like the last observed hour.
+    Naive,
+    /// Seasonal-naive with a daily period (the built-in default).
+    #[default]
+    Seasonal,
+}
+
+impl ForecasterKind {
+    /// Both forecaster choices, simplest first.
+    pub const ALL: [ForecasterKind; 2] = [ForecasterKind::Naive, ForecasterKind::Seasonal];
+
+    /// Returns the forecaster's short label (scenario files).
+    pub fn label(self) -> &'static str {
+        match self {
+            ForecasterKind::Naive => "naive",
+            ForecasterKind::Seasonal => "seasonal",
+        }
+    }
+
+    /// Parses a forecaster label (scenario files).
+    pub fn parse(label: &str) -> Result<ForecasterKind, String> {
+        ForecasterKind::ALL
+            .into_iter()
+            .find(|kind| kind.label() == label)
+            .ok_or_else(|| {
+                let valid: Vec<&str> = ForecasterKind::ALL.iter().map(|k| k.label()).collect();
+                format!("unknown forecaster `{label}` (valid: {})", valid.join(", "))
+            })
     }
 }
 
@@ -296,6 +344,10 @@ pub struct Scenario {
     pub overheads: OverheadKind,
     /// Concurrent running-job capacity per datacenter.
     pub capacity_per_region: usize,
+    /// Forecasting model for the forecast-backed policies.
+    pub forecaster: ForecasterKind,
+    /// Round-trip-time budget for the spatiotemporal policy, ms.
+    pub slo_ms: f64,
     /// First simulated hour.
     pub start: Hour,
     /// Simulated hours.
@@ -318,6 +370,36 @@ impl Scenario {
     /// Checks the scenario can run against `data` (all zones covered).
     pub fn validate_against(&self, data: &TraceSet) -> Result<(), String> {
         self.regions.try_resolve(data).map(|_| ())
+    }
+
+    /// The scenario's content-addressed id: a 64-bit FNV-1a hash of
+    /// every field that influences the outcome, in canonical text form.
+    ///
+    /// Two scenarios with the same id run the same simulation, whatever
+    /// file or matrix they were declared in — this is what the sweep
+    /// pipeline shards and merges by (see [`crate::sweep`]).
+    pub fn content_id(&self) -> String {
+        let canonical = format!(
+            "{};{};{};[{}];{};{};{};{};{};{}",
+            self.name,
+            self.workload.canonical(),
+            self.policy.label(),
+            self.regions.codes().join(","),
+            self.overheads.label(),
+            self.capacity_per_region,
+            self.forecaster.label(),
+            self.slo_ms,
+            self.start.0,
+            self.horizon,
+        );
+        // FNV-1a, 64-bit: tiny, dependency-free, and stable across
+        // platforms and compiler versions (unlike `DefaultHasher`).
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in canonical.as_bytes() {
+            hash ^= u64::from(*byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        format!("{hash:016x}")
     }
 
     /// Runs the scenario against `data` and condenses the outcome.
@@ -344,7 +426,14 @@ impl Scenario {
             .with_overheads(self.overheads.model());
         let mut sim = Simulator::new(data, &regions, config);
         let started = Instant::now();
-        let report = self.policy.execute(&mut sim, &jobs, &regions, cache);
+        let report = self.policy.execute(
+            &mut sim,
+            &jobs,
+            &regions,
+            cache,
+            self.forecaster,
+            self.slo_ms,
+        );
         ScenarioReport::condense(self, jobs.len(), &report, started.elapsed())
     }
 }
@@ -354,6 +443,8 @@ impl Scenario {
 pub struct ScenarioReport {
     /// The scenario's name.
     pub name: String,
+    /// The scenario's content-addressed id ([`Scenario::content_id`]).
+    pub id: String,
     /// Workload class label.
     pub workload: &'static str,
     /// Policy label.
@@ -400,6 +491,7 @@ impl ScenarioReport {
     ) -> ScenarioReport {
         ScenarioReport {
             name: scenario.name.clone(),
+            id: scenario.content_id(),
             workload: scenario.workload.label(),
             policy: scenario.policy.label(),
             regions: scenario.regions.label().to_string(),
@@ -424,6 +516,7 @@ impl ScenarioReport {
     pub fn to_json(&self) -> Value {
         Value::object([
             ("name", Value::from(self.name.as_str())),
+            ("id", Value::from(self.id.as_str())),
             ("workload", Value::from(self.workload)),
             ("policy", Value::from(self.policy)),
             ("regions", Value::from(self.regions.as_str())),
@@ -465,6 +558,10 @@ pub struct ScenarioMatrix {
     /// Per-datacenter capacities (fifth axis; single-entry axes leave
     /// names unchanged).
     pub capacities: Vec<usize>,
+    /// Forecaster applied to every scenario (a setting, not an axis).
+    pub forecaster: ForecasterKind,
+    /// Spatiotemporal SLO applied to every scenario, ms.
+    pub slo_ms: f64,
     /// Start hour applied to every scenario.
     pub start: Hour,
     /// Horizon applied to every scenario.
@@ -505,6 +602,8 @@ impl ScenarioMatrix {
                                 regions: regions.clone(),
                                 overheads,
                                 capacity_per_region: capacity,
+                                forecaster: self.forecaster,
+                                slo_ms: self.slo_ms,
                                 start: self.start,
                                 horizon: self.horizon,
                             });
@@ -523,18 +622,18 @@ pub fn builtin_matrix() -> ScenarioMatrix {
     let workloads = vec![
         WorkloadSpec::Batch {
             per_origin: 12,
-            spacing_hours: 24,
+            arrival: Arrival::fixed(24),
             length_hours: 8.0,
             slack: Slack::Day,
             interruptible: true,
         },
         WorkloadSpec::Interactive {
             per_origin: 48,
-            spacing_hours: 6,
+            arrival: Arrival::fixed(6),
         },
         WorkloadSpec::Mixed {
             per_origin: 24,
-            spacing_hours: 12,
+            arrival: Arrival::fixed(12),
             migratable_fraction: 0.5,
             batch_length_hours: 4.0,
             batch_slack: Slack::Day,
@@ -550,6 +649,8 @@ pub fn builtin_matrix() -> ScenarioMatrix {
         region_sets: RegionSet::ALL.iter().map(|&s| s.into()).collect(),
         overheads: vec![OverheadKind::Zero],
         capacities: vec![8],
+        forecaster: ForecasterKind::Seasonal,
+        slo_ms: SPATIOTEMPORAL_SLO_MS,
         start: year_start(2022),
         horizon: 16 * 24,
     }
@@ -567,6 +668,18 @@ pub fn find_scenario(name: &str) -> Option<Scenario> {
 
 /// Runs `scenarios` against `data`, fanning out across threads over a
 /// shared planner cache; reports come back in input order.
+///
+/// A thin convenience over the sweep pipeline ([`crate::sweep`]): the
+/// scenarios are planned (pre-validated, content-addressed) and the
+/// whole plan executes as a single shard.
+///
+/// # Panics
+///
+/// Panics at plan time — before any worker thread starts — when a
+/// scenario's region set does not resolve against `data` (listing every
+/// invalid scenario) or when two scenarios share a name (their reports
+/// would be indistinguishable). Use [`crate::sweep::SweepPlan::plan`]
+/// directly to handle those cases as errors.
 pub fn run_scenarios(data: &TraceSet, scenarios: &[Scenario]) -> Vec<ScenarioReport> {
     let mut reports = Vec::with_capacity(scenarios.len());
     run_scenarios_with(data, scenarios, |report| {
@@ -584,20 +697,19 @@ pub fn run_scenarios(data: &TraceSet, scenarios: &[Scenario]) -> Vec<ScenarioRep
 /// after the current chunk (e.g. the consumer's pipe closed), skipping
 /// the remaining scenarios. All scenarios in one call share one
 /// [`PlannerCache`].
+///
+/// # Panics
+///
+/// As [`run_scenarios`]: invalid or duplicate-named scenarios panic at
+/// plan time with the full collected list.
 pub fn run_scenarios_with(
     data: &TraceSet,
     scenarios: &[Scenario],
-    mut sink: impl FnMut(ScenarioReport) -> bool,
+    sink: impl FnMut(ScenarioReport) -> bool,
 ) {
-    let cache = PlannerCache::new();
-    let chunk = (thread_count() * 2).max(1);
-    for batch in scenarios.chunks(chunk) {
-        for report in par_map(batch, |scenario| scenario.run_cached(data, &cache)) {
-            if !sink(report) {
-                return;
-            }
-        }
-    }
+    let plan =
+        crate::sweep::SweepPlan::plan(data, scenarios.to_vec()).unwrap_or_else(|e| panic!("{e}"));
+    plan.execute_with(data, sink);
 }
 
 #[cfg(test)]

@@ -39,17 +39,22 @@
 //! Section kinds:
 //!
 //! * `[defaults]` — run-wide settings: `capacity`, `horizon`, `year`,
-//!   `start_offset` (hours into the year), `overheads`.
+//!   `start_offset` (hours into the year), `overheads`, `forecaster`
+//!   (`naive` / `seasonal` — what the forecast-backed policies plan
+//!   with), `slo_ms` (the spatiotemporal round-trip budget).
 //! * `[workload NAME]` — a [`WorkloadSpec`] recipe; keys are parsed by
-//!   [`WorkloadSpec::from_pairs`].
+//!   [`WorkloadSpec::from_pairs`]. Arrivals default to a fixed cadence
+//!   (`spacing = N`); `arrival = poisson:<rate>` (jobs per hour, with
+//!   an optional `arrival_seed`) draws seeded exponential gaps instead.
 //! * `[regions NAME]` — a custom region set: `codes = A, B, C`.
 //! * `[scenario NAME]` — one scenario: `workload`, `policy`, `regions`
 //!   (a built-in label or a `[regions]` section name), plus optional
 //!   overrides of any default.
 //! * `[matrix NAME]` — a cartesian sweep: `workloads`, `policies`
 //!   (labels or `all`), `regions`, `overheads`, `capacities`, plus
-//!   optional `horizon`/`year`/`start_offset` overrides. Expanded names
-//!   follow [`crate::scenario::ScenarioMatrix::expand`].
+//!   optional `horizon`/`year`/`start_offset`/`forecaster`/`slo_ms`
+//!   overrides. Expanded names follow
+//!   [`crate::scenario::ScenarioMatrix::expand`].
 //!
 //! Scenario names must be unique across the whole file; region codes
 //! are validated against the active dataset by the CLI before running.
@@ -60,7 +65,10 @@ use decarb_traces::time::{year_start, EPOCH_YEAR, LAST_YEAR};
 use decarb_traces::Hour;
 use decarb_workloads::WorkloadSpec;
 
-use crate::scenario::{OverheadKind, PolicyKind, RegionSet, RegionSpec, Scenario, ScenarioMatrix};
+use crate::scenario::{
+    ForecasterKind, OverheadKind, PolicyKind, RegionSet, RegionSpec, Scenario, ScenarioMatrix,
+    SPATIOTEMPORAL_SLO_MS,
+};
 
 /// A scenario-file parse failure, with the 1-based line it points at.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -236,6 +244,8 @@ struct Defaults {
     year: i32,
     start_offset: usize,
     overheads: OverheadKind,
+    forecaster: ForecasterKind,
+    slo_ms: f64,
 }
 
 impl Defaults {
@@ -246,6 +256,8 @@ impl Defaults {
             year: 2022,
             start_offset: 0,
             overheads: OverheadKind::Zero,
+            forecaster: ForecasterKind::Seasonal,
+            slo_ms: SPATIOTEMPORAL_SLO_MS,
         }
     }
 
@@ -282,12 +294,24 @@ fn settings_from(
         Some(raw) => OverheadKind::parse(raw).map_err(|e| err(section.line_of("overheads"), e))?,
         None => base.overheads,
     };
+    let forecaster = match section.get("forecaster") {
+        Some(raw) => {
+            ForecasterKind::parse(raw).map_err(|e| err(section.line_of("forecaster"), e))?
+        }
+        None => base.forecaster,
+    };
+    let slo_ms: f64 = section.parsed("slo_ms", base.slo_ms)?;
+    if !slo_ms.is_finite() || slo_ms <= 0.0 {
+        return Err(err(section.line_of("slo_ms"), "`slo_ms` must be positive"));
+    }
     Ok(Defaults {
         capacity,
         horizon,
         year,
         start_offset,
         overheads,
+        forecaster,
+        slo_ms,
     })
 }
 
@@ -334,6 +358,8 @@ pub fn parse_scenario_file(text: &str) -> Result<Vec<Scenario>, ScenarioFileErro
                     "year",
                     "start_offset",
                     "overheads",
+                    "forecaster",
+                    "slo_ms",
                 ])?;
                 defaults = settings_from(section, defaults, true)?;
             }
@@ -393,6 +419,8 @@ pub fn parse_scenario_file(text: &str) -> Result<Vec<Scenario>, ScenarioFileErro
                     "year",
                     "start_offset",
                     "overheads",
+                    "forecaster",
+                    "slo_ms",
                 ])?;
                 let settings = settings_from(section, defaults, true)?;
                 let workload_name = section
@@ -422,6 +450,8 @@ pub fn parse_scenario_file(text: &str) -> Result<Vec<Scenario>, ScenarioFileErro
                     regions,
                     overheads: settings.overheads,
                     capacity_per_region: settings.capacity,
+                    forecaster: settings.forecaster,
+                    slo_ms: settings.slo_ms,
                     start: settings.start(),
                     horizon: settings.horizon,
                 });
@@ -437,6 +467,8 @@ pub fn parse_scenario_file(text: &str) -> Result<Vec<Scenario>, ScenarioFileErro
                     "horizon",
                     "year",
                     "start_offset",
+                    "forecaster",
+                    "slo_ms",
                 ])?;
                 let settings = settings_from(section, defaults, false)?;
                 let matrix_workloads: Vec<(String, WorkloadSpec)> = section
@@ -509,6 +541,8 @@ pub fn parse_scenario_file(text: &str) -> Result<Vec<Scenario>, ScenarioFileErro
                     region_sets: matrix_regions,
                     overheads,
                     capacities,
+                    forecaster: settings.forecaster,
+                    slo_ms: settings.slo_ms,
                     start: settings.start(),
                     horizon: settings.horizon,
                 };
@@ -698,6 +732,98 @@ regions = europe
             assert_eq!(error.line, line, "{text:?}: {error}");
             assert!(error.message.contains(needle), "{text:?}: {error}");
         }
+    }
+
+    #[test]
+    fn forecaster_and_slo_keys_parse_inherit_and_validate() {
+        let text = "\
+[defaults]
+forecaster = naive
+slo_ms = 60
+
+[workload w]
+class = batch
+
+[scenario inherit-defaults]
+workload = w
+policy = forecast
+regions = europe
+
+[scenario override-both]
+workload = w
+policy = spatiotemporal
+regions = europe
+forecaster = seasonal
+slo_ms = 250
+
+[matrix m]
+workloads = w
+policies = spatiotemporal
+regions = us
+slo_ms = 40
+";
+        let scenarios = parse_scenario_file(text).unwrap();
+        assert_eq!(scenarios[0].forecaster, ForecasterKind::Naive);
+        assert_eq!(scenarios[0].slo_ms, 60.0);
+        assert_eq!(scenarios[1].forecaster, ForecasterKind::Seasonal);
+        assert_eq!(scenarios[1].slo_ms, 250.0);
+        // Matrix sections inherit the forecaster and override the SLO.
+        assert_eq!(scenarios[2].forecaster, ForecasterKind::Naive);
+        assert_eq!(scenarios[2].slo_ms, 40.0);
+        // Unknown forecasters list the valid names; bad SLOs error with
+        // their line.
+        let bad_forecaster = "\
+[workload w]
+class = batch
+
+[scenario s]
+workload = w
+policy = forecast
+regions = europe
+forecaster = psychic
+";
+        let error = parse_scenario_file(bad_forecaster).unwrap_err();
+        assert_eq!(error.line, 8);
+        assert!(error.message.contains("unknown forecaster `psychic`"));
+        assert!(error.message.contains("naive"), "{error}");
+        assert!(error.message.contains("seasonal"), "{error}");
+        let bad_slo = "\
+[defaults]
+slo_ms = -5
+";
+        let error = parse_scenario_file(bad_slo).unwrap_err();
+        assert_eq!(error.line, 2);
+        assert!(error.message.contains("`slo_ms` must be positive"));
+    }
+
+    #[test]
+    fn poisson_arrival_workloads_parse_and_run() {
+        let text = "\
+[workload bursty]
+class = batch
+per_origin = 6
+arrival = poisson:0.1
+length = 2
+slack = day
+
+[scenario bursty-agnostic]
+workload = bursty
+policy = agnostic
+regions = europe
+horizon = 480
+";
+        let data = builtin_dataset();
+        let scenarios = parse_scenario_file(text).unwrap();
+        assert_eq!(scenarios.len(), 1);
+        let reports = run_scenarios(&data, &scenarios);
+        assert_eq!(reports[0].jobs, 6 * 8);
+        assert!(reports[0].completed > 0);
+        // The recipe is part of the content address.
+        let again = parse_scenario_file(text).unwrap();
+        assert_eq!(scenarios[0].content_id(), again[0].content_id());
+        let fixed =
+            parse_scenario_file(&text.replace("arrival = poisson:0.1", "spacing = 24")).unwrap();
+        assert_ne!(scenarios[0].content_id(), fixed[0].content_id());
     }
 
     #[test]

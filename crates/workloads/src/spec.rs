@@ -11,19 +11,138 @@ use decarb_traces::Hour;
 
 use crate::job::{Job, Slack};
 
+/// Default RNG seed for Poisson arrival processes (overridable via the
+/// scenario-file `arrival_seed` key).
+pub const DEFAULT_ARRIVAL_SEED: u64 = 0xA221;
+
+/// When one origin submits its jobs: a fixed cadence or a seeded
+/// Poisson process.
+///
+/// Both materialize deterministically — the Poisson variant draws its
+/// exponential interarrival gaps from a seeded RNG (re-seeded per
+/// origin), so the same spec always yields the same job population.
+/// Origins are staggered by one hour each so arrivals do not all land
+/// on the same instant.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Arrival {
+    /// One submission every `spacing_hours` hours.
+    Fixed {
+        /// Hours between consecutive submissions from one origin.
+        spacing_hours: usize,
+    },
+    /// Exponential interarrival gaps with mean `1 / rate_per_hour`.
+    Poisson {
+        /// Mean submissions per hour from one origin.
+        rate_per_hour: f64,
+        /// RNG seed the per-origin streams derive from.
+        seed: u64,
+    },
+}
+
+impl Arrival {
+    /// The fixed-cadence arrival process (the built-in matrix's choice).
+    pub fn fixed(spacing_hours: usize) -> Arrival {
+        Arrival::Fixed { spacing_hours }
+    }
+
+    /// Parses an arrival recipe: `fixed:<hours>` or `poisson:<rate>`
+    /// (jobs per hour; seeded with [`DEFAULT_ARRIVAL_SEED`]).
+    pub fn parse(raw: &str) -> Result<Arrival, String> {
+        let (kind, value) = raw.split_once(':').unwrap_or((raw, ""));
+        match kind.trim() {
+            "fixed" => value
+                .trim()
+                .parse::<usize>()
+                .ok()
+                .filter(|&h| h >= 1)
+                .map(|spacing_hours| Arrival::Fixed { spacing_hours })
+                .ok_or_else(|| format!("invalid arrival `{raw}` (use fixed:<hours ≥ 1>)")),
+            "poisson" => value
+                .trim()
+                .parse::<f64>()
+                .ok()
+                .filter(|r| r.is_finite() && *r > 0.0)
+                .map(|rate_per_hour| Arrival::Poisson {
+                    rate_per_hour,
+                    seed: DEFAULT_ARRIVAL_SEED,
+                })
+                .ok_or_else(|| format!("invalid arrival `{raw}` (use poisson:<jobs per hour>)")),
+            other => Err(format!(
+                "unknown arrival recipe `{other}` (valid: fixed:<hours>, poisson:<rate>)"
+            )),
+        }
+    }
+
+    /// Canonical text form, stable across runs — feeds scenario
+    /// content-addressing.
+    pub fn canonical(&self) -> String {
+        match self {
+            Arrival::Fixed { spacing_hours } => format!("fixed:{spacing_hours}"),
+            Arrival::Poisson {
+                rate_per_hour,
+                seed,
+            } => format!("poisson:{rate_per_hour}:{seed}"),
+        }
+    }
+
+    /// Arrival offsets (hours past the population start) for origin
+    /// number `origin_index` submitting `count` jobs. Offsets are
+    /// non-decreasing and deterministic.
+    pub fn offsets(&self, count: usize, origin_index: usize) -> Vec<usize> {
+        match self {
+            Arrival::Fixed { spacing_hours } => (0..count)
+                .map(|k| origin_index + k * spacing_hours)
+                .collect(),
+            Arrival::Poisson {
+                rate_per_hour,
+                seed,
+            } => {
+                // An independent stream per origin: mixing the origin
+                // index through a SplitMix64 constant keeps streams
+                // decorrelated while staying deterministic.
+                let mut rng = Xoshiro256::seeded(
+                    seed ^ (origin_index as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                );
+                let mut t = origin_index as f64;
+                (0..count)
+                    .map(|_| {
+                        // Inverse-CDF exponential gap; uniform() < 1, so
+                        // ln(1 - u) is finite.
+                        t += -(1.0 - rng.uniform()).ln() / rate_per_hour;
+                        t.round() as usize
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// The largest arrival offset any of `origins` origins submitting
+    /// `count` jobs each can have, for sizing scenario horizons.
+    pub fn last_offset(&self, count: usize, origins: usize) -> usize {
+        match self {
+            Arrival::Fixed { spacing_hours } => {
+                count.saturating_sub(1) * spacing_hours + origins.saturating_sub(1)
+            }
+            Arrival::Poisson { .. } => (0..origins.max(1))
+                .map(|o| self.offsets(count, o).last().copied().unwrap_or(0))
+                .max()
+                .unwrap_or(0),
+        }
+    }
+}
+
 /// A declarative recipe for a population of jobs.
 ///
-/// Every variant submits `per_origin` jobs from each origin region on a
-/// fixed `spacing_hours` cadence; origins are staggered by one hour each
-/// so arrivals do not all land on the same instant.
+/// Every variant submits `per_origin` jobs from each origin region on
+/// its [`Arrival`] process (fixed cadence or seeded Poisson).
 #[derive(Debug, Clone)]
 pub enum WorkloadSpec {
     /// Identical delay-tolerant batch jobs.
     Batch {
         /// Jobs submitted per origin region.
         per_origin: usize,
-        /// Hours between consecutive submissions from one origin.
-        spacing_hours: usize,
+        /// Submission process for each origin.
+        arrival: Arrival,
         /// Job length in hours.
         length_hours: f64,
         /// Temporal slack class.
@@ -35,16 +154,16 @@ pub enum WorkloadSpec {
     Interactive {
         /// Jobs submitted per origin region.
         per_origin: usize,
-        /// Hours between consecutive submissions from one origin.
-        spacing_hours: usize,
+        /// Submission process for each origin.
+        arrival: Arrival,
     },
     /// A seeded random mix of migratable batch work and pinned
     /// interactive requests (§6.1's what-if, as a population).
     Mixed {
         /// Jobs submitted per origin region.
         per_origin: usize,
-        /// Hours between consecutive submissions from one origin.
-        spacing_hours: usize,
+        /// Submission process for each origin.
+        arrival: Arrival,
         /// Probability that a submission is batch work, in `[0, 1]`.
         migratable_fraction: f64,
         /// Job length of the batch portion, hours.
@@ -108,9 +227,37 @@ impl WorkloadSpec {
         if per_origin == 0 {
             return Err("`per_origin` must be at least 1".into());
         }
-        let spacing_hours: usize = p.parsed("spacing", 24)?;
-        if spacing_hours == 0 {
-            return Err("`spacing` must be at least 1".into());
+        let spacing = p.get("spacing").map(str::to_string);
+        let recipe = p.get("arrival").map(str::to_string);
+        let arrival_seed: Option<u64> =
+            match p.get("arrival_seed") {
+                None => None,
+                Some(raw) => Some(raw.parse().map_err(|_| {
+                    format!("invalid value `{raw}` for workload key `arrival_seed`")
+                })?),
+            };
+        let mut arrival = match (spacing, recipe) {
+            (Some(_), Some(_)) => {
+                return Err("pass `spacing` or `arrival`, not both".into());
+            }
+            (Some(raw), None) => {
+                let spacing_hours: usize = raw
+                    .parse()
+                    .map_err(|_| format!("invalid value `{raw}` for workload key `spacing`"))?;
+                if spacing_hours == 0 {
+                    return Err("`spacing` must be at least 1".into());
+                }
+                Arrival::Fixed { spacing_hours }
+            }
+            (None, Some(raw)) => Arrival::parse(&raw)?,
+            (None, None) => Arrival::fixed(24),
+        };
+        match (&mut arrival, arrival_seed) {
+            (Arrival::Poisson { seed, .. }, Some(override_seed)) => *seed = override_seed,
+            (_, None) => {}
+            (Arrival::Fixed { .. }, Some(_)) => {
+                return Err("`arrival_seed` only applies to poisson arrivals".into());
+            }
         }
         let spec = match class {
             "batch" => {
@@ -124,7 +271,7 @@ impl WorkloadSpec {
                 };
                 WorkloadSpec::Batch {
                     per_origin,
-                    spacing_hours,
+                    arrival,
                     length_hours,
                     slack,
                     interruptible: p.parsed("interruptible", true)?,
@@ -132,7 +279,7 @@ impl WorkloadSpec {
             }
             "interactive" => WorkloadSpec::Interactive {
                 per_origin,
-                spacing_hours,
+                arrival,
             },
             "mixed" => {
                 let migratable_fraction: f64 = p.parsed("migratable_fraction", 0.5)?;
@@ -149,7 +296,7 @@ impl WorkloadSpec {
                 };
                 WorkloadSpec::Mixed {
                     per_origin,
-                    spacing_hours,
+                    arrival,
                     migratable_fraction,
                     batch_length_hours,
                     batch_slack,
@@ -186,26 +333,58 @@ impl WorkloadSpec {
         per_origin * origins
     }
 
+    /// Returns the spec's arrival process.
+    pub fn arrival(&self) -> &Arrival {
+        match self {
+            WorkloadSpec::Batch { arrival, .. }
+            | WorkloadSpec::Interactive { arrival, .. }
+            | WorkloadSpec::Mixed { arrival, .. } => arrival,
+        }
+    }
+
     /// Returns the largest arrival offset (hours past `start`) any
     /// materialized job can have, for sizing scenario horizons.
     pub fn last_arrival_offset(&self, origins: usize) -> usize {
-        let (per_origin, spacing) = match self {
+        let per_origin = match self {
+            WorkloadSpec::Batch { per_origin, .. }
+            | WorkloadSpec::Interactive { per_origin, .. }
+            | WorkloadSpec::Mixed { per_origin, .. } => *per_origin,
+        };
+        self.arrival().last_offset(per_origin, origins)
+    }
+
+    /// Canonical text form of the whole recipe, stable across runs —
+    /// feeds scenario content-addressing in `decarb-sim`.
+    pub fn canonical(&self) -> String {
+        match self {
             WorkloadSpec::Batch {
                 per_origin,
-                spacing_hours,
-                ..
-            }
-            | WorkloadSpec::Interactive {
+                arrival,
+                length_hours,
+                slack,
+                interruptible,
+            } => format!(
+                "batch:{per_origin}:{}:{length_hours}:{}:{interruptible}",
+                arrival.canonical(),
+                slack.label(),
+            ),
+            WorkloadSpec::Interactive {
                 per_origin,
-                spacing_hours,
-            }
-            | WorkloadSpec::Mixed {
+                arrival,
+            } => format!("interactive:{per_origin}:{}", arrival.canonical()),
+            WorkloadSpec::Mixed {
                 per_origin,
-                spacing_hours,
-                ..
-            } => (*per_origin, *spacing_hours),
-        };
-        per_origin.saturating_sub(1) * spacing + origins.saturating_sub(1)
+                arrival,
+                migratable_fraction,
+                batch_length_hours,
+                batch_slack,
+                seed,
+            } => format!(
+                "mixed:{per_origin}:{}:{migratable_fraction}:{batch_length_hours}:{}:{seed}",
+                arrival.canonical(),
+                batch_slack.label(),
+            ),
+        }
     }
 
     /// Materializes the spec into concrete jobs submitted from every
@@ -219,25 +398,15 @@ impl WorkloadSpec {
             _ => Xoshiro256::seeded(0),
         };
         for (o, origin) in origins.iter().enumerate() {
-            let (per_origin, spacing) = match self {
-                WorkloadSpec::Batch {
-                    per_origin,
-                    spacing_hours,
-                    ..
-                }
-                | WorkloadSpec::Interactive {
-                    per_origin,
-                    spacing_hours,
-                }
-                | WorkloadSpec::Mixed {
-                    per_origin,
-                    spacing_hours,
-                    ..
-                } => (*per_origin, *spacing_hours),
+            let per_origin = match self {
+                WorkloadSpec::Batch { per_origin, .. }
+                | WorkloadSpec::Interactive { per_origin, .. }
+                | WorkloadSpec::Mixed { per_origin, .. } => *per_origin,
             };
-            for k in 0..per_origin {
+            let offsets = self.arrival().offsets(per_origin, o);
+            for &offset in &offsets {
                 id += 1;
-                let arrival = start.plus(o + k * spacing);
+                let arrival = start.plus(offset);
                 jobs.push(match self {
                     WorkloadSpec::Batch {
                         length_hours,
@@ -282,7 +451,7 @@ mod tests {
     fn batch_spec() -> WorkloadSpec {
         WorkloadSpec::Batch {
             per_origin: 4,
-            spacing_hours: 24,
+            arrival: Arrival::fixed(24),
             length_hours: 8.0,
             slack: Slack::Day,
             interruptible: true,
@@ -323,7 +492,7 @@ mod tests {
     fn interactive_spec_is_inflexible() {
         let spec = WorkloadSpec::Interactive {
             per_origin: 5,
-            spacing_hours: 6,
+            arrival: Arrival::fixed(6),
         };
         assert_eq!(spec.label(), "interactive");
         let jobs = spec.materialize(&ORIGINS, Hour(0));
@@ -338,7 +507,7 @@ mod tests {
     fn mixed_spec_is_deterministic_and_mixes_classes() {
         let spec = WorkloadSpec::Mixed {
             per_origin: 40,
-            spacing_hours: 2,
+            arrival: Arrival::fixed(2),
             migratable_fraction: 0.5,
             batch_length_hours: 4.0,
             batch_slack: Slack::Day,
@@ -378,13 +547,13 @@ mod tests {
         match batch {
             WorkloadSpec::Batch {
                 per_origin,
-                spacing_hours,
+                arrival,
                 length_hours,
                 slack,
                 interruptible,
             } => {
                 assert_eq!(per_origin, 3);
-                assert_eq!(spacing_hours, 12);
+                assert_eq!(arrival, Arrival::fixed(12));
                 assert_eq!(length_hours, 6.5);
                 assert_eq!(slack, Slack::Week);
                 assert!(!interruptible);
@@ -411,20 +580,14 @@ mod tests {
         match spec {
             WorkloadSpec::Batch {
                 per_origin,
-                spacing_hours,
+                arrival,
                 length_hours,
                 slack,
                 interruptible,
             } => {
                 assert_eq!(
-                    (
-                        per_origin,
-                        spacing_hours,
-                        length_hours,
-                        slack,
-                        interruptible
-                    ),
-                    (12, 24, 8.0, Slack::Day, true)
+                    (per_origin, arrival, length_hours, slack, interruptible),
+                    (12, Arrival::fixed(24), 8.0, Slack::Day, true)
                 );
             }
             other => panic!("wrong class: {other:?}"),
@@ -440,6 +603,30 @@ mod tests {
             (vec![("class", "batch"), ("length", "-1")], "positive"),
             (vec![("class", "batch"), ("per_origin", "0")], "at least 1"),
             (vec![("class", "batch"), ("spacing", "0")], "at least 1"),
+            (
+                vec![("class", "batch"), ("arrival", "bursty:3")],
+                "unknown arrival recipe",
+            ),
+            (
+                vec![("class", "batch"), ("arrival", "poisson:-1")],
+                "jobs per hour",
+            ),
+            (
+                vec![("class", "batch"), ("arrival", "fixed:0")],
+                "fixed:<hours",
+            ),
+            (
+                vec![
+                    ("class", "batch"),
+                    ("spacing", "6"),
+                    ("arrival", "poisson:0.5"),
+                ],
+                "not both",
+            ),
+            (
+                vec![("class", "batch"), ("arrival_seed", "9")],
+                "only applies to poisson",
+            ),
             (
                 vec![("class", "batch"), ("per_origin", "many")],
                 "invalid value",
@@ -477,6 +664,79 @@ mod tests {
             assert_eq!(Slack::parse(text).unwrap(), slack, "{text}");
         }
         assert!(Slack::parse("fortnight").is_err());
+    }
+
+    #[test]
+    fn poisson_arrivals_are_deterministic_and_seed_sensitive() {
+        let spec = WorkloadSpec::from_pairs(&pairs(&[
+            ("class", "batch"),
+            ("per_origin", "16"),
+            ("arrival", "poisson:0.25"),
+        ]))
+        .unwrap();
+        let a = spec.materialize(&ORIGINS, Hour(0));
+        let b = spec.materialize(&ORIGINS, Hour(0));
+        assert_eq!(a, b, "same seed must give the same arrivals");
+        assert_eq!(a.len(), 48);
+        // Arrivals are non-decreasing per origin and genuinely uneven
+        // (a fixed cadence would have constant gaps).
+        let se: Vec<u32> = a
+            .iter()
+            .filter(|j| j.origin == "SE")
+            .map(|j| j.arrival.0)
+            .collect();
+        assert!(se.windows(2).all(|w| w[0] <= w[1]), "{se:?}");
+        let gaps: Vec<u32> = se.windows(2).map(|w| w[1] - w[0]).collect();
+        assert!(
+            gaps.iter().any(|&g| g != gaps[0]),
+            "poisson gaps vary: {gaps:?}"
+        );
+        // A different seed shifts the arrival pattern.
+        let reseeded = WorkloadSpec::from_pairs(&pairs(&[
+            ("class", "batch"),
+            ("per_origin", "16"),
+            ("arrival", "poisson:0.25"),
+            ("arrival_seed", "7"),
+        ]))
+        .unwrap();
+        let c = reseeded.materialize(&ORIGINS, Hour(0));
+        assert_ne!(
+            a.iter().map(|j| j.arrival).collect::<Vec<_>>(),
+            c.iter().map(|j| j.arrival).collect::<Vec<_>>()
+        );
+        // Horizon sizing covers the actual last arrival.
+        let last = a.iter().map(|j| j.arrival.0).max().unwrap() as usize;
+        assert_eq!(spec.last_arrival_offset(ORIGINS.len()), last);
+    }
+
+    #[test]
+    fn arrival_parse_round_trips_canonical_forms() {
+        assert_eq!(Arrival::parse("fixed:12").unwrap(), Arrival::fixed(12));
+        let poisson = Arrival::parse("poisson:0.5").unwrap();
+        assert_eq!(
+            poisson,
+            Arrival::Poisson {
+                rate_per_hour: 0.5,
+                seed: DEFAULT_ARRIVAL_SEED
+            }
+        );
+        assert_eq!(poisson.canonical(), format!("poisson:0.5:{}", 0xA221));
+        assert_eq!(Arrival::fixed(24).canonical(), "fixed:24");
+        assert!(Arrival::parse("sometimes").is_err());
+        assert!(Arrival::parse("poisson:").is_err());
+        assert!(Arrival::parse("poisson:inf").is_err());
+    }
+
+    #[test]
+    fn canonical_encodings_distinguish_specs() {
+        let base = batch_spec();
+        let mut other = batch_spec();
+        if let WorkloadSpec::Batch { length_hours, .. } = &mut other {
+            *length_hours = 9.0;
+        }
+        assert_ne!(base.canonical(), other.canonical());
+        assert_eq!(base.canonical(), batch_spec().canonical());
+        assert!(base.canonical().starts_with("batch:4:fixed:24:"));
     }
 
     #[test]
