@@ -20,7 +20,6 @@ use decarb_forecast::{
 use decarb_sim::{CarbonAgnostic, SimConfig, Simulator, ThresholdSuspend};
 use decarb_traces::grid::{curtailment_grid, two_level_demand};
 use decarb_traces::time::year_start;
-use decarb_traces::Region;
 use decarb_workloads::{Job, Slack};
 
 fn ctx() -> &'static Context {
@@ -143,16 +142,16 @@ fn bench_ext_sim(h: &Harness) {
     print_once("ext-embodied");
     let data = ctx().data();
     let codes = ["US-CA", "DE", "GB", "SE", "IN-WE"];
-    let regions: Vec<&'static Region> = codes
+    let regions: Vec<decarb_traces::RegionId> = codes
         .iter()
-        .map(|c| data.region(c).expect("region"))
+        .map(|c| data.id_of(c).expect("region"))
         .collect();
     let start = year_start(2022);
     let jobs: Vec<Job> = (0..50u64)
         .map(|i| {
             Job::batch(
                 i + 1,
-                codes[(i % 5) as usize],
+                regions[(i % 5) as usize],
                 start.plus((i as usize) * 150),
                 24.0,
                 Slack::Week,

@@ -78,14 +78,14 @@ fn bench_fig5_kernel(h: &Harness) {
 }
 
 fn bench_fig6_kernels(h: &Harness) {
-    let regions = ctx().regions();
+    let regions: Vec<&decarb_traces::Region> = ctx().regions().iter().collect();
     h.bench("figures/kernel/latency_matrix_build", || {
-        black_box(LatencyMatrix::build(regions))
+        black_box(LatencyMatrix::build(&regions))
     });
     let data = ctx().data();
     let start = year_start(2022);
     h.bench("figures/kernel/lower_envelope_global_week", || {
-        black_box(lower_envelope(data, regions, start, 168))
+        black_box(lower_envelope(data, &regions, start, 168))
     });
 }
 

@@ -13,7 +13,7 @@ use decarb_stats::autocorr::autocorrelation;
 use decarb_stats::periodicity::detect_periods;
 use decarb_traces::rng::Xoshiro256;
 use decarb_traces::time::year_start;
-use decarb_traces::{builtin_dataset, Hour, Region, TimeSeries};
+use decarb_traces::{builtin_dataset, Hour, RegionId, TimeSeries};
 use decarb_workloads::{Job, Slack};
 
 fn synthetic_trace(n: usize) -> Vec<f64> {
@@ -138,14 +138,14 @@ fn bench_sliding_structure_scaling(h: &Harness) {
 /// hoisted-series-lookup optimizations.
 fn bench_kernel_sim(h: &Harness) {
     let data = builtin_dataset();
-    let regions: Vec<&'static Region> = ["US-CA", "DE", "GB", "SE", "IN-WE"]
+    let regions: Vec<RegionId> = ["US-CA", "DE", "GB", "SE", "IN-WE"]
         .iter()
-        .map(|c| data.region(c).expect("bench region"))
+        .map(|c| data.id_of(c).expect("bench region"))
         .collect();
     let start = year_start(2022);
     let jobs: Vec<Job> = (0..150u64)
         .map(|i| {
-            let origin = regions[(i % 5) as usize].code;
+            let origin = regions[(i % 5) as usize];
             Job::batch(
                 i,
                 origin,
@@ -170,6 +170,34 @@ fn bench_kernel_sim(h: &Harness) {
     });
 }
 
+/// The dataset's region-resolution paths: the string edge
+/// (`series(code)`, one hash + map probe per call) against the dense
+/// interned path (`series_by_id`, one bounds-checked index) the
+/// simulator's step loop now runs on. 123 regions × 1000 rounds.
+fn bench_region_lookup(h: &Harness) {
+    let data = builtin_dataset();
+    let codes: Vec<String> = data.regions().iter().map(|r| r.code.clone()).collect();
+    let ids: Vec<RegionId> = data.ids().collect();
+    h.bench("kernels/traces/lookup_by_code_123x1000", || {
+        let mut acc = 0usize;
+        for _ in 0..1000 {
+            for code in &codes {
+                acc += data.series(code).expect("known code").len();
+            }
+        }
+        black_box(acc)
+    });
+    h.bench("kernels/traces/lookup_by_id_123x1000", || {
+        let mut acc = 0usize;
+        for _ in 0..1000 {
+            for &id in &ids {
+                acc += data.series_by_id(id).len();
+            }
+        }
+        black_box(acc)
+    });
+}
+
 /// The shared planner cache against the per-placement rebuild it
 /// replaced: one scenario-sized deferral run under each policy, plus a
 /// ≥500-scenario matrix sweep through the scenario engine (which shares
@@ -180,7 +208,7 @@ fn bench_planner_cache(h: &Harness) {
     use decarb_workloads::{Arrival, WorkloadSpec};
 
     let data = builtin_dataset();
-    let regions: Vec<&'static Region> = RegionSet::Europe.resolve(&data);
+    let regions: Vec<RegionId> = RegionSet::Europe.resolve(&data);
     let start = year_start(2022);
     let spec = WorkloadSpec::Batch {
         per_origin: 12,
@@ -189,8 +217,7 @@ fn bench_planner_cache(h: &Harness) {
         slack: Slack::Day,
         interruptible: true,
     };
-    let origins: Vec<&'static str> = regions.iter().map(|r| r.code).collect();
-    let jobs = spec.materialize(&origins, start);
+    let jobs = spec.materialize(&regions, start);
     h.bench("kernels/sim/deferral_96jobs_rebuild_per_placement", || {
         let mut sim = Simulator::new(&data, &regions, SimConfig::new(start, 16 * 24, 8));
         black_box(sim.run(&mut PlannedDeferral, &jobs))
@@ -266,6 +293,7 @@ fn main() {
     bench_kernel_period(&h);
     bench_sliding_structure_scaling(&h);
     bench_kernel_sim(&h);
+    bench_region_lookup(&h);
     bench_planner_cache(&h);
     std::process::exit(h.finish());
 }

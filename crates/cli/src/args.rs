@@ -153,6 +153,16 @@ pub enum HistoryCommand {
         /// Show only the last N entries (0 = all).
         limit: usize,
     },
+    /// Fail on monotonic multi-commit emissions drift.
+    Check {
+        /// Path of the JSONL history file.
+        file: String,
+        /// Number of trailing runs inspected (minimum 2).
+        window: usize,
+        /// Cumulative drift across the window that turns a monotonic
+        /// trend into a failure, percent.
+        max_drift_pct: f64,
+    },
 }
 
 /// A parse failure with a user-facing message.
@@ -193,12 +203,14 @@ commands:
                                        record a run in the emissions series
   scenario history show --file H [--limit N]
                                        render the emissions series as a trend
+  scenario history check --file H [--window N] [--max-drift-pct X]
+                                       fail on monotonic multi-commit drift
   scenario diff --report R --golden G [--tolerance-pct P]
                                        fail when per-scenario emissions drift
 
 defaults: --year 2022, --slack 24, --arrive 0, --days 60, --tolerance-pct 0.1
 
-global: --data FILE (first option) replaces the built-in dataset with a
+global: --data FILE [--regions FILE] (first options) replaces the built-in dataset with a
 `zone,hour,value` CSV; imported traces are validated and repaired.
 `scenario run` accepts --data (scenario region sets must exist in the
 imported dataset); `list`, `run`, and `scenario list` do not";
@@ -585,8 +597,29 @@ fn parse_scenario_history(rest: &[String]) -> Result<Command, ParseError> {
                 limit: opts.parsed("limit", 0)?,
             }))
         }
+        Some("check") => {
+            let opts = Options::scan(&rest[1..])?;
+            opts.reject_unknown(&["file", "window", "max-drift-pct"])?;
+            let file = opts
+                .get("file")
+                .ok_or_else(|| ParseError("`scenario history check` needs --file FILE".into()))?
+                .to_string();
+            let window: usize = opts.parsed("window", 5)?;
+            if window < 2 {
+                return Err(ParseError("`--window` must be at least 2".into()));
+            }
+            let max_drift_pct: f64 = opts.parsed("max-drift-pct", 1.0)?;
+            if !max_drift_pct.is_finite() || max_drift_pct < 0.0 {
+                return Err(ParseError("`--max-drift-pct` must be non-negative".into()));
+            }
+            Ok(Command::ScenarioHistory(HistoryCommand::Check {
+                file,
+                window,
+                max_drift_pct,
+            }))
+        }
         _ => Err(ParseError(
-            "`scenario history` needs a subcommand: `append` or `show`".into(),
+            "`scenario history` needs a subcommand: `append`, `show`, or `check`".into(),
         )),
     }
 }

@@ -193,7 +193,8 @@ pub(crate) fn scenario_list() -> String {
 pub(crate) fn plan_for_target(
     target: &ScenarioTarget,
     data: &TraceSet,
-) -> Result<SweepPlan, CliError> {
+) -> Result<(SweepPlan, Option<TraceSet>), CliError> {
+    let mut extended: Option<TraceSet> = None;
     let selected = match target {
         ScenarioTarget::Name(name) if name == "all" => decarb_sim::builtin_scenarios(),
         ScenarioTarget::Name(name) => {
@@ -211,11 +212,40 @@ pub(crate) fn plan_for_target(
         ScenarioTarget::File(path) => {
             let text = std::fs::read_to_string(path)
                 .map_err(|e| CliError::Parse(ParseError(format!("--file {path}: {e}"))))?;
-            decarb_sim::parse_scenario_file(&text)
-                .map_err(|e| CliError::Parse(ParseError(format!("{path}: {e}"))))?
+            let file = decarb_sim::parse_scenario_file_full(&text)
+                .map_err(|e| CliError::Parse(ParseError(format!("{path}: {e}"))))?;
+            // `[region CODE]` declarations the dataset lacks get their
+            // traces synthesized from the declared calibration targets,
+            // so scenarios can deploy into entirely hypothetical grids.
+            let missing: Vec<decarb_traces::Region> = file
+                .custom_regions
+                .iter()
+                .filter(|r| data.id_of(&r.code).is_err())
+                .cloned()
+                .collect();
+            if !missing.is_empty() {
+                let mut set = data.clone();
+                set.extend_synthesized(missing, decarb_traces::SynthConfig::default());
+                extended = Some(set);
+            }
+            file.scenarios
         }
     };
-    SweepPlan::plan(data, selected).map_err(|e| CliError::Parse(ParseError(e.to_string())))
+    let plan_data = extended.as_ref().unwrap_or(data);
+    let plan = SweepPlan::plan(plan_data, selected)
+        .map_err(|e| CliError::Parse(ParseError(e.to_string())))?;
+    Ok((plan, extended))
+}
+
+/// The `--data FILE [--regions FILE]` import paths forwarded to the
+/// multi-process fan-out so every worker child re-imports the same
+/// dataset (and metadata sidecar).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct DataPaths<'a> {
+    /// Path of the `zone,hour,value` CSV dataset.
+    pub(crate) data: &'a str,
+    /// Optional path of the `[region CODE]` metadata sidecar.
+    pub(crate) regions: Option<&'a str>,
 }
 
 /// The scenario table header row (text output).
@@ -270,13 +300,14 @@ pub(crate) fn run_scenarios_to(
     json: bool,
     shard: Option<ShardSpec>,
     workers: Option<usize>,
-    data_path: Option<&str>,
+    data_path: Option<DataPaths<'_>>,
     data: &TraceSet,
 ) -> Result<(), CliError> {
     if let Some(workers) = workers {
         return crate::fanout::run_workers(out, target, json, workers, data_path, data);
     }
-    let plan = plan_for_target(target, data)?;
+    let (plan, extended) = plan_for_target(target, data)?;
+    let data = extended.as_ref().unwrap_or(data);
     let single = plan.len() == 1 && shard.is_none();
     let plan = match shard {
         None => plan,
@@ -364,7 +395,7 @@ pub(crate) fn run_scenarios_cmd(
     json: bool,
     shard: Option<ShardSpec>,
     workers: Option<usize>,
-    data_path: Option<&str>,
+    data_path: Option<DataPaths<'_>>,
     data: &TraceSet,
 ) -> Result<String, CliError> {
     let mut buffer = Vec::new();
@@ -566,11 +597,8 @@ pub(crate) fn scenario_history_append(
     ))
 }
 
-/// Renders the emissions-history series as a trend table: one row per
-/// recorded run with the total-emissions delta against the previous
-/// run, so gradual drift the per-commit golden gate cannot see becomes
-/// visible.
-pub(crate) fn scenario_history_show(file: &str, limit: usize) -> Result<String, CliError> {
+/// Parses a JSONL history file into `(rev, scenarios, total_g)` rows.
+fn read_history(file: &str) -> Result<Vec<(String, usize, f64)>, CliError> {
     let text = std::fs::read_to_string(file)
         .map_err(|e| CliError::Parse(ParseError(format!("{file}: {e}"))))?;
     let mut rows: Vec<(String, usize, f64)> = Vec::new();
@@ -600,6 +628,15 @@ pub(crate) fn scenario_history_show(file: &str, limit: usize) -> Result<String, 
         };
         rows.push((rev.clone(), *scenarios as usize, *total));
     }
+    Ok(rows)
+}
+
+/// Renders the emissions-history series as a trend table: one row per
+/// recorded run with the total-emissions delta against the previous
+/// run, so gradual drift the per-commit golden gate cannot see becomes
+/// visible.
+pub(crate) fn scenario_history_show(file: &str, limit: usize) -> Result<String, CliError> {
+    let rows = read_history(file)?;
     if rows.is_empty() {
         return Ok(format!("{file}: no recorded runs\n"));
     }
@@ -636,6 +673,62 @@ pub(crate) fn scenario_history_show(file: &str, limit: usize) -> Result<String, 
     Ok(out)
 }
 
+/// The history-aware gate behind `scenario history check`: fails when
+/// the last `window` recorded runs drift *monotonically* (no
+/// commit-to-commit delta moves against the trend — plateaus count,
+/// since behavior-neutral commits append bit-identical totals) and the
+/// cumulative change across the window exceeds `max_drift_pct`
+/// percent. A per-commit golden diff cannot see this: each step can
+/// sit inside the golden tolerance while the series walks steadily
+/// away.
+pub(crate) fn scenario_history_check(
+    file: &str,
+    window: usize,
+    max_drift_pct: f64,
+) -> Result<String, CliError> {
+    let rows = read_history(file)?;
+    if rows.len() < 2 {
+        return Ok(format!(
+            "{file}: {} run(s) recorded, need at least 2 to check drift — pass
+",
+            rows.len()
+        ));
+    }
+    let tail = &rows[rows.len().saturating_sub(window)..];
+    let deltas: Vec<f64> = tail.windows(2).map(|w| w[1].2 - w[0].2).collect();
+    let first = tail.first().expect("tail has ≥ 2 rows").2;
+    let last = tail.last().expect("tail has ≥ 2 rows").2;
+    // Weak monotonicity with a nonzero net move: a plateau (a commit
+    // that reproduces emissions bit-identically) must not disarm the
+    // gate, but a flat-only window is no trend at all.
+    let monotonic_up = last > first && deltas.iter().all(|&d| d >= 0.0);
+    let monotonic_down = last < first && deltas.iter().all(|&d| d <= 0.0);
+    let drift_pct = if first.abs() > f64::EPSILON {
+        (last - first) / first * 100.0
+    } else if last.abs() > f64::EPSILON {
+        f64::INFINITY
+    } else {
+        0.0
+    };
+    let span = tail.len();
+    if (monotonic_up || monotonic_down) && drift_pct.abs() > max_drift_pct {
+        let direction = if monotonic_up { "rising" } else { "falling" };
+        return Err(CliError::Check(format!(
+            "emissions history drifts monotonically over the last {span} runs \
+             ({direction} {drift_pct:+.3}% cumulative, threshold ±{max_drift_pct}%): \
+             {} → {} g·CO2eq — investigate before the trend compounds",
+            first, last
+        )));
+    }
+    Ok(format!(
+        "history check: last {span} of {} runs, cumulative drift {drift_pct:+.3}% \
+         (threshold ±{max_drift_pct}%, monotonic: {}) — pass
+",
+        rows.len(),
+        monotonic_up || monotonic_down,
+    ))
+}
+
 fn year_values<'a>(data: &'a TraceSet, zone: &str, year: i32) -> Result<&'a [f64], CliError> {
     Ok(data
         .series(zone)?
@@ -651,9 +744,9 @@ fn regions(data: &TraceSet, group: Option<&str>, year: i32) -> Result<String, Cl
                 continue;
             }
         }
-        let values = year_values(data, region.code, year)?;
+        let values = year_values(data, &region.code, year)?;
         rows.push((
-            region.code,
+            region.code.as_str(),
             region.group.label(),
             decarb_stats::descriptive::mean(values),
             average_daily_cv(values),
@@ -765,7 +858,7 @@ fn plan(
     let baseline = planner.baseline_cost(arrival, hours);
     let deferred = planner.best_deferred(arrival, hours, slack);
     let (_, interrupted) = planner.best_interruptible(arrival, hours, slack);
-    let candidates = data.regions().to_vec();
+    let candidates: Vec<&decarb_traces::Region> = data.regions().iter().collect();
     // Full calendar coverage unlocks the paper's annual-mean migration
     // policies; short imports fall back to stored-range means.
     let full_year = data
@@ -781,9 +874,13 @@ fn plan(
             .into_iter()
             .min_by(|a, b| a.1.total_cmp(&b.1))
             .expect("dataset is non-empty");
-        let cost: f64 = data.series(dest.code)?.window(arrival, hours)?.iter().sum();
+        let cost: f64 = data
+            .series(&dest.code)?
+            .window(arrival, hours)?
+            .iter()
+            .sum();
         let migrated = decarb_core::spatial::SpatialOutcome {
-            destination: dest.code,
+            destination: dest.code.clone(),
             cost_g: cost,
         };
         // Hourly hop on the instantaneous minimum across candidates.
@@ -794,7 +891,7 @@ fn plan(
             let hour = arrival.plus(k);
             let (code, ci) = data
                 .iter()
-                .filter_map(|(r, s)| s.at(hour).map(|ci| (r.code, ci)))
+                .filter_map(|(r, s)| s.at(hour).map(|ci| (r.code.as_str(), ci)))
                 .min_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(b.0)))
                 .ok_or(TraceError::OutOfRange { hour })?;
             hop_cost += ci;
@@ -804,7 +901,7 @@ fn plan(
             last = Some(code);
         }
         let hopped = decarb_core::spatial::SpatialOutcome {
-            destination: last.unwrap_or(dest.code),
+            destination: last.unwrap_or(&dest.code).to_string(),
             cost_g: hop_cost,
         };
         (migrated, hopped, hops)
@@ -1287,6 +1384,318 @@ regions = europe
         assert_eq!(items[0].get("name"), Some(&Value::from("tiny-forecast")));
         assert_eq!(items[1].get("policy"), Some(&Value::from("spatiotemporal")));
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn unknown_zones_import_with_defaults_and_sidecar_metadata() {
+        // A dataset whose zone is absent from the built-in catalog: the
+        // import succeeds with default metadata instead of erroring.
+        use std::io::Write as _;
+        let path = std::env::temp_dir().join("decarb-cli-unknown-zone.csv");
+        let mut file = std::fs::File::create(&path).unwrap();
+        writeln!(file, "zone,hour,ci_g_per_kwh").unwrap();
+        for h in 0..480u32 {
+            writeln!(file, "XX-NOWHERE,{h},{}", 120.0 + (h % 24) as f64).unwrap();
+        }
+        for h in 0..480u32 {
+            writeln!(file, "SE,{h},16.0").unwrap();
+        }
+        drop(file);
+        // Without a sidecar the unknown zone gets default metadata.
+        let set = crate::load_dataset(path.to_str().unwrap(), None).unwrap();
+        let region = set.region("XX-NOWHERE").unwrap();
+        assert_eq!(region.name, "XX-NOWHERE");
+        assert_eq!(region.group, decarb_traces::GeoGroup::Other);
+        // A sidecar upgrades the default metadata.
+        let sidecar = temp_file(
+            "decarb-cli-sidecar.regions",
+            "[region XX-NOWHERE]
+name = Nowhere Grid
+group = africa
+lat = 5
+lon = 10
+",
+        );
+        let set =
+            crate::load_dataset(path.to_str().unwrap(), Some(sidecar.to_str().unwrap())).unwrap();
+        let region = set.region("XX-NOWHERE").unwrap();
+        assert_eq!(region.name, "Nowhere Grid");
+        assert_eq!(region.group, decarb_traces::GeoGroup::Africa);
+        assert_eq!(region.lat, 5.0);
+        // Scenario sweeps complete over the unknown-zone dataset.
+        let scenario_file = temp_file(
+            "decarb-cli-unknown-zone.scenario",
+            "[workload w]
+class = batch
+per_origin = 3
+length = 2
+slack = day
+
+             [regions offgrid]
+codes = XX-NOWHERE, SE
+
+             [matrix m]
+workloads = w
+policies = agnostic, greenest
+regions = offgrid
+             horizon = 240
+year = 2020
+",
+        );
+        let out = dispatch(&argv(&[
+            "--data",
+            path.to_str().unwrap(),
+            "--regions",
+            sidecar.to_str().unwrap(),
+            "scenario",
+            "run",
+            "--file",
+            scenario_file.to_str().unwrap(),
+            "--json",
+        ]))
+        .unwrap();
+        let value = decarb_json::parse(&out).unwrap();
+        let Value::Array(reports) = value else {
+            panic!("expected an array: {out}");
+        };
+        assert_eq!(reports.len(), 2);
+        for report in &reports {
+            assert_eq!(report.get("completed"), report.get("jobs"), "{report}");
+        }
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&sidecar).ok();
+        std::fs::remove_file(&scenario_file).ok();
+    }
+
+    #[test]
+    fn scenario_files_declaring_custom_regions_run_on_synthesized_traces() {
+        // No --data at all: the [region] sections alone carry the zones,
+        // and the runner synthesizes their traces from the declared
+        // calibration targets.
+        let scenario_file = temp_file(
+            "decarb-cli-custom-region.scenario",
+            "[region XX-HYDRO]
+name = Hydrotopia
+group = south-america
+mean_ci = 45
+             mix = hydro:0.8, wind:0.2
+
+             [region XX-COAL]
+name = Coalville
+group = asia
+mean_ci = 700
+             mix = coal:0.9, solar:0.1
+
+             [workload w]
+class = batch
+per_origin = 4
+length = 4
+slack = day
+
+             [regions synthetic]
+codes = XX-HYDRO, XX-COAL
+
+             [matrix m]
+workloads = w
+policies = agnostic, greenest
+regions = synthetic
+             horizon = 240
+",
+        );
+        let out = dispatch(&argv(&[
+            "scenario",
+            "run",
+            "--file",
+            scenario_file.to_str().unwrap(),
+            "--json",
+        ]))
+        .unwrap();
+        let value = decarb_json::parse(&out).unwrap();
+        let Value::Array(reports) = value else {
+            panic!("expected an array: {out}");
+        };
+        assert_eq!(reports.len(), 2);
+        let ci_of = |policy: &str| -> f64 {
+            reports
+                .iter()
+                .find(|r| r.get("policy") == Some(&Value::from(policy)))
+                .and_then(|r| match r.get("avg_ci_g_per_kwh") {
+                    Some(Value::Number(n)) => Some(*n),
+                    _ => None,
+                })
+                .expect("policy present")
+        };
+        assert!(
+            ci_of("greenest") < ci_of("agnostic"),
+            "routing to the hypothetical hydro grid must help"
+        );
+        std::fs::remove_file(&scenario_file).ok();
+    }
+
+    #[test]
+    fn history_check_gates_monotonic_drift() {
+        let entry = |rev: &str, total: f64| -> String {
+            Value::object([
+                ("rev", Value::from(rev)),
+                ("scenarios", Value::from(2.0)),
+                ("total_emissions_g", Value::from(total)),
+                ("emissions", Value::object::<String>([])),
+            ])
+            .to_string()
+        };
+        // Monotonic rise beyond the threshold: fail.
+        let rising = temp_file(
+            "decarb-history-rising.jsonl",
+            &format!(
+                "{}
+{}
+{}
+{}
+",
+                entry("r1", 100.0),
+                entry("r2", 100.4),
+                entry("r3", 100.9),
+                entry("r4", 101.5),
+            ),
+        );
+        let err = dispatch(&argv(&[
+            "scenario",
+            "history",
+            "check",
+            "--file",
+            rising.to_str().unwrap(),
+            "--window",
+            "4",
+            "--max-drift-pct",
+            "1.0",
+        ]))
+        .unwrap_err();
+        let text = format!("{err}");
+        assert!(text.contains("monotonically"), "{text}");
+        assert!(text.contains("rising"), "{text}");
+        // The same series passes under a looser threshold…
+        let ok = dispatch(&argv(&[
+            "scenario",
+            "history",
+            "check",
+            "--file",
+            rising.to_str().unwrap(),
+            "--window",
+            "4",
+            "--max-drift-pct",
+            "5.0",
+        ]))
+        .unwrap();
+        assert!(ok.contains("pass"), "{ok}");
+        // A plateau (a behavior-neutral commit repeating the exact
+        // total) must not disarm the gate: the trend is still
+        // monotonic and the cumulative drift still exceeds the
+        // threshold.
+        let plateau = temp_file(
+            "decarb-history-plateau.jsonl",
+            &format!(
+                "{}\n{}\n{}\n{}\n{}\n",
+                entry("r1", 100.0),
+                entry("r2", 100.4),
+                entry("r3", 100.4),
+                entry("r4", 100.9),
+                entry("r5", 101.5),
+            ),
+        );
+        let err = dispatch(&argv(&[
+            "scenario",
+            "history",
+            "check",
+            "--file",
+            plateau.to_str().unwrap(),
+            "--window",
+            "5",
+            "--max-drift-pct",
+            "0.5",
+        ]))
+        .unwrap_err();
+        assert!(format!("{err}").contains("monotonically"), "{err}");
+        // An entirely flat series is no trend and always passes.
+        let flat = temp_file(
+            "decarb-history-flat.jsonl",
+            &format!(
+                "{}\n{}\n{}\n",
+                entry("r1", 100.0),
+                entry("r2", 100.0),
+                entry("r3", 100.0)
+            ),
+        );
+        let ok = dispatch(&argv(&[
+            "scenario",
+            "history",
+            "check",
+            "--file",
+            flat.to_str().unwrap(),
+            "--max-drift-pct",
+            "0",
+        ]))
+        .unwrap();
+        assert!(ok.contains("pass"), "{ok}");
+        std::fs::remove_file(&plateau).ok();
+        std::fs::remove_file(&flat).ok();
+        // …and a non-monotonic series passes even under a tight one.
+        let noisy = temp_file(
+            "decarb-history-noisy.jsonl",
+            &format!(
+                "{}
+{}
+{}
+{}
+",
+                entry("r1", 100.0),
+                entry("r2", 104.0),
+                entry("r3", 99.0),
+                entry("r4", 103.0),
+            ),
+        );
+        let ok = dispatch(&argv(&[
+            "scenario",
+            "history",
+            "check",
+            "--file",
+            noisy.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(ok.contains("pass"), "{ok}");
+        // A window only sees the tail: the last 2 entries of the noisy
+        // series rise 99 → 103 (monotonic within the window).
+        let err = dispatch(&argv(&[
+            "scenario",
+            "history",
+            "check",
+            "--file",
+            noisy.to_str().unwrap(),
+            "--window",
+            "2",
+            "--max-drift-pct",
+            "1.0",
+        ]))
+        .unwrap_err();
+        assert!(format!("{err}").contains("monotonically"), "{err}");
+        // Fewer than two runs trivially pass; bad arguments error.
+        let single = temp_file("decarb-history-single.jsonl", &entry("r1", 50.0));
+        let ok = dispatch(&argv(&[
+            "scenario",
+            "history",
+            "check",
+            "--file",
+            single.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(ok.contains("need at least 2"), "{ok}");
+        let err = dispatch(&argv(&[
+            "scenario", "history", "check", "--file", "x", "--window", "1",
+        ]))
+        .unwrap_err();
+        assert!(format!("{err}").contains("at least 2"), "{err}");
+        std::fs::remove_file(&rising).ok();
+        std::fs::remove_file(&noisy).ok();
+        std::fs::remove_file(&single).ok();
     }
 
     #[test]

@@ -18,7 +18,9 @@ use decarb_json::Value;
 use decarb_traces::TraceSet;
 
 use crate::args::ScenarioTarget;
-use crate::commands::{plan_for_target, scenario_table_header, scenario_table_row, CliError};
+use crate::commands::{
+    plan_for_target, scenario_table_header, scenario_table_row, CliError, DataPaths,
+};
 
 /// Spawns `workers` child shard processes over `target`, merges their
 /// JSON streams, and writes the combined report (JSON array or text
@@ -29,13 +31,13 @@ pub(crate) fn run_workers(
     target: &ScenarioTarget,
     json: bool,
     workers: usize,
-    data_path: Option<&str>,
+    data_path: Option<DataPaths<'_>>,
     data: &TraceSet,
 ) -> Result<(), CliError> {
     // Plan locally first: argument errors (unknown scenario, bad file,
     // invalid zones) surface here once instead of K times from the
     // children, and the plan's names drive the merge expectation.
-    let plan = plan_for_target(target, data)?;
+    let (plan, _extended) = plan_for_target(target, data)?;
     // A child costs a full process start plus dataset synthesis; never
     // spawn more of them than there are scenarios to run.
     let workers = workers.min(plan.len()).max(1);
@@ -43,8 +45,11 @@ pub(crate) fn run_workers(
     let mut children = Vec::with_capacity(workers);
     for index in 0..workers {
         let mut child = Process::new(&exe);
-        if let Some(path) = data_path {
-            child.arg("--data").arg(path);
+        if let Some(paths) = data_path {
+            child.arg("--data").arg(paths.data);
+            if let Some(sidecar) = paths.regions {
+                child.arg("--regions").arg(sidecar);
+            }
         }
         child.arg("scenario").arg("run");
         match target {

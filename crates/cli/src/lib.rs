@@ -21,13 +21,17 @@
 //! | `scenario run ... --workers K` | fan the sweep out over K child shard processes |
 //! | `scenario merge <REPORT...> [--expect all\|FILE]` | recombine shard reports into one document |
 //! | `scenario history append\|show` | record / render the per-run emissions series |
+//! | `scenario history check --file H` | fail on monotonic multi-commit emissions drift |
 //! | `scenario diff --report R --golden G` | gate per-scenario emissions drift |
 //!
-//! A leading global option `--data FILE` replaces the built-in synthetic
-//! dataset with a `zone,hour,value` CSV (e.g. a real Electricity Maps
-//! export re-keyed to hours since 2020-01-01 UTC); zone codes must exist
-//! in the built-in catalog, and imported traces are validated and
-//! repaired (interpolating NaN/non-positive samples) before use.
+//! A leading global option `--data FILE [--regions FILE]` replaces the
+//! built-in synthetic dataset with a `zone,hour,value` CSV (e.g. a real
+//! Electricity Maps export re-keyed to hours since 2020-01-01 UTC).
+//! Zone codes are *not* restricted to the built-in catalog: known codes
+//! take catalog metadata, `--regions` supplies a `[region CODE]`
+//! metadata sidecar for the rest, and anything else gets neutral
+//! defaults. Imported traces are validated and repaired (interpolating
+//! NaN/non-positive samples) before use.
 
 use std::fs::File;
 
@@ -59,6 +63,11 @@ pub fn run(command: &Command) -> Result<String, CliError> {
         Command::ScenarioHistory(HistoryCommand::Show { file, limit }) => {
             commands::scenario_history_show(file, *limit)
         }
+        Command::ScenarioHistory(HistoryCommand::Check {
+            file,
+            window,
+            max_drift_pct,
+        }) => commands::scenario_history_check(file, *window, *max_drift_pct),
         Command::ScenarioDiff {
             report,
             golden,
@@ -78,9 +87,23 @@ pub fn run(command: &Command) -> Result<String, CliError> {
 }
 
 /// Loads, validates, and repairs a `zone,hour,value` CSV dataset.
-pub fn load_dataset(path: &str) -> Result<TraceSet, CliError> {
+///
+/// `regions_path` optionally names a `[region CODE]` metadata sidecar
+/// (see `decarb_traces::sidecar`) describing zones outside the built-in
+/// catalog; zones with neither catalog nor sidecar metadata are
+/// interned with defaults instead of being rejected.
+pub fn load_dataset(path: &str, regions_path: Option<&str>) -> Result<TraceSet, CliError> {
+    let extra = match regions_path {
+        None => Vec::new(),
+        Some(sidecar_path) => {
+            let text = std::fs::read_to_string(sidecar_path)
+                .map_err(|e| CliError::Parse(ParseError(format!("{sidecar_path}: {e}"))))?;
+            decarb_traces::parse_region_sidecar(&text)
+                .map_err(|e| CliError::Parse(ParseError(format!("{sidecar_path}: {e}"))))?
+        }
+    };
     let file = File::open(path).map_err(decarb_traces::TraceError::from)?;
-    let raw = csv::read_dataset(file)?;
+    let raw = csv::read_dataset_with(file, &extra)?;
     let config = ValidationConfig::default();
     let pairs = raw
         .iter()
@@ -96,19 +119,21 @@ pub fn load_dataset(path: &str) -> Result<TraceSet, CliError> {
                     )))
                 })?
             };
-            Ok((region, series))
+            Ok((region.clone(), series))
         })
         .collect::<Result<Vec<_>, CliError>>()?;
     Ok(TraceSet::from_series(pairs))
 }
 
-/// An imported `--data` dataset together with the path it came from —
-/// the path rides along so the multi-process fan-out can re-import the
-/// same dataset in its child processes.
-type ImportedData = Option<(String, TraceSet)>;
+/// An imported `--data` dataset together with the paths it came from
+/// (`--data`, optional `--regions` sidecar) — the paths ride along so
+/// the multi-process fan-out can re-import the same dataset in its
+/// child processes.
+type ImportedData = Option<(String, Option<String>, TraceSet)>;
 
-/// Splits the global `--data FILE` option off `argv`, loading the
-/// dataset when present.
+/// Splits the global `--data FILE [--regions FILE]` options off `argv`,
+/// loading the dataset (plus the optional metadata sidecar) when
+/// present.
 fn split_data(argv: &[String]) -> Result<(ImportedData, &[String]), CliError> {
     if argv.first().map(String::as_str) == Some("--data") {
         let Some(path) = argv.get(1) else {
@@ -116,21 +141,44 @@ fn split_data(argv: &[String]) -> Result<(ImportedData, &[String]), CliError> {
                 "--data needs a file path".into(),
             )));
         };
-        Ok((Some((path.clone(), load_dataset(path)?)), &argv[2..]))
+        let (regions_path, rest) = if argv.get(2).map(String::as_str) == Some("--regions") {
+            let Some(sidecar) = argv.get(3) else {
+                return Err(CliError::Parse(ParseError(
+                    "--regions needs a file path".into(),
+                )));
+            };
+            (Some(sidecar.as_str()), &argv[4..])
+        } else {
+            (None, &argv[2..])
+        };
+        Ok((
+            Some((
+                path.clone(),
+                regions_path.map(str::to_string),
+                load_dataset(path, regions_path)?,
+            )),
+            rest,
+        ))
     } else {
         Ok((None, argv))
     }
 }
 
 /// Binds a `scenario run` to its dataset: the imported `--data` pair
-/// when present (path forwarded so worker children re-import it), else
+/// when present (paths forwarded so worker children re-import it), else
 /// the built-in set with no path.
 fn with_scenario_dataset<R>(
     data: &ImportedData,
-    f: impl FnOnce(Option<&str>, &TraceSet) -> R,
+    f: impl FnOnce(Option<commands::DataPaths<'_>>, &TraceSet) -> R,
 ) -> R {
     match data {
-        Some((path, set)) => f(Some(path), set),
+        Some((path, regions, set)) => f(
+            Some(commands::DataPaths {
+                data: path,
+                regions: regions.as_deref(),
+            }),
+            set,
+        ),
         None => f(None, &builtin_dataset()),
     }
 }
@@ -153,7 +201,7 @@ pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
         });
     }
     match data {
-        Some((_, set)) => run_on(&command, &set),
+        Some((_, _, set)) => run_on(&command, &set),
         None => run(&command),
     }
 }
@@ -180,7 +228,7 @@ pub fn dispatch_stream(argv: &[String], out: &mut dyn std::io::Write) -> Result<
         return Ok(());
     }
     let text = match data {
-        Some((_, set)) => run_on(&command, &set),
+        Some((_, _, set)) => run_on(&command, &set),
         None => run(&command),
     }?;
     writeln!(out, "{text}")?;

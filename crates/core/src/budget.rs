@@ -53,7 +53,7 @@ pub fn budgeted_migration(
     let windows: Vec<&[f64]> = regions
         .iter()
         .map(|r| {
-            set.series(r.code)
+            set.series(&r.code)
                 .expect("candidate trace exists")
                 .window(arrival, slots)
                 .expect("job window inside horizon")
@@ -141,13 +141,11 @@ mod tests {
         &'static Region,
     ) {
         let set = builtin_dataset();
-        let candidates: Vec<&Region> = set
-            .regions()
+        let candidates: Vec<&'static Region> = ["SE", "US-CA", "DE", "IN-WE", "AU-SA"]
             .iter()
-            .filter(|r| ["SE", "US-CA", "DE", "IN-WE", "AU-SA"].contains(&r.code))
-            .copied()
+            .map(|c| decarb_traces::catalog::region(c).unwrap())
             .collect();
-        let origin = set.region("IN-WE").unwrap();
+        let origin = decarb_traces::catalog::region("IN-WE").unwrap();
         (set, candidates, origin)
     }
 
@@ -216,13 +214,8 @@ mod tests {
     fn origin_always_candidate() {
         let (set, _, _) = setup();
         // Candidate set without the origin: DP must still allow staying.
-        let origin = set.region("PL").unwrap();
-        let others: Vec<&Region> = set
-            .regions()
-            .iter()
-            .filter(|r| r.code == "XK")
-            .copied()
-            .collect();
+        let origin = decarb_traces::catalog::region("PL").unwrap();
+        let others: Vec<&Region> = vec![decarb_traces::catalog::region("XK").unwrap()];
         let arrival = year_start(2022).plus(10);
         let outcome = budgeted_migration(&set, origin, &others, arrival, 12, 0);
         let home: f64 = set

@@ -24,9 +24,9 @@ pub enum IdleCapacity {
 #[derive(Debug, Clone, PartialEq)]
 pub struct Assignment {
     /// Donor zone code.
-    pub from: &'static str,
+    pub from: String,
     /// Recipient zone code.
-    pub to: &'static str,
+    pub to: String,
     /// Amount of load moved (capacity units).
     pub amount: f64,
 }
@@ -43,7 +43,7 @@ pub struct CapacityOutcome {
     /// Individual migration decisions.
     pub assignments: Vec<Assignment>,
     /// Per-region reduction in g·CO2eq per unit of the region's own load.
-    pub per_region_reduction: Vec<(&'static Region, f64)>,
+    pub per_region_reduction: Vec<(Region, f64)>,
 }
 
 impl CapacityOutcome {
@@ -63,7 +63,7 @@ impl CapacityOutcome {
 /// Panics if `regions` is empty or a fractional idle capacity is outside
 /// `[0, 1)`.
 pub fn water_filling(
-    regions: &[(&'static Region, f64)],
+    regions: &[(&Region, f64)],
     idle: IdleCapacity,
     feasible: &dyn Fn(&Region, &Region) -> bool,
 ) -> CapacityOutcome {
@@ -114,8 +114,8 @@ pub fn water_filling(
             moved_total += amount;
             donor_emissions[d] += amount * recipient_mean;
             assignments.push(Assignment {
-                from: donor.code,
-                to: recipient.code,
+                from: donor.code.clone(),
+                to: recipient.code.clone(),
                 amount,
             });
         }
@@ -137,7 +137,7 @@ pub fn water_filling(
             } else {
                 mean
             };
-            (region, mean - own)
+            (region.clone(), mean - own)
         })
         .collect();
 
@@ -153,7 +153,7 @@ pub fn water_filling(
 /// Sweeps idle-capacity fractions and returns `(fraction, outcome)` pairs
 /// (Fig. 5(c)).
 pub fn idle_sweep(
-    regions: &[(&'static Region, f64)],
+    regions: &[(&Region, f64)],
     fractions: &[f64],
     feasible: &dyn Fn(&Region, &Region) -> bool,
 ) -> Vec<(f64, CapacityOutcome)> {
@@ -266,7 +266,7 @@ mod tests {
                 .1
         };
         for a in &outcome.assignments {
-            assert!(mean_of(a.to) < mean_of(a.from));
+            assert!(mean_of(&a.to) < mean_of(&a.from));
         }
     }
 

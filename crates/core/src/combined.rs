@@ -16,7 +16,7 @@ use crate::temporal::TemporalPlanner;
 #[derive(Debug, Clone, PartialEq)]
 pub struct CombinedBreakdown {
     /// Destination zone code.
-    pub destination: &'static str,
+    pub destination: String,
     /// Spatial component: global average CI − destination annual mean.
     /// Negative when the destination is dirtier than the global average.
     pub spatial_g: f64,
@@ -44,7 +44,7 @@ pub fn combined_shift(
     slots: usize,
     slack: usize,
 ) -> CombinedBreakdown {
-    let series = set.series(destination.code).expect("destination trace");
+    let series = set.series(&destination.code).expect("destination trace");
     let planner = TemporalPlanner::new(series);
     let start = year_start(year);
     let count = hours_in_year(year);
@@ -63,7 +63,7 @@ pub fn combined_shift(
         .sum::<f64>()
         / count as f64;
     CombinedBreakdown {
-        destination: destination.code,
+        destination: destination.code.clone(),
         spatial_g: GLOBAL_AVG_CI - dest_mean,
         temporal_g,
     }

@@ -42,7 +42,7 @@ pub fn rtt_ms(a: &Region, b: &Region) -> f64 {
 /// A precomputed symmetric RTT matrix over a region set.
 #[derive(Debug, Clone)]
 pub struct LatencyMatrix {
-    codes: Vec<&'static str>,
+    codes: Vec<String>,
     rtt: Vec<f64>,
 }
 
@@ -59,7 +59,7 @@ impl LatencyMatrix {
             }
         }
         Self {
-            codes: regions.iter().map(|r| r.code).collect(),
+            codes: regions.iter().map(|r| r.code.clone()).collect(),
             rtt,
         }
     }
@@ -76,20 +76,20 @@ impl LatencyMatrix {
 
     /// Returns the RTT between two zone codes, if both are covered.
     pub fn get(&self, a: &str, b: &str) -> Option<f64> {
-        let i = self.codes.iter().position(|&c| c == a)?;
-        let j = self.codes.iter().position(|&c| c == b)?;
+        let i = self.codes.iter().position(|c| c == a)?;
+        let j = self.codes.iter().position(|c| c == b)?;
         Some(self.rtt[i * self.codes.len() + j])
     }
 
     /// Returns the zone codes whose RTT from `origin` is within `slo_ms`.
-    pub fn feasible_from(&self, origin: &str, slo_ms: f64) -> Vec<&'static str> {
-        let Some(i) = self.codes.iter().position(|&c| c == origin) else {
+    pub fn feasible_from(&self, origin: &str, slo_ms: f64) -> Vec<&str> {
+        let Some(i) = self.codes.iter().position(|c| c == origin) else {
             return Vec::new();
         };
         let n = self.codes.len();
         (0..n)
             .filter(|&j| self.rtt[i * n + j] <= slo_ms)
-            .map(|j| self.codes[j])
+            .map(|j| self.codes[j].as_str())
             .collect()
     }
 }
@@ -141,7 +141,7 @@ mod tests {
         assert!(!matrix.is_empty());
         for a in &regions {
             for b in &regions {
-                let m = matrix.get(a.code, b.code).unwrap();
+                let m = matrix.get(&a.code, &b.code).unwrap();
                 assert!((m - rtt_ms(a, b)).abs() < 1e-9);
             }
         }

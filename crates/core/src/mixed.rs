@@ -25,7 +25,8 @@ pub fn mixed_workload_emissions(set: &TraceSet, migratable: f64, year: i32) -> (
     let start = year_start(year);
     let len = hours_in_year(year);
     // Per-hour global minimum CI (the destination of migratable work).
-    let envelope = crate::spatial::lower_envelope(set, set.regions(), start, len);
+    let candidates: Vec<&decarb_traces::Region> = set.regions().iter().collect();
+    let envelope = crate::spatial::lower_envelope(set, &candidates, start, len);
     let envelope_mean = envelope.mean();
     let baseline = set.global_mean(year);
     let mixed = (1.0 - migratable) * baseline + migratable * envelope_mean;

@@ -21,7 +21,7 @@ use crate::temporal::TemporalPlanner;
 pub struct SpatialOutcome {
     /// Zone code of the chosen destination (for 1-migration) or the
     /// region where the job starts (for ∞-migration).
-    pub destination: &'static str,
+    pub destination: String,
     /// Carbon cost of the job in g·CO2eq.
     pub cost_g: f64,
 }
@@ -66,10 +66,10 @@ pub fn one_migration(
     slots: usize,
 ) -> SpatialOutcome {
     let dest = one_migration_destination(set, candidates, year);
-    let series = set.series(dest.code).expect("destination trace exists");
+    let series = set.series(&dest.code).expect("destination trace exists");
     let cost = series.prefix_sum().sum(arrival, slots);
     SpatialOutcome {
-        destination: dest.code,
+        destination: dest.code.clone(),
         cost_g: cost,
     }
 }
@@ -89,7 +89,7 @@ pub fn lower_envelope(
     assert!(!candidates.is_empty(), "candidate set must be non-empty");
     let mut env = vec![f64::INFINITY; len];
     for region in candidates {
-        let series = set.series(region.code).expect("candidate trace exists");
+        let series = set.series(&region.code).expect("candidate trace exists");
         let window = series
             .window(from, len)
             .expect("candidate trace covers window");
@@ -112,18 +112,18 @@ pub fn inf_migration(
     assert!(!candidates.is_empty(), "candidate set must be non-empty");
     let mut cost = 0.0;
     let mut migrations = 0usize;
-    let mut current: Option<&'static str> = None;
-    let mut first: &'static str = candidates[0].code;
+    let mut current: Option<&str> = None;
+    let mut first: &str = &candidates[0].code;
     for i in 0..slots {
         let hour = arrival.plus(i);
         let (code, value) = candidates
             .iter()
             .map(|r| {
                 let v = set
-                    .series(r.code)
+                    .series(&r.code)
                     .expect("candidate trace exists")
                     .get(hour);
-                (r.code, v)
+                (r.code.as_str(), v)
             })
             .min_by(|a, b| a.1.total_cmp(&b.1))
             .expect("non-empty candidates");
@@ -142,7 +142,7 @@ pub fn inf_migration(
     }
     (
         SpatialOutcome {
-            destination: first,
+            destination: first.to_string(),
             cost_g: cost,
         },
         migrations,
@@ -169,7 +169,7 @@ mod tests {
     #[test]
     fn one_migration_picks_sweden_globally() {
         let set = builtin_dataset();
-        let all = set.regions().to_vec();
+        let all: Vec<&Region> = set.regions().iter().collect();
         let dest = one_migration_destination(&set, &all, 2022);
         assert_eq!(dest.code, "SE");
         let outcome = one_migration(&set, &all, 2022, year_start(2022), 24);
@@ -194,8 +194,7 @@ mod tests {
         let candidates: Vec<&Region> = set
             .regions()
             .iter()
-            .filter(|r| ["SE", "PL", "DE"].contains(&r.code))
-            .copied()
+            .filter(|r| ["SE", "PL", "DE"].contains(&r.code.as_str()))
             .collect();
         let from = year_start(2022);
         let env = lower_envelope(&set, &candidates, from, 100);
@@ -203,7 +202,7 @@ mod tests {
             let hour = from.plus(i);
             let min = candidates
                 .iter()
-                .map(|r| set.series(r.code).unwrap().get(hour))
+                .map(|r| set.series(&r.code).unwrap().get(hour))
                 .fold(f64::INFINITY, f64::min);
             assert!((env.get(hour) - min).abs() < 1e-12);
         }
@@ -215,8 +214,7 @@ mod tests {
         let candidates: Vec<&Region> = set
             .regions()
             .iter()
-            .filter(|r| ["US-CA", "US-WA", "CA-ON"].contains(&r.code))
-            .copied()
+            .filter(|r| ["US-CA", "US-WA", "CA-ON"].contains(&r.code.as_str()))
             .collect();
         let from = year_start(2022);
         let slots = 168;
@@ -244,7 +242,7 @@ mod tests {
     #[test]
     fn envelope_planner_supports_deferral() {
         let set = builtin_dataset();
-        let all = set.regions().to_vec();
+        let all: Vec<&Region> = set.regions().iter().collect();
         let from = year_start(2022);
         let planner = envelope_planner(&set, &all, from, 2000);
         let baseline = planner.baseline_cost(from, 24);

@@ -13,10 +13,10 @@ pub const EVAL_YEAR: i32 = 2022;
 
 /// Per-region, per-configuration temporal statistics, normalized per job
 /// hour (g·CO2eq/kWh-equivalent).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct RegionTemporal {
     /// Zone code.
-    pub code: &'static str,
+    pub code: String,
     /// Mean baseline cost per job hour across all arrivals.
     pub baseline_per_h: f64,
     /// Mean deferred cost per job hour.
@@ -84,7 +84,7 @@ impl Context {
     }
 
     /// Returns the dataset's regions.
-    pub fn regions(&self) -> &[&'static Region] {
+    pub fn regions(&self) -> &[Region] {
         self.data.regions()
     }
 
@@ -117,7 +117,7 @@ impl Context {
                 let n = count as f64;
                 let per_h = |total: f64| total / n / slots as f64;
                 RegionTemporal {
-                    code: region.code,
+                    code: region.code.clone(),
                     baseline_per_h: per_h(baseline.iter().sum()),
                     deferred_per_h: per_h(deferred.iter().sum()),
                     interruptible_per_h: per_h(interruptible.iter().sum()),

@@ -97,7 +97,7 @@ pub fn run(ctx: &Context) -> Ext {
 
     // --- Migration budget (24 h job, global candidates, dirty origin).
     let origin = ctx.data().region("IN-WE").expect("origin");
-    let candidates = ctx.regions().to_vec();
+    let candidates: Vec<&decarb_traces::Region> = ctx.regions().iter().collect();
     let budget = [0usize, 1, 2, 4, 8, 23]
         .iter()
         .map(|&m| {

@@ -13,7 +13,6 @@
 use decarb_core::pareto::{carbon_delay_frontier, FrontierPoint};
 use decarb_sim::{LatencyAwareRouter, SimConfig, Simulator};
 use decarb_traces::time::{hours_in_year, year_start};
-use decarb_traces::Region;
 use decarb_workloads::{Job, Slack};
 
 use crate::context::{Context, EVAL_YEAR};
@@ -70,20 +69,20 @@ pub fn run(ctx: &Context) -> ExtPareto {
 
     // --- Online routing: hourly 1-hour migratable jobs from every
     // deployed hyperscaler origin for a month.
-    let deployed: Vec<&'static Region> = ctx
-        .regions()
-        .iter()
-        .filter(|r| r.providers.has_hyperscaler())
-        .copied()
+    let deployed: Vec<decarb_traces::RegionId> = ctx
+        .data()
+        .iter_ids()
+        .filter(|(_, r, _)| r.providers.has_hyperscaler())
+        .map(|(id, _, _)| id)
         .collect();
     let jobs: Vec<Job> = deployed
         .iter()
         .enumerate()
-        .flat_map(|(i, r)| {
+        .flat_map(|(i, &r)| {
             (0..30usize).map(move |day| {
                 Job::batch(
                     (i * 1000 + day) as u64 + 1,
-                    r.code,
+                    r,
                     start.plus(day * 24 + (i % 24)),
                     1.0,
                     Slack::None,
@@ -95,7 +94,7 @@ pub fn run(ctx: &Context) -> ExtPareto {
     let mut base_ci = 0.0;
     for &slo in &[0.0f64, 30.0, 60.0, 100.0, 250.0] {
         let mut sim = Simulator::new(ctx.data(), &deployed, SimConfig::new(start, 31 * 24, 1024));
-        let mut router = LatencyAwareRouter::new(&deployed, slo);
+        let mut router = LatencyAwareRouter::new(ctx.data(), &deployed, slo);
         let report = sim.run(&mut router, &jobs);
         assert_eq!(report.completed_count(), jobs.len(), "all requests served");
         let avg_ci = report.average_ci();

@@ -38,7 +38,7 @@ fn subset(ctx: &Context, group: GeoGroup) -> TraceSet {
         .data()
         .iter()
         .filter(|(r, _)| r.group == group)
-        .map(|(r, s)| (r, s.clone()))
+        .map(|(r, s)| (r.clone(), s.clone()))
         .collect();
     TraceSet::from_series(pairs)
 }

@@ -13,7 +13,6 @@ use decarb_sim::{
     SimConfig, SimReport, Simulator, ThresholdSuspend,
 };
 use decarb_traces::time::year_start;
-use decarb_traces::Region;
 use decarb_workloads::{Job, Slack};
 
 use crate::context::{Context, EVAL_YEAR};
@@ -63,11 +62,11 @@ fn workload(ctx: &Context) -> Vec<Job> {
     let mut jobs = Vec::new();
     let mut id = 0u64;
     for code in SAMPLE_REGIONS {
-        let region = ctx.data().region(code).expect("sample region");
+        let region = ctx.data().id_of(code).expect("sample region");
         for k in 0..30usize {
             id += 1;
             jobs.push(
-                Job::batch(id, region.code, start.plus(11 + k * 263), 24.0, Slack::Week)
+                Job::batch(id, region, start.plus(11 + k * 263), 24.0, Slack::Week)
                     .with_interruptible(),
             );
         }
@@ -81,9 +80,9 @@ fn run_policy<P: Policy>(
     jobs: &[Job],
     overheads: OverheadModel,
 ) -> SimReport {
-    let regions: Vec<&'static Region> = SAMPLE_REGIONS
+    let regions: Vec<decarb_traces::RegionId> = SAMPLE_REGIONS
         .iter()
-        .map(|c| ctx.data().region(c).expect("sample region"))
+        .map(|c| ctx.data().id_of(c).expect("sample region"))
         .collect();
     let config = SimConfig::new(year_start(EVAL_YEAR), 8760, 64).with_overheads(overheads);
     let mut sim = Simulator::new(ctx.data(), &regions, config);

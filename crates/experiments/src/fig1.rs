@@ -16,7 +16,7 @@ pub const EXAMPLE_ZONES: [&str; 3] = ["US-CA", "CA-ON", "IN-WE"];
 #[derive(Debug, Clone)]
 pub struct ZoneSummary {
     /// Zone code.
-    pub code: &'static str,
+    pub code: String,
     /// Annual mean CI (g/kWh).
     pub mean: f64,
     /// Median within-day max/min swing.
@@ -66,7 +66,7 @@ pub fn run(ctx: &Context) -> Fig1 {
             dirtiest = window.to_vec();
         }
         zones.push(ZoneSummary {
-            code: region.code,
+            code: region.code.clone(),
             mean,
             daily_swing,
             fossil_share: region.mix.fossil_share(),

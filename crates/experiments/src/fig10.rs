@@ -67,7 +67,7 @@ fn weighted_savings(
                 None => true,
                 Some(g) => ctx
                     .data()
-                    .region(s.code)
+                    .region(&s.code)
                     .map(|r| r.group == g)
                     .unwrap_or(false),
             })

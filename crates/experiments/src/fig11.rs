@@ -104,7 +104,7 @@ pub fn run_b(ctx: &Context) -> Fig11b {
     let truths: Vec<&TimeSeries> = ctx
         .regions()
         .iter()
-        .map(|r| ctx.data().series(r.code).expect("trace"))
+        .map(|r| ctx.data().series(&r.code).expect("trace"))
         .collect();
     let points = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5]
         .iter()
@@ -199,12 +199,8 @@ pub fn run_cd(ctx: &Context) -> Fig11cd {
         .expect("year + margin in horizon");
     let lon_offset = (region.lon / 15.0).round() as i64;
     // Envelope of all other regions (unchanged by California's greening).
-    let others: Vec<&decarb_traces::Region> = ctx
-        .regions()
-        .iter()
-        .filter(|r| r.code != "US-CA")
-        .copied()
-        .collect();
+    let others: Vec<&decarb_traces::Region> =
+        ctx.regions().iter().filter(|r| r.code != "US-CA").collect();
     let envelope = lower_envelope(ctx.data(), &others, start, count);
 
     let points = (0..=9)

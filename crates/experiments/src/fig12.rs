@@ -21,7 +21,7 @@ pub const DESTINATIONS: [&str; 14] = [
 #[derive(Debug, Clone)]
 pub struct DestinationRow {
     /// Destination zone code.
-    pub destination: &'static str,
+    pub destination: String,
     /// Spatial component (g, slack-independent).
     pub spatial_g: f64,
     /// Temporal component with one-year slack.
@@ -59,7 +59,7 @@ pub fn run(ctx: &Context) -> Fig12 {
                 combined_shift(ctx.data(), region, EVAL_YEAR, 24, 365 * 24);
             let practical = combined_shift(ctx.data(), region, EVAL_YEAR, 24, 24);
             DestinationRow {
-                destination: region.code,
+                destination: region.code.clone(),
                 spatial_g: ideal.spatial_g,
                 temporal_1y_g: ideal.temporal_g,
                 temporal_24h_g: practical.temporal_g,

@@ -17,7 +17,7 @@ use crate::table::{f1, f2, pct, ExperimentTable};
 #[derive(Debug, Clone)]
 pub struct MeanCvPoint {
     /// Zone code.
-    pub code: &'static str,
+    pub code: String,
     /// 2022 annual mean CI.
     pub mean: f64,
     /// 2022 average daily CV.
@@ -49,7 +49,7 @@ fn mean_cv_points(ctx: &Context, year: i32) -> Vec<MeanCvPoint> {
         .map(|(region, series)| {
             let window = series.window(start, len).expect("year in horizon");
             MeanCvPoint {
-                code: region.code,
+                code: region.code.clone(),
                 mean: window.iter().sum::<f64>() / len as f64,
                 daily_cv: average_daily_cv(window),
             }
@@ -120,7 +120,7 @@ impl Fig3a {
 #[derive(Debug, Clone)]
 pub struct DriftPoint {
     /// Zone code.
-    pub code: &'static str,
+    pub code: String,
     /// Change in annual mean CI, 2020 → 2022 (g).
     pub delta_ci: f64,
     /// Change in average daily CV, 2020 → 2022.
@@ -148,10 +148,10 @@ pub struct Fig3b {
 pub fn run_b(ctx: &Context) -> Fig3b {
     let base = mean_cv_points(ctx, 2020);
     let now = mean_cv_points(ctx, 2022);
-    let deltas: Vec<(&'static str, f64, f64)> = base
+    let deltas: Vec<(&str, f64, f64)> = base
         .iter()
         .zip(&now)
-        .map(|(b, n)| (n.code, n.mean - b.mean, n.daily_cv - b.daily_cv))
+        .map(|(b, n)| (n.code.as_str(), n.mean - b.mean, n.daily_cv - b.daily_cv))
         .collect();
     // Cluster on (ΔCI, scaled ΔCV) as the artifact does; CV deltas are two
     // orders of magnitude smaller, so scale them up for K-Means.
@@ -168,7 +168,7 @@ pub fn run_b(ctx: &Context) -> Fig3b {
             .iter()
             .zip(&clustering.assignments)
             .map(|((code, dci, dcv), &cluster)| DriftPoint {
-                code,
+                code: code.to_string(),
                 delta_ci: *dci,
                 delta_cv: *dcv,
                 cluster,

@@ -52,10 +52,7 @@ pub struct Fig5 {
     pub global_half_g: f64,
 }
 
-fn group_rows(
-    regions: &[(&'static Region, f64)],
-    per_region: &[(&'static Region, f64)],
-) -> Vec<GroupReduction> {
+fn group_rows(regions: &[(&Region, f64)], per_region: &[(Region, f64)]) -> Vec<GroupReduction> {
     let mut rows = Vec::new();
     // Global first, then each grouping.
     let global: f64 = per_region.iter().map(|(_, r)| r).sum::<f64>() / per_region.len() as f64;
@@ -86,7 +83,7 @@ fn group_rows(
 
 /// Runs the Fig. 5 analysis.
 pub fn run(ctx: &Context) -> Fig5 {
-    let means: Vec<(&'static Region, f64)> = ctx.data().annual_means(EVAL_YEAR);
+    let means: Vec<(&Region, f64)> = ctx.data().annual_means(EVAL_YEAR);
     let all = |_: &Region, _: &Region| true;
 
     let infinite = water_filling(&means, IdleCapacity::Infinite, &all);

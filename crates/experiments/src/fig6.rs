@@ -31,13 +31,16 @@ pub struct Fig6a {
 /// Runs the Fig. 6(a) analysis.
 pub fn run_a(ctx: &Context) -> Fig6a {
     let means = ctx.data().annual_means(EVAL_YEAR);
-    let matrix = LatencyMatrix::build(ctx.regions());
+    let all: Vec<&Region> = ctx.regions().iter().collect();
+    let matrix = LatencyMatrix::build(&all);
     let slos = [10.0, 25.0, 50.0, 75.0, 100.0, 150.0, 200.0, 250.0, 300.0];
     let points = slos
         .iter()
         .map(|&slo| {
             let feasible = |from: &Region, to: &Region| {
-                matrix.get(from.code, to.code).is_some_and(|rtt| rtt <= slo)
+                matrix
+                    .get(&from.code, &to.code)
+                    .is_some_and(|rtt| rtt <= slo)
             };
             let infinite = water_filling(&means, IdleCapacity::Infinite, &feasible);
             let constrained = water_filling(&means, IdleCapacity::Fraction(0.5), &feasible);
@@ -117,15 +120,15 @@ pub fn run_b(ctx: &Context) -> Fig6b {
         }
         let greenest = members
             .iter()
-            .min_by(|a, b| mean_of(a.code).total_cmp(&mean_of(b.code)))
+            .min_by(|a, b| mean_of(&a.code).total_cmp(&mean_of(&b.code)))
             .expect("non-empty group");
         let envelope = lower_envelope(ctx.data(), &members, start, len);
         let envelope_mean = envelope.mean();
-        let dest_mean = mean_of(greenest.code);
+        let dest_mean = mean_of(&greenest.code);
         // Average over origins in the grouping: baseline is the origin's
         // annual mean; both policies run year-round jobs.
         let origin_mean: f64 =
-            members.iter().map(|r| mean_of(r.code)).sum::<f64>() / members.len() as f64;
+            members.iter().map(|r| mean_of(&r.code)).sum::<f64>() / members.len() as f64;
         rows.push(HoppingRow {
             group: group.label().into(),
             one_migration_g: origin_mean - dest_mean,

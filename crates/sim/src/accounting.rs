@@ -2,7 +2,7 @@
 
 use std::collections::HashMap;
 
-use decarb_traces::Hour;
+use decarb_traces::{Hour, RegionId};
 use decarb_workloads::Job;
 
 /// A job that finished during the simulation.
@@ -10,8 +10,8 @@ use decarb_workloads::Job;
 pub struct CompletedJob {
     /// The job that ran.
     pub job: Job,
-    /// Zone it executed in.
-    pub region: &'static str,
+    /// Interned id of the zone it executed in.
+    pub region: RegionId,
     /// Hour of its first executed slot.
     pub started: Hour,
     /// Hour in which its last slot executed.
@@ -54,8 +54,8 @@ pub struct SimReport {
     /// Total energy delivered in kWh (1 kW × executed hours, scaled for
     /// fractional jobs).
     pub total_energy_kwh: f64,
-    /// Emissions per zone (g·CO2eq).
-    pub per_region_g: HashMap<&'static str, f64>,
+    /// Emissions per zone (g·CO2eq), keyed by interned id.
+    pub per_region_g: HashMap<RegionId, f64>,
     /// Suspend transitions taken (running → suspended with work left).
     pub suspends: usize,
     /// Resume transitions taken (suspended → running after having run).
@@ -129,16 +129,16 @@ mod tests {
     fn report_aggregates() {
         let mut report = SimReport::default();
         report.completed.push(CompletedJob {
-            job: Job::batch(1, "SE", Hour(0), 2.0, Slack::None),
-            region: "SE",
+            job: Job::batch(1, RegionId(0), Hour(0), 2.0, Slack::None),
+            region: RegionId(0),
             started: Hour(0),
             finished: Hour(1),
             emitted_g: 32.0,
             missed_deadline: false,
         });
         report.completed.push(CompletedJob {
-            job: Job::batch(2, "PL", Hour(0), 1.0, Slack::None),
-            region: "PL",
+            job: Job::batch(2, RegionId(1), Hour(0), 1.0, Slack::None),
+            region: RegionId(1),
             started: Hour(0),
             finished: Hour(0),
             emitted_g: 650.0,
@@ -170,8 +170,8 @@ mod tests {
         // A 2-hour job arriving at hour 0, started at hour 3, finished at
         // hour 6 (one interruption in between): wait 3 h, slowdown 3.5.
         let c = CompletedJob {
-            job: Job::batch(1, "SE", Hour(0), 2.0, Slack::Day),
-            region: "SE",
+            job: Job::batch(1, RegionId(0), Hour(0), 2.0, Slack::Day),
+            region: RegionId(0),
             started: Hour(3),
             finished: Hour(6),
             emitted_g: 10.0,

@@ -1,8 +1,6 @@
 //! Datacenter and cloud state.
 
-use std::collections::HashMap;
-
-use decarb_traces::{Hour, Region, TraceSet};
+use decarb_traces::{Hour, RegionId, TraceSet};
 use decarb_workloads::Job;
 
 /// A running (or suspended) job instance inside a datacenter.
@@ -42,8 +40,8 @@ impl RunningJob {
 /// One region's datacenter with a fixed capacity in job slots.
 #[derive(Debug, Clone)]
 pub struct Datacenter {
-    /// The region this datacenter draws power from.
-    pub region: &'static Region,
+    /// Interned id of the region this datacenter draws power from.
+    pub region: RegionId,
     /// Maximum number of concurrently *running* (non-suspended) jobs.
     pub capacity: usize,
     /// Jobs admitted to this datacenter (running or suspended).
@@ -52,7 +50,7 @@ pub struct Datacenter {
 
 impl Datacenter {
     /// Creates a datacenter with `capacity` slots.
-    pub fn new(region: &'static Region, capacity: usize) -> Self {
+    pub fn new(region: RegionId, capacity: usize) -> Self {
         Self {
             region,
             capacity,
@@ -72,33 +70,70 @@ impl Datacenter {
 }
 
 /// A read-only view of the cloud handed to policies.
+///
+/// Datacenters live in a dense slice ordered lexicographically by zone
+/// code (so iteration order — and therefore accounting order — is
+/// deterministic whatever order the region set was declared in), with
+/// an id-indexed side table for O(1) region→datacenter resolution: no
+/// string hashing anywhere on the policy hot path.
 pub struct CloudView<'a> {
-    /// All datacenters keyed by zone code.
-    pub datacenters: &'a HashMap<&'static str, Datacenter>,
+    /// All datacenters, ordered lexicographically by zone code.
+    pub datacenters: &'a [Datacenter],
+    /// [`RegionId::index`]-indexed map to positions in `datacenters`
+    /// (`None` for ids without a deployed datacenter).
+    pub slot_of: &'a [Option<u16>],
     /// The carbon traces.
     pub traces: &'a TraceSet,
     /// The current simulation hour.
     pub now: Hour,
 }
 
+/// Resolves a region id against an id-indexed slot table — the one
+/// deployed-datacenter invariant shared by the policy view and the
+/// engine's placement validation, admission, and inspection paths.
+#[inline]
+pub(crate) fn slot_in(slot_of: &[Option<u16>], id: RegionId) -> Option<usize> {
+    slot_of
+        .get(id.index())
+        .copied()
+        .flatten()
+        .map(|slot| slot as usize)
+}
+
 impl CloudView<'_> {
+    /// Returns the datacenter deployed in `id`'s region, if any.
+    #[inline]
+    pub fn datacenter(&self, id: RegionId) -> Option<&Datacenter> {
+        Some(&self.datacenters[slot_in(self.slot_of, id)?])
+    }
+
+    /// Returns `true` if a datacenter is deployed in `id`'s region.
+    #[inline]
+    pub fn is_deployed(&self, id: RegionId) -> bool {
+        slot_in(self.slot_of, id).is_some()
+    }
+
     /// Returns the current carbon-intensity of a zone.
-    pub fn current_ci(&self, code: &str) -> Option<f64> {
-        self.traces.series(code).ok()?.at(self.now)
+    #[inline]
+    pub fn current_ci(&self, id: RegionId) -> Option<f64> {
+        self.traces.try_series_by_id(id)?.at(self.now)
     }
 
     /// Returns the zone with the lowest current CI among those with free
-    /// capacity, if any.
-    pub fn greenest_with_capacity(&self) -> Option<&'static str> {
+    /// capacity, if any. Ties break to the lexicographically first zone
+    /// code for determinism.
+    pub fn greenest_with_capacity(&self) -> Option<RegionId> {
         self.datacenters
-            .values()
+            .iter()
             .filter(|dc| dc.free_slots() > 0)
-            .filter_map(|dc| {
-                self.current_ci(dc.region.code)
-                    .map(|ci| (dc.region.code, ci))
+            .filter_map(|dc| self.current_ci(dc.region).map(|ci| (dc.region, ci)))
+            // `datacenters` is already in code order, so a strict `<`
+            // keeps the lexicographically first zone on ties.
+            .fold(None, |best: Option<(RegionId, f64)>, (id, ci)| match best {
+                Some((_, best_ci)) if best_ci <= ci => best,
+                _ => Some((id, ci)),
             })
-            .min_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(b.0)))
-            .map(|(code, _)| code)
+            .map(|(id, _)| id)
     }
 }
 
@@ -106,20 +141,21 @@ impl CloudView<'_> {
 mod tests {
     use super::*;
     use decarb_traces::builtin_dataset;
-    use decarb_traces::catalog::region;
     use decarb_traces::time::year_start;
     use decarb_workloads::Slack;
 
     #[test]
     fn capacity_accounting() {
-        let mut dc = Datacenter::new(region("SE").unwrap(), 2);
+        let data = builtin_dataset();
+        let se = data.id_of("SE").unwrap();
+        let mut dc = Datacenter::new(se, 2);
         assert_eq!(dc.free_slots(), 2);
-        let mut active = RunningJob::admitted(Job::batch(1, "SE", Hour(0), 4.0, Slack::None));
+        let mut active = RunningJob::admitted(Job::batch(1, se, Hour(0), 4.0, Slack::None));
         active.suspended = false;
         dc.jobs.push(active);
         dc.jobs.push(RunningJob::admitted(Job::batch(
             2,
-            "SE",
+            se,
             Hour(0),
             4.0,
             Slack::None,
@@ -130,7 +166,7 @@ mod tests {
 
     #[test]
     fn admitted_jobs_have_not_run() {
-        let rj = RunningJob::admitted(Job::batch(1, "SE", Hour(0), 3.0, Slack::None));
+        let rj = RunningJob::admitted(Job::batch(1, RegionId(0), Hour(0), 3.0, Slack::None));
         assert!(rj.suspended);
         assert!(!rj.has_run());
         assert_eq!(rj.remaining_slots, 3);
@@ -140,17 +176,31 @@ mod tests {
     #[test]
     fn view_finds_greenest_free() {
         let traces = builtin_dataset();
-        let mut dcs = HashMap::new();
-        for code in ["SE", "PL", "IN-WE"] {
-            dcs.insert(code, Datacenter::new(region(code).unwrap(), 1));
+        let mut ids: Vec<RegionId> = ["SE", "PL", "IN-WE"]
+            .iter()
+            .map(|c| traces.id_of(c).unwrap())
+            .collect();
+        ids.sort_by(|a, b| traces.code(*a).cmp(traces.code(*b)));
+        let dcs: Vec<Datacenter> = ids.iter().map(|&id| Datacenter::new(id, 1)).collect();
+        let mut slot_of = vec![None; traces.len()];
+        for (i, dc) in dcs.iter().enumerate() {
+            slot_of[dc.region.index()] = Some(i as u16);
         }
         let view = CloudView {
             datacenters: &dcs,
+            slot_of: &slot_of,
             traces: &traces,
             now: year_start(2022),
         };
-        assert_eq!(view.greenest_with_capacity(), Some("SE"));
-        assert!(view.current_ci("SE").unwrap() < view.current_ci("PL").unwrap());
-        assert!(view.current_ci("NOPE").is_none());
+        let se = traces.id_of("SE").unwrap();
+        let pl = traces.id_of("PL").unwrap();
+        assert_eq!(view.greenest_with_capacity(), Some(se));
+        assert!(view.current_ci(se).unwrap() < view.current_ci(pl).unwrap());
+        assert!(view.datacenter(se).is_some());
+        assert!(view.is_deployed(pl));
+        let de = traces.id_of("DE").unwrap();
+        assert!(view.datacenter(de).is_none());
+        assert!(!view.is_deployed(de));
+        assert!(view.current_ci(RegionId(9999)).is_none());
     }
 }

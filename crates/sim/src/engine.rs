@@ -5,14 +5,20 @@
 //! (capacity and suspend decisions) → execution and accounting. Planned
 //! starts live in an event calendar keyed by hour, so deferring policies
 //! cost nothing until their chosen start arrives.
+//!
+//! All region handling is by interned [`RegionId`]: datacenters live in
+//! a dense slice (ordered lexicographically by zone code so accounting
+//! order is deterministic), region→datacenter resolution is a flat
+//! id-indexed table, and per-region emissions accumulate into a dense
+//! buffer — the step loop performs no string hashing at all.
 
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 
-use decarb_traces::{Hour, Region, TimeSeries, TraceSet};
+use decarb_traces::{Hour, RegionId, TimeSeries, TraceSet};
 use decarb_workloads::Job;
 
 use crate::accounting::{CompletedJob, SimReport};
-use crate::cluster::{CloudView, Datacenter, RunningJob};
+use crate::cluster::{slot_in, CloudView, Datacenter, RunningJob};
 use crate::overheads::OverheadModel;
 use crate::policy::Policy;
 
@@ -55,7 +61,7 @@ struct PlannedStart {
     start: Hour,
     seq: u64,
     job: Job,
-    region: &'static str,
+    region: RegionId,
 }
 
 impl PartialEq for PlannedStart {
@@ -81,22 +87,38 @@ impl Ord for PlannedStart {
 pub struct Simulator<'a> {
     traces: &'a TraceSet,
     config: SimConfig,
-    datacenters: HashMap<&'static str, Datacenter>,
+    /// Datacenters in lexicographic zone-code order.
+    datacenters: Vec<Datacenter>,
+    /// [`RegionId::index`]-indexed map into `datacenters`.
+    slot_of: Vec<Option<u16>>,
     calendar: BinaryHeap<PlannedStart>,
     seq: u64,
 }
 
 impl<'a> Simulator<'a> {
     /// Creates a simulator with one datacenter per region in `regions`.
-    pub fn new(traces: &'a TraceSet, regions: &[&'static Region], config: SimConfig) -> Self {
-        let datacenters = regions
+    ///
+    /// # Panics
+    ///
+    /// Panics if a region id does not belong to `traces`' table.
+    pub fn new(traces: &'a TraceSet, regions: &[RegionId], config: SimConfig) -> Self {
+        let mut ids: Vec<RegionId> = regions.to_vec();
+        ids.sort_by(|a, b| traces.code(*a).cmp(traces.code(*b)));
+        ids.dedup();
+        let mut slot_of = vec![None; traces.len()];
+        let datacenters: Vec<Datacenter> = ids
             .iter()
-            .map(|r| (r.code, Datacenter::new(r, config.capacity_per_region)))
+            .enumerate()
+            .map(|(slot, &id)| {
+                slot_of[id.index()] = Some(slot as u16);
+                Datacenter::new(id, config.capacity_per_region)
+            })
             .collect();
         Self {
             traces,
             config,
             datacenters,
+            slot_of,
             calendar: BinaryHeap::new(),
             seq: 0,
         }
@@ -117,21 +139,22 @@ impl<'a> Simulator<'a> {
         arrivals.sort_by_key(|j| std::cmp::Reverse((j.arrival, j.id)));
         let end = self.config.start.plus(self.config.horizon);
         let mut never_admitted = 0usize;
+        let dc_count = self.datacenters.len();
 
         // Hoisted trace lookups: one series resolution per datacenter
-        // for the whole run (instead of two map probes per datacenter
-        // per step), refreshed into a per-hour CI buffer shared by the
-        // run-set selection and execution phases.
-        let codes: Vec<&'static str> = {
-            let mut codes: Vec<&'static str> = self.datacenters.keys().copied().collect();
-            codes.sort_unstable();
-            codes
-        };
-        let dc_series: Vec<Option<&TimeSeries>> = codes
+        // for the whole run, refreshed into a per-hour CI buffer shared
+        // by the run-set selection and execution phases. Per-region
+        // emissions accumulate into a dense per-datacenter buffer and
+        // fold into the report's map once at the end; only migration
+        // overheads (charged at arbitrary origin regions) touch the map
+        // mid-run.
+        let dc_series: Vec<Option<&TimeSeries>> = self
+            .datacenters
             .iter()
-            .map(|code| self.traces.series(code).ok())
+            .map(|dc| self.traces.try_series_by_id(dc.region))
             .collect();
-        let mut ci_now: Vec<Option<f64>> = vec![None; codes.len()];
+        let mut ci_now: Vec<Option<f64>> = vec![None; dc_count];
+        let mut dc_emissions: Vec<f64> = vec![0.0; dc_count];
         let mut decisions: Vec<bool> = Vec::new();
 
         for step in 0..self.config.horizon {
@@ -146,12 +169,13 @@ impl<'a> Simulator<'a> {
                 let placement = {
                     let view = CloudView {
                         datacenters: &self.datacenters,
+                        slot_of: &self.slot_of,
                         traces: self.traces,
                         now,
                     };
                     policy.place(&job, &view)
                 };
-                let region = if self.datacenters.contains_key(placement.region) {
+                let region = if slot_in(&self.slot_of, placement.region).is_some() {
                     placement.region
                 } else {
                     job.origin
@@ -187,13 +211,11 @@ impl<'a> Simulator<'a> {
                     if kwh > 0.0 {
                         let ci = self
                             .traces
-                            .series(planned.job.origin)
-                            .ok()
+                            .try_series_by_id(planned.job.origin)
                             .and_then(|s| s.at(now))
                             .or_else(|| {
                                 self.traces
-                                    .series(planned.region)
-                                    .ok()
+                                    .try_series_by_id(planned.region)
                                     .and_then(|s| s.at(now))
                             })
                             .unwrap_or(0.0);
@@ -204,20 +226,20 @@ impl<'a> Simulator<'a> {
                         *report.per_region_g.entry(planned.job.origin).or_insert(0.0) += kwh * ci;
                     }
                 }
-                let dc = self
-                    .datacenters
-                    .get_mut(planned.region)
-                    .expect("placement validated at arrival");
-                dc.jobs.push(RunningJob::admitted(planned.job));
+                let slot = slot_in(&self.slot_of, planned.region).expect("placement validated");
+                self.datacenters[slot]
+                    .jobs
+                    .push(RunningJob::admitted(planned.job));
             }
 
             // 3. Select the run set for each datacenter.
-            for (k, code) in codes.iter().enumerate() {
+            for k in 0..dc_count {
                 decisions.clear();
                 {
-                    let dc = &self.datacenters[code];
+                    let dc = &self.datacenters[k];
                     let view = CloudView {
                         datacenters: &self.datacenters,
+                        slot_of: &self.slot_of,
                         traces: self.traces,
                         now,
                     };
@@ -230,7 +252,7 @@ impl<'a> Simulator<'a> {
                     }));
                 }
                 let ci_here = ci_now[k].unwrap_or(0.0);
-                let dc = self.datacenters.get_mut(code).expect("known code");
+                let dc = &mut self.datacenters[k];
                 let mut running = 0usize;
                 let mut suspends = 0usize;
                 let mut resumes = 0usize;
@@ -260,13 +282,13 @@ impl<'a> Simulator<'a> {
                     report.overhead_g += kwh * ci_here;
                     report.total_energy_kwh += kwh;
                     report.total_emissions_g += kwh * ci_here;
-                    *report.per_region_g.entry(code).or_insert(0.0) += kwh * ci_here;
+                    dc_emissions[k] += kwh * ci_here;
                 }
             }
 
             // 4. Execute and account.
-            for (k, code) in codes.iter().enumerate() {
-                let dc = self.datacenters.get_mut(code).expect("known code");
+            for k in 0..dc_count {
+                let dc = &mut self.datacenters[k];
                 let Some(ci) = ci_now[k] else {
                     // Trace coverage does not reach this hour: jobs
                     // selected to run can neither execute nor be
@@ -289,7 +311,7 @@ impl<'a> Simulator<'a> {
                     rj.emitted_g += ci * energy;
                     report.total_energy_kwh += energy;
                     report.total_emissions_g += ci * energy;
-                    *report.per_region_g.entry(dc.region.code).or_insert(0.0) += ci * energy;
+                    dc_emissions[k] += ci * energy;
                     rj.remaining_slots -= 1;
                     if rj.remaining_slots == 0 {
                         finished.push(i);
@@ -299,7 +321,7 @@ impl<'a> Simulator<'a> {
                     let rj = dc.jobs.swap_remove(i);
                     let deadline = rj.job.arrival.plus(rj.job.window_hours());
                     report.completed.push(CompletedJob {
-                        region: dc.region.code,
+                        region: dc.region,
                         started: rj.started.expect("finished jobs have run"),
                         finished: now,
                         emitted_g: rj.emitted_g,
@@ -314,12 +336,22 @@ impl<'a> Simulator<'a> {
             }
         }
 
+        // Fold the dense per-datacenter ledger into the report's map.
+        for (k, &g) in dc_emissions.iter().enumerate() {
+            if g != 0.0 {
+                *report
+                    .per_region_g
+                    .entry(self.datacenters[k].region)
+                    .or_insert(0.0) += g;
+            }
+        }
+
         // Whatever remains anywhere is unfinished: jobs still holding
         // work in a datacenter, planned starts not yet due, jobs whose
         // plan fell past the horizon, and arrivals never reached.
         report.unfinished = self
             .datacenters
-            .values()
+            .iter()
             .map(|dc| dc.jobs.len())
             .sum::<usize>()
             + self.calendar.len()
@@ -328,9 +360,9 @@ impl<'a> Simulator<'a> {
         report
     }
 
-    /// Returns a datacenter by zone code (for inspection in tests).
-    pub fn datacenter(&self, code: &str) -> Option<&Datacenter> {
-        self.datacenters.get(code)
+    /// Returns a datacenter by region id (for inspection in tests).
+    pub fn datacenter(&self, id: RegionId) -> Option<&Datacenter> {
+        Some(&self.datacenters[slot_in(&self.slot_of, id)?])
     }
 }
 
@@ -340,7 +372,6 @@ mod tests {
     use crate::policy::{CarbonAgnostic, GreenestRouter, PlannedDeferral, ThresholdSuspend};
     use decarb_core::temporal::TemporalPlanner;
     use decarb_traces::builtin_dataset;
-    use decarb_traces::catalog::region;
     use decarb_traces::time::year_start;
     use decarb_workloads::Slack;
 
@@ -348,16 +379,16 @@ mod tests {
         SimConfig::new(year_start(2022), horizon, 4)
     }
 
-    fn regions(codes: &[&str]) -> Vec<&'static Region> {
-        codes.iter().map(|c| region(c).unwrap()).collect()
+    fn ids(traces: &TraceSet, codes: &[&str]) -> Vec<RegionId> {
+        codes.iter().map(|c| traces.id_of(c).unwrap()).collect()
     }
 
     #[test]
     fn suspend_resume_overheads_are_charged() {
         let traces = builtin_dataset();
-        let rs = regions(&["US-CA"]);
+        let rs = ids(&traces, &["US-CA"]);
         let start = year_start(2022);
-        let job = Job::batch(1, "US-CA", start, 12.0, Slack::TenX).with_interruptible();
+        let job = Job::batch(1, rs[0], start, 12.0, Slack::TenX).with_interruptible();
         // Ideal run.
         let mut ideal_sim = Simulator::new(&traces, &rs, config(24 * 30));
         let ideal = ideal_sim.run(&mut ThresholdSuspend::default(), std::slice::from_ref(&job));
@@ -390,9 +421,10 @@ mod tests {
     #[test]
     fn migration_overhead_charged_at_origin() {
         let traces = builtin_dataset();
-        let rs = regions(&["SE", "IN-WE"]);
+        let rs = ids(&traces, &["SE", "IN-WE"]);
+        let in_we = rs[1];
         let start = year_start(2022);
-        let job = Job::batch(1, "IN-WE", start, 4.0, Slack::None);
+        let job = Job::batch(1, in_we, start, 4.0, Slack::None);
         let model = OverheadModel {
             migrate_kwh_per_gb: 0.05,
             state_gb: 50.0,
@@ -407,19 +439,19 @@ mod tests {
         let origin_ci = traces.series("IN-WE").unwrap().get(start);
         assert!((report.overhead_g - 2.5 * origin_ci).abs() < 1e-9);
         // The per-region ledger bills the origin.
-        assert!((report.per_region_g["IN-WE"] - 2.5 * origin_ci).abs() < 1e-9);
+        assert!((report.per_region_g[&in_we] - 2.5 * origin_ci).abs() < 1e-9);
     }
 
     #[test]
     fn local_jobs_pay_no_migration_overhead() {
         let traces = builtin_dataset();
-        let rs = regions(&["SE"]);
+        let rs = ids(&traces, &["SE"]);
         let start = year_start(2022);
         let model = OverheadModel::realistic();
         let mut sim = Simulator::new(&traces, &rs, config(50).with_overheads(model));
         let report = sim.run(
             &mut CarbonAgnostic,
-            &[Job::batch(1, "SE", start, 3.0, Slack::None)],
+            &[Job::batch(1, rs[0], start, 3.0, Slack::None)],
         );
         assert_eq!(report.migrations, 0);
         assert_eq!(report.suspends, 0);
@@ -429,9 +461,9 @@ mod tests {
     #[test]
     fn completed_jobs_record_start_and_wait() {
         let traces = builtin_dataset();
-        let rs = regions(&["US-CA"]);
+        let rs = ids(&traces, &["US-CA"]);
         let start = year_start(2022);
-        let job = Job::batch(9, "US-CA", start, 2.0, Slack::Day);
+        let job = Job::batch(9, rs[0], start, 2.0, Slack::Day);
         let mut sim = Simulator::new(&traces, &rs, config(24 * 3));
         let report = sim.run(&mut PlannedDeferral, &[job]);
         assert_eq!(report.completed_count(), 1);
@@ -445,10 +477,10 @@ mod tests {
     #[test]
     fn agnostic_job_emissions_match_trace() {
         let traces = builtin_dataset();
-        let rs = regions(&["DE"]);
+        let rs = ids(&traces, &["DE"]);
         let mut sim = Simulator::new(&traces, &rs, config(100));
         let start = year_start(2022);
-        let job = Job::batch(1, "DE", start.plus(3), 5.0, Slack::None);
+        let job = Job::batch(1, rs[0], start.plus(3), 5.0, Slack::None);
         let report = sim.run(&mut CarbonAgnostic, &[job]);
         assert_eq!(report.completed_count(), 1);
         assert_eq!(report.unfinished, 0);
@@ -466,10 +498,10 @@ mod tests {
     #[test]
     fn planned_deferral_reproduces_analytic_bound() {
         let traces = builtin_dataset();
-        let rs = regions(&["US-CA"]);
+        let rs = ids(&traces, &["US-CA"]);
         let start = year_start(2022);
         let mut sim = Simulator::new(&traces, &rs, config(24 * 10));
-        let job = Job::batch(7, "US-CA", start, 6.0, Slack::Day);
+        let job = Job::batch(7, rs[0], start, 6.0, Slack::Day);
         let report = sim.run(&mut PlannedDeferral, &[job]);
         assert_eq!(report.completed_count(), 1);
         let planner = TemporalPlanner::new(traces.series("US-CA").unwrap());
@@ -485,12 +517,12 @@ mod tests {
     #[test]
     fn capacity_queues_excess_jobs() {
         let traces = builtin_dataset();
-        let rs = regions(&["SE"]);
+        let rs = ids(&traces, &["SE"]);
         let mut sim = Simulator::new(&traces, &rs, SimConfig::new(year_start(2022), 50, 1));
         let start = year_start(2022);
         let jobs = vec![
-            Job::batch(1, "SE", start, 3.0, Slack::None),
-            Job::batch(2, "SE", start, 3.0, Slack::None),
+            Job::batch(1, rs[0], start, 3.0, Slack::None),
+            Job::batch(2, rs[0], start, 3.0, Slack::None),
         ];
         let report = sim.run(&mut CarbonAgnostic, &jobs);
         assert_eq!(report.completed_count(), 2);
@@ -504,12 +536,12 @@ mod tests {
     #[test]
     fn router_sends_batch_to_sweden() {
         let traces = builtin_dataset();
-        let rs = regions(&["SE", "PL", "IN-WE"]);
+        let rs = ids(&traces, &["SE", "PL", "IN-WE"]);
         let mut sim = Simulator::new(&traces, &rs, config(100));
         let start = year_start(2022);
-        let jobs = vec![Job::batch(1, "IN-WE", start, 4.0, Slack::None)];
+        let jobs = vec![Job::batch(1, rs[2], start, 4.0, Slack::None)];
         let report = sim.run(&mut GreenestRouter, &jobs);
-        assert_eq!(report.completed[0].region, "SE");
+        assert_eq!(report.completed[0].region, rs[0], "routed to Sweden");
         // Routed emissions far below origin emissions.
         let origin_cost: f64 = traces
             .series("IN-WE")
@@ -524,11 +556,10 @@ mod tests {
     #[test]
     fn threshold_policy_between_bounds() {
         let traces = builtin_dataset();
-        let rs = regions(&["US-CA"]);
+        let rs = ids(&traces, &["US-CA"]);
         let start = year_start(2022);
         let slots = 12usize;
-        let slack = 72usize;
-        let job = Job::batch(3, "US-CA", start, slots as f64, Slack::TenX).with_interruptible();
+        let job = Job::batch(3, rs[0], start, slots as f64, Slack::TenX).with_interruptible();
         assert_eq!(job.slack_hours(), 120);
         let mut sim = Simulator::new(&traces, &rs, config(24 * 30));
         let report = sim.run(&mut ThresholdSuspend::default(), &[job]);
@@ -544,16 +575,15 @@ mod tests {
             emitted < baseline * 1.02,
             "online {emitted} vs baseline {baseline}"
         );
-        let _ = slack;
     }
 
     #[test]
     fn unfinished_jobs_counted() {
         let traces = builtin_dataset();
-        let rs = regions(&["SE"]);
+        let rs = ids(&traces, &["SE"]);
         let mut sim = Simulator::new(&traces, &rs, config(3));
         let start = year_start(2022);
-        let jobs = vec![Job::batch(1, "SE", start, 10.0, Slack::None)];
+        let jobs = vec![Job::batch(1, rs[0], start, 10.0, Slack::None)];
         let report = sim.run(&mut CarbonAgnostic, &jobs);
         assert_eq!(report.completed_count(), 0);
         assert_eq!(report.unfinished, 1);
@@ -564,10 +594,10 @@ mod tests {
     #[test]
     fn fractional_interactive_jobs_scale_energy() {
         let traces = builtin_dataset();
-        let rs = regions(&["SE"]);
+        let rs = ids(&traces, &["SE"]);
         let mut sim = Simulator::new(&traces, &rs, config(10));
         let start = year_start(2022);
-        let jobs = vec![Job::interactive(1, "SE", start)];
+        let jobs = vec![Job::interactive(1, rs[0], start)];
         let report = sim.run(&mut CarbonAgnostic, &jobs);
         assert_eq!(report.completed_count(), 1);
         assert!((report.total_energy_kwh - 0.01).abs() < 1e-12);
@@ -582,12 +612,13 @@ mod tests {
         // 5 hours instead of silently freezing.
         let start = year_start(2022);
         let short = TimeSeries::new(start, vec![100.0; 5]);
-        let traces = TraceSet::from_series(vec![(region("SE").unwrap(), short)]);
-        let rs = regions(&["SE"]);
+        let se = decarb_traces::catalog::region("SE").unwrap().clone();
+        let traces = TraceSet::from_series(vec![(se, short)]);
+        let rs = ids(&traces, &["SE"]);
         let mut sim = Simulator::new(&traces, &rs, SimConfig::new(start, 10, 4));
         let report = sim.run(
             &mut CarbonAgnostic,
-            &[Job::batch(1, "SE", start, 8.0, Slack::None)],
+            &[Job::batch(1, rs[0], start, 8.0, Slack::None)],
         );
         assert_eq!(report.completed_count(), 0);
         assert_eq!(report.unfinished, 1);
@@ -599,12 +630,12 @@ mod tests {
     #[test]
     fn full_coverage_runs_report_no_stalls() {
         let traces = builtin_dataset();
-        let rs = regions(&["SE"]);
+        let rs = ids(&traces, &["SE"]);
         let start = year_start(2022);
         let mut sim = Simulator::new(&traces, &rs, config(50));
         let report = sim.run(
             &mut CarbonAgnostic,
-            &[Job::batch(1, "SE", start, 3.0, Slack::None)],
+            &[Job::batch(1, rs[0], start, 3.0, Slack::None)],
         );
         assert_eq!(report.stalled_hours, 0);
     }
@@ -623,9 +654,9 @@ mod tests {
     #[test]
     fn starts_at_or_past_horizon_end_are_never_admitted() {
         let traces = builtin_dataset();
-        let rs = regions(&["SE"]);
+        let rs = ids(&traces, &["SE"]);
         let start = year_start(2022);
-        let job = Job::batch(1, "SE", start, 1.0, Slack::None);
+        let job = Job::batch(1, rs[0], start, 1.0, Slack::None);
         // Planned exactly at the horizon end: never admitted, no energy.
         let mut sim = Simulator::new(&traces, &rs, config(10));
         let report = sim.run(&mut StartAt(10), std::slice::from_ref(&job));
@@ -643,11 +674,11 @@ mod tests {
     #[test]
     fn finishing_in_last_window_hour_is_on_time() {
         let traces = builtin_dataset();
-        let rs = regions(&["SE"]);
+        let rs = ids(&traces, &["SE"]);
         let start = year_start(2022);
         // 2-hour job, 24 h slack: window covers hours [0, 26); the last
         // permissible start is hour 24, finishing in hour 25.
-        let job = Job::batch(1, "SE", start, 2.0, Slack::Day);
+        let job = Job::batch(1, rs[0], start, 2.0, Slack::Day);
         let mut sim = Simulator::new(&traces, &rs, config(100));
         let report = sim.run(&mut StartAt(24), std::slice::from_ref(&job));
         assert_eq!(report.completed_count(), 1);
@@ -667,12 +698,12 @@ mod tests {
         // first is on time, the second finishes at hour 5, past its
         // hour-3 deadline — zero slack does not exempt it.
         let traces = builtin_dataset();
-        let rs = regions(&["SE"]);
+        let rs = ids(&traces, &["SE"]);
         let start = year_start(2022);
         let mut sim = Simulator::new(&traces, &rs, SimConfig::new(start, 50, 1));
         let jobs = vec![
-            Job::batch(1, "SE", start, 3.0, Slack::None),
-            Job::batch(2, "SE", start, 3.0, Slack::None),
+            Job::batch(1, rs[0], start, 3.0, Slack::None),
+            Job::batch(2, rs[0], start, 3.0, Slack::None),
         ];
         let report = sim.run(&mut CarbonAgnostic, &jobs);
         assert_eq!(report.completed_count(), 2);
@@ -686,12 +717,12 @@ mod tests {
     #[test]
     fn immediate_zero_slack_jobs_are_on_time() {
         let traces = builtin_dataset();
-        let rs = regions(&["SE"]);
+        let rs = ids(&traces, &["SE"]);
         let start = year_start(2022);
         let mut sim = Simulator::new(&traces, &rs, config(20));
         let report = sim.run(
             &mut CarbonAgnostic,
-            &[Job::batch(1, "SE", start, 5.0, Slack::None)],
+            &[Job::batch(1, rs[0], start, 5.0, Slack::None)],
         );
         assert_eq!(report.completed_count(), 1);
         assert!(!report.completed[0].missed_deadline);
@@ -703,20 +734,42 @@ mod tests {
         impl Policy for BadPolicy {
             fn place(&mut self, _job: &Job, view: &CloudView<'_>) -> crate::policy::Placement {
                 crate::policy::Placement {
-                    region: "NOPE",
+                    // An id with no deployed datacenter (and even out of
+                    // the table's range).
+                    region: RegionId(9999),
                     start: view.now,
                 }
             }
         }
         let traces = builtin_dataset();
-        let rs = regions(&["SE"]);
+        let rs = ids(&traces, &["SE"]);
         let mut sim = Simulator::new(&traces, &rs, config(10));
         let start = year_start(2022);
         let report = sim.run(
             &mut BadPolicy,
-            &[Job::batch(1, "SE", start, 2.0, Slack::None)],
+            &[Job::batch(1, rs[0], start, 2.0, Slack::None)],
         );
         assert_eq!(report.completed_count(), 1);
-        assert_eq!(report.completed[0].region, "SE");
+        assert_eq!(report.completed[0].region, rs[0]);
+    }
+
+    #[test]
+    fn datacenter_order_is_lexicographic_whatever_the_input_order() {
+        let traces = builtin_dataset();
+        let forward = ids(&traces, &["SE", "DE", "PL"]);
+        let mut reversed = forward.clone();
+        reversed.reverse();
+        let a = Simulator::new(&traces, &forward, config(10));
+        let b = Simulator::new(&traces, &reversed, config(10));
+        let codes = |sim: &Simulator<'_>| -> Vec<String> {
+            sim.datacenters
+                .iter()
+                .map(|dc| traces.code(dc.region).to_string())
+                .collect()
+        };
+        assert_eq!(codes(&a), vec!["DE", "PL", "SE"]);
+        assert_eq!(codes(&a), codes(&b));
+        assert!(a.datacenter(forward[0]).is_some());
+        assert!(a.datacenter(RegionId(9999)).is_none());
     }
 }

@@ -58,7 +58,7 @@ impl<F: Forecaster> Policy for ForecastDeferral<F> {
             region: job.origin,
             start: view.now,
         };
-        let Ok(series) = view.traces.series(job.origin) else {
+        let Some(series) = view.traces.try_series_by_id(job.origin) else {
             return fallback;
         };
         let Some(history) = visible_history(series, view.now, self.max_history) else {
@@ -121,7 +121,7 @@ impl<F: Forecaster> Policy for ForecastSuspend<F> {
         if !job.interruptible {
             return placement;
         }
-        let Ok(series) = view.traces.series(job.origin) else {
+        let Some(series) = view.traces.try_series_by_id(job.origin) else {
             return placement;
         };
         let Some(history) = visible_history(series, view.now, self.max_history) else {
@@ -168,19 +168,18 @@ mod tests {
     use crate::policy::{CarbonAgnostic, PlannedDeferral};
     use decarb_forecast::{DiurnalTemplate, Persistence, SeasonalNaive};
     use decarb_traces::builtin_dataset;
-    use decarb_traces::catalog::region;
     use decarb_traces::time::year_start;
-    use decarb_traces::Region;
+    use decarb_traces::RegionId;
     use decarb_workloads::Slack;
 
-    fn regions(codes: &[&str]) -> Vec<&'static Region> {
-        codes.iter().map(|c| region(c).unwrap()).collect()
+    fn id(code: &str) -> RegionId {
+        builtin_dataset().id_of(code).unwrap()
     }
 
     /// Run one job under a policy and return its emissions.
     fn run_one<P: Policy>(policy: &mut P, job: Job, horizon: usize) -> f64 {
         let traces = builtin_dataset();
-        let rs = regions(&[job.origin]);
+        let rs = vec![job.origin];
         let mut sim = Simulator::new(&traces, &rs, SimConfig::new(job.arrival, horizon, 4));
         let report = sim.run(policy, std::slice::from_ref(&job));
         assert_eq!(report.completed_count(), 1, "job must finish");
@@ -191,7 +190,7 @@ mod tests {
     fn forecast_deferral_between_bounds_on_diurnal_region() {
         // Start mid-year so the forecaster has history to look at.
         let arrival = year_start(2022).plus(120 * 24);
-        let job = Job::batch(1, "US-CA", arrival, 4.0, Slack::Day);
+        let job = Job::batch(1, id("US-CA"), arrival, 4.0, Slack::Day);
         let agnostic = run_one(&mut CarbonAgnostic, job.clone(), 24 * 10);
         let clairvoyant = run_one(&mut PlannedDeferral, job.clone(), 24 * 10);
         let forecast = run_one(
@@ -214,7 +213,7 @@ mod tests {
     #[test]
     fn forecast_deferral_with_no_history_runs_immediately() {
         let arrival = year_start(2020); // Trace start: nothing visible.
-        let job = Job::batch(2, "DE", arrival, 3.0, Slack::Day);
+        let job = Job::batch(2, id("DE"), arrival, 3.0, Slack::Day);
         let forecast = run_one(&mut ForecastDeferral::new(Persistence), job.clone(), 24 * 5);
         let agnostic = run_one(&mut CarbonAgnostic, job, 24 * 5);
         assert!((forecast - agnostic).abs() < 1e-9);
@@ -224,8 +223,8 @@ mod tests {
     fn forecast_suspend_completes_and_respects_bound() {
         let traces = builtin_dataset();
         let arrival = year_start(2022).plus(90 * 24);
-        let job = Job::batch(3, "US-CA", arrival, 12.0, Slack::Week).with_interruptible();
-        let rs = regions(&["US-CA"]);
+        let job = Job::batch(3, id("US-CA"), arrival, 12.0, Slack::Week).with_interruptible();
+        let rs = vec![id("US-CA")];
         let mut sim = Simulator::new(&traces, &rs, SimConfig::new(arrival, 24 * 30, 4));
         let mut policy = ForecastSuspend::new(SeasonalNaive::daily());
         let report = sim.run(&mut policy, &[job]);
@@ -245,8 +244,8 @@ mod tests {
     fn forecast_suspend_plan_has_job_length_hours() {
         let traces = builtin_dataset();
         let arrival = year_start(2022).plus(60 * 24);
-        let job = Job::batch(4, "DE", arrival, 6.0, Slack::Day).with_interruptible();
-        let rs = regions(&["DE"]);
+        let job = Job::batch(4, id("DE"), arrival, 6.0, Slack::Day).with_interruptible();
+        let rs = vec![id("DE")];
         let mut sim = Simulator::new(&traces, &rs, SimConfig::new(arrival, 24 * 5, 4));
         let mut policy = ForecastSuspend::new(SeasonalNaive::daily());
         let report = sim.run(&mut policy, &[job]);
@@ -261,8 +260,8 @@ mod tests {
     fn uninterruptible_jobs_bypass_the_plan() {
         let traces = builtin_dataset();
         let arrival = year_start(2022).plus(30 * 24);
-        let job = Job::batch(5, "DE", arrival, 3.0, Slack::Day); // Not interruptible.
-        let rs = regions(&["DE"]);
+        let job = Job::batch(5, id("DE"), arrival, 3.0, Slack::Day); // Not interruptible.
+        let rs = vec![id("DE")];
         let mut sim = Simulator::new(&traces, &rs, SimConfig::new(arrival, 24 * 3, 4));
         let mut policy = ForecastSuspend::new(Persistence);
         let report = sim.run(&mut policy, &[job]);

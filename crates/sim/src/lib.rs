@@ -47,6 +47,8 @@ pub use scenario::{
     ForecasterKind, OverheadKind, PolicyKind, RegionSet, RegionSpec, Scenario, ScenarioMatrix,
     ScenarioReport,
 };
-pub use scenario_file::{parse_scenario_file, ScenarioFileError};
+pub use scenario_file::{
+    parse_scenario_file, parse_scenario_file_full, ScenarioFile, ScenarioFileError,
+};
 pub use spatiotemporal::SpatioTemporal;
 pub use sweep::{merge_reports, MergeError, PlannedScenario, SweepError, SweepPlan};

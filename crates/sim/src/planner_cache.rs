@@ -9,26 +9,27 @@
 //! threads: each region's planner is built the first time any scenario
 //! needs it and reused by every later placement.
 //!
-//! A planner spans a region's entire stored trace, so the cache is
-//! keyed by zone code alone — scenario horizons never change what a
-//! planner contains. One cache must only ever see one dataset (the
-//! scenario engine guarantees this by scoping the cache to a run).
+//! A planner spans a region's entire stored trace, so the cache is a
+//! dense [`RegionId`]-indexed slot table — scenario horizons never
+//! change what a planner contains, and the hot-path hit is one bounds
+//! check plus an index, no hashing. One cache must only ever see one
+//! dataset (ids are per-dataset; the scenario engine guarantees this by
+//! scoping the cache to a run).
 
-use std::collections::HashMap;
 use std::sync::{Arc, RwLock};
 
 use decarb_core::temporal::TemporalPlanner;
-use decarb_traces::TimeSeries;
+use decarb_traces::{RegionId, TimeSeries};
 use decarb_workloads::Job;
 
 use crate::cluster::CloudView;
 use crate::policy::{Placement, Policy};
 
-/// A by-zone-code cache of temporal planners, safe to share across the
-/// scenario engine's worker threads.
+/// A [`RegionId`]-indexed cache of temporal planners, safe to share
+/// across the scenario engine's worker threads.
 #[derive(Debug, Default)]
 pub struct PlannerCache {
-    planners: RwLock<HashMap<&'static str, Arc<TemporalPlanner>>>,
+    planners: RwLock<Vec<Option<Arc<TemporalPlanner>>>>,
 }
 
 impl PlannerCache {
@@ -37,25 +38,31 @@ impl PlannerCache {
         Self::default()
     }
 
-    /// Returns the planner for `code`, building it from `series` on the
+    /// Returns the planner for `id`, building it from `series` on the
     /// first request.
-    pub fn planner(&self, code: &'static str, series: &TimeSeries) -> Arc<TemporalPlanner> {
-        if let Some(planner) = self.planners.read().expect("cache lock").get(code) {
+    pub fn planner(&self, id: RegionId, series: &TimeSeries) -> Arc<TemporalPlanner> {
+        if let Some(Some(planner)) = self.planners.read().expect("cache lock").get(id.index()) {
             return Arc::clone(planner);
         }
         let mut planners = self.planners.write().expect("cache lock");
+        if planners.len() <= id.index() {
+            planners.resize(id.index() + 1, None);
+        }
         // Another worker may have built it between the read and write
-        // lock; entry() keeps exactly one build either way.
+        // lock; the re-check keeps exactly one build either way.
         Arc::clone(
-            planners
-                .entry(code)
-                .or_insert_with(|| Arc::new(TemporalPlanner::new(series))),
+            planners[id.index()].get_or_insert_with(|| Arc::new(TemporalPlanner::new(series))),
         )
     }
 
     /// Returns how many regions have a cached planner.
     pub fn len(&self) -> usize {
-        self.planners.read().expect("cache lock").len()
+        self.planners
+            .read()
+            .expect("cache lock")
+            .iter()
+            .filter(|slot| slot.is_some())
+            .count()
     }
 
     /// Returns `true` while no planner has been built.
@@ -83,7 +90,10 @@ impl<'a> CachedDeferral<'a> {
 
 impl Policy for CachedDeferral<'_> {
     fn place(&mut self, job: &Job, view: &CloudView<'_>) -> Placement {
-        let series = view.traces.series(job.origin).expect("origin trace exists");
+        let series = view
+            .traces
+            .try_series_by_id(job.origin)
+            .expect("origin trace exists");
         let planner = self.cache.planner(job.origin, series);
         let placement = planner.best_deferred(view.now, job.length_slots(), job.slack_hours());
         Placement {
@@ -99,9 +109,7 @@ mod tests {
     use crate::engine::{SimConfig, Simulator};
     use crate::policy::PlannedDeferral;
     use decarb_traces::builtin_dataset;
-    use decarb_traces::catalog::region;
     use decarb_traces::time::year_start;
-    use decarb_traces::Region;
     use decarb_workloads::Slack;
 
     #[test]
@@ -109,10 +117,12 @@ mod tests {
         let data = builtin_dataset();
         let cache = PlannerCache::new();
         assert!(cache.is_empty());
-        let first = cache.planner("SE", data.series("SE").unwrap());
-        let second = cache.planner("SE", data.series("SE").unwrap());
+        let se = data.id_of("SE").unwrap();
+        let de = data.id_of("DE").unwrap();
+        let first = cache.planner(se, data.series_by_id(se));
+        let second = cache.planner(se, data.series_by_id(se));
         assert!(Arc::ptr_eq(&first, &second), "same planner instance");
-        cache.planner("DE", data.series("DE").unwrap());
+        cache.planner(de, data.series_by_id(de));
         assert_eq!(cache.len(), 2);
     }
 
@@ -120,11 +130,12 @@ mod tests {
     fn cached_deferral_matches_the_uncached_policy() {
         let data = builtin_dataset();
         let start = year_start(2022);
-        let regions: Vec<&'static Region> =
-            ["US-CA", "DE"].iter().map(|c| region(c).unwrap()).collect();
+        let ca = data.id_of("US-CA").unwrap();
+        let de = data.id_of("DE").unwrap();
+        let regions = vec![ca, de];
         let jobs: Vec<Job> = (0..20)
             .map(|i| {
-                let origin = if i % 2 == 0 { "US-CA" } else { "DE" };
+                let origin = if i % 2 == 0 { ca } else { de };
                 Job::batch(i + 1, origin, start.plus(i as usize * 5), 6.0, Slack::Day)
             })
             .collect();
@@ -146,8 +157,9 @@ mod tests {
             for _ in 0..4 {
                 scope.spawn(|| {
                     for code in ["SE", "DE", "FR", "GB"] {
-                        let planner = cache.planner(code, data.series(code).unwrap());
-                        assert_eq!(planner.trace_start(), data.series(code).unwrap().start());
+                        let id = data.id_of(code).unwrap();
+                        let planner = cache.planner(id, data.series_by_id(id));
+                        assert_eq!(planner.trace_start(), data.series_by_id(id).start());
                     }
                 });
             }

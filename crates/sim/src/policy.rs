@@ -1,7 +1,7 @@
 //! Pluggable scheduling policies.
 
 use decarb_core::temporal::TemporalPlanner;
-use decarb_traces::Hour;
+use decarb_traces::{Hour, RegionId};
 use decarb_workloads::Job;
 
 use crate::cluster::CloudView;
@@ -9,8 +9,8 @@ use crate::cluster::CloudView;
 /// Where and when a job should start.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Placement {
-    /// Destination zone code.
-    pub region: &'static str,
+    /// Interned id of the destination zone.
+    pub region: RegionId,
     /// Hour the job should (first) start running.
     pub start: Hour,
 }
@@ -56,7 +56,10 @@ pub struct PlannedDeferral;
 
 impl Policy for PlannedDeferral {
     fn place(&mut self, job: &Job, view: &CloudView<'_>) -> Placement {
-        let series = view.traces.series(job.origin).expect("origin trace exists");
+        let series = view
+            .traces
+            .try_series_by_id(job.origin)
+            .expect("origin trace exists");
         let planner = TemporalPlanner::new(series);
         let placement = planner.best_deferred(view.now, job.length_slots(), job.slack_hours());
         Placement {
@@ -104,7 +107,7 @@ impl Policy for ThresholdSuspend {
         if view.now.plus(remaining_slots) >= deadline {
             return true;
         }
-        let Ok(series) = view.traces.series(job.origin) else {
+        let Some(series) = view.traces.try_series_by_id(job.origin) else {
             return true;
         };
         let Some(now_ci) = series.at(view.now) else {
@@ -149,18 +152,37 @@ mod tests {
     use super::*;
     use crate::cluster::Datacenter;
     use decarb_traces::builtin_dataset;
-    use decarb_traces::catalog::region;
     use decarb_traces::time::year_start;
+    use decarb_traces::TraceSet;
     use decarb_workloads::Slack;
-    use std::collections::HashMap;
 
-    fn view_with<'a>(
-        dcs: &'a HashMap<&'static str, Datacenter>,
-        traces: &'a decarb_traces::TraceSet,
-        now: Hour,
-    ) -> CloudView<'a> {
+    struct Deployment {
+        datacenters: Vec<Datacenter>,
+        slot_of: Vec<Option<u16>>,
+    }
+
+    fn deploy(traces: &TraceSet, codes: &[&str], capacity: usize) -> Deployment {
+        let mut ids: Vec<decarb_traces::RegionId> =
+            codes.iter().map(|c| traces.id_of(c).unwrap()).collect();
+        ids.sort_by(|a, b| traces.code(*a).cmp(traces.code(*b)));
+        let datacenters: Vec<Datacenter> = ids
+            .iter()
+            .map(|&id| Datacenter::new(id, capacity))
+            .collect();
+        let mut slot_of = vec![None; traces.len()];
+        for (i, dc) in datacenters.iter().enumerate() {
+            slot_of[dc.region.index()] = Some(i as u16);
+        }
+        Deployment {
+            datacenters,
+            slot_of,
+        }
+    }
+
+    fn view_with<'a>(deployment: &'a Deployment, traces: &'a TraceSet, now: Hour) -> CloudView<'a> {
         CloudView {
-            datacenters: dcs,
+            datacenters: &deployment.datacenters,
+            slot_of: &deployment.slot_of,
             traces,
             now,
         }
@@ -169,22 +191,24 @@ mod tests {
     #[test]
     fn agnostic_runs_immediately_at_origin() {
         let traces = builtin_dataset();
-        let dcs = HashMap::new();
+        let empty = deploy(&traces, &[], 1);
         let now = year_start(2022);
-        let view = view_with(&dcs, &traces, now);
-        let job = Job::batch(1, "DE", now, 4.0, Slack::Day);
+        let view = view_with(&empty, &traces, now);
+        let de = traces.id_of("DE").unwrap();
+        let job = Job::batch(1, de, now, 4.0, Slack::Day);
         let p = CarbonAgnostic.place(&job, &view);
-        assert_eq!(p.region, "DE");
+        assert_eq!(p.region, de);
         assert_eq!(p.start, now);
     }
 
     #[test]
     fn planned_deferral_matches_planner() {
         let traces = builtin_dataset();
-        let dcs = HashMap::new();
+        let empty = deploy(&traces, &[], 1);
         let now = year_start(2022);
-        let view = view_with(&dcs, &traces, now);
-        let job = Job::batch(1, "US-CA", now, 6.0, Slack::Day);
+        let view = view_with(&empty, &traces, now);
+        let ca = traces.id_of("US-CA").unwrap();
+        let job = Job::batch(1, ca, now, 6.0, Slack::Day);
         let p = PlannedDeferral.place(&job, &view);
         let planner = TemporalPlanner::new(traces.series("US-CA").unwrap());
         let expected = planner.best_deferred(now, 6, 24);
@@ -196,26 +220,26 @@ mod tests {
     #[test]
     fn router_prefers_greenest_free_region() {
         let traces = builtin_dataset();
-        let mut dcs = HashMap::new();
-        for code in ["SE", "PL"] {
-            dcs.insert(code, Datacenter::new(region(code).unwrap(), 1));
-        }
+        let deployment = deploy(&traces, &["SE", "PL"], 1);
         let now = year_start(2022);
-        let view = view_with(&dcs, &traces, now);
-        let job = Job::batch(1, "PL", now, 1.0, Slack::None);
-        assert_eq!(GreenestRouter.place(&job, &view).region, "SE");
+        let view = view_with(&deployment, &traces, now);
+        let pl = traces.id_of("PL").unwrap();
+        let se = traces.id_of("SE").unwrap();
+        let job = Job::batch(1, pl, now, 1.0, Slack::None);
+        assert_eq!(GreenestRouter.place(&job, &view).region, se);
         // Pinned jobs stay home.
-        let pinned = Job::interactive(2, "PL", now);
-        assert_eq!(GreenestRouter.place(&pinned, &view).region, "PL");
+        let pinned = Job::interactive(2, pl, now);
+        assert_eq!(GreenestRouter.place(&pinned, &view).region, pl);
     }
 
     #[test]
     fn threshold_runs_when_forced_by_deadline() {
         let traces = builtin_dataset();
-        let dcs = HashMap::new();
+        let empty = deploy(&traces, &[], 1);
         let now = year_start(2022);
-        let view = view_with(&dcs, &traces, now);
-        let job = Job::batch(1, "DE", now, 4.0, Slack::Day).with_interruptible();
+        let view = view_with(&empty, &traces, now);
+        let de = traces.id_of("DE").unwrap();
+        let job = Job::batch(1, de, now, 4.0, Slack::Day).with_interruptible();
         let mut policy = ThresholdSuspend {
             threshold: 0.0, // Never voluntarily run.
             window: 24,
@@ -229,16 +253,17 @@ mod tests {
     #[test]
     fn threshold_runs_in_cheap_hours() {
         let traces = builtin_dataset();
-        let dcs = HashMap::new();
+        let empty = deploy(&traces, &[], 1);
         // Find a noon hour in California (solar dip → below trailing mean).
         let series = traces.series("US-CA").unwrap();
+        let ca = traces.id_of("US-CA").unwrap();
         let start = year_start(2022);
         let mut policy = ThresholdSuspend::default();
-        let job = Job::batch(1, "US-CA", start, 4.0, Slack::Week).with_interruptible();
+        let job = Job::batch(1, ca, start, 4.0, Slack::Week).with_interruptible();
         let mut ran_some = false;
         for offset in 48..120usize {
             let now = start.plus(offset);
-            let view = view_with(&dcs, &traces, now);
+            let view = view_with(&empty, &traces, now);
             if policy.should_run(&job, 4, now.plus(1000), &view) {
                 ran_some = true;
                 // Running hours must be no dirtier than the trailing mean.

@@ -6,79 +6,164 @@
 //! round-trip time from the job's origin fits the SLO and which has free
 //! capacity, falling back to the origin.
 
-use std::collections::HashMap;
-
-use decarb_core::latency::LatencyMatrix;
-use decarb_traces::{Hour, Region};
+use decarb_core::latency::rtt_ms;
+use decarb_traces::{Hour, RegionId, TraceSet};
 use decarb_workloads::Job;
 
 use crate::cluster::CloudView;
 use crate::policy::{Placement, Policy};
 
+/// A round-trip-time table over one dataset's deployed regions,
+/// precomputed so the per-placement loop does integer indexing only.
+/// Storage is O(table + deployed²) — an id→slot side table (like the
+/// engine's) plus a dense deployed×deployed matrix — so a huge
+/// imported region table with a handful of deployed zones stays cheap.
+#[derive(Debug, Clone)]
+pub(crate) struct RttTable {
+    /// [`RegionId::index`]-indexed map to deployed slots.
+    slot: Vec<Option<u16>>,
+    /// Deployed-set size.
+    d: usize,
+    /// `rtt[slot(a) * d + slot(b)]`.
+    rtt: Vec<f64>,
+    /// Lexicographic rank of every id's code, for deterministic
+    /// tie-breaking identical to string comparison.
+    lex_rank: Vec<u32>,
+}
+
+impl RttTable {
+    /// Builds the table for `deployed` regions of `traces`' table.
+    pub(crate) fn build(traces: &TraceSet, deployed: &[RegionId]) -> Self {
+        let mut slot = vec![None; traces.len()];
+        let mut unique: Vec<RegionId> = Vec::with_capacity(deployed.len());
+        for &id in deployed {
+            if slot[id.index()].is_none() {
+                slot[id.index()] = Some(unique.len() as u16);
+                unique.push(id);
+            }
+        }
+        let d = unique.len();
+        let mut rtt = vec![0.0; d * d];
+        for (i, &a) in unique.iter().enumerate() {
+            for (j, &b) in unique.iter().enumerate() {
+                rtt[i * d + j] = rtt_ms(traces.region_by_id(a), traces.region_by_id(b));
+            }
+        }
+        Self {
+            slot,
+            d,
+            rtt,
+            lex_rank: traces.table().lex_ranks(),
+        }
+    }
+
+    /// RTT between two deployed zones, `None` outside the deployed set.
+    #[inline]
+    pub(crate) fn get(&self, a: RegionId, b: RegionId) -> Option<f64> {
+        let sa = (*self.slot.get(a.index())?)? as usize;
+        let sb = (*self.slot.get(b.index())?)? as usize;
+        Some(self.rtt[sa * self.d + sb])
+    }
+
+    /// `true` when `a`'s zone code sorts lexicographically before `b`'s.
+    #[inline]
+    pub(crate) fn code_before(&self, a: RegionId, b: RegionId) -> bool {
+        self.lex_rank[a.index()] < self.lex_rank[b.index()]
+    }
+}
+
+/// Same-hour admission control shared by the routing policies: the
+/// simulator's capacity view only reflects *running* jobs, so a burst
+/// of same-hour arrivals would all see the same free slot. The router
+/// remembers what it has placed in the current hour and treats those
+/// slots as taken.
+#[derive(Debug, Clone)]
+pub(crate) struct HourlyLedger {
+    placed: Vec<u16>,
+    at: Option<Hour>,
+}
+
+impl HourlyLedger {
+    pub(crate) fn new(regions: usize) -> Self {
+        Self {
+            placed: vec![0; regions],
+            at: None,
+        }
+    }
+
+    /// Resets the counts when the hour advances.
+    pub(crate) fn roll(&mut self, now: Hour) {
+        if self.at != Some(now) {
+            self.placed.fill(0);
+            self.at = Some(now);
+        }
+    }
+
+    #[inline]
+    pub(crate) fn placed(&self, id: RegionId) -> usize {
+        self.placed.get(id.index()).copied().unwrap_or(0) as usize
+    }
+
+    pub(crate) fn record(&mut self, id: RegionId) {
+        if let Some(slot) = self.placed.get_mut(id.index()) {
+            *slot += 1;
+        }
+    }
+}
+
 /// Routes to the greenest region within a latency SLO of the origin.
-///
-/// The router performs its own admission control: the simulator's
-/// capacity view only reflects *running* jobs, so a burst of same-hour
-/// arrivals would all see the same free slot. The router remembers what
-/// it has placed in the current hour and treats those slots as taken.
 pub struct LatencyAwareRouter {
-    matrix: LatencyMatrix,
+    matrix: RttTable,
     /// Round-trip-time budget in milliseconds.
     pub slo_ms: f64,
-    placed_now: HashMap<&'static str, usize>,
-    placed_at: Option<Hour>,
+    ledger: HourlyLedger,
 }
 
 impl LatencyAwareRouter {
-    /// Builds the router over the deployed regions.
-    pub fn new(regions: &[&'static Region], slo_ms: f64) -> Self {
+    /// Builds the router over the deployed regions of `traces`.
+    pub fn new(traces: &TraceSet, deployed: &[RegionId], slo_ms: f64) -> Self {
         Self {
-            matrix: LatencyMatrix::build(regions),
+            matrix: RttTable::build(traces, deployed),
             slo_ms,
-            placed_now: HashMap::new(),
-            placed_at: None,
+            ledger: HourlyLedger::new(traces.len()),
         }
     }
 
     /// Returns the RTT between two zones, if both are deployed.
-    pub fn rtt(&self, a: &str, b: &str) -> Option<f64> {
+    pub fn rtt(&self, a: RegionId, b: RegionId) -> Option<f64> {
         self.matrix.get(a, b)
     }
 }
 
 impl Policy for LatencyAwareRouter {
     fn place(&mut self, job: &Job, view: &CloudView<'_>) -> Placement {
-        if self.placed_at != Some(view.now) {
-            self.placed_now.clear();
-            self.placed_at = Some(view.now);
-        }
+        self.ledger.roll(view.now);
         let mut region = job.origin;
         if job.migratable {
             let mut best_ci = view.current_ci(job.origin).unwrap_or(f64::INFINITY);
-            for dc in view.datacenters.values() {
-                let code = dc.region.code;
-                let already = self.placed_now.get(code).copied().unwrap_or(0);
-                if dc.free_slots() <= already {
+            for dc in view.datacenters {
+                let id = dc.region;
+                if dc.free_slots() <= self.ledger.placed(id) {
                     continue;
                 }
-                let Some(rtt) = self.matrix.get(job.origin, code) else {
+                let Some(rtt) = self.matrix.get(job.origin, id) else {
                     continue;
                 };
                 if rtt > self.slo_ms {
                     continue;
                 }
-                let Some(ci) = view.current_ci(code) else {
+                let Some(ci) = view.current_ci(id) else {
                     continue;
                 };
                 // Strict improvement, ties broken to the lexicographically
                 // first zone for determinism.
-                if ci < best_ci || (ci == best_ci && code < region) {
+                if ci < best_ci || (ci == best_ci && self.matrix.code_before(id, region)) {
                     best_ci = ci;
-                    region = code;
+                    region = id;
                 }
             }
         }
-        *self.placed_now.entry(region).or_insert(0) += 1;
+        self.ledger.record(region);
         Placement {
             region,
             start: view.now,
@@ -91,28 +176,27 @@ mod tests {
     use super::*;
     use crate::engine::{SimConfig, Simulator};
     use decarb_traces::builtin_dataset;
-    use decarb_traces::catalog::region;
     use decarb_traces::time::year_start;
     use decarb_workloads::Slack;
 
-    fn regions(codes: &[&str]) -> Vec<&'static Region> {
-        codes.iter().map(|c| region(c).unwrap()).collect()
+    fn ids(traces: &TraceSet, codes: &[&str]) -> Vec<RegionId> {
+        codes.iter().map(|c| traces.id_of(c).unwrap()).collect()
     }
 
     /// Deployed: origin Germany plus near (Sweden) and far (Australia)
     /// green regions.
     const DEPLOYED: [&str; 4] = ["DE", "SE", "PL", "AU-TAS"];
 
-    fn route_one(slo_ms: f64) -> &'static str {
+    fn route_one(slo_ms: f64) -> String {
         let traces = builtin_dataset();
-        let rs = regions(&DEPLOYED);
+        let rs = ids(&traces, &DEPLOYED);
         let start = year_start(2022);
         let mut sim = Simulator::new(&traces, &rs, SimConfig::new(start, 50, 4));
-        let mut router = LatencyAwareRouter::new(&rs, slo_ms);
-        let job = Job::batch(1, "DE", start, 4.0, Slack::None);
+        let mut router = LatencyAwareRouter::new(&traces, &rs, slo_ms);
+        let job = Job::batch(1, rs[0], start, 4.0, Slack::None);
         let report = sim.run(&mut router, &[job]);
         assert_eq!(report.completed_count(), 1);
-        report.completed[0].region
+        traces.code(report.completed[0].region).to_string()
     }
 
     #[test]
@@ -132,40 +216,43 @@ mod tests {
     fn unbounded_slo_still_picks_the_greenest() {
         // With everything feasible the router behaves like the greenest
         // router; SE is greener than AU-TAS at this hour.
-        let rs = regions(&DEPLOYED);
-        let router = LatencyAwareRouter::new(&rs, f64::INFINITY);
-        assert!(router.rtt("DE", "AU-TAS").unwrap() > 200.0);
+        let traces = builtin_dataset();
+        let rs = ids(&traces, &DEPLOYED);
+        let router = LatencyAwareRouter::new(&traces, &rs, f64::INFINITY);
+        assert!(router.rtt(rs[0], rs[3]).unwrap() > 200.0);
         assert_eq!(route_one(f64::INFINITY), "SE");
     }
 
     #[test]
     fn pinned_jobs_never_move() {
         let traces = builtin_dataset();
-        let rs = regions(&DEPLOYED);
+        let rs = ids(&traces, &DEPLOYED);
         let start = year_start(2022);
         let mut sim = Simulator::new(&traces, &rs, SimConfig::new(start, 10, 4));
-        let mut router = LatencyAwareRouter::new(&rs, f64::INFINITY);
-        let job = Job::interactive(1, "PL", start);
+        let mut router = LatencyAwareRouter::new(&traces, &rs, f64::INFINITY);
+        let pl = rs[2];
+        let job = Job::interactive(1, pl, start);
         let report = sim.run(&mut router, &[job]);
-        assert_eq!(report.completed[0].region, "PL");
+        assert_eq!(report.completed[0].region, pl);
     }
 
     #[test]
     fn full_destinations_are_skipped() {
         let traces = builtin_dataset();
-        let rs = regions(&["DE", "SE"]);
+        let rs = ids(&traces, &["DE", "SE"]);
+        let (de, se) = (rs[0], rs[1]);
         let start = year_start(2022);
         // Capacity 1: the second simultaneous job finds Sweden full.
         let mut sim = Simulator::new(&traces, &rs, SimConfig::new(start, 50, 1));
-        let mut router = LatencyAwareRouter::new(&rs, 1000.0);
+        let mut router = LatencyAwareRouter::new(&traces, &rs, 1000.0);
         let jobs = vec![
-            Job::batch(1, "DE", start, 4.0, Slack::None),
-            Job::batch(2, "DE", start, 4.0, Slack::None),
+            Job::batch(1, de, start, 4.0, Slack::None),
+            Job::batch(2, de, start, 4.0, Slack::None),
         ];
         let report = sim.run(&mut router, &jobs);
         assert_eq!(report.completed_count(), 2);
-        let to_se = report.completed.iter().filter(|c| c.region == "SE").count();
-        let at_home = report.completed.iter().filter(|c| c.region == "DE").count();
+        let to_se = report.completed.iter().filter(|c| c.region == se).count();
+        let at_home = report.completed.iter().filter(|c| c.region == de).count();
         assert_eq!(to_se, 1, "exactly one fits in Sweden");
         assert_eq!(at_home, 1, "the other runs at the origin");
     }
@@ -173,14 +260,14 @@ mod tests {
     #[test]
     fn tighter_slo_never_lowers_emissions() {
         let traces = builtin_dataset();
-        let rs = regions(&DEPLOYED);
+        let rs = ids(&traces, &DEPLOYED);
         let start = year_start(2022);
         let jobs: Vec<Job> = (0..10)
-            .map(|i| Job::batch(i + 1, "DE", start.plus(i as usize * 3), 2.0, Slack::None))
+            .map(|i| Job::batch(i + 1, rs[0], start.plus(i as usize * 3), 2.0, Slack::None))
             .collect();
         let run = |slo: f64| {
             let mut sim = Simulator::new(&traces, &rs, SimConfig::new(start, 100, 16));
-            let mut router = LatencyAwareRouter::new(&rs, slo);
+            let mut router = LatencyAwareRouter::new(&traces, &rs, slo);
             sim.run(&mut router, &jobs).total_emissions_g
         };
         let tight = run(0.0);

@@ -24,7 +24,7 @@ use std::time::{Duration, Instant};
 use decarb_forecast::{Persistence, SeasonalNaive};
 use decarb_json::Value;
 use decarb_traces::time::year_start;
-use decarb_traces::{Hour, Region, TraceSet};
+use decarb_traces::{Hour, RegionId, TraceSet};
 use decarb_workloads::{Arrival, Slack, WorkloadSpec};
 
 use crate::accounting::SimReport;
@@ -79,16 +79,16 @@ impl RegionSet {
         }
     }
 
-    /// Resolves the set against a dataset's catalog.
+    /// Resolves the set against a dataset's region table.
     ///
     /// # Panics
     ///
     /// Panics if the dataset lacks one of the set's zones (the built-in
     /// dataset covers all of them).
-    pub fn resolve(self, data: &TraceSet) -> Vec<&'static Region> {
+    pub fn resolve(self, data: &TraceSet) -> Vec<RegionId> {
         self.codes()
             .iter()
-            .map(|code| data.region(code).expect("built-in region set resolves"))
+            .map(|code| data.id_of(code).expect("built-in region set resolves"))
             .collect()
     }
 
@@ -142,13 +142,14 @@ impl RegionSpec {
         }
     }
 
-    /// Resolves the set against `data`, erroring on zones the dataset
-    /// does not cover (custom sets and `--data` imports can miss).
-    pub fn try_resolve(&self, data: &TraceSet) -> Result<Vec<&'static Region>, String> {
+    /// Resolves the set to interned ids against `data`, erroring on
+    /// zones the dataset does not cover (custom sets and `--data`
+    /// imports can miss).
+    pub fn try_resolve(&self, data: &TraceSet) -> Result<Vec<RegionId>, String> {
         self.codes()
             .iter()
             .map(|code| {
-                data.region(code).map_err(|_| {
+                data.id_of(code).map_err(|_| {
                     format!(
                         "region set `{}`: zone `{code}` is not in the dataset",
                         self.label()
@@ -220,11 +221,13 @@ impl PolicyKind {
     /// Drives one simulation with the concrete policy. Forecast-backed
     /// policies instantiate the scenario's [`ForecasterKind`]; the
     /// spatiotemporal router honors the scenario's `slo_ms`.
+    #[allow(clippy::too_many_arguments)]
     fn execute(
         self,
         sim: &mut Simulator<'_>,
         jobs: &[decarb_workloads::Job],
-        regions: &[&'static Region],
+        data: &TraceSet,
+        regions: &[RegionId],
         cache: &PlannerCache,
         forecaster: ForecasterKind,
         slo_ms: f64,
@@ -241,11 +244,12 @@ impl PolicyKind {
                 }
             },
             PolicyKind::SpatioTemporal => match forecaster {
-                ForecasterKind::Naive => {
-                    sim.run(&mut SpatioTemporal::new(regions, slo_ms, Persistence), jobs)
-                }
+                ForecasterKind::Naive => sim.run(
+                    &mut SpatioTemporal::new(data, regions, slo_ms, Persistence),
+                    jobs,
+                ),
                 ForecasterKind::Seasonal => sim.run(
-                    &mut SpatioTemporal::new(regions, slo_ms, SeasonalNaive::daily()),
+                    &mut SpatioTemporal::new(data, regions, slo_ms, SeasonalNaive::daily()),
                     jobs,
                 ),
             },
@@ -420,8 +424,7 @@ impl Scenario {
             .regions
             .try_resolve(data)
             .unwrap_or_else(|e| panic!("scenario `{}`: {e}", self.name));
-        let origins: Vec<&'static str> = regions.iter().map(|r| r.code).collect();
-        let jobs = self.workload.materialize(&origins, self.start);
+        let jobs = self.workload.materialize(&regions, self.start);
         let config = SimConfig::new(self.start, self.horizon, self.capacity_per_region)
             .with_overheads(self.overheads.model());
         let mut sim = Simulator::new(data, &regions, config);
@@ -429,6 +432,7 @@ impl Scenario {
         let report = self.policy.execute(
             &mut sim,
             &jobs,
+            data,
             &regions,
             cache,
             self.forecaster,

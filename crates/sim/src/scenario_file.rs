@@ -47,6 +47,12 @@
 //!   (`spacing = N`); `arrival = poisson:<rate>` (jobs per hour, with
 //!   an optional `arrival_seed`) draws seeded exponential gaps instead.
 //! * `[regions NAME]` — a custom region set: `codes = A, B, C`.
+//! * `[region CODE]` — a fully custom region: metadata for a zone the
+//!   dataset (or catalog) does not know, keys per
+//!   `decarb_traces::Region::from_pairs` (`name`, `group`, `lat`,
+//!   `lon`, `mean_ci`, `ci_delta`, `daily_cv`, `periodicity`, `mix`).
+//!   The CLI synthesizes a trace for it when the active dataset lacks
+//!   one, so scenarios can deploy into entirely hypothetical grids.
 //! * `[scenario NAME]` — one scenario: `workload`, `policy`, `regions`
 //!   (a built-in label or a `[regions]` section name), plus optional
 //!   overrides of any default.
@@ -62,7 +68,7 @@
 use std::collections::HashMap;
 
 use decarb_traces::time::{year_start, EPOCH_YEAR, LAST_YEAR};
-use decarb_traces::Hour;
+use decarb_traces::{Hour, Region};
 use decarb_workloads::WorkloadSpec;
 
 use crate::scenario::{
@@ -182,7 +188,7 @@ fn split_sections(text: &str) -> Result<Vec<Section>, ScenarioFileError> {
                         return Err(err(line_no, "`[defaults]` takes no name"));
                     }
                 }
-                "workload" | "regions" | "scenario" | "matrix" => {
+                "workload" | "regions" | "region" | "scenario" | "matrix" => {
                     if name.is_empty() {
                         return Err(err(line_no, format!("`[{kind} ...]` needs a name")));
                     }
@@ -192,7 +198,7 @@ fn split_sections(text: &str) -> Result<Vec<Section>, ScenarioFileError> {
                         line_no,
                         format!(
                             "unknown section kind `{other}` (valid: defaults, workload, \
-                             regions, scenario, matrix)"
+                             regions, region, scenario, matrix)"
                         ),
                     ));
                 }
@@ -335,17 +341,35 @@ fn resolve_regions(
     })
 }
 
-/// Parses a scenario file into its expanded scenario list.
+/// A parsed scenario file: the expanded scenario list plus any fully
+/// custom regions its `[region CODE]` sections declared.
+#[derive(Debug)]
+pub struct ScenarioFile {
+    /// Expanded scenarios in declaration order.
+    pub scenarios: Vec<Scenario>,
+    /// Custom regions, in declaration order; the runner interns (and
+    /// synthesizes traces for) the ones the active dataset lacks.
+    pub custom_regions: Vec<Region>,
+}
+
+/// Parses a scenario file into its expanded scenario list, dropping
+/// any `[region CODE]` declarations (see [`parse_scenario_file_full`]).
+pub fn parse_scenario_file(text: &str) -> Result<Vec<Scenario>, ScenarioFileError> {
+    parse_scenario_file_full(text).map(|file| file.scenarios)
+}
+
+/// Parses a scenario file into scenarios plus custom regions.
 ///
 /// Scenarios appear in declaration order (`[scenario]` entries as-is,
 /// `[matrix]` entries expanded in axis order). Names must be unique
 /// across the file.
-pub fn parse_scenario_file(text: &str) -> Result<Vec<Scenario>, ScenarioFileError> {
+pub fn parse_scenario_file_full(text: &str) -> Result<ScenarioFile, ScenarioFileError> {
     let sections = split_sections(text)?;
 
     let mut defaults = Defaults::builtin();
     let mut workloads: HashMap<String, WorkloadSpec> = HashMap::new();
     let mut region_sets: HashMap<String, RegionSpec> = HashMap::new();
+    let mut custom_regions: Vec<Region> = Vec::new();
 
     // First pass: defaults and named definitions (usable by any later —
     // or earlier — scenario/matrix section).
@@ -372,6 +396,18 @@ pub fn parse_scenario_file(text: &str) -> Result<Vec<Scenario>, ScenarioFileErro
                         format!("duplicate workload `{}`", section.name),
                     ));
                 }
+            }
+            "region" => {
+                let code = section.name.to_uppercase();
+                let region =
+                    Region::from_pairs(&code, &section.pairs).map_err(|e| err(section.line, e))?;
+                if custom_regions.iter().any(|r| r.code == region.code) {
+                    return Err(err(
+                        section.line,
+                        format!("duplicate region `{}`", section.name),
+                    ));
+                }
+                custom_regions.push(region);
             }
             "regions" => {
                 section.reject_unknown(&["codes"])?;
@@ -570,7 +606,10 @@ pub fn parse_scenario_file(text: &str) -> Result<Vec<Scenario>, ScenarioFileErro
             ));
         }
     }
-    Ok(scenarios)
+    Ok(ScenarioFile {
+        scenarios,
+        custom_regions,
+    })
 }
 
 #[cfg(test)]
@@ -909,6 +948,101 @@ regions = us
 ";
         let scenarios = parse_scenario_file(text).unwrap();
         assert_eq!(scenarios.len(), PolicyKind::ALL.len());
+    }
+
+    #[test]
+    fn custom_region_declarations_parse_and_run_end_to_end() {
+        // A fully custom (non-catalog) region set: two hypothetical
+        // grids declared inline, synthesized into the dataset, swept by
+        // a matrix — no built-in zone involved anywhere.
+        let text = "\
+[region XX-HYDRO]
+name = Hydrotopia
+group = south-america
+lat = -10.5
+lon = -55.0
+mean_ci = 45
+daily_cv = 0.03
+mix = hydro:0.8, wind:0.2
+
+[region xx-coal]
+name = Coalville
+group = asia
+lat = 30.0
+lon = 110.0
+mean_ci = 700
+mix = coal:0.9, solar:0.1
+
+[workload w]
+class = batch
+per_origin = 4
+length = 4
+slack = day
+
+[regions synthetic]
+codes = XX-HYDRO, XX-COAL
+
+[matrix m]
+workloads = w
+policies = agnostic, greenest
+regions = synthetic
+horizon = 240
+";
+        let file = parse_scenario_file_full(text).unwrap();
+        assert_eq!(file.scenarios.len(), 2);
+        assert_eq!(file.custom_regions.len(), 2);
+        assert_eq!(file.custom_regions[0].code, "XX-HYDRO");
+        assert_eq!(file.custom_regions[1].code, "XX-COAL", "codes upper-cased");
+        // Against the plain builtin dataset the zones are unknown…
+        let data = builtin_dataset();
+        let err = file.scenarios[0].validate_against(&data).unwrap_err();
+        assert!(err.contains("XX-HYDRO"), "{err}");
+        // …but extending the dataset with the declared regions runs the
+        // sweep end-to-end.
+        let mut extended = (*data).clone();
+        extended.extend_synthesized(
+            file.custom_regions.clone(),
+            decarb_traces::SynthConfig::default(),
+        );
+        assert_eq!(extended.len(), data.len() + 2);
+        let reports = run_scenarios(&extended, &file.scenarios);
+        assert_eq!(reports.len(), 2);
+        for report in &reports {
+            assert_eq!(report.completed, report.jobs, "{}", report.name);
+            assert!(report.total_emissions_g > 0.0);
+        }
+        // Routing away from Coalville toward Hydrotopia must pay off.
+        let agnostic = reports.iter().find(|r| r.policy == "agnostic").unwrap();
+        let greenest = reports.iter().find(|r| r.policy == "greenest").unwrap();
+        assert!(
+            greenest.average_ci < agnostic.average_ci,
+            "greenest {} vs agnostic {}",
+            greenest.average_ci,
+            agnostic.average_ci
+        );
+        // The hypothetical grids' synthesized traces track their declared
+        // calibration targets.
+        let hydro = extended.series("XX-HYDRO").unwrap();
+        let start = year_start(2022);
+        let len = decarb_traces::time::hours_in_year(2022);
+        let mean = hydro.window(start, len).unwrap().iter().sum::<f64>() / len as f64;
+        assert!((mean - 45.0).abs() < 2.0, "synthesized mean {mean}");
+    }
+
+    #[test]
+    fn duplicate_and_malformed_region_sections_error() {
+        let dup = "\
+[region XX]
+[region xx]
+";
+        let error = parse_scenario_file_full(dup).unwrap_err();
+        assert!(error.message.contains("duplicate region"), "{error}");
+        let bad = "\
+[region XX]
+mix = plutonium:1
+";
+        let error = parse_scenario_file_full(bad).unwrap_err();
+        assert!(error.message.contains("unknown energy source"), "{error}");
     }
 
     #[test]

@@ -8,76 +8,71 @@
 //! destination's carbon-intensity. The paper's finding — spatial gains
 //! dominate, temporal shifting adds a little on top — emerges online.
 
-use std::collections::HashMap;
-
-use decarb_core::latency::LatencyMatrix;
 use decarb_core::temporal::TemporalPlanner;
 use decarb_forecast::Forecaster;
-use decarb_traces::{Hour, Region, TimeSeries};
+use decarb_traces::{Hour, RegionId, TimeSeries, TraceSet};
 use decarb_workloads::Job;
 
 use crate::cluster::CloudView;
 use crate::policy::{Placement, Policy};
+use crate::routing::{HourlyLedger, RttTable};
 
 /// Routes to the greenest feasible region, then forecast-defers there.
 pub struct SpatioTemporal<F> {
-    matrix: LatencyMatrix,
+    matrix: RttTable,
     /// Round-trip-time budget in milliseconds.
     pub slo_ms: f64,
     forecaster: F,
     /// History handed to the forecaster at each decision, hours.
     pub max_history: usize,
-    placed_now: HashMap<&'static str, usize>,
-    placed_at: Option<Hour>,
+    ledger: HourlyLedger,
 }
 
 impl<F: Forecaster> SpatioTemporal<F> {
-    /// Creates the policy over the deployed regions.
-    pub fn new(regions: &[&'static Region], slo_ms: f64, forecaster: F) -> Self {
+    /// Creates the policy over the deployed regions of `traces`.
+    pub fn new(traces: &TraceSet, deployed: &[RegionId], slo_ms: f64, forecaster: F) -> Self {
         Self {
-            matrix: LatencyMatrix::build(regions),
+            matrix: RttTable::build(traces, deployed),
             slo_ms,
             forecaster,
             max_history: 28 * 24,
-            placed_now: HashMap::new(),
-            placed_at: None,
+            ledger: HourlyLedger::new(traces.len()),
         }
     }
 
     /// Picks the greenest admissible destination for `job` (falls back to
     /// the origin).
-    fn route(&self, job: &Job, view: &CloudView<'_>) -> &'static str {
+    fn route(&self, job: &Job, view: &CloudView<'_>) -> RegionId {
         if !job.migratable {
             return job.origin;
         }
         let mut region = job.origin;
         let mut best_ci = view.current_ci(job.origin).unwrap_or(f64::INFINITY);
-        for dc in view.datacenters.values() {
-            let code = dc.region.code;
-            let already = self.placed_now.get(code).copied().unwrap_or(0);
-            if dc.free_slots() <= already {
+        for dc in view.datacenters {
+            let id = dc.region;
+            if dc.free_slots() <= self.ledger.placed(id) {
                 continue;
             }
-            let Some(rtt) = self.matrix.get(job.origin, code) else {
+            let Some(rtt) = self.matrix.get(job.origin, id) else {
                 continue;
             };
             if rtt > self.slo_ms {
                 continue;
             }
-            let Some(ci) = view.current_ci(code) else {
+            let Some(ci) = view.current_ci(id) else {
                 continue;
             };
-            if ci < best_ci || (ci == best_ci && code < region) {
+            if ci < best_ci || (ci == best_ci && self.matrix.code_before(id, region)) {
                 best_ci = ci;
-                region = code;
+                region = id;
             }
         }
         region
     }
 
     /// Forecast-defers the start inside `region`'s trace.
-    fn defer(&self, job: &Job, region: &'static str, view: &CloudView<'_>) -> Hour {
-        let Ok(series) = view.traces.series(region) else {
+    fn defer(&self, job: &Job, region: RegionId, view: &CloudView<'_>) -> Hour {
+        let Some(series) = view.traces.try_series_by_id(region) else {
             return view.now;
         };
         let available = view.now.0.saturating_sub(series.start().0) as usize;
@@ -103,12 +98,9 @@ impl<F: Forecaster> SpatioTemporal<F> {
 
 impl<F: Forecaster> Policy for SpatioTemporal<F> {
     fn place(&mut self, job: &Job, view: &CloudView<'_>) -> Placement {
-        if self.placed_at != Some(view.now) {
-            self.placed_now.clear();
-            self.placed_at = Some(view.now);
-        }
+        self.ledger.roll(view.now);
         let region = self.route(job, view);
-        *self.placed_now.entry(region).or_insert(0) += 1;
+        self.ledger.record(region);
         let start = self.defer(job, region, view);
         Placement { region, start }
     }
@@ -123,19 +115,18 @@ mod tests {
     use crate::routing::LatencyAwareRouter;
     use decarb_forecast::SeasonalNaive;
     use decarb_traces::builtin_dataset;
-    use decarb_traces::catalog::region;
     use decarb_traces::time::year_start;
     use decarb_workloads::Slack;
 
     const DEPLOYED: [&str; 3] = ["PL", "DE", "SE"];
 
-    fn regions() -> Vec<&'static Region> {
-        DEPLOYED.iter().map(|c| region(c).unwrap()).collect()
+    fn regions(traces: &TraceSet) -> Vec<RegionId> {
+        DEPLOYED.iter().map(|c| traces.id_of(c).unwrap()).collect()
     }
 
     fn run<P: Policy>(policy: &mut P, jobs: &[Job], horizon: usize) -> crate::SimReport {
         let traces = builtin_dataset();
-        let rs = regions();
+        let rs = regions(&traces);
         let start = jobs.iter().map(|j| j.arrival).min().unwrap();
         let mut sim = Simulator::new(&traces, &rs, SimConfig::new(start, horizon, 16));
         let report = sim.run(policy, jobs);
@@ -144,22 +135,26 @@ mod tests {
     }
 
     fn workload() -> Vec<Job> {
+        let traces = builtin_dataset();
+        let pl = traces.id_of("PL").unwrap();
         let start = year_start(2022).plus(60 * 24);
         (0..8)
-            .map(|i| Job::batch(i + 1, "PL", start.plus(i as usize * 7), 6.0, Slack::Day))
+            .map(|i| Job::batch(i + 1, pl, start.plus(i as usize * 7), 6.0, Slack::Day))
             .collect()
     }
 
     #[test]
     fn combined_policy_beats_both_single_dimension_policies() {
+        let traces = builtin_dataset();
+        let rs = regions(&traces);
         let jobs = workload();
         let combined = run(
-            &mut SpatioTemporal::new(&regions(), 1000.0, SeasonalNaive::daily()),
+            &mut SpatioTemporal::new(&traces, &rs, 1000.0, SeasonalNaive::daily()),
             &jobs,
             24 * 5,
         );
         let spatial_only = run(
-            &mut LatencyAwareRouter::new(&regions(), 1000.0),
+            &mut LatencyAwareRouter::new(&traces, &rs, 1000.0),
             &jobs,
             24 * 5,
         );
@@ -184,9 +179,12 @@ mod tests {
 
     #[test]
     fn zero_slo_reduces_to_forecast_deferral() {
+        let traces = builtin_dataset();
+        let rs = regions(&traces);
+        let pl = traces.id_of("PL").unwrap();
         let jobs = workload();
         let pinned = run(
-            &mut SpatioTemporal::new(&regions(), 0.0, SeasonalNaive::daily()),
+            &mut SpatioTemporal::new(&traces, &rs, 0.0, SeasonalNaive::daily()),
             &jobs,
             24 * 5,
         );
@@ -196,18 +194,21 @@ mod tests {
             24 * 5,
         );
         assert!((pinned.total_emissions_g - deferral.total_emissions_g).abs() < 1e-9);
-        assert!(pinned.completed.iter().all(|c| c.region == "PL"));
+        assert!(pinned.completed.iter().all(|c| c.region == pl));
     }
 
     #[test]
     fn jobs_land_in_sweden_and_wait_for_valleys() {
+        let traces = builtin_dataset();
+        let rs = regions(&traces);
+        let se = traces.id_of("SE").unwrap();
         let jobs = workload();
         let report = run(
-            &mut SpatioTemporal::new(&regions(), 1000.0, SeasonalNaive::daily()),
+            &mut SpatioTemporal::new(&traces, &rs, 1000.0, SeasonalNaive::daily()),
             &jobs,
             24 * 5,
         );
-        assert!(report.completed.iter().all(|c| c.region == "SE"));
+        assert!(report.completed.iter().all(|c| c.region == se));
         // At least some job used its slack (started after arrival) or all
         // started immediately because SE is flat — either way waits are
         // bounded by the slack.
@@ -218,14 +219,17 @@ mod tests {
 
     #[test]
     fn pinned_jobs_stay_home_but_still_defer() {
+        let traces = builtin_dataset();
+        let rs = regions(&traces);
+        let de = traces.id_of("DE").unwrap();
         let start = year_start(2022).plus(90 * 24);
-        let mut job = Job::batch(1, "DE", start, 4.0, Slack::Day);
+        let mut job = Job::batch(1, de, start, 4.0, Slack::Day);
         job.migratable = false;
         let report = run(
-            &mut SpatioTemporal::new(&regions(), 1000.0, SeasonalNaive::daily()),
+            &mut SpatioTemporal::new(&traces, &rs, 1000.0, SeasonalNaive::daily()),
             &[job],
             24 * 4,
         );
-        assert_eq!(report.completed[0].region, "DE");
+        assert_eq!(report.completed[0].region, de);
     }
 }

@@ -81,13 +81,27 @@ pub fn write_dataset<W: Write>(set: &crate::TraceSet, out: &mut W) -> Result<(),
 /// carbon-information service in the same `zone,hour,value` shape).
 ///
 /// Rows must be grouped by zone with contiguous ascending hours inside
-/// each group; every zone code must exist in the built-in catalog, which
-/// supplies the region metadata (geography, providers, generation mix)
-/// the policies need.
+/// each group; a zone reappearing after another zone's group started is
+/// a [`TraceError::Parse`] (the second block would silently shadow the
+/// first). Zone codes are *not* restricted to the built-in catalog:
+/// known codes take their metadata from it, and unknown codes are
+/// interned with [`crate::Region::user`] defaults — pass explicit
+/// metadata via [`read_dataset_with`] to override.
 pub fn read_dataset<R: Read>(input: R) -> Result<crate::TraceSet, TraceError> {
+    read_dataset_with(input, &[])
+}
+
+/// [`read_dataset`] with sidecar metadata: `extra` regions (e.g. from
+/// [`crate::sidecar::parse_region_sidecar`]) take precedence over the
+/// built-in catalog, which in turn beats the [`crate::Region::user`]
+/// defaults.
+pub fn read_dataset_with<R: Read>(
+    input: R,
+    extra: &[crate::Region],
+) -> Result<crate::TraceSet, TraceError> {
     let reader = BufReader::new(input);
-    let mut pairs: Vec<(&'static crate::Region, TimeSeries)> = Vec::new();
-    let mut current: Option<(&'static crate::Region, Hour, Vec<f64>)> = None;
+    let mut pairs: Vec<(crate::Region, TimeSeries)> = Vec::new();
+    let mut current: Option<(crate::Region, Hour, Vec<f64>)> = None;
     for (i, line) in reader.lines().enumerate() {
         let line = line?;
         let line = line.trim();
@@ -111,22 +125,27 @@ pub fn read_dataset<R: Read>(input: R) -> Result<crate::TraceSet, TraceError> {
             line: i + 1,
             message: format!("bad value: {e}"),
         })?;
+        let zone = zone.trim();
         let switch = match &current {
-            Some((region, _, _)) => region.code != zone.trim(),
+            Some((region, _, _)) => region.code != zone,
             None => true,
         };
         if switch {
             if let Some((region, start, values)) = current.take() {
                 pairs.push((region, TimeSeries::new(start, values)));
             }
-            let region = crate::catalog::region(zone.trim())
-                .ok_or_else(|| TraceError::UnknownRegion(zone.trim().to_string()))?;
-            if pairs.iter().any(|(r, _)| r.code == region.code) {
+            if pairs.iter().any(|(r, _)| r.code == zone) {
                 return Err(TraceError::Parse {
                     line: i + 1,
                     message: format!("zone {zone} appears in two separate groups"),
                 });
             }
+            let region = extra
+                .iter()
+                .find(|r| r.code == zone)
+                .cloned()
+                .or_else(|| crate::catalog::region(zone).cloned())
+                .unwrap_or_else(|| crate::Region::user(zone));
             current = Some((region, Hour(hour), Vec::new()));
         }
         let (_, start, values) = current.as_mut().expect("set above");
@@ -142,7 +161,7 @@ pub fn read_dataset<R: Read>(input: R) -> Result<crate::TraceSet, TraceError> {
     if let Some((region, start, values)) = current.take() {
         pairs.push((region, TimeSeries::new(start, values)));
     }
-    Ok(crate::TraceSet::from_series(pairs))
+    crate::TraceSet::try_from_series(pairs)
 }
 
 #[cfg(test)]
@@ -205,11 +224,11 @@ mod tests {
         use crate::catalog;
         let pairs = vec![
             (
-                catalog::region("SE").unwrap(),
+                catalog::region("SE").unwrap().clone(),
                 TimeSeries::new(Hour(10), vec![16.0, 17.5, 15.0]),
             ),
             (
-                catalog::region("DE").unwrap(),
+                catalog::region("DE").unwrap().clone(),
                 TimeSeries::new(Hour(10), vec![380.0, 410.0, 395.0]),
             ),
         ];
@@ -228,15 +247,49 @@ mod tests {
     }
 
     #[test]
-    fn dataset_rejects_unknown_zone() {
-        let input = "zone,hour,ci\nZZ-NOWHERE,0,100.0\n";
-        let err = read_dataset(input.as_bytes()).unwrap_err();
-        assert_eq!(err, TraceError::UnknownRegion("ZZ-NOWHERE".into()));
+    fn dataset_accepts_unknown_zones_with_default_metadata() {
+        let input = "zone,hour,ci\nZZ-NOWHERE,0,100.0\nZZ-NOWHERE,1,120.0\nSE,0,16.0\n";
+        let set = read_dataset(input.as_bytes()).unwrap();
+        assert_eq!(set.len(), 2);
+        let unknown = set.region("ZZ-NOWHERE").unwrap();
+        assert_eq!(unknown.group, crate::GeoGroup::Other);
+        assert_eq!(unknown.name, "ZZ-NOWHERE");
+        assert_eq!(set.series("ZZ-NOWHERE").unwrap().len(), 2);
+        // Catalog zones still carry catalog metadata.
+        assert_eq!(set.region("SE").unwrap().name, "Sweden");
+    }
+
+    #[test]
+    fn dataset_sidecar_metadata_beats_catalog_and_defaults() {
+        let mut custom = crate::Region::user("ZZ-NOWHERE");
+        custom.name = "Nowhere Grid".to_string();
+        custom.group = crate::GeoGroup::Africa;
+        let mut shadow_se = crate::Region::user("SE");
+        shadow_se.name = "Sidecar Sweden".to_string();
+        let input = "zone,hour,ci\nZZ-NOWHERE,0,100.0\nSE,0,16.0\n";
+        let set = read_dataset_with(input.as_bytes(), &[custom, shadow_se]).unwrap();
+        assert_eq!(set.region("ZZ-NOWHERE").unwrap().name, "Nowhere Grid");
+        assert_eq!(
+            set.region("ZZ-NOWHERE").unwrap().group,
+            crate::GeoGroup::Africa
+        );
+        assert_eq!(set.region("SE").unwrap().name, "Sidecar Sweden");
     }
 
     #[test]
     fn dataset_rejects_split_groups() {
         let input = "zone,hour,ci\nSE,0,16.0\nDE,0,400.0\nSE,1,17.0\n";
+        let err = read_dataset(input.as_bytes()).unwrap_err();
+        assert!(matches!(err, TraceError::Parse { line: 4, .. }), "{err:?}");
+        match err {
+            TraceError::Parse { message, .. } => {
+                assert!(message.contains("two separate groups"), "{message}")
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Unknown zones get the same duplicate-block protection: the
+        // second ZZ block must not silently shadow the first.
+        let input = "zone,hour,ci\nZZ,0,10.0\nSE,0,16.0\nZZ,5,12.0\n";
         let err = read_dataset(input.as_bytes()).unwrap_err();
         assert!(matches!(err, TraceError::Parse { line: 4, .. }), "{err:?}");
     }

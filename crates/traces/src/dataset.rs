@@ -1,6 +1,5 @@
 //! The `TraceSet` container: every region's trace plus lookup helpers.
 
-use std::collections::HashMap;
 use std::sync::{Arc, OnceLock};
 
 use crate::catalog;
@@ -8,94 +7,173 @@ use crate::error::TraceError;
 use crate::region::{GeoGroup, Region};
 use crate::series::TimeSeries;
 use crate::synth::{SynthConfig, Synthesizer};
+use crate::table::{RegionId, RegionTable};
 use crate::time::{self, Hour};
 
-/// A set of carbon-intensity traces keyed by region code.
+/// A set of carbon-intensity traces over an interned [`RegionTable`].
 ///
-/// This is the dataset object every experiment consumes. The built-in set
-/// ([`builtin_dataset`]) covers all 123 catalog regions over 2020–2023.
+/// This is the dataset object every experiment consumes. Series are
+/// stored in a dense `Vec` indexed by [`RegionId`] — string lookups
+/// ([`TraceSet::series`], [`TraceSet::region`]) happen only at the API
+/// edge; the simulator's step loop and the planners index by id. The
+/// built-in set ([`builtin_dataset`]) interns all 123 catalog regions
+/// over 2020–2023; imported datasets and scenario files intern whatever
+/// regions they declare.
 #[derive(Debug, Clone)]
 pub struct TraceSet {
-    regions: Vec<&'static Region>,
-    series: HashMap<&'static str, TimeSeries>,
+    table: RegionTable,
+    series: Vec<TimeSeries>,
 }
 
 impl TraceSet {
     /// Builds a trace set by synthesizing every region in `regions`.
-    pub fn synthesize(regions: &[&'static Region], config: SynthConfig) -> Self {
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate region codes.
+    pub fn synthesize(regions: Vec<Region>, config: SynthConfig) -> Self {
         let synth = Synthesizer::new(config);
-        let mut series = HashMap::with_capacity(regions.len());
+        let mut set = Self {
+            table: RegionTable::new(),
+            series: Vec::with_capacity(regions.len()),
+        };
         for region in regions {
-            series.insert(region.code, synth.generate(region));
+            let series = synth.generate(&region);
+            set.table.intern(region).expect("unique region codes");
+            set.series.push(series);
         }
-        Self {
-            regions: regions.to_vec(),
-            series,
-        }
+        set
     }
 
     /// Builds a trace set from explicit `(region, series)` pairs.
-    pub fn from_series(pairs: Vec<(&'static Region, TimeSeries)>) -> Self {
-        let mut regions = Vec::with_capacity(pairs.len());
-        let mut series = HashMap::with_capacity(pairs.len());
-        for (region, s) in pairs {
-            regions.push(region);
-            series.insert(region.code, s);
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate region codes (use [`TraceSet::try_from_series`]
+    /// to handle them as errors).
+    pub fn from_series(pairs: Vec<(Region, TimeSeries)>) -> Self {
+        Self::try_from_series(pairs).expect("unique region codes")
+    }
+
+    /// Fallible [`TraceSet::from_series`]: errors on duplicate codes.
+    pub fn try_from_series(pairs: Vec<(Region, TimeSeries)>) -> Result<Self, TraceError> {
+        let mut set = Self {
+            table: RegionTable::new(),
+            series: Vec::with_capacity(pairs.len()),
+        };
+        for (region, series) in pairs {
+            set.table.intern(region)?;
+            set.series.push(series);
         }
-        Self { regions, series }
+        Ok(set)
+    }
+
+    /// Interns `regions` that are not yet covered and synthesizes their
+    /// traces with `config` — how scenario files add fully custom
+    /// regions on top of an existing dataset. Regions whose code is
+    /// already covered are left untouched (the dataset's trace wins).
+    pub fn extend_synthesized(&mut self, regions: Vec<Region>, config: SynthConfig) {
+        let synth = Synthesizer::new(config);
+        for region in regions {
+            if self.table.id(&region.code).is_some() {
+                continue;
+            }
+            let series = synth.generate(&region);
+            self.table.intern(region).expect("code checked above");
+            self.series.push(series);
+        }
     }
 
     /// Returns the number of regions.
     pub fn len(&self) -> usize {
-        self.regions.len()
+        self.table.len()
     }
 
     /// Returns `true` if the set holds no regions.
     pub fn is_empty(&self) -> bool {
-        self.regions.is_empty()
+        self.table.is_empty()
     }
 
-    /// Returns the regions in catalog order.
-    pub fn regions(&self) -> &[&'static Region] {
-        &self.regions
+    /// The interned region table (id ↔ code ↔ metadata).
+    pub fn table(&self) -> &RegionTable {
+        &self.table
+    }
+
+    /// Returns the regions in intern order, indexable by
+    /// [`RegionId::index`].
+    pub fn regions(&self) -> &[Region] {
+        self.table.regions()
+    }
+
+    /// All region ids, in intern order.
+    pub fn ids(&self) -> impl Iterator<Item = RegionId> + 'static {
+        self.table.ids()
+    }
+
+    /// Resolves a zone code to its dense id (the string edge).
+    pub fn id_of(&self, code: &str) -> Result<RegionId, TraceError> {
+        self.table
+            .id(code)
+            .ok_or_else(|| TraceError::UnknownRegion(code.to_string()))
+    }
+
+    /// The region metadata behind `id` (panics on a foreign id).
+    #[inline]
+    pub fn region_by_id(&self, id: RegionId) -> &Region {
+        self.table.get(id)
+    }
+
+    /// The trace behind `id` (panics on a foreign id).
+    #[inline]
+    pub fn series_by_id(&self, id: RegionId) -> &TimeSeries {
+        &self.series[id.index()]
+    }
+
+    /// The trace behind `id`, if the id belongs to this set.
+    #[inline]
+    pub fn try_series_by_id(&self, id: RegionId) -> Option<&TimeSeries> {
+        self.series.get(id.index())
+    }
+
+    /// The zone code behind `id` (panics on a foreign id).
+    #[inline]
+    pub fn code(&self, id: RegionId) -> &str {
+        self.table.code(id)
     }
 
     /// Returns the region metadata for `code`.
-    pub fn region(&self, code: &str) -> Result<&'static Region, TraceError> {
-        self.regions
-            .iter()
-            .find(|r| r.code == code)
-            .copied()
-            .ok_or_else(|| TraceError::UnknownRegion(code.to_string()))
+    pub fn region(&self, code: &str) -> Result<&Region, TraceError> {
+        Ok(self.table.get(self.id_of(code)?))
     }
 
     /// Returns the trace for `code`.
     pub fn series(&self, code: &str) -> Result<&TimeSeries, TraceError> {
-        self.series
-            .get(code)
-            .ok_or_else(|| TraceError::UnknownRegion(code.to_string()))
+        Ok(&self.series[self.id_of(code)?.index()])
     }
 
-    /// Iterates over `(region, series)` pairs in catalog order.
-    pub fn iter(&self) -> impl Iterator<Item = (&'static Region, &TimeSeries)> + '_ {
-        self.regions.iter().map(move |r| (*r, &self.series[r.code]))
+    /// Iterates over `(region, series)` pairs in intern order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Region, &TimeSeries)> + '_ {
+        self.table.regions().iter().zip(self.series.iter())
+    }
+
+    /// Iterates over `(id, region, series)` triples in intern order.
+    pub fn iter_ids(&self) -> impl Iterator<Item = (RegionId, &Region, &TimeSeries)> + '_ {
+        self.iter()
+            .enumerate()
+            .map(|(i, (r, s))| (RegionId(i as u16), r, s))
     }
 
     /// Returns the regions belonging to `group`.
-    pub fn regions_in_group(&self, group: GeoGroup) -> Vec<&'static Region> {
-        self.regions
+    pub fn regions_in_group(&self, group: GeoGroup) -> Vec<&Region> {
+        self.table
+            .regions()
             .iter()
             .filter(|r| r.group == group)
-            .copied()
             .collect()
     }
 
     /// Returns each region's mean CI over the window `[from, from+len)`.
-    pub fn window_means(
-        &self,
-        from: Hour,
-        len: usize,
-    ) -> Result<Vec<(&'static Region, f64)>, TraceError> {
+    pub fn window_means(&self, from: Hour, len: usize) -> Result<Vec<(&Region, f64)>, TraceError> {
         self.iter()
             .map(|(region, series)| {
                 let w = series.window(from, len)?;
@@ -105,7 +183,7 @@ impl TraceSet {
     }
 
     /// Returns each region's mean CI over calendar `year`.
-    pub fn annual_means(&self, year: i32) -> Vec<(&'static Region, f64)> {
+    pub fn annual_means(&self, year: i32) -> Vec<(&Region, f64)> {
         let start = time::year_start(year);
         let len = time::hours_in_year(year);
         self.iter()
@@ -122,7 +200,7 @@ impl TraceSet {
     /// fallback ranking for imported datasets that do not cover a full
     /// calendar year (see [`TraceSet::annual_means`] for the calendar
     /// version the paper's experiments use).
-    pub fn stored_means(&self) -> Vec<(&'static Region, f64)> {
+    pub fn stored_means(&self) -> Vec<(&Region, f64)> {
         self.iter()
             .map(|(region, series)| (region, series.mean()))
             .collect()
@@ -137,7 +215,7 @@ impl TraceSet {
 
     /// Returns the region with the lowest annual mean in `year` (Sweden in
     /// the built-in dataset) together with that mean.
-    pub fn greenest_region(&self, year: i32) -> (&'static Region, f64) {
+    pub fn greenest_region(&self, year: i32) -> (&Region, f64) {
         self.annual_means(year)
             .into_iter()
             .min_by(|a, b| a.1.total_cmp(&b.1))
@@ -151,8 +229,10 @@ pub fn builtin_dataset() -> Arc<TraceSet> {
     static DATASET: OnceLock<Arc<TraceSet>> = OnceLock::new();
     DATASET
         .get_or_init(|| {
-            let regions: Vec<&'static Region> = catalog::builtin_catalog().iter().collect();
-            Arc::new(TraceSet::synthesize(&regions, SynthConfig::default()))
+            Arc::new(TraceSet::synthesize(
+                catalog::builtin_catalog().to_vec(),
+                SynthConfig::default(),
+            ))
         })
         .clone()
 }
@@ -176,6 +256,26 @@ mod tests {
         let a = builtin_dataset();
         let b = builtin_dataset();
         assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn id_lookups_match_string_lookups() {
+        let data = builtin_dataset();
+        for (id, region, series) in data.iter_ids() {
+            assert_eq!(data.id_of(&region.code).unwrap(), id);
+            assert_eq!(data.code(id), region.code);
+            assert!(std::ptr::eq(data.region_by_id(id), region));
+            assert!(std::ptr::eq(data.series_by_id(id), series));
+            assert!(std::ptr::eq(
+                data.series(&region.code).unwrap(),
+                data.series_by_id(id)
+            ));
+        }
+        assert!(data.try_series_by_id(RegionId(9999)).is_none());
+        assert!(matches!(
+            data.id_of("NOPE"),
+            Err(TraceError::UnknownRegion(_))
+        ));
     }
 
     #[test]
@@ -228,5 +328,34 @@ mod tests {
         let oceania = data.regions_in_group(GeoGroup::Oceania);
         assert_eq!(oceania.len(), 7);
         assert!(oceania.iter().all(|r| r.group == GeoGroup::Oceania));
+    }
+
+    #[test]
+    fn duplicate_codes_error_in_try_from_series() {
+        let se = catalog::region("SE").unwrap().clone();
+        let pairs = vec![
+            (se.clone(), TimeSeries::new(Hour(0), vec![1.0])),
+            (se, TimeSeries::new(Hour(0), vec![2.0])),
+        ];
+        assert!(matches!(
+            TraceSet::try_from_series(pairs),
+            Err(TraceError::DuplicateRegion(code)) if code == "SE"
+        ));
+    }
+
+    #[test]
+    fn extend_synthesized_interns_only_new_regions() {
+        let se = catalog::region("SE").unwrap().clone();
+        let mut set = TraceSet::from_series(vec![(se, TimeSeries::new(Hour(0), vec![16.0]))]);
+        let custom = Region::user("XX-NEW");
+        set.extend_synthesized(
+            vec![custom, catalog::region("SE").unwrap().clone()],
+            SynthConfig::default(),
+        );
+        assert_eq!(set.len(), 2, "SE kept its imported trace");
+        assert_eq!(set.series("SE").unwrap().len(), 1);
+        let new = set.series("XX-NEW").unwrap();
+        assert_eq!(new.len(), time::horizon_hours(), "synthesized full span");
+        assert!(new.mean() > 0.0);
     }
 }

@@ -12,6 +12,10 @@ pub enum TraceError {
     },
     /// A region code was not found in the catalog or dataset.
     UnknownRegion(String),
+    /// A region code was interned twice in one table.
+    DuplicateRegion(String),
+    /// A region table overflowed its dense `u16` id space.
+    TableFull(usize),
     /// A CSV record could not be parsed.
     Parse {
         /// Line number (1-based) of the malformed record.
@@ -31,6 +35,12 @@ impl std::fmt::Display for TraceError {
                 write!(f, "hour {hour} is outside the stored horizon")
             }
             TraceError::UnknownRegion(code) => write!(f, "unknown region code {code:?}"),
+            TraceError::DuplicateRegion(code) => {
+                write!(f, "region code {code:?} is already interned")
+            }
+            TraceError::TableFull(len) => {
+                write!(f, "region table is full ({len} regions; ids are u16)")
+            }
             TraceError::Parse { line, message } => {
                 write!(f, "parse error on line {line}: {message}")
             }

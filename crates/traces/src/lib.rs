@@ -41,7 +41,9 @@ pub mod mix;
 pub mod region;
 pub mod rng;
 pub mod series;
+pub mod sidecar;
 pub mod synth;
+pub mod table;
 pub mod time;
 pub mod validate;
 
@@ -51,7 +53,9 @@ pub use error::TraceError;
 pub use mix::{EnergyMix, Source};
 pub use region::{GeoGroup, Providers, Region};
 pub use series::{PrefixSum, TimeSeries};
+pub use sidecar::parse_region_sidecar;
 pub use synth::{SynthConfig, Synthesizer};
+pub use table::{RegionId, RegionTable};
 pub use time::{Hour, HOURS_PER_DAY, HOURS_PER_WEEK, HOURS_PER_YEAR};
 pub use validate::{repair, validate, ValidationConfig, ValidationReport};
 

@@ -81,6 +81,21 @@ impl Source {
             Source::Biomass => "biomass",
         }
     }
+
+    /// Parses a source label (metadata sidecars, scenario files).
+    pub fn parse(label: &str) -> Result<Source, String> {
+        let needle = label.trim().to_lowercase();
+        Source::ALL
+            .into_iter()
+            .find(|s| s.label() == needle)
+            .ok_or_else(|| {
+                let valid: Vec<&str> = Source::ALL.iter().map(|s| s.label()).collect();
+                format!(
+                    "unknown energy source `{label}` (valid: {})",
+                    valid.join(", ")
+                )
+            })
+    }
 }
 
 /// A region's annual average generation mix (shares sum to 1).

@@ -1,6 +1,6 @@
 //! Region metadata: geography, cloud presence, and calibration targets.
 
-use crate::mix::EnergyMix;
+use crate::mix::{EnergyMix, Source};
 
 /// Geographical grouping used throughout the paper's spatial analysis.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -17,10 +17,15 @@ pub enum GeoGroup {
     SouthAmerica,
     /// Australian and New Zealand zones.
     Oceania,
+    /// User-defined zones outside the paper's continental grouping
+    /// (imported datasets and scenario-file regions default here).
+    Other,
 }
 
 impl GeoGroup {
-    /// All groupings, in display order.
+    /// The catalog's groupings, in display order. [`GeoGroup::Other`] is
+    /// excluded: it only appears on user-defined regions, so group-wise
+    /// sweeps over the built-in dataset stay non-empty.
     pub const ALL: [GeoGroup; 6] = [
         GeoGroup::Africa,
         GeoGroup::Asia,
@@ -39,6 +44,25 @@ impl GeoGroup {
             GeoGroup::NorthAmerica => "N. America",
             GeoGroup::SouthAmerica => "S. America",
             GeoGroup::Oceania => "Oceania",
+            GeoGroup::Other => "Other",
+        }
+    }
+
+    /// Parses a grouping from sidecar/scenario-file text. Accepts the
+    /// table labels plus friendlier aliases (case-insensitive).
+    pub fn parse(text: &str) -> Result<GeoGroup, String> {
+        match text.trim().to_lowercase().as_str() {
+            "africa" => Ok(GeoGroup::Africa),
+            "asia" => Ok(GeoGroup::Asia),
+            "europe" => Ok(GeoGroup::Europe),
+            "northamerica" | "north-america" | "n. america" | "na" => Ok(GeoGroup::NorthAmerica),
+            "southamerica" | "south-america" | "s. america" | "sa" => Ok(GeoGroup::SouthAmerica),
+            "oceania" => Ok(GeoGroup::Oceania),
+            "other" => Ok(GeoGroup::Other),
+            other => Err(format!(
+                "unknown geography group `{other}` (valid: africa, asia, europe, \
+                 north-america, south-america, oceania, other)"
+            )),
         }
     }
 }
@@ -104,13 +128,18 @@ impl std::ops::BitOr for Providers {
     }
 }
 
-/// Static metadata for one grid region (an Electricity Maps-style zone).
+/// Metadata for one grid region (an Electricity Maps-style zone).
+///
+/// Regions are owned values: the built-in catalog is just one source of
+/// them, and imported datasets or scenario files can declare their own
+/// (see [`Region::user`] and [`Region::from_pairs`]). Identity inside a
+/// dataset is the interned [`crate::table::RegionId`], not this struct.
 #[derive(Debug, Clone)]
 pub struct Region {
     /// Zone code, e.g. `"SE"` or `"US-CA"`.
-    pub code: &'static str,
+    pub code: String,
     /// Human-readable name.
-    pub name: &'static str,
+    pub name: String,
     /// Geographical grouping.
     pub group: GeoGroup,
     /// Latitude in degrees (region centroid / main metro).
@@ -153,6 +182,119 @@ impl Region {
     pub fn has_datacenter(&self) -> bool {
         !self.providers.is_empty()
     }
+
+    /// A user-defined region with default metadata: the fallback
+    /// [`crate::csv::read_dataset`] interns for zones that are neither in
+    /// the built-in catalog nor described by a metadata sidecar. The
+    /// calibration targets sit at the paper's global averages (mean CI
+    /// [`crate::GLOBAL_AVG_CI`], mild daily variability, a diurnal
+    /// cycle); geography defaults to [`GeoGroup::Other`] at (0°, 0°), so
+    /// latency-aware policies treat the zone as a distant island until a
+    /// sidecar supplies coordinates.
+    pub fn user(code: &str) -> Region {
+        Region {
+            code: code.to_string(),
+            name: code.to_string(),
+            group: GeoGroup::Other,
+            lat: 0.0,
+            lon: 0.0,
+            providers: Providers::NONE,
+            // A middle-of-the-road fossil/renewable split whose implied
+            // CI sits near the global average.
+            mix: EnergyMix::new([0.25, 0.25, 0.0, 0.1, 0.2, 0.1, 0.1, 0.0, 0.0]),
+            mean_ci_2022: crate::GLOBAL_AVG_CI,
+            ci_delta_2020_2022: 0.0,
+            daily_cv: 0.08,
+            periodicity: 0.8,
+            hyperscale_set: false,
+        }
+    }
+
+    /// Builds a region from `key = value` pairs (metadata sidecars and
+    /// scenario-file `[region CODE]` sections). Every key is optional on
+    /// top of the [`Region::user`] defaults: `name`, `group`, `lat`,
+    /// `lon`, `mean_ci`, `ci_delta`, `daily_cv`, `periodicity`, and
+    /// `mix` (a `source:share` list, e.g. `mix = hydro:0.6, wind:0.4`).
+    /// Unknown keys and unparseable values are errors.
+    pub fn from_pairs(code: &str, pairs: &[(String, String)]) -> Result<Region, String> {
+        let mut region = Region::user(code);
+        for (key, raw) in pairs {
+            let parse_f64 = || -> Result<f64, String> {
+                raw.trim()
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|v| v.is_finite())
+                    .ok_or_else(|| format!("invalid value `{raw}` for region key `{key}`"))
+            };
+            match key.as_str() {
+                "name" => region.name = raw.trim().to_string(),
+                "group" => region.group = GeoGroup::parse(raw)?,
+                "lat" => region.lat = parse_f64()?,
+                "lon" => region.lon = parse_f64()?,
+                "mean_ci" => {
+                    let v = parse_f64()?;
+                    if v <= 0.0 {
+                        return Err("`mean_ci` must be positive".into());
+                    }
+                    region.mean_ci_2022 = v;
+                }
+                "ci_delta" => region.ci_delta_2020_2022 = parse_f64()?,
+                "daily_cv" => {
+                    let v = parse_f64()?;
+                    if v < 0.0 {
+                        return Err("`daily_cv` must be non-negative".into());
+                    }
+                    region.daily_cv = v;
+                }
+                "periodicity" => {
+                    let v = parse_f64()?;
+                    if !(0.0..=1.0).contains(&v) {
+                        return Err("`periodicity` must lie in [0, 1]".into());
+                    }
+                    region.periodicity = v;
+                }
+                "mix" => region.mix = parse_mix(raw)?,
+                other => {
+                    return Err(format!(
+                        "unknown region key `{other}` (valid: name, group, lat, lon, \
+                         mean_ci, ci_delta, daily_cv, periodicity, mix)"
+                    ))
+                }
+            }
+        }
+        Ok(region)
+    }
+}
+
+/// Parses `source:share` lists into an [`EnergyMix`], normalizing the
+/// shares to sum to one.
+fn parse_mix(raw: &str) -> Result<EnergyMix, String> {
+    let mut shares = [0.0f64; 9];
+    for part in raw.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let (label, value) = part
+            .split_once(':')
+            .ok_or_else(|| format!("invalid mix entry `{part}` (use source:share)"))?;
+        let source = Source::parse(label)?;
+        let share: f64 = value
+            .trim()
+            .parse()
+            .ok()
+            .filter(|v: &f64| v.is_finite() && *v >= 0.0)
+            .ok_or_else(|| format!("invalid mix share `{value}` for `{label}`"))?;
+        shares[source as usize] += share;
+    }
+    let total: f64 = shares.iter().sum();
+    if total <= 0.0 {
+        return Err("`mix` must list at least one positive share".into());
+    }
+    for share in &mut shares {
+        *share /= total;
+    }
+    Ok(EnergyMix::new(shares))
 }
 
 #[cfg(test)]
@@ -162,8 +304,8 @@ mod tests {
 
     fn region(mean: f64, delta: f64) -> Region {
         Region {
-            code: "XX",
-            name: "Test",
+            code: "XX".into(),
+            name: "Test".into(),
             group: GeoGroup::Europe,
             lat: 0.0,
             lon: 0.0,
@@ -214,6 +356,21 @@ mod tests {
         dedup.dedup();
         assert_eq!(dedup.len(), labels.len());
         assert_eq!(format!("{}", GeoGroup::Oceania), "Oceania");
+        assert!(!GeoGroup::ALL.contains(&GeoGroup::Other));
+        assert_eq!(GeoGroup::Other.label(), "Other");
+    }
+
+    #[test]
+    fn group_parse_round_trips_and_accepts_aliases() {
+        for group in GeoGroup::ALL.into_iter().chain([GeoGroup::Other]) {
+            assert_eq!(GeoGroup::parse(group.label()).unwrap(), group);
+        }
+        assert_eq!(
+            GeoGroup::parse("north-america").unwrap(),
+            GeoGroup::NorthAmerica
+        );
+        assert_eq!(GeoGroup::parse(" EUROPE ").unwrap(), GeoGroup::Europe);
+        assert!(GeoGroup::parse("atlantis").is_err());
     }
 
     #[test]
@@ -222,5 +379,79 @@ mod tests {
         assert!(r.has_datacenter());
         r.providers = Providers::NONE;
         assert!(!r.has_datacenter());
+    }
+
+    #[test]
+    fn user_region_defaults() {
+        let r = Region::user("XX-NEW");
+        assert_eq!(r.code, "XX-NEW");
+        assert_eq!(r.name, "XX-NEW");
+        assert_eq!(r.group, GeoGroup::Other);
+        assert!(!r.has_datacenter());
+        assert!((r.mean_ci_2022 - crate::GLOBAL_AVG_CI).abs() < 1e-9);
+        let total: f64 = crate::mix::Source::ALL
+            .iter()
+            .map(|&s| r.mix.share(s))
+            .sum();
+        assert!((total - 1.0).abs() < 1e-9, "mix shares sum to one");
+    }
+
+    fn pairs(kv: &[(&str, &str)]) -> Vec<(String, String)> {
+        kv.iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn from_pairs_overrides_defaults() {
+        let r = Region::from_pairs(
+            "XX-HYDRO",
+            &pairs(&[
+                ("name", "Hydrotopia"),
+                ("group", "south-america"),
+                ("lat", "-10.5"),
+                ("lon", "-55"),
+                ("mean_ci", "45"),
+                ("ci_delta", "-8"),
+                ("daily_cv", "0.03"),
+                ("periodicity", "0.4"),
+                ("mix", "hydro:0.8, wind:0.2"),
+            ]),
+        )
+        .unwrap();
+        assert_eq!(r.name, "Hydrotopia");
+        assert_eq!(r.group, GeoGroup::SouthAmerica);
+        assert_eq!(r.lat, -10.5);
+        assert_eq!(r.mean_ci_2022, 45.0);
+        assert_eq!(r.ci_delta_2020_2022, -8.0);
+        assert!((r.mix.share(Source::Hydro) - 0.8).abs() < 1e-9);
+        assert!((r.mix.share(Source::Wind) - 0.2).abs() < 1e-9);
+        assert_eq!(r.mix.share(Source::Coal), 0.0);
+    }
+
+    #[test]
+    fn from_pairs_normalizes_mix_shares() {
+        let r = Region::from_pairs("XX", &pairs(&[("mix", "coal:3, hydro:1")])).unwrap();
+        assert!((r.mix.share(Source::Coal) - 0.75).abs() < 1e-9);
+        assert!((r.mix.share(Source::Hydro) - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_pairs_rejects_bad_inputs() {
+        for (kv, needle) in [
+            (vec![("group", "atlantis")], "unknown geography group"),
+            (vec![("lat", "north")], "invalid value"),
+            (vec![("mean_ci", "-5")], "must be positive"),
+            (vec![("periodicity", "1.5")], "[0, 1]"),
+            (vec![("daily_cv", "-0.1")], "non-negative"),
+            (vec![("mix", "plutonium:1")], "unknown energy source"),
+            (vec![("mix", "coal")], "source:share"),
+            (vec![("mix", "coal:-1")], "invalid mix share"),
+            (vec![("mix", "coal:0")], "at least one positive share"),
+            (vec![("flux", "1")], "unknown region key"),
+        ] {
+            let err = Region::from_pairs("XX", &pairs(&kv)).unwrap_err();
+            assert!(err.contains(needle), "{kv:?}: got `{err}`");
+        }
     }
 }

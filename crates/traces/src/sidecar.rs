@@ -1,0 +1,160 @@
+//! Region-metadata sidecars: `[region CODE]` files for imported datasets.
+//!
+//! [`crate::csv::read_dataset`] accepts zones outside the built-in
+//! catalog, interning them with [`Region::user`] defaults. A sidecar
+//! file supplies real metadata instead — geography for latency-aware
+//! routing, a generation mix, calibration targets — in the same
+//! INI-like grammar as scenario files:
+//!
+//! ```text
+//! # metadata for a zone the catalog does not know
+//! [region XX-HYDRO]
+//! name = Hydrotopia
+//! group = south-america
+//! lat = -10.5
+//! lon = -55.0
+//! mean_ci = 45
+//! mix = hydro:0.8, wind:0.2
+//! ```
+//!
+//! Every key is optional (see [`Region::from_pairs`] for the full set);
+//! the CLI wires this up as `--data FILE --regions SIDECAR`.
+
+use crate::error::TraceError;
+use crate::region::Region;
+
+fn err(line: usize, message: impl Into<String>) -> TraceError {
+    TraceError::Parse {
+        line,
+        message: message.into(),
+    }
+}
+
+/// An open `[region CODE]` section: code, header line, pairs so far.
+type OpenSection = Option<(String, usize, Vec<(String, String)>)>;
+
+/// Parses a sidecar document into regions, in declaration order.
+pub fn parse_region_sidecar(text: &str) -> Result<Vec<Region>, TraceError> {
+    let mut regions: Vec<Region> = Vec::new();
+    let mut current: OpenSection = None;
+    let finish = |current: &mut OpenSection, regions: &mut Vec<Region>| -> Result<(), TraceError> {
+        if let Some((code, line, pairs)) = current.take() {
+            let region = Region::from_pairs(&code, &pairs).map_err(|e| err(line, e))?;
+            if regions.iter().any(|r| r.code == region.code) {
+                return Err(err(line, format!("duplicate region `{code}`")));
+            }
+            regions.push(region);
+        }
+        Ok(())
+    };
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = match raw.find('#') {
+            Some(pos) => &raw[..pos],
+            None => raw,
+        }
+        .trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('[') {
+            let Some(header) = header.strip_suffix(']') else {
+                return Err(err(line_no, format!("unterminated section header `{raw}`")));
+            };
+            let mut parts = header.split_whitespace();
+            let kind = parts.next().unwrap_or("");
+            let code = parts.next().unwrap_or("");
+            if kind != "region" || code.is_empty() || parts.next().is_some() {
+                return Err(err(
+                    line_no,
+                    "sidecar sections are `[region CODE]`".to_string(),
+                ));
+            }
+            finish(&mut current, &mut regions)?;
+            current = Some((code.to_uppercase(), line_no, Vec::new()));
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(err(
+                line_no,
+                format!("expected `key = value`, got `{line}`"),
+            ));
+        };
+        let Some((_, _, pairs)) = current.as_mut() else {
+            return Err(err(line_no, "`key = value` before any `[region CODE]`"));
+        };
+        let key = key.trim().to_string();
+        if key.is_empty() {
+            return Err(err(line_no, "empty key"));
+        }
+        if pairs.iter().any(|(k, _)| *k == key) {
+            return Err(err(line_no, format!("duplicate key `{key}`")));
+        }
+        pairs.push((key, value.trim().to_string()));
+    }
+    finish(&mut current, &mut regions)?;
+    Ok(regions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::GeoGroup;
+
+    const EXAMPLE: &str = "\
+# Two user zones.
+[region xx-hydro]
+name = Hydrotopia
+group = south-america
+lat = -10.5
+lon = -55.0
+mean_ci = 45
+mix = hydro:0.8, wind:0.2
+
+[region XX-COAL]
+name = Coalville
+mean_ci = 700
+";
+
+    #[test]
+    fn sidecar_parses_regions_in_order() {
+        let regions = parse_region_sidecar(EXAMPLE).unwrap();
+        assert_eq!(regions.len(), 2);
+        assert_eq!(regions[0].code, "XX-HYDRO", "codes are upper-cased");
+        assert_eq!(regions[0].name, "Hydrotopia");
+        assert_eq!(regions[0].group, GeoGroup::SouthAmerica);
+        assert_eq!(regions[1].code, "XX-COAL");
+        assert_eq!(regions[1].mean_ci_2022, 700.0);
+        assert_eq!(regions[1].group, GeoGroup::Other, "defaults fill gaps");
+    }
+
+    #[test]
+    fn empty_sidecar_is_fine() {
+        assert!(parse_region_sidecar("# nothing\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn malformed_sidecars_error_with_line_numbers() {
+        for (text, line, needle) in [
+            ("name = X\n", 1, "before any `[region"),
+            ("[region\n", 1, "unterminated"),
+            ("[zone XX]\n", 1, "`[region CODE]`"),
+            ("[region]\n", 1, "`[region CODE]`"),
+            ("[region XX extra]\n", 1, "`[region CODE]`"),
+            ("[region XX]\nname X\n", 2, "expected `key = value`"),
+            ("[region XX]\nname = A\nname = B\n", 3, "duplicate key"),
+            ("[region XX]\ngroup = atlantis\n", 1, "unknown geography"),
+            ("[region XX]\n\n[region XX]\n", 3, "duplicate region"),
+        ] {
+            let error = parse_region_sidecar(text).unwrap_err();
+            let TraceError::Parse {
+                line: at, message, ..
+            } = error
+            else {
+                panic!("{text:?}: wrong error kind");
+            };
+            assert_eq!(at, line, "{text:?}: {message}");
+            assert!(message.contains(needle), "{text:?}: {message}");
+        }
+    }
+}

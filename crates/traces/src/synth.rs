@@ -86,7 +86,7 @@ impl Synthesizer {
 
     /// Generates the dimensionless shape signal before calibration.
     fn raw_shape(&self, region: &Region, start: Hour, total: usize) -> Vec<f64> {
-        let mut rng = Xoshiro256::from_label(region.code, self.config.seed);
+        let mut rng = Xoshiro256::from_label(&region.code, self.config.seed);
         let solar_share = region.mix.share(crate::mix::Source::Solar);
         let wind_share = region.mix.share(crate::mix::Source::Wind);
         let fossil_share = region.mix.fossil_share();

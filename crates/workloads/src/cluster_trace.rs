@@ -8,7 +8,7 @@
 
 use decarb_traces::rng::Xoshiro256;
 use decarb_traces::time::{hours_in_year, year_start};
-use decarb_traces::Hour;
+use decarb_traces::{Hour, RegionId};
 
 use crate::distribution::JobLengthDistribution;
 use crate::job::{Job, Slack, JOB_LENGTHS_HOURS};
@@ -52,7 +52,7 @@ pub struct ClusterTrace {
 
 impl ClusterTrace {
     /// Generates a trace for `origin` under `config`.
-    pub fn generate(origin: &'static str, config: &ClusterTraceConfig) -> Self {
+    pub fn generate(origin: RegionId, config: &ClusterTraceConfig) -> Self {
         let mut rng = Xoshiro256::seeded(config.seed);
         let counts = config.distribution.count_weights();
         let start = year_start(config.year).0;
@@ -126,7 +126,7 @@ mod tests {
 
     fn google_trace(jobs: usize) -> ClusterTrace {
         ClusterTrace::generate(
-            "US-VA",
+            RegionId(0),
             &ClusterTraceConfig {
                 jobs,
                 ..ClusterTraceConfig::default()

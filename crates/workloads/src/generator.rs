@@ -2,7 +2,7 @@
 
 use decarb_traces::rng::Xoshiro256;
 use decarb_traces::time::{hours_in_year, year_start};
-use decarb_traces::Hour;
+use decarb_traces::{Hour, RegionId};
 
 use crate::job::{Job, Slack};
 
@@ -51,7 +51,7 @@ impl MixedWorkload {
     pub fn sample(
         &self,
         n: usize,
-        origin: &'static str,
+        origin: RegionId,
         arrival: Hour,
         rng: &mut Xoshiro256,
     ) -> Vec<Job> {
@@ -83,7 +83,7 @@ impl MixedWorkload {
 /// workload used by every temporal experiment.
 pub fn hourly_batch_jobs(
     year: i32,
-    origin: &'static str,
+    origin: RegionId,
     length_hours: f64,
     slack: Slack,
     interruptible: bool,
@@ -120,7 +120,7 @@ mod tests {
     fn mixed_split_converges_to_fraction() {
         let workload = MixedWorkload::new(0.3);
         let mut rng = Xoshiro256::seeded(1);
-        let jobs = workload.sample(20_000, "US-CA", Hour(0), &mut rng);
+        let jobs = workload.sample(20_000, RegionId(0), Hour(0), &mut rng);
         let batch = jobs.iter().filter(|j| j.class == JobClass::Batch).count();
         let frac = batch as f64 / jobs.len() as f64;
         assert!((frac - 0.3).abs() < 0.02, "batch fraction {frac}");
@@ -136,9 +136,9 @@ mod tests {
     #[test]
     fn mixed_extremes() {
         let mut rng = Xoshiro256::seeded(2);
-        let all_batch = MixedWorkload::new(1.0).sample(100, "SE", Hour(0), &mut rng);
+        let all_batch = MixedWorkload::new(1.0).sample(100, RegionId(0), Hour(0), &mut rng);
         assert!(all_batch.iter().all(|j| j.class == JobClass::Batch));
-        let none_batch = MixedWorkload::new(0.0).sample(100, "SE", Hour(0), &mut rng);
+        let none_batch = MixedWorkload::new(0.0).sample(100, RegionId(0), Hour(0), &mut rng);
         assert!(none_batch.iter().all(|j| j.class == JobClass::Interactive));
         assert_eq!(MixedWorkload::new(0.25).expected_split(), (0.25, 0.75));
     }
@@ -151,12 +151,12 @@ mod tests {
 
     #[test]
     fn hourly_batch_jobs_shape() {
-        let jobs = hourly_batch_jobs(2022, "DE", 6.0, Slack::Day, true);
+        let jobs = hourly_batch_jobs(2022, RegionId(0), 6.0, Slack::Day, true);
         assert_eq!(jobs.len(), 8760);
         assert!(jobs.iter().all(|j| j.interruptible));
         assert!(jobs.iter().all(|j| j.length_hours == 6.0));
         assert_eq!(jobs[0].arrival, year_start(2022));
-        let not_int = hourly_batch_jobs(2022, "DE", 6.0, Slack::Day, false);
+        let not_int = hourly_batch_jobs(2022, RegionId(0), 6.0, Slack::Day, false);
         assert!(not_int.iter().all(|j| !j.interruptible));
     }
 }

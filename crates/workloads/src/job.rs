@@ -1,6 +1,6 @@
 //! The job model of Table 1.
 
-use decarb_traces::Hour;
+use decarb_traces::{Hour, RegionId};
 
 /// The job-length grid of Table 1, in hours.
 ///
@@ -111,19 +111,14 @@ pub struct Job {
     pub interruptible: bool,
     /// Whether the job may migrate to another region.
     pub migratable: bool,
-    /// Zone code of the submitting region.
-    pub origin: &'static str,
+    /// Interned id of the submitting region (resolved against the
+    /// active dataset's `RegionTable` at materialization time).
+    pub origin: RegionId,
 }
 
 impl Job {
     /// Creates a batch job with the given shape.
-    pub fn batch(
-        id: u64,
-        origin: &'static str,
-        arrival: Hour,
-        length_hours: f64,
-        slack: Slack,
-    ) -> Job {
+    pub fn batch(id: u64, origin: RegionId, arrival: Hour, length_hours: f64, slack: Slack) -> Job {
         Job {
             id,
             class: JobClass::Batch,
@@ -137,7 +132,7 @@ impl Job {
     }
 
     /// Creates an interactive job (no temporal flexibility).
-    pub fn interactive(id: u64, origin: &'static str, arrival: Hour) -> Job {
+    pub fn interactive(id: u64, origin: RegionId, arrival: Hour) -> Job {
         Job {
             id,
             class: JobClass::Interactive,
@@ -202,7 +197,7 @@ mod tests {
 
     #[test]
     fn batch_job_defaults() {
-        let job = Job::batch(1, "US-CA", Hour(10), 12.0, Slack::Day);
+        let job = Job::batch(1, RegionId(0), Hour(10), 12.0, Slack::Day);
         assert_eq!(job.class, JobClass::Batch);
         assert!(job.migratable);
         assert!(!job.interruptible);
@@ -216,7 +211,7 @@ mod tests {
 
     #[test]
     fn interactive_job_has_no_flexibility() {
-        let job = Job::interactive(2, "SE", Hour(0));
+        let job = Job::interactive(2, RegionId(1), Hour(0));
         assert_eq!(job.class, JobClass::Interactive);
         assert!(!job.migratable);
         assert_eq!(job.slack_hours(), 0);
@@ -236,7 +231,7 @@ mod tests {
 
     #[test]
     fn fractional_lengths_round_up_to_slots() {
-        let job = Job::batch(3, "DE", Hour(0), 1.5, Slack::None);
+        let job = Job::batch(3, RegionId(2), Hour(0), 1.5, Slack::None);
         assert_eq!(job.length_slots(), 2);
     }
 }

@@ -7,7 +7,7 @@
 //! sets of different sizes, which is what the scenario matrix needs.
 
 use decarb_traces::rng::Xoshiro256;
-use decarb_traces::Hour;
+use decarb_traces::{Hour, RegionId};
 
 use crate::job::{Job, Slack};
 
@@ -37,6 +37,28 @@ pub enum Arrival {
         /// RNG seed the per-origin streams derive from.
         seed: u64,
     },
+    /// Bursts of `burst_size` simultaneous submissions whose epochs
+    /// follow exponential gaps with mean `burst_size / rate_per_hour`,
+    /// so the long-run job rate matches `rate_per_hour`.
+    Bursty {
+        /// Mean submissions per hour from one origin (long-run).
+        rate_per_hour: f64,
+        /// Jobs submitted together at each burst epoch.
+        burst_size: usize,
+        /// RNG seed the per-origin streams derive from.
+        seed: u64,
+    },
+    /// A day/night-modulated Poisson process: the instantaneous rate is
+    /// `rate_per_hour × (1 + amplitude · sin(2π(h−6)/24))`, peaking at
+    /// local noon and bottoming out overnight.
+    Diurnal {
+        /// Mean submissions per hour from one origin (daily average).
+        rate_per_hour: f64,
+        /// Modulation depth in `[0, 1]` (0 = plain Poisson).
+        amplitude: f64,
+        /// RNG seed the per-origin streams derive from.
+        seed: u64,
+    },
 }
 
 impl Arrival {
@@ -45,10 +67,18 @@ impl Arrival {
         Arrival::Fixed { spacing_hours }
     }
 
-    /// Parses an arrival recipe: `fixed:<hours>` or `poisson:<rate>`
-    /// (jobs per hour; seeded with [`DEFAULT_ARRIVAL_SEED`]).
+    /// Parses an arrival recipe: `fixed:<hours>`, `poisson:<rate>`,
+    /// `bursty:<rate>,<burst-size>`, or `diurnal:<rate>,<amplitude>`
+    /// (rates in jobs per hour; random recipes are seeded with
+    /// [`DEFAULT_ARRIVAL_SEED`], overridable via `arrival_seed`).
     pub fn parse(raw: &str) -> Result<Arrival, String> {
         let (kind, value) = raw.split_once(':').unwrap_or((raw, ""));
+        let positive_rate = |text: &str| {
+            text.trim()
+                .parse::<f64>()
+                .ok()
+                .filter(|r| r.is_finite() && *r > 0.0)
+        };
         match kind.trim() {
             "fixed" => value
                 .trim()
@@ -67,8 +97,44 @@ impl Arrival {
                     seed: DEFAULT_ARRIVAL_SEED,
                 })
                 .ok_or_else(|| format!("invalid arrival `{raw}` (use poisson:<jobs per hour>)")),
+            "bursty" => {
+                let invalid =
+                    || format!("invalid arrival `{raw}` (use bursty:<rate>,<burst-size ≥ 1>)");
+                let (rate, burst) = value.split_once(',').ok_or_else(invalid)?;
+                let rate_per_hour = positive_rate(rate).ok_or_else(invalid)?;
+                let burst_size = burst
+                    .trim()
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&b| b >= 1)
+                    .ok_or_else(invalid)?;
+                Ok(Arrival::Bursty {
+                    rate_per_hour,
+                    burst_size,
+                    seed: DEFAULT_ARRIVAL_SEED,
+                })
+            }
+            "diurnal" => {
+                let invalid = || {
+                    format!("invalid arrival `{raw}` (use diurnal:<rate>,<amplitude in [0, 1]>)")
+                };
+                let (rate, amp) = value.split_once(',').ok_or_else(invalid)?;
+                let rate_per_hour = positive_rate(rate).ok_or_else(invalid)?;
+                let amplitude = amp
+                    .trim()
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|a| (0.0..=1.0).contains(a))
+                    .ok_or_else(invalid)?;
+                Ok(Arrival::Diurnal {
+                    rate_per_hour,
+                    amplitude,
+                    seed: DEFAULT_ARRIVAL_SEED,
+                })
+            }
             other => Err(format!(
-                "unknown arrival recipe `{other}` (valid: fixed:<hours>, poisson:<rate>)"
+                "unknown arrival recipe `{other}` (valid: fixed:<hours>, poisson:<rate>, \
+                 bursty:<rate>,<burst-size>, diurnal:<rate>,<amplitude>)"
             )),
         }
     }
@@ -82,7 +148,24 @@ impl Arrival {
                 rate_per_hour,
                 seed,
             } => format!("poisson:{rate_per_hour}:{seed}"),
+            Arrival::Bursty {
+                rate_per_hour,
+                burst_size,
+                seed,
+            } => format!("bursty:{rate_per_hour}:{burst_size}:{seed}"),
+            Arrival::Diurnal {
+                rate_per_hour,
+                amplitude,
+                seed,
+            } => format!("diurnal:{rate_per_hour}:{amplitude}:{seed}"),
         }
+    }
+
+    /// The per-origin RNG for the seeded recipes: an independent stream
+    /// per origin, decorrelated by mixing the origin index through a
+    /// SplitMix64 constant while staying deterministic.
+    fn origin_rng(seed: u64, origin_index: usize) -> Xoshiro256 {
+        Xoshiro256::seeded(seed ^ (origin_index as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
     }
 
     /// Arrival offsets (hours past the population start) for origin
@@ -97,12 +180,7 @@ impl Arrival {
                 rate_per_hour,
                 seed,
             } => {
-                // An independent stream per origin: mixing the origin
-                // index through a SplitMix64 constant keeps streams
-                // decorrelated while staying deterministic.
-                let mut rng = Xoshiro256::seeded(
-                    seed ^ (origin_index as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-                );
+                let mut rng = Self::origin_rng(*seed, origin_index);
                 let mut t = origin_index as f64;
                 (0..count)
                     .map(|_| {
@@ -110,6 +188,59 @@ impl Arrival {
                         // ln(1 - u) is finite.
                         t += -(1.0 - rng.uniform()).ln() / rate_per_hour;
                         t.round() as usize
+                    })
+                    .collect()
+            }
+            Arrival::Bursty {
+                rate_per_hour,
+                burst_size,
+                seed,
+            } => {
+                let mut rng = Self::origin_rng(*seed, origin_index);
+                let mut t = origin_index as f64;
+                // Burst epochs keep the long-run job rate at
+                // `rate_per_hour` by spacing bursts `burst_size / rate`
+                // apart on average.
+                let epoch_rate = rate_per_hour / *burst_size as f64;
+                let mut offsets = Vec::with_capacity(count);
+                while offsets.len() < count {
+                    t += -(1.0 - rng.uniform()).ln() / epoch_rate;
+                    let epoch = t.round() as usize;
+                    for _ in 0..*burst_size {
+                        if offsets.len() == count {
+                            break;
+                        }
+                        offsets.push(epoch);
+                    }
+                }
+                offsets
+            }
+            Arrival::Diurnal {
+                rate_per_hour,
+                amplitude,
+                seed,
+            } => {
+                let mut rng = Self::origin_rng(*seed, origin_index);
+                // Time-rescaled inhomogeneous Poisson: draw unit-rate
+                // exponential targets in integrated-intensity space and
+                // advance hour by hour until the running integral of
+                // λ(h) = rate·(1 + amplitude·sin(2π(h−6)/24)) covers
+                // them — λ is non-negative for amplitude ≤ 1.
+                let lambda = |hour: usize| {
+                    let phase = 2.0 * std::f64::consts::PI * ((hour % 24) as f64 - 6.0) / 24.0;
+                    rate_per_hour * (1.0 + amplitude * phase.sin())
+                };
+                let mut hour = origin_index;
+                let mut integral = 0.0f64;
+                let mut target = 0.0f64;
+                (0..count)
+                    .map(|_| {
+                        target += -(1.0 - rng.uniform()).ln();
+                        while integral < target {
+                            integral += lambda(hour).max(1e-12);
+                            hour += 1;
+                        }
+                        hour - 1
                     })
                     .collect()
             }
@@ -123,7 +254,8 @@ impl Arrival {
             Arrival::Fixed { spacing_hours } => {
                 count.saturating_sub(1) * spacing_hours + origins.saturating_sub(1)
             }
-            Arrival::Poisson { .. } => (0..origins.max(1))
+            Arrival::Poisson { .. } | Arrival::Bursty { .. } | Arrival::Diurnal { .. } => (0
+                ..origins.max(1))
                 .map(|o| self.offsets(count, o).last().copied().unwrap_or(0))
                 .max()
                 .unwrap_or(0),
@@ -253,10 +385,17 @@ impl WorkloadSpec {
             (None, None) => Arrival::fixed(24),
         };
         match (&mut arrival, arrival_seed) {
-            (Arrival::Poisson { seed, .. }, Some(override_seed)) => *seed = override_seed,
+            (
+                Arrival::Poisson { seed, .. }
+                | Arrival::Bursty { seed, .. }
+                | Arrival::Diurnal { seed, .. },
+                Some(override_seed),
+            ) => *seed = override_seed,
             (_, None) => {}
             (Arrival::Fixed { .. }, Some(_)) => {
-                return Err("`arrival_seed` only applies to poisson arrivals".into());
+                return Err(
+                    "`arrival_seed` only applies to poisson, bursty, and diurnal arrivals".into(),
+                );
             }
         }
         let spec = match class {
@@ -390,14 +529,14 @@ impl WorkloadSpec {
     /// Materializes the spec into concrete jobs submitted from every
     /// origin, starting at `start`. Job ids are unique across the whole
     /// population and the result is deterministic.
-    pub fn materialize(&self, origins: &[&'static str], start: Hour) -> Vec<Job> {
+    pub fn materialize(&self, origins: &[RegionId], start: Hour) -> Vec<Job> {
         let mut jobs = Vec::with_capacity(self.job_count(origins.len()));
         let mut id = 0u64;
         let mut rng = match self {
             WorkloadSpec::Mixed { seed, .. } => Xoshiro256::seeded(*seed),
             _ => Xoshiro256::seeded(0),
         };
-        for (o, origin) in origins.iter().enumerate() {
+        for (o, &origin) in origins.iter().enumerate() {
             let per_origin = match self {
                 WorkloadSpec::Batch { per_origin, .. }
                 | WorkloadSpec::Interactive { per_origin, .. }
@@ -446,7 +585,7 @@ mod tests {
     use super::*;
     use crate::job::JobClass;
 
-    const ORIGINS: [&str; 3] = ["SE", "DE", "US-CA"];
+    const ORIGINS: [RegionId; 3] = [RegionId(0), RegionId(1), RegionId(2)];
 
     fn batch_spec() -> WorkloadSpec {
         WorkloadSpec::Batch {
@@ -476,13 +615,13 @@ mod tests {
         // Origins are staggered by one hour; cadence is 24 h.
         let se: Vec<u32> = jobs
             .iter()
-            .filter(|j| j.origin == "SE")
+            .filter(|j| j.origin == ORIGINS[0])
             .map(|j| j.arrival.0)
             .collect();
         assert_eq!(se, vec![100, 124, 148, 172]);
         let de: Vec<u32> = jobs
             .iter()
-            .filter(|j| j.origin == "DE")
+            .filter(|j| j.origin == ORIGINS[1])
             .map(|j| j.arrival.0)
             .collect();
         assert_eq!(de, vec![101, 125, 149, 173]);
@@ -605,6 +744,18 @@ mod tests {
             (vec![("class", "batch"), ("spacing", "0")], "at least 1"),
             (
                 vec![("class", "batch"), ("arrival", "bursty:3")],
+                "bursty:<rate>,<burst-size",
+            ),
+            (
+                vec![("class", "batch"), ("arrival", "bursty:0,4")],
+                "bursty:<rate>,<burst-size",
+            ),
+            (
+                vec![("class", "batch"), ("arrival", "diurnal:1,2")],
+                "amplitude in [0, 1]",
+            ),
+            (
+                vec![("class", "batch"), ("arrival", "sporadic:1")],
                 "unknown arrival recipe",
             ),
             (
@@ -682,7 +833,7 @@ mod tests {
         // (a fixed cadence would have constant gaps).
         let se: Vec<u32> = a
             .iter()
-            .filter(|j| j.origin == "SE")
+            .filter(|j| j.origin == ORIGINS[0])
             .map(|j| j.arrival.0)
             .collect();
         assert!(se.windows(2).all(|w| w[0] <= w[1]), "{se:?}");
@@ -707,6 +858,109 @@ mod tests {
         // Horizon sizing covers the actual last arrival.
         let last = a.iter().map(|j| j.arrival.0).max().unwrap() as usize;
         assert_eq!(spec.last_arrival_offset(ORIGINS.len()), last);
+    }
+
+    #[test]
+    fn bursty_arrivals_cluster_and_stay_deterministic() {
+        let spec = WorkloadSpec::from_pairs(&pairs(&[
+            ("class", "batch"),
+            ("per_origin", "24"),
+            ("arrival", "bursty:0.5,4"),
+        ]))
+        .unwrap();
+        let a = spec.materialize(&ORIGINS, Hour(0));
+        let b = spec.materialize(&ORIGINS, Hour(0));
+        assert_eq!(a, b, "same seed must give the same arrivals");
+        assert_eq!(a.len(), 72);
+        let se: Vec<u32> = a
+            .iter()
+            .filter(|j| j.origin == ORIGINS[0])
+            .map(|j| j.arrival.0)
+            .collect();
+        assert!(se.windows(2).all(|w| w[0] <= w[1]), "{se:?}");
+        // Full bursts land on the same hour: 24 jobs in 6 epochs of 4.
+        let mut epochs = se.clone();
+        epochs.dedup();
+        assert_eq!(se.len(), 24);
+        assert_eq!(epochs.len(), 6, "bursts of 4 share an epoch: {se:?}");
+        // A different seed moves the epochs.
+        let reseeded = WorkloadSpec::from_pairs(&pairs(&[
+            ("class", "batch"),
+            ("per_origin", "24"),
+            ("arrival", "bursty:0.5,4"),
+            ("arrival_seed", "9"),
+        ]))
+        .unwrap();
+        assert_ne!(a, reseeded.materialize(&ORIGINS, Hour(0)));
+        // Horizon sizing covers the true last arrival.
+        let last = a.iter().map(|j| j.arrival.0).max().unwrap() as usize;
+        assert_eq!(spec.last_arrival_offset(ORIGINS.len()), last);
+    }
+
+    #[test]
+    fn diurnal_arrivals_prefer_daytime_hours() {
+        let spec = WorkloadSpec::from_pairs(&pairs(&[
+            ("class", "batch"),
+            ("per_origin", "400"),
+            ("arrival", "diurnal:1,1"),
+        ]))
+        .unwrap();
+        let a = spec.materialize(&ORIGINS, Hour(0));
+        assert_eq!(a, spec.materialize(&ORIGINS, Hour(0)), "deterministic");
+        // With full modulation the 06:00–18:00 half-day must receive
+        // well over half of the arrivals (its rate integral is ~2x).
+        let day = a
+            .iter()
+            .filter(|j| (6..18).contains(&(j.arrival.0 % 24)))
+            .count();
+        let frac = day as f64 / a.len() as f64;
+        assert!(frac > 0.6, "daytime fraction {frac}");
+        // Zero amplitude reduces to a plain Poisson-like spread.
+        let flat = WorkloadSpec::from_pairs(&pairs(&[
+            ("class", "batch"),
+            ("per_origin", "400"),
+            ("arrival", "diurnal:1,0"),
+        ]))
+        .unwrap()
+        .materialize(&ORIGINS, Hour(0));
+        let flat_day = flat
+            .iter()
+            .filter(|j| (6..18).contains(&(j.arrival.0 % 24)))
+            .count();
+        let flat_frac = flat_day as f64 / flat.len() as f64;
+        assert!((flat_frac - 0.5).abs() < 0.1, "flat fraction {flat_frac}");
+    }
+
+    #[test]
+    fn bursty_and_diurnal_canonical_forms_round_trip() {
+        let bursty = Arrival::parse("bursty:0.5,4").unwrap();
+        assert_eq!(
+            bursty,
+            Arrival::Bursty {
+                rate_per_hour: 0.5,
+                burst_size: 4,
+                seed: DEFAULT_ARRIVAL_SEED
+            }
+        );
+        assert_eq!(bursty.canonical(), format!("bursty:0.5:4:{}", 0xA221));
+        let diurnal = Arrival::parse("diurnal:2,0.75").unwrap();
+        assert_eq!(
+            diurnal,
+            Arrival::Diurnal {
+                rate_per_hour: 2.0,
+                amplitude: 0.75,
+                seed: DEFAULT_ARRIVAL_SEED
+            }
+        );
+        assert_eq!(diurnal.canonical(), format!("diurnal:2:0.75:{}", 0xA221));
+        // Errors list the valid forms.
+        let err = Arrival::parse("bursty:1").unwrap_err();
+        assert!(err.contains("bursty:<rate>,<burst-size"), "{err}");
+        let err = Arrival::parse("diurnal:1").unwrap_err();
+        assert!(err.contains("amplitude in [0, 1]"), "{err}");
+        let err = Arrival::parse("sporadic:1").unwrap_err();
+        assert!(err.contains("bursty:<rate>,<burst-size>"), "{err}");
+        assert!(err.contains("diurnal:<rate>,<amplitude>"), "{err}");
     }
 
     #[test]

@@ -12,7 +12,8 @@ use decarb::traces::builtin_dataset;
 
 fn main() {
     let data = builtin_dataset();
-    let matrix = LatencyMatrix::build(data.regions());
+    let regions: Vec<&decarb::traces::Region> = data.regions().iter().collect();
+    let matrix = LatencyMatrix::build(&regions);
     let means = data.annual_means(2022);
     let mean_of = |code: &str| {
         means

@@ -22,7 +22,7 @@ fn main() {
     let start = year_start(2022);
     let count = hours_in_year(2022);
     let base = data
-        .series(region.code)
+        .series(&region.code)
         .expect("trace exists")
         .slice(start, count)
         .expect("year in horizon");

@@ -19,7 +19,7 @@ use decarb::workloads::{ClusterTrace, ClusterTraceConfig, JobLengthDistribution,
 
 fn main() {
     let data = builtin_dataset();
-    let origin = "US-CA";
+    let origin = data.id_of("US-CA").expect("origin in catalog");
     let trace = ClusterTrace::generate(
         origin,
         &ClusterTraceConfig {
@@ -40,7 +40,7 @@ fn main() {
         .filter(|j| j.arrival.0 < start.0 + 28 * 24 && j.length_hours >= 1.0)
         .cloned()
         .collect();
-    let region = data.region(origin).expect("origin in catalog");
+    let region = origin;
 
     let config = SimConfig::new(start, 60 * 24, 64);
 
@@ -66,7 +66,7 @@ fn main() {
     println!(
         "{} training jobs in {} (Google-like lengths, 24h slack, interruptible)",
         jobs.len(),
-        origin
+        data.code(origin)
     );
     let baseline = results[0].1.total_emissions_g;
     for (name, report) in &results {
@@ -81,7 +81,7 @@ fn main() {
     }
 
     // The paper's true upper bound: clairvoyant deferral + interruption.
-    let planner = decarb::core::temporal::TemporalPlanner::new(data.series(origin).expect("trace"));
+    let planner = decarb::core::temporal::TemporalPlanner::new(data.series_by_id(origin));
     let bound: f64 = jobs
         .iter()
         .map(|j| {

@@ -13,9 +13,10 @@ use decarb_traces::time::year_start;
 fn main() {
     let data = builtin_dataset();
     let arrival = year_start(2022).plus(9 * 24 + 17); // Jan 10, 17:00 UTC
-    let job = Job::batch(1, "DE", arrival, 6.0, Slack::Day);
+    let origin = data.id_of("DE").expect("origin in catalog");
+    let job = Job::batch(1, origin, arrival, 6.0, Slack::Day);
 
-    let series = data.series(job.origin).expect("origin trace exists");
+    let series = data.series_by_id(job.origin);
     let planner = TemporalPlanner::new(series);
     let slots = job.length_slots();
     let slack = job.slack_hours();
@@ -24,11 +25,14 @@ fn main() {
     let deferred = planner.best_deferred(job.arrival, slots, slack);
     let (_, interrupted) = planner.best_interruptible(job.arrival, slots, slack);
 
-    let all_regions = data.regions().to_vec();
+    let all_regions: Vec<&decarb_traces::Region> = data.regions().iter().collect();
     let migrated = one_migration(&data, &all_regions, 2022, job.arrival, slots);
     let (hopped, hops) = inf_migration(&data, &all_regions, job.arrival, slots);
 
-    println!("6-hour job arriving in {} at {arrival}", job.origin);
+    println!(
+        "6-hour job arriving in {} at {arrival}",
+        data.code(job.origin)
+    );
     println!("  run immediately:          {baseline:8.1} g CO2eq");
     println!(
         "  defer within 24h:         {:8.1} g CO2eq ({:+5.1}% vs baseline, start {})",

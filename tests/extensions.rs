@@ -64,18 +64,18 @@ fn forecast_policy_brackets_across_regions() {
     let data = builtin_dataset();
     let start = year_start(2022).plus(100 * 24);
     for code in ["US-CA", "DE", "SE"] {
-        let region = data.region(code).unwrap();
-        let job = Job::batch(1, region.code, start, 6.0, Slack::Day);
+        let region = data.id_of(code).unwrap();
+        let job = Job::batch(1, region, start, 6.0, Slack::Day);
         fn run<P: decarb::sim::Policy>(
             data: &decarb::traces::TraceSet,
-            region: &'static decarb::traces::Region,
+            region: decarb::traces::RegionId,
             start: Hour,
             job: &Job,
             policy: &mut P,
         ) -> f64 {
             let mut sim = Simulator::new(data, &[region], SimConfig::new(start, 24 * 5, 4));
             let report = sim.run(policy, std::slice::from_ref(job));
-            assert_eq!(report.completed_count(), 1, "{}", region.code);
+            assert_eq!(report.completed_count(), 1, "{}", data.code(region));
             report.emissions_of(1).unwrap()
         }
         let agnostic = run(&data, region, start, &job, &mut CarbonAgnostic);
@@ -188,12 +188,12 @@ fn embodied_optimum_sits_inside_the_real_capacity_sweep() {
 fn overhead_models_order_simulated_emissions() {
     let data = builtin_dataset();
     let start = year_start(2022);
-    let region = data.region("US-CA").unwrap();
+    let region = data.id_of("US-CA").unwrap();
     let jobs: Vec<Job> = (0..5)
         .map(|i| {
             Job::batch(
                 i + 1,
-                "US-CA",
+                region,
                 start.plus(i as usize * 200),
                 24.0,
                 Slack::Week,
@@ -285,13 +285,13 @@ fn simulator_runs_are_deterministic() {
     let data = builtin_dataset();
     let start = year_start(2022);
     let codes = ["US-CA", "DE", "SE"];
-    let regions: Vec<&decarb::traces::Region> =
-        codes.iter().map(|c| data.region(c).unwrap()).collect();
+    let regions: Vec<decarb::traces::RegionId> =
+        codes.iter().map(|c| data.id_of(c).unwrap()).collect();
     let jobs: Vec<Job> = (0..20)
         .map(|i| {
             Job::batch(
                 i + 1,
-                codes[(i % 3) as usize],
+                regions[(i % 3) as usize],
                 start.plus(i as usize * 37),
                 12.0,
                 Slack::Week,
@@ -330,14 +330,14 @@ fn finite_capacity_erodes_online_spatial_savings() {
     let data = builtin_dataset();
     let start = year_start(2022);
     let codes = ["SE", "DE", "PL", "IN-WE", "US-CA"];
-    let regions: Vec<&decarb::traces::Region> =
-        codes.iter().map(|c| data.region(c).unwrap()).collect();
+    let regions: Vec<decarb::traces::RegionId> =
+        codes.iter().map(|c| data.id_of(c).unwrap()).collect();
     // A burst of simultaneous 6-hour jobs from the two dirtiest origins.
     let jobs: Vec<Job> = (0..16)
         .map(|i| {
             Job::batch(
                 i + 1,
-                if i % 2 == 0 { "IN-WE" } else { "PL" },
+                if i % 2 == 0 { regions[3] } else { regions[2] },
                 start,
                 6.0,
                 Slack::None,

@@ -40,9 +40,9 @@ fn simulator_agrees_with_analytic_planner_across_regions() {
     let data = builtin_dataset();
     let start = year_start(2022);
     for code in ["US-CA", "DE", "IN-WE", "AU-SA", "SE"] {
-        let region = data.region(code).unwrap();
+        let region = data.id_of(code).unwrap();
         let mut sim = Simulator::new(&data, &[region], SimConfig::new(start, 24 * 20, 8));
-        let job = Job::batch(1, region.code, start.plus(5), 12.0, Slack::Day);
+        let job = Job::batch(1, region, start.plus(5), 12.0, Slack::Day);
         let report = sim.run(&mut PlannedDeferral, &[job]);
         let planner = TemporalPlanner::new(data.series(code).unwrap());
         let expected = planner.best_deferred(start.plus(5), 12, 24).cost_g;
@@ -60,7 +60,7 @@ fn spatial_shifting_dominates_temporal_shifting() {
     // region exceed reductions from even ideal temporal shifting.
     let data = builtin_dataset();
     let start = year_start(2022);
-    let all = data.regions().to_vec();
+    let all: Vec<&decarb::traces::Region> = data.regions().iter().collect();
     let arrival = start.plus(4000);
     let slots = 24;
     let mut spatial_beats_temporal = 0;
@@ -88,7 +88,7 @@ fn combined_envelope_planner_beats_pure_policies() {
     // ∞-migration + deferral is at least as good as either alone.
     let data = builtin_dataset();
     let start = year_start(2022);
-    let all = data.regions().to_vec();
+    let all: Vec<&decarb::traces::Region> = data.regions().iter().collect();
     let arrival = start.plus(2500);
     let slots = 24;
     let slack = 72;
@@ -133,7 +133,7 @@ fn greenest_region_wins_any_window() {
     // in expectation over several arrivals.
     let data = builtin_dataset();
     let start = year_start(2022);
-    let all = data.regions().to_vec();
+    let all: Vec<&decarb::traces::Region> = data.regions().iter().collect();
     for offset in [100usize, 3000, 6000] {
         let arrival = start.plus(offset);
         let migrated = one_migration(&data, &all, 2022, arrival, 24).cost_g;

@@ -199,7 +199,7 @@ fn water_filling_invariants() {
         // Moves only go to strictly greener regions.
         let mean_of = |code: &str| regions.iter().find(|(r, _)| r.code == code).unwrap().1;
         for a in &outcome.assignments {
-            assert!(mean_of(a.to) < mean_of(a.from), "case {case}");
+            assert!(mean_of(&a.to) < mean_of(&a.from), "case {case}");
             assert!(a.amount > 0.0, "case {case}");
         }
         // No recipient exceeds its idle capacity.
