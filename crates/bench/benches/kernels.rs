@@ -198,6 +198,41 @@ fn bench_region_lookup(h: &Harness) {
     });
 }
 
+/// Dataset cold start: parsing the year-long 123-zone CSV export
+/// against decoding the equivalent binary trace container (plus the
+/// one-time packing cost). Both inputs live in memory, so the rows
+/// compare pure parse/decode work with no disk noise.
+fn bench_trace_container(h: &Harness) {
+    use decarb_traces::time::hours_in_year;
+    use decarb_traces::{container, csv, TraceSet};
+    let data = builtin_dataset();
+    let start = year_start(2022);
+    let hours = hours_in_year(2022);
+    let year = TraceSet::from_series(
+        data.iter()
+            .map(|(r, s)| {
+                (
+                    r.clone(),
+                    s.slice(start, hours).expect("builtin covers 2022"),
+                )
+            })
+            .collect(),
+    );
+    let mut csv_bytes = Vec::new();
+    csv::write_dataset(&year, &mut csv_bytes).expect("in-memory write");
+    let csv_text = String::from_utf8(csv_bytes).expect("CSV is UTF-8");
+    let packed = container::encode(&year).expect("builtin coverage is uniform");
+    h.bench("kernels/traces/load_csv", || {
+        black_box(csv::read_dataset_str_with(&csv_text, &[]).expect("round-trips"))
+    });
+    h.bench("kernels/traces/load_container", || {
+        black_box(container::decode(&packed, "bench").expect("verifies"))
+    });
+    h.bench("kernels/traces/pack_container", || {
+        black_box(container::encode(&year).expect("builtin coverage is uniform"))
+    });
+}
+
 /// The shared planner cache against the per-placement rebuild it
 /// replaced: one scenario-sized deferral run under each policy, plus a
 /// ≥500-scenario matrix sweep through the scenario engine (which shares
@@ -294,6 +329,7 @@ fn main() {
     bench_sliding_structure_scaling(&h);
     bench_kernel_sim(&h);
     bench_region_lookup(&h);
+    bench_trace_container(&h);
     bench_planner_cache(&h);
     std::process::exit(h.finish());
 }

@@ -102,8 +102,44 @@ pub enum Command {
         /// Allowed absolute drift per scenario, percent.
         tolerance_pct: f64,
     },
+    /// `data pack|probe|append` — manage binary trace containers.
+    Data(DataCommand),
     /// `--help` / no arguments.
     Help,
+}
+
+/// The `data` subcommands (binary trace containers).
+#[derive(Debug, Clone, PartialEq)]
+pub enum DataCommand {
+    /// `data pack <CSV|builtin> [--regions FILE] -o FILE` — encode a
+    /// CSV dataset (or the built-in one) as a binary container.
+    Pack {
+        /// Source CSV path, or the literal `builtin`.
+        source: String,
+        /// Optional region-metadata sidecar for the CSV.
+        regions: Option<String>,
+        /// Output container path.
+        out: String,
+    },
+    /// `data probe <FILE> [--json]` — verify a container and print its
+    /// header facts.
+    Probe {
+        /// Container path.
+        file: String,
+        /// Emit JSON instead of a text summary.
+        json: bool,
+    },
+    /// `data append <FILE> --from CSV [--pad]` — append newly observed
+    /// hours without rewriting stored history.
+    Append {
+        /// Container path (rewritten atomically).
+        file: String,
+        /// CSV holding the new rows (may overlap stored history).
+        from: String,
+        /// Pad zones that fall short of the longest new coverage by
+        /// repeating their last value, instead of erroring.
+        pad: bool,
+    },
 }
 
 /// What `scenario run` executes.
@@ -207,13 +243,21 @@ commands:
                                        fail on monotonic multi-commit drift
   scenario diff --report R --golden G [--tolerance-pct P]
                                        fail when per-scenario emissions drift
+  data pack <CSV|builtin> [--regions FILE] -o FILE
+                                       encode a dataset as a binary container
+  data probe <FILE> [--json]           verify a container, print header facts
+  data append <FILE> --from CSV [--pad]
+                                       append new hours without rewriting history
 
 defaults: --year 2022, --slack 24, --arrive 0, --days 60, --tolerance-pct 0.1
 
 global: --data FILE [--regions FILE] (first options) replaces the built-in dataset with a
-`zone,hour,value` CSV; imported traces are validated and repaired.
+`zone,hour,value` CSV or a binary container packed by `data pack`
+(auto-detected by magic bytes; containers carry their own region
+metadata, so --regions applies to CSV only). Imported CSV traces are
+validated and repaired; containers load verbatim.
 `scenario run` accepts --data (scenario region sets must exist in the
-imported dataset); `list`, `run`, and `scenario list` do not";
+imported dataset); `list`, `run`, `scenario list`, and `data` do not";
 
 /// Simple key-value option scanner: `--key value` pairs after the
 /// positional arguments.
@@ -396,9 +440,127 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
                     .into(),
             )),
         },
+        "data" => parse_data(&argv[1..]),
         other => Err(ParseError(format!(
             "unknown command `{other}` (try --help)"
         ))),
+    }
+}
+
+/// Parses the `data pack|probe|append` container subcommands.
+fn parse_data(rest: &[String]) -> Result<Command, ParseError> {
+    match rest.first().map(String::as_str) {
+        Some("pack") => {
+            let Some(source) = rest.get(1).filter(|s| !s.starts_with('-')) else {
+                return Err(ParseError(
+                    "`data pack` needs a source CSV path or `builtin`".into(),
+                ));
+            };
+            let mut regions: Option<String> = None;
+            let mut out: Option<String> = None;
+            let mut i = 2;
+            while i < rest.len() {
+                match rest[i].as_str() {
+                    "--regions" => {
+                        let Some(path) = rest.get(i + 1) else {
+                            return Err(ParseError("`--regions` needs a path".into()));
+                        };
+                        if regions.replace(path.clone()).is_some() {
+                            return Err(ParseError("`--regions` given twice".into()));
+                        }
+                        i += 2;
+                    }
+                    "-o" | "--out" => {
+                        let Some(path) = rest.get(i + 1) else {
+                            return Err(ParseError("`-o` needs an output path".into()));
+                        };
+                        if out.replace(path.clone()).is_some() {
+                            return Err(ParseError("`-o` given twice".into()));
+                        }
+                        i += 2;
+                    }
+                    other => {
+                        return Err(ParseError(format!(
+                            "unexpected argument `{other}` for `data pack`"
+                        )));
+                    }
+                }
+            }
+            let Some(out) = out else {
+                return Err(ParseError("`data pack` needs `-o FILE`".into()));
+            };
+            if source == "builtin" && regions.is_some() {
+                return Err(ParseError(
+                    "`--regions` only applies when packing a CSV".into(),
+                ));
+            }
+            Ok(Command::Data(DataCommand::Pack {
+                source: source.clone(),
+                regions,
+                out,
+            }))
+        }
+        Some("probe") => {
+            let Some(file) = rest.get(1).filter(|s| !s.starts_with('-')) else {
+                return Err(ParseError("`data probe` needs a container path".into()));
+            };
+            let mut json = false;
+            for arg in &rest[2..] {
+                match arg.as_str() {
+                    "--json" => json = true,
+                    other => {
+                        return Err(ParseError(format!(
+                            "unexpected argument `{other}` for `data probe`"
+                        )));
+                    }
+                }
+            }
+            Ok(Command::Data(DataCommand::Probe {
+                file: file.clone(),
+                json,
+            }))
+        }
+        Some("append") => {
+            let Some(file) = rest.get(1).filter(|s| !s.starts_with('-')) else {
+                return Err(ParseError("`data append` needs a container path".into()));
+            };
+            let mut from: Option<String> = None;
+            let mut pad = false;
+            let mut i = 2;
+            while i < rest.len() {
+                match rest[i].as_str() {
+                    "--from" => {
+                        let Some(path) = rest.get(i + 1) else {
+                            return Err(ParseError("`--from` needs a CSV path".into()));
+                        };
+                        if from.replace(path.clone()).is_some() {
+                            return Err(ParseError("`--from` given twice".into()));
+                        }
+                        i += 2;
+                    }
+                    "--pad" => {
+                        pad = true;
+                        i += 1;
+                    }
+                    other => {
+                        return Err(ParseError(format!(
+                            "unexpected argument `{other}` for `data append`"
+                        )));
+                    }
+                }
+            }
+            let Some(from) = from else {
+                return Err(ParseError("`data append` needs `--from CSV`".into()));
+            };
+            Ok(Command::Data(DataCommand::Append {
+                file: file.clone(),
+                from,
+                pad,
+            }))
+        }
+        _ => Err(ParseError(
+            "`data` needs a subcommand: `pack`, `probe`, or `append`".into(),
+        )),
     }
 }
 
@@ -1056,6 +1218,100 @@ mod tests {
         assert!(parse(&argv(&["scenario", "run"])).is_err());
         assert!(parse(&argv(&["scenario", "run", "--bogus", "x"])).is_err());
         assert!(parse(&argv(&["scenario", "run", "a", "b"])).is_err());
+    }
+
+    #[test]
+    fn data_pack_parses_and_validates() {
+        assert_eq!(
+            parse(&argv(&["data", "pack", "in.csv", "-o", "out.dct"])).unwrap(),
+            Command::Data(DataCommand::Pack {
+                source: "in.csv".into(),
+                regions: None,
+                out: "out.dct".into(),
+            })
+        );
+        assert_eq!(
+            parse(&argv(&[
+                "data",
+                "pack",
+                "in.csv",
+                "--regions",
+                "meta.toml",
+                "--out",
+                "out.dct"
+            ]))
+            .unwrap(),
+            Command::Data(DataCommand::Pack {
+                source: "in.csv".into(),
+                regions: Some("meta.toml".into()),
+                out: "out.dct".into(),
+            })
+        );
+        assert_eq!(
+            parse(&argv(&["data", "pack", "builtin", "-o", "golden.dct"])).unwrap(),
+            Command::Data(DataCommand::Pack {
+                source: "builtin".into(),
+                regions: None,
+                out: "golden.dct".into(),
+            })
+        );
+        assert!(parse(&argv(&["data", "pack"])).is_err());
+        assert!(parse(&argv(&["data", "pack", "in.csv"])).is_err());
+        assert!(parse(&argv(&["data", "pack", "in.csv", "-o"])).is_err());
+        assert!(parse(&argv(&[
+            "data",
+            "pack",
+            "builtin",
+            "--regions",
+            "m",
+            "-o",
+            "x"
+        ]))
+        .is_err());
+        assert!(parse(&argv(&["data", "pack", "a", "-o", "x", "-o", "y"])).is_err());
+    }
+
+    #[test]
+    fn data_probe_and_append_parse() {
+        assert_eq!(
+            parse(&argv(&["data", "probe", "d.dct"])).unwrap(),
+            Command::Data(DataCommand::Probe {
+                file: "d.dct".into(),
+                json: false,
+            })
+        );
+        assert_eq!(
+            parse(&argv(&["data", "probe", "d.dct", "--json"])).unwrap(),
+            Command::Data(DataCommand::Probe {
+                file: "d.dct".into(),
+                json: true,
+            })
+        );
+        assert_eq!(
+            parse(&argv(&["data", "append", "d.dct", "--from", "new.csv"])).unwrap(),
+            Command::Data(DataCommand::Append {
+                file: "d.dct".into(),
+                from: "new.csv".into(),
+                pad: false,
+            })
+        );
+        assert_eq!(
+            parse(&argv(&[
+                "data", "append", "d.dct", "--from", "new.csv", "--pad"
+            ]))
+            .unwrap(),
+            Command::Data(DataCommand::Append {
+                file: "d.dct".into(),
+                from: "new.csv".into(),
+                pad: true,
+            })
+        );
+        assert!(parse(&argv(&["data"])).is_err());
+        assert!(parse(&argv(&["data", "frobnicate"])).is_err());
+        assert!(parse(&argv(&["data", "probe"])).is_err());
+        assert!(parse(&argv(&["data", "probe", "d.dct", "extra"])).is_err());
+        assert!(parse(&argv(&["data", "append", "d.dct"])).is_err());
+        assert!(parse(&argv(&["data", "append", "d.dct", "--from"])).is_err());
     }
 
     #[test]

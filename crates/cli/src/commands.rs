@@ -17,11 +17,13 @@ use decarb_json::Value;
 use decarb_stats::daily::average_daily_cv;
 use decarb_stats::periodicity::periodicity_score;
 use decarb_traces::time::{hours_in_year, year_start};
-use decarb_traces::{csv, TraceError, TraceSet};
+use decarb_traces::{container, csv, TraceError, TraceSet};
 
 use decarb_sim::sweep::SweepPlan;
 
-use crate::args::{Command, MergeExpect, ParseError, ScenarioTarget, ShardSpec, USAGE};
+use crate::args::{
+    Command, DataCommand, MergeExpect, ParseError, ScenarioTarget, ShardSpec, USAGE,
+};
 
 /// A CLI failure: bad arguments, a data-layer error, an output error,
 /// or a failed check (e.g. `scenario diff` drift).
@@ -112,9 +114,11 @@ pub fn run_on(command: &Command, data: &TraceSet) -> Result<String, CliError> {
         | Command::ScenarioList
         | Command::ScenarioMerge { .. }
         | Command::ScenarioHistory(_)
-        | Command::ScenarioDiff { .. } => Err(CliError::Parse(ParseError(
+        | Command::ScenarioDiff { .. }
+        | Command::Data(_) => Err(CliError::Parse(ParseError(
             "`list`, `run`, `scenario list`, `scenario merge`, `scenario history`, and \
-             `scenario diff` always use the built-in dataset; drop --data"
+             `scenario diff` always use the built-in dataset, and `data` commands name \
+             their files explicitly; drop --data"
                 .into(),
         ))),
     }
@@ -496,6 +500,108 @@ fn read_report_doc(path: &str) -> Result<Value, CliError> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| CliError::Parse(ParseError(format!("{path}: {e}"))))?;
     decarb_json::parse(&text).map_err(|e| CliError::Parse(ParseError(format!("{path}: {e}"))))
+}
+
+/// Routes the `data pack|probe|append` container subcommands.
+pub(crate) fn data_cmd(cmd: &DataCommand) -> Result<String, CliError> {
+    match cmd {
+        DataCommand::Pack {
+            source,
+            regions,
+            out,
+        } => data_pack(source, regions.as_deref(), out),
+        DataCommand::Probe { file, json } => data_probe(file, *json),
+        DataCommand::Append { file, from, pad } => data_append(file, from, *pad),
+    }
+}
+
+/// `data pack`: encodes a CSV dataset (or the built-in one) as a binary
+/// container, written atomically.
+fn data_pack(source: &str, regions: Option<&str>, out: &str) -> Result<String, CliError> {
+    let set = if source == "builtin" {
+        (*decarb_traces::builtin_dataset()).clone()
+    } else {
+        crate::load_dataset(source, regions)?
+    };
+    let bytes = container::encode(&set).map_err(|e| match e {
+        TraceError::Container { reason, .. } => TraceError::Container {
+            path: source.to_string(),
+            reason,
+        },
+        other => other,
+    })?;
+    container::write_bytes_atomic(out, &bytes)?;
+    let info = container::probe(&bytes, out)?;
+    Ok(format!(
+        "packed {} regions × {} hours into {out} \
+         ({} bytes, fnv1a64:{:016x})",
+        info.regions, info.hours, info.file_bytes, info.content_hash
+    ))
+}
+
+/// `data probe`: verifies a container (magic, version, content hash,
+/// segment structure) and reports its header facts.
+fn data_probe(file: &str, json: bool) -> Result<String, CliError> {
+    let info = container::probe_file(file)?;
+    // The content hash is a full u64; f64 JSON numbers cannot hold it
+    // exactly, so it is rendered as a hex string in both formats.
+    let hash = format!("fnv1a64:{:016x}", info.content_hash);
+    if json {
+        return Ok(Value::object([
+            ("path", Value::from(file)),
+            ("version", Value::from(usize::from(info.version))),
+            ("regions", Value::from(info.regions)),
+            ("start_hour", Value::from(info.start.0)),
+            ("hours", Value::from(info.hours)),
+            ("resolution_minutes", Value::from(info.resolution_minutes)),
+            ("segments", Value::from(info.segments)),
+            ("content_hash", Value::from(hash)),
+            ("file_bytes", Value::from(info.file_bytes)),
+        ])
+        .pretty());
+    }
+    let mut output = String::new();
+    let _ = writeln!(output, "container {file}");
+    let _ = writeln!(output, "  version       {}", info.version);
+    let _ = writeln!(output, "  regions       {}", info.regions);
+    // Raw hour indices: appended datasets may extend past the hour
+    // range the calendar helpers cover.
+    let _ = writeln!(
+        output,
+        "  hours         {} (start hour {}, end hour {})",
+        info.hours,
+        info.start.0,
+        info.start.0 as usize + info.hours
+    );
+    let _ = writeln!(
+        output,
+        "  resolution    {} min/sample",
+        info.resolution_minutes
+    );
+    let _ = writeln!(output, "  segments      {}", info.segments);
+    let _ = writeln!(output, "  content hash  {hash}");
+    let _ = writeln!(output, "  file size     {} bytes", info.file_bytes);
+    output.push_str("ok: magic, version, content hash, and block structure verified");
+    Ok(output)
+}
+
+/// `data append`: extends a container with newly observed hours from a
+/// CSV, rewriting the file atomically without re-encoding history.
+fn data_append(file: &str, from: &str, pad: bool) -> Result<String, CliError> {
+    let existing = std::fs::read(file).map_err(|e| TraceError::Io(format!("{file}: {e}")))?;
+    let update = crate::load_dataset(from, None)?;
+    let (bytes, added) = container::append(&existing, file, &update, pad)?;
+    container::write_bytes_atomic(file, &bytes)?;
+    let info = container::probe(&bytes, file)?;
+    Ok(format!(
+        "appended {added} hour{} from {from} to {file}; now {} hours × {} regions \
+         in {} segments (fnv1a64:{:016x})",
+        if added == 1 { "" } else { "s" },
+        info.hours,
+        info.regions,
+        info.segments,
+        info.content_hash
+    ))
 }
 
 /// The standalone shard recombiner: merges `scenario run --json` shard

@@ -26,23 +26,28 @@
 //!
 //! A leading global option `--data FILE [--regions FILE]` replaces the
 //! built-in synthetic dataset with a `zone,hour,value` CSV (e.g. a real
-//! Electricity Maps export re-keyed to hours since 2020-01-01 UTC).
+//! Electricity Maps export re-keyed to hours since 2020-01-01 UTC) or a
+//! binary trace container packed by `data pack` — the two are told
+//! apart by the container's magic bytes, so every subcommand, the sweep
+//! pipeline, and all shard workers accept either transparently.
 //! Zone codes are *not* restricted to the built-in catalog: known codes
 //! take catalog metadata, `--regions` supplies a `[region CODE]`
 //! metadata sidecar for the rest, and anything else gets neutral
-//! defaults. Imported traces are validated and repaired (interpolating
-//! NaN/non-positive samples) before use.
+//! defaults. Imported CSV traces are validated and repaired
+//! (interpolating NaN/non-positive samples) before use; containers
+//! carry their own region metadata and load verbatim, integrity-checked
+//! by their content hash.
 
-use std::fs::File;
-
-use decarb_traces::{builtin_dataset, csv, repair, validate, TraceSet, ValidationConfig};
+use decarb_traces::{
+    builtin_dataset, container, csv, repair, validate, TraceSet, ValidationConfig,
+};
 
 pub mod args;
 pub mod commands;
 mod fanout;
 
 pub use args::{
-    parse, Command, HistoryCommand, MergeExpect, ParseError, ScenarioTarget, ShardSpec,
+    parse, Command, DataCommand, HistoryCommand, MergeExpect, ParseError, ScenarioTarget, ShardSpec,
 };
 pub use commands::{run_on, CliError};
 
@@ -73,6 +78,7 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             golden,
             tolerance_pct,
         } => commands::scenario_diff(report, golden, *tolerance_pct),
+        Command::Data(cmd) => commands::data_cmd(cmd),
         // `run_on` rejects `--workers` because it cannot know what
         // `--data` path its children should re-import; here the dataset
         // is the built-in one, which children load by default.
@@ -86,13 +92,28 @@ pub fn run(command: &Command) -> Result<String, CliError> {
     }
 }
 
-/// Loads, validates, and repairs a `zone,hour,value` CSV dataset.
+/// Loads a `--data` dataset: a binary trace container (detected by its
+/// magic bytes) or a `zone,hour,value` CSV.
 ///
+/// Containers carry their own region metadata and are integrity-checked
+/// by their content hash, so they load verbatim — no sidecar, no
+/// validation pass. CSV datasets are validated and repaired;
 /// `regions_path` optionally names a `[region CODE]` metadata sidecar
 /// (see `decarb_traces::sidecar`) describing zones outside the built-in
 /// catalog; zones with neither catalog nor sidecar metadata are
 /// interned with defaults instead of being rejected.
 pub fn load_dataset(path: &str, regions_path: Option<&str>) -> Result<TraceSet, CliError> {
+    let bytes =
+        std::fs::read(path).map_err(|e| decarb_traces::TraceError::Io(format!("{path}: {e}")))?;
+    if container::is_container(&bytes) {
+        if regions_path.is_some() {
+            return Err(CliError::Parse(ParseError(format!(
+                "{path} is a binary trace container and carries its own region \
+                 metadata; drop --regions"
+            ))));
+        }
+        return Ok(container::decode(&bytes, path)?);
+    }
     let extra = match regions_path {
         None => Vec::new(),
         Some(sidecar_path) => {
@@ -102,8 +123,9 @@ pub fn load_dataset(path: &str, regions_path: Option<&str>) -> Result<TraceSet, 
                 .map_err(|e| CliError::Parse(ParseError(format!("{sidecar_path}: {e}"))))?
         }
     };
-    let file = File::open(path).map_err(decarb_traces::TraceError::from)?;
-    let raw = csv::read_dataset_with(file, &extra)?;
+    let text = String::from_utf8(bytes)
+        .map_err(|e| decarb_traces::TraceError::Io(format!("{path}: {e}")))?;
+    let raw = csv::read_dataset_str_with(&text, &extra)?;
     let config = ValidationConfig::default();
     let pairs = raw
         .iter()

@@ -537,3 +537,237 @@ fn export_pipes_csv_to_stdout() {
     let header = text.lines().next().expect("csv header");
     assert!(header.contains("hour"), "{header}");
 }
+
+/// Writes a two-zone CSV covering calendar 2022 (hours 17544..26304),
+/// optionally truncated/offset, and returns its path.
+fn write_fixture_csv(name: &str, start_offset: usize, hours: usize) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(name);
+    let mut text = String::from("zone,hour,ci_g_per_kwh\n");
+    for zone in ["SE", "DE"] {
+        let base = if zone == "SE" { 16.0 } else { 380.0 };
+        for i in 0..hours {
+            let hour = 17544 + start_offset + i;
+            let value = base + ((start_offset + i) % 50) as f64 * 0.5;
+            text.push_str(&format!("{zone},{hour},{value}\n"));
+        }
+    }
+    std::fs::write(&path, text).unwrap();
+    path
+}
+
+#[test]
+fn data_pack_probe_append_flow_with_auto_detection() {
+    let dir = std::env::temp_dir();
+    let csv = write_fixture_csv("decarb_cli_e2e_container.csv", 0, 8760);
+    let packed = dir.join("decarb_cli_e2e_container.dct");
+
+    // Pack the CSV and verify the summary names the shape.
+    let out = decarb_cli(&[
+        "data",
+        "pack",
+        csv.to_str().unwrap(),
+        "-o",
+        packed.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("2 regions"), "{text}");
+    assert!(text.contains("8760 hours"), "{text}");
+
+    // Probe: text summary and machine-readable JSON agree.
+    let out = decarb_cli(&["data", "probe", packed.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("regions       2"), "{text}");
+    assert!(text.contains("start hour 17544"), "{text}");
+    assert!(text.contains("content hash  fnv1a64:"), "{text}");
+    assert!(text.contains("ok:"), "{text}");
+    let out = decarb_cli(&["data", "probe", packed.to_str().unwrap(), "--json"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let doc = decarb_json::parse(&stdout(&out)).expect("probe --json parses");
+    let get_num = |key: &str| -> f64 {
+        match doc.get(key) {
+            Some(decarb_json::Value::Number(n)) => *n,
+            other => panic!("{key}: {other:?}"),
+        }
+    };
+    assert_eq!(get_num("regions") as usize, 2);
+    assert_eq!(get_num("hours") as usize, 8760);
+    assert_eq!(get_num("start_hour") as usize, 17544);
+    assert_eq!(get_num("segments") as usize, 1);
+    assert_eq!(get_num("resolution_minutes") as usize, 60);
+    let Some(decarb_json::Value::String(hash)) = doc.get("content_hash") else {
+        panic!("content_hash missing");
+    };
+    assert!(hash.starts_with("fnv1a64:"), "{hash}");
+
+    // Auto-detection: the container behind --data renders exactly what
+    // the CSV it was packed from renders.
+    let from_csv = decarb_cli(&[
+        "--data",
+        csv.to_str().unwrap(),
+        "analyze",
+        "SE",
+        "--year",
+        "2022",
+    ]);
+    let from_packed = decarb_cli(&[
+        "--data",
+        packed.to_str().unwrap(),
+        "analyze",
+        "SE",
+        "--year",
+        "2022",
+    ]);
+    assert!(from_csv.status.success(), "{}", stderr(&from_csv));
+    assert!(from_packed.status.success(), "{}", stderr(&from_packed));
+    assert_eq!(stdout(&from_csv), stdout(&from_packed));
+
+    // Append flow: pack the first half, append the second, and the
+    // result loads identically to the one-shot pack.
+    let first = write_fixture_csv("decarb_cli_e2e_container_h1.csv", 0, 4380);
+    let second = write_fixture_csv("decarb_cli_e2e_container_h2.csv", 4380, 4380);
+    let grown = dir.join("decarb_cli_e2e_container_grown.dct");
+    let out = decarb_cli(&[
+        "data",
+        "pack",
+        first.to_str().unwrap(),
+        "-o",
+        grown.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let out = decarb_cli(&[
+        "data",
+        "append",
+        grown.to_str().unwrap(),
+        "--from",
+        second.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("appended 4380 hours"), "{text}");
+    assert!(text.contains("now 8760 hours"), "{text}");
+    assert!(text.contains("2 segments"), "{text}");
+    let from_grown = decarb_cli(&[
+        "--data",
+        grown.to_str().unwrap(),
+        "analyze",
+        "SE",
+        "--year",
+        "2022",
+    ]);
+    assert!(from_grown.status.success(), "{}", stderr(&from_grown));
+    assert_eq!(stdout(&from_grown), stdout(&from_packed));
+
+    // Appending rows that add nothing new is a clean error.
+    let out = decarb_cli(&[
+        "data",
+        "append",
+        grown.to_str().unwrap(),
+        "--from",
+        second.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("no hours"), "{}", stderr(&out));
+
+    for path in [&csv, &packed, &first, &second, &grown] {
+        std::fs::remove_file(path).ok();
+    }
+}
+
+#[test]
+fn corrupted_container_behind_data_exits_2() {
+    let dir = std::env::temp_dir();
+    let csv = write_fixture_csv("decarb_cli_e2e_corrupt.csv", 0, 48);
+    let packed = dir.join("decarb_cli_e2e_corrupt.dct");
+    let out = decarb_cli(&[
+        "data",
+        "pack",
+        csv.to_str().unwrap(),
+        "-o",
+        packed.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+
+    // Flip one bit in a value block: every consumer must refuse the file.
+    let mut bytes = std::fs::read(&packed).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&packed, &bytes).unwrap();
+
+    let out = decarb_cli(&["--data", packed.to_str().unwrap(), "regions"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert!(err.contains("hash mismatch"), "{err}");
+    assert!(err.contains("decarb_cli_e2e_corrupt.dct"), "{err}");
+    let out = decarb_cli(&["data", "probe", packed.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("hash mismatch"), "{}", stderr(&out));
+
+    // A container under --data carries its own metadata: --regions is a
+    // contradiction, not a silent no-op.
+    std::fs::write(&packed, {
+        let out = decarb_cli(&[
+            "data",
+            "pack",
+            csv.to_str().unwrap(),
+            "-o",
+            packed.to_str().unwrap(),
+        ]);
+        assert!(out.status.success());
+        std::fs::read(&packed).unwrap()
+    })
+    .unwrap();
+    let sidecar = dir.join("decarb_cli_e2e_corrupt_sidecar.toml");
+    std::fs::write(&sidecar, "[region SE]\nname = Shadowed\n").unwrap();
+    let out = decarb_cli(&[
+        "--data",
+        packed.to_str().unwrap(),
+        "--regions",
+        sidecar.to_str().unwrap(),
+        "regions",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("drop --regions"), "{}", stderr(&out));
+
+    // Probing a CSV reports bad magic instead of garbage.
+    let out = decarb_cli(&["data", "probe", csv.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("bad magic"), "{}", stderr(&out));
+
+    for path in [&csv, &packed, &sidecar] {
+        std::fs::remove_file(path).ok();
+    }
+}
+
+/// The acceptance pin for the container path: `data pack builtin`
+/// followed by `scenario run` from the packed file must reproduce the
+/// in-process built-in run byte-for-byte (modulo wall-clock elapsed).
+#[test]
+fn packed_builtin_dataset_reproduces_scenario_reports_exactly() {
+    let dir = std::env::temp_dir();
+    let packed = dir.join("decarb_cli_e2e_builtin.dct");
+    let out = decarb_cli(&["data", "pack", "builtin", "-o", packed.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("123 regions"), "{}", stdout(&out));
+
+    let builtin = decarb_cli(&["scenario", "run", "batch-agnostic-europe", "--json"]);
+    let from_packed = decarb_cli(&[
+        "--data",
+        packed.to_str().unwrap(),
+        "scenario",
+        "run",
+        "batch-agnostic-europe",
+        "--json",
+    ]);
+    assert!(builtin.status.success(), "{}", stderr(&builtin));
+    assert!(from_packed.status.success(), "{}", stderr(&from_packed));
+    let strip = |text: &str| -> String {
+        text.lines()
+            .filter(|l| !l.contains("\"elapsed_s\""))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(strip(&stdout(&from_packed)), strip(&stdout(&builtin)));
+    std::fs::remove_file(&packed).ok();
+}

@@ -1,0 +1,1085 @@
+//! The binary trace container: a packed, integrity-checked dataset file.
+//!
+//! CSV is the interchange format, but parsing `zone,hour,value` rows is
+//! the dominant cost of every process start on year-scale multi-grid
+//! datasets — and the sharded sweep fan-out multiplies that cost by the
+//! worker count, since each child re-imports the same file. This module
+//! defines a versioned binary layout that loads in one pass with no
+//! string work past the metadata block:
+//!
+//! ```text
+//! ┌────────────────────────────────────────────────────────────────┐
+//! │ header (36 bytes)                                              │
+//! │   magic   [8]  89 44 43 54 0D 0A 1A 0A  (\x89"DCT"\r\n\x1a\n)  │
+//! │   version u16  format revision (currently 1)                   │
+//! │   regions u16  region count                                    │
+//! │   res     u32  minutes per sample (60 = hourly)                │
+//! │   start   u32  absolute start hour (since 2020-01-01 UTC)      │
+//! │   hours   u64  total samples per region                        │
+//! │   segs    u32  value-segment count                             │
+//! │   meta    u32  metadata block length in bytes                  │
+//! ├────────────────────────────────────────────────────────────────┤
+//! │ region metadata block (everything a sidecar can declare)       │
+//! │   per region: code, name, geo group, providers, hyperscale     │
+//! │   flag, lat/lon, calibration targets, 9-way source mix         │
+//! ├────────────────────────────────────────────────────────────────┤
+//! │ value segment × segs                                           │
+//! │   seg_hours u64, then per region (in metadata order) one       │
+//! │   fixed-width block of seg_hours little-endian f64 samples     │
+//! ├────────────────────────────────────────────────────────────────┤
+//! │ trailer: chunked FNV-1a 64-bit hash of every preceding byte    │
+//! └────────────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! The PNG-style magic (a high-bit byte, CRLF, ^Z, LF) can never open a
+//! `zone,hour,value` CSV, so `--data` consumers sniff the first eight
+//! bytes and route to the right loader ([`is_container`]).
+//!
+//! Segments exist for [`append`]: extending a dataset with newly
+//! observed hours copies the existing byte range verbatim, adds one new
+//! segment at the tail, and rewrites only the fixed-size header and the
+//! trailer hash — history is never re-encoded. [`decode`] concatenates
+//! the segments per region into one contiguous series.
+//!
+//! The trailing hash makes a container self-verifying: [`decode`],
+//! [`probe`], and [`append`] all reject a file whose bytes do not match
+//! the recorded hash, and the hash doubles as a cheap dataset identity
+//! for comparing inputs across sweep hosts.
+
+use crate::dataset::TraceSet;
+use crate::error::TraceError;
+use crate::mix::{EnergyMix, Source};
+use crate::region::{GeoGroup, Providers, Region};
+use crate::series::TimeSeries;
+use crate::time::Hour;
+
+/// The 8-byte file magic. Modeled on PNG's: the high-bit first byte
+/// breaks text decoders, `\r\n` catches newline translation, and `^Z`
+/// stops DOS-style `type`.
+pub const MAGIC: [u8; 8] = [0x89, b'D', b'C', b'T', 0x0D, 0x0A, 0x1A, 0x0A];
+
+/// The format revision written by [`encode`].
+pub const VERSION: u16 = 1;
+
+/// Minutes per sample. The workspace is hourly throughout; the field
+/// exists so sub-hourly traces are a version bump, not a new format.
+pub const RESOLUTION_MINUTES: u32 = 60;
+
+/// Fixed header length in bytes (magic through `meta_len`).
+const HEADER_LEN: usize = 36;
+/// Trailer length in bytes (the FNV-1a hash).
+const TRAILER_LEN: usize = 8;
+
+/// Geo groups in wire order; the on-disk group byte is an index here.
+const GROUP_WIRE: [GeoGroup; 7] = [
+    GeoGroup::Africa,
+    GeoGroup::Asia,
+    GeoGroup::Europe,
+    GeoGroup::NorthAmerica,
+    GeoGroup::SouthAmerica,
+    GeoGroup::Oceania,
+    GeoGroup::Other,
+];
+
+/// Provider flags in wire order; bit *i* of the on-disk provider byte.
+const PROVIDER_WIRE: [Providers; 5] = [
+    Providers::GCP,
+    Providers::AZURE,
+    Providers::AWS,
+    Providers::IBM,
+    Providers::ALIBABA,
+];
+
+/// FNV-1a 64-bit hash — the primitive under the container's content
+/// hash and the same construction the sweep pipeline uses for
+/// content-addressed ids.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+/// Bytes per content-hash chunk.
+const HASH_CHUNK: usize = 1 << 20;
+
+/// FNV-1a folded over little-endian 8-byte words, with a trailing
+/// length mix — the chunk digest under [`content_hash`].
+///
+/// Byte-serial FNV-1a advances its multiply dependency chain once per
+/// byte, which on a year-scale value section costs more than decoding
+/// the values it guards. Folding a word at a time keeps the same
+/// xor-and-multiply structure with an eighth of the chain; the length
+/// mix keeps a short chunk from colliding with its zero-padded
+/// extension.
+fn fnv1a64_words(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    let mut words = bytes.chunks_exact(8);
+    for word in words.by_ref() {
+        hash ^= u64::from_le_bytes(word.try_into().unwrap());
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    let mut tail = 0u64;
+    for (i, &byte) in words.remainder().iter().enumerate() {
+        tail |= u64::from(byte) << (8 * i);
+    }
+    hash ^= tail;
+    hash = hash.wrapping_mul(0x100_0000_01b3);
+    hash ^= bytes.len() as u64;
+    hash.wrapping_mul(0x100_0000_01b3)
+}
+
+/// The container content hash: FNV-1a over the concatenated
+/// little-endian [`fnv1a64_words`] digests of each 1 MiB chunk of
+/// `bytes`.
+///
+/// The two-level construction lets the chunk digests run in parallel on
+/// multi-core hosts; it is a fixed part of the format, so every writer
+/// and verifier computes the same value regardless of thread count.
+pub fn content_hash(bytes: &[u8]) -> u64 {
+    let chunks: Vec<&[u8]> = bytes.chunks(HASH_CHUNK).collect();
+    let digests = decarb_par::par_map(&chunks, |chunk| fnv1a64_words(chunk));
+    let mut cat = Vec::with_capacity(digests.len() * 8);
+    for digest in digests {
+        cat.extend_from_slice(&digest.to_le_bytes());
+    }
+    fnv1a64(&cat)
+}
+
+/// Returns `true` if `bytes` start with the container magic — the
+/// format auto-detection every `--data` consumer applies.
+pub fn is_container(bytes: &[u8]) -> bool {
+    bytes.len() >= MAGIC.len() && bytes[..MAGIC.len()] == MAGIC
+}
+
+/// A parsed header plus file-level facts: what `probe` reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContainerInfo {
+    /// Format revision.
+    pub version: u16,
+    /// Region count.
+    pub regions: usize,
+    /// Absolute start hour of every region's series.
+    pub start: Hour,
+    /// Samples per region.
+    pub hours: usize,
+    /// Minutes per sample (60 = hourly).
+    pub resolution_minutes: u32,
+    /// Value segments (1 after `pack`, +1 per `append`).
+    pub segments: usize,
+    /// The FNV-1a content hash recorded in (and verified against) the
+    /// trailer.
+    pub content_hash: u64,
+    /// Total file length in bytes.
+    pub file_bytes: usize,
+}
+
+/// Shorthand for the module's error variant.
+fn bad(label: &str, reason: impl Into<String>) -> TraceError {
+    TraceError::Container {
+        path: label.to_string(),
+        reason: reason.into(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------
+
+/// Encodes `set` as a single-segment container.
+///
+/// The fixed-width value blocks require uniform coverage: every region
+/// must share one start hour and one sample count, otherwise this is a
+/// [`TraceError::Container`] naming the two mismatched zones.
+pub fn encode(set: &TraceSet) -> Result<Vec<u8>, TraceError> {
+    let (start, hours) = uniform_span(set, "<encode>")?;
+    let regions = u16::try_from(set.len()).map_err(|_| TraceError::TableFull(set.len()))?;
+    let meta = encode_metadata(set.regions());
+    let meta_len = u32::try_from(meta.len())
+        .map_err(|_| bad("<encode>", "region metadata block exceeds 4 GiB"))?;
+
+    let values_len = 8 + set.len() * hours * 8;
+    let mut out = Vec::with_capacity(HEADER_LEN + meta.len() + values_len + TRAILER_LEN);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&regions.to_le_bytes());
+    out.extend_from_slice(&RESOLUTION_MINUTES.to_le_bytes());
+    out.extend_from_slice(&start.0.to_le_bytes());
+    out.extend_from_slice(&(hours as u64).to_le_bytes());
+    out.extend_from_slice(&1u32.to_le_bytes());
+    out.extend_from_slice(&meta_len.to_le_bytes());
+    out.extend_from_slice(&meta);
+    out.extend_from_slice(&(hours as u64).to_le_bytes());
+    // Per-region value blocks, encoded in parallel (the blocks have a
+    // known fixed width, so workers produce independent chunks that
+    // concatenate in intern order).
+    let blocks = decarb_par::par_map(set.regions(), |region| {
+        let series = set
+            .series_by_id(set.table().id(&region.code).expect("region is interned"))
+            .values();
+        let mut block = Vec::with_capacity(series.len() * 8);
+        for value in series {
+            block.extend_from_slice(&value.to_le_bytes());
+        }
+        block
+    });
+    for block in blocks {
+        out.extend_from_slice(&block);
+    }
+    let hash = content_hash(&out);
+    out.extend_from_slice(&hash.to_le_bytes());
+    Ok(out)
+}
+
+/// Checks that every region spans the same `[start, start+len)` window.
+fn uniform_span(set: &TraceSet, label: &str) -> Result<(Hour, usize), TraceError> {
+    let mut span: Option<(&str, Hour, usize)> = None;
+    for (region, series) in set.iter() {
+        match span {
+            None => span = Some((&region.code, series.start(), series.len())),
+            Some((first, start, len)) => {
+                if series.start() != start || series.len() != len {
+                    return Err(bad(
+                        label,
+                        format!(
+                            "ragged coverage: zone {first} spans hours {}..{} but zone {} \
+                             spans {}..{}; fixed-width value blocks need uniform coverage",
+                            start.0,
+                            start.0 as usize + len,
+                            region.code,
+                            series.start().0,
+                            series.start().index() + series.len(),
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    Ok(span.map_or((Hour(0), 0), |(_, start, len)| (start, len)))
+}
+
+/// Serializes the region metadata block.
+fn encode_metadata(regions: &[Region]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for region in regions {
+        put_str(&mut out, &region.code);
+        put_str(&mut out, &region.name);
+        let group = GROUP_WIRE
+            .iter()
+            .position(|&g| g == region.group)
+            .expect("GROUP_WIRE covers every GeoGroup variant") as u8;
+        out.push(group);
+        let mut providers = 0u8;
+        for (bit, &flag) in PROVIDER_WIRE.iter().enumerate() {
+            if region.providers.contains(flag) {
+                providers |= 1 << bit;
+            }
+        }
+        out.push(providers);
+        out.push(u8::from(region.hyperscale_set));
+        for value in [
+            region.lat,
+            region.lon,
+            region.mean_ci_2022,
+            region.ci_delta_2020_2022,
+            region.daily_cv,
+            region.periodicity,
+        ] {
+            out.extend_from_slice(&value.to_le_bytes());
+        }
+        for source in Source::ALL {
+            out.extend_from_slice(&region.mix.share(source).to_le_bytes());
+        }
+    }
+    out
+}
+
+/// Writes a length-prefixed UTF-8 string (u16 length).
+fn put_str(out: &mut Vec<u8>, text: &str) {
+    let len = u16::try_from(text.len()).unwrap_or(u16::MAX);
+    let text = &text.as_bytes()[..len as usize];
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(text);
+}
+
+// ---------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------
+
+/// A bounds-checked little-endian reader over the container bytes.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    label: &'a str,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], TraceError> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.bytes.len());
+        let Some(end) = end else {
+            return Err(bad(
+                self.label,
+                format!(
+                    "truncated {what}: needed {n} bytes at offset {} but the file holds {}; \
+                     the file was cut short — re-pack it from the source CSV",
+                    self.pos,
+                    self.bytes.len()
+                ),
+            ));
+        };
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u16(&mut self, what: &str) -> Result<u16, TraceError> {
+        Ok(u16::from_le_bytes(self.take(2, what)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, TraceError> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, TraceError> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self, what: &str) -> Result<f64, TraceError> {
+        Ok(f64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+
+    fn str(&mut self, what: &str) -> Result<&'a str, TraceError> {
+        let len = self.u16(what)? as usize;
+        let raw = self.take(len, what)?;
+        std::str::from_utf8(raw).map_err(|_| bad(self.label, format!("{what} is not UTF-8")))
+    }
+}
+
+/// The parsed fixed header.
+struct Header {
+    regions: usize,
+    resolution_minutes: u32,
+    start: Hour,
+    hours: usize,
+    segments: usize,
+    meta_len: usize,
+    version: u16,
+}
+
+/// Checks magic, version, and the trailer hash, then parses the fixed
+/// header. Every loader goes through this gate.
+fn verify_and_read_header(bytes: &[u8], label: &str) -> Result<(Header, u64), TraceError> {
+    if !is_container(bytes) {
+        return Err(bad(
+            label,
+            "bad magic: not a decarb trace container (pack one with `data pack`)",
+        ));
+    }
+    if bytes.len() < HEADER_LEN + TRAILER_LEN {
+        return Err(bad(
+            label,
+            format!(
+                "truncated header: the file holds {} bytes but the fixed header and \
+                 hash trailer need {}",
+                bytes.len(),
+                HEADER_LEN + TRAILER_LEN
+            ),
+        ));
+    }
+    let body = &bytes[..bytes.len() - TRAILER_LEN];
+    let recorded = u64::from_le_bytes(bytes[bytes.len() - TRAILER_LEN..].try_into().unwrap());
+    let actual = content_hash(body);
+    if recorded != actual {
+        return Err(bad(
+            label,
+            format!(
+                "content hash mismatch: trailer records fnv1a64:{recorded:016x} but the \
+                 bytes hash to fnv1a64:{actual:016x}; the file is corrupt or was \
+                 modified in place — re-pack it from the source CSV"
+            ),
+        ));
+    }
+    let mut r = Reader {
+        bytes: body,
+        pos: MAGIC.len(),
+        label,
+    };
+    let version = r.u16("header")?;
+    if version != VERSION {
+        return Err(bad(
+            label,
+            format!(
+                "unsupported container version {version} (this build reads version \
+                 {VERSION}); re-pack the dataset with this binary"
+            ),
+        ));
+    }
+    let regions = r.u16("header")? as usize;
+    let resolution_minutes = r.u32("header")?;
+    let start = Hour(r.u32("header")?);
+    let hours = usize::try_from(r.u64("header")?)
+        .map_err(|_| bad(label, "header hour count exceeds the address space"))?;
+    let segments = r.u32("header")? as usize;
+    let meta_len = r.u32("header")? as usize;
+    Ok((
+        Header {
+            regions,
+            resolution_minutes,
+            start,
+            hours,
+            segments,
+            meta_len,
+            version,
+        },
+        recorded,
+    ))
+}
+
+/// Parses the region metadata block into owned [`Region`]s.
+fn decode_metadata(r: &mut Reader<'_>, count: usize) -> Result<Vec<Region>, TraceError> {
+    let mut regions = Vec::with_capacity(count);
+    for _ in 0..count {
+        let code = r.str("region code")?.to_string();
+        let name = r.str("region name")?.to_string();
+        let group_byte = r.take(1, "region group")?[0] as usize;
+        let group = *GROUP_WIRE.get(group_byte).ok_or_else(|| {
+            bad(
+                r.label,
+                format!("region {code}: unknown geo-group byte {group_byte}"),
+            )
+        })?;
+        let provider_bits = r.take(1, "region providers")?[0];
+        let mut providers = Providers::NONE;
+        for (bit, &flag) in PROVIDER_WIRE.iter().enumerate() {
+            if provider_bits & (1 << bit) != 0 {
+                providers = providers | flag;
+            }
+        }
+        let hyperscale_set = r.take(1, "region flags")?[0] != 0;
+        let lat = r.f64("region latitude")?;
+        let lon = r.f64("region longitude")?;
+        let mean_ci_2022 = r.f64("region mean CI")?;
+        let ci_delta_2020_2022 = r.f64("region CI delta")?;
+        let daily_cv = r.f64("region daily CV")?;
+        let periodicity = r.f64("region periodicity")?;
+        let mut shares = [0.0f64; 9];
+        for share in &mut shares {
+            *share = r.f64("region mix")?;
+        }
+        if shares.iter().any(|&s| s.is_nan() || s < 0.0) || shares.iter().sum::<f64>() <= 0.0 {
+            return Err(bad(
+                r.label,
+                format!("region {code}: invalid generation-mix shares"),
+            ));
+        }
+        regions.push(Region {
+            code,
+            name,
+            group,
+            lat,
+            lon,
+            providers,
+            mix: EnergyMix::from_normalized(shares),
+            mean_ci_2022,
+            ci_delta_2020_2022,
+            daily_cv,
+            periodicity,
+            hyperscale_set,
+        });
+    }
+    Ok(regions)
+}
+
+/// Decodes a container into a [`TraceSet`].
+///
+/// `label` names the source in errors (the file path at the CLI edge).
+/// The load is one pass and allocation-lean: strings exist only in the
+/// metadata block; each region's samples are bulk-converted from the
+/// fixed-width segments into one pre-sized `Vec<f64>`.
+pub fn decode(bytes: &[u8], label: &str) -> Result<TraceSet, TraceError> {
+    let (header, _) = verify_and_read_header(bytes, label)?;
+    let mut r = Reader {
+        bytes: &bytes[..bytes.len() - TRAILER_LEN],
+        pos: HEADER_LEN,
+        label,
+    };
+    let meta_end = HEADER_LEN
+        .checked_add(header.meta_len)
+        .filter(|&e| e <= r.bytes.len())
+        .ok_or_else(|| bad(label, "truncated region metadata block"))?;
+    let regions = decode_metadata(&mut r, header.regions)?;
+    if r.pos != meta_end {
+        return Err(bad(
+            label,
+            format!(
+                "region metadata block length mismatch: header says {} bytes, parsed {}",
+                header.meta_len,
+                r.pos - HEADER_LEN
+            ),
+        ));
+    }
+    // Walk the segment structure sequentially (cheap pointer
+    // arithmetic), then fan the actual byte→f64 conversion out across
+    // regions — on the year-long 123-zone dataset that conversion, not
+    // the walk, is the bulk of the decode.
+    let mut blocks: Vec<Vec<&[u8]>> = regions
+        .iter()
+        .map(|_| Vec::with_capacity(header.segments))
+        .collect();
+    let mut covered = 0usize;
+    for _ in 0..header.segments {
+        let seg_hours = usize::try_from(r.u64("segment header")?)
+            .map_err(|_| bad(label, "segment hour count exceeds the address space"))?;
+        for region_blocks in &mut blocks {
+            region_blocks.push(r.take(seg_hours * 8, "value block")?);
+        }
+        covered += seg_hours;
+    }
+    if covered != header.hours {
+        return Err(bad(
+            label,
+            format!(
+                "segment hours sum to {covered} but the header promises {}",
+                header.hours
+            ),
+        ));
+    }
+    if r.pos != r.bytes.len() {
+        return Err(bad(
+            label,
+            format!(
+                "{} trailing bytes after the last value block",
+                r.bytes.len() - r.pos
+            ),
+        ));
+    }
+    let values = decarb_par::par_map(&blocks, |region_blocks| {
+        let mut out = Vec::with_capacity(header.hours);
+        for block in region_blocks {
+            out.extend(
+                block
+                    .chunks_exact(8)
+                    .map(|chunk| f64::from_le_bytes(chunk.try_into().unwrap())),
+            );
+        }
+        out
+    });
+    let pairs = regions
+        .into_iter()
+        .zip(values)
+        .map(|(region, values)| (region, TimeSeries::new(header.start, values)))
+        .collect();
+    TraceSet::try_from_series(pairs)
+}
+
+/// Verifies a container and reports its header facts without building
+/// the dataset: magic, version, and hash are checked, and the segment
+/// structure is walked so truncation inside a value block is caught.
+pub fn probe(bytes: &[u8], label: &str) -> Result<ContainerInfo, TraceError> {
+    let (header, content_hash) = verify_and_read_header(bytes, label)?;
+    let mut r = Reader {
+        bytes: &bytes[..bytes.len() - TRAILER_LEN],
+        pos: HEADER_LEN,
+        label,
+    };
+    r.take(header.meta_len, "region metadata block")?;
+    let mut covered = 0usize;
+    for _ in 0..header.segments {
+        let seg_hours = usize::try_from(r.u64("segment header")?)
+            .map_err(|_| bad(label, "segment hour count exceeds the address space"))?;
+        r.take(header.regions * seg_hours * 8, "value block")?;
+        covered += seg_hours;
+    }
+    if covered != header.hours || r.pos != r.bytes.len() {
+        return Err(bad(
+            label,
+            format!(
+                "segment structure mismatch: {covered} segment hours / {} promised, \
+                 {} bytes left over",
+                header.hours,
+                r.bytes.len() - r.pos
+            ),
+        ));
+    }
+    Ok(ContainerInfo {
+        version: header.version,
+        regions: header.regions,
+        start: header.start,
+        hours: header.hours,
+        resolution_minutes: header.resolution_minutes,
+        segments: header.segments,
+        content_hash,
+        file_bytes: bytes.len(),
+    })
+}
+
+// ---------------------------------------------------------------------
+// Append
+// ---------------------------------------------------------------------
+
+/// Appends newly observed hours to an existing container, returning the
+/// new file bytes and the number of hours added.
+///
+/// `update` must cover exactly the container's zones, and each zone's
+/// series must reach the container's end hour; values at or past the
+/// end are taken, anything overlapping stored history is ignored. The
+/// appended segment spans the *longest* new coverage: zones that fall
+/// short are an error, unless `pad` is set, in which case they repeat
+/// their last supplied value (flagged in the error message otherwise).
+///
+/// The existing header-to-last-segment byte range is copied verbatim —
+/// history is never re-encoded — and only the fixed-size header fields
+/// and the trailer hash are rewritten.
+pub fn append(
+    bytes: &[u8],
+    label: &str,
+    update: &TraceSet,
+    pad: bool,
+) -> Result<(Vec<u8>, usize), TraceError> {
+    let (header, _) = verify_and_read_header(bytes, label)?;
+    let mut r = Reader {
+        bytes: &bytes[..bytes.len() - TRAILER_LEN],
+        pos: HEADER_LEN,
+        label,
+    };
+    let stored = decode_metadata(&mut r, header.regions)?;
+    let end = header.start.0 as u64 + header.hours as u64;
+    let end = u32::try_from(end).map_err(|_| bad(label, "container horizon overflows u32"))?;
+
+    // The update must cover the container's zones exactly: appending
+    // cannot add or drop regions without restructuring the blocks.
+    for region in update.regions() {
+        if !stored.iter().any(|s| s.code == region.code) {
+            return Err(bad(
+                label,
+                format!(
+                    "zone {} in the update is not in the container; `append` cannot add \
+                     regions — re-pack instead",
+                    region.code
+                ),
+            ));
+        }
+    }
+    // Slice each zone's new coverage `[end, ...)` out of the update.
+    let mut fresh: Vec<(&str, &[f64], f64)> = Vec::with_capacity(stored.len());
+    for region in &stored {
+        let series = update.series(&region.code).map_err(|_| {
+            bad(
+                label,
+                format!(
+                    "zone {} is missing from the update; every stored zone needs rows",
+                    region.code
+                ),
+            )
+        })?;
+        let s0 = series.start().0;
+        if s0 > end {
+            return Err(bad(
+                label,
+                format!(
+                    "zone {}: update starts at hour {s0} but the container ends at hour \
+                     {end}; hours {end}..{s0} would be a gap",
+                    region.code
+                ),
+            ));
+        }
+        let skip = (end - s0) as usize;
+        let values = series.values();
+        let new = values.get(skip..).unwrap_or(&[]);
+        let last = *values.last().ok_or_else(|| {
+            bad(
+                label,
+                format!("zone {} in the update holds no rows", region.code),
+            )
+        })?;
+        fresh.push((&region.code, new, last));
+    }
+    let added = fresh.iter().map(|(_, new, _)| new.len()).max().unwrap_or(0);
+    if added == 0 {
+        return Err(bad(
+            label,
+            format!("the update holds no hours past the container's end hour {end}"),
+        ));
+    }
+    if !pad {
+        let short: Vec<String> = fresh
+            .iter()
+            .filter(|(_, new, _)| new.len() < added)
+            .map(|(code, new, _)| format!("{code} ({} of {added} hours)", new.len()))
+            .collect();
+        if !short.is_empty() {
+            return Err(bad(
+                label,
+                format!(
+                    "ragged coverage: {} fall short of the longest zone; pass --pad to \
+                     repeat each zone's last value, or supply the missing rows",
+                    short.join(", ")
+                ),
+            ));
+        }
+    }
+
+    // Copy header..last-segment verbatim, extend with one new segment.
+    let mut out = Vec::with_capacity(bytes.len() + 8 + stored.len() * added * 8);
+    out.extend_from_slice(&bytes[..bytes.len() - TRAILER_LEN]);
+    out.extend_from_slice(&(added as u64).to_le_bytes());
+    for (_, new, last) in &fresh {
+        for value in *new {
+            out.extend_from_slice(&value.to_le_bytes());
+        }
+        for _ in new.len()..added {
+            out.extend_from_slice(&last.to_le_bytes());
+        }
+    }
+    // Rewrite the header fields that changed: total hours and segments.
+    let hours = (header.hours + added) as u64;
+    out[20..28].copy_from_slice(&hours.to_le_bytes());
+    out[28..32].copy_from_slice(&((header.segments + 1) as u32).to_le_bytes());
+    let hash = content_hash(&out);
+    out.extend_from_slice(&hash.to_le_bytes());
+    Ok((out, added))
+}
+
+// ---------------------------------------------------------------------
+// File helpers
+// ---------------------------------------------------------------------
+
+/// Writes `bytes` to `path` atomically: a sibling temp file is written
+/// and renamed over the target, so readers (and crashed writers) never
+/// observe a half-written container.
+pub fn write_bytes_atomic(path: &str, bytes: &[u8]) -> Result<(), TraceError> {
+    let tmp = format!("{path}.tmp~");
+    std::fs::write(&tmp, bytes).map_err(|e| TraceError::Io(format!("{tmp}: {e}")))?;
+    std::fs::rename(&tmp, path).map_err(|e| TraceError::Io(format!("{path}: {e}")))
+}
+
+/// [`encode`] + [`write_bytes_atomic`].
+pub fn write_file(set: &TraceSet, path: &str) -> Result<(), TraceError> {
+    let bytes = encode(set).map_err(|e| relabel(e, path))?;
+    write_bytes_atomic(path, &bytes)
+}
+
+/// Reads and [`decode`]s a container file.
+pub fn load_file(path: &str) -> Result<TraceSet, TraceError> {
+    let bytes = std::fs::read(path).map_err(|e| TraceError::Io(format!("{path}: {e}")))?;
+    decode(&bytes, path)
+}
+
+/// Reads and [`probe`]s a container file.
+pub fn probe_file(path: &str) -> Result<ContainerInfo, TraceError> {
+    let bytes = std::fs::read(path).map_err(|e| TraceError::Io(format!("{path}: {e}")))?;
+    probe(&bytes, path)
+}
+
+/// Swaps the `<encode>` placeholder label for a real path.
+fn relabel(err: TraceError, path: &str) -> TraceError {
+    match err {
+        TraceError::Container { reason, .. } => TraceError::Container {
+            path: path.to_string(),
+            reason,
+        },
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+
+    fn tiny_set(hours: usize) -> TraceSet {
+        let se = catalog::region("SE").unwrap().clone();
+        let de = catalog::region("DE").unwrap().clone();
+        let mut user = Region::user("XX-NEW");
+        user.name = "Userland".into();
+        user.group = GeoGroup::Other;
+        let series = |base: f64| {
+            TimeSeries::new(
+                Hour(10),
+                (0..hours).map(|i| base + i as f64 * 0.25).collect(),
+            )
+        };
+        TraceSet::from_series(vec![
+            (se, series(16.0)),
+            (de, series(380.0)),
+            (user, series(120.5)),
+        ])
+    }
+
+    fn assert_region_eq(a: &Region, b: &Region) {
+        assert_eq!(a.code, b.code);
+        assert_eq!(a.name, b.name);
+        assert_eq!(a.group, b.group);
+        assert_eq!(a.lat.to_bits(), b.lat.to_bits());
+        assert_eq!(a.lon.to_bits(), b.lon.to_bits());
+        assert_eq!(a.providers, b.providers);
+        assert_eq!(a.mean_ci_2022.to_bits(), b.mean_ci_2022.to_bits());
+        assert_eq!(
+            a.ci_delta_2020_2022.to_bits(),
+            b.ci_delta_2020_2022.to_bits()
+        );
+        assert_eq!(a.daily_cv.to_bits(), b.daily_cv.to_bits());
+        assert_eq!(a.periodicity.to_bits(), b.periodicity.to_bits());
+        assert_eq!(a.hyperscale_set, b.hyperscale_set);
+        for source in Source::ALL {
+            assert_eq!(
+                a.mix.share(source).to_bits(),
+                b.mix.share(source).to_bits(),
+                "{} share of {}",
+                source.label(),
+                a.code
+            );
+        }
+    }
+
+    fn assert_set_eq(a: &TraceSet, b: &TraceSet) {
+        assert_eq!(a.len(), b.len());
+        for ((ra, sa), (rb, sb)) in a.iter().zip(b.iter()) {
+            assert_region_eq(ra, rb);
+            assert_eq!(sa.start(), sb.start());
+            assert_eq!(sa.len(), sb.len());
+            for (va, vb) in sa.values().iter().zip(sb.values()) {
+                assert_eq!(va.to_bits(), vb.to_bits(), "zone {}", ra.code);
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_ids_metadata_and_values() {
+        let set = tiny_set(48);
+        let bytes = encode(&set).unwrap();
+        let back = decode(&bytes, "test").unwrap();
+        assert_set_eq(&set, &back);
+        // Intern order (and therefore every RegionId) survives.
+        for (id, region, _) in set.iter_ids() {
+            assert_eq!(back.id_of(&region.code).unwrap(), id);
+        }
+    }
+
+    #[test]
+    fn probe_reports_header_facts() {
+        let set = tiny_set(48);
+        let bytes = encode(&set).unwrap();
+        let info = probe(&bytes, "test").unwrap();
+        assert_eq!(info.version, VERSION);
+        assert_eq!(info.regions, 3);
+        assert_eq!(info.start, Hour(10));
+        assert_eq!(info.hours, 48);
+        assert_eq!(info.resolution_minutes, 60);
+        assert_eq!(info.segments, 1);
+        assert_eq!(info.file_bytes, bytes.len());
+        let recorded = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().unwrap());
+        assert_eq!(info.content_hash, recorded);
+    }
+
+    #[test]
+    fn empty_set_roundtrips() {
+        let set = TraceSet::from_series(vec![]);
+        let bytes = encode(&set).unwrap();
+        let back = decode(&bytes, "test").unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn encode_rejects_ragged_coverage() {
+        let set = TraceSet::from_series(vec![
+            (
+                catalog::region("SE").unwrap().clone(),
+                TimeSeries::new(Hour(0), vec![1.0, 2.0]),
+            ),
+            (
+                catalog::region("DE").unwrap().clone(),
+                TimeSeries::new(Hour(0), vec![1.0, 2.0, 3.0]),
+            ),
+        ]);
+        let err = encode(&set).unwrap_err();
+        assert!(matches!(err, TraceError::Container { .. }));
+        assert!(format!("{err}").contains("ragged"), "{err}");
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let err = decode(b"zone,hour,value\nSE,0,16.0\n", "test").unwrap_err();
+        assert!(format!("{err}").contains("bad magic"), "{err}");
+        assert!(!is_container(b"zone,hour"));
+        assert!(is_container(&encode(&tiny_set(4)).unwrap()));
+    }
+
+    #[test]
+    fn corruption_is_rejected_by_the_hash() {
+        let mut bytes = encode(&tiny_set(48)).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        let err = decode(&bytes, "test").unwrap_err();
+        assert!(format!("{err}").contains("hash mismatch"), "{err}");
+        assert!(probe(&bytes, "test").is_err());
+    }
+
+    #[test]
+    fn truncation_is_rejected() {
+        let bytes = encode(&tiny_set(48)).unwrap();
+        // Mid-header truncation.
+        let err = decode(&bytes[..20], "test").unwrap_err();
+        assert!(format!("{err}").contains("truncated"), "{err}");
+        // A clean cut further in still fails the hash check (the
+        // trailer bytes are now value bytes).
+        let err = decode(&bytes[..bytes.len() - 64], "test").unwrap_err();
+        assert!(matches!(err, TraceError::Container { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn version_gate() {
+        let mut bytes = encode(&tiny_set(4)).unwrap();
+        bytes[8] = 99;
+        // Recompute the trailer so only the version differs.
+        let body = bytes.len() - TRAILER_LEN;
+        let hash = content_hash(&bytes[..body]);
+        bytes[body..].copy_from_slice(&hash.to_le_bytes());
+        let err = decode(&bytes, "test").unwrap_err();
+        assert!(format!("{err}").contains("version 99"), "{err}");
+    }
+
+    #[test]
+    fn append_extends_without_reencoding_history() {
+        let full = tiny_set(48);
+        let first: TraceSet = TraceSet::from_series(
+            full.iter()
+                .map(|(r, s)| (r.clone(), s.slice(Hour(10), 30).unwrap()))
+                .collect(),
+        );
+        let second: TraceSet = TraceSet::from_series(
+            full.iter()
+                .map(|(r, s)| (r.clone(), s.slice(Hour(40), 18).unwrap()))
+                .collect(),
+        );
+        let packed_first = encode(&first).unwrap();
+        let (appended, added) = append(&packed_first, "test", &second, false).unwrap();
+        assert_eq!(added, 18);
+        // History bytes (header excluded) are byte-identical in place.
+        assert_eq!(
+            &appended[HEADER_LEN..packed_first.len() - TRAILER_LEN],
+            &packed_first[HEADER_LEN..packed_first.len() - TRAILER_LEN]
+        );
+        let back = decode(&appended, "test").unwrap();
+        assert_set_eq(&full, &back);
+        assert_eq!(probe(&appended, "test").unwrap().segments, 2);
+    }
+
+    #[test]
+    fn append_accepts_overlapping_history() {
+        let full = tiny_set(48);
+        let first = TraceSet::from_series(
+            full.iter()
+                .map(|(r, s)| (r.clone(), s.slice(Hour(10), 30).unwrap()))
+                .collect(),
+        );
+        // The update re-sends the last 5 stored hours plus 18 new ones.
+        let update = TraceSet::from_series(
+            full.iter()
+                .map(|(r, s)| (r.clone(), s.slice(Hour(35), 23).unwrap()))
+                .collect(),
+        );
+        let packed = encode(&first).unwrap();
+        let (appended, added) = append(&packed, "test", &update, false).unwrap();
+        assert_eq!(added, 18);
+        assert_set_eq(&full, &decode(&appended, "test").unwrap());
+    }
+
+    #[test]
+    fn append_pads_or_errors_on_ragged_coverage() {
+        let full = tiny_set(48);
+        let first = TraceSet::from_series(
+            full.iter()
+                .map(|(r, s)| (r.clone(), s.slice(Hour(10), 40).unwrap()))
+                .collect(),
+        );
+        // SE supplies only 3 of the 8 new hours.
+        let update = TraceSet::from_series(
+            full.iter()
+                .map(|(r, s)| {
+                    let len = if r.code == "SE" { 3 } else { 8 };
+                    (r.clone(), s.slice(Hour(50), len).unwrap())
+                })
+                .collect(),
+        );
+        let packed = encode(&first).unwrap();
+        let err = append(&packed, "test", &update, false).unwrap_err();
+        assert!(format!("{err}").contains("--pad"), "{err}");
+        let (appended, added) = append(&packed, "test", &update, true).unwrap();
+        assert_eq!(added, 8);
+        let back = decode(&appended, "test").unwrap();
+        let se = back.series("SE").unwrap().values();
+        assert_eq!(se.len(), 48);
+        // The padded tail repeats SE's last supplied value.
+        let last_supplied = se[42];
+        for &padded in &se[43..] {
+            assert_eq!(padded.to_bits(), last_supplied.to_bits());
+        }
+    }
+
+    #[test]
+    fn append_rejects_gaps_missing_and_foreign_zones() {
+        let first = tiny_set(30);
+        let packed = encode(&first).unwrap();
+        // Gap: update starts past the container end (end = hour 40).
+        let gap = TraceSet::from_series(
+            first
+                .iter()
+                .map(|(r, _)| (r.clone(), TimeSeries::new(Hour(45), vec![1.0, 2.0])))
+                .collect(),
+        );
+        let err = append(&packed, "test", &gap, false).unwrap_err();
+        assert!(format!("{err}").contains("gap"), "{err}");
+        // Missing zone.
+        let missing = TraceSet::from_series(vec![(
+            catalog::region("SE").unwrap().clone(),
+            TimeSeries::new(Hour(40), vec![1.0]),
+        )]);
+        let err = append(&packed, "test", &missing, false).unwrap_err();
+        assert!(format!("{err}").contains("missing"), "{err}");
+        // Foreign zone.
+        let mut pairs: Vec<(Region, TimeSeries)> = first
+            .iter()
+            .map(|(r, _)| (r.clone(), TimeSeries::new(Hour(40), vec![1.0])))
+            .collect();
+        pairs.push((
+            Region::user("ZZ-ELSE"),
+            TimeSeries::new(Hour(40), vec![1.0]),
+        ));
+        let foreign = TraceSet::from_series(pairs);
+        let err = append(&packed, "test", &foreign, false).unwrap_err();
+        assert!(format!("{err}").contains("cannot add"), "{err}");
+        // No new hours at all.
+        let stale = TraceSet::from_series(
+            first
+                .iter()
+                .map(|(r, s)| (r.clone(), s.slice(Hour(10), 30).unwrap()))
+                .collect(),
+        );
+        let err = append(&packed, "test", &stale, false).unwrap_err();
+        assert!(format!("{err}").contains("no hours"), "{err}");
+    }
+
+    #[test]
+    fn file_helpers_roundtrip_atomically() {
+        let dir = std::env::temp_dir().join(format!("decarb-container-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tiny.dct");
+        let path = path.to_str().unwrap();
+        let set = tiny_set(12);
+        write_file(&set, path).unwrap();
+        assert_set_eq(&set, &load_file(path).unwrap());
+        assert_eq!(probe_file(path).unwrap().hours, 12);
+        assert!(!std::path::Path::new(&format!("{path}.tmp~")).exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fnv_vector() {
+        // Known FNV-1a 64 vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63dc4c8601ec8c);
+    }
+}

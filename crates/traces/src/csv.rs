@@ -95,16 +95,41 @@ pub fn read_dataset<R: Read>(input: R) -> Result<crate::TraceSet, TraceError> {
 /// [`crate::sidecar::parse_region_sidecar`]) take precedence over the
 /// built-in catalog, which in turn beats the [`crate::Region::user`]
 /// defaults.
+///
+/// The input is buffered to a string and handed to
+/// [`read_dataset_str_with`], which fans per-zone row blocks out over
+/// `decarb-par` worker threads.
 pub fn read_dataset_with<R: Read>(
     input: R,
     extra: &[crate::Region],
 ) -> Result<crate::TraceSet, TraceError> {
-    let reader = BufReader::new(input);
-    let mut pairs: Vec<(crate::Region, TimeSeries)> = Vec::new();
-    let mut current: Option<(crate::Region, Hour, Vec<f64>)> = None;
-    for (i, line) in reader.lines().enumerate() {
-        let line = line?;
-        let line = line.trim();
+    let mut text = String::new();
+    BufReader::new(input).read_to_string(&mut text)?;
+    read_dataset_str_with(&text, extra)
+}
+
+/// Parses a `zone,hour,value` dataset held in memory, fanning the
+/// per-zone blocks out across `decarb-par` workers.
+///
+/// A cheap sequential scan splits the text into zone blocks and catches
+/// the errors that depend on global row order (short rows, a zone
+/// reappearing after its group closed); the expensive work — float
+/// parsing, contiguity checks, region resolution — runs one block per
+/// worker. When several lines are bad, the smallest line number is
+/// reported, so errors match the sequential reader exactly.
+pub fn read_dataset_str_with(
+    text: &str,
+    extra: &[crate::Region],
+) -> Result<crate::TraceSet, TraceError> {
+    struct Block<'a> {
+        zone: &'a str,
+        // (1-based line number, hour field, value field)
+        rows: Vec<(usize, &'a str, &'a str)>,
+    }
+    let mut blocks: Vec<Block<'_>> = Vec::new();
+    let mut structural: Option<TraceError> = None;
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
         if i == 0 || line.is_empty() {
             continue;
         }
@@ -112,56 +137,113 @@ pub fn read_dataset_with<R: Read>(
         let (Some(zone), Some(hour_str), Some(value_str)) =
             (fields.next(), fields.next(), fields.next())
         else {
-            return Err(TraceError::Parse {
+            structural = Some(TraceError::Parse {
                 line: i + 1,
                 message: "expected `zone,hour,value`".to_string(),
             });
+            break;
         };
-        let hour: u32 = hour_str.trim().parse().map_err(|e| TraceError::Parse {
-            line: i + 1,
-            message: format!("bad hour: {e}"),
-        })?;
-        let value: f64 = value_str.trim().parse().map_err(|e| TraceError::Parse {
-            line: i + 1,
-            message: format!("bad value: {e}"),
-        })?;
         let zone = zone.trim();
-        let switch = match &current {
-            Some((region, _, _)) => region.code != zone,
-            None => true,
-        };
-        if switch {
-            if let Some((region, start, values)) = current.take() {
-                pairs.push((region, TimeSeries::new(start, values)));
+        if blocks.last().is_none_or(|b| b.zone != zone) {
+            if blocks.iter().any(|b| b.zone == zone) {
+                // The sequential reader parses a row's fields before
+                // applying the duplicate-group rule; keep that
+                // precedence for the error message.
+                structural = Some(row_error(i + 1, hour_str, value_str).unwrap_or_else(|| {
+                    TraceError::Parse {
+                        line: i + 1,
+                        message: format!("zone {zone} appears in two separate groups"),
+                    }
+                }));
+                break;
             }
-            if pairs.iter().any(|(r, _)| r.code == zone) {
-                return Err(TraceError::Parse {
-                    line: i + 1,
-                    message: format!("zone {zone} appears in two separate groups"),
-                });
-            }
-            let region = extra
-                .iter()
-                .find(|r| r.code == zone)
-                .cloned()
-                .or_else(|| crate::catalog::region(zone).cloned())
-                .unwrap_or_else(|| crate::Region::user(zone));
-            current = Some((region, Hour(hour), Vec::new()));
-        }
-        let (_, start, values) = current.as_mut().expect("set above");
-        let expected = start.0 + values.len() as u32;
-        if hour != expected {
-            return Err(TraceError::Parse {
-                line: i + 1,
-                message: format!("non-contiguous hour {hour}, expected {expected}"),
+            blocks.push(Block {
+                zone,
+                rows: Vec::new(),
             });
         }
-        values.push(value);
+        let block = blocks.last_mut().expect("pushed above");
+        block.rows.push((i + 1, hour_str, value_str));
     }
-    if let Some((region, start, values)) = current.take() {
-        pairs.push((region, TimeSeries::new(start, values)));
+    let parsed = decarb_par::par_map(&blocks, |block| {
+        let mut start: Option<Hour> = None;
+        let mut values = Vec::with_capacity(block.rows.len());
+        for &(line, hour_str, value_str) in &block.rows {
+            let hour: u32 = hour_str.trim().parse().map_err(|e| TraceError::Parse {
+                line,
+                message: format!("bad hour: {e}"),
+            })?;
+            let value: f64 = value_str.trim().parse().map_err(|e| TraceError::Parse {
+                line,
+                message: format!("bad value: {e}"),
+            })?;
+            match start {
+                None => start = Some(Hour(hour)),
+                Some(s) => {
+                    let expected = s.0 + values.len() as u32;
+                    if hour != expected {
+                        return Err(TraceError::Parse {
+                            line,
+                            message: format!("non-contiguous hour {hour}, expected {expected}"),
+                        });
+                    }
+                }
+            }
+            values.push(value);
+        }
+        let region = extra
+            .iter()
+            .find(|r| r.code == block.zone)
+            .cloned()
+            .or_else(|| crate::catalog::region(block.zone).cloned())
+            .unwrap_or_else(|| crate::Region::user(block.zone));
+        Ok((region, TimeSeries::new(start.unwrap_or(Hour(0)), values)))
+    });
+    // First error by line number wins, as if the rows were read in order.
+    let mut first = structural;
+    let mut pairs = Vec::with_capacity(parsed.len());
+    for result in parsed {
+        match result {
+            Ok(pair) => pairs.push(pair),
+            Err(e) => {
+                if first
+                    .as_ref()
+                    .is_none_or(|f| error_line(&e) < error_line(f))
+                {
+                    first = Some(e);
+                }
+            }
+        }
+    }
+    if let Some(err) = first {
+        return Err(err);
     }
     crate::TraceSet::try_from_series(pairs)
+}
+
+/// Checks a row's hour/value fields, mirroring the per-row parse errors.
+fn row_error(line: usize, hour_str: &str, value_str: &str) -> Option<TraceError> {
+    if let Err(e) = hour_str.trim().parse::<u32>() {
+        return Some(TraceError::Parse {
+            line,
+            message: format!("bad hour: {e}"),
+        });
+    }
+    if let Err(e) = value_str.trim().parse::<f64>() {
+        return Some(TraceError::Parse {
+            line,
+            message: format!("bad value: {e}"),
+        });
+    }
+    None
+}
+
+/// The line number an error anchors to (0 for non-parse errors).
+fn error_line(err: &TraceError) -> usize {
+    match err {
+        TraceError::Parse { line, .. } => *line,
+        _ => 0,
+    }
 }
 
 #[cfg(test)]

@@ -26,6 +26,16 @@ pub enum TraceError {
     /// An underlying I/O failure, carried as a string to keep the error
     /// type `Clone + PartialEq` for test assertions.
     Io(String),
+    /// A binary trace container was rejected: bad magic, an unsupported
+    /// version, a content-hash mismatch, a truncated block, or a
+    /// structural inconsistency. `reason` states what was found and, for
+    /// recoverable problems, what to do about it (e.g. re-pack).
+    Container {
+        /// The container path (or an in-memory label).
+        path: String,
+        /// What was wrong with the file.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for TraceError {
@@ -45,6 +55,9 @@ impl std::fmt::Display for TraceError {
                 write!(f, "parse error on line {line}: {message}")
             }
             TraceError::Io(message) => write!(f, "I/O error: {message}"),
+            TraceError::Container { path, reason } => {
+                write!(f, "container {path}: {reason}")
+            }
         }
     }
 }
@@ -74,5 +87,11 @@ mod tests {
         assert!(format!("{e}").contains("line 7"));
         let e: TraceError = std::io::Error::other("boom").into();
         assert!(format!("{e}").contains("boom"));
+        let e = TraceError::Container {
+            path: "data.dct".into(),
+            reason: "content hash mismatch".into(),
+        };
+        let text = format!("{e}");
+        assert!(text.contains("data.dct") && text.contains("hash mismatch"));
     }
 }

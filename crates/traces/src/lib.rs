@@ -33,6 +33,7 @@
 //! ```
 
 pub mod catalog;
+pub mod container;
 pub mod csv;
 pub mod dataset;
 pub mod error;
@@ -48,6 +49,7 @@ pub mod time;
 pub mod validate;
 
 pub use catalog::builtin_catalog;
+pub use container::ContainerInfo;
 pub use dataset::{builtin_dataset, TraceSet};
 pub use error::TraceError;
 pub use mix::{EnergyMix, Source};

@@ -124,6 +124,14 @@ impl EnergyMix {
         Self { shares: normalized }
     }
 
+    /// Crate-internal constructor for shares that are already
+    /// normalized (binary-container decode): skips the re-normalization
+    /// in [`EnergyMix::new`], whose division by a sum within 1 ulp of
+    /// 1.0 would perturb the stored bits. The caller validates.
+    pub(crate) fn from_normalized(shares: [f64; 9]) -> Self {
+        Self { shares }
+    }
+
     /// Returns the share of `source` in the mix.
     #[inline]
     pub fn share(&self, source: Source) -> f64 {

@@ -263,3 +263,172 @@ fn kmeans_assignments_are_valid() {
         }
     }
 }
+
+/// A random region with every metadata axis the container serializes:
+/// group, providers, hyperscale flag, coordinates, calibration targets,
+/// and a random (normalized) generation mix.
+fn random_region(g: &mut Gen, code: String) -> decarb::traces::Region {
+    use decarb::traces::{EnergyMix, GeoGroup, Providers};
+    let groups = [
+        GeoGroup::Africa,
+        GeoGroup::Asia,
+        GeoGroup::Europe,
+        GeoGroup::NorthAmerica,
+        GeoGroup::SouthAmerica,
+        GeoGroup::Oceania,
+        GeoGroup::Other,
+    ];
+    let mut providers = Providers::NONE;
+    for flag in [
+        Providers::GCP,
+        Providers::AZURE,
+        Providers::AWS,
+        Providers::IBM,
+        Providers::ALIBABA,
+    ] {
+        if g.usize_in(0, 2) == 1 {
+            providers = providers.union(flag);
+        }
+    }
+    let mut shares = [0.0f64; 9];
+    for share in &mut shares {
+        if g.usize_in(0, 2) == 1 {
+            *share = g.f64_in(0.0, 5.0);
+        }
+    }
+    // At least one positive share, or EnergyMix::new panics.
+    shares[g.usize_in(0, 9)] += g.f64_in(0.1, 3.0);
+    decarb::traces::Region {
+        name: format!("Zone {code}"),
+        code,
+        group: groups[g.usize_in(0, groups.len())],
+        lat: g.f64_in(-80.0, 80.0),
+        lon: g.f64_in(-179.0, 179.0),
+        providers,
+        mix: EnergyMix::new(shares),
+        mean_ci_2022: g.f64_in(5.0, 900.0),
+        ci_delta_2020_2022: g.f64_in(-80.0, 80.0),
+        daily_cv: g.f64_in(0.0, 0.4),
+        periodicity: g.f64_in(0.0, 1.0),
+        hyperscale_set: g.usize_in(0, 2) == 1,
+    }
+}
+
+/// A random uniform-coverage dataset of `regions × hours` samples.
+fn random_trace_set(g: &mut Gen, case: u64, start: Hour, hours: usize) -> decarb::traces::TraceSet {
+    let region_count = g.usize_in(1, 8);
+    let pairs = (0..region_count)
+        .map(|i| {
+            let region = random_region(g, format!("Z{case}-{i}"));
+            let values = g.vec_in(1.0, 900.0, hours, hours + 1);
+            (region, TimeSeries::new(start, values))
+        })
+        .collect();
+    decarb::traces::TraceSet::from_series(pairs)
+}
+
+/// Field-by-field region equality, floats compared by bit pattern
+/// (`Region` itself has no `PartialEq`).
+fn assert_region_bits_eq(a: &decarb::traces::Region, b: &decarb::traces::Region, case: u64) {
+    use decarb::traces::Source;
+    assert_eq!(a.code, b.code, "case {case}");
+    assert_eq!(a.name, b.name, "case {case}");
+    assert_eq!(a.group, b.group, "case {case}: {}", a.code);
+    assert_eq!(a.providers, b.providers, "case {case}: {}", a.code);
+    assert_eq!(
+        a.hyperscale_set, b.hyperscale_set,
+        "case {case}: {}",
+        a.code
+    );
+    for (x, y) in [
+        (a.lat, b.lat),
+        (a.lon, b.lon),
+        (a.mean_ci_2022, b.mean_ci_2022),
+        (a.ci_delta_2020_2022, b.ci_delta_2020_2022),
+        (a.daily_cv, b.daily_cv),
+        (a.periodicity, b.periodicity),
+    ] {
+        assert_eq!(x.to_bits(), y.to_bits(), "case {case}: {}", a.code);
+    }
+    for source in Source::ALL {
+        assert_eq!(
+            a.mix.share(source).to_bits(),
+            b.mix.share(source).to_bits(),
+            "case {case}: {} share of {}",
+            source.label(),
+            a.code
+        );
+    }
+}
+
+/// Bit-exact dataset equality: intern order, ids, metadata, values.
+fn assert_trace_set_bits_eq(a: &decarb::traces::TraceSet, b: &decarb::traces::TraceSet, case: u64) {
+    assert_eq!(a.len(), b.len(), "case {case}");
+    for ((id_a, ra, sa), (id_b, rb, sb)) in a.iter_ids().zip(b.iter_ids()) {
+        assert_eq!(id_a, id_b, "case {case}");
+        assert_region_bits_eq(ra, rb, case);
+        assert_eq!(sa.start(), sb.start(), "case {case}: {}", ra.code);
+        assert_eq!(sa.len(), sb.len(), "case {case}: {}", ra.code);
+        for (va, vb) in sa.values().iter().zip(sb.values()) {
+            assert_eq!(va.to_bits(), vb.to_bits(), "case {case}: {}", ra.code);
+        }
+    }
+}
+
+#[test]
+fn container_roundtrip_is_bit_exact() {
+    use decarb::traces::container;
+    for case in 0..CASES {
+        let mut g = Gen::new("container_roundtrip", case);
+        let start = Hour(g.usize_in(0, 40_000) as u32);
+        let hours = g.usize_in(1, 240);
+        let set = random_trace_set(&mut g, case, start, hours);
+        let bytes = container::encode(&set).unwrap();
+        let back = container::decode(&bytes, "prop").unwrap();
+        assert_trace_set_bits_eq(&set, &back, case);
+        let info = container::probe(&bytes, "prop").unwrap();
+        assert_eq!(info.regions, set.len(), "case {case}");
+        assert_eq!(info.hours, hours, "case {case}");
+        assert_eq!(info.start, start, "case {case}");
+    }
+}
+
+#[test]
+fn container_append_equals_one_shot_pack() {
+    use decarb::traces::container;
+    for case in 0..CASES {
+        let mut g = Gen::new("container_append", case);
+        let start = Hour(g.usize_in(0, 40_000) as u32);
+        let hours = g.usize_in(2, 240);
+        let full = random_trace_set(&mut g, case, start, hours);
+        // Split at a random interior hour; the update re-sends a random
+        // amount of stored history ahead of the new rows (append must
+        // ignore the overlap).
+        let cut = g.usize_in(1, hours);
+        let overlap = g.usize_in(0, cut + 1).min(cut);
+        let slice_set = |from: usize, len: usize| -> decarb::traces::TraceSet {
+            decarb::traces::TraceSet::from_series(
+                full.iter()
+                    .map(|(r, s)| {
+                        (
+                            r.clone(),
+                            s.slice(Hour(start.0 + from as u32), len).unwrap(),
+                        )
+                    })
+                    .collect(),
+            )
+        };
+        let first = slice_set(0, cut);
+        let update = slice_set(cut - overlap, hours - cut + overlap);
+        let packed_first = container::encode(&first).unwrap();
+        let (appended, added) = container::append(&packed_first, "prop", &update, false).unwrap();
+        assert_eq!(added, hours - cut, "case {case}");
+        let grown = container::decode(&appended, "prop").unwrap();
+        let one_shot = container::decode(&container::encode(&full).unwrap(), "prop").unwrap();
+        assert_trace_set_bits_eq(&grown, &one_shot, case);
+        // The appended file verifies and reports the grown shape.
+        let info = container::probe(&appended, "prop").unwrap();
+        assert_eq!(info.hours, hours, "case {case}");
+        assert_eq!(info.segments, 2, "case {case}");
+    }
+}
