@@ -1,0 +1,20 @@
+//! Seeded violation fixture for the CI analyze gate.
+//!
+//! This tree is not a Cargo crate and is never compiled. The
+//! `static-analysis` CI job runs
+//! `decarb-cli analyze --workspace ci/analyze-seed` and asserts the
+//! command FAILS, proving the gate actually trips on real violations
+//! instead of rubber-stamping every checkout. Expected findings:
+//! one `no-panic` (the unwrap below) and two `hot-path` (the
+//! un-preallocated `Vec::new` and the `.clone()` in the marked region).
+
+pub fn seeded(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+// decarb-analyze: hot-path
+pub fn hot(xs: &[u8]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(xs);
+    out.clone()
+}

@@ -1,0 +1,25 @@
+//! Prints the analyzer report for the workspace containing this crate.
+//! Handy for local runs: `cargo run -p decarb-analyze --example workspace`.
+
+use std::path::Path;
+
+fn main() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .unwrap_or_else(|| Path::new("."));
+    match decarb_analyze::analyze_workspace(root) {
+        Ok(outcome) => {
+            println!(
+                "{} files scanned\n{}",
+                outcome.files,
+                decarb_analyze::render_report(&outcome.diagnostics)
+            );
+            std::process::exit(if outcome.diagnostics.is_empty() { 0 } else { 1 });
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+}

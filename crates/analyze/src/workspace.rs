@@ -1,0 +1,139 @@
+//! Workspace walker: applies the lint rules to every crate's sources.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::rules::{lint_source, LintConfig};
+use crate::Diagnostic;
+
+/// Crates whose code runs inside sweep workers / library callers and
+/// therefore must not panic. Binary crates (`cli`, `bench`,
+/// `experiments`) may still panic at the top level; the other rules
+/// apply to them regardless.
+pub const LIBRARY_CRATES: &[&str] = &[
+    "analyze",
+    "core",
+    "forecast",
+    "json",
+    "par",
+    "sim",
+    "stats",
+    "traces",
+    "workloads",
+];
+
+/// Result of an analysis run.
+#[derive(Debug, Default)]
+pub struct AnalyzeOutcome {
+    /// Number of `.rs` files scanned.
+    pub files: usize,
+    /// All surviving (non-suppressed) diagnostics.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+/// Analyzes the whole workspace rooted at `root` (the directory
+/// holding the top-level `Cargo.toml`): the root facade's `src/` plus
+/// every `crates/*/src/` tree.
+pub fn analyze_workspace(root: &Path) -> io::Result<AnalyzeOutcome> {
+    let mut outcome = AnalyzeOutcome::default();
+    // Root facade (`decarb`) is a library.
+    scan_dir(
+        &root.join("src"),
+        root,
+        &LintConfig { no_panic: true },
+        &mut outcome,
+    )?;
+    let crates = root.join("crates");
+    let mut dirs: Vec<_> = match fs::read_dir(&crates) {
+        Ok(iter) => iter
+            .collect::<io::Result<Vec<_>>>()?
+            .into_iter()
+            .map(|e| e.path())
+            .filter(|p| p.is_dir())
+            .collect(),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(e),
+    };
+    dirs.sort();
+    for dir in dirs {
+        let name = dir.file_name().map(|n| n.to_string_lossy().into_owned());
+        let no_panic = name.as_deref().is_some_and(|n| LIBRARY_CRATES.contains(&n));
+        scan_dir(
+            &dir.join("src"),
+            root,
+            &LintConfig { no_panic },
+            &mut outcome,
+        )?;
+    }
+    Ok(outcome)
+}
+
+/// Analyzes every `.rs` file under `dir` with one configuration,
+/// labelling diagnostics relative to `label_root`. Used for fixture
+/// trees in tests and CI seeds.
+pub fn analyze_tree(
+    dir: &Path,
+    label_root: &Path,
+    config: &LintConfig,
+) -> io::Result<AnalyzeOutcome> {
+    let mut outcome = AnalyzeOutcome::default();
+    scan_dir(dir, label_root, config, &mut outcome)?;
+    Ok(outcome)
+}
+
+fn scan_dir(
+    dir: &Path,
+    label_root: &Path,
+    config: &LintConfig,
+    outcome: &mut AnalyzeOutcome,
+) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<_> = fs::read_dir(dir)?
+        .collect::<io::Result<Vec<_>>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            scan_dir(&path, label_root, config, outcome)?;
+        } else if path.extension().is_some_and(|ext| ext == "rs") {
+            let source = fs::read_to_string(&path)?;
+            let label = path
+                .strip_prefix(label_root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .into_owned();
+            outcome.files += 1;
+            outcome
+                .diagnostics
+                .extend(lint_source(&label, &source, config));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn analyzer_sources_are_self_clean() {
+        let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let outcome = analyze_tree(
+            &manifest.join("src"),
+            manifest,
+            &LintConfig { no_panic: true },
+        )
+        .expect("analyzer sources readable");
+        assert!(outcome.files >= 4, "expected the analyzer's own modules");
+        assert!(
+            outcome.diagnostics.is_empty(),
+            "analyzer must lint itself clean:\n{}",
+            crate::render_report(&outcome.diagnostics)
+        );
+    }
+}

@@ -1,0 +1,13 @@
+//! Fixture: every way a suppression directive itself can be wrong —
+//! missing reason, unknown rule, stale allow, unrecognized body.
+
+pub fn reasonless(x: Option<u32>) -> u32 {
+    x.unwrap() // decarb-analyze: allow(no-panic)
+}
+
+pub fn misspelled() {} // decarb-analyze: allow(no-panics) -- close but wrong
+
+// decarb-analyze: allow(par-safety) -- nothing below fans out
+pub fn stale() {}
+
+pub fn gibberish() {} // decarb-analyze: warp-drive

@@ -1,0 +1,15 @@
+//! Fixture: a hot-path region written the approved way — preallocated
+//! buffers and integer-keyed maps. Must produce zero findings.
+
+use std::collections::HashMap;
+
+// decarb-analyze: hot-path
+pub fn hot(xs: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(xs.len());
+    let mut by_id: HashMap<u16, u8> = HashMap::with_capacity(xs.len());
+    for (i, x) in xs.iter().enumerate() {
+        out.push(*x);
+        by_id.insert(i as u16, *x);
+    }
+    out
+}

@@ -1,0 +1,19 @@
+//! Fixture: allocations inside a `hot-path` region. The cold function
+//! above the marker must stay silent; everything in `hot` is flagged.
+
+use std::collections::HashMap;
+
+pub fn cold() -> String {
+    let v: Vec<u8> = Vec::new();
+    format!("{}", v.len())
+}
+
+// decarb-analyze: hot-path
+pub fn hot(xs: &[u8]) -> Vec<u8> {
+    let staging: Vec<u8> = Vec::new();
+    let label = format!("{}", xs.len());
+    let copied = xs.to_owned();
+    let index: HashMap<String, u8> = HashMap::with_capacity(4);
+    let _ = (staging, label, index);
+    copied.clone()
+}

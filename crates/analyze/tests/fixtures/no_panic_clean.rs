@@ -1,0 +1,28 @@
+//! Fixture: panic-adjacent code that must NOT trip `no-panic` —
+//! lookalike identifiers, suppressed call sites, and test modules.
+
+pub fn fallback(x: Option<u32>) -> u32 {
+    x.unwrap_or(0)
+}
+
+pub fn shielded() {
+    let _ = std::panic::catch_unwind(|| {});
+}
+
+pub fn validated(x: Option<u32>) -> u32 {
+    // decarb-analyze: allow(no-panic) -- input validated one frame up
+    x.unwrap()
+}
+
+pub fn inline_note(x: Option<u32>) -> u32 {
+    x.unwrap() // decarb-analyze: allow(no-panic) -- checked by is_some above
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_panic_freely() {
+        Some(1u32).unwrap();
+        panic!("assertion helper");
+    }
+}

@@ -1,0 +1,24 @@
+//! Fixture: every `no-panic` trigger, unsuppressed. Expected findings
+//! (rule, line) are asserted by `tests/lint_fixtures.rs`.
+
+pub fn first(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}
+
+pub fn named(x: Option<u32>) -> u32 {
+    x.expect("caller guarantees Some")
+}
+
+pub fn guard(flag: bool) {
+    if !flag {
+        panic!("invariant violated");
+    }
+}
+
+pub fn later() -> u32 {
+    todo!()
+}
+
+pub fn never() -> u32 {
+    unimplemented!()
+}

@@ -1,0 +1,12 @@
+//! Fixture: fan-out over owned/immutable data, plus a `Mutex` used
+//! outside any closure. Must produce zero findings.
+
+pub fn owned(xs: &[u8]) -> Vec<u32> {
+    par_map(xs, |x| u32::from(*x) * 2)
+}
+
+pub fn sequential_lock() -> u32 {
+    let guard = std::sync::Mutex::new(7u32);
+    let value = *guard.lock().unwrap_or_else(|e| e.into_inner());
+    value
+}

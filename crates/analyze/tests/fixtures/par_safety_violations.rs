@@ -1,0 +1,13 @@
+//! Fixture: shared-mutability primitives captured by fan-out closures,
+//! both spelled at the call site and smuggled through a local binding.
+
+pub fn direct(xs: &[u8]) -> Vec<u8> {
+    par_map(xs, |x| stamp(*x, &std::sync::Mutex::new(0u32)))
+}
+
+pub fn via_binding(xs: &[u8]) {
+    let tally = std::sync::Mutex::new(0u32);
+    par_for_each(xs, |x| {
+        *tally.lock().unwrap_or_else(|e| e.into_inner()) += u32::from(*x);
+    });
+}

@@ -320,6 +320,41 @@ fn bench_planner_cache(h: &Harness) {
     });
 }
 
+fn bench_analyze(h: &Harness) {
+    // The static-analysis gate CI runs on every push: lexing + linting
+    // the whole workspace (root facade plus every crate's src/ tree),
+    // file I/O included — this is the latency a contributor pays for
+    // `decarb-cli analyze --workspace`. The second row isolates the
+    // token-level lint pass on one in-memory source (a realistic
+    // ~40-line module repeated to ~10k lines) so lexer throughput is
+    // pinned independently of the filesystem.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(std::path::Path::parent)
+        .expect("bench crate lives at <root>/crates/bench");
+    h.bench("kernels/analyze/workspace", || {
+        black_box(decarb_analyze::analyze_workspace(root).expect("workspace scans"))
+    });
+    let module = "\
+fn shift(xs: &[f64], out: &mut Vec<f64>) {\n\
+    for (i, x) in xs.iter().enumerate() {\n\
+        let scaled = x * 0.5 + (i as f64);\n\
+        out.push(scaled.max(0.0));\n\
+    }\n\
+}\n\
+fn window(xs: &[f64]) -> f64 {\n\
+    let head = match xs.first() { Some(v) => *v, None => return 0.0 };\n\
+    xs.iter().fold(head, |acc, v| acc.min(*v))\n\
+}\n";
+    let hot = "// decarb-analyze: hot-path\n\
+fn hot(xs: &[f64]) -> f64 { xs.iter().sum() }\n";
+    let source = format!("{hot}{}", module.repeat(10_000 / module.lines().count()));
+    let config = decarb_analyze::LintConfig { no_panic: true };
+    h.bench("kernels/analyze/lint_source_10k_lines", || {
+        black_box(decarb_analyze::lint_source("bench.rs", &source, &config))
+    });
+}
+
 fn main() {
     let h = Harness::from_args("kernels");
     bench_kernel_deferral(&h);
@@ -331,5 +366,6 @@ fn main() {
     bench_region_lookup(&h);
     bench_trace_container(&h);
     bench_planner_cache(&h);
+    bench_analyze(&h);
     std::process::exit(h.finish());
 }

@@ -20,6 +20,14 @@ pub enum Command {
         /// Evaluation year.
         year: i32,
     },
+    /// `analyze --workspace [PATH] [--json]` — run the in-tree static
+    /// lints (`decarb-analyze`) over a workspace checkout.
+    AnalyzeWorkspace {
+        /// Workspace root (defaults to the current directory).
+        path: String,
+        /// Emit JSON diagnostics instead of a text report.
+        json: bool,
+    },
     /// `plan <ZONE> --hours L [--slack H] [--arrive H0] [--year Y]`.
     Plan {
         /// Zone code of the job's origin.
@@ -79,6 +87,18 @@ pub enum Command {
         /// Spawn this many child shard processes and merge their
         /// streams.
         workers: Option<usize>,
+        /// Promote pre-run static-check findings from warnings to a
+        /// failure.
+        strict: bool,
+    },
+    /// `scenario check <NAME|all> [--json]` / `scenario check --file
+    /// PATH [--json]` — statically validate scenarios without
+    /// simulating them.
+    ScenarioCheck {
+        /// What to check: a built-in name (or `all`) or a scenario file.
+        target: ScenarioTarget,
+        /// Emit JSON diagnostics instead of a text report.
+        json: bool,
     },
     /// `scenario merge <REPORT...> [--expect all|FILE]` — recombine
     /// per-shard JSON reports into one document.
@@ -220,6 +240,7 @@ usage: decarb-cli <command> [options]
 commands:
   regions  [--group G] [--year Y]      list regions (annual mean, daily CV)
   analyze  <ZONE> [--year Y]           one region's carbon profile
+  analyze  --workspace [PATH] [--json] run the in-tree source lints over a checkout
   plan     <ZONE> --hours L [--slack H] [--arrive H0] [--year Y]
                                        schedule one job four ways
   forecast <ZONE> [--days N] [--year Y] backtest all forecasters
@@ -233,6 +254,9 @@ commands:
   scenario run ... --shards N --shard-index I
                                        run one disjoint shard of the sweep plan
   scenario run ... --workers K         fan the sweep out over K child processes
+  scenario run ... --strict            fail (not warn) on static-check findings
+  scenario check <NAME|all> [--json]   statically validate scenarios, no simulation
+  scenario check --file FILE [--json]  statically validate a scenario file
   scenario merge <REPORT...> [--expect all|FILE]
                                        recombine shard reports into one document
   scenario history append --report R --file H [--rev REV]
@@ -334,6 +358,9 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
                 year: opts.year()?,
             })
         }
+        "analyze" if argv.get(1).map(String::as_str) == Some("--workspace") => {
+            parse_analyze_workspace(&argv[2..])
+        }
         "analyze" | "plan" | "forecast" | "export" => {
             let Some(zone) = argv.get(1).filter(|z| !z.starts_with("--")) else {
                 return Err(ParseError(format!("`{first}` needs a zone code")));
@@ -411,6 +438,7 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
                 Ok(Command::ScenarioList)
             }
             Some("run") => parse_scenario_run(&argv[2..]),
+            Some("check") => parse_scenario_check(&argv[2..]),
             Some("merge") => parse_scenario_merge(&argv[2..]),
             Some("history") => parse_scenario_history(&argv[2..]),
             Some("diff") => {
@@ -436,7 +464,7 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
             }
             _ => Err(ParseError(
                 "`scenario` needs a subcommand: `list`, `run <NAME|all|--file FILE>`, \
-                 `merge`, `history`, or `diff`"
+                 `check`, `merge`, `history`, or `diff`"
                     .into(),
             )),
         },
@@ -569,6 +597,7 @@ fn parse_data(rest: &[String]) -> Result<Command, ParseError> {
 /// --shard-index I`, and `--workers K`, in any order.
 fn parse_scenario_run(rest: &[String]) -> Result<Command, ParseError> {
     let mut json = false;
+    let mut strict = false;
     let mut name: Option<String> = None;
     let mut file: Option<String> = None;
     let mut shards: Option<usize> = None;
@@ -593,6 +622,10 @@ fn parse_scenario_run(rest: &[String]) -> Result<Command, ParseError> {
         match rest[i].as_str() {
             "--json" => {
                 json = true;
+                i += 1;
+            }
+            "--strict" => {
+                strict = true;
                 i += 1;
             }
             "--file" => {
@@ -681,6 +714,91 @@ fn parse_scenario_run(rest: &[String]) -> Result<Command, ParseError> {
         json,
         shard,
         workers,
+        strict,
+    })
+}
+
+/// Parses `scenario check`: a positional `<NAME|all>` or `--file PATH`
+/// (exactly one of the two), plus `--json`, in any order.
+fn parse_scenario_check(rest: &[String]) -> Result<Command, ParseError> {
+    let mut json = false;
+    let mut name: Option<String> = None;
+    let mut file: Option<String> = None;
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--json" => {
+                json = true;
+                i += 1;
+            }
+            "--file" => {
+                let Some(path) = rest.get(i + 1) else {
+                    return Err(ParseError("`--file` needs a path".into()));
+                };
+                if file.replace(path.clone()).is_some() {
+                    return Err(ParseError("`--file` given twice".into()));
+                }
+                i += 2;
+            }
+            other if other.starts_with("--") => {
+                return Err(ParseError(format!(
+                    "unknown option `{other}` for `scenario check`"
+                )));
+            }
+            other => {
+                if name.replace(other.to_string()).is_some() {
+                    return Err(ParseError(format!(
+                        "unexpected argument `{other}` (`scenario check` takes one name)"
+                    )));
+                }
+                i += 1;
+            }
+        }
+    }
+    let target = match (name, file) {
+        (Some(_), Some(_)) => {
+            return Err(ParseError(
+                "pass a scenario name or `--file`, not both".into(),
+            ))
+        }
+        (Some(name), None) => ScenarioTarget::Name(name),
+        (None, Some(path)) => ScenarioTarget::File(path),
+        (None, None) => {
+            return Err(ParseError(
+                "`scenario check` needs a scenario name, `all`, or `--file FILE` \
+                 (see `scenario list`)"
+                    .into(),
+            ))
+        }
+    };
+    Ok(Command::ScenarioCheck { target, json })
+}
+
+/// Parses `analyze --workspace [PATH] [--json]` (the `--workspace`
+/// token is already consumed).
+fn parse_analyze_workspace(rest: &[String]) -> Result<Command, ParseError> {
+    let mut json = false;
+    let mut path: Option<String> = None;
+    for arg in rest {
+        match arg.as_str() {
+            "--json" => json = true,
+            other if other.starts_with("--") => {
+                return Err(ParseError(format!(
+                    "unknown option `{other}` for `analyze --workspace`"
+                )));
+            }
+            other => {
+                if path.replace(other.to_string()).is_some() {
+                    return Err(ParseError(
+                        "`analyze --workspace` takes at most one path".into(),
+                    ));
+                }
+            }
+        }
+    }
+    Ok(Command::AnalyzeWorkspace {
+        path: path.unwrap_or_else(|| ".".into()),
+        json,
     })
 }
 
@@ -936,6 +1054,7 @@ mod tests {
             json: true,
             shard: None,
             workers: None,
+            strict: false,
         };
         assert_eq!(
             parse(&argv(&[
@@ -964,6 +1083,7 @@ mod tests {
                 json: false,
                 shard: None,
                 workers: None,
+                strict: false,
             }
         );
     }
@@ -984,6 +1104,7 @@ mod tests {
                 json: true,
                 shard: None,
                 workers: None,
+                strict: false,
             }
         );
         assert_eq!(
@@ -993,6 +1114,7 @@ mod tests {
                 json: false,
                 shard: None,
                 workers: None,
+                strict: false,
             }
         );
         // A name and a file together are ambiguous.
@@ -1023,6 +1145,7 @@ mod tests {
                     index: 2
                 }),
                 workers: None,
+                strict: false,
             }
         );
         assert_eq!(
@@ -1032,6 +1155,7 @@ mod tests {
                 json: false,
                 shard: None,
                 workers: Some(3),
+                strict: false,
             }
         );
         // Validation: the pair must be complete, in range, and not
@@ -1081,6 +1205,95 @@ mod tests {
             "0"
         ]))
         .is_err());
+    }
+
+    #[test]
+    fn scenario_run_strict_flag_parses() {
+        assert_eq!(
+            parse(&argv(&["scenario", "run", "all", "--strict"])).unwrap(),
+            Command::ScenarioRun {
+                target: ScenarioTarget::Name("all".into()),
+                json: false,
+                shard: None,
+                workers: None,
+                strict: true,
+            }
+        );
+        assert_eq!(
+            parse(&argv(&[
+                "scenario",
+                "run",
+                "--file",
+                "my.scenario",
+                "--strict",
+                "--json"
+            ]))
+            .unwrap(),
+            Command::ScenarioRun {
+                target: ScenarioTarget::File("my.scenario".into()),
+                json: true,
+                shard: None,
+                workers: None,
+                strict: true,
+            }
+        );
+    }
+
+    #[test]
+    fn scenario_check_parses_names_files_and_flags() {
+        assert_eq!(
+            parse(&argv(&["scenario", "check", "all"])).unwrap(),
+            Command::ScenarioCheck {
+                target: ScenarioTarget::Name("all".into()),
+                json: false,
+            }
+        );
+        assert_eq!(
+            parse(&argv(&[
+                "scenario",
+                "check",
+                "--json",
+                "batch-agnostic-europe"
+            ]))
+            .unwrap(),
+            Command::ScenarioCheck {
+                target: ScenarioTarget::Name("batch-agnostic-europe".into()),
+                json: true,
+            }
+        );
+        assert_eq!(
+            parse(&argv(&["scenario", "check", "--file", "my.scenario"])).unwrap(),
+            Command::ScenarioCheck {
+                target: ScenarioTarget::File("my.scenario".into()),
+                json: false,
+            }
+        );
+        assert!(parse(&argv(&["scenario", "check"])).is_err());
+        assert!(parse(&argv(&["scenario", "check", "all", "--file", "x"])).is_err());
+        assert!(parse(&argv(&["scenario", "check", "a", "b"])).is_err());
+        assert!(parse(&argv(&["scenario", "check", "all", "--strict"])).is_err());
+    }
+
+    #[test]
+    fn analyze_workspace_parses_path_and_json() {
+        assert_eq!(
+            parse(&argv(&["analyze", "--workspace"])).unwrap(),
+            Command::AnalyzeWorkspace {
+                path: ".".into(),
+                json: false,
+            }
+        );
+        assert_eq!(
+            parse(&argv(&["analyze", "--workspace", "/tmp/repo", "--json"])).unwrap(),
+            Command::AnalyzeWorkspace {
+                path: "/tmp/repo".into(),
+                json: true,
+            }
+        );
+        // The zone form still works, and its option set is unchanged.
+        assert!(parse(&argv(&["analyze", "--workspace", "a", "b"])).is_err());
+        assert!(parse(&argv(&["analyze", "--workspace", "--year", "2022"])).is_err());
+        assert!(parse(&argv(&["analyze", "DE", "--workspace", "x"])).is_err());
     }
 
     #[test]

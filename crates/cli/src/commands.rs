@@ -88,11 +88,13 @@ pub fn run_on(command: &Command, data: &TraceSet) -> Result<String, CliError> {
         Command::Forecast { zone, days, year } => forecast(data, zone, *days, *year),
         Command::Rank { year } => rank(data, *year),
         Command::Export { zone, year } => export(data, zone, *year),
+        Command::ScenarioCheck { target, json } => scenario_check_cmd(target, *json, data),
         Command::ScenarioRun {
             target,
             json,
             shard,
             workers,
+            strict,
         } => {
             // `run_on` has the loaded dataset but not the `--data` path,
             // so it cannot tell the child processes what to re-import —
@@ -107,7 +109,7 @@ pub fn run_on(command: &Command, data: &TraceSet) -> Result<String, CliError> {
                         .into(),
                 )));
             }
-            run_scenarios_cmd(target, *json, *shard, None, None, data)
+            run_scenarios_cmd(target, *json, *shard, None, *strict, None, data)
         }
         Command::List
         | Command::Run { .. }
@@ -115,10 +117,11 @@ pub fn run_on(command: &Command, data: &TraceSet) -> Result<String, CliError> {
         | Command::ScenarioMerge { .. }
         | Command::ScenarioHistory(_)
         | Command::ScenarioDiff { .. }
+        | Command::AnalyzeWorkspace { .. }
         | Command::Data(_) => Err(CliError::Parse(ParseError(
-            "`list`, `run`, `scenario list`, `scenario merge`, `scenario history`, and \
-             `scenario diff` always use the built-in dataset, and `data` commands name \
-             their files explicitly; drop --data"
+            "`list`, `run`, `scenario list`, `scenario merge`, `scenario history`, \
+             `scenario diff`, and `analyze --workspace` always use the built-in dataset, \
+             and `data` commands name their files explicitly; drop --data"
                 .into(),
         ))),
     }
@@ -298,15 +301,37 @@ pub(crate) fn scenario_table_row(
 /// array, so shard reports merge uniformly). `workers` instead spawns
 /// that many child shard processes and merges their streams (see
 /// [`crate::fanout`]); `data_path` is forwarded to the children.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_scenarios_to(
     out: &mut dyn io::Write,
     target: &ScenarioTarget,
     json: bool,
     shard: Option<ShardSpec>,
     workers: Option<usize>,
+    strict: bool,
     data_path: Option<DataPaths<'_>>,
     data: &TraceSet,
 ) -> Result<(), CliError> {
+    // Static pre-check: sharded invocations skip it (the parent — or
+    // the fan-out parent below — already checked once, and a warning
+    // per worker child would repeat N times). Target-resolution
+    // failures are deliberately ignored here so the run path reports
+    // its canonical error instead.
+    if shard.is_none() {
+        if let Some(diags) = check_for_target(target, data) {
+            if !diags.is_empty() {
+                if strict {
+                    return Err(CliError::Check(format!(
+                        "scenario check failed (rerun without --strict to run anyway):\n{}",
+                        decarb_analyze::render_report(&diags)
+                    )));
+                }
+                for diagnostic in &diags {
+                    eprintln!("warning: {}", diagnostic.render());
+                }
+            }
+        }
+    }
     if let Some(workers) = workers {
         return crate::fanout::run_workers(out, target, json, workers, data_path, data);
     }
@@ -394,17 +419,121 @@ pub(crate) fn run_scenarios_to(
 
 /// Buffered variant of [`run_scenarios_to`] for the `String`-rendering
 /// dispatch path (and its tests).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_scenarios_cmd(
     target: &ScenarioTarget,
     json: bool,
     shard: Option<ShardSpec>,
     workers: Option<usize>,
+    strict: bool,
     data_path: Option<DataPaths<'_>>,
     data: &TraceSet,
 ) -> Result<String, CliError> {
     let mut buffer = Vec::new();
-    run_scenarios_to(&mut buffer, target, json, shard, workers, data_path, data)?;
+    run_scenarios_to(
+        &mut buffer,
+        target,
+        json,
+        shard,
+        workers,
+        strict,
+        data_path,
+        data,
+    )?;
     Ok(String::from_utf8(buffer).expect("scenario output is UTF-8"))
+}
+
+/// Resolves a target to its static-check diagnostics, or `None` when
+/// resolution fails (unknown name, unreadable file) — those failures
+/// surface through the run path's canonical errors instead.
+fn check_for_target(
+    target: &ScenarioTarget,
+    data: &TraceSet,
+) -> Option<Vec<decarb_analyze::Diagnostic>> {
+    match target {
+        ScenarioTarget::Name(name) if name == "all" => Some(decarb_sim::check_scenarios(
+            "<builtin>",
+            &decarb_sim::builtin_scenarios(),
+            data,
+        )),
+        ScenarioTarget::Name(name) => decarb_sim::find_scenario(name)
+            .map(|scenario| decarb_sim::check_scenarios("<builtin>", &[scenario], data)),
+        ScenarioTarget::File(path) => std::fs::read_to_string(path)
+            .ok()
+            .map(|text| decarb_sim::check_file(path, &text, data)),
+    }
+}
+
+/// `scenario check <NAME|all|--file FILE> [--json]` — static semantic
+/// validation without simulating. Clean targets summarize and exit 0;
+/// any diagnostic renders the shared report format (or a JSON array
+/// under `--json`) and exits non-zero via [`CliError::Check`].
+pub(crate) fn scenario_check_cmd(
+    target: &ScenarioTarget,
+    json: bool,
+    data: &TraceSet,
+) -> Result<String, CliError> {
+    let (checked, diags) = match target {
+        ScenarioTarget::Name(name) if name == "all" => {
+            let scenarios = decarb_sim::builtin_scenarios();
+            let diags = decarb_sim::check_scenarios("<builtin>", &scenarios, data);
+            (scenarios.len(), diags)
+        }
+        ScenarioTarget::Name(name) => {
+            let scenario = decarb_sim::find_scenario(name).ok_or_else(|| {
+                CliError::Parse(ParseError(format!(
+                    "unknown scenario `{name}` (see `scenario list`)"
+                )))
+            })?;
+            (
+                1,
+                decarb_sim::check_scenarios("<builtin>", &[scenario], data),
+            )
+        }
+        ScenarioTarget::File(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| CliError::Parse(ParseError(format!("--file {path}: {e}"))))?;
+            let checked = decarb_sim::parse_scenario_file(&text)
+                .map(|scenarios| scenarios.len())
+                .unwrap_or(0);
+            (checked, decarb_sim::check_file(path, &text, data))
+        }
+    };
+    if json {
+        let payload = decarb_analyze::diagnostics_to_json(&diags).pretty();
+        return if diags.is_empty() {
+            Ok(payload)
+        } else {
+            Err(CliError::Check(payload))
+        };
+    }
+    if diags.is_empty() {
+        Ok(format!("{checked} scenario(s) checked, 0 diagnostics"))
+    } else {
+        Err(CliError::Check(decarb_analyze::render_report(&diags)))
+    }
+}
+
+/// `analyze --workspace [PATH] [--json]` — the in-tree source lints
+/// (`decarb-analyze`) over a workspace checkout. Exit codes mirror
+/// `scenario check`: clean trees exit 0, findings exit non-zero.
+pub(crate) fn analyze_workspace_cmd(path: &str, json: bool) -> Result<String, CliError> {
+    let outcome = decarb_analyze::analyze_workspace(std::path::Path::new(path))?;
+    if json {
+        let payload = decarb_analyze::diagnostics_to_json(&outcome.diagnostics).pretty();
+        return if outcome.diagnostics.is_empty() {
+            Ok(payload)
+        } else {
+            Err(CliError::Check(payload))
+        };
+    }
+    if outcome.diagnostics.is_empty() {
+        Ok(format!("{} files scanned, 0 diagnostics", outcome.files))
+    } else {
+        Err(CliError::Check(decarb_analyze::render_report(
+            &outcome.diagnostics,
+        )))
+    }
 }
 
 /// Extracts `(name, emissions_g)` pairs from a `scenario run --json`
@@ -1439,9 +1568,177 @@ mod tests {
             json: false,
             shard: None,
             workers: None,
+            strict: false,
         };
         let out = run_on(&command, &data).unwrap();
         assert!(out.contains("batch-agnostic-europe"), "{out}");
+    }
+
+    #[test]
+    fn scenario_check_passes_the_builtin_matrix() {
+        let data = decarb_traces::builtin_dataset();
+        let out = scenario_check_cmd(
+            &crate::args::ScenarioTarget::Name("all".into()),
+            false,
+            &data,
+        )
+        .unwrap();
+        assert_eq!(out, "54 scenario(s) checked, 0 diagnostics");
+        let single = scenario_check_cmd(
+            &crate::args::ScenarioTarget::Name("batch-agnostic-europe".into()),
+            false,
+            &data,
+        )
+        .unwrap();
+        assert_eq!(single, "1 scenario(s) checked, 0 diagnostics");
+        assert!(matches!(
+            scenario_check_cmd(
+                &crate::args::ScenarioTarget::Name("frobnicate".into()),
+                false,
+                &data
+            ),
+            Err(CliError::Parse(_))
+        ));
+    }
+
+    const UNSATISFIABLE_SCENARIO: &str = "\
+[workload nightly]
+class = batch
+per_origin = 6
+spacing = 48
+length = 8
+slack = week
+
+[scenario doomed]
+workload = nightly
+policy = deferral
+regions = europe
+horizon = 240
+";
+
+    #[test]
+    fn scenario_check_fails_files_with_line_spanned_diagnostics() {
+        let data = decarb_traces::builtin_dataset();
+        let path = temp_file("check-doomed.scenario", UNSATISFIABLE_SCENARIO);
+        let target = crate::args::ScenarioTarget::File(path.to_str().unwrap().to_string());
+        let Err(CliError::Check(report)) = scenario_check_cmd(&target, false, &data) else {
+            panic!("unsatisfiable file must fail the check");
+        };
+        assert!(report.contains("[unsatisfiable-job]"), "{report}");
+        assert!(report.contains("check-doomed.scenario:8:"), "{report}");
+        // The JSON form carries the same spans machine-readably.
+        let Err(CliError::Check(json)) = scenario_check_cmd(&target, true, &data) else {
+            panic!("unsatisfiable file must fail the JSON check too");
+        };
+        let value = decarb_json::parse(&json).unwrap();
+        let Value::Array(items) = &value else {
+            panic!("JSON diagnostics must be an array: {json}");
+        };
+        assert_eq!(items.len(), 1, "{json}");
+        assert_eq!(
+            items[0].get("rule"),
+            Some(&Value::from("unsatisfiable-job"))
+        );
+        assert_eq!(items[0].get("line"), Some(&Value::from(8.0)));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn scenario_run_warns_by_default_and_fails_under_strict() {
+        let data = decarb_traces::builtin_dataset();
+        let path = temp_file("run-strict.scenario", UNSATISFIABLE_SCENARIO);
+        let target = crate::args::ScenarioTarget::File(path.to_str().unwrap().to_string());
+        // Default: findings warn (to stderr) but the sweep still runs.
+        let out = run_scenarios_cmd(&target, false, None, None, false, None, &data).unwrap();
+        assert!(out.contains("doomed"), "{out}");
+        // --strict: the same findings abort before simulating.
+        let Err(CliError::Check(report)) =
+            run_scenarios_cmd(&target, false, None, None, true, None, &data)
+        else {
+            panic!("--strict must fail on findings");
+        };
+        assert!(report.contains("unsatisfiable-job"), "{report}");
+        assert!(report.contains("--strict"), "{report}");
+        // A clean target passes --strict untouched.
+        let ok = run_scenarios_cmd(
+            &crate::args::ScenarioTarget::Name("batch-agnostic-europe".into()),
+            false,
+            None,
+            None,
+            true,
+            None,
+            &data,
+        )
+        .unwrap();
+        assert!(ok.contains("batch-agnostic-europe"), "{ok}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn shipped_example_files_check_as_documented() {
+        // examples/custom.scenario is advertised as check-clean;
+        // examples/unsatisfiable.scenario as caught with a line span.
+        let data = decarb_traces::builtin_dataset();
+        let examples = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(std::path::Path::parent)
+            .unwrap()
+            .join("examples");
+        let custom = examples.join("custom.scenario");
+        let out = scenario_check_cmd(
+            &crate::args::ScenarioTarget::File(custom.to_str().unwrap().to_string()),
+            false,
+            &data,
+        )
+        .unwrap();
+        assert!(out.ends_with("0 diagnostics"), "{out}");
+        let doomed = examples.join("unsatisfiable.scenario");
+        let Err(CliError::Check(report)) = scenario_check_cmd(
+            &crate::args::ScenarioTarget::File(doomed.to_str().unwrap().to_string()),
+            false,
+            &data,
+        ) else {
+            panic!("examples/unsatisfiable.scenario must fail the check");
+        };
+        assert!(report.contains("[unsatisfiable-job]"), "{report}");
+        assert!(report.contains("unsatisfiable.scenario:23:"), "{report}");
+    }
+
+    #[test]
+    fn analyze_workspace_is_clean_on_this_repo_and_fails_on_seeded_violations() {
+        // The workspace itself must lint clean — this is the same gate
+        // CI runs via `decarb-cli analyze --workspace`.
+        let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(std::path::Path::parent)
+            .unwrap();
+        let out = analyze_workspace_cmd(root.to_str().unwrap(), false).unwrap();
+        assert!(out.contains("0 diagnostics"), "{out}");
+        // A seeded violation tree must fail with a rendered report.
+        let seed = std::env::temp_dir().join("analyze-seed-test");
+        std::fs::create_dir_all(seed.join("src")).unwrap();
+        std::fs::write(
+            seed.join("src/lib.rs"),
+            "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n",
+        )
+        .unwrap();
+        let Err(CliError::Check(report)) = analyze_workspace_cmd(seed.to_str().unwrap(), false)
+        else {
+            panic!("seeded violation must fail the analyze gate");
+        };
+        assert!(report.contains("[no-panic]"), "{report}");
+        std::fs::remove_dir_all(seed).ok();
+        // The checked-in CI seed (`ci/analyze-seed`) must keep tripping
+        // the gate with exactly its documented findings — CI negates
+        // this command and would go green-forever if the seed rotted.
+        let ci_seed = root.join("ci/analyze-seed");
+        let Err(CliError::Check(report)) = analyze_workspace_cmd(ci_seed.to_str().unwrap(), false)
+        else {
+            panic!("the checked-in CI seed must fail the analyze gate");
+        };
+        assert!(report.contains("[no-panic]"), "{report}");
+        assert!(report.contains("[hot-path]"), "{report}");
+        assert!(report.contains("3 diagnostics"), "{report}");
     }
 
     /// Writes `text` to a unique temp file and returns its path.

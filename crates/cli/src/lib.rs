@@ -19,6 +19,8 @@
 //! | `scenario run <NAME\|all> [--json]` | run scenario-matrix entries in parallel |
 //! | `scenario run ... --shards N --shard-index I` | run one disjoint shard of the sweep plan |
 //! | `scenario run ... --workers K` | fan the sweep out over K child shard processes |
+//! | `scenario check <NAME\|all\|--file FILE>` | statically validate scenarios without simulating |
+//! | `analyze --workspace [PATH]` | run the in-tree source lints over a checkout |
 //! | `scenario merge <REPORT...> [--expect all\|FILE]` | recombine shard reports into one document |
 //! | `scenario history append\|show` | record / render the per-run emissions series |
 //! | `scenario history check --file H` | fail on monotonic multi-commit emissions drift |
@@ -79,6 +81,7 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             tolerance_pct,
         } => commands::scenario_diff(report, golden, *tolerance_pct),
         Command::Data(cmd) => commands::data_cmd(cmd),
+        Command::AnalyzeWorkspace { path, json } => commands::analyze_workspace_cmd(path, *json),
         // `run_on` rejects `--workers` because it cannot know what
         // `--data` path its children should re-import; here the dataset
         // is the built-in one, which children load by default.
@@ -87,7 +90,16 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             json,
             shard,
             workers,
-        } => commands::run_scenarios_cmd(target, *json, *shard, *workers, None, &builtin_dataset()),
+            strict,
+        } => commands::run_scenarios_cmd(
+            target,
+            *json,
+            *shard,
+            *workers,
+            *strict,
+            None,
+            &builtin_dataset(),
+        ),
         other => run_on(other, &builtin_dataset()),
     }
 }
@@ -216,10 +228,11 @@ pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
         json,
         shard,
         workers,
+        strict,
     } = &command
     {
         return with_scenario_dataset(&data, |path, set| {
-            commands::run_scenarios_cmd(target, *json, *shard, *workers, path, set)
+            commands::run_scenarios_cmd(target, *json, *shard, *workers, *strict, path, set)
         });
     }
     match data {
@@ -241,10 +254,11 @@ pub fn dispatch_stream(argv: &[String], out: &mut dyn std::io::Write) -> Result<
         json,
         shard,
         workers,
+        strict,
     } = &command
     {
         with_scenario_dataset(&data, |path, set| {
-            commands::run_scenarios_to(out, target, *json, *shard, *workers, path, set)
+            commands::run_scenarios_to(out, target, *json, *shard, *workers, *strict, path, set)
         })?;
         writeln!(out)?;
         return Ok(());

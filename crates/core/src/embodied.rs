@@ -105,6 +105,7 @@ pub fn optimal_idle(points: &[NetPoint]) -> NetPoint {
     *points
         .iter()
         .min_by(|a, b| a.net_g().total_cmp(&b.net_g()))
+        // decarb-analyze: allow(no-panic) -- callers pass the non-empty idle-fraction sweep grid
         .expect("sweep must be non-empty")
 }
 

@@ -252,6 +252,7 @@ pub fn allocate_flexible(
                 best = Some((i, delta, new_kg));
             }
         }
+        // decarb-analyze: allow(no-panic) -- documented precondition; silently misplacing energy would corrupt the figure
         let (i, _, new_kg) = best.expect("insufficient grid headroom to place the energy");
         per_hour[i] += step;
         current_kg[i] = new_kg;

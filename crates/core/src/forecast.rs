@@ -98,9 +98,11 @@ pub fn spatial_increase_pct(
     let mut without_error = 0.0;
     for i in 0..len {
         let hour = from.plus(i);
-        let chosen = (0..erroneous.len())
+        let Some(chosen) = (0..erroneous.len())
             .min_by(|&a, &b| erroneous[a].get(hour).total_cmp(&erroneous[b].get(hour)))
-            .expect("non-empty set");
+        else {
+            break;
+        };
         with_error += truths[chosen].get(hour);
         without_error += truths
             .iter()

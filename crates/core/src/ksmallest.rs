@@ -92,6 +92,7 @@ impl SlidingKSmallest {
             self.low_sum += value;
         } else {
             // Compare against the current k-th smallest (max of `low`).
+            // decarb-analyze: allow(no-panic) -- two-heap invariant: low_len == k > 0 on this branch
             let max_low = *self.low.keys().next_back().expect("low is non-empty");
             if key < max_low {
                 // Evict the largest of `low` into `high`.
@@ -124,6 +125,7 @@ impl SlidingKSmallest {
             self.low_sum -= value;
             // Refill `low` from the smallest of `high`.
             if self.low_len < self.k && self.high_len > 0 {
+                // decarb-analyze: allow(no-panic) -- two-heap invariant: high_len > 0 checked in the enclosing condition
                 let min_high = *self.high.keys().next().expect("high is non-empty");
                 remove_one(&mut self.high, min_high);
                 self.high_len -= 1;
@@ -135,6 +137,7 @@ impl SlidingKSmallest {
             remove_one(&mut self.high, key);
             self.high_len -= 1;
         } else {
+            // decarb-analyze: allow(no-panic) -- documented contract: removing a value that was never inserted is a caller bug
             panic!("remove of absent value {value}");
         }
     }

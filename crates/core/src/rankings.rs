@@ -77,7 +77,11 @@ pub fn rank_stability(set: &TraceSet, year: i32, stride: usize, k: usize) -> Ran
     while offset < hours {
         let hour = start.plus(offset);
         let now: Vec<f64> = set.iter().map(|(_, series)| series.get(hour)).collect();
-        let tau = kendall_tau(&annual, &now).expect("two or more regions");
+        // `kendall_tau` is None only for fewer than two regions, which
+        // the candidate sets never are; stop sampling if it happens.
+        let Some(tau) = kendall_tau(&annual, &now) else {
+            break;
+        };
         tau_sum += tau;
         min_tau = min_tau.min(tau);
         let now_topk = smallest_k(&now, k);

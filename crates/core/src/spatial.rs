@@ -54,6 +54,7 @@ pub fn one_migration_destination<'a>(
                 .total_cmp(&mb.unwrap_or(f64::INFINITY))
         })
         .copied()
+        // decarb-analyze: allow(no-panic) -- asserted non-empty candidate set at fn entry
         .expect("non-empty candidates")
 }
 
@@ -66,6 +67,7 @@ pub fn one_migration(
     slots: usize,
 ) -> SpatialOutcome {
     let dest = one_migration_destination(set, candidates, year);
+    // decarb-analyze: allow(no-panic) -- destination was selected from the same dataset two lines up
     let series = set.series(&dest.code).expect("destination trace exists");
     let cost = series.prefix_sum().sum(arrival, slots);
     SpatialOutcome {
@@ -80,6 +82,7 @@ pub fn one_migration(
 /// # Panics
 ///
 /// Panics if `candidates` is empty or a window is out of range.
+// decarb-analyze: hot-path
 pub fn lower_envelope(
     set: &TraceSet,
     candidates: &[&Region],
@@ -89,9 +92,11 @@ pub fn lower_envelope(
     assert!(!candidates.is_empty(), "candidate set must be non-empty");
     let mut env = vec![f64::INFINITY; len];
     for region in candidates {
+        // decarb-analyze: allow(no-panic) -- figure harness: candidates are drawn from the dataset
         let series = set.series(&region.code).expect("candidate trace exists");
         let window = series
             .window(from, len)
+            // decarb-analyze: allow(no-panic) -- figure harness: envelope windows stay inside the trace year
             .expect("candidate trace covers window");
         for (e, &v) in env.iter_mut().zip(window) {
             *e = e.min(v);
@@ -103,6 +108,7 @@ pub fn lower_envelope(
 /// Runs a job under the clairvoyant ∞-migration policy, returning its
 /// cost and the number of migrations performed (changes of argmin region
 /// between consecutive hours).
+// decarb-analyze: hot-path
 pub fn inf_migration(
     set: &TraceSet,
     candidates: &[&Region],
@@ -121,11 +127,13 @@ pub fn inf_migration(
             .map(|r| {
                 let v = set
                     .series(&r.code)
+                    // decarb-analyze: allow(no-panic) -- figure harness: candidates are drawn from the dataset
                     .expect("candidate trace exists")
                     .get(hour);
                 (r.code.as_str(), v)
             })
             .min_by(|a, b| a.1.total_cmp(&b.1))
+            // decarb-analyze: allow(no-panic) -- asserted non-empty candidate set at fn entry
             .expect("non-empty candidates");
         cost += value;
         match current {
@@ -142,6 +150,7 @@ pub fn inf_migration(
     }
     (
         SpatialOutcome {
+            // decarb-analyze: allow(hot-path) -- one allocation building the return value, after the hourly loop
             destination: first.to_string(),
             cost_g: cost,
         },

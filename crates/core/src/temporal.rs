@@ -104,6 +104,7 @@ impl TemporalPlanner {
     ///
     /// The slack is clamped at the trace horizon; ties resolve to the
     /// earliest start.
+    // decarb-analyze: hot-path
     pub fn best_deferred(&self, arrival: Hour, slots: usize, slack: usize) -> Placement {
         let first = self.idx(arrival);
         let last = (first + slack).min(self.last_start(slots));
@@ -181,6 +182,7 @@ impl TemporalPlanner {
     /// # Panics
     ///
     /// Panics if any arrival cannot fit `slots` hours before trace end.
+    // decarb-analyze: hot-path
     pub fn deferral_sweep(
         &self,
         sweep_start: Hour,
@@ -217,7 +219,9 @@ impl TemporalPlanner {
                     break;
                 }
             }
-            let best = *deque.front().expect("window is non-empty");
+            // `next_push <= right` always admits start `a` itself, so
+            // the deque cannot be empty here; bail out cleanly anyway.
+            let Some(&best) = deque.front() else { break };
             out.push(window_cost(best));
         }
         out
@@ -260,6 +264,7 @@ impl TemporalPlanner {
     }
 
     /// Convenience: per-arrival baseline costs for a sweep.
+    // decarb-analyze: hot-path
     pub fn baseline_sweep(&self, sweep_start: Hour, count: usize, slots: usize) -> Vec<f64> {
         (0..count)
             .map(|i| self.baseline_cost(sweep_start.plus(i), slots))

@@ -83,15 +83,17 @@ pub fn backtest(
         let origin = eval_start.plus(offset);
         let available = (origin.0 - series.start().0) as usize;
         let history_len = config.history.min(available);
-        let history = series
-            .slice(Hour(origin.0 - history_len as u32), history_len)
-            .expect("history window is inside the series");
+        // The loop bound keeps every window inside the series; if a
+        // caller-supplied eval range still escapes it, stop evaluating
+        // rather than panic.
+        let Ok(history) = series.slice(Hour(origin.0 - history_len as u32), history_len) else {
+            break;
+        };
         let predicted = model.predict(&history, config.horizon);
-        let actual = series
-            .window(origin, config.horizon)
-            .expect("series must cover the evaluation window")
-            .to_vec();
-        actuals.push(actual);
+        let Ok(actual) = series.window(origin, config.horizon) else {
+            break;
+        };
+        actuals.push(actual.to_vec());
         predictions.push(predicted);
         offset += config.stride.max(1);
     }
@@ -146,9 +148,9 @@ pub fn rolling_forecast_trace(
         let chunk = refresh.min(eval_hours - offset);
         let available = (origin.0 - series.start().0) as usize;
         let history_len = history.min(available);
-        let hist = series
-            .slice(Hour(origin.0 - history_len as u32), history_len)
-            .expect("history window is inside the series");
+        let Ok(hist) = series.slice(Hour(origin.0 - history_len as u32), history_len) else {
+            break;
+        };
         values.extend(model.predict(&hist, chunk));
         offset += chunk;
     }

@@ -66,7 +66,7 @@ pub fn solve(mut a: Matrix, mut b: Vec<f64>) -> Option<Vec<f64>> {
         // Partial pivot: the largest |entry| on or below the diagonal.
         let pivot_row = (col..n)
             .max_by(|&r1, &r2| a.get(r1, col).abs().total_cmp(&a.get(r2, col).abs()))
-            .expect("non-empty range");
+            .unwrap_or(col);
         if a.get(pivot_row, col).abs() < SINGULAR_EPS {
             return None;
         }

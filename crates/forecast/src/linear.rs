@@ -18,6 +18,9 @@ use crate::model::{tail, Forecaster};
 /// drift); 168 h for the weekly cycle.
 pub const LAGS: [usize; 6] = [1, 2, 3, 24, 25, 168];
 
+/// Largest lag in [`LAGS`] (they are sorted ascending; pinned by test).
+const MAX_LAG: usize = LAGS[LAGS.len() - 1];
+
 /// Number of features: the lags, sin/cos of the daily harmonic, sin/cos of
 /// the half-daily harmonic, a weekend flag, and an intercept.
 const N_FEATURES: usize = LAGS.len() + 5;
@@ -80,7 +83,7 @@ impl LinearAr {
     /// assert_eq!(next_day.len(), 24);
     /// ```
     pub fn fit(train: &TimeSeries) -> Option<Self> {
-        let max_lag = *LAGS.iter().max().expect("LAGS non-empty");
+        let max_lag = MAX_LAG;
         let values = train.values();
         if values.len() <= max_lag {
             return None;
@@ -128,7 +131,7 @@ impl Forecaster for LinearAr {
 
     fn predict(&self, history: &TimeSeries, horizon: usize) -> Vec<f64> {
         assert!(!history.is_empty(), "history must be non-empty");
-        let max_lag = *LAGS.iter().max().expect("LAGS non-empty");
+        let max_lag = MAX_LAG;
         let (_, window) = tail(history, max_lag);
         if window.len() < max_lag {
             // Not enough context for the longest lag: degrade to the
@@ -183,6 +186,12 @@ mod tests {
             })
             .collect();
         TimeSeries::new(start, values)
+    }
+
+    #[test]
+    fn lags_sorted_so_max_lag_is_last() {
+        assert!(LAGS.windows(2).all(|w| w[0] < w[1]), "LAGS must be sorted");
+        assert_eq!(MAX_LAG, LAGS.iter().copied().max().unwrap());
     }
 
     #[test]

@@ -25,7 +25,7 @@ impl Forecaster for Persistence {
 
     fn predict(&self, history: &TimeSeries, horizon: usize) -> Vec<f64> {
         assert!(!history.is_empty(), "history must be non-empty");
-        let last = *history.values().last().expect("non-empty history");
+        let last = history.values().last().copied().unwrap_or(0.0);
         vec![last; horizon]
     }
 }

@@ -69,7 +69,7 @@ impl Parser<'_> {
         }
     }
 
-    fn expect(&mut self, byte: u8) -> Result<(), JsonParseError> {
+    fn expect_byte(&mut self, byte: u8) -> Result<(), JsonParseError> {
         if self.peek() == Some(byte) {
             self.pos += 1;
             Ok(())
@@ -106,7 +106,7 @@ impl Parser<'_> {
     }
 
     fn object(&mut self, depth: usize) -> Result<Value, JsonParseError> {
-        self.expect(b'{')?;
+        self.expect_byte(b'{')?;
         let mut pairs = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -117,7 +117,7 @@ impl Parser<'_> {
             self.skip_ws();
             let key = self.string()?;
             self.skip_ws();
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             self.skip_ws();
             let value = self.value(depth + 1)?;
             pairs.push((key, value));
@@ -134,7 +134,7 @@ impl Parser<'_> {
     }
 
     fn array(&mut self, depth: usize) -> Result<Value, JsonParseError> {
-        self.expect(b'[')?;
+        self.expect_byte(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -157,7 +157,7 @@ impl Parser<'_> {
     }
 
     fn string(&mut self) -> Result<String, JsonParseError> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         loop {
             match self.peek() {
@@ -265,7 +265,10 @@ impl Parser<'_> {
             }
             self.digits();
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII number");
+        // The scanner only advanced over ASCII digit/sign/exponent
+        // bytes, but surface a parse error rather than trusting that.
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.error("non-ASCII bytes in number"))?;
         let n: f64 = text
             .parse()
             .map_err(|_| self.error(format!("unparseable number `{text}`")))?;

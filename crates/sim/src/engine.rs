@@ -12,6 +12,7 @@
 //! id-indexed table, and per-region emissions accumulate into a dense
 //! buffer — the step loop performs no string hashing at all.
 
+use std::collections::binary_heap::PeekMut;
 use std::collections::BinaryHeap;
 
 use decarb_traces::{Hour, RegionId, TimeSeries, TraceSet};
@@ -131,6 +132,7 @@ impl<'a> Simulator<'a> {
     /// as unfinished, as are jobs whose planned start lands at or past
     /// the horizon end (they are never admitted). Jobs arriving before
     /// the simulated window are treated as arriving at its first hour.
+    // decarb-analyze: hot-path
     pub fn run<P: Policy>(&mut self, policy: &mut P, jobs: &[Job]) -> SimReport {
         let mut report = SimReport::default();
         // Sorted descending so each arrival is *moved* off the tail in
@@ -155,7 +157,8 @@ impl<'a> Simulator<'a> {
             .collect();
         let mut ci_now: Vec<Option<f64>> = vec![None; dc_count];
         let mut dc_emissions: Vec<f64> = vec![0.0; dc_count];
-        let mut decisions: Vec<bool> = Vec::new();
+        let mut decisions: Vec<bool> = Vec::with_capacity(self.config.capacity_per_region * 2);
+        let mut finished: Vec<usize> = Vec::with_capacity(self.config.capacity_per_region * 2);
 
         for step in 0..self.config.horizon {
             let now = self.config.start.plus(step);
@@ -164,8 +167,7 @@ impl<'a> Simulator<'a> {
             }
 
             // 1. Place arrivals for this hour.
-            while arrivals.last().is_some_and(|j| j.arrival <= now) {
-                let job = arrivals.pop().expect("peeked entry exists");
+            while let Some(job) = arrivals.pop_if(|j| j.arrival <= now) {
                 let placement = {
                     let view = CloudView {
                         datacenters: &self.datacenters,
@@ -200,11 +202,11 @@ impl<'a> Simulator<'a> {
             // 2. Admit planned starts due now; migrations (destination ≠
             // origin) pay the state-copy overhead at the origin's current
             // CI — the state leaves the origin's servers.
-            while let Some(top) = self.calendar.peek() {
+            while let Some(top) = self.calendar.peek_mut() {
                 if top.start > now {
                     break;
                 }
-                let planned = self.calendar.pop().expect("peeked entry exists");
+                let planned = PeekMut::pop(top);
                 if planned.region != planned.job.origin {
                     report.migrations += 1;
                     let kwh = self.config.overheads.migration_kwh();
@@ -226,7 +228,13 @@ impl<'a> Simulator<'a> {
                         *report.per_region_g.entry(planned.job.origin).or_insert(0.0) += kwh * ci;
                     }
                 }
-                let slot = slot_in(&self.slot_of, planned.region).expect("placement validated");
+                // Placement is validated at arrival time, so a missing
+                // slot here means an inconsistent table; count the job
+                // unfinished rather than crashing the whole shard.
+                let Some(slot) = slot_in(&self.slot_of, planned.region) else {
+                    never_admitted += 1;
+                    continue;
+                };
                 self.datacenters[slot]
                     .jobs
                     .push(RunningJob::admitted(planned.job));
@@ -297,7 +305,7 @@ impl<'a> Simulator<'a> {
                     report.stalled_hours += dc.jobs.iter().filter(|rj| !rj.suspended).count();
                     continue;
                 };
-                let mut finished: Vec<usize> = Vec::new();
+                finished.clear();
                 for (i, rj) in dc.jobs.iter_mut().enumerate() {
                     if rj.suspended {
                         continue;
@@ -322,7 +330,7 @@ impl<'a> Simulator<'a> {
                     let deadline = rj.job.arrival.plus(rj.job.window_hours());
                     report.completed.push(CompletedJob {
                         region: dc.region,
-                        started: rj.started.expect("finished jobs have run"),
+                        started: rj.started.unwrap_or(now),
                         finished: now,
                         emitted_g: rj.emitted_g,
                         // The window covers hours [arrival, deadline);

@@ -28,6 +28,7 @@ pub mod planner_cache;
 pub mod policy;
 pub mod routing;
 pub mod scenario;
+pub mod scenario_check;
 pub mod scenario_file;
 pub mod spatiotemporal;
 pub mod sweep;
@@ -47,6 +48,7 @@ pub use scenario::{
     ForecasterKind, OverheadKind, PolicyKind, RegionSet, RegionSpec, Scenario, ScenarioMatrix,
     ScenarioReport,
 };
+pub use scenario_check::{check_file, check_scenarios};
 pub use scenario_file::{
     parse_scenario_file, parse_scenario_file_full, ScenarioFile, ScenarioFileError,
 };

@@ -16,7 +16,7 @@
 //! dataset (ids are per-dataset; the scenario engine guarantees this by
 //! scoping the cache to a run).
 
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, PoisonError, RwLock};
 
 use decarb_core::temporal::TemporalPlanner;
 use decarb_traces::{RegionId, TimeSeries};
@@ -41,10 +41,15 @@ impl PlannerCache {
     /// Returns the planner for `id`, building it from `series` on the
     /// first request.
     pub fn planner(&self, id: RegionId, series: &TimeSeries) -> Arc<TemporalPlanner> {
-        if let Some(Some(planner)) = self.planners.read().expect("cache lock").get(id.index()) {
+        let read = self.planners.read().unwrap_or_else(PoisonError::into_inner);
+        if let Some(Some(planner)) = read.get(id.index()) {
             return Arc::clone(planner);
         }
-        let mut planners = self.planners.write().expect("cache lock");
+        drop(read);
+        let mut planners = self
+            .planners
+            .write()
+            .unwrap_or_else(PoisonError::into_inner);
         if planners.len() <= id.index() {
             planners.resize(id.index() + 1, None);
         }
@@ -59,7 +64,7 @@ impl PlannerCache {
     pub fn len(&self) -> usize {
         self.planners
             .read()
-            .expect("cache lock")
+            .unwrap_or_else(PoisonError::into_inner)
             .iter()
             .filter(|slot| slot.is_some())
             .count()
@@ -90,10 +95,15 @@ impl<'a> CachedDeferral<'a> {
 
 impl Policy for CachedDeferral<'_> {
     fn place(&mut self, job: &Job, view: &CloudView<'_>) -> Placement {
-        let series = view
-            .traces
-            .try_series_by_id(job.origin)
-            .expect("origin trace exists");
+        // A job originating in a region with no trace cannot be
+        // planned; run it now at the origin instead of panicking the
+        // worker thread.
+        let Some(series) = view.traces.try_series_by_id(job.origin) else {
+            return Placement {
+                region: job.origin,
+                start: view.now,
+            };
+        };
         let planner = self.cache.planner(job.origin, series);
         let placement = planner.best_deferred(view.now, job.length_slots(), job.slack_hours());
         Placement {

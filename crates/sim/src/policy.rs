@@ -56,10 +56,14 @@ pub struct PlannedDeferral;
 
 impl Policy for PlannedDeferral {
     fn place(&mut self, job: &Job, view: &CloudView<'_>) -> Placement {
-        let series = view
-            .traces
-            .try_series_by_id(job.origin)
-            .expect("origin trace exists");
+        // No trace for the origin means nothing to plan against; run
+        // the job immediately rather than panicking the worker.
+        let Some(series) = view.traces.try_series_by_id(job.origin) else {
+            return Placement {
+                region: job.origin,
+                start: view.now,
+            };
+        };
         let planner = TemporalPlanner::new(series);
         let placement = planner.best_deferred(view.now, job.length_slots(), job.slack_hours());
         Placement {

@@ -88,6 +88,7 @@ impl RegionSet {
     pub fn resolve(self, data: &TraceSet) -> Vec<RegionId> {
         self.codes()
             .iter()
+            // decarb-analyze: allow(no-panic) -- documented panicking API; `try_resolve` is the fallible sibling
             .map(|code| data.id_of(code).expect("built-in region set resolves"))
             .collect()
     }
@@ -383,9 +384,22 @@ impl Scenario {
     /// file or matrix they were declared in — this is what the sweep
     /// pipeline shards and merges by (see [`crate::sweep`]).
     pub fn content_id(&self) -> String {
-        let canonical = format!(
-            "{};{};{};[{}];{};{};{};{};{};{}",
-            self.name,
+        fnv1a64(&format!("{};{}", self.name, self.outcome_canonical()))
+    }
+
+    /// The scenario's *outcome* id: [`Scenario::content_id`] minus the
+    /// name. Two scenarios with the same outcome id run the exact same
+    /// simulation under different labels — a dead matrix axis the
+    /// static scenario checker flags (see [`crate::scenario_check`]).
+    pub fn outcome_id(&self) -> String {
+        fnv1a64(&self.outcome_canonical())
+    }
+
+    /// Canonical text form of every outcome-determining field, in the
+    /// exact byte layout `content_id` has always hashed after the name.
+    fn outcome_canonical(&self) -> String {
+        format!(
+            "{};{};[{}];{};{};{};{};{};{}",
             self.workload.canonical(),
             self.policy.label(),
             self.regions.codes().join(","),
@@ -395,15 +409,7 @@ impl Scenario {
             self.slo_ms,
             self.start.0,
             self.horizon,
-        );
-        // FNV-1a, 64-bit: tiny, dependency-free, and stable across
-        // platforms and compiler versions (unlike `DefaultHasher`).
-        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-        for byte in canonical.as_bytes() {
-            hash ^= u64::from(*byte);
-            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
-        }
-        format!("{hash:016x}")
+        )
     }
 
     /// Runs the scenario against `data` and condenses the outcome.
@@ -423,6 +429,7 @@ impl Scenario {
         let regions = self
             .regions
             .try_resolve(data)
+            // decarb-analyze: allow(no-panic) -- documented: callers `validate_against` non-builtin datasets first
             .unwrap_or_else(|e| panic!("scenario `{}`: {e}", self.name));
         let jobs = self.workload.materialize(&regions, self.start);
         let config = SimConfig::new(self.start, self.horizon, self.capacity_per_region)
@@ -620,6 +627,19 @@ impl ScenarioMatrix {
     }
 }
 
+/// FNV-1a, 64-bit, rendered as 16 hex digits: tiny, dependency-free,
+/// and stable across platforms and compiler versions (unlike
+/// `DefaultHasher`). Shared by [`Scenario::content_id`] and
+/// [`Scenario::outcome_id`].
+fn fnv1a64(canonical: &str) -> String {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in canonical.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    format!("{hash:016x}")
+}
+
 /// The built-in matrix: 3 workload classes × 6 policies × 3 region sets
 /// = 54 scenarios over a 16-day window of the evaluation year.
 pub fn builtin_matrix() -> ScenarioMatrix {
@@ -712,6 +732,7 @@ pub fn run_scenarios_with(
     sink: impl FnMut(ScenarioReport) -> bool,
 ) {
     let plan =
+        // decarb-analyze: allow(no-panic) -- documented: invalid scenarios panic at plan time with the collected list
         crate::sweep::SweepPlan::plan(data, scenarios.to_vec()).unwrap_or_else(|e| panic!("{e}"));
     plan.execute_with(data, sink);
 }
@@ -762,6 +783,34 @@ mod tests {
                 s.horizon
             );
         }
+    }
+
+    #[test]
+    fn outcome_id_ignores_the_name_and_nothing_else() {
+        let scenarios = builtin_scenarios();
+        let a = &scenarios[0];
+        let mut renamed = a.clone();
+        renamed.name = "alias".into();
+        // Same simulation under a different label: outcome ids agree,
+        // content ids (which hash the name first) do not.
+        assert_eq!(a.outcome_id(), renamed.outcome_id());
+        assert_ne!(a.content_id(), renamed.content_id());
+        // Any outcome-bearing field change moves both ids.
+        let mut tweaked = a.clone();
+        tweaked.horizon += 1;
+        assert_ne!(a.outcome_id(), tweaked.outcome_id());
+        assert_ne!(a.content_id(), tweaked.content_id());
+        // The content hash still covers the exact historical byte
+        // layout: name first, then the outcome canonical.
+        assert_eq!(
+            a.content_id(),
+            fnv1a64(&format!("{};{}", a.name, a.outcome_canonical()))
+        );
+        // The 54 built-in scenarios are pairwise distinct outcomes.
+        let mut ids: Vec<String> = scenarios.iter().map(Scenario::outcome_id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), scenarios.len());
     }
 
     #[test]

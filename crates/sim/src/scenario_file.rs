@@ -100,14 +100,59 @@ fn err(line: usize, message: impl Into<String>) -> ScenarioFileError {
     }
 }
 
-/// One `[kind name]` section with its `key = value` pairs.
+/// Keys a `[defaults]` section accepts.
+pub(crate) const DEFAULTS_KEYS: &[&str] = &[
+    "capacity",
+    "horizon",
+    "year",
+    "start_offset",
+    "overheads",
+    "forecaster",
+    "slo_ms",
+];
+
+/// Keys a `[scenario NAME]` section accepts.
+pub(crate) const SCENARIO_KEYS: &[&str] = &[
+    "workload",
+    "policy",
+    "regions",
+    "capacity",
+    "horizon",
+    "year",
+    "start_offset",
+    "overheads",
+    "forecaster",
+    "slo_ms",
+];
+
+/// Keys a `[matrix NAME]` section accepts.
+pub(crate) const MATRIX_KEYS: &[&str] = &[
+    "workloads",
+    "policies",
+    "regions",
+    "overheads",
+    "capacities",
+    "capacity",
+    "horizon",
+    "year",
+    "start_offset",
+    "forecaster",
+    "slo_ms",
+];
+
+/// Keys a `[regions NAME]` section accepts.
+pub(crate) const REGIONS_KEYS: &[&str] = &["codes"];
+
+/// One `[kind name]` section with its `key = value` pairs. Shared with
+/// the static checker (`scenario_check`), which re-walks the raw
+/// sections for typo-aware unknown-key diagnostics.
 #[derive(Debug)]
-struct Section {
-    kind: String,
-    name: String,
-    line: usize,
-    pairs: Vec<(String, String)>,
-    pair_lines: Vec<usize>,
+pub(crate) struct Section {
+    pub(crate) kind: String,
+    pub(crate) name: String,
+    pub(crate) line: usize,
+    pub(crate) pairs: Vec<(String, String)>,
+    pub(crate) pair_lines: Vec<usize>,
 }
 
 impl Section {
@@ -160,7 +205,7 @@ impl Section {
 }
 
 /// Splits the file into sections, validating the line grammar.
-fn split_sections(text: &str) -> Result<Vec<Section>, ScenarioFileError> {
+pub(crate) fn split_sections(text: &str) -> Result<Vec<Section>, ScenarioFileError> {
     let mut sections: Vec<Section> = Vec::new();
     for (i, raw) in text.lines().enumerate() {
         let line_no = i + 1;
@@ -350,6 +395,10 @@ pub struct ScenarioFile {
     /// Custom regions, in declaration order; the runner interns (and
     /// synthesizes traces for) the ones the active dataset lacks.
     pub custom_regions: Vec<Region>,
+    /// 1-based line of the `[scenario]` or `[matrix]` section each
+    /// entry of `scenarios` came from, index-aligned — the spans the
+    /// static checker anchors its diagnostics to.
+    pub(crate) lines: Vec<usize>,
 }
 
 /// Parses a scenario file into its expanded scenario list, dropping
@@ -376,15 +425,7 @@ pub fn parse_scenario_file_full(text: &str) -> Result<ScenarioFile, ScenarioFile
     for section in &sections {
         match section.kind.as_str() {
             "defaults" => {
-                section.reject_unknown(&[
-                    "capacity",
-                    "horizon",
-                    "year",
-                    "start_offset",
-                    "overheads",
-                    "forecaster",
-                    "slo_ms",
-                ])?;
+                section.reject_unknown(DEFAULTS_KEYS)?;
                 defaults = settings_from(section, defaults, true)?;
             }
             "workload" => {
@@ -410,7 +451,7 @@ pub fn parse_scenario_file_full(text: &str) -> Result<ScenarioFile, ScenarioFile
                 custom_regions.push(region);
             }
             "regions" => {
-                section.reject_unknown(&["codes"])?;
+                section.reject_unknown(REGIONS_KEYS)?;
                 if RegionSet::parse(&section.name).is_ok() {
                     return Err(err(
                         section.line,
@@ -443,21 +484,11 @@ pub fn parse_scenario_file_full(text: &str) -> Result<ScenarioFile, ScenarioFile
 
     // Second pass: scenarios and matrices, in order.
     let mut scenarios: Vec<Scenario> = Vec::new();
+    let mut lines: Vec<usize> = Vec::new();
     for section in &sections {
         match section.kind.as_str() {
             "scenario" => {
-                section.reject_unknown(&[
-                    "workload",
-                    "policy",
-                    "regions",
-                    "capacity",
-                    "horizon",
-                    "year",
-                    "start_offset",
-                    "overheads",
-                    "forecaster",
-                    "slo_ms",
-                ])?;
+                section.reject_unknown(SCENARIO_KEYS)?;
                 let settings = settings_from(section, defaults, true)?;
                 let workload_name = section
                     .get("workload")
@@ -479,6 +510,7 @@ pub fn parse_scenario_file_full(text: &str) -> Result<ScenarioFile, ScenarioFile
                     .ok_or_else(|| err(section.line, "scenario needs `regions`"))?;
                 let regions =
                     resolve_regions(regions_name, &region_sets, section.line_of("regions"))?;
+                lines.push(section.line);
                 scenarios.push(Scenario {
                     name: section.name.clone(),
                     workload,
@@ -493,19 +525,7 @@ pub fn parse_scenario_file_full(text: &str) -> Result<ScenarioFile, ScenarioFile
                 });
             }
             "matrix" => {
-                section.reject_unknown(&[
-                    "workloads",
-                    "policies",
-                    "regions",
-                    "overheads",
-                    "capacities",
-                    "capacity",
-                    "horizon",
-                    "year",
-                    "start_offset",
-                    "forecaster",
-                    "slo_ms",
-                ])?;
+                section.reject_unknown(MATRIX_KEYS)?;
                 let settings = settings_from(section, defaults, false)?;
                 let matrix_workloads: Vec<(String, WorkloadSpec)> = section
                     .list("workloads")
@@ -582,7 +602,9 @@ pub fn parse_scenario_file_full(text: &str) -> Result<ScenarioFile, ScenarioFile
                     start: settings.start(),
                     horizon: settings.horizon,
                 };
-                scenarios.extend(matrix.expand());
+                let expanded = matrix.expand();
+                lines.extend(std::iter::repeat_n(section.line, expanded.len()));
+                scenarios.extend(expanded);
             }
             _ => {}
         }
@@ -609,6 +631,7 @@ pub fn parse_scenario_file_full(text: &str) -> Result<ScenarioFile, ScenarioFile
     Ok(ScenarioFile {
         scenarios,
         custom_regions,
+        lines,
     })
 }
 

@@ -175,6 +175,7 @@ impl SweepPlan {
     /// over one shared [`PlannerCache`], streaming each report to
     /// `sink` in plan order as its chunk completes. A `false` return
     /// from `sink` aborts after the current chunk.
+    // decarb-analyze: hot-path
     pub fn execute_with(&self, data: &TraceSet, mut sink: impl FnMut(ScenarioReport) -> bool) {
         let cache = PlannerCache::new();
         let chunk = (thread_count() * 2).max(1);
@@ -311,8 +312,10 @@ pub fn merge_reports(
             let mut merged = Vec::with_capacity(names.len());
             let mut missing = Vec::new();
             for name in names {
-                match by_name.get(name.as_str()) {
-                    Some(&i) => merged.push(slots[i].take().expect("each name taken once")),
+                // A repeated expected name can only claim one report;
+                // the second occurrence counts as missing.
+                match by_name.get(name.as_str()).and_then(|&i| slots[i].take()) {
+                    Some(value) => merged.push(value),
                     None => missing.push(name.clone()),
                 }
             }

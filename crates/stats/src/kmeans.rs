@@ -77,13 +77,14 @@ pub fn kmeans(points: &[Vec<f64>], k: usize, seed: u64, max_iters: usize) -> Opt
             }
             chosen
         };
-        centroids.push(points[next].clone());
+        let newest = points[next].clone();
         for (i, p) in points.iter().enumerate() {
-            let d = sq_dist(p, centroids.last().unwrap());
+            let d = sq_dist(p, &newest);
             if d < dists[i] {
                 dists[i] = d;
             }
         }
+        centroids.push(newest);
     }
 
     // Lloyd iterations.
@@ -95,7 +96,7 @@ pub fn kmeans(points: &[Vec<f64>], k: usize, seed: u64, max_iters: usize) -> Opt
         for (i, p) in points.iter().enumerate() {
             let best = (0..centroids.len())
                 .min_by(|&a, &b| sq_dist(p, &centroids[a]).total_cmp(&sq_dist(p, &centroids[b])))
-                .unwrap();
+                .unwrap_or(0);
             if assignments[i] != best {
                 assignments[i] = best;
                 changed = true;

@@ -162,8 +162,9 @@ pub fn read_dataset_str_with(
                 rows: Vec::new(),
             });
         }
-        let block = blocks.last_mut().expect("pushed above");
-        block.rows.push((i + 1, hour_str, value_str));
+        if let Some(block) = blocks.last_mut() {
+            block.rows.push((i + 1, hour_str, value_str));
+        }
     }
     let parsed = decarb_par::par_map(&blocks, |block| {
         let mut start: Option<Hour> = None;

@@ -29,6 +29,12 @@ pub enum Source {
 }
 
 impl Source {
+    /// Position of this source in [`Source::ALL`] (declaration order).
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
     /// All source categories, in the canonical order used by [`EnergyMix`].
     pub const ALL: [Source; 9] = [
         Source::Coal,
@@ -135,8 +141,7 @@ impl EnergyMix {
     /// Returns the share of `source` in the mix.
     #[inline]
     pub fn share(&self, source: Source) -> f64 {
-        let idx = Source::ALL.iter().position(|&s| s == source).unwrap();
-        self.shares[idx]
+        self.shares[source.index()]
     }
 
     /// Returns the combined share of fossil sources.
@@ -191,11 +196,8 @@ impl EnergyMix {
         for s in &mut shares {
             *s *= 1.0 - fraction;
         }
-        let wind_idx = Source::ALL.iter().position(|&s| s == Source::Wind).unwrap();
-        let solar_idx = Source::ALL
-            .iter()
-            .position(|&s| s == Source::Solar)
-            .unwrap();
+        let wind_idx = Source::Wind.index();
+        let solar_idx = Source::Solar.index();
         shares[wind_idx] += fraction / 2.0;
         shares[solar_idx] += fraction / 2.0;
         EnergyMix::new(shares)
@@ -218,6 +220,14 @@ mod tests {
     fn california_like() -> EnergyMix {
         // coal gas oil nuclear hydro wind solar geo biomass
         EnergyMix::new([0.0, 0.40, 0.0, 0.08, 0.10, 0.10, 0.25, 0.05, 0.02])
+    }
+
+    #[test]
+    fn index_matches_declaration_order() {
+        for (i, s) in Source::ALL.iter().enumerate() {
+            assert_eq!(s.index(), i);
+            assert_eq!(Source::ALL[s.index()], *s);
+        }
     }
 
     #[test]

@@ -210,6 +210,20 @@ impl Region {
         }
     }
 
+    /// Every key [`Region::from_pairs`] understands — the vocabulary
+    /// behind the scenario checker's unknown-key suggestions.
+    pub const KNOWN_KEYS: &'static [&'static str] = &[
+        "name",
+        "group",
+        "lat",
+        "lon",
+        "mean_ci",
+        "ci_delta",
+        "daily_cv",
+        "periodicity",
+        "mix",
+    ];
+
     /// Builds a region from `key = value` pairs (metadata sidecars and
     /// scenario-file `[region CODE]` sections). Every key is optional on
     /// top of the [`Region::user`] defaults: `name`, `group`, `lat`,
@@ -256,8 +270,8 @@ impl Region {
                 "mix" => region.mix = parse_mix(raw)?,
                 other => {
                     return Err(format!(
-                        "unknown region key `{other}` (valid: name, group, lat, lon, \
-                         mean_ci, ci_delta, daily_cv, periodicity, mix)"
+                        "unknown region key `{other}` (valid: {})",
+                        Region::KNOWN_KEYS.join(", ")
                     ))
                 }
             }

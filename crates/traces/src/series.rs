@@ -66,6 +66,7 @@ impl TimeSeries {
     #[inline]
     pub fn get(&self, hour: Hour) -> f64 {
         self.at(hour).unwrap_or_else(|| {
+            // decarb-analyze: allow(no-panic) -- documented panicking accessor; `at` is the fallible sibling
             panic!(
                 "hour {hour} outside series [{}, {})",
                 self.start,

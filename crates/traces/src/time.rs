@@ -64,6 +64,7 @@ impl Hour {
             }
             rest -= len;
         }
+        // decarb-analyze: allow(no-panic) -- documented panicking accessor (# Panics: beyond LAST_YEAR)
         panic!("hour {} beyond dataset horizon", self.0);
     }
 

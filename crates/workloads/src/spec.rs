@@ -492,6 +492,53 @@ impl WorkloadSpec {
         self.arrival().last_offset(per_origin, origins)
     }
 
+    /// Returns the latest offset (hours past the scenario start) at
+    /// which any materialized job may legitimately still be running:
+    /// the last arrival plus the worst job's full scheduling window
+    /// (slack + runtime, via [`Job::window_hours`]). A scenario horizon
+    /// at or above this value gives every job — even one deferred to
+    /// the end of its slack — room to finish; a smaller horizon makes
+    /// some deadlines structurally unreachable inside the simulation.
+    pub fn worst_case_completion_offset(&self, origins: usize) -> usize {
+        let last = self.last_arrival_offset(origins);
+        // Probe jobs share the scheduling math with `materialize` so
+        // the bound cannot drift from what the engine actually sees.
+        let window = match self {
+            WorkloadSpec::Batch {
+                length_hours,
+                slack,
+                ..
+            } => Job::batch(0, RegionId(0), Hour(0), *length_hours, *slack).window_hours(),
+            WorkloadSpec::Interactive { .. } => {
+                Job::interactive(0, RegionId(0), Hour(0)).window_hours()
+            }
+            WorkloadSpec::Mixed {
+                batch_length_hours,
+                batch_slack,
+                ..
+            } => Job::batch(0, RegionId(0), Hour(0), *batch_length_hours, *batch_slack)
+                .window_hours()
+                .max(Job::interactive(0, RegionId(0), Hour(0)).window_hours()),
+        };
+        last + window
+    }
+
+    /// Every key [`WorkloadSpec::from_pairs`] understands, across all
+    /// classes — the vocabulary behind the scenario checker's
+    /// unknown-key suggestions.
+    pub const KNOWN_KEYS: &'static [&'static str] = &[
+        "class",
+        "per_origin",
+        "spacing",
+        "arrival",
+        "arrival_seed",
+        "length",
+        "slack",
+        "interruptible",
+        "migratable_fraction",
+        "seed",
+    ];
+
     /// Canonical text form of the whole recipe, stable across runs —
     /// feeds scenario content-addressing in `decarb-sim`.
     pub fn canonical(&self) -> String {
@@ -625,6 +672,81 @@ mod tests {
             .map(|j| j.arrival.0)
             .collect();
         assert_eq!(de, vec![101, 125, 149, 173]);
+    }
+
+    #[test]
+    fn worst_case_completion_bounds_every_materialized_job() {
+        // The static bound must dominate arrival + window of every job
+        // the spec actually materializes, for each class.
+        let specs = [
+            batch_spec(),
+            WorkloadSpec::Interactive {
+                per_origin: 5,
+                arrival: Arrival::fixed(6),
+            },
+            WorkloadSpec::Mixed {
+                per_origin: 4,
+                arrival: Arrival::fixed(12),
+                migratable_fraction: 0.5,
+                batch_length_hours: 4.0,
+                batch_slack: Slack::Day,
+                seed: 0x5EED,
+            },
+        ];
+        for spec in &specs {
+            let bound = spec.worst_case_completion_offset(ORIGINS.len());
+            let jobs = spec.materialize(&ORIGINS, Hour(0));
+            let max = jobs
+                .iter()
+                .map(|j| j.arrival.0 as usize + j.window_hours())
+                .max()
+                .unwrap();
+            assert!(max <= bound, "{}: {max} > {bound}", spec.label());
+        }
+        // For the batch recipe the bound is exact: last arrival
+        // (3 × 24 + 2) plus a day of slack plus the 8-hour runtime.
+        assert_eq!(
+            batch_spec().worst_case_completion_offset(3),
+            3 * 24 + 2 + 24 + 8
+        );
+    }
+
+    #[test]
+    fn known_keys_cover_from_pairs_vocabulary() {
+        // Every KNOWN_KEYS entry must be accepted by from_pairs in some
+        // class, so the checker's suggestion vocabulary cannot rot.
+        let recipes: &[&[(&str, &str)]] = &[
+            &[
+                ("class", "batch"),
+                ("per_origin", "2"),
+                ("spacing", "24"),
+                ("length", "4"),
+                ("slack", "day"),
+                ("interruptible", "true"),
+            ],
+            &[
+                ("class", "interactive"),
+                ("arrival", "poisson:0.5"),
+                ("arrival_seed", "7"),
+            ],
+            &[
+                ("class", "mixed"),
+                ("migratable_fraction", "0.4"),
+                ("seed", "9"),
+            ],
+        ];
+        let mut used: Vec<&str> = Vec::new();
+        for pairs in recipes {
+            let owned: Vec<(String, String)> = pairs
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect();
+            WorkloadSpec::from_pairs(&owned).unwrap();
+            used.extend(pairs.iter().map(|(k, _)| *k));
+        }
+        for key in WorkloadSpec::KNOWN_KEYS {
+            assert!(used.contains(key), "KNOWN_KEYS lists unexercised `{key}`");
+        }
     }
 
     #[test]

@@ -30,6 +30,7 @@
 //! assert!(mean < 20.0);
 //! ```
 
+pub use decarb_analyze as analyze;
 pub use decarb_core as core;
 pub use decarb_experiments as experiments;
 pub use decarb_forecast as forecast;
