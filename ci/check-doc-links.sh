@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Fails when README.md or any docs/*.md contains a relative markdown
+# link to a file that does not exist in the checkout. External links
+# (http/https/mailto) and pure #fragments are skipped; a #fragment on
+# a relative link is stripped before the existence check.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+status=0
+for doc in README.md docs/*.md; do
+    [ -f "$doc" ] || continue
+    dir=$(dirname "$doc")
+    # Extract the (target) of every [text](target) occurrence.
+    while IFS= read -r target; do
+        case "$target" in
+            http://* | https://* | mailto:* | '#'*) continue ;;
+        esac
+        path="${target%%#*}"
+        [ -n "$path" ] || continue
+        if [ ! -e "$dir/$path" ]; then
+            echo "$doc: dead relative link ($target)" >&2
+            status=2
+        fi
+    done < <(grep -o '\[[^]]*\]([^)]*)' "$doc" | sed 's/.*(\(.*\))/\1/')
+done
+
+if [ "$status" -eq 0 ]; then
+    echo "doc links ok"
+fi
+exit "$status"

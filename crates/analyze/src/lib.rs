@@ -81,14 +81,11 @@ impl Diagnostic {
         )
     }
 
-    /// Serializes the diagnostic as a JSON object.
+    /// Serializes the diagnostic as a JSON object in the canonical
+    /// envelope field order (`file`, `line`, `rule`, `message`) shared
+    /// by every emitter via [`decarb_json::diagnostic_object`].
     pub fn to_json(&self) -> Value {
-        Value::object([
-            ("file", Value::from(self.file.as_str())),
-            ("line", Value::from(self.line as f64)),
-            ("rule", Value::from(self.rule.as_str())),
-            ("message", Value::from(self.message.as_str())),
-        ])
+        decarb_json::diagnostic_object(&self.file, self.line, &self.rule, &self.message)
     }
 }
 
@@ -146,6 +143,22 @@ mod tests {
             panic!("array expected")
         };
         assert_eq!(items.len(), 1);
+    }
+
+    #[test]
+    fn envelope_field_order_is_pinned() {
+        // `analyze --json` and `scenario check --json` both serialize
+        // through this path; docs/API.md documents the field order as
+        // `file`, `line`, `rule`, `message`. Byte-exact pin.
+        let d = Diagnostic::new("a.rs", 7, "hot-path", "allocation");
+        assert_eq!(
+            d.to_json().to_string(),
+            r#"{"file":"a.rs","line":7,"rule":"hot-path","message":"allocation"}"#
+        );
+        assert_eq!(
+            diagnostics_to_json(std::slice::from_ref(&d)).to_string(),
+            r#"[{"file":"a.rs","line":7,"rule":"hot-path","message":"allocation"}]"#
+        );
     }
 
     #[test]

@@ -320,6 +320,90 @@ fn bench_planner_cache(h: &Harness) {
     });
 }
 
+/// The placement service's request path at its three depths: the raw
+/// planner query (`Snapshot::place`, what the ≥10k decisions/sec
+/// budget in ISSUE/BASELINE is about), the full HTTP handler
+/// (dispatch + JSON parse/render on top), and the request parser
+/// alone. Plus the off-path costs a reload pays: building a full
+/// 123-zone snapshot with prewarmed planners.
+fn bench_serve(h: &Harness) {
+    use decarb_serve::{read_request, PlacementService};
+    use decarb_sim::{PlaceRequest, Snapshot};
+    use std::io::BufReader;
+
+    let data = builtin_dataset();
+    let snapshot = Snapshot::build(std::sync::Arc::clone(&data), 1);
+    let origins: Vec<RegionId> = ["PL", "DE", "US-CA", "IN-WE", "SE", "AU-NSW", "GB", "FR"]
+        .iter()
+        .map(|c| data.id_of(c).expect("bench region"))
+        .collect();
+    let start = year_start(2022);
+    // 64 distinct queries cycled per iteration so the row measures a
+    // mixed request stream, not one memoized answer.
+    let queries: Vec<PlaceRequest> = (0..64)
+        .map(|i| PlaceRequest {
+            origin: origins[i % origins.len()],
+            arrival: start.plus((i * 131) % 8000),
+            duration_hours: 1 + i % 12,
+            slack_hours: 6 * (i % 5),
+            slo_ms: [0.0, 50.0, 150.0, 1000.0][i % 4],
+        })
+        .collect();
+    let cursor = std::cell::Cell::new(0usize);
+    h.bench("kernels/serve/place", || {
+        let i = cursor.get();
+        cursor.set(i + 1);
+        black_box(
+            snapshot
+                .place(&queries[i % queries.len()])
+                .expect("in bounds"),
+        )
+    });
+
+    let service = PlacementService::new(std::sync::Arc::clone(&data));
+    let bodies: Vec<String> = queries
+        .iter()
+        .map(|q| {
+            format!(
+                r#"{{"origin":"{}","arrival_hour":{},"duration_hours":{},"slack_hours":{},"slo_ms":{}}}"#,
+                data.code(q.origin),
+                q.arrival.0,
+                q.duration_hours,
+                q.slack_hours,
+                q.slo_ms
+            )
+        })
+        .collect();
+    let requests: Vec<decarb_serve::Request> = bodies
+        .iter()
+        .map(|b| decarb_serve::Request {
+            method: "POST".to_string(),
+            target: "/v1/place".to_string(),
+            headers: vec![("content-length".to_string(), b.len().to_string())],
+            body: b.as_bytes().to_vec(),
+        })
+        .collect();
+    h.bench("kernels/serve/handle_place", || {
+        let i = cursor.get();
+        cursor.set(i + 1);
+        black_box(service.handle(&requests[i % requests.len()]))
+    });
+
+    let raw = format!(
+        "POST /v1/place HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n{}",
+        bodies[0].len(),
+        bodies[0]
+    );
+    h.bench("kernels/serve/parse_request", || {
+        let mut reader = BufReader::new(raw.as_bytes());
+        black_box(read_request(&mut reader).expect("well-formed"))
+    });
+
+    h.bench("kernels/serve/snapshot_build_123z", || {
+        black_box(Snapshot::build(std::sync::Arc::clone(&data), 1))
+    });
+}
+
 fn bench_analyze(h: &Harness) {
     // The static-analysis gate CI runs on every push: lexing + linting
     // the whole workspace (root facade plus every crate's src/ tree),
@@ -366,6 +450,7 @@ fn main() {
     bench_region_lookup(&h);
     bench_trace_container(&h);
     bench_planner_cache(&h);
+    bench_serve(&h);
     bench_analyze(&h);
     std::process::exit(h.finish());
 }

@@ -124,6 +124,21 @@ pub enum Command {
     },
     /// `data pack|probe|append` — manage binary trace containers.
     Data(DataCommand),
+    /// `serve [--data FILE [--regions FILE]] [--addr HOST:PORT]
+    /// [--threads N]` — run the carbon-aware placement service (an
+    /// HTTP/1.1 daemon answering live `POST /v1/place` queries; see
+    /// docs/API.md).
+    Serve {
+        /// Dataset to serve: a CSV or a binary container (reloaded
+        /// from this path on `POST /v1/reload`); built-in when absent.
+        data: Option<String>,
+        /// Optional `[region CODE]` metadata sidecar (CSV data only).
+        regions: Option<String>,
+        /// Bind address; port 0 picks an ephemeral port.
+        addr: String,
+        /// Worker threads in the accept pool.
+        threads: usize,
+    },
     /// `--help` / no arguments.
     Help,
 }
@@ -272,6 +287,8 @@ commands:
   data probe <FILE> [--json]           verify a container, print header facts
   data append <FILE> --from CSV [--pad]
                                        append new hours without rewriting history
+  serve    [--data FILE [--regions FILE]] [--addr HOST:PORT] [--threads N]
+                                       run the placement service (HTTP API, docs/API.md)
 
 defaults: --year 2022, --slack 24, --arrive 0, --days 60, --tolerance-pct 0.1
 
@@ -416,6 +433,7 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
             opts.reject_unknown(&["year"])?;
             Ok(Command::Rank { year: opts.year()? })
         }
+        "serve" => parse_serve(&argv[1..]),
         "list" => {
             if argv.len() > 1 {
                 return Err(ParseError("`list` takes no arguments".into()));
@@ -802,6 +820,33 @@ fn parse_analyze_workspace(rest: &[String]) -> Result<Command, ParseError> {
     })
 }
 
+/// The default bind address of `serve`.
+pub const DEFAULT_SERVE_ADDR: &str = "127.0.0.1:8980";
+
+/// Parses `serve [--data FILE [--regions FILE]] [--addr HOST:PORT]
+/// [--threads N]`.
+fn parse_serve(rest: &[String]) -> Result<Command, ParseError> {
+    let opts = Options::scan(rest)?;
+    opts.reject_unknown(&["data", "regions", "addr", "threads"])?;
+    let data = opts.get("data").map(str::to_string);
+    let regions = opts.get("regions").map(str::to_string);
+    if regions.is_some() && data.is_none() {
+        return Err(ParseError(
+            "`serve --regions` needs a `--data` CSV to describe".into(),
+        ));
+    }
+    let threads: usize = opts.parsed("threads", 4)?;
+    if threads == 0 {
+        return Err(ParseError("--threads must be at least 1".into()));
+    }
+    Ok(Command::Serve {
+        data,
+        regions,
+        addr: opts.get("addr").unwrap_or(DEFAULT_SERVE_ADDR).to_string(),
+        threads,
+    })
+}
+
 /// Parses `scenario merge`: one or more report paths plus an optional
 /// `--expect all|FILE` completeness check.
 fn parse_scenario_merge(rest: &[String]) -> Result<Command, ParseError> {
@@ -969,6 +1014,62 @@ mod tests {
                 year: 2022
             }
         );
+    }
+
+    #[test]
+    fn serve_defaults_and_options() {
+        assert_eq!(
+            parse(&argv(&["serve"])).unwrap(),
+            Command::Serve {
+                data: None,
+                regions: None,
+                addr: DEFAULT_SERVE_ADDR.into(),
+                threads: 4,
+            }
+        );
+        assert_eq!(
+            parse(&argv(&[
+                "serve",
+                "--data",
+                "traces.dct",
+                "--addr",
+                "0.0.0.0:9000",
+                "--threads",
+                "8"
+            ]))
+            .unwrap(),
+            Command::Serve {
+                data: Some("traces.dct".into()),
+                regions: None,
+                addr: "0.0.0.0:9000".into(),
+                threads: 8,
+            }
+        );
+        assert_eq!(
+            parse(&argv(&[
+                "serve",
+                "--data",
+                "t.csv",
+                "--regions",
+                "meta.toml"
+            ]))
+            .unwrap(),
+            Command::Serve {
+                data: Some("t.csv".into()),
+                regions: Some("meta.toml".into()),
+                addr: DEFAULT_SERVE_ADDR.into(),
+                threads: 4,
+            }
+        );
+    }
+
+    #[test]
+    fn serve_rejects_bad_options() {
+        assert!(parse(&argv(&["serve", "--threads", "0"])).is_err());
+        assert!(parse(&argv(&["serve", "--threads", "many"])).is_err());
+        assert!(parse(&argv(&["serve", "--regions", "meta.toml"])).is_err());
+        assert!(parse(&argv(&["serve", "--port", "80"])).is_err());
+        assert!(parse(&argv(&["serve", "extra"])).is_err());
     }
 
     #[test]

@@ -111,6 +111,10 @@ pub fn run_on(command: &Command, data: &TraceSet) -> Result<String, CliError> {
             }
             run_scenarios_cmd(target, *json, *shard, None, *strict, None, data)
         }
+        Command::Serve { .. } => Err(CliError::Parse(ParseError(
+            "`serve` is a long-running daemon; it is handled by the CLI entry              point (dispatch_stream), which streams the listening address              before blocking"
+                .into(),
+        ))),
         Command::List
         | Command::Run { .. }
         | Command::ScenarioList
@@ -125,6 +129,54 @@ pub fn run_on(command: &Command, data: &TraceSet) -> Result<String, CliError> {
                 .into(),
         ))),
     }
+}
+
+/// `serve`: builds the placement service over the named dataset (or
+/// the built-in one), prints the bound address, and blocks in the
+/// accept loop. The daemon re-imports `--data` from its path on every
+/// `POST /v1/reload`, so a repacked container or refreshed CSV is
+/// picked up without a restart.
+pub(crate) fn serve_cmd(
+    out: &mut dyn io::Write,
+    data: Option<DataPaths<'_>>,
+    addr: &str,
+    threads: usize,
+) -> Result<(), CliError> {
+    use std::sync::Arc;
+    let (traces, loader): (Arc<TraceSet>, decarb_serve::Loader) = match data {
+        Some(paths) => {
+            let data_path = paths.data.to_string();
+            let regions_path = paths.regions.map(str::to_string);
+            let set = Arc::new(crate::load_dataset(&data_path, regions_path.as_deref())?);
+            (
+                set,
+                Box::new(move || {
+                    crate::load_dataset(&data_path, regions_path.as_deref())
+                        .map(Arc::new)
+                        .map_err(|e| e.to_string())
+                }),
+            )
+        }
+        None => (
+            decarb_traces::builtin_dataset(),
+            Box::new(|| Ok(decarb_traces::builtin_dataset())),
+        ),
+    };
+    let regions = traces.len();
+    let service = Arc::new(decarb_serve::PlacementService::new(traces).with_loader(loader));
+    let server = decarb_serve::Server::bind(addr, service)
+        .map_err(|e| CliError::Parse(ParseError(format!("serve: cannot bind {addr}: {e}"))))?;
+    let local = server
+        .local_addr()
+        .map_err(|e| CliError::Parse(ParseError(format!("serve: {e}"))))?;
+    writeln!(
+        out,
+        "decarb-serve listening on http://{local} ({regions} regions, {threads} thread{})",
+        if threads == 1 { "" } else { "s" }
+    )?;
+    out.flush()?;
+    server.run(threads)?;
+    Ok(())
 }
 
 /// Renders the experiment registry, one `id  description` line per

@@ -25,6 +25,7 @@
 //! | `scenario history append\|show` | record / render the per-run emissions series |
 //! | `scenario history check --file H` | fail on monotonic multi-commit emissions drift |
 //! | `scenario diff --report R --golden G` | gate per-scenario emissions drift |
+//! | `serve [--data FILE] [--addr A] [--threads N]` | run the placement service (HTTP API; docs/API.md) |
 //!
 //! A leading global option `--data FILE [--regions FILE]` replaces the
 //! built-in synthetic dataset with a `zone,hour,value` CSV (e.g. a real
@@ -249,6 +250,34 @@ pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
 pub fn dispatch_stream(argv: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError> {
     let (data, rest) = split_data(argv)?;
     let command = parse(rest).map_err(CliError::Parse)?;
+    if let Command::Serve {
+        data: serve_data,
+        regions,
+        addr,
+        threads,
+    } = &command
+    {
+        // `serve` accepts its dataset both as the global leading
+        // `--data` and as its own option; either spelling reloads from
+        // the same path on `POST /v1/reload`.
+        let paths: Option<commands::DataPaths<'_>> = match (&data, serve_data) {
+            (Some(_), Some(_)) => {
+                return Err(CliError::Parse(ParseError(
+                    "--data given twice (global and `serve --data`); pass it once".into(),
+                )))
+            }
+            (Some((path, regions_path, _)), None) => Some(commands::DataPaths {
+                data: path,
+                regions: regions_path.as_deref(),
+            }),
+            (None, Some(path)) => Some(commands::DataPaths {
+                data: path,
+                regions: regions.as_deref(),
+            }),
+            (None, None) => None,
+        };
+        return commands::serve_cmd(out, paths, addr, *threads);
+    }
     if let Command::ScenarioRun {
         target,
         json,

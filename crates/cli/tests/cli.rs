@@ -771,3 +771,155 @@ fn packed_builtin_dataset_reproduces_scenario_reports_exactly() {
     assert_eq!(strip(&stdout(&from_packed)), strip(&stdout(&builtin)));
     std::fs::remove_file(&packed).ok();
 }
+
+/// Boots `decarb-cli serve` on an ephemeral port, parses the bound
+/// address from its first stdout line, and returns the child (killed
+/// by the caller) plus the address.
+fn spawn_serve(args: &[&str]) -> (std::process::Child, String) {
+    use std::io::{BufRead, BufReader};
+    let mut child = Command::new(env!("CARGO_BIN_EXE_decarb-cli"))
+        .args(args)
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("serve spawns");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut first_line = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut first_line)
+        .expect("serve announces its address");
+    let addr = first_line
+        .split("http://")
+        .nth(1)
+        .and_then(|rest| rest.split_whitespace().next())
+        .unwrap_or_else(|| panic!("no address in `{first_line}`"))
+        .to_string();
+    (child, addr)
+}
+
+/// One HTTP request against a spawned server; returns (status, body).
+fn http_request(addr: &str, method: &str, target: &str, body: &str) -> (u16, String) {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect to serve");
+    let raw = format!(
+        "{method} {target} HTTP/1.1\r\nHost: e2e\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(raw.as_bytes()).expect("send request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .expect("status line")
+        .parse()
+        .expect("numeric status");
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .expect("header/body separator");
+    (status, body)
+}
+
+#[test]
+fn serve_answers_every_endpoint_and_place_is_stable_across_reload() {
+    let (mut child, addr) = spawn_serve(&["serve", "--addr", "127.0.0.1:0", "--threads", "2"]);
+    let result = std::panic::catch_unwind(|| {
+        let (status, health) = http_request(&addr, "GET", "/v1/healthz", "");
+        assert_eq!(status, 200);
+        assert!(health.contains("\"status\": \"ok\""), "{health}");
+        assert!(health.contains("\"regions\": 123"), "{health}");
+
+        let (status, regions) = http_request(&addr, "GET", "/v1/regions", "");
+        assert_eq!(status, 200);
+        assert!(regions.contains("\"zone\": \"SE\""));
+
+        let (status, rankings) = http_request(&addr, "GET", "/v1/rankings?limit=1", "");
+        assert_eq!(status, 200);
+        assert!(rankings.contains("\"zone\": \"SE\""), "{rankings}");
+
+        let (status, forecast) = http_request(&addr, "GET", "/v1/forecast/DE?hours=12", "");
+        assert_eq!(status, 200);
+        assert!(forecast.contains("\"hours\": 12"), "{forecast}");
+
+        // Place against the in-process planner ground truth: hour
+        // 17544 is the start of 2022 (8784 + 8760).
+        let body = r#"{"origin":"PL","duration_hours":6,"slack_hours":24,"slo_ms":1000,"arrival_hour":19704}"#;
+        let (status, before) = http_request(&addr, "POST", "/v1/place", body);
+        assert_eq!(status, 200, "{before}");
+        assert!(before.contains("\"saved_g\""), "{before}");
+
+        let (status, reload) = http_request(&addr, "POST", "/v1/reload", "");
+        assert_eq!(status, 200, "{reload}");
+        assert!(reload.contains("\"generation\": 2"), "{reload}");
+
+        let (status, after) = http_request(&addr, "POST", "/v1/place", body);
+        assert_eq!(status, 200);
+        let strip = |text: &str| {
+            text.lines()
+                .filter(|l| !l.contains("\"generation\""))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(
+            strip(&before),
+            strip(&after),
+            "place answers must be bit-identical across a reload"
+        );
+
+        let (status, metrics) = http_request(&addr, "GET", "/v1/metrics", "");
+        assert_eq!(status, 200);
+        assert!(metrics.contains("\"place\": 2"), "{metrics}");
+        assert!(metrics.contains("\"generation\": 2"), "{metrics}");
+
+        let (status, err) = http_request(&addr, "POST", "/v1/place", "{not json");
+        assert_eq!(status, 400);
+        assert!(err.contains("bad-json"), "{err}");
+        let (status, _) = http_request(&addr, "GET", "/v1/nope", "");
+        assert_eq!(status, 404);
+    });
+    let _ = child.kill();
+    let _ = child.wait();
+    if let Err(panic) = result {
+        std::panic::resume_unwind(panic);
+    }
+}
+
+#[test]
+fn serve_agrees_with_the_plan_command_ground_truth() {
+    // `serve` must answer the same deferral the TemporalPlanner
+    // computes: pinned home (slo 0), the chosen start/cost come from
+    // best_deferred on the origin's builtin trace.
+    let (mut child, addr) = spawn_serve(&["serve", "--addr", "127.0.0.1:0"]);
+    let result = std::panic::catch_unwind(|| {
+        let data = decarb_traces::builtin_dataset();
+        let de = data.id_of("DE").expect("DE exists");
+        let arrival = decarb_traces::time::year_start(2022).plus(90 * 24);
+        let truth =
+            decarb_core::TemporalPlanner::new(data.series_by_id(de)).best_deferred(arrival, 6, 24);
+        let body = format!(
+            r#"{{"origin":"DE","duration_hours":6,"slack_hours":24,"arrival_hour":{}}}"#,
+            arrival.0
+        );
+        let (status, answer) = http_request(&addr, "POST", "/v1/place", &body);
+        assert_eq!(status, 200, "{answer}");
+        assert!(answer.contains("\"region\": \"DE\""), "{answer}");
+        assert!(
+            answer.contains(&format!("\"start_hour\": {}", truth.start.0)),
+            "{answer} vs planner start {}",
+            truth.start.0
+        );
+    });
+    let _ = child.kill();
+    let _ = child.wait();
+    if let Err(panic) = result {
+        std::panic::resume_unwind(panic);
+    }
+}
+
+#[test]
+fn serve_rejects_a_bad_bind_address_with_exit_2() {
+    let out = decarb_cli(&["serve", "--addr", "999.999.999.999:0"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("cannot bind"));
+}

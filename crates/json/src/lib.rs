@@ -22,9 +22,11 @@
 
 use std::fmt;
 
+pub mod envelope;
 pub mod merge;
 pub mod parse;
 
+pub use envelope::diagnostic_object;
 pub use merge::merge_keyed;
 pub use parse::{parse, JsonParseError};
 

@@ -1,0 +1,686 @@
+//! The `/v1` JSON API: request routing, parameter validation, and the
+//! shared service state.
+//!
+//! A [`PlacementService`] owns the current [`Snapshot`] behind an
+//! atomically swapped `Arc`: readers take the read side of an
+//! uncontended `RwLock` for two atomic ops to clone the `Arc`, then
+//! answer entirely from their private snapshot — `POST /v1/reload`
+//! builds the *next* snapshot outside any lock and swaps the pointer,
+//! so in-flight queries keep their old dataset and new queries see the
+//! new one, with no reader ever blocking on the rebuild.
+//!
+//! Every validation failure maps to a typed [`ApiError`] (HTTP 4xx
+//! with a machine-readable `code`), mirroring how
+//! [`decarb_sim::PlaceError`] pre-validates the planner's panicking
+//! preconditions. The error body shape is documented in `docs/API.md`.
+
+use std::sync::{Arc, PoisonError, RwLock};
+use std::time::Instant;
+
+use decarb_forecast::{Forecaster, Persistence, SeasonalNaive};
+use decarb_json::Value;
+use decarb_sim::{PlaceError, PlaceRequest, Snapshot};
+use decarb_traces::time::{EPOCH_YEAR, LAST_YEAR};
+use decarb_traces::{Hour, TraceSet};
+
+use crate::http::{HttpError, Request};
+use crate::metrics::{Endpoint, Metrics};
+
+/// Longest forecast horizon served, hours (two weeks).
+pub const MAX_FORECAST_HOURS: usize = 336;
+/// History handed to the forecasters, hours (four weeks).
+pub const FORECAST_HISTORY_HOURS: usize = 28 * 24;
+
+/// A rejected API call: an HTTP status plus a machine-readable code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApiError {
+    /// HTTP status (4xx/5xx).
+    pub status: u16,
+    /// Stable error code, e.g. `unknown-region`.
+    pub code: &'static str,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl ApiError {
+    fn new(status: u16, code: &'static str, message: impl Into<String>) -> Self {
+        Self {
+            status,
+            code,
+            message: message.into(),
+        }
+    }
+
+    fn bad_request(code: &'static str, message: impl Into<String>) -> Self {
+        Self::new(400, code, message)
+    }
+
+    /// Renders the documented error envelope.
+    pub fn body(&self) -> Value {
+        Value::object([(
+            "error",
+            Value::object([
+                ("code", Value::from(self.code)),
+                ("message", Value::from(self.message.as_str())),
+            ]),
+        )])
+    }
+}
+
+impl From<PlaceError> for ApiError {
+    fn from(e: PlaceError) -> Self {
+        let code = match e {
+            PlaceError::ZeroDuration => "zero-duration",
+            PlaceError::BeforeTraceStart(_) => "before-trace-start",
+            PlaceError::BeyondTraceEnd(_) => "beyond-trace-end",
+        };
+        ApiError::new(422, code, e.to_string())
+    }
+}
+
+impl From<&HttpError> for ApiError {
+    fn from(e: &HttpError) -> Self {
+        ApiError::new(e.status(), e.code(), e.to_string())
+    }
+}
+
+/// Reloads the dataset on `POST /v1/reload`; returns a fresh
+/// `TraceSet` or a message for the 503 body.
+pub type Loader = Box<dyn Fn() -> Result<Arc<TraceSet>, String> + Send + Sync>;
+
+/// The shared state behind every worker thread: the swappable
+/// snapshot, the reload hook, and the service counters.
+pub struct PlacementService {
+    snapshot: RwLock<Arc<Snapshot>>,
+    loader: Option<Loader>,
+    metrics: Metrics,
+}
+
+impl PlacementService {
+    /// Creates the service over `traces` with no reload hook
+    /// (`POST /v1/reload` answers 503).
+    pub fn new(traces: Arc<TraceSet>) -> Self {
+        Self {
+            snapshot: RwLock::new(Arc::new(Snapshot::build(traces, 1))),
+            loader: None,
+            metrics: Metrics::new(),
+        }
+    }
+
+    /// Installs the reload hook.
+    pub fn with_loader(mut self, loader: Loader) -> Self {
+        self.loader = Some(loader);
+        self
+    }
+
+    /// The current snapshot (two atomic ops; never blocks on reload).
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        Arc::clone(&self.snapshot.read().unwrap_or_else(PoisonError::into_inner))
+    }
+
+    /// The service counters.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Rebuilds the snapshot from the loader and swaps it in.
+    fn reload(&self) -> Result<Arc<Snapshot>, ApiError> {
+        let Some(loader) = &self.loader else {
+            return Err(ApiError::new(
+                503,
+                "reload-unavailable",
+                "service was started without a reloadable data source",
+            ));
+        };
+        let traces = loader().map_err(|message| ApiError::new(503, "reload-failed", message))?;
+        // Build outside the lock: readers keep serving the old
+        // snapshot for the entire (planner-prewarming) rebuild.
+        let next = Arc::new(Snapshot::build(traces, self.snapshot().generation() + 1));
+        let mut slot = self
+            .snapshot
+            .write()
+            .unwrap_or_else(PoisonError::into_inner);
+        *slot = Arc::clone(&next);
+        Ok(next)
+    }
+
+    /// Answers one parsed request: routes, validates, and serializes,
+    /// recording metrics. Returns the status and the JSON body text.
+    pub fn handle(&self, req: &Request) -> (u16, String) {
+        let endpoint = Endpoint::of(req.path());
+        let started = Instant::now();
+        let (status, body) = match self.dispatch(endpoint, req) {
+            Ok(value) => (200, value.pretty()),
+            Err(e) => (e.status, e.body().pretty()),
+        };
+        if endpoint == Endpoint::Place {
+            let us = started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+            self.metrics.observe_place_us(us);
+        }
+        self.metrics.record(endpoint, status);
+        (status, body)
+    }
+
+    /// Answers an unreadable request (parse failure) with its 4xx.
+    pub fn handle_http_error(&self, e: &HttpError) -> (u16, String) {
+        let api: ApiError = e.into();
+        self.metrics.record(Endpoint::Other, api.status);
+        (api.status, api.body().pretty())
+    }
+
+    fn dispatch(&self, endpoint: Endpoint, req: &Request) -> Result<Value, ApiError> {
+        let method = req.method.as_str();
+        match (endpoint, method) {
+            (Endpoint::Healthz, "GET") => Ok(self.healthz()),
+            (Endpoint::Regions, "GET") => Ok(self.regions()),
+            (Endpoint::Rankings, "GET") => self.rankings(req),
+            (Endpoint::Forecast, "GET") => self.forecast(req),
+            (Endpoint::Place, "POST") => self.place(req),
+            (Endpoint::Metrics, "GET") => Ok(self.metrics_payload()),
+            (Endpoint::Reload, "POST") => {
+                let snap = self.reload()?;
+                Ok(Value::object([
+                    ("generation", Value::from(snap.generation() as f64)),
+                    ("regions", Value::from(snap.traces().len() as f64)),
+                ]))
+            }
+            (Endpoint::Other, _) => Err(ApiError::new(
+                404,
+                "not-found",
+                format!("no such endpoint: {}", req.path()),
+            )),
+            (_, _) => Err(ApiError::new(
+                405,
+                "method-not-allowed",
+                format!("{method} is not supported on {}", req.path()),
+            )),
+        }
+    }
+
+    fn metrics_payload(&self) -> Value {
+        let snap = self.snapshot();
+        let Value::Object(mut fields) = self.metrics.to_json() else {
+            return Value::Null;
+        };
+        fields.insert(
+            0,
+            (
+                "regions".to_string(),
+                Value::from(snap.traces().len() as f64),
+            ),
+        );
+        fields.insert(
+            0,
+            (
+                "generation".to_string(),
+                Value::from(snap.generation() as f64),
+            ),
+        );
+        Value::Object(fields)
+    }
+
+    fn healthz(&self) -> Value {
+        let snap = self.snapshot();
+        let hours = snap
+            .deployed()
+            .first()
+            .map(|&id| snap.traces().series_by_id(id).len())
+            .unwrap_or(0);
+        Value::object([
+            ("status", Value::from("ok")),
+            ("regions", Value::from(snap.traces().len() as f64)),
+            ("trace_hours", Value::from(hours as f64)),
+            ("generation", Value::from(snap.generation() as f64)),
+        ])
+    }
+
+    fn regions(&self) -> Value {
+        let snap = self.snapshot();
+        let rows: Vec<Value> = snap
+            .traces()
+            .regions()
+            .iter()
+            .map(|r| {
+                Value::object([
+                    ("zone", Value::from(r.code.as_str())),
+                    ("name", Value::from(r.name.as_str())),
+                    ("group", Value::from(r.group.label())),
+                    ("lat", Value::from(r.lat)),
+                    ("lon", Value::from(r.lon)),
+                    ("datacenter", Value::Bool(r.has_datacenter())),
+                ])
+            })
+            .collect();
+        Value::object([
+            ("count", Value::from(rows.len() as f64)),
+            ("regions", Value::Array(rows)),
+        ])
+    }
+
+    fn rankings(&self, req: &Request) -> Result<Value, ApiError> {
+        let year = parse_query(req, "year", 2022i64)? as i32;
+        if !(EPOCH_YEAR..=LAST_YEAR).contains(&year) {
+            return Err(ApiError::bad_request(
+                "year-out-of-horizon",
+                format!("year must lie in {EPOCH_YEAR}..={LAST_YEAR}, got {year}"),
+            ));
+        }
+        let limit = parse_query(req, "limit", 0i64)?;
+        if limit < 0 {
+            return Err(ApiError::bad_request(
+                "bad-parameter",
+                "limit must be non-negative",
+            ));
+        }
+        let snap = self.snapshot();
+        let mut rows = snap.rankings(year);
+        if limit > 0 {
+            rows.truncate(limit as usize);
+        }
+        let rows: Vec<Value> = rows
+            .iter()
+            .enumerate()
+            .map(|(i, (region, mean))| {
+                Value::object([
+                    ("rank", Value::from((i + 1) as f64)),
+                    ("zone", Value::from(region.code.as_str())),
+                    ("name", Value::from(region.name.as_str())),
+                    ("mean_ci_g_per_kwh", Value::from(*mean)),
+                ])
+            })
+            .collect();
+        Ok(Value::object([
+            ("year", Value::from(f64::from(year))),
+            ("count", Value::from(rows.len() as f64)),
+            ("rankings", Value::Array(rows)),
+        ]))
+    }
+
+    fn forecast(&self, req: &Request) -> Result<Value, ApiError> {
+        let zone = req.path().strip_prefix("/v1/forecast/").unwrap_or_default();
+        if zone.is_empty() {
+            return Err(ApiError::bad_request(
+                "missing-zone",
+                "usage: /v1/forecast/{zone}",
+            ));
+        }
+        let snap = self.snapshot();
+        let id = snap.traces().id_of(zone).map_err(|_| {
+            ApiError::new(404, "unknown-region", format!("no trace for zone `{zone}`"))
+        })?;
+        let hours = parse_query(req, "hours", 48i64)?;
+        if !(1..=MAX_FORECAST_HOURS as i64).contains(&hours) {
+            return Err(ApiError::bad_request(
+                "bad-parameter",
+                format!("hours must lie in 1..={MAX_FORECAST_HOURS}"),
+            ));
+        }
+        let model = req.query("model").unwrap_or("seasonal");
+        let series = snap.traces().series_by_id(id);
+        let history_len = FORECAST_HISTORY_HOURS.min(series.len());
+        let from = Hour(series.end().0 - history_len as u32);
+        let history = series
+            .slice(from, history_len)
+            .map_err(|e| ApiError::new(500, "internal", format!("history slice failed: {e}")))?;
+        let predicted = match model {
+            "seasonal" => SeasonalNaive::daily().predict_series(&history, hours as usize),
+            "persistence" => Persistence.predict_series(&history, hours as usize),
+            other => {
+                return Err(ApiError::bad_request(
+                    "unknown-model",
+                    format!("unknown model `{other}`; expected seasonal|persistence"),
+                ))
+            }
+        };
+        Ok(Value::object([
+            ("zone", Value::from(zone)),
+            ("model", Value::from(model)),
+            ("start_hour", Value::from(f64::from(predicted.start().0))),
+            ("hours", Value::from(predicted.len() as f64)),
+            (
+                "values_g_per_kwh",
+                Value::array(predicted.values().iter().map(|&v| Value::from(v))),
+            ),
+        ]))
+    }
+
+    fn place(&self, req: &Request) -> Result<Value, ApiError> {
+        let text = std::str::from_utf8(&req.body)
+            .map_err(|_| ApiError::bad_request("bad-body", "request body is not valid UTF-8"))?;
+        let body = decarb_json::parse(text)
+            .map_err(|e| ApiError::bad_request("bad-json", format!("body is not JSON: {e}")))?;
+        let origin_code = match body.get("origin") {
+            Some(Value::String(code)) => code.as_str(),
+            Some(_) => {
+                return Err(ApiError::bad_request(
+                    "bad-parameter",
+                    "origin must be a zone-code string",
+                ))
+            }
+            None => {
+                return Err(ApiError::bad_request(
+                    "missing-parameter",
+                    "origin is required",
+                ))
+            }
+        };
+        let snap = self.snapshot();
+        let origin = snap.traces().id_of(origin_code).map_err(|_| {
+            ApiError::new(
+                404,
+                "unknown-region",
+                format!("no trace for origin `{origin_code}`"),
+            )
+        })?;
+        let duration_hours = require_whole(&body, "duration_hours")?;
+        let slack_hours = optional_whole(&body, "slack_hours", 0)?;
+        let slo_ms = match body.get("slo_ms") {
+            None => 0.0,
+            Some(Value::Number(n)) if *n >= 0.0 => *n,
+            Some(_) => {
+                return Err(ApiError::bad_request(
+                    "bad-parameter",
+                    "slo_ms must be a non-negative number",
+                ))
+            }
+        };
+        let origin_start = snap.traces().series_by_id(origin).start();
+        let arrival =
+            Hour(optional_whole(&body, "arrival_hour", u64::from(origin_start.0))? as u32);
+        let query = PlaceRequest {
+            origin,
+            arrival,
+            duration_hours: duration_hours as usize,
+            slack_hours: slack_hours as usize,
+            slo_ms,
+        };
+        let decision = snap.place(&query)?;
+        let saved_pct = if decision.naive_g > 0.0 {
+            decision.saved_g / decision.naive_g * 100.0
+        } else {
+            0.0
+        };
+        Ok(Value::object([
+            ("origin", Value::from(origin_code)),
+            ("arrival_hour", Value::from(f64::from(arrival.0))),
+            ("duration_hours", Value::from(duration_hours as f64)),
+            ("slack_hours", Value::from(slack_hours as f64)),
+            ("slo_ms", Value::from(slo_ms)),
+            ("region", Value::from(snap.traces().code(decision.region))),
+            ("start_hour", Value::from(f64::from(decision.start.0))),
+            (
+                "wait_hours",
+                Value::from(f64::from(decision.start.0 - arrival.0)),
+            ),
+            ("cost_g", Value::from(decision.cost_g)),
+            ("naive_g", Value::from(decision.naive_g)),
+            ("saved_g", Value::from(decision.saved_g)),
+            ("saved_pct", Value::from(saved_pct)),
+            ("rtt_ms", Value::from(decision.rtt_ms)),
+            ("generation", Value::from(snap.generation() as f64)),
+        ]))
+    }
+}
+
+/// Parses an integer query parameter with a default.
+fn parse_query(req: &Request, key: &str, default: i64) -> Result<i64, ApiError> {
+    match req.query(key) {
+        None => Ok(default),
+        Some(raw) => raw.parse::<i64>().map_err(|_| {
+            ApiError::bad_request(
+                "bad-parameter",
+                format!("{key} must be an integer, got `{raw}`"),
+            )
+        }),
+    }
+}
+
+/// Extracts a required non-negative whole number from a JSON body.
+fn require_whole(body: &Value, key: &str) -> Result<u64, ApiError> {
+    match body.get(key) {
+        None => Err(ApiError::bad_request(
+            "missing-parameter",
+            format!("{key} is required"),
+        )),
+        Some(value) => whole(value, key),
+    }
+}
+
+/// Extracts an optional non-negative whole number with a default.
+fn optional_whole(body: &Value, key: &str, default: u64) -> Result<u64, ApiError> {
+    match body.get(key) {
+        None => Ok(default),
+        Some(value) => whole(value, key),
+    }
+}
+
+fn whole(value: &Value, key: &str) -> Result<u64, ApiError> {
+    match value {
+        Value::Number(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u32::MAX as f64 => Ok(*n as u64),
+        _ => Err(ApiError::bad_request(
+            "bad-parameter",
+            format!("{key} must be a non-negative whole number"),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decarb_traces::builtin_dataset;
+    use decarb_traces::time::year_start;
+
+    fn service() -> PlacementService {
+        PlacementService::new(builtin_dataset())
+    }
+
+    fn get(target: &str) -> Request {
+        Request {
+            method: "GET".to_string(),
+            target: target.to_string(),
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    fn post(target: &str, body: &str) -> Request {
+        Request {
+            method: "POST".to_string(),
+            target: target.to_string(),
+            headers: Vec::new(),
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    #[test]
+    fn healthz_reports_the_dataset() {
+        let svc = service();
+        let (status, body) = svc.handle(&get("/v1/healthz"));
+        assert_eq!(status, 200);
+        let json = decarb_json::parse(&body).unwrap();
+        assert_eq!(json.get("status"), Some(&Value::from("ok")));
+        assert_eq!(json.get("regions"), Some(&Value::from(123.0)));
+        assert_eq!(json.get("generation"), Some(&Value::from(1.0)));
+    }
+
+    #[test]
+    fn place_agrees_with_the_planner_ground_truth() {
+        let svc = service();
+        let arrival = year_start(2022).plus(90 * 24);
+        let body = format!(
+            r#"{{"origin":"DE","duration_hours":6,"slack_hours":24,"arrival_hour":{}}}"#,
+            arrival.0
+        );
+        let (status, text) = svc.handle(&post("/v1/place", &body));
+        assert_eq!(status, 200, "{text}");
+        let json = decarb_json::parse(&text).unwrap();
+        let snap = svc.snapshot();
+        let de = snap.traces().id_of("DE").unwrap();
+        let truth = snap.planner(de).best_deferred(arrival, 6, 24);
+        assert_eq!(json.get("region"), Some(&Value::from("DE")));
+        assert_eq!(
+            json.get("start_hour"),
+            Some(&Value::from(f64::from(truth.start.0)))
+        );
+        let Some(Value::Number(cost)) = json.get("cost_g") else {
+            panic!("cost_g missing")
+        };
+        assert!((cost - truth.cost_g).abs() < 1e-9);
+    }
+
+    #[test]
+    fn place_validates_every_field() {
+        let svc = service();
+        let cases = [
+            ("{", 400, "bad-json"),
+            ("{}", 400, "missing-parameter"),
+            (r#"{"origin":7,"duration_hours":1}"#, 400, "bad-parameter"),
+            (
+                r#"{"origin":"NOPE","duration_hours":1}"#,
+                404,
+                "unknown-region",
+            ),
+            (r#"{"origin":"DE"}"#, 400, "missing-parameter"),
+            (
+                r#"{"origin":"DE","duration_hours":-2}"#,
+                400,
+                "bad-parameter",
+            ),
+            (
+                r#"{"origin":"DE","duration_hours":1.5}"#,
+                400,
+                "bad-parameter",
+            ),
+            (
+                r#"{"origin":"DE","duration_hours":0}"#,
+                422,
+                "zero-duration",
+            ),
+            (
+                r#"{"origin":"DE","duration_hours":9999999}"#,
+                422,
+                "beyond-trace-end",
+            ),
+            (
+                r#"{"origin":"DE","duration_hours":1,"slo_ms":"fast"}"#,
+                400,
+                "bad-parameter",
+            ),
+        ];
+        for (body, expected_status, expected_code) in cases {
+            let (status, text) = svc.handle(&post("/v1/place", body));
+            assert_eq!(status, expected_status, "{body} → {text}");
+            let json = decarb_json::parse(&text).unwrap();
+            assert_eq!(
+                json.get("error").and_then(|e| e.get("code")),
+                Some(&Value::from(expected_code)),
+                "{body}"
+            );
+        }
+    }
+
+    #[test]
+    fn rankings_sort_and_limit() {
+        let svc = service();
+        let (status, text) = svc.handle(&get("/v1/rankings?year=2022&limit=3"));
+        assert_eq!(status, 200);
+        let json = decarb_json::parse(&text).unwrap();
+        assert_eq!(json.get("count"), Some(&Value::from(3.0)));
+        let Some(Value::Array(rows)) = json.get("rankings") else {
+            panic!("rankings missing")
+        };
+        assert_eq!(rows[0].get("zone"), Some(&Value::from("SE")));
+        let (status, _) = svc.handle(&get("/v1/rankings?year=2019"));
+        assert_eq!(status, 400);
+        let (status, _) = svc.handle(&get("/v1/rankings?year=abc"));
+        assert_eq!(status, 400);
+    }
+
+    #[test]
+    fn forecast_models_and_errors() {
+        let svc = service();
+        let (status, text) = svc.handle(&get("/v1/forecast/DE?hours=24"));
+        assert_eq!(status, 200);
+        let json = decarb_json::parse(&text).unwrap();
+        assert_eq!(json.get("hours"), Some(&Value::from(24.0)));
+        let Some(Value::Array(values)) = json.get("values_g_per_kwh") else {
+            panic!("values missing")
+        };
+        assert_eq!(values.len(), 24);
+        let (status, _) = svc.handle(&get("/v1/forecast/NOPE"));
+        assert_eq!(status, 404);
+        let (status, _) = svc.handle(&get("/v1/forecast/DE?hours=0"));
+        assert_eq!(status, 400);
+        let (status, _) = svc.handle(&get("/v1/forecast/DE?model=oracle"));
+        assert_eq!(status, 400);
+        let (status, _) = svc.handle(&get("/v1/forecast/DE?model=persistence"));
+        assert_eq!(status, 200);
+    }
+
+    #[test]
+    fn unknown_paths_and_methods_are_typed() {
+        let svc = service();
+        let (status, _) = svc.handle(&get("/nope"));
+        assert_eq!(status, 404);
+        let (status, _) = svc.handle(&post("/v1/rankings", ""));
+        assert_eq!(status, 405);
+        let (status, _) = svc.handle(&get("/v1/place"));
+        assert_eq!(status, 405);
+    }
+
+    #[test]
+    fn reload_without_a_loader_is_503_and_with_one_bumps_generation() {
+        let svc = service();
+        let (status, _) = svc.handle(&post("/v1/reload", ""));
+        assert_eq!(status, 503);
+        let svc = PlacementService::new(builtin_dataset())
+            .with_loader(Box::new(|| Ok(builtin_dataset())));
+        let before = svc.snapshot().generation();
+        let (status, text) = svc.handle(&post("/v1/reload", ""));
+        assert_eq!(status, 200);
+        let json = decarb_json::parse(&text).unwrap();
+        assert_eq!(
+            json.get("generation"),
+            Some(&Value::from((before + 1) as f64))
+        );
+        assert_eq!(svc.snapshot().generation(), before + 1);
+    }
+
+    #[test]
+    fn place_answers_are_bit_identical_across_reload() {
+        let svc = PlacementService::new(builtin_dataset())
+            .with_loader(Box::new(|| Ok(builtin_dataset())));
+        let arrival = year_start(2022).0;
+        let body = format!(
+            r#"{{"origin":"PL","duration_hours":4,"slack_hours":12,"slo_ms":1000,"arrival_hour":{arrival}}}"#
+        );
+        let (s1, before) = svc.handle(&post("/v1/place", &body));
+        let (s2, _) = svc.handle(&post("/v1/reload", ""));
+        let (s3, after) = svc.handle(&post("/v1/place", &body));
+        assert_eq!((s1, s2, s3), (200, 200, 200));
+        // The only field allowed to differ is the snapshot generation.
+        let strip = |text: &str| {
+            text.lines()
+                .filter(|l| !l.contains("\"generation\""))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(strip(&before), strip(&after));
+    }
+
+    #[test]
+    fn metrics_count_requests() {
+        let svc = service();
+        let _ = svc.handle(&get("/v1/healthz"));
+        let _ = svc.handle(&post("/v1/place", "{}"));
+        let (status, text) = svc.handle(&get("/v1/metrics_is_other"));
+        assert_eq!(status, 404);
+        let (status, text2) = svc.handle(&get("/v1/metrics"));
+        assert_eq!(status, 200, "{text}");
+        let json = decarb_json::parse(&text2).unwrap();
+        assert_eq!(json.get("generation"), Some(&Value::from(1.0)));
+        let requests = json.get("requests").unwrap();
+        assert_eq!(requests.get("healthz"), Some(&Value::from(1.0)));
+        assert_eq!(requests.get("place"), Some(&Value::from(1.0)));
+    }
+}

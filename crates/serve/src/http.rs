@@ -1,0 +1,355 @@
+//! A bounded HTTP/1.1 request parser and response writer on `std` I/O.
+//!
+//! The service speaks just enough HTTP for its JSON API: request line,
+//! headers, `Content-Length` bodies, one request per connection
+//! (`Connection: close` on every response). Every limit is explicit —
+//! request line and header lines are capped at [`MAX_LINE_BYTES`],
+//! header count at [`MAX_HEADERS`], bodies at [`MAX_BODY_BYTES`] — and
+//! every malformed input becomes a typed [`HttpError`] carrying the
+//! 4xx status to answer with, never a panic: the daemon's worker
+//! threads must survive arbitrary bytes from the network.
+
+use std::io::{BufRead, Write};
+
+/// Longest accepted request or header line, bytes (including CRLF).
+pub const MAX_LINE_BYTES: usize = 8 * 1024;
+/// Most header lines accepted per request.
+pub const MAX_HEADERS: usize = 64;
+/// Largest accepted request body, bytes.
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// One parsed HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Upper-case method token (`GET`, `POST`, ...).
+    pub method: String,
+    /// The raw request target, e.g. `/v1/rankings?year=2022`.
+    pub target: String,
+    /// Header `(name, value)` pairs; names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// Raw body bytes (empty without a `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The target's path component, without the query string.
+    pub fn path(&self) -> &str {
+        self.target.split('?').next().unwrap_or(&self.target)
+    }
+
+    /// Iterates `key=value` pairs of the query string (no %-decoding;
+    /// the API's parameters are plain tokens).
+    pub fn query_pairs(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.target
+            .split_once('?')
+            .map(|(_, q)| q)
+            .unwrap_or("")
+            .split('&')
+            .filter(|kv| !kv.is_empty())
+            .map(|kv| kv.split_once('=').unwrap_or((kv, "")))
+    }
+
+    /// The first value of query parameter `key`, if present.
+    pub fn query(&self, key: &str) -> Option<&str> {
+        self.query_pairs().find(|(k, _)| *k == key).map(|(_, v)| v)
+    }
+}
+
+/// A request that could not be read; maps to one 4xx response.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The socket failed mid-request.
+    Io(std::io::Error),
+    /// The request line was not `METHOD TARGET HTTP/1.x`.
+    BadRequestLine(String),
+    /// A request or header line exceeded [`MAX_LINE_BYTES`].
+    LineTooLong,
+    /// More than [`MAX_HEADERS`] header lines.
+    TooManyHeaders,
+    /// A header line had no `:` separator.
+    BadHeader(String),
+    /// `Content-Length` was not a non-negative integer.
+    BadContentLength(String),
+    /// The declared body length exceeded [`MAX_BODY_BYTES`].
+    BodyTooLarge(usize),
+}
+
+impl HttpError {
+    /// The HTTP status this error answers with.
+    pub fn status(&self) -> u16 {
+        match self {
+            HttpError::Io(_) => 400,
+            HttpError::BadRequestLine(_) | HttpError::BadHeader(_) => 400,
+            HttpError::BadContentLength(_) => 400,
+            HttpError::LineTooLong | HttpError::TooManyHeaders => 431,
+            HttpError::BodyTooLarge(_) => 413,
+        }
+    }
+
+    /// A short machine-readable error code for the JSON body.
+    pub fn code(&self) -> &'static str {
+        match self {
+            HttpError::Io(_) => "io",
+            HttpError::BadRequestLine(_) => "bad-request-line",
+            HttpError::LineTooLong => "header-too-large",
+            HttpError::TooManyHeaders => "too-many-headers",
+            HttpError::BadHeader(_) => "bad-header",
+            HttpError::BadContentLength(_) => "bad-content-length",
+            HttpError::BodyTooLarge(_) => "body-too-large",
+        }
+    }
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Io(e) => write!(f, "i/o error: {e}"),
+            HttpError::BadRequestLine(line) => write!(f, "malformed request line `{line}`"),
+            HttpError::LineTooLong => {
+                write!(f, "request or header line exceeds {MAX_LINE_BYTES} bytes")
+            }
+            HttpError::TooManyHeaders => write!(f, "more than {MAX_HEADERS} headers"),
+            HttpError::BadHeader(line) => write!(f, "malformed header `{line}`"),
+            HttpError::BadContentLength(v) => write!(f, "bad content-length `{v}`"),
+            HttpError::BodyTooLarge(n) => {
+                write!(f, "declared body of {n} bytes exceeds {MAX_BODY_BYTES}")
+            }
+        }
+    }
+}
+
+impl From<std::io::Error> for HttpError {
+    fn from(e: std::io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+/// Reads one `\n`-terminated line, rejecting lines over
+/// [`MAX_LINE_BYTES`]; trims the trailing CRLF. `Ok(None)` on EOF
+/// before any byte.
+fn read_line_capped<R: BufRead>(reader: &mut R) -> Result<Option<String>, HttpError> {
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        let available = reader.fill_buf()?;
+        if available.is_empty() {
+            if line.is_empty() {
+                return Ok(None);
+            }
+            break;
+        }
+        let newline = available.iter().position(|&b| b == b'\n');
+        let take = newline.map(|i| i + 1).unwrap_or(available.len());
+        if line.len() + take > MAX_LINE_BYTES {
+            return Err(HttpError::LineTooLong);
+        }
+        line.extend_from_slice(&available[..take]);
+        reader.consume(take);
+        if newline.is_some() {
+            break;
+        }
+    }
+    while line.last() == Some(&b'\n') || line.last() == Some(&b'\r') {
+        line.pop();
+    }
+    Ok(Some(String::from_utf8_lossy(&line).into_owned()))
+}
+
+/// Parses a request line into `(method, target)`, requiring an
+/// `HTTP/1.x` version token.
+fn parse_request_line(line: &str) -> Result<(String, String), HttpError> {
+    let mut parts = line.split_ascii_whitespace();
+    let (Some(method), Some(target), Some(version), None) =
+        (parts.next(), parts.next(), parts.next(), parts.next())
+    else {
+        return Err(HttpError::BadRequestLine(line.to_string()));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::BadRequestLine(line.to_string()));
+    }
+    if method.is_empty() || !target.starts_with('/') {
+        return Err(HttpError::BadRequestLine(line.to_string()));
+    }
+    Ok((method.to_string(), target.to_string()))
+}
+
+/// Reads one full request from `reader`. `Ok(None)` when the peer
+/// closed the connection before sending anything.
+pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Option<Request>, HttpError> {
+    let Some(line) = read_line_capped(reader)? else {
+        return Ok(None);
+    };
+    let (method, target) = parse_request_line(&line)?;
+    let mut headers: Vec<(String, String)> = Vec::new();
+    let mut content_length = 0usize;
+    while let Some(line) = read_line_capped(reader)? {
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(HttpError::TooManyHeaders);
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::BadHeader(line));
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim().to_string();
+        if name == "content-length" {
+            content_length = value
+                .parse::<usize>()
+                .map_err(|_| HttpError::BadContentLength(value.clone()))?;
+            if content_length > MAX_BODY_BYTES {
+                return Err(HttpError::BodyTooLarge(content_length));
+            }
+        }
+        headers.push((name, value));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok(Some(Request {
+        method,
+        target,
+        headers,
+        body,
+    }))
+}
+
+/// The reason phrase for the statuses this API uses.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes one JSON response with `Connection: close`.
+pub fn write_response<W: Write>(writer: &mut W, status: u16, body: &str) -> std::io::Result<()> {
+    write!(
+        writer,
+        "HTTP/1.1 {status} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        reason(status),
+        body.len(),
+    )?;
+    writer.write_all(body.as_bytes())?;
+    writer.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &[u8]) -> Result<Option<Request>, HttpError> {
+        read_request(&mut BufReader::new(raw))
+    }
+
+    #[test]
+    fn parses_a_get_with_query() {
+        let req = parse(b"GET /v1/rankings?year=2022&limit=5 HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path(), "/v1/rankings");
+        assert_eq!(req.query("year"), Some("2022"));
+        assert_eq!(req.query("limit"), Some("5"));
+        assert_eq!(req.query("missing"), None);
+        assert_eq!(req.headers, vec![("host".to_string(), "x".to_string())]);
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parses_a_post_body_by_content_length() {
+        let req = parse(b"POST /v1/place HTTP/1.1\r\nContent-Length: 4\r\n\r\n{}\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body, b"{}\r\n");
+    }
+
+    #[test]
+    fn eof_before_any_byte_is_none() {
+        assert!(parse(b"").unwrap().is_none());
+    }
+
+    #[test]
+    fn malformed_request_lines_are_400() {
+        for raw in [
+            &b"GET\r\n\r\n"[..],
+            b"GET /x\r\n\r\n",
+            b"GET /x SPDY/3\r\n\r\n",
+            b"GET /x HTTP/1.1 extra\r\n\r\n",
+            b"GET noslash HTTP/1.1\r\n\r\n",
+        ] {
+            let err = parse(raw).unwrap_err();
+            assert_eq!(err.status(), 400, "{err}");
+            assert!(matches!(err, HttpError::BadRequestLine(_)));
+        }
+    }
+
+    #[test]
+    fn oversized_request_line_is_431() {
+        let mut raw = b"GET /".to_vec();
+        raw.extend(std::iter::repeat_n(b'a', MAX_LINE_BYTES));
+        raw.extend_from_slice(b" HTTP/1.1\r\n\r\n");
+        let err = parse(&raw).unwrap_err();
+        assert!(matches!(err, HttpError::LineTooLong));
+        assert_eq!(err.status(), 431);
+    }
+
+    #[test]
+    fn too_many_headers_is_431() {
+        let mut raw = b"GET /v1/healthz HTTP/1.1\r\n".to_vec();
+        for i in 0..(MAX_HEADERS + 1) {
+            raw.extend_from_slice(format!("x-h-{i}: v\r\n").as_bytes());
+        }
+        raw.extend_from_slice(b"\r\n");
+        let err = parse(&raw).unwrap_err();
+        assert!(matches!(err, HttpError::TooManyHeaders));
+        assert_eq!(err.status(), 431);
+    }
+
+    #[test]
+    fn colonless_header_is_400() {
+        let err = parse(b"GET / HTTP/1.1\r\nnocolon\r\n\r\n").unwrap_err();
+        assert!(matches!(err, HttpError::BadHeader(_)));
+        assert_eq!(err.status(), 400);
+    }
+
+    #[test]
+    fn bad_content_length_is_400_and_huge_is_413() {
+        let err = parse(b"POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n").unwrap_err();
+        assert!(matches!(err, HttpError::BadContentLength(_)));
+        assert_eq!(err.status(), 400);
+        let raw = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        let err = parse(raw.as_bytes()).unwrap_err();
+        assert!(matches!(err, HttpError::BodyTooLarge(_)));
+        assert_eq!(err.status(), 413);
+    }
+
+    #[test]
+    fn truncated_body_is_an_io_error() {
+        let err = parse(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort").unwrap_err();
+        assert!(matches!(err, HttpError::Io(_)));
+    }
+
+    #[test]
+    fn response_writer_frames_json() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "{\"ok\":true}").unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("content-length: 11\r\n"));
+        assert!(text.contains("connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
+    }
+}

@@ -1,0 +1,214 @@
+//! Lock-free service counters for `GET /v1/metrics`.
+//!
+//! Every request increments one endpoint counter and one status-class
+//! counter; placement decisions additionally record their service time
+//! in a fixed-bucket latency histogram. Everything is a relaxed
+//! `AtomicU64` — the metrics path must not serialize the worker
+//! threads it measures.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use decarb_json::Value;
+
+/// The endpoints the service counts individually.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endpoint {
+    Place,
+    Rankings,
+    Forecast,
+    Regions,
+    Healthz,
+    Metrics,
+    Reload,
+    Other,
+}
+
+/// Endpoints in display order; must match [`Metrics::requests`] slots.
+const ENDPOINTS: [Endpoint; 8] = [
+    Endpoint::Place,
+    Endpoint::Rankings,
+    Endpoint::Forecast,
+    Endpoint::Regions,
+    Endpoint::Healthz,
+    Endpoint::Metrics,
+    Endpoint::Reload,
+    Endpoint::Other,
+];
+
+impl Endpoint {
+    /// Classifies a request path.
+    // decarb-analyze: hot-path
+    pub fn of(path: &str) -> Endpoint {
+        match path {
+            "/v1/place" => Endpoint::Place,
+            "/v1/rankings" => Endpoint::Rankings,
+            "/v1/regions" => Endpoint::Regions,
+            "/v1/healthz" => Endpoint::Healthz,
+            "/v1/metrics" => Endpoint::Metrics,
+            "/v1/reload" => Endpoint::Reload,
+            path if path.starts_with("/v1/forecast/") => Endpoint::Forecast,
+            _ => Endpoint::Other,
+        }
+    }
+
+    /// The JSON key this endpoint reports under.
+    pub fn label(self) -> &'static str {
+        match self {
+            Endpoint::Place => "place",
+            Endpoint::Rankings => "rankings",
+            Endpoint::Forecast => "forecast",
+            Endpoint::Regions => "regions",
+            Endpoint::Healthz => "healthz",
+            Endpoint::Metrics => "metrics",
+            Endpoint::Reload => "reload",
+            Endpoint::Other => "other",
+        }
+    }
+
+    fn slot(self) -> usize {
+        self as usize
+    }
+}
+
+/// Upper bounds of the latency histogram buckets, microseconds; one
+/// implicit overflow bucket follows.
+pub const LATENCY_BOUNDS_US: [u64; 8] = [50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000];
+
+/// Service counters; shared across worker threads behind an `Arc`.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    requests: [AtomicU64; 8],
+    status_2xx: AtomicU64,
+    status_4xx: AtomicU64,
+    status_5xx: AtomicU64,
+    place_latency: [AtomicU64; 9],
+}
+
+impl Metrics {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counts one request to `endpoint` answered with `status`.
+    // decarb-analyze: hot-path
+    pub fn record(&self, endpoint: Endpoint, status: u16) {
+        self.requests[endpoint.slot()].fetch_add(1, Ordering::Relaxed);
+        let class = match status {
+            200..=299 => &self.status_2xx,
+            400..=499 => &self.status_4xx,
+            _ => &self.status_5xx,
+        };
+        class.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one placement decision's service time.
+    // decarb-analyze: hot-path
+    pub fn observe_place_us(&self, us: u64) {
+        let mut slot = LATENCY_BOUNDS_US.len();
+        for (i, &bound) in LATENCY_BOUNDS_US.iter().enumerate() {
+            if us <= bound {
+                slot = i;
+                break;
+            }
+        }
+        self.place_latency[slot].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total requests across all endpoints.
+    pub fn total_requests(&self) -> u64 {
+        self.requests
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Renders the counters as the `/v1/metrics` JSON payload (minus
+    /// the snapshot fields the service adds).
+    pub fn to_json(&self) -> Value {
+        let requests = Value::Object(
+            ENDPOINTS
+                .iter()
+                .map(|e| {
+                    (
+                        e.label().to_string(),
+                        Value::from(self.requests[e.slot()].load(Ordering::Relaxed) as f64),
+                    )
+                })
+                .collect(),
+        );
+        let mut buckets: Vec<(String, Value)> = LATENCY_BOUNDS_US
+            .iter()
+            .enumerate()
+            .map(|(i, bound)| {
+                (
+                    format!("le_{bound}us"),
+                    Value::from(self.place_latency[i].load(Ordering::Relaxed) as f64),
+                )
+            })
+            .collect();
+        buckets.push((
+            "overflow".to_string(),
+            Value::from(self.place_latency[8].load(Ordering::Relaxed) as f64),
+        ));
+        Value::object([
+            ("requests_total", Value::from(self.total_requests() as f64)),
+            ("requests", requests),
+            (
+                "responses",
+                Value::object([
+                    (
+                        "status_2xx",
+                        Value::from(self.status_2xx.load(Ordering::Relaxed) as f64),
+                    ),
+                    (
+                        "status_4xx",
+                        Value::from(self.status_4xx.load(Ordering::Relaxed) as f64),
+                    ),
+                    (
+                        "status_5xx",
+                        Value::from(self.status_5xx.load(Ordering::Relaxed) as f64),
+                    ),
+                ]),
+            ),
+            ("place_latency_us", Value::Object(buckets)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoints_classify_paths() {
+        assert_eq!(Endpoint::of("/v1/place"), Endpoint::Place);
+        assert_eq!(Endpoint::of("/v1/forecast/DE"), Endpoint::Forecast);
+        assert_eq!(Endpoint::of("/v1/forecast/"), Endpoint::Forecast);
+        assert_eq!(Endpoint::of("/nope"), Endpoint::Other);
+    }
+
+    #[test]
+    fn counters_accumulate_and_render() {
+        let m = Metrics::new();
+        m.record(Endpoint::Place, 200);
+        m.record(Endpoint::Place, 422);
+        m.record(Endpoint::Healthz, 200);
+        m.observe_place_us(30);
+        m.observe_place_us(70);
+        m.observe_place_us(1_000_000);
+        assert_eq!(m.total_requests(), 3);
+        let json = m.to_json();
+        assert_eq!(json.get("requests_total"), Some(&Value::from(3.0)));
+        let requests = json.get("requests").unwrap();
+        assert_eq!(requests.get("place"), Some(&Value::from(2.0)));
+        assert_eq!(requests.get("healthz"), Some(&Value::from(1.0)));
+        let lat = json.get("place_latency_us").unwrap();
+        assert_eq!(lat.get("le_50us"), Some(&Value::from(1.0)));
+        assert_eq!(lat.get("le_100us"), Some(&Value::from(1.0)));
+        assert_eq!(lat.get("overflow"), Some(&Value::from(1.0)));
+        let responses = json.get("responses").unwrap();
+        assert_eq!(responses.get("status_2xx"), Some(&Value::from(2.0)));
+        assert_eq!(responses.get("status_4xx"), Some(&Value::from(1.0)));
+    }
+}

@@ -1,0 +1,156 @@
+//! The TCP front end: a bounded accept loop feeding a worker-thread
+//! pool.
+//!
+//! The listener thread accepts connections and hands them to `threads`
+//! workers over an `mpsc` channel (receiver shared behind a mutex —
+//! contention is one lock per *connection*, not per byte). Each worker
+//! reads one request, answers it from the shared
+//! [`PlacementService`], and closes; `Connection: close` keeps the
+//! protocol surface small and the parser bounded. Slow or stuck peers
+//! are cut off by a per-socket read timeout so a worker can never be
+//! wedged by an idle connection.
+
+use std::io::{BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Duration;
+
+use crate::api::PlacementService;
+use crate::http::{read_request, write_response};
+
+/// How long a worker waits for request bytes before dropping a
+/// connection.
+pub const READ_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// A bound listener, ready to serve.
+pub struct Server {
+    listener: TcpListener,
+    service: Arc<PlacementService>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:8980`; port 0 picks an ephemeral
+    /// port, reported by [`Server::local_addr`]).
+    pub fn bind(addr: &str, service: Arc<PlacementService>) -> std::io::Result<Self> {
+        Ok(Self {
+            listener: TcpListener::bind(addr)?,
+            service,
+        })
+    }
+
+    /// The bound address (the real port when bound with port 0).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serves forever on `threads` workers. Only returns on a fatal
+    /// listener error.
+    pub fn run(self, threads: usize) -> std::io::Result<()> {
+        let threads = threads.max(1);
+        let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = channel();
+        let rx = Arc::new(Mutex::new(rx));
+        let mut workers = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let rx = Arc::clone(&rx);
+            let service = Arc::clone(&self.service);
+            workers.push(std::thread::spawn(move || loop {
+                let received = {
+                    let guard = rx.lock().unwrap_or_else(PoisonError::into_inner);
+                    guard.recv()
+                };
+                let Ok(stream) = received else {
+                    // The accept loop is gone; drain and exit.
+                    return;
+                };
+                serve_connection(&service, stream);
+            }));
+        }
+        for stream in self.listener.incoming() {
+            match stream {
+                Ok(stream) => {
+                    if tx.send(stream).is_err() {
+                        break;
+                    }
+                }
+                // Per-connection accept errors (peer vanished between
+                // SYN and accept) are not fatal to the daemon.
+                Err(e) if e.kind() == std::io::ErrorKind::ConnectionAborted => continue,
+                Err(e) if e.kind() == std::io::ErrorKind::ConnectionReset => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    /// Accepts and serves exactly one connection on the calling
+    /// thread; test hook for deterministic single-request servers.
+    pub fn serve_one(&self) -> std::io::Result<()> {
+        let (stream, _) = self.listener.accept()?;
+        serve_connection(&self.service, stream);
+        Ok(())
+    }
+}
+
+/// Reads one request from `stream` and writes one response. All I/O
+/// errors are swallowed: the peer is gone, and the daemon must not
+/// care.
+fn serve_connection(service: &PlacementService, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let _ = stream.set_nodelay(true);
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(stream);
+    let mut writer = BufWriter::new(write_half);
+    let (status, body) = match read_request(&mut reader) {
+        Ok(Some(request)) => service.handle(&request),
+        Ok(None) => return,
+        Err(e) => service.handle_http_error(&e),
+    };
+    let _ = write_response(&mut writer, status, &body);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+
+    use decarb_traces::builtin_dataset;
+
+    fn start() -> (SocketAddr, std::thread::JoinHandle<()>) {
+        let service = Arc::new(PlacementService::new(builtin_dataset()));
+        let server = Server::bind("127.0.0.1:0", service).unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = std::thread::spawn(move || {
+            server.serve_one().unwrap();
+        });
+        (addr, handle)
+    }
+
+    fn roundtrip(addr: SocketAddr, raw: &[u8]) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(raw).unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        response
+    }
+
+    #[test]
+    fn serves_healthz_over_tcp() {
+        let (addr, handle) = start();
+        let response = roundtrip(addr, b"GET /v1/healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+        handle.join().unwrap();
+        assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+        assert!(response.contains("\"status\": \"ok\""), "{response}");
+    }
+
+    #[test]
+    fn malformed_bytes_get_a_400_not_a_dead_worker() {
+        let (addr, handle) = start();
+        let response = roundtrip(addr, b"NOT-HTTP\r\n\r\n");
+        handle.join().unwrap();
+        assert!(response.starts_with("HTTP/1.1 400"), "{response}");
+        assert!(response.contains("bad-request-line"), "{response}");
+    }
+}

@@ -1,0 +1,176 @@
+//! End-to-end: boot the daemon on an ephemeral port, exercise every
+//! endpoint over real TCP, reload, and verify placement answers are
+//! bit-identical across the snapshot swap.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+
+use decarb_json::Value;
+use decarb_serve::{PlacementService, Server};
+use decarb_traces::builtin_dataset;
+use decarb_traces::time::year_start;
+
+/// Boots a server with a reload hook on an ephemeral port; the server
+/// thread is detached and dies with the test process.
+fn boot() -> SocketAddr {
+    let service = Arc::new(
+        PlacementService::new(builtin_dataset()).with_loader(Box::new(|| Ok(builtin_dataset()))),
+    );
+    let server = Server::bind("127.0.0.1:0", service).expect("bind ephemeral port");
+    let addr = server.local_addr().expect("local addr");
+    std::thread::spawn(move || {
+        let _ = server.run(4);
+    });
+    addr
+}
+
+fn request(addr: SocketAddr, method: &str, target: &str, body: &str) -> (u16, Value) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let raw = format!(
+        "{method} {target} HTTP/1.1\r\nHost: e2e\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(raw.as_bytes()).expect("send");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("receive");
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .expect("status line")
+        .parse()
+        .expect("numeric status");
+    let json_body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b)
+        .expect("body separator");
+    (status, decarb_json::parse(json_body).expect("JSON body"))
+}
+
+#[test]
+fn every_endpoint_answers_and_place_survives_reload_bit_identically() {
+    let addr = boot();
+
+    // healthz
+    let (status, health) = request(addr, "GET", "/v1/healthz", "");
+    assert_eq!(status, 200);
+    assert_eq!(health.get("status"), Some(&Value::from("ok")));
+    assert_eq!(health.get("regions"), Some(&Value::from(123.0)));
+
+    // regions
+    let (status, regions) = request(addr, "GET", "/v1/regions", "");
+    assert_eq!(status, 200);
+    assert_eq!(regions.get("count"), Some(&Value::from(123.0)));
+
+    // rankings
+    let (status, rankings) = request(addr, "GET", "/v1/rankings?year=2022&limit=5", "");
+    assert_eq!(status, 200);
+    let Some(Value::Array(rows)) = rankings.get("rankings") else {
+        panic!("rankings array missing")
+    };
+    assert_eq!(rows.len(), 5);
+    assert_eq!(rows[0].get("zone"), Some(&Value::from("SE")));
+
+    // forecast
+    let (status, forecast) = request(addr, "GET", "/v1/forecast/DE?hours=24", "");
+    assert_eq!(status, 200);
+    assert_eq!(forecast.get("hours"), Some(&Value::from(24.0)));
+
+    // place, against planner ground truth
+    let arrival = year_start(2022).plus(90 * 24);
+    let body = format!(
+        r#"{{"origin":"PL","duration_hours":6,"slack_hours":24,"slo_ms":1000,"arrival_hour":{}}}"#,
+        arrival.0
+    );
+    let (status, before) = request(addr, "POST", "/v1/place", &body);
+    assert_eq!(status, 200, "{before}");
+    let data = builtin_dataset();
+    let snap = decarb_sim::Snapshot::build(Arc::clone(&data), 1);
+    let truth = snap
+        .place(&decarb_sim::PlaceRequest {
+            origin: data.id_of("PL").unwrap(),
+            arrival,
+            duration_hours: 6,
+            slack_hours: 24,
+            slo_ms: 1000.0,
+        })
+        .expect("ground-truth placement");
+    assert_eq!(
+        before.get("region"),
+        Some(&Value::from(data.code(truth.region))),
+        "server must agree with the in-process planner"
+    );
+    assert_eq!(
+        before.get("start_hour"),
+        Some(&Value::from(f64::from(truth.start.0)))
+    );
+
+    // metrics, pre-reload
+    let (status, metrics) = request(addr, "GET", "/v1/metrics", "");
+    assert_eq!(status, 200);
+    assert_eq!(metrics.get("generation"), Some(&Value::from(1.0)));
+    let requests = metrics.get("requests").expect("requests object");
+    assert_eq!(requests.get("place"), Some(&Value::from(1.0)));
+
+    // reload bumps the generation
+    let (status, reload) = request(addr, "POST", "/v1/reload", "");
+    assert_eq!(status, 200);
+    assert_eq!(reload.get("generation"), Some(&Value::from(2.0)));
+
+    // the same query answers bit-identically across the swap
+    let (status, after) = request(addr, "POST", "/v1/place", &body);
+    assert_eq!(status, 200);
+    let strip = |v: &Value| {
+        let Value::Object(fields) = v else {
+            panic!("object expected")
+        };
+        Value::Object(
+            fields
+                .iter()
+                .filter(|(k, _)| k != "generation")
+                .cloned()
+                .collect(),
+        )
+        .to_string()
+    };
+    assert_eq!(strip(&before), strip(&after));
+
+    // errors over the wire: bad JSON and an unknown path
+    let (status, err) = request(addr, "POST", "/v1/place", "{nope");
+    assert_eq!(status, 400);
+    assert_eq!(
+        err.get("error").and_then(|e| e.get("code")),
+        Some(&Value::from("bad-json"))
+    );
+    let (status, _) = request(addr, "GET", "/v2/whatever", "");
+    assert_eq!(status, 404);
+}
+
+#[test]
+fn concurrent_clients_get_consistent_answers() {
+    let addr = boot();
+    let arrival = year_start(2022).0;
+    let body = format!(
+        r#"{{"origin":"DE","duration_hours":4,"slack_hours":12,"arrival_hour":{arrival}}}"#
+    );
+    let answers: Vec<String> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let body = body.clone();
+                scope.spawn(move || {
+                    let (status, json) = request(addr, "POST", "/v1/place", &body);
+                    assert_eq!(status, 200);
+                    json.to_string()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("join"))
+            .collect()
+    });
+    assert!(
+        answers.windows(2).all(|w| w[0] == w[1]),
+        "identical queries must get identical answers"
+    );
+}

@@ -30,6 +30,7 @@ pub mod routing;
 pub mod scenario;
 pub mod scenario_check;
 pub mod scenario_file;
+pub mod snapshot;
 pub mod spatiotemporal;
 pub mod sweep;
 
@@ -52,5 +53,6 @@ pub use scenario_check::{check_file, check_scenarios};
 pub use scenario_file::{
     parse_scenario_file, parse_scenario_file_full, ScenarioFile, ScenarioFileError,
 };
+pub use snapshot::{PlaceDecision, PlaceError, PlaceRequest, Snapshot};
 pub use spatiotemporal::SpatioTemporal;
 pub use sweep::{merge_reports, MergeError, PlannedScenario, SweepError, SweepPlan};

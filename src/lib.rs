@@ -34,6 +34,7 @@ pub use decarb_analyze as analyze;
 pub use decarb_core as core;
 pub use decarb_experiments as experiments;
 pub use decarb_forecast as forecast;
+pub use decarb_serve as serve;
 pub use decarb_sim as sim;
 pub use decarb_stats as stats;
 pub use decarb_traces as traces;
