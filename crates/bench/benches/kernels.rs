@@ -324,10 +324,12 @@ fn bench_planner_cache(h: &Harness) {
 /// planner query (`Snapshot::place`, what the ≥10k decisions/sec
 /// budget in ISSUE/BASELINE is about), the full HTTP handler
 /// (dispatch + JSON parse/render on top), and the request parser
-/// alone. Plus the off-path costs a reload pays: building a full
-/// 123-zone snapshot with prewarmed planners.
+/// alone — plus the keep-alive connection loop end to end (64
+/// pipelined requests through reused buffers), a 64-job batch through
+/// one `POST /v1/place`, and the off-path cost a reload pays: building
+/// a full 123-zone snapshot with prewarmed planners.
 fn bench_serve(h: &Harness) {
-    use decarb_serve::{read_request, PlacementService};
+    use decarb_serve::{handle_connection, read_request, PlacementService};
     use decarb_sim::{PlaceRequest, Snapshot};
     use std::io::BufReader;
 
@@ -376,11 +378,14 @@ fn bench_serve(h: &Harness) {
         .collect();
     let requests: Vec<decarb_serve::Request> = bodies
         .iter()
-        .map(|b| decarb_serve::Request {
-            method: "POST".to_string(),
-            target: "/v1/place".to_string(),
-            headers: vec![("content-length".to_string(), b.len().to_string())],
-            body: b.as_bytes().to_vec(),
+        .map(|b| {
+            let length = b.len().to_string();
+            decarb_serve::Request::synthetic(
+                "POST",
+                "/v1/place",
+                &[("content-length", &length)],
+                b.as_bytes(),
+            )
         })
         .collect();
     h.bench("kernels/serve/handle_place", || {
@@ -397,6 +402,47 @@ fn bench_serve(h: &Harness) {
     h.bench("kernels/serve/parse_request", || {
         let mut reader = BufReader::new(raw.as_bytes());
         black_box(read_request(&mut reader).expect("well-formed"))
+    });
+
+    // The keep-alive connection loop end to end: all 64 queries
+    // pipelined over one simulated connection, parsed into reused
+    // buffers and answered through `handle_connection` exactly as a
+    // live TCP worker would run them. Compare against 64×
+    // `handle_place` + 64× `parse_request` to see the loop's own cost.
+    let mut pipelined = Vec::new();
+    for body in &bodies {
+        use std::io::Write as _;
+        write!(
+            pipelined,
+            "POST /v1/place HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n{}",
+            body.len(),
+            body
+        )
+        .expect("in-memory write");
+    }
+    h.bench("kernels/serve/keepalive_place", || {
+        let mut reader = BufReader::new(pipelined.as_slice());
+        let mut sink = std::io::sink();
+        black_box(handle_connection(
+            &service,
+            &mut reader,
+            &mut sink,
+            u64::MAX,
+        ))
+    });
+
+    // The same 64 queries as one batch `POST /v1/place` body: a single
+    // parse + par_map fan-out + one rendered summary document.
+    let batch_body = format!("[{}]", bodies.join(","));
+    let length = batch_body.len().to_string();
+    let batch_request = decarb_serve::Request::synthetic(
+        "POST",
+        "/v1/place",
+        &[("content-length", &length)],
+        batch_body.as_bytes(),
+    );
+    h.bench("kernels/serve/batch_place", || {
+        black_box(service.handle(&batch_request))
     });
 
     h.bench("kernels/serve/snapshot_build_123z", || {

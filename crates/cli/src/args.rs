@@ -138,6 +138,33 @@ pub enum Command {
         addr: String,
         /// Worker threads in the accept pool.
         threads: usize,
+        /// Same-hour admissions allowed per region before the router
+        /// skips it (`None` = unlimited, admission control off).
+        capacity_per_hour: Option<usize>,
+    },
+    /// `serve bench [--addr HOST:PORT] [--connections N] [--requests M]
+    /// [--batch K] [--mode keepalive|close] [--pipeline P] [--threads N]`
+    /// — drive the in-tree load harness against a placement server (an
+    /// ephemeral in-process one when `--addr` is absent) and report
+    /// requests/sec plus latency percentiles.
+    ServeBench {
+        /// Server to drive; `None` boots an in-process server over the
+        /// built-in dataset on an ephemeral port.
+        addr: Option<String>,
+        /// Concurrent client connections.
+        connections: usize,
+        /// Requests each connection issues.
+        requests: u64,
+        /// Jobs per `POST /v1/place` body (1 = single-job object).
+        batch: usize,
+        /// `true` = keep-alive; `false` = close per request (baseline).
+        keep_alive: bool,
+        /// Requests written back-to-back before reading responses
+        /// (keep-alive only; 1 = strict ping-pong).
+        pipeline: usize,
+        /// Worker threads for the in-process server (ignored with
+        /// `--addr`).
+        threads: usize,
     },
     /// `--help` / no arguments.
     Help,
@@ -288,7 +315,12 @@ commands:
   data append <FILE> --from CSV [--pad]
                                        append new hours without rewriting history
   serve    [--data FILE [--regions FILE]] [--addr HOST:PORT] [--threads N]
+           [--capacity-per-hour N]
                                        run the placement service (HTTP API, docs/API.md)
+  serve bench [--addr HOST:PORT] [--connections N] [--requests M]
+           [--batch K] [--mode keepalive|close] [--pipeline P] [--threads N]
+                                       load-test a placement server (in-process
+                                       ephemeral server when --addr is absent)
 
 defaults: --year 2022, --slack 24, --arrive 0, --days 60, --tolerance-pct 0.1
 
@@ -824,10 +856,14 @@ fn parse_analyze_workspace(rest: &[String]) -> Result<Command, ParseError> {
 pub const DEFAULT_SERVE_ADDR: &str = "127.0.0.1:8980";
 
 /// Parses `serve [--data FILE [--regions FILE]] [--addr HOST:PORT]
-/// [--threads N]`.
+/// [--threads N] [--capacity-per-hour N]` and the `serve bench`
+/// subcommand.
 fn parse_serve(rest: &[String]) -> Result<Command, ParseError> {
+    if rest.first().map(String::as_str) == Some("bench") {
+        return parse_serve_bench(&rest[1..]);
+    }
     let opts = Options::scan(rest)?;
-    opts.reject_unknown(&["data", "regions", "addr", "threads"])?;
+    opts.reject_unknown(&["data", "regions", "addr", "threads", "capacity-per-hour"])?;
     let data = opts.get("data").map(str::to_string);
     let regions = opts.get("regions").map(str::to_string);
     if regions.is_some() && data.is_none() {
@@ -839,10 +875,85 @@ fn parse_serve(rest: &[String]) -> Result<Command, ParseError> {
     if threads == 0 {
         return Err(ParseError("--threads must be at least 1".into()));
     }
+    let capacity_per_hour = match opts.get("capacity-per-hour") {
+        None => None,
+        Some(raw) => {
+            let capacity: usize = raw.parse().map_err(|_| {
+                ParseError(format!("invalid value `{raw}` for --capacity-per-hour"))
+            })?;
+            if capacity == 0 {
+                return Err(ParseError(
+                    "--capacity-per-hour must be at least 1 (omit it for unlimited)".into(),
+                ));
+            }
+            Some(capacity)
+        }
+    };
     Ok(Command::Serve {
         data,
         regions,
         addr: opts.get("addr").unwrap_or(DEFAULT_SERVE_ADDR).to_string(),
+        threads,
+        capacity_per_hour,
+    })
+}
+
+/// Parses `serve bench [--addr HOST:PORT] [--connections N]
+/// [--requests M] [--batch K] [--mode keepalive|close] [--pipeline P]
+/// [--threads N]`.
+fn parse_serve_bench(rest: &[String]) -> Result<Command, ParseError> {
+    let opts = Options::scan(rest)?;
+    opts.reject_unknown(&[
+        "addr",
+        "connections",
+        "requests",
+        "batch",
+        "mode",
+        "pipeline",
+        "threads",
+    ])?;
+    let connections: usize = opts.parsed("connections", 4)?;
+    let requests: u64 = opts.parsed("requests", 2_000)?;
+    let batch: usize = opts.parsed("batch", 1)?;
+    if connections == 0 || requests == 0 || batch == 0 {
+        return Err(ParseError(
+            "--connections, --requests, and --batch must be at least 1".into(),
+        ));
+    }
+    let pipeline: usize = opts.parsed("pipeline", 1)?;
+    if !(1..=decarb_serve::MAX_PIPELINE).contains(&pipeline) {
+        return Err(ParseError(format!(
+            "--pipeline must be between 1 and {}",
+            decarb_serve::MAX_PIPELINE
+        )));
+    }
+    let keep_alive = match opts.get("mode").unwrap_or("keepalive") {
+        "keepalive" => true,
+        "close" => false,
+        other => {
+            return Err(ParseError(format!(
+                "invalid value `{other}` for --mode; expected keepalive|close"
+            )))
+        }
+    };
+    if !keep_alive && pipeline > 1 {
+        return Err(ParseError(
+            "--pipeline needs keep-alive; a close-per-request connection carries \
+             exactly one request"
+                .into(),
+        ));
+    }
+    let threads: usize = opts.parsed("threads", 4)?;
+    if threads == 0 {
+        return Err(ParseError("--threads must be at least 1".into()));
+    }
+    Ok(Command::ServeBench {
+        addr: opts.get("addr").map(str::to_string),
+        connections,
+        requests,
+        batch,
+        keep_alive,
+        pipeline,
         threads,
     })
 }
@@ -1025,6 +1136,7 @@ mod tests {
                 regions: None,
                 addr: DEFAULT_SERVE_ADDR.into(),
                 threads: 4,
+                capacity_per_hour: None,
             }
         );
         assert_eq!(
@@ -1035,7 +1147,9 @@ mod tests {
                 "--addr",
                 "0.0.0.0:9000",
                 "--threads",
-                "8"
+                "8",
+                "--capacity-per-hour",
+                "16"
             ]))
             .unwrap(),
             Command::Serve {
@@ -1043,6 +1157,7 @@ mod tests {
                 regions: None,
                 addr: "0.0.0.0:9000".into(),
                 threads: 8,
+                capacity_per_hour: Some(16),
             }
         );
         assert_eq!(
@@ -1059,6 +1174,7 @@ mod tests {
                 regions: Some("meta.toml".into()),
                 addr: DEFAULT_SERVE_ADDR.into(),
                 threads: 4,
+                capacity_per_hour: None,
             }
         );
     }
@@ -1070,6 +1186,70 @@ mod tests {
         assert!(parse(&argv(&["serve", "--regions", "meta.toml"])).is_err());
         assert!(parse(&argv(&["serve", "--port", "80"])).is_err());
         assert!(parse(&argv(&["serve", "extra"])).is_err());
+        assert!(parse(&argv(&["serve", "--capacity-per-hour", "0"])).is_err());
+        assert!(parse(&argv(&["serve", "--capacity-per-hour", "lots"])).is_err());
+    }
+
+    #[test]
+    fn serve_bench_defaults_and_options() {
+        assert_eq!(
+            parse(&argv(&["serve", "bench"])).unwrap(),
+            Command::ServeBench {
+                addr: None,
+                connections: 4,
+                requests: 2_000,
+                batch: 1,
+                keep_alive: true,
+                pipeline: 1,
+                threads: 4,
+            }
+        );
+        assert_eq!(
+            parse(&argv(&[
+                "serve",
+                "bench",
+                "--addr",
+                "127.0.0.1:8980",
+                "--connections",
+                "16",
+                "--requests",
+                "500",
+                "--batch",
+                "32",
+                "--mode",
+                "close"
+            ]))
+            .unwrap(),
+            Command::ServeBench {
+                addr: Some("127.0.0.1:8980".into()),
+                connections: 16,
+                requests: 500,
+                batch: 32,
+                keep_alive: false,
+                pipeline: 1,
+                threads: 4,
+            }
+        );
+        assert!(matches!(
+            parse(&argv(&["serve", "bench", "--pipeline", "32"])).unwrap(),
+            Command::ServeBench { pipeline: 32, .. }
+        ));
+        assert!(parse(&argv(&["serve", "bench", "--mode", "sometimes"])).is_err());
+        assert!(parse(&argv(&["serve", "bench", "--connections", "0"])).is_err());
+        assert!(parse(&argv(&["serve", "bench", "--requests", "0"])).is_err());
+        assert!(parse(&argv(&["serve", "bench", "--batch", "0"])).is_err());
+        assert!(parse(&argv(&["serve", "bench", "--pipeline", "0"])).is_err());
+        assert!(parse(&argv(&["serve", "bench", "--pipeline", "65"])).is_err());
+        assert!(parse(&argv(&[
+            "serve",
+            "bench",
+            "--mode",
+            "close",
+            "--pipeline",
+            "2"
+        ]))
+        .is_err());
+        assert!(parse(&argv(&["serve", "bench", "--data", "x.csv"])).is_err());
     }
 
     #[test]

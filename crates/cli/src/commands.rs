@@ -115,6 +115,11 @@ pub fn run_on(command: &Command, data: &TraceSet) -> Result<String, CliError> {
             "`serve` is a long-running daemon; it is handled by the CLI entry              point (dispatch_stream), which streams the listening address              before blocking"
                 .into(),
         ))),
+        Command::ServeBench { .. } => Err(CliError::Parse(ParseError(
+            "`serve bench` drives a server, not a dataset; drop --data (point \
+             --addr at a server that was started with the dataset you want)"
+                .into(),
+        ))),
         Command::List
         | Command::Run { .. }
         | Command::ScenarioList
@@ -141,6 +146,7 @@ pub(crate) fn serve_cmd(
     data: Option<DataPaths<'_>>,
     addr: &str,
     threads: usize,
+    capacity_per_hour: Option<usize>,
 ) -> Result<(), CliError> {
     use std::sync::Arc;
     let (traces, loader): (Arc<TraceSet>, decarb_serve::Loader) = match data {
@@ -163,20 +169,83 @@ pub(crate) fn serve_cmd(
         ),
     };
     let regions = traces.len();
-    let service = Arc::new(decarb_serve::PlacementService::new(traces).with_loader(loader));
+    let capacity = capacity_per_hour.unwrap_or(usize::MAX);
+    let service = Arc::new(
+        decarb_serve::PlacementService::with_capacity(traces, capacity).with_loader(loader),
+    );
     let server = decarb_serve::Server::bind(addr, service)
         .map_err(|e| CliError::Parse(ParseError(format!("serve: cannot bind {addr}: {e}"))))?;
     let local = server
         .local_addr()
         .map_err(|e| CliError::Parse(ParseError(format!("serve: {e}"))))?;
+    let admission = match capacity_per_hour {
+        Some(n) => format!(", capacity {n}/hour"),
+        None => String::new(),
+    };
     writeln!(
         out,
-        "decarb-serve listening on http://{local} ({regions} regions, {threads} thread{})",
+        "decarb-serve listening on http://{local} ({regions} regions, {threads} thread{}{admission})",
         if threads == 1 { "" } else { "s" }
     )?;
     out.flush()?;
     server.run(threads)?;
     Ok(())
+}
+
+/// `serve bench`: runs the in-tree load harness against `addr`, or
+/// against a freshly booted in-process server over the built-in
+/// dataset when no address is given, and renders requests/sec plus
+/// latency percentiles.
+pub(crate) fn serve_bench_cmd(
+    addr: Option<&str>,
+    connections: usize,
+    requests: u64,
+    batch: usize,
+    keep_alive: bool,
+    pipeline: usize,
+    threads: usize,
+) -> Result<String, CliError> {
+    use std::sync::Arc;
+    let target: std::net::SocketAddr = match addr {
+        Some(raw) => raw.parse().map_err(|_| {
+            CliError::Parse(ParseError(format!(
+                "serve bench: invalid --addr `{raw}` (expected HOST:PORT)"
+            )))
+        })?,
+        None => {
+            let service = Arc::new(decarb_serve::PlacementService::new(
+                decarb_traces::builtin_dataset(),
+            ));
+            let server = decarb_serve::Server::bind("127.0.0.1:0", service)
+                .map_err(|e| CliError::Parse(ParseError(format!("serve bench: {e}"))))?;
+            let local = server
+                .local_addr()
+                .map_err(|e| CliError::Parse(ParseError(format!("serve bench: {e}"))))?;
+            // Detached: the server thread dies with the process once
+            // the measurement is done.
+            std::thread::spawn(move || {
+                let _ = server.run(threads);
+            });
+            local
+        }
+    };
+    let config = decarb_serve::LoadConfig {
+        connections,
+        requests_per_connection: requests,
+        batch,
+        keep_alive,
+        pipeline,
+    };
+    let report = config.run(target).map_err(CliError::Io)?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "serve bench: {} mode, {connections} connection{} x {requests} requests, batch {batch}, pipeline {pipeline}, against {target}",
+        if keep_alive { "keep-alive" } else { "close-per-request" },
+        if connections == 1 { "" } else { "s" },
+    );
+    let _ = write!(out, "{}", report.summary());
+    Ok(out)
 }
 
 /// Renders the experiment registry, one `id  description` line per

@@ -25,7 +25,8 @@
 //! | `scenario history append\|show` | record / render the per-run emissions series |
 //! | `scenario history check --file H` | fail on monotonic multi-commit emissions drift |
 //! | `scenario diff --report R --golden G` | gate per-scenario emissions drift |
-//! | `serve [--data FILE] [--addr A] [--threads N]` | run the placement service (HTTP API; docs/API.md) |
+//! | `serve [--data FILE] [--addr A] [--threads N] [--capacity-per-hour N]` | run the placement service (HTTP API; docs/API.md) |
+//! | `serve bench [--addr A] [--connections N] [--requests M] [--batch K] [--mode keepalive\|close] [--pipeline P]` | load-test a placement server |
 //!
 //! A leading global option `--data FILE [--regions FILE]` replaces the
 //! built-in synthetic dataset with a `zone,hour,value` CSV (e.g. a real
@@ -83,6 +84,23 @@ pub fn run(command: &Command) -> Result<String, CliError> {
         } => commands::scenario_diff(report, golden, *tolerance_pct),
         Command::Data(cmd) => commands::data_cmd(cmd),
         Command::AnalyzeWorkspace { path, json } => commands::analyze_workspace_cmd(path, *json),
+        Command::ServeBench {
+            addr,
+            connections,
+            requests,
+            batch,
+            keep_alive,
+            pipeline,
+            threads,
+        } => commands::serve_bench_cmd(
+            addr.as_deref(),
+            *connections,
+            *requests,
+            *batch,
+            *keep_alive,
+            *pipeline,
+            *threads,
+        ),
         // `run_on` rejects `--workers` because it cannot know what
         // `--data` path its children should re-import; here the dataset
         // is the built-in one, which children load by default.
@@ -255,6 +273,7 @@ pub fn dispatch_stream(argv: &[String], out: &mut dyn std::io::Write) -> Result<
         regions,
         addr,
         threads,
+        capacity_per_hour,
     } = &command
     {
         // `serve` accepts its dataset both as the global leading
@@ -276,7 +295,7 @@ pub fn dispatch_stream(argv: &[String], out: &mut dyn std::io::Write) -> Result<
             }),
             (None, None) => None,
         };
-        return commands::serve_cmd(out, paths, addr, *threads);
+        return commands::serve_cmd(out, paths, addr, *threads, *capacity_per_hour);
     }
     if let Command::ScenarioRun {
         target,

@@ -801,8 +801,10 @@ fn spawn_serve(args: &[&str]) -> (std::process::Child, String) {
 fn http_request(addr: &str, method: &str, target: &str, body: &str) -> (u16, String) {
     use std::io::{Read, Write};
     let mut stream = std::net::TcpStream::connect(addr).expect("connect to serve");
+    // `Connection: close` lets the reader below drain to EOF instead of
+    // waiting out the server's keep-alive idle timeout.
     let raw = format!(
-        "{method} {target} HTTP/1.1\r\nHost: e2e\r\nContent-Length: {}\r\n\r\n{body}",
+        "{method} {target} HTTP/1.1\r\nHost: e2e\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
         body.len()
     );
     stream.write_all(raw.as_bytes()).expect("send request");
@@ -922,4 +924,96 @@ fn serve_rejects_a_bad_bind_address_with_exit_2() {
     let out = decarb_cli(&["serve", "--addr", "999.999.999.999:0"]);
     assert_eq!(out.status.code(), Some(2));
     assert!(stderr(&out).contains("cannot bind"));
+}
+
+#[test]
+fn serve_capacity_per_hour_saturates_the_winning_region() {
+    // With one admission slot per region-hour, two identical queries
+    // cannot both land on the same region: the second must be pushed
+    // to a different region (or start hour) by the admission ledger.
+    let (mut child, addr) =
+        spawn_serve(&["serve", "--addr", "127.0.0.1:0", "--capacity-per-hour", "1"]);
+    let result = std::panic::catch_unwind(|| {
+        let body = r#"{"origin":"PL","duration_hours":6,"slack_hours":24,"slo_ms":1000,"arrival_hour":19704}"#;
+        let (status, first) = http_request(&addr, "POST", "/v1/place", body);
+        assert_eq!(status, 200, "{first}");
+        let (status, second) = http_request(&addr, "POST", "/v1/place", body);
+        assert_eq!(status, 200, "{second}");
+        let pick = |answer: &str, key: &str| {
+            answer
+                .lines()
+                .find(|l| l.contains(&format!("\"{key}\"")))
+                .unwrap_or_else(|| panic!("no {key} in {answer}"))
+                .to_string()
+        };
+        assert_ne!(
+            (pick(&first, "region"), pick(&first, "start_hour")),
+            (pick(&second, "region"), pick(&second, "start_hour")),
+            "a saturated region-hour must not win twice\nfirst: {first}\nsecond: {second}"
+        );
+    });
+    let _ = child.kill();
+    let _ = child.wait();
+    if let Err(panic) = result {
+        std::panic::resume_unwind(panic);
+    }
+}
+
+#[test]
+fn serve_bench_drives_a_spawned_server_and_reports_throughput() {
+    let (mut child, addr) = spawn_serve(&["serve", "--addr", "127.0.0.1:0", "--threads", "2"]);
+    let result = std::panic::catch_unwind(|| {
+        let out = decarb_cli(&[
+            "serve",
+            "bench",
+            "--addr",
+            &addr,
+            "--connections",
+            "2",
+            "--requests",
+            "40",
+            "--batch",
+            "4",
+        ]);
+        assert!(out.status.success(), "{}", stderr(&out));
+        let text = stdout(&out);
+        assert!(text.contains("keep-alive mode"), "{text}");
+        assert!(text.contains("80 requests"), "{text}");
+        assert!(text.contains("req/s"), "{text}");
+        assert!(text.contains("p99"), "{text}");
+        assert!(text.contains("0 failures"), "{text}");
+    });
+    let _ = child.kill();
+    let _ = child.wait();
+    if let Err(panic) = result {
+        std::panic::resume_unwind(panic);
+    }
+}
+
+#[test]
+fn serve_bench_boots_its_own_server_when_no_addr_is_given() {
+    let out = decarb_cli(&[
+        "serve",
+        "bench",
+        "--connections",
+        "2",
+        "--requests",
+        "20",
+        "--mode",
+        "close",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("close-per-request mode"), "{text}");
+    assert!(text.contains("0 failures"), "{text}");
+}
+
+#[test]
+fn serve_bench_rejects_bad_options_with_exit_2() {
+    let zero = decarb_cli(&["serve", "bench", "--connections", "0"]);
+    assert_eq!(zero.status.code(), Some(2));
+    let mode = decarb_cli(&["serve", "bench", "--mode", "pipelined"]);
+    assert_eq!(mode.status.code(), Some(2));
+    let capacity = decarb_cli(&["serve", "--capacity-per-hour", "0"]);
+    assert_eq!(capacity.status.code(), Some(2));
 }

@@ -77,6 +77,21 @@ impl Value {
         out
     }
 
+    /// Renders with two-space indentation into a caller-owned buffer,
+    /// appending to whatever `out` already holds. The placement
+    /// service's connection loop serializes every response through
+    /// this so its steady state reuses one `String` instead of
+    /// allocating per request.
+    pub fn pretty_into(&self, out: &mut String) {
+        self.render(out, Some(0));
+    }
+
+    /// Compact (single-line) rendering into a caller-owned buffer,
+    /// appending to whatever `out` already holds.
+    pub fn compact_into(&self, out: &mut String) {
+        self.render(out, None);
+    }
+
     fn render(&self, out: &mut String, indent: Option<usize>) {
         match self {
             Value::Null => out.push_str("null"),
@@ -307,6 +322,20 @@ mod tests {
     fn pretty_rendering_indents() {
         let v = Value::object([("a", Value::array([Value::from(1i64)]))]);
         assert_eq!(v.pretty(), "{\n  \"a\": [\n    1\n  ]\n}");
+    }
+
+    #[test]
+    fn render_into_appends_to_a_reused_buffer() {
+        let v = Value::object([("a", Value::from(1i64))]);
+        let mut buf = String::with_capacity(64);
+        v.pretty_into(&mut buf);
+        assert_eq!(buf, v.pretty());
+        buf.clear();
+        v.compact_into(&mut buf);
+        assert_eq!(buf, v.to_string());
+        // Appending semantics: the caller owns clearing.
+        v.compact_into(&mut buf);
+        assert_eq!(buf, format!("{v}{v}"));
     }
 
     #[test]

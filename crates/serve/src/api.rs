@@ -19,7 +19,7 @@ use std::time::Instant;
 
 use decarb_forecast::{Forecaster, Persistence, SeasonalNaive};
 use decarb_json::Value;
-use decarb_sim::{PlaceError, PlaceRequest, Snapshot};
+use decarb_sim::{PlaceDecision, PlaceError, PlaceRequest, Snapshot};
 use decarb_traces::time::{EPOCH_YEAR, LAST_YEAR};
 use decarb_traces::{Hour, TraceSet};
 
@@ -30,6 +30,9 @@ use crate::metrics::{Endpoint, Metrics};
 pub const MAX_FORECAST_HOURS: usize = 336;
 /// History handed to the forecasters, hours (four weeks).
 pub const FORECAST_HISTORY_HOURS: usize = 28 * 24;
+/// Most jobs accepted in one batch `POST /v1/place` call; larger
+/// arrays are rejected with `batch-too-large` (HTTP 413).
+pub const MAX_BATCH_JOBS: usize = 1000;
 
 /// A rejected API call: an HTTP status plus a machine-readable code.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -94,16 +97,28 @@ pub struct PlacementService {
     snapshot: RwLock<Arc<Snapshot>>,
     loader: Option<Loader>,
     metrics: Metrics,
+    /// Same-hour admission limit applied to every snapshot this
+    /// service builds, including reloads (`usize::MAX` = unlimited).
+    capacity_per_hour: usize,
 }
 
 impl PlacementService {
     /// Creates the service over `traces` with no reload hook
-    /// (`POST /v1/reload` answers 503).
+    /// (`POST /v1/reload` answers 503) and no admission limit.
     pub fn new(traces: Arc<TraceSet>) -> Self {
+        Self::with_capacity(traces, usize::MAX)
+    }
+
+    /// Creates the service with a same-hour admission limit per region
+    /// (the `serve --capacity-per-hour` flag); reloads keep the limit.
+    pub fn with_capacity(traces: Arc<TraceSet>, capacity_per_hour: usize) -> Self {
         Self {
-            snapshot: RwLock::new(Arc::new(Snapshot::build(traces, 1))),
+            snapshot: RwLock::new(Arc::new(
+                Snapshot::build(traces, 1).with_capacity_per_hour(capacity_per_hour),
+            )),
             loader: None,
             metrics: Metrics::new(),
+            capacity_per_hour,
         }
     }
 
@@ -135,7 +150,10 @@ impl PlacementService {
         let traces = loader().map_err(|message| ApiError::new(503, "reload-failed", message))?;
         // Build outside the lock: readers keep serving the old
         // snapshot for the entire (planner-prewarming) rebuild.
-        let next = Arc::new(Snapshot::build(traces, self.snapshot().generation() + 1));
+        let next = Arc::new(
+            Snapshot::build(traces, self.snapshot().generation() + 1)
+                .with_capacity_per_hour(self.capacity_per_hour),
+        );
         let mut slot = self
             .snapshot
             .write()
@@ -144,20 +162,39 @@ impl PlacementService {
         Ok(next)
     }
 
-    /// Answers one parsed request: routes, validates, and serializes,
-    /// recording metrics. Returns the status and the JSON body text.
-    pub fn handle(&self, req: &Request) -> (u16, String) {
+    /// Answers one parsed request: routes, validates, and serializes
+    /// into the caller-owned `out` buffer (cleared first), recording
+    /// metrics. Returns the HTTP status. The connection loop hands the
+    /// same buffer in for every request, so steady-state serialization
+    /// reuses its allocation.
+    pub fn handle_into(&self, req: &Request, out: &mut String) -> u16 {
+        out.clear();
         let endpoint = Endpoint::of(req.path());
         let started = Instant::now();
-        let (status, body) = match self.dispatch(endpoint, req) {
-            Ok(value) => (200, value.pretty()),
-            Err(e) => (e.status, e.body().pretty()),
+        let status = match self.dispatch(endpoint, req) {
+            Ok(value) => {
+                value.pretty_into(out);
+                200
+            }
+            Err(e) => {
+                e.body().pretty_into(out);
+                e.status
+            }
         };
         if endpoint == Endpoint::Place {
             let us = started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
             self.metrics.observe_place_us(us);
         }
         self.metrics.record(endpoint, status);
+        status
+    }
+
+    /// Answers one parsed request, allocating the body text.
+    /// Convenience wrapper over [`PlacementService::handle_into`] for
+    /// tests and one-shot embedders.
+    pub fn handle(&self, req: &Request) -> (u16, String) {
+        let mut body = String::new();
+        let status = self.handle_into(req, &mut body);
         (status, body)
     }
 
@@ -169,7 +206,7 @@ impl PlacementService {
     }
 
     fn dispatch(&self, endpoint: Endpoint, req: &Request) -> Result<Value, ApiError> {
-        let method = req.method.as_str();
+        let method = req.method();
         match (endpoint, method) {
             (Endpoint::Healthz, "GET") => Ok(self.healthz()),
             (Endpoint::Regions, "GET") => Ok(self.regions()),
@@ -345,81 +382,191 @@ impl PlacementService {
     }
 
     fn place(&self, req: &Request) -> Result<Value, ApiError> {
-        let text = std::str::from_utf8(&req.body)
+        let text = std::str::from_utf8(req.body())
             .map_err(|_| ApiError::bad_request("bad-body", "request body is not valid UTF-8"))?;
         let body = decarb_json::parse(text)
             .map_err(|e| ApiError::bad_request("bad-json", format!("body is not JSON: {e}")))?;
-        let origin_code = match body.get("origin") {
-            Some(Value::String(code)) => code.as_str(),
-            Some(_) => {
-                return Err(ApiError::bad_request(
-                    "bad-parameter",
-                    "origin must be a zone-code string",
-                ))
-            }
-            None => {
-                return Err(ApiError::bad_request(
-                    "missing-parameter",
-                    "origin is required",
-                ))
-            }
-        };
         let snap = self.snapshot();
-        let origin = snap.traces().id_of(origin_code).map_err(|_| {
-            ApiError::new(
-                404,
-                "unknown-region",
-                format!("no trace for origin `{origin_code}`"),
-            )
-        })?;
-        let duration_hours = require_whole(&body, "duration_hours")?;
-        let slack_hours = optional_whole(&body, "slack_hours", 0)?;
-        let slo_ms = match body.get("slo_ms") {
-            None => 0.0,
-            Some(Value::Number(n)) if *n >= 0.0 => *n,
-            Some(_) => {
-                return Err(ApiError::bad_request(
-                    "bad-parameter",
-                    "slo_ms must be a non-negative number",
-                ))
+        match &body {
+            // An array of job objects is a batch; a single object keeps
+            // the original one-job contract bit for bit.
+            Value::Array(jobs) => self.place_many(&snap, jobs),
+            _ => {
+                let (query, origin_code) = parse_place_job(&snap, &body)?;
+                let decision = snap.place(&query)?;
+                Ok(render_place_decision(&snap, origin_code, &query, &decision))
             }
-        };
-        let origin_start = snap.traces().series_by_id(origin).start();
-        let arrival =
-            Hour(optional_whole(&body, "arrival_hour", u64::from(origin_start.0))? as u32);
-        let query = PlaceRequest {
+        }
+    }
+
+    /// Answers a batch of placement jobs: every job gets a result slot
+    /// in input order (a decision object, or the documented error
+    /// envelope for that job alone), plus an aggregate summary.
+    ///
+    /// Valid jobs are evaluated through [`Snapshot::place_batch`], so
+    /// large batches fan out across `decarb-par` worker threads when
+    /// admission control is off and the answers stay bit-identical to
+    /// N sequential single-job calls.
+    fn place_many(&self, snap: &Snapshot, jobs: &[Value]) -> Result<Value, ApiError> {
+        if jobs.is_empty() {
+            return Err(ApiError::bad_request(
+                "empty-batch",
+                "batch must contain at least one job",
+            ));
+        }
+        if jobs.len() > MAX_BATCH_JOBS {
+            return Err(ApiError::new(
+                413,
+                "batch-too-large",
+                format!(
+                    "batch of {} jobs exceeds the {MAX_BATCH_JOBS}-job limit",
+                    jobs.len()
+                ),
+            ));
+        }
+        self.metrics.record_batch(jobs.len() as u64);
+        let parsed: Vec<Result<(PlaceRequest, &str), ApiError>> =
+            jobs.iter().map(|job| parse_place_job(snap, job)).collect();
+        // Only well-formed jobs reach the planner — exactly the calls
+        // N sequential single-job requests would have made.
+        let queries: Vec<PlaceRequest> = parsed
+            .iter()
+            .filter_map(|p| p.as_ref().ok().map(|(query, _)| *query))
+            .collect();
+        let mut decisions = snap.place_batch(&queries).into_iter();
+        let mut ok = 0u64;
+        let mut failed = 0u64;
+        let mut total_saved_g = 0.0;
+        let results: Vec<Value> = parsed
+            .into_iter()
+            .map(|slot| match slot {
+                Ok((query, origin_code)) => match decisions.next().expect("one decision per job") {
+                    Ok(decision) => {
+                        ok += 1;
+                        total_saved_g += decision.saved_g;
+                        render_place_decision(snap, origin_code, &query, &decision)
+                    }
+                    Err(e) => {
+                        failed += 1;
+                        ApiError::from(e).body()
+                    }
+                },
+                Err(e) => {
+                    failed += 1;
+                    e.body()
+                }
+            })
+            .collect();
+        Ok(Value::object([
+            ("count", Value::from(results.len() as f64)),
+            ("results", Value::Array(results)),
+            (
+                "summary",
+                Value::object([
+                    ("ok", Value::from(ok as f64)),
+                    ("failed", Value::from(failed as f64)),
+                    ("total_saved_g", Value::from(total_saved_g)),
+                    ("generation", Value::from(snap.generation() as f64)),
+                ]),
+            ),
+        ]))
+    }
+}
+
+/// Validates one job object into a [`PlaceRequest`], returning the
+/// origin zone code alongside for the response echo. Shared by the
+/// single-job and batch paths so both reject with identical codes.
+fn parse_place_job<'a>(
+    snap: &Snapshot,
+    body: &'a Value,
+) -> Result<(PlaceRequest, &'a str), ApiError> {
+    if !matches!(body, Value::Object(_)) {
+        return Err(ApiError::bad_request(
+            "bad-parameter",
+            "each job must be a JSON object",
+        ));
+    }
+    let origin_code = match body.get("origin") {
+        Some(Value::String(code)) => code.as_str(),
+        Some(_) => {
+            return Err(ApiError::bad_request(
+                "bad-parameter",
+                "origin must be a zone-code string",
+            ))
+        }
+        None => {
+            return Err(ApiError::bad_request(
+                "missing-parameter",
+                "origin is required",
+            ))
+        }
+    };
+    let origin = snap.traces().id_of(origin_code).map_err(|_| {
+        ApiError::new(
+            404,
+            "unknown-region",
+            format!("no trace for origin `{origin_code}`"),
+        )
+    })?;
+    let duration_hours = require_whole(body, "duration_hours")?;
+    let slack_hours = optional_whole(body, "slack_hours", 0)?;
+    let slo_ms = match body.get("slo_ms") {
+        None => 0.0,
+        Some(Value::Number(n)) if *n >= 0.0 => *n,
+        Some(_) => {
+            return Err(ApiError::bad_request(
+                "bad-parameter",
+                "slo_ms must be a non-negative number",
+            ))
+        }
+    };
+    let origin_start = snap.traces().series_by_id(origin).start();
+    let arrival = Hour(optional_whole(body, "arrival_hour", u64::from(origin_start.0))? as u32);
+    Ok((
+        PlaceRequest {
             origin,
             arrival,
             duration_hours: duration_hours as usize,
             slack_hours: slack_hours as usize,
             slo_ms,
-        };
-        let decision = snap.place(&query)?;
-        let saved_pct = if decision.naive_g > 0.0 {
-            decision.saved_g / decision.naive_g * 100.0
-        } else {
-            0.0
-        };
-        Ok(Value::object([
-            ("origin", Value::from(origin_code)),
-            ("arrival_hour", Value::from(f64::from(arrival.0))),
-            ("duration_hours", Value::from(duration_hours as f64)),
-            ("slack_hours", Value::from(slack_hours as f64)),
-            ("slo_ms", Value::from(slo_ms)),
-            ("region", Value::from(snap.traces().code(decision.region))),
-            ("start_hour", Value::from(f64::from(decision.start.0))),
-            (
-                "wait_hours",
-                Value::from(f64::from(decision.start.0 - arrival.0)),
-            ),
-            ("cost_g", Value::from(decision.cost_g)),
-            ("naive_g", Value::from(decision.naive_g)),
-            ("saved_g", Value::from(decision.saved_g)),
-            ("saved_pct", Value::from(saved_pct)),
-            ("rtt_ms", Value::from(decision.rtt_ms)),
-            ("generation", Value::from(snap.generation() as f64)),
-        ]))
-    }
+        },
+        origin_code,
+    ))
+}
+
+/// Renders one placement decision as the documented response object —
+/// the same shape whether it answers a single call or fills one batch
+/// result slot.
+fn render_place_decision(
+    snap: &Snapshot,
+    origin_code: &str,
+    query: &PlaceRequest,
+    decision: &PlaceDecision,
+) -> Value {
+    let saved_pct = if decision.naive_g > 0.0 {
+        decision.saved_g / decision.naive_g * 100.0
+    } else {
+        0.0
+    };
+    Value::object([
+        ("origin", Value::from(origin_code)),
+        ("arrival_hour", Value::from(f64::from(query.arrival.0))),
+        ("duration_hours", Value::from(query.duration_hours as f64)),
+        ("slack_hours", Value::from(query.slack_hours as f64)),
+        ("slo_ms", Value::from(query.slo_ms)),
+        ("region", Value::from(snap.traces().code(decision.region))),
+        ("start_hour", Value::from(f64::from(decision.start.0))),
+        (
+            "wait_hours",
+            Value::from(f64::from(decision.start.0 - query.arrival.0)),
+        ),
+        ("cost_g", Value::from(decision.cost_g)),
+        ("naive_g", Value::from(decision.naive_g)),
+        ("saved_g", Value::from(decision.saved_g)),
+        ("saved_pct", Value::from(saved_pct)),
+        ("rtt_ms", Value::from(decision.rtt_ms)),
+        ("generation", Value::from(snap.generation() as f64)),
+    ])
 }
 
 /// Parses an integer query parameter with a default.
@@ -475,21 +622,11 @@ mod tests {
     }
 
     fn get(target: &str) -> Request {
-        Request {
-            method: "GET".to_string(),
-            target: target.to_string(),
-            headers: Vec::new(),
-            body: Vec::new(),
-        }
+        Request::synthetic("GET", target, &[], b"")
     }
 
     fn post(target: &str, body: &str) -> Request {
-        Request {
-            method: "POST".to_string(),
-            target: target.to_string(),
-            headers: Vec::new(),
-            body: body.as_bytes().to_vec(),
-        }
+        Request::synthetic("POST", target, &[], body.as_bytes())
     }
 
     #[test]
@@ -666,6 +803,114 @@ mod tests {
                 .join("\n")
         };
         assert_eq!(strip(&before), strip(&after));
+    }
+
+    #[test]
+    fn batch_answers_are_bit_identical_to_sequential_single_calls() {
+        let svc = service();
+        let arrival = year_start(2022).plus(60 * 24).0;
+        let jobs: Vec<String> = (0..20)
+            .map(|i| {
+                format!(
+                    r#"{{"origin":"{}","duration_hours":{},"slack_hours":{},"slo_ms":150,"arrival_hour":{}}}"#,
+                    ["DE", "PL", "FR", "SE"][i % 4],
+                    1 + i % 4,
+                    (i % 3) * 12,
+                    arrival + i as u32 * 5,
+                )
+            })
+            .collect();
+        let singles: Vec<String> = jobs
+            .iter()
+            .map(|job| {
+                let (status, text) = svc.handle(&post("/v1/place", job));
+                assert_eq!(status, 200, "{text}");
+                text
+            })
+            .collect();
+        let batch_body = format!("[{}]", jobs.join(","));
+        let (status, text) = svc.handle(&post("/v1/place", &batch_body));
+        assert_eq!(status, 200, "{text}");
+        let json = decarb_json::parse(&text).unwrap();
+        assert_eq!(json.get("count"), Some(&Value::from(20.0)));
+        let Some(Value::Array(results)) = json.get("results") else {
+            panic!("results missing")
+        };
+        for (result, single_text) in results.iter().zip(&singles) {
+            let single = decarb_json::parse(single_text).unwrap();
+            assert_eq!(*result, single, "batch slot must match its single call");
+        }
+        let summary = json.get("summary").unwrap();
+        assert_eq!(summary.get("ok"), Some(&Value::from(20.0)));
+        assert_eq!(summary.get("failed"), Some(&Value::from(0.0)));
+        assert_eq!(summary.get("generation"), Some(&Value::from(1.0)));
+    }
+
+    #[test]
+    fn batch_errors_fill_their_slot_without_failing_the_batch() {
+        let svc = service();
+        let body = r#"[
+            {"origin":"DE","duration_hours":2},
+            {"origin":"NOPE","duration_hours":1},
+            {"origin":"DE","duration_hours":0},
+            7,
+            {"origin":"DE","duration_hours":3}
+        ]"#;
+        let (status, text) = svc.handle(&post("/v1/place", body));
+        assert_eq!(status, 200, "{text}");
+        let json = decarb_json::parse(&text).unwrap();
+        let Some(Value::Array(results)) = json.get("results") else {
+            panic!("results missing")
+        };
+        assert_eq!(results.len(), 5);
+        assert!(results[0].get("region").is_some());
+        let code = |i: usize| results[i].get("error").and_then(|e| e.get("code")).cloned();
+        assert_eq!(code(1), Some(Value::from("unknown-region")));
+        assert_eq!(code(2), Some(Value::from("zero-duration")));
+        assert_eq!(code(3), Some(Value::from("bad-parameter")));
+        assert!(results[4].get("region").is_some());
+        let summary = json.get("summary").unwrap();
+        assert_eq!(summary.get("ok"), Some(&Value::from(2.0)));
+        assert_eq!(summary.get("failed"), Some(&Value::from(3.0)));
+    }
+
+    #[test]
+    fn empty_and_oversized_batches_are_rejected() {
+        let svc = service();
+        let (status, text) = svc.handle(&post("/v1/place", "[]"));
+        assert_eq!(status, 400);
+        assert!(text.contains("empty-batch"), "{text}");
+        let one_job = r#"{"origin":"DE","duration_hours":1}"#;
+        let body = format!(
+            "[{}]",
+            std::iter::repeat_n(one_job, MAX_BATCH_JOBS + 1)
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        let (status, text) = svc.handle(&post("/v1/place", &body));
+        assert_eq!(status, 413, "{text}");
+        assert!(text.contains("batch-too-large"), "{text}");
+    }
+
+    #[test]
+    fn capacity_limit_saturates_a_region_across_requests() {
+        let svc = PlacementService::with_capacity(builtin_dataset(), 1);
+        let body = r#"{"origin":"PL","duration_hours":2,"slo_ms":1e9}"#;
+        let (s1, first) = svc.handle(&post("/v1/place", body));
+        let (s2, second) = svc.handle(&post("/v1/place", body));
+        assert_eq!((s1, s2), (200, 200));
+        let winner = |text: &str| {
+            decarb_json::parse(text)
+                .unwrap()
+                .get("region")
+                .cloned()
+                .unwrap()
+        };
+        assert_ne!(
+            winner(&first),
+            winner(&second),
+            "a saturated region must stop winning placements"
+        );
     }
 
     #[test]

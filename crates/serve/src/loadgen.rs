@@ -1,0 +1,417 @@
+//! The in-tree load harness behind `decarb-cli serve bench`.
+//!
+//! Drives N concurrent client connections against a running placement
+//! server and reports sustained requests/sec plus latency
+//! percentiles. Two modes bracket what keep-alive buys: `keep_alive:
+//! true` holds every connection open and streams request after
+//! request through it (reconnecting transparently when the server
+//! rotates a connection at its per-connection request bound), while
+//! `keep_alive: false` opens a fresh TCP connection per request — the
+//! close-per-request baseline the keep-alive speedup in
+//! `crates/bench/BASELINE.md` is measured against. In keep-alive mode
+//! a `pipeline` depth > 1 writes that many requests back-to-back
+//! before reading their responses, amortizing per-exchange syscalls
+//! the way a streaming client does instead of strict ping-pong.
+//!
+//! The harness speaks just enough HTTP/1.1 to frame responses by
+//! `content-length`; it deliberately shares no code with the server's
+//! parser so a framing bug on either side shows up as a harness
+//! failure instead of being masked.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// What to drive at the server.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Concurrent client connections (worker threads).
+    pub connections: usize,
+    /// Requests each worker issues.
+    pub requests_per_connection: u64,
+    /// Jobs per `POST /v1/place` body; 1 sends the single-job object,
+    /// larger values send a JSON array of that many jobs.
+    pub batch: usize,
+    /// `true` reuses each connection across requests; `false` opens a
+    /// fresh connection per request (the baseline).
+    pub keep_alive: bool,
+    /// Requests written back-to-back before reading their responses
+    /// (keep-alive only; ignored in close mode, where each connection
+    /// carries exactly one request). Depth 1 is strict ping-pong; a
+    /// deeper pipeline amortizes per-exchange syscalls the way a
+    /// streaming client would. Under pipelining a request's recorded
+    /// latency is the round trip of its whole chunk. Capped at
+    /// [`MAX_PIPELINE`] so a chunk can never overrun socket buffers.
+    pub pipeline: usize,
+}
+
+/// Upper bound on [`LoadConfig::pipeline`]: 64 in-flight requests is
+/// ~10 KiB of request bytes and ~32 KiB of queued responses, safely
+/// inside default socket buffers on every platform we run on.
+pub const MAX_PIPELINE: usize = 64;
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        Self {
+            connections: 4,
+            requests_per_connection: 1000,
+            batch: 1,
+            keep_alive: true,
+            pipeline: 1,
+        }
+    }
+}
+
+/// What the run measured.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Total requests answered across all workers.
+    pub requests: u64,
+    /// Non-200 answers (still counted in `requests`).
+    pub failures: u64,
+    /// Wall-clock time from first byte to last.
+    pub elapsed: Duration,
+    /// Requests per second over the whole run.
+    pub rps: f64,
+    /// Latency percentiles over every request, microseconds.
+    pub p50_us: u64,
+    /// 90th percentile latency, microseconds.
+    pub p90_us: u64,
+    /// 99th percentile latency, microseconds.
+    pub p99_us: u64,
+    /// Slowest single request, microseconds.
+    pub max_us: u64,
+}
+
+impl LoadReport {
+    /// One-line human summary, e.g. for the CLI.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} requests in {:.2}s: {:.0} req/s, p50 {} us, p90 {} us, p99 {} us, max {} us, {} failures",
+            self.requests,
+            self.elapsed.as_secs_f64(),
+            self.rps,
+            self.p50_us,
+            self.p90_us,
+            self.p99_us,
+            self.max_us,
+            self.failures,
+        )
+    }
+}
+
+impl LoadConfig {
+    /// Runs the configured load against `addr`, blocking until every
+    /// worker finishes. Fails fast on connect errors (server down),
+    /// not on HTTP-level failures (those are counted).
+    pub fn run(&self, addr: SocketAddr) -> std::io::Result<LoadReport> {
+        let body = place_body(self.batch);
+        let request = render_request(&body, self.keep_alive);
+        let connections = self.connections.max(1);
+        let per_worker = self.requests_per_connection.max(1);
+        let pipeline = if self.keep_alive {
+            self.pipeline.clamp(1, MAX_PIPELINE)
+        } else {
+            1
+        };
+        let started = Instant::now();
+        let mut outcomes: Vec<std::io::Result<(Vec<u64>, u64)>> = Vec::with_capacity(connections);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..connections)
+                .map(|_| {
+                    let request = &request;
+                    let keep_alive = self.keep_alive;
+                    scope.spawn(move || worker(addr, request, per_worker, keep_alive, pipeline))
+                })
+                .collect();
+            for handle in handles {
+                outcomes.push(handle.join().expect("load worker panicked"));
+            }
+        });
+        let elapsed = started.elapsed();
+        let mut latencies = Vec::with_capacity(connections * per_worker as usize);
+        let mut failures = 0u64;
+        for outcome in outcomes {
+            let (mut worker_latencies, worker_failures) = outcome?;
+            latencies.append(&mut worker_latencies);
+            failures += worker_failures;
+        }
+        latencies.sort_unstable();
+        let requests = latencies.len() as u64;
+        Ok(LoadReport {
+            requests,
+            failures,
+            elapsed,
+            rps: requests as f64 / elapsed.as_secs_f64().max(1e-9),
+            p50_us: percentile(&latencies, 50.0),
+            p90_us: percentile(&latencies, 90.0),
+            p99_us: percentile(&latencies, 99.0),
+            max_us: latencies.last().copied().unwrap_or(0),
+        })
+    }
+}
+
+/// One worker's request loop; returns its per-request latencies
+/// (microseconds) and non-200 count.
+fn worker(
+    addr: SocketAddr,
+    request: &[u8],
+    requests: u64,
+    keep_alive: bool,
+    pipeline: usize,
+) -> std::io::Result<(Vec<u64>, u64)> {
+    let mut latencies = Vec::with_capacity(requests as usize);
+    let mut failures = 0u64;
+    let mut conn = if keep_alive {
+        Some(Conn::open(addr)?)
+    } else {
+        None
+    };
+    // The pipeline chunk is the request repeated `pipeline` times; a
+    // short final chunk is a prefix slice of it.
+    let chunk = request.repeat(pipeline);
+    let mut remaining = requests;
+    while remaining > 0 {
+        let depth = usize::try_from(remaining)
+            .unwrap_or(usize::MAX)
+            .min(pipeline);
+        let bytes = &chunk[..depth * request.len()];
+        let t = Instant::now();
+        let bad = if keep_alive {
+            let live = conn.as_mut().expect("keep-alive worker holds a connection");
+            match live.exchange_pipelined(bytes, depth) {
+                Ok(bad) => bad,
+                // The server rotated this connection (request bound or
+                // idle timeout); reconnect once and retry the chunk.
+                Err(_) => {
+                    let mut fresh = Conn::open(addr)?;
+                    let bad = fresh.exchange_pipelined(bytes, depth)?;
+                    conn = Some(fresh);
+                    bad
+                }
+            }
+        } else {
+            u64::from(Conn::open(addr)?.exchange(request)? != 200)
+        };
+        let elapsed = u64::try_from(t.elapsed().as_micros()).unwrap_or(u64::MAX);
+        for _ in 0..depth {
+            latencies.push(elapsed);
+        }
+        failures += bad;
+        remaining -= depth as u64;
+    }
+    Ok((latencies, failures))
+}
+
+/// One client connection: buffered read half, raw write half, and the
+/// line/body scratch buffers reused across every response so the
+/// measurement loop itself allocates nothing per request.
+struct Conn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    line: String,
+    body: Vec<u8>,
+}
+
+impl Conn {
+    fn open(addr: SocketAddr) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        let writer = stream.try_clone()?;
+        Ok(Self {
+            reader: BufReader::new(stream),
+            writer,
+            line: String::with_capacity(128),
+            body: Vec::new(),
+        })
+    }
+
+    /// Writes `depth` pipelined requests in one syscall (`chunk` is
+    /// the request repeated `depth` times), then reads the matching
+    /// responses; returns how many were non-200. A server that cannot
+    /// handle pipelined requests shows up here as a framing error, not
+    /// a silent undercount.
+    fn exchange_pipelined(&mut self, chunk: &[u8], depth: usize) -> std::io::Result<u64> {
+        self.writer.write_all(chunk)?;
+        let mut failures = 0u64;
+        for _ in 0..depth {
+            if self.read_response()? != 200 {
+                failures += 1;
+            }
+        }
+        Ok(failures)
+    }
+
+    /// Writes one prebuilt request and reads one response, returning
+    /// its status code.
+    fn exchange(&mut self, request: &[u8]) -> std::io::Result<u16> {
+        self.writer.write_all(request)?;
+        self.read_response()
+    }
+
+    /// Reads one `content-length`-framed response off the connection.
+    fn read_response(&mut self) -> std::io::Result<u16> {
+        self.line.clear();
+        self.reader.read_line(&mut self.line)?;
+        let status: u16 = self
+            .line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("bad status line: {:?}", self.line),
+                )
+            })?;
+        let mut content_length = 0usize;
+        loop {
+            self.line.clear();
+            self.reader.read_line(&mut self.line)?;
+            let trimmed = self.line.trim_end();
+            if trimmed.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = trimmed.split_once(':') {
+                if name.eq_ignore_ascii_case("content-length") {
+                    if let Ok(parsed) = value.trim().parse::<usize>() {
+                        content_length = parsed;
+                    }
+                }
+            }
+        }
+        self.body.resize(content_length, 0);
+        self.reader.read_exact(&mut self.body)?;
+        Ok(status)
+    }
+}
+
+/// The `POST /v1/place` body the harness sends: one representative job
+/// (origin `DE`, 4 hours of work, 12 hours of slack, 150 ms SLO), or a
+/// JSON array of `batch` copies.
+pub fn place_body(batch: usize) -> String {
+    const JOB: &str = r#"{"origin":"DE","duration_hours":4,"slack_hours":12,"slo_ms":150}"#;
+    if batch <= 1 {
+        return JOB.to_string();
+    }
+    let mut body = String::with_capacity(2 + batch * (JOB.len() + 1));
+    body.push('[');
+    for i in 0..batch {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push_str(JOB);
+    }
+    body.push(']');
+    body
+}
+
+fn render_request(body: &str, keep_alive: bool) -> Vec<u8> {
+    format!(
+        "POST /v1/place HTTP/1.1\r\nhost: loadgen\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n{body}",
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    )
+    .into_bytes()
+}
+
+/// Nearest-rank percentile over an ascending-sorted slice.
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    use decarb_traces::builtin_dataset;
+
+    use crate::api::PlacementService;
+    use crate::server::Server;
+
+    fn boot(threads: usize) -> SocketAddr {
+        let service = Arc::new(PlacementService::new(builtin_dataset()));
+        let server = Server::bind("127.0.0.1:0", service).unwrap();
+        let addr = server.local_addr().unwrap();
+        std::thread::spawn(move || {
+            let _ = server.run(threads);
+        });
+        addr
+    }
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        let sorted: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&sorted, 50.0), 51);
+        assert_eq!(percentile(&sorted, 99.0), 99);
+        assert_eq!(percentile(&sorted, 100.0), 100);
+        assert_eq!(percentile(&[], 50.0), 0);
+    }
+
+    #[test]
+    fn batch_bodies_are_valid_json_arrays() {
+        assert!(place_body(1).starts_with('{'));
+        let body = place_body(3);
+        let parsed = decarb_json::parse(&body).unwrap();
+        let decarb_json::Value::Array(jobs) = parsed else {
+            panic!("expected array")
+        };
+        assert_eq!(jobs.len(), 3);
+    }
+
+    #[test]
+    fn keep_alive_load_runs_against_a_live_server() {
+        let addr = boot(2);
+        let report = LoadConfig {
+            connections: 2,
+            requests_per_connection: 25,
+            ..LoadConfig::default()
+        }
+        .run(addr)
+        .unwrap();
+        assert_eq!(report.requests, 50);
+        assert_eq!(report.failures, 0);
+        assert!(report.rps > 0.0);
+        assert!(report.p50_us <= report.p99_us);
+        assert!(report.p99_us <= report.max_us);
+    }
+
+    #[test]
+    fn pipelined_load_answers_every_request() {
+        let addr = boot(2);
+        // 25 requests at depth 8: two full chunks and a short tail per
+        // worker, all answered off one connection.
+        let report = LoadConfig {
+            connections: 2,
+            requests_per_connection: 25,
+            pipeline: 8,
+            ..LoadConfig::default()
+        }
+        .run(addr)
+        .unwrap();
+        assert_eq!(report.requests, 50);
+        assert_eq!(report.failures, 0);
+    }
+
+    #[test]
+    fn close_per_request_load_runs_against_a_live_server() {
+        let addr = boot(2);
+        let report = LoadConfig {
+            connections: 2,
+            requests_per_connection: 10,
+            batch: 4,
+            keep_alive: false,
+            ..LoadConfig::default()
+        }
+        .run(addr)
+        .unwrap();
+        assert_eq!(report.requests, 20);
+        assert_eq!(report.failures, 0);
+    }
+}

@@ -74,6 +74,15 @@ impl Endpoint {
 /// implicit overflow bucket follows.
 pub const LATENCY_BOUNDS_US: [u64; 8] = [50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000];
 
+/// Upper bounds of the requests-per-connection histogram (how well
+/// keep-alive amortizes connection setup); one overflow bucket
+/// follows.
+pub const REUSE_BOUNDS: [u64; 6] = [1, 2, 5, 10, 100, 1_000];
+
+/// Upper bounds of the batch-size histogram for batch `POST
+/// /v1/place` calls; one overflow bucket follows.
+pub const BATCH_BOUNDS: [u64; 5] = [1, 8, 64, 256, 1_000];
+
 /// Service counters; shared across worker threads behind an `Arc`.
 #[derive(Debug, Default)]
 pub struct Metrics {
@@ -82,6 +91,12 @@ pub struct Metrics {
     status_4xx: AtomicU64,
     status_5xx: AtomicU64,
     place_latency: [AtomicU64; 9],
+    connections: AtomicU64,
+    connection_requests: AtomicU64,
+    reuse_hist: [AtomicU64; 7],
+    batch_calls: AtomicU64,
+    batch_jobs: AtomicU64,
+    batch_hist: [AtomicU64; 6],
 }
 
 impl Metrics {
@@ -105,14 +120,23 @@ impl Metrics {
     /// Records one placement decision's service time.
     // decarb-analyze: hot-path
     pub fn observe_place_us(&self, us: u64) {
-        let mut slot = LATENCY_BOUNDS_US.len();
-        for (i, &bound) in LATENCY_BOUNDS_US.iter().enumerate() {
-            if us <= bound {
-                slot = i;
-                break;
-            }
-        }
-        self.place_latency[slot].fetch_add(1, Ordering::Relaxed);
+        self.place_latency[bucket(&LATENCY_BOUNDS_US, us)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one finished connection that served `requests` requests
+    /// (possibly zero: a probe that connected and left).
+    pub fn record_connection(&self, requests: u64) {
+        self.connections.fetch_add(1, Ordering::Relaxed);
+        self.connection_requests
+            .fetch_add(requests, Ordering::Relaxed);
+        self.reuse_hist[bucket(&REUSE_BOUNDS, requests)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one batch `POST /v1/place` call carrying `jobs` jobs.
+    pub fn record_batch(&self, jobs: u64) {
+        self.batch_calls.fetch_add(1, Ordering::Relaxed);
+        self.batch_jobs.fetch_add(jobs, Ordering::Relaxed);
+        self.batch_hist[bucket(&BATCH_BOUNDS, jobs)].fetch_add(1, Ordering::Relaxed);
     }
 
     /// Total requests across all endpoints.
@@ -137,20 +161,6 @@ impl Metrics {
                 })
                 .collect(),
         );
-        let mut buckets: Vec<(String, Value)> = LATENCY_BOUNDS_US
-            .iter()
-            .enumerate()
-            .map(|(i, bound)| {
-                (
-                    format!("le_{bound}us"),
-                    Value::from(self.place_latency[i].load(Ordering::Relaxed) as f64),
-                )
-            })
-            .collect();
-        buckets.push((
-            "overflow".to_string(),
-            Value::from(self.place_latency[8].load(Ordering::Relaxed) as f64),
-        ));
         Value::object([
             ("requests_total", Value::from(self.total_requests() as f64)),
             ("requests", requests),
@@ -171,9 +181,69 @@ impl Metrics {
                     ),
                 ]),
             ),
-            ("place_latency_us", Value::Object(buckets)),
+            (
+                "place_latency_us",
+                histogram(&LATENCY_BOUNDS_US, &self.place_latency, "us"),
+            ),
+            (
+                "connections",
+                Value::object([
+                    (
+                        "accepted",
+                        Value::from(self.connections.load(Ordering::Relaxed) as f64),
+                    ),
+                    (
+                        "requests_served",
+                        Value::from(self.connection_requests.load(Ordering::Relaxed) as f64),
+                    ),
+                    (
+                        "requests_per_connection",
+                        histogram(&REUSE_BOUNDS, &self.reuse_hist, ""),
+                    ),
+                ]),
+            ),
+            (
+                "batch",
+                Value::object([
+                    (
+                        "place_calls",
+                        Value::from(self.batch_calls.load(Ordering::Relaxed) as f64),
+                    ),
+                    (
+                        "place_jobs",
+                        Value::from(self.batch_jobs.load(Ordering::Relaxed) as f64),
+                    ),
+                    ("batch_size", histogram(&BATCH_BOUNDS, &self.batch_hist, "")),
+                ]),
+            ),
         ])
     }
+}
+
+/// The histogram slot for `v`: the first bucket whose bound admits it,
+/// or the trailing overflow slot.
+fn bucket(bounds: &[u64], v: u64) -> usize {
+    bounds.iter().position(|&b| v <= b).unwrap_or(bounds.len())
+}
+
+/// Renders cumulative-style bucket counters as `le_{bound}{suffix}`
+/// keys plus a trailing `overflow`.
+fn histogram(bounds: &[u64], counters: &[AtomicU64], suffix: &str) -> Value {
+    let mut buckets: Vec<(String, Value)> = bounds
+        .iter()
+        .zip(counters)
+        .map(|(bound, counter)| {
+            (
+                format!("le_{bound}{suffix}"),
+                Value::from(counter.load(Ordering::Relaxed) as f64),
+            )
+        })
+        .collect();
+    buckets.push((
+        "overflow".to_string(),
+        Value::from(counters[bounds.len()].load(Ordering::Relaxed) as f64),
+    ));
+    Value::Object(buckets)
 }
 
 #[cfg(test)]
@@ -210,5 +280,38 @@ mod tests {
         let responses = json.get("responses").unwrap();
         assert_eq!(responses.get("status_2xx"), Some(&Value::from(2.0)));
         assert_eq!(responses.get("status_4xx"), Some(&Value::from(1.0)));
+    }
+
+    #[test]
+    fn connection_reuse_counters_render() {
+        let m = Metrics::new();
+        m.record_connection(0);
+        m.record_connection(1);
+        m.record_connection(7);
+        m.record_connection(5_000);
+        let json = m.to_json();
+        let conns = json.get("connections").unwrap();
+        assert_eq!(conns.get("accepted"), Some(&Value::from(4.0)));
+        assert_eq!(conns.get("requests_served"), Some(&Value::from(5008.0)));
+        let hist = conns.get("requests_per_connection").unwrap();
+        assert_eq!(hist.get("le_1"), Some(&Value::from(2.0)));
+        assert_eq!(hist.get("le_10"), Some(&Value::from(1.0)));
+        assert_eq!(hist.get("overflow"), Some(&Value::from(1.0)));
+    }
+
+    #[test]
+    fn batch_counters_render() {
+        let m = Metrics::new();
+        m.record_batch(1);
+        m.record_batch(20);
+        m.record_batch(2_000);
+        let json = m.to_json();
+        let batch = json.get("batch").unwrap();
+        assert_eq!(batch.get("place_calls"), Some(&Value::from(3.0)));
+        assert_eq!(batch.get("place_jobs"), Some(&Value::from(2021.0)));
+        let hist = batch.get("batch_size").unwrap();
+        assert_eq!(hist.get("le_1"), Some(&Value::from(1.0)));
+        assert_eq!(hist.get("le_64"), Some(&Value::from(1.0)));
+        assert_eq!(hist.get("overflow"), Some(&Value::from(1.0)));
     }
 }

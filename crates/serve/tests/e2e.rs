@@ -27,8 +27,10 @@ fn boot() -> SocketAddr {
 
 fn request(addr: SocketAddr, method: &str, target: &str, body: &str) -> (u16, Value) {
     let mut stream = TcpStream::connect(addr).expect("connect");
+    // `Connection: close` lets the reader below drain to EOF instead
+    // of waiting out the server's keep-alive idle timeout.
     let raw = format!(
-        "{method} {target} HTTP/1.1\r\nHost: e2e\r\nContent-Length: {}\r\n\r\n{body}",
+        "{method} {target} HTTP/1.1\r\nHost: e2e\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
         body.len()
     );
     stream.write_all(raw.as_bytes()).expect("send");

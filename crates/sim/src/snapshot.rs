@@ -253,7 +253,43 @@ impl Snapshot {
     pub fn planner(&self, id: RegionId) -> Arc<TemporalPlanner> {
         self.planners.planner(id, self.traces.series_by_id(id))
     }
+
+    /// The configured same-hour admission limit (`usize::MAX` when
+    /// admission control is disabled).
+    pub fn capacity_per_hour(&self) -> usize {
+        self.capacity_per_hour
+    }
+
+    /// Whether admission control is active. When it is, placements
+    /// mutate the shared ledger, so query *order* matters and batches
+    /// must be answered sequentially to stay deterministic.
+    pub fn admission_limited(&self) -> bool {
+        self.capacity_per_hour != usize::MAX
+    }
+
+    /// Answers many placement queries, one result per request in input
+    /// order.
+    ///
+    /// With admission control disabled (the default), `place` never
+    /// *reads* the ledger's counts, so no answer depends on any other
+    /// and batches of at least [`PAR_BATCH_THRESHOLD`] fan out across
+    /// [`decarb_par::par_map`] worker threads — results are
+    /// bit-identical to the same requests answered sequentially. With
+    /// a capacity limit set, each answer feeds the next one's
+    /// admission state, so the batch runs sequentially in input order
+    /// (exactly N single calls).
+    pub fn place_batch(&self, requests: &[PlaceRequest]) -> Vec<Result<PlaceDecision, PlaceError>> {
+        if requests.len() >= PAR_BATCH_THRESHOLD && !self.admission_limited() {
+            decarb_par::par_map(requests, |r| self.place(r))
+        } else {
+            requests.iter().map(|r| self.place(r)).collect()
+        }
+    }
 }
+
+/// Smallest batch worth fanning out across threads — below this the
+/// scoped-thread spawn cost exceeds the ~6 µs/decision planner scan.
+pub const PAR_BATCH_THRESHOLD: usize = 16;
 
 #[cfg(test)]
 mod tests {
@@ -383,5 +419,53 @@ mod tests {
     fn generation_is_carried() {
         let snap = Snapshot::build(builtin_dataset(), 7);
         assert_eq!(snap.generation(), 7);
+    }
+
+    #[test]
+    fn parallel_batches_match_sequential_answers_bit_for_bit() {
+        let snap = snapshot();
+        assert!(!snap.admission_limited());
+        let origins = ["DE", "PL", "FR", "SE"];
+        // Past the parallel threshold, with varied shapes.
+        let requests: Vec<PlaceRequest> = (0..(PAR_BATCH_THRESHOLD * 2 + 3))
+            .map(|i| {
+                let mut r = req(&snap, origins[i % origins.len()], (i % 5) * 6, 150.0);
+                r.duration_hours = 1 + i % 4;
+                r.arrival = r.arrival.plus(i * 7);
+                r
+            })
+            .collect();
+        let sequential: Vec<_> = requests.iter().map(|r| snap.place(r)).collect();
+        let batched = snap.place_batch(&requests);
+        assert_eq!(batched, sequential);
+    }
+
+    #[test]
+    fn admission_limited_batches_run_in_input_order() {
+        let limited = Snapshot::build(builtin_dataset(), 1).with_capacity_per_hour(1);
+        assert!(limited.admission_limited());
+        assert_eq!(limited.capacity_per_hour(), 1);
+        let requests = vec![req(&limited, "PL", 0, f64::INFINITY); 3];
+        let batched = limited.place_batch(&requests);
+        // A fresh identical snapshot answered sequentially must agree:
+        // order is the contract under admission control.
+        let fresh = Snapshot::build(builtin_dataset(), 1).with_capacity_per_hour(1);
+        let sequential: Vec<_> = requests.iter().map(|r| fresh.place(r)).collect();
+        assert_eq!(batched, sequential);
+        let first = batched[0].as_ref().unwrap();
+        let second = batched[1].as_ref().unwrap();
+        assert_ne!(first.region, second.region, "capacity 1 must spill");
+    }
+
+    #[test]
+    fn batch_errors_stay_positional() {
+        let snap = snapshot();
+        let good = req(&snap, "DE", 0, 0.0);
+        let mut bad = good;
+        bad.duration_hours = 0;
+        let results = snap.place_batch(&[good, bad, good]);
+        assert!(results[0].is_ok());
+        assert_eq!(results[1], Err(PlaceError::ZeroDuration));
+        assert!(results[2].is_ok());
     }
 }
