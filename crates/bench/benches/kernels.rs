@@ -198,6 +198,80 @@ fn bench_region_lookup(h: &Harness) {
     });
 }
 
+/// The sub-hourly tentpole's throughput claim: the same year / five
+/// datacenters / 150 jobs as `kernels/sim/run_year_5dc_150jobs_agnostic`,
+/// but on a 5-minute axis (105,120 slots per trace, 12× denser).
+/// Event-driven stepping must hold the denser axis within ~3× the
+/// hourly row's wall-clock (acceptance bar recorded in BASELINE.md);
+/// the slot-stepped row is the reference semantics it replaced. The
+/// core row measures the planner's deferral query on the chunked
+/// prefix backend at the same 105k-sample scale.
+fn bench_subhourly(h: &Harness) {
+    use decarb_sim::Stepping;
+    use decarb_traces::time::hours_in_year;
+    use decarb_traces::{Resolution, TraceSet};
+
+    let data = builtin_dataset();
+    let start = year_start(2022);
+    let hours = hours_in_year(2022);
+    let codes = ["US-CA", "DE", "GB", "SE", "IN-WE"];
+    let year = TraceSet::from_series(
+        data.iter()
+            .filter(|(r, _)| codes.contains(&r.code.as_str()))
+            .map(|(r, s)| {
+                (
+                    r.clone(),
+                    s.slice(start, hours).expect("builtin covers 2022"),
+                )
+            })
+            .collect(),
+    );
+    let five_min = Resolution::from_minutes(5).expect("5 divides 60");
+    let fine = year
+        .resample_to(five_min)
+        .expect("hourly embeds losslessly");
+    let regions: Vec<RegionId> = codes
+        .iter()
+        .map(|c| fine.id_of(c).expect("bench region"))
+        .collect();
+    let fine_start = Hour(start.0 * 12);
+    let jobs: Vec<Job> = (0..150u64)
+        .map(|i| {
+            let origin = regions[(i % 5) as usize];
+            Job::batch(
+                i,
+                origin,
+                Hour(start.plus(11 + (i as usize / 5) * 263).0 * 12),
+                24.0,
+                Slack::Week,
+            )
+            .with_interruptible()
+        })
+        .collect();
+    let horizon = hours * 12;
+    h.bench("kernels/sim/subhourly_year_event_driven", || {
+        let config = SimConfig::new(fine_start, horizon, 64).with_stepping(Stepping::EventDriven);
+        let mut sim = Simulator::new(&fine, &regions, config);
+        black_box(sim.run(&mut CarbonAgnostic, &jobs))
+    });
+    h.bench("kernels/sim/subhourly_year_slot_stepped", || {
+        let config = SimConfig::new(fine_start, horizon, 64).with_stepping(Stepping::SlotPerSlot);
+        let mut sim = Simulator::new(&fine, &regions, config);
+        black_box(sim.run(&mut CarbonAgnostic, &jobs))
+    });
+    let series = fine.series_by_id(regions[1]);
+    let planner = TemporalPlanner::with_resolution(series, five_min);
+    let last_start = series.len() - (24 + 168) * 12;
+    h.bench("kernels/core/sweep_5min", || {
+        let mut acc = 0.0;
+        for offset in (0..last_start).step_by(97) {
+            let p = planner.best_deferred(Hour(fine_start.0 + offset as u32), 24 * 12, 168 * 12);
+            acc += p.cost_g;
+        }
+        black_box(acc)
+    });
+}
+
 /// Dataset cold start: parsing the year-long 123-zone CSV export
 /// against decoding the equivalent binary trace container (plus the
 /// one-time packing cost). Both inputs live in memory, so the rows
@@ -493,6 +567,7 @@ fn main() {
     bench_kernel_period(&h);
     bench_sliding_structure_scaling(&h);
     bench_kernel_sim(&h);
+    bench_subhourly(&h);
     bench_region_lookup(&h);
     bench_trace_container(&h);
     bench_planner_cache(&h);

@@ -173,13 +173,19 @@ pub enum Command {
 /// The `data` subcommands (binary trace containers).
 #[derive(Debug, Clone, PartialEq)]
 pub enum DataCommand {
-    /// `data pack <CSV|builtin> [--regions FILE] -o FILE` — encode a
-    /// CSV dataset (or the built-in one) as a binary container.
+    /// `data pack <CSV|builtin> [--regions FILE] [--resolution MIN]
+    /// -o FILE` — encode a CSV dataset (or the built-in one) as a
+    /// binary container.
     Pack {
         /// Source CSV path, or the literal `builtin`.
         source: String,
         /// Optional region-metadata sidecar for the CSV.
         regions: Option<String>,
+        /// Re-express the dataset on a MIN-minute axis before packing
+        /// (must divide 60; hourly sources embed losslessly). Declare a
+        /// CSV's *native* sub-hourly cadence with a `[dataset]
+        /// resolution` sidecar section instead.
+        resolution: Option<u32>,
         /// Output container path.
         out: String,
     },
@@ -309,8 +315,10 @@ commands:
                                        fail on monotonic multi-commit drift
   scenario diff --report R --golden G [--tolerance-pct P]
                                        fail when per-scenario emissions drift
-  data pack <CSV|builtin> [--regions FILE] -o FILE
+  data pack <CSV|builtin> [--regions FILE] [--resolution MIN] -o FILE
                                        encode a dataset as a binary container
+                                       (--resolution re-expresses it on a
+                                       finer MIN-minute axis; MIN divides 60)
   data probe <FILE> [--json]           verify a container, print header facts
   data append <FILE> --from CSV [--pad]
                                        append new hours without rewriting history
@@ -536,6 +544,7 @@ fn parse_data(rest: &[String]) -> Result<Command, ParseError> {
             };
             let mut regions: Option<String> = None;
             let mut out: Option<String> = None;
+            let mut resolution: Option<u32> = None;
             let mut i = 2;
             while i < rest.len() {
                 match rest[i].as_str() {
@@ -545,6 +554,21 @@ fn parse_data(rest: &[String]) -> Result<Command, ParseError> {
                         };
                         if regions.replace(path.clone()).is_some() {
                             return Err(ParseError("`--regions` given twice".into()));
+                        }
+                        i += 2;
+                    }
+                    "--resolution" => {
+                        let Some(raw) = rest.get(i + 1) else {
+                            return Err(ParseError("`--resolution` needs minutes".into()));
+                        };
+                        let minutes: u32 = raw.parse().map_err(|_| {
+                            ParseError(format!("bad `--resolution {raw}` (minutes)"))
+                        })?;
+                        // Validate divisor-of-60 semantics at the edge so
+                        // `--resolution 7` fails before any file is read.
+                        decarb_traces::Resolution::from_minutes(minutes).map_err(ParseError)?;
+                        if resolution.replace(minutes).is_some() {
+                            return Err(ParseError("`--resolution` given twice".into()));
                         }
                         i += 2;
                     }
@@ -575,6 +599,7 @@ fn parse_data(rest: &[String]) -> Result<Command, ParseError> {
             Ok(Command::Data(DataCommand::Pack {
                 source: source.clone(),
                 regions,
+                resolution,
                 out,
             }))
         }
@@ -1721,6 +1746,7 @@ mod tests {
             Command::Data(DataCommand::Pack {
                 source: "in.csv".into(),
                 regions: None,
+                resolution: None,
                 out: "out.dct".into(),
             })
         );
@@ -1738,6 +1764,7 @@ mod tests {
             Command::Data(DataCommand::Pack {
                 source: "in.csv".into(),
                 regions: Some("meta.toml".into()),
+                resolution: None,
                 out: "out.dct".into(),
             })
         );
@@ -1746,7 +1773,26 @@ mod tests {
             Command::Data(DataCommand::Pack {
                 source: "builtin".into(),
                 regions: None,
+                resolution: None,
                 out: "golden.dct".into(),
+            })
+        );
+        assert_eq!(
+            parse(&argv(&[
+                "data",
+                "pack",
+                "builtin",
+                "--resolution",
+                "5",
+                "-o",
+                "fine.dct"
+            ]))
+            .unwrap(),
+            Command::Data(DataCommand::Pack {
+                source: "builtin".into(),
+                regions: None,
+                resolution: Some(5),
+                out: "fine.dct".into(),
             })
         );
         assert!(parse(&argv(&["data", "pack"])).is_err());
@@ -1763,6 +1809,49 @@ mod tests {
         ]))
         .is_err());
         assert!(parse(&argv(&["data", "pack", "a", "-o", "x", "-o", "y"])).is_err());
+    }
+
+    #[test]
+    fn data_pack_rejects_invalid_resolutions() {
+        // Must divide 60 and lie in 1..=60; junk and duplicates fail too.
+        for bad in ["7", "90", "0", "61", "soon", "-5"] {
+            let out = parse(&argv(&[
+                "data",
+                "pack",
+                "builtin",
+                "--resolution",
+                bad,
+                "-o",
+                "x.dct",
+            ]));
+            assert!(out.is_err(), "--resolution {bad} should be rejected");
+        }
+        assert!(parse(&argv(&["data", "pack", "builtin", "--resolution"])).is_err());
+        assert!(parse(&argv(&[
+            "data",
+            "pack",
+            "builtin",
+            "--resolution",
+            "5",
+            "--resolution",
+            "5",
+            "-o",
+            "x.dct"
+        ]))
+        .is_err());
+        // Every divisor of 60 parses.
+        for good in ["1", "5", "10", "15", "30", "60"] {
+            let out = parse(&argv(&[
+                "data",
+                "pack",
+                "builtin",
+                "--resolution",
+                good,
+                "-o",
+                "x.dct",
+            ]));
+            assert!(out.is_ok(), "--resolution {good} should parse");
+        }
     }
 
     #[test]

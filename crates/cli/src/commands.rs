@@ -758,21 +758,35 @@ pub(crate) fn data_cmd(cmd: &DataCommand) -> Result<String, CliError> {
         DataCommand::Pack {
             source,
             regions,
+            resolution,
             out,
-        } => data_pack(source, regions.as_deref(), out),
+        } => data_pack(source, regions.as_deref(), *resolution, out),
         DataCommand::Probe { file, json } => data_probe(file, *json),
         DataCommand::Append { file, from, pad } => data_append(file, from, *pad),
     }
 }
 
 /// `data pack`: encodes a CSV dataset (or the built-in one) as a binary
-/// container, written atomically.
-fn data_pack(source: &str, regions: Option<&str>, out: &str) -> Result<String, CliError> {
-    let set = if source == "builtin" {
+/// container, written atomically. `--resolution MIN` re-expresses the
+/// dataset on a finer axis first (hourly samples embed losslessly by
+/// repetition), so `data pack builtin --resolution 5` yields a
+/// sub-hourly container without any external data.
+fn data_pack(
+    source: &str,
+    regions: Option<&str>,
+    resolution: Option<u32>,
+    out: &str,
+) -> Result<String, CliError> {
+    let mut set = if source == "builtin" {
         (*decarb_traces::builtin_dataset()).clone()
     } else {
         crate::load_dataset(source, regions)?
     };
+    if let Some(minutes) = resolution {
+        let target = decarb_traces::Resolution::from_minutes(minutes)
+            .map_err(|e| CliError::Parse(ParseError(e)))?;
+        set = set.resample_to(target)?;
+    }
     let bytes = container::encode(&set).map_err(|e| match e {
         TraceError::Container { reason, .. } => TraceError::Container {
             path: source.to_string(),
@@ -782,10 +796,19 @@ fn data_pack(source: &str, regions: Option<&str>, out: &str) -> Result<String, C
     })?;
     container::write_bytes_atomic(out, &bytes)?;
     let info = container::probe(&bytes, out)?;
+    // "hours" on the hourly axis, explicit sample cadence otherwise.
+    let span = if info.resolution_minutes == 60 {
+        format!("{} hours", info.hours)
+    } else {
+        format!(
+            "{} samples at {} min/sample",
+            info.hours, info.resolution_minutes
+        )
+    };
     Ok(format!(
-        "packed {} regions × {} hours into {out} \
+        "packed {} regions × {span} into {out} \
          ({} bytes, fnv1a64:{:016x})",
-        info.regions, info.hours, info.file_bytes, info.content_hash
+        info.regions, info.file_bytes, info.content_hash
     ))
 }
 

@@ -132,7 +132,9 @@ pub fn run(command: &Command) -> Result<String, CliError> {
 /// `regions_path` optionally names a `[region CODE]` metadata sidecar
 /// (see `decarb_traces::sidecar`) describing zones outside the built-in
 /// catalog; zones with neither catalog nor sidecar metadata are
-/// interned with defaults instead of being rejected.
+/// interned with defaults instead of being rejected. A sidecar
+/// `[dataset] resolution = MIN` section declares the CSV rows' sample
+/// cadence — without one, rows are hourly.
 pub fn load_dataset(path: &str, regions_path: Option<&str>) -> Result<TraceSet, CliError> {
     let bytes =
         std::fs::read(path).map_err(|e| decarb_traces::TraceError::Io(format!("{path}: {e}")))?;
@@ -145,13 +147,14 @@ pub fn load_dataset(path: &str, regions_path: Option<&str>) -> Result<TraceSet, 
         }
         return Ok(container::decode(&bytes, path)?);
     }
-    let extra = match regions_path {
-        None => Vec::new(),
+    let (extra, declared_resolution) = match regions_path {
+        None => (Vec::new(), None),
         Some(sidecar_path) => {
             let text = std::fs::read_to_string(sidecar_path)
                 .map_err(|e| CliError::Parse(ParseError(format!("{sidecar_path}: {e}"))))?;
-            decarb_traces::parse_region_sidecar(&text)
-                .map_err(|e| CliError::Parse(ParseError(format!("{sidecar_path}: {e}"))))?
+            let doc = decarb_traces::parse_sidecar(&text)
+                .map_err(|e| CliError::Parse(ParseError(format!("{sidecar_path}: {e}"))))?;
+            (doc.regions, doc.resolution)
         }
     };
     let text = String::from_utf8(bytes)
@@ -175,7 +178,13 @@ pub fn load_dataset(path: &str, regions_path: Option<&str>) -> Result<TraceSet, 
             Ok((region.clone(), series))
         })
         .collect::<Result<Vec<_>, CliError>>()?;
-    Ok(TraceSet::from_series(pairs))
+    let set = TraceSet::from_series(pairs);
+    // The sidecar declared the rows' cadence; the series' slot anchors
+    // and lengths are already counts on that axis, so stamping suffices.
+    Ok(match declared_resolution {
+        Some(resolution) => set.with_resolution(resolution),
+        None => set,
+    })
 }
 
 /// An imported `--data` dataset together with the paths it came from

@@ -676,6 +676,102 @@ fn data_pack_probe_append_flow_with_auto_detection() {
 }
 
 #[test]
+fn data_pack_resolution_produces_a_subhourly_container() {
+    let dir = std::env::temp_dir();
+    let csv = write_fixture_csv("decarb_cli_e2e_subhourly.csv", 0, 48);
+    let packed = dir.join("decarb_cli_e2e_subhourly.dct");
+
+    // Hourly rows re-expressed on a 5-minute axis: 48 h → 576 samples.
+    let out = decarb_cli(&[
+        "data",
+        "pack",
+        csv.to_str().unwrap(),
+        "--resolution",
+        "5",
+        "-o",
+        packed.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("576 samples at 5 min/sample"), "{text}");
+
+    let out = decarb_cli(&["data", "probe", packed.to_str().unwrap(), "--json"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let doc = decarb_json::parse(&stdout(&out)).expect("probe --json parses");
+    match doc.get("resolution_minutes") {
+        Some(decarb_json::Value::Number(n)) => assert_eq!(*n as u32, 5),
+        other => panic!("resolution_minutes: {other:?}"),
+    }
+    match doc.get("hours") {
+        Some(decarb_json::Value::Number(n)) => assert_eq!(*n as usize, 576),
+        other => panic!("hours: {other:?}"),
+    }
+
+    // Non-divisors of 60 (and values over 60) are rejected at parse time,
+    // before any file is touched.
+    for bad in ["7", "90", "0"] {
+        let out = decarb_cli(&[
+            "data",
+            "pack",
+            csv.to_str().unwrap(),
+            "--resolution",
+            bad,
+            "-o",
+            packed.to_str().unwrap(),
+        ]);
+        assert_eq!(out.status.code(), Some(2), "--resolution {bad}");
+        assert!(
+            stderr(&out).contains("invalid resolution"),
+            "--resolution {bad}: {}",
+            stderr(&out)
+        );
+    }
+
+    std::fs::remove_file(&csv).ok();
+    std::fs::remove_file(&packed).ok();
+}
+
+#[test]
+fn sidecar_dataset_resolution_stamps_imported_csv() {
+    let dir = std::env::temp_dir();
+    // 96 rows per zone, declared as 30-minute samples by the sidecar:
+    // the dataset spans 48 wall-clock hours, not 96.
+    let csv = write_fixture_csv("decarb_cli_e2e_sidecar_res.csv", 0, 96);
+    let sidecar = dir.join("decarb_cli_e2e_sidecar_res.toml");
+    std::fs::write(&sidecar, "[dataset]\nresolution = 30\n").unwrap();
+    let packed = dir.join("decarb_cli_e2e_sidecar_res.dct");
+
+    let out = decarb_cli(&[
+        "data",
+        "pack",
+        csv.to_str().unwrap(),
+        "--regions",
+        sidecar.to_str().unwrap(),
+        "-o",
+        packed.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(
+        stdout(&out).contains("96 samples at 30 min/sample"),
+        "{}",
+        stdout(&out)
+    );
+
+    // The declared cadence round-trips through the container.
+    let out = decarb_cli(&["data", "probe", packed.to_str().unwrap(), "--json"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let doc = decarb_json::parse(&stdout(&out)).expect("probe --json parses");
+    match doc.get("resolution_minutes") {
+        Some(decarb_json::Value::Number(n)) => assert_eq!(*n as u32, 30),
+        other => panic!("resolution_minutes: {other:?}"),
+    }
+
+    std::fs::remove_file(&csv).ok();
+    std::fs::remove_file(&sidecar).ok();
+    std::fs::remove_file(&packed).ok();
+}
+
+#[test]
 fn corrupted_container_behind_data_exits_2() {
     let dir = std::env::temp_dir();
     let csv = write_fixture_csv("decarb_cli_e2e_corrupt.csv", 0, 48);

@@ -17,7 +17,7 @@
 //! (deferral) and a two-multiset sliding structure (interruptibility) for
 //! O(n) / O(n log n) totals instead of O(n · window).
 
-use decarb_traces::{Hour, PrefixSum, TimeSeries};
+use decarb_traces::{ChunkedPrefix, Hour, PrefixSum, Resolution, TimeSeries};
 
 use crate::ksmallest::SlidingKSmallest;
 
@@ -42,22 +42,70 @@ pub struct Placement {
     pub cost_g: f64,
 }
 
+/// Window-sum backend: hourly planners keep the flat [`PrefixSum`]
+/// (bit-identical to the pre-sub-hourly code paths); sub-hourly
+/// planners use the two-level [`ChunkedPrefix`], whose blocked layout
+/// keeps window queries cache-friendly on 105 k-sample year traces.
+#[derive(Debug, Clone)]
+enum Prefix {
+    Flat(PrefixSum),
+    Chunked(ChunkedPrefix),
+}
+
+impl Prefix {
+    #[inline]
+    fn sum(&self, from: Hour, len: usize) -> f64 {
+        match self {
+            Prefix::Flat(p) => p.sum(from, len),
+            Prefix::Chunked(p) => p.sum(from, len),
+        }
+    }
+}
+
 /// A temporal scheduling planner over one region's carbon trace.
+///
+/// The planner is resolution-agnostic: `Hour` values are *slot*
+/// indices on whatever axis the series uses, and `slots`/`slack`
+/// arguments are slot counts. Callers with wall-clock inputs convert
+/// once at the edge (see `Job::length_slots_at` and friends) before
+/// querying. [`TemporalPlanner::with_resolution`] records the axis and
+/// picks the window-sum backend accordingly.
 #[derive(Debug, Clone)]
 pub struct TemporalPlanner {
     start: Hour,
     values: Vec<f64>,
-    prefix: PrefixSum,
+    prefix: Prefix,
+    resolution: Resolution,
 }
 
 impl TemporalPlanner {
-    /// Builds a planner over `series`.
+    /// Builds a planner over an hourly `series`.
     pub fn new(series: &TimeSeries) -> Self {
+        Self::with_resolution(series, Resolution::HOURLY)
+    }
+
+    /// Builds a planner over `series` sampled at `resolution`.
+    ///
+    /// Hourly planners keep the flat prefix sum so existing results are
+    /// bit-for-bit stable; sub-hourly planners switch to the chunked
+    /// backend.
+    pub fn with_resolution(series: &TimeSeries, resolution: Resolution) -> Self {
+        let prefix = if resolution.is_hourly() {
+            Prefix::Flat(series.prefix_sum())
+        } else {
+            Prefix::Chunked(series.chunked_prefix())
+        };
         Self {
             start: series.start(),
             values: series.values().to_vec(),
-            prefix: series.prefix_sum(),
+            prefix,
+            resolution,
         }
+    }
+
+    /// Returns the sample resolution of the planner's trace axis.
+    pub fn resolution(&self) -> Resolution {
+        self.resolution
     }
 
     /// Returns the first hour covered by the trace.
@@ -416,6 +464,44 @@ mod tests {
     #[should_panic(expected = "runs past trace end")]
     fn baseline_past_end_panics() {
         sawtooth().baseline_cost(Hour(13), 2);
+    }
+
+    #[test]
+    fn sub_hourly_planner_matches_hourly_backend() {
+        // Integer-valued pseudorandom trace long enough to cross a
+        // ChunkedPrefix block boundary, so both backends sum exactly.
+        let mut x = 3u64;
+        let values: Vec<f64> = (0..9000)
+            .map(|_| {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((x >> 33) % 900) as f64
+            })
+            .collect();
+        let series = TimeSeries::new(Hour(0), values);
+        let five = Resolution::from_minutes(5).unwrap();
+        let fine = TemporalPlanner::with_resolution(&series, five);
+        assert_eq!(fine.resolution(), five);
+        let flat = TemporalPlanner::new(&series);
+        assert_eq!(flat.resolution(), Resolution::HOURLY);
+        for arrival in [0u32, 100, 4095, 4096, 8000] {
+            let d = flat.best_deferred(Hour(arrival), 24, 288);
+            let f = fine.best_deferred(Hour(arrival), 24, 288);
+            assert_eq!(d.start, f.start, "arrival {arrival}");
+            assert_eq!(d.cost_g, f.cost_g, "arrival {arrival}");
+            assert_eq!(
+                flat.baseline_cost(Hour(arrival), 24),
+                fine.baseline_cost(Hour(arrival), 24)
+            );
+            assert_eq!(
+                flat.best_interruptible(Hour(arrival), 24, 288),
+                fine.best_interruptible(Hour(arrival), 24, 288)
+            );
+        }
+        let a = flat.deferral_sweep(Hour(0), 512, 24, 288);
+        let b = fine.deferral_sweep(Hour(0), 512, 24, 288);
+        assert_eq!(a, b);
     }
 
     #[test]

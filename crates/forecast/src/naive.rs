@@ -6,7 +6,7 @@
 //! beat at day-ahead leads, which is exactly why the paper's §4.3
 //! periodicity analysis matters for temporal shifting.
 
-use decarb_traces::TimeSeries;
+use decarb_traces::{Resolution, TimeSeries};
 
 use crate::model::{tail, Forecaster};
 
@@ -42,7 +42,8 @@ pub struct SeasonalNaive {
 }
 
 impl SeasonalNaive {
-    /// Creates a seasonal naive with an arbitrary period in hours.
+    /// Creates a seasonal naive with an arbitrary period in samples of
+    /// the trace axis (hours on hourly data).
     ///
     /// # Panics
     ///
@@ -57,13 +58,20 @@ impl SeasonalNaive {
         Self::new(24)
     }
 
+    /// One-day period on an axis sampled at `resolution`: 24 samples
+    /// hourly, 288 at 5-minute resolution. On a 12×-repeated trace the
+    /// prediction is the slot-wise expansion of [`SeasonalNaive::daily`].
+    pub fn daily_at(resolution: Resolution) -> Self {
+        Self::new(resolution.slots_per_day())
+    }
+
     /// Same hour last week (168-hour period), capturing weekday/weekend
     /// effects.
     pub fn weekly() -> Self {
         Self::new(168)
     }
 
-    /// Returns the seasonal period in hours.
+    /// Returns the seasonal period in samples.
     pub fn period(&self) -> usize {
         self.period
     }
@@ -130,6 +138,13 @@ mod tests {
     fn weekly_period_accessor() {
         assert_eq!(SeasonalNaive::weekly().period(), 168);
         assert_eq!(SeasonalNaive::daily().period(), 24);
+    }
+
+    #[test]
+    fn daily_period_scales_with_resolution() {
+        let five = Resolution::from_minutes(5).unwrap();
+        assert_eq!(SeasonalNaive::daily_at(five).period(), 288);
+        assert_eq!(SeasonalNaive::daily_at(Resolution::HOURLY).period(), 24);
     }
 
     #[test]

@@ -353,15 +353,21 @@ impl PlacementService {
             ));
         }
         let model = req.query("model").unwrap_or("seasonal");
+        // `hours` is wall-clock; on a sub-hourly dataset the forecast
+        // covers the same span with proportionally more samples, and
+        // `start_hour` is an index on that finer slot axis.
+        let resolution = snap.traces().resolution();
+        let sph = resolution.slots_per_hour();
         let series = snap.traces().series_by_id(id);
-        let history_len = FORECAST_HISTORY_HOURS.min(series.len());
+        let history_len = (FORECAST_HISTORY_HOURS * sph).min(series.len());
         let from = Hour(series.end().0 - history_len as u32);
         let history = series
             .slice(from, history_len)
             .map_err(|e| ApiError::new(500, "internal", format!("history slice failed: {e}")))?;
+        let horizon = hours as usize * sph;
         let predicted = match model {
-            "seasonal" => SeasonalNaive::daily().predict_series(&history, hours as usize),
-            "persistence" => Persistence.predict_series(&history, hours as usize),
+            "seasonal" => SeasonalNaive::daily_at(resolution).predict_series(&history, horizon),
+            "persistence" => Persistence.predict_series(&history, horizon),
             other => {
                 return Err(ApiError::bad_request(
                     "unknown-model",
@@ -373,7 +379,12 @@ impl PlacementService {
             ("zone", Value::from(zone)),
             ("model", Value::from(model)),
             ("start_hour", Value::from(f64::from(predicted.start().0))),
-            ("hours", Value::from(predicted.len() as f64)),
+            ("hours", Value::from(hours as f64)),
+            (
+                "resolution_minutes",
+                Value::from(f64::from(resolution.minutes())),
+            ),
+            ("samples", Value::from(predicted.len() as f64)),
             (
                 "values_g_per_kwh",
                 Value::array(predicted.values().iter().map(|&v| Value::from(v))),
@@ -627,6 +638,52 @@ mod tests {
 
     fn post(target: &str, body: &str) -> Request {
         Request::synthetic("POST", target, &[], body.as_bytes())
+    }
+
+    #[test]
+    fn subhourly_dataset_scales_forecast_and_place_responses() {
+        use decarb_traces::{Resolution, TimeSeries, TraceSet};
+        // A 30-day single-zone hourly trace re-expressed at 5 minutes:
+        // wall-clock `hours` stay the request unit, samples scale 12×.
+        let de = decarb_traces::catalog::region("DE").unwrap().clone();
+        let start = year_start(2022);
+        let values: Vec<f64> = (0..24 * 30).map(|i| 100.0 + (i % 24) as f64).collect();
+        let hourly = TraceSet::from_series(vec![(de, TimeSeries::new(start, values))]);
+        let fine = hourly
+            .resample_to(Resolution::from_minutes(5).unwrap())
+            .unwrap();
+        let svc = PlacementService::new(Arc::new(fine));
+
+        let (status, text) = svc.handle(&get("/v1/forecast/DE?hours=24"));
+        assert_eq!(status, 200, "{text}");
+        let json = decarb_json::parse(&text).unwrap();
+        assert_eq!(json.get("hours"), Some(&Value::from(24.0)));
+        assert_eq!(json.get("resolution_minutes"), Some(&Value::from(5.0)));
+        assert_eq!(json.get("samples"), Some(&Value::from(288.0)));
+        let Some(Value::Array(values)) = json.get("values_g_per_kwh") else {
+            panic!("values missing")
+        };
+        assert_eq!(values.len(), 288);
+
+        // Placement: wall-clock duration/slack, slot-axis arrival.
+        let arrival = (start.0 + 10 * 24) * 12;
+        let body = format!(
+            r#"{{"origin":"DE","duration_hours":6,"slack_hours":24,"arrival_hour":{arrival}}}"#
+        );
+        let (status, text) = svc.handle(&post("/v1/place", &body));
+        assert_eq!(status, 200, "{text}");
+        let json = decarb_json::parse(&text).unwrap();
+        let Some(Value::Number(start_slot)) = json.get("start_hour") else {
+            panic!("start_hour missing")
+        };
+        // The diurnal minimum (hour 0 of the cycle) is hour-aligned.
+        assert_eq!(*start_slot as u32 % 12, 0);
+        // Grams are normalized to whole hours of draw: a 6-hour run in
+        // the cheapest window of this cycle costs 100..=105 g/kWh ×6 h.
+        let Some(Value::Number(cost)) = json.get("cost_g") else {
+            panic!("cost_g missing")
+        };
+        assert!((600.0..=640.0).contains(cost), "cost_g {cost}");
     }
 
     #[test]

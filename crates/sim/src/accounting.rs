@@ -2,7 +2,7 @@
 
 use std::collections::HashMap;
 
-use decarb_traces::{Hour, RegionId};
+use decarb_traces::{Hour, RegionId, Resolution};
 use decarb_workloads::Job;
 
 /// A job that finished during the simulation.
@@ -23,16 +23,25 @@ pub struct CompletedJob {
 }
 
 impl CompletedJob {
-    /// Hours the job waited between arrival and first execution.
+    /// Slots of the trace axis the job waited between arrival and first
+    /// execution (hours on hourly data).
     pub fn wait_hours(&self) -> usize {
         (self.started.0.saturating_sub(self.job.arrival.0)) as usize
     }
 
     /// The job's slowdown: elapsed residence time over its pure execution
-    /// time (1.0 means it ran immediately and uninterrupted).
+    /// time (1.0 means it ran immediately and uninterrupted). Assumes the
+    /// hourly axis; use [`CompletedJob::slowdown_at`] on sub-hourly runs.
     pub fn slowdown(&self) -> f64 {
+        self.slowdown_at(Resolution::HOURLY)
+    }
+
+    /// [`CompletedJob::slowdown`] on the axis the run stepped on:
+    /// elapsed and execution time are both counted in `resolution`
+    /// slots, so the ratio is axis-independent.
+    pub fn slowdown_at(&self, resolution: Resolution) -> f64 {
         let elapsed = (self.finished.0 - self.job.arrival.0 + 1) as f64;
-        elapsed / self.job.length_slots() as f64
+        elapsed / self.job.length_slots_at(resolution) as f64
     }
 }
 
@@ -68,6 +77,10 @@ pub struct SimReport {
     /// Emissions of that overhead energy, g·CO2eq (included in
     /// `total_emissions_g`).
     pub overhead_g: f64,
+    /// Sample resolution of the axis the run stepped on (hourly unless
+    /// the dataset was sub-hourly); `started`/`finished`/waits are slot
+    /// indices and counts on this axis.
+    pub resolution: Resolution,
 }
 
 impl SimReport {
@@ -99,24 +112,31 @@ impl SimReport {
             .map(|c| c.emitted_g)
     }
 
-    /// Mean wait (arrival → first run) over completed jobs, hours.
+    /// Mean wait (arrival → first run) over completed jobs, in hours
+    /// whatever the run's resolution.
     pub fn mean_wait_hours(&self) -> f64 {
+        if self.completed.is_empty() {
+            return 0.0;
+        }
+        let sph = self.resolution.slots_per_hour() as f64;
+        self.completed
+            .iter()
+            .map(|c| c.wait_hours() as f64 / sph)
+            .sum::<f64>()
+            / self.completed.len() as f64
+    }
+
+    /// Mean slowdown over completed jobs (1.0 = no delay, no interruption),
+    /// computed on the run's own axis so it is resolution-independent.
+    pub fn mean_slowdown(&self) -> f64 {
         if self.completed.is_empty() {
             return 0.0;
         }
         self.completed
             .iter()
-            .map(|c| c.wait_hours() as f64)
+            .map(|c| c.slowdown_at(self.resolution))
             .sum::<f64>()
             / self.completed.len() as f64
-    }
-
-    /// Mean slowdown over completed jobs (1.0 = no delay, no interruption).
-    pub fn mean_slowdown(&self) -> f64 {
-        if self.completed.is_empty() {
-            return 0.0;
-        }
-        self.completed.iter().map(|c| c.slowdown()).sum::<f64>() / self.completed.len() as f64
     }
 }
 

@@ -1,6 +1,6 @@
 //! Datacenter and cloud state.
 
-use decarb_traces::{Hour, RegionId, TraceSet};
+use decarb_traces::{Hour, RegionId, Resolution, TraceSet};
 use decarb_workloads::Job;
 
 /// A running (or suspended) job instance inside a datacenter.
@@ -8,26 +8,56 @@ use decarb_workloads::Job;
 pub struct RunningJob {
     /// The job being executed.
     pub job: Job,
-    /// Hours of work still to perform.
+    /// Slots of work still to perform (hours on an hourly axis).
     pub remaining_slots: usize,
-    /// Emissions accumulated so far (g·CO2eq).
+    /// Emissions accumulated so far (g·CO2eq). The hourly engine
+    /// accrues here per slot; sub-hourly runs accumulate raw CI into
+    /// [`RunningJob::ci_sum`] instead and convert once at fold time.
     pub emitted_g: f64,
+    /// Sum of the carbon-intensity samples over every executed slot
+    /// (sub-hourly accounting; see `RunningJob::fold_emissions`-style
+    /// conversion in the engine). Zero on the hourly path.
+    pub ci_sum: f64,
     /// Whether the job is currently suspended.
     pub suspended: bool,
     /// Hour of the job's first executed slot, once it has run.
     pub started: Option<Hour>,
+    /// Cached policy verdict for interruptible jobs: sub-hourly runs
+    /// consult `Policy::should_run` only at hour boundaries (the
+    /// policies' decision cadence) and replay this verdict on the
+    /// slots in between. Unused (always `true`) on the hourly path.
+    pub cached_decision: bool,
+    /// `true` until the policy has been consulted once: a job admitted
+    /// mid-hour gets its verdict at admission rather than waiting for
+    /// the next hour boundary.
+    pub decision_pending: bool,
 }
 
 impl RunningJob {
-    /// Creates a freshly admitted (not yet running) instance.
+    /// Creates a freshly admitted (not yet running) instance on the
+    /// hourly axis.
     pub fn admitted(job: Job) -> Self {
         let remaining = job.length_slots();
         Self {
             job,
             remaining_slots: remaining,
             emitted_g: 0.0,
+            ci_sum: 0.0,
             suspended: true,
             started: None,
+            cached_decision: true,
+            decision_pending: true,
+        }
+    }
+
+    /// Creates a freshly admitted instance on a trace axis sampled at
+    /// `resolution`: the remaining work is the job's length in *slots*
+    /// of that axis.
+    pub fn admitted_at(job: Job, resolution: Resolution) -> Self {
+        let remaining = job.length_slots_at(resolution);
+        Self {
+            remaining_slots: remaining,
+            ..Self::admitted(job)
         }
     }
 

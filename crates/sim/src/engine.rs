@@ -1,10 +1,21 @@
-//! The hourly discrete-event simulation engine.
+//! The discrete-event simulation engine.
 //!
-//! Time advances in one-hour steps (the carbon traces' resolution). Each
-//! step processes, in order: arrivals → planned starts → run-set selection
-//! (capacity and suspend decisions) → execution and accounting. Planned
-//! starts live in an event calendar keyed by hour, so deferring policies
-//! cost nothing until their chosen start arrives.
+//! On hourly datasets, time advances in one-hour steps (the legacy
+//! path, bit-for-bit stable). Each step processes, in order: arrivals →
+//! planned starts → run-set selection (capacity and suspend decisions)
+//! → execution and accounting. Planned starts live in an event calendar
+//! keyed by hour, so deferring policies cost nothing until their chosen
+//! start arrives.
+//!
+//! On sub-hourly datasets the axis is *slots* ([`TraceSet::resolution`])
+//! and the engine steps event-driven by default ([`Stepping::Auto`]):
+//! it jumps straight to the next structural boundary — arrival, planned
+//! start, completion, policy decision point (hour boundary), forced
+//! deadline flip, trace-coverage edge, or horizon end — and accrues the
+//! emissions of every skipped slot in one batched prefix-sum query per
+//! running job. Idle or steady spans therefore cost O(1) instead of
+//! O(slots-per-hour), which keeps a 5-minute year (105 k slots) within
+//! a small factor of the hourly run instead of 12×.
 //!
 //! All region handling is by interned [`RegionId`]: datacenters live in
 //! a dense slice (ordered lexicographically by zone code so accounting
@@ -15,7 +26,7 @@
 use std::collections::binary_heap::PeekMut;
 use std::collections::BinaryHeap;
 
-use decarb_traces::{Hour, RegionId, TimeSeries, TraceSet};
+use decarb_traces::{ChunkedPrefix, Hour, RegionId, Resolution, TimeSeries, TraceSet};
 use decarb_workloads::Job;
 
 use crate::accounting::{CompletedJob, SimReport};
@@ -23,18 +34,46 @@ use crate::cluster::{slot_in, CloudView, Datacenter, RunningJob};
 use crate::overheads::OverheadModel;
 use crate::policy::Policy;
 
+/// How the engine advances time on sub-hourly datasets.
+///
+/// Hourly datasets always use the legacy hour-stepped loop — its float
+/// accumulation order is part of the golden-report contract — so this
+/// knob only affects runs whose [`TraceSet::resolution`] is finer than
+/// one hour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Stepping {
+    /// Event-driven on sub-hourly axes, hour-stepped on hourly ones.
+    #[default]
+    Auto,
+    /// Step every slot, even at 5-minute resolution. The reference
+    /// semantics the event-driven mode is tested against, and the
+    /// baseline the `sim/subhourly_year` bench compares with.
+    SlotPerSlot,
+    /// Jump between structural events, accruing skipped spans through
+    /// prefix sums (same results as [`Stepping::SlotPerSlot`] on
+    /// integer-valued traces; within float tolerance otherwise).
+    EventDriven,
+}
+
 /// Simulation parameters.
+///
+/// `start` and `horizon` are expressed on the dataset's axis: hours for
+/// hourly traces, *slots* for sub-hourly ones (a 5-minute dataset's
+/// `horizon` counts 5-minute slots). `decarb-sim`'s scenario layer does
+/// this conversion from wall-clock hours once at the edge.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
-    /// First simulated hour.
+    /// First simulated hour (slot index on sub-hourly axes).
     pub start: Hour,
-    /// Number of hours to simulate.
+    /// Number of slots to simulate.
     pub horizon: usize,
     /// Capacity (concurrent running jobs) of every datacenter.
     pub capacity_per_region: usize,
     /// Energy overheads for suspend/resume/migration transitions
     /// (defaults to the paper's zero-overhead idealization).
     pub overheads: OverheadModel,
+    /// Time-advance strategy for sub-hourly datasets.
+    pub stepping: Stepping,
 }
 
 impl SimConfig {
@@ -45,12 +84,19 @@ impl SimConfig {
             horizon,
             capacity_per_region,
             overheads: OverheadModel::ZERO,
+            stepping: Stepping::Auto,
         }
     }
 
     /// Replaces the overhead model (builder style).
     pub fn with_overheads(mut self, overheads: OverheadModel) -> Self {
         self.overheads = overheads;
+        self
+    }
+
+    /// Replaces the stepping strategy (builder style).
+    pub fn with_stepping(mut self, stepping: Stepping) -> Self {
+        self.stepping = stepping;
         self
     }
 }
@@ -132,8 +178,29 @@ impl<'a> Simulator<'a> {
     /// as unfinished, as are jobs whose planned start lands at or past
     /// the horizon end (they are never admitted). Jobs arriving before
     /// the simulated window are treated as arriving at its first hour.
+    ///
+    /// Hourly datasets take the legacy hour-stepped loop; sub-hourly
+    /// datasets step on the slot axis, either slot-per-slot or
+    /// event-driven depending on [`SimConfig::stepping`].
     // decarb-analyze: hot-path
-    pub fn run<P: Policy>(&mut self, policy: &mut P, jobs: &[Job]) -> SimReport {
+    pub fn run<P: Policy + ?Sized>(&mut self, policy: &mut P, jobs: &[Job]) -> SimReport {
+        let resolution = self.traces.resolution();
+        if resolution.is_hourly() {
+            return self.run_hourly(policy, jobs);
+        }
+        match self.config.stepping {
+            Stepping::SlotPerSlot => self.run_subhourly(policy, jobs, resolution, 1),
+            Stepping::Auto | Stepping::EventDriven => {
+                self.run_subhourly(policy, jobs, resolution, usize::MAX)
+            }
+        }
+    }
+
+    /// The legacy hour-stepped loop. Accumulation order here is part of
+    /// the golden-report contract: hourly runs must stay bit-for-bit
+    /// stable across releases, so this path is kept byte-identical and
+    /// all sub-hourly arithmetic lives in [`Simulator::run_subhourly`].
+    fn run_hourly<P: Policy + ?Sized>(&mut self, policy: &mut P, jobs: &[Job]) -> SimReport {
         let mut report = SimReport::default();
         // Sorted descending so each arrival is *moved* off the tail in
         // arrival order — no per-job clone on the placement hot path.
@@ -368,6 +435,349 @@ impl<'a> Simulator<'a> {
         report
     }
 
+    /// The sub-hourly slot-axis loop, shared by [`Stepping::SlotPerSlot`]
+    /// (`max_span = 1`) and [`Stepping::EventDriven`] (unbounded spans).
+    ///
+    /// Differences from the hourly path, all activated only here so the
+    /// golden hourly reports stay byte-stable:
+    ///
+    /// * **Slot domain** — `config.start`/`horizon`, arrivals, planned
+    ///   starts, and deadlines are slot indices; wall-clock job shapes
+    ///   convert once via `Job::{length,slack,window}_slots_at`.
+    /// * **Hourly decision cadence** — `Policy::should_run` is consulted
+    ///   at hour boundaries (and once at admission), its verdict cached
+    ///   on the [`RunningJob`] and replayed in between; an engine-side
+    ///   forced-deadline check still runs every slot so deadlines keep
+    ///   slot precision.
+    /// * **Exact span accounting** — executed slots accumulate raw CI
+    ///   into `RunningJob::ci_sum` (per slot, or per span through a
+    ///   [`ChunkedPrefix`] query); emissions and energy convert once per
+    ///   job as `(ci_sum · length_hours) / length_slots` and
+    ///   `(slots_run · length_hours) / length_slots`, multiply before
+    ///   divide. On integer-valued traces this is exact, which is what
+    ///   makes a 12×-repeated 5-minute trace reproduce the hourly run
+    ///   bit for bit.
+    /// * **Event-driven spans** — time jumps to the next structural
+    ///   boundary: arrival, planned start, completion, hour boundary
+    ///   (only while interruptible jobs are admitted), forced-deadline
+    ///   flip of a suspended job, trace-coverage edge, or horizon end.
+    ///   Run sets are provably stable between those boundaries, so the
+    ///   skipped slots differ only by accrual, done in O(1) per job.
+    // decarb-analyze: hot-path
+    fn run_subhourly<P: Policy + ?Sized>(
+        &mut self,
+        policy: &mut P,
+        jobs: &[Job],
+        resolution: Resolution,
+        max_span: usize,
+    ) -> SimReport {
+        let mut report = SimReport {
+            resolution,
+            ..SimReport::default()
+        };
+        let mut arrivals: Vec<Job> = jobs.to_vec();
+        arrivals.sort_by_key(|j| std::cmp::Reverse((j.arrival, j.id)));
+        let end = self.config.start.plus(self.config.horizon);
+        let mut never_admitted = 0usize;
+        let dc_count = self.datacenters.len();
+        let sph = resolution.slots_per_hour() as u32;
+
+        let dc_series: Vec<Option<&TimeSeries>> = self
+            .datacenters
+            .iter()
+            .map(|dc| self.traces.try_series_by_id(dc.region))
+            .collect();
+        // One blocked prefix sum per covered datacenter: span accrual is
+        // two O(1) lookups however many slots the span covers. The
+        // structures live in the dataset's shared cache, so repeated
+        // runs (a scenario matrix, a bench loop) build each one once.
+        let dc_prefix: Vec<Option<&ChunkedPrefix>> = self
+            .datacenters
+            .iter()
+            .map(|dc| self.traces.try_chunked_prefix_by_id(dc.region))
+            .collect();
+        let mut dc_emissions: Vec<f64> = vec![0.0; dc_count];
+        let mut verdicts: Vec<bool> = Vec::with_capacity(self.config.capacity_per_region * 2);
+        let mut finished: Vec<usize> = Vec::with_capacity(self.config.capacity_per_region * 2);
+        let deadline_of = |job: &Job| -> Hour { job.arrival.plus(job.window_slots_at(resolution)) };
+
+        let mut now = self.config.start;
+        while now < end {
+            let hour_boundary = now.0.is_multiple_of(sph);
+
+            // 1. Place arrivals due now.
+            while let Some(job) = arrivals.pop_if(|j| j.arrival <= now) {
+                let placement = {
+                    let view = CloudView {
+                        datacenters: &self.datacenters,
+                        slot_of: &self.slot_of,
+                        traces: self.traces,
+                        now,
+                    };
+                    policy.place(&job, &view)
+                };
+                let region = if slot_in(&self.slot_of, placement.region).is_some() {
+                    placement.region
+                } else {
+                    job.origin
+                };
+                let start = placement.start.max(now);
+                if start >= end {
+                    never_admitted += 1;
+                    continue;
+                }
+                self.seq += 1;
+                self.calendar.push(PlannedStart {
+                    start,
+                    seq: self.seq,
+                    job,
+                    region,
+                });
+            }
+
+            // 2. Admit planned starts due now (migration overheads as on
+            // the hourly path, charged at the origin's CI this slot).
+            while let Some(top) = self.calendar.peek_mut() {
+                if top.start > now {
+                    break;
+                }
+                let planned = PeekMut::pop(top);
+                if planned.region != planned.job.origin {
+                    report.migrations += 1;
+                    let kwh = self.config.overheads.migration_kwh();
+                    if kwh > 0.0 {
+                        let ci = self
+                            .traces
+                            .try_series_by_id(planned.job.origin)
+                            .and_then(|s| s.at(now))
+                            .or_else(|| {
+                                self.traces
+                                    .try_series_by_id(planned.region)
+                                    .and_then(|s| s.at(now))
+                            })
+                            .unwrap_or(0.0);
+                        report.overhead_kwh += kwh;
+                        report.overhead_g += kwh * ci;
+                        report.total_energy_kwh += kwh;
+                        report.total_emissions_g += kwh * ci;
+                        *report.per_region_g.entry(planned.job.origin).or_insert(0.0) += kwh * ci;
+                    }
+                }
+                let Some(slot) = slot_in(&self.slot_of, planned.region) else {
+                    never_admitted += 1;
+                    continue;
+                };
+                self.datacenters[slot]
+                    .jobs
+                    .push(RunningJob::admitted_at(planned.job, resolution));
+            }
+
+            // 3. Select the run set. Interruptible verdicts refresh at
+            // hour boundaries (and at admission), replay otherwise; the
+            // forced-deadline check keeps slot precision either way.
+            for k in 0..dc_count {
+                verdicts.clear();
+                {
+                    let dc = &self.datacenters[k];
+                    let view = CloudView {
+                        datacenters: &self.datacenters,
+                        slot_of: &self.slot_of,
+                        traces: self.traces,
+                        now,
+                    };
+                    verdicts.extend(dc.jobs.iter().map(|rj| {
+                        if !rj.job.interruptible {
+                            return true;
+                        }
+                        if hour_boundary || rj.decision_pending {
+                            policy.should_run(
+                                &rj.job,
+                                rj.remaining_slots,
+                                deadline_of(&rj.job),
+                                &view,
+                            )
+                        } else {
+                            rj.cached_decision
+                        }
+                    }));
+                }
+                let ci_here = dc_series[k].and_then(|s| s.at(now)).unwrap_or(0.0);
+                let dc = &mut self.datacenters[k];
+                let mut running = 0usize;
+                let mut suspends = 0usize;
+                let mut resumes = 0usize;
+                for (rj, &verdict) in dc.jobs.iter_mut().zip(&verdicts) {
+                    let want_run = if rj.job.interruptible {
+                        rj.cached_decision = verdict;
+                        rj.decision_pending = false;
+                        verdict || now.plus(rj.remaining_slots) >= deadline_of(&rj.job)
+                    } else {
+                        true
+                    };
+                    let was_suspended = rj.suspended;
+                    if want_run && running < dc.capacity {
+                        if was_suspended && rj.has_run() {
+                            resumes += 1;
+                        }
+                        rj.suspended = false;
+                        running += 1;
+                    } else {
+                        if !was_suspended && rj.remaining_slots > 0 {
+                            suspends += 1;
+                        }
+                        rj.suspended = true;
+                    }
+                }
+                report.suspends += suspends;
+                report.resumes += resumes;
+                let kwh = suspends as f64 * self.config.overheads.suspend_kwh
+                    + resumes as f64 * self.config.overheads.resume_kwh;
+                if kwh > 0.0 {
+                    report.overhead_kwh += kwh;
+                    report.overhead_g += kwh * ci_here;
+                    report.total_energy_kwh += kwh;
+                    report.total_emissions_g += kwh * ci_here;
+                    dc_emissions[k] += kwh * ci_here;
+                }
+            }
+
+            // 4. Find the next structural boundary. Every candidate is
+            // strictly past `now`, so spans always advance.
+            let span = if max_span == 1 {
+                1
+            } else {
+                let mut next = end.0;
+                if let Some(job) = arrivals.last() {
+                    next = next.min(job.arrival.0.max(now.0 + 1));
+                }
+                if let Some(top) = self.calendar.peek() {
+                    next = next.min(top.start.0.max(now.0 + 1));
+                }
+                let mut any_interruptible = false;
+                for (k, dc) in self.datacenters.iter().enumerate() {
+                    for rj in &dc.jobs {
+                        if rj.job.interruptible {
+                            any_interruptible = true;
+                        }
+                        if !rj.suspended {
+                            next = next.min(now.0 + rj.remaining_slots as u32);
+                        } else if rj.job.interruptible && !rj.cached_decision {
+                            // A suspended job's forced-deadline flip is
+                            // predictable: remaining stays constant, so
+                            // it fires at deadline − remaining.
+                            let flip = deadline_of(&rj.job)
+                                .0
+                                .saturating_sub(rj.remaining_slots as u32);
+                            if flip > now.0 {
+                                next = next.min(flip);
+                            }
+                        }
+                    }
+                    if let Some(series) = dc_series[k] {
+                        let cover_start = series.start().0;
+                        let cover_end = cover_start + series.values().len() as u32;
+                        if cover_start > now.0 {
+                            next = next.min(cover_start);
+                        }
+                        if cover_end > now.0 {
+                            next = next.min(cover_end);
+                        }
+                    }
+                }
+                if any_interruptible {
+                    // Verdicts refresh each hour, so never skip past one.
+                    next = next.min(now.0 - now.0 % sph + sph);
+                }
+                (next.max(now.0 + 1) - now.0) as usize
+            };
+
+            // 5. Execute the span and account completions.
+            for k in 0..dc_count {
+                let dc = &mut self.datacenters[k];
+                let covered = dc_series[k].is_some_and(|s| s.at(now).is_some());
+                if !covered {
+                    report.stalled_hours +=
+                        span * dc.jobs.iter().filter(|rj| !rj.suspended).count();
+                    continue;
+                }
+                // `covered` implies the series — and therefore the
+                // prefix built from it — exists.
+                let Some(prefix) = dc_prefix[k].as_ref() else {
+                    continue;
+                };
+                finished.clear();
+                for (i, rj) in dc.jobs.iter_mut().enumerate() {
+                    if rj.suspended {
+                        continue;
+                    }
+                    if rj.started.is_none() {
+                        rj.started = Some(now);
+                    }
+                    rj.ci_sum += prefix.sum(now, span);
+                    rj.remaining_slots -= span;
+                    if rj.remaining_slots == 0 {
+                        finished.push(i);
+                    }
+                }
+                for &i in finished.iter().rev() {
+                    let rj = dc.jobs.swap_remove(i);
+                    let slots = rj.job.length_slots_at(resolution) as f64;
+                    let emitted = (rj.ci_sum * rj.job.length_hours) / slots;
+                    let energy = rj.job.length_hours;
+                    report.total_energy_kwh += energy;
+                    report.total_emissions_g += emitted;
+                    dc_emissions[k] += emitted;
+                    let finished_at = now.plus(span - 1);
+                    report.completed.push(CompletedJob {
+                        region: dc.region,
+                        started: rj.started.unwrap_or(now),
+                        finished: finished_at,
+                        emitted_g: emitted,
+                        missed_deadline: finished_at >= deadline_of(&rj.job),
+                        job: rj.job,
+                    });
+                }
+            }
+
+            now = now.plus(span);
+        }
+
+        // Partial work of unfinished jobs is still accounted, pro rata
+        // over the slots actually executed.
+        for (k, dc) in self.datacenters.iter().enumerate() {
+            for rj in &dc.jobs {
+                let slots = rj.job.length_slots_at(resolution);
+                let run = slots - rj.remaining_slots;
+                if run > 0 {
+                    let energy = (run as f64 * rj.job.length_hours) / slots as f64;
+                    let emitted = (rj.ci_sum * rj.job.length_hours) / slots as f64;
+                    report.total_energy_kwh += energy;
+                    report.total_emissions_g += emitted;
+                    dc_emissions[k] += emitted;
+                }
+            }
+        }
+
+        for (k, &g) in dc_emissions.iter().enumerate() {
+            if g != 0.0 {
+                *report
+                    .per_region_g
+                    .entry(self.datacenters[k].region)
+                    .or_insert(0.0) += g;
+            }
+        }
+
+        report.unfinished = self
+            .datacenters
+            .iter()
+            .map(|dc| dc.jobs.len())
+            .sum::<usize>()
+            + self.calendar.len()
+            + never_admitted
+            + arrivals.len();
+        report
+    }
+
     /// Returns a datacenter by region id (for inspection in tests).
     pub fn datacenter(&self, id: RegionId) -> Option<&Datacenter> {
         Some(&self.datacenters[slot_in(&self.slot_of, id)?])
@@ -382,6 +792,9 @@ mod tests {
     use decarb_traces::builtin_dataset;
     use decarb_traces::time::year_start;
     use decarb_workloads::Slack;
+
+    /// Named policy constructors for the axis-equivalence tests.
+    type PolicyTable = Vec<(&'static str, fn() -> Box<dyn Policy>)>;
 
     fn config(horizon: usize) -> SimConfig {
         SimConfig::new(year_start(2022), horizon, 4)
@@ -759,6 +1172,202 @@ mod tests {
         );
         assert_eq!(report.completed_count(), 1);
         assert_eq!(report.completed[0].region, rs[0]);
+    }
+
+    /// A two-region dataset with integer-valued hourly traces, so the
+    /// sub-hourly accounting identities ((12S·L)/12L == S, exact integer
+    /// sums) hold bit for bit.
+    fn integer_dataset(hours: usize) -> TraceSet {
+        let start = year_start(2022);
+        let mut state = 0x9e37_79b9_7f4a_7c15_u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) % 900 + 50) as f64
+        };
+        let pairs = ["DE", "SE"]
+            .iter()
+            .map(|code| {
+                let region = decarb_traces::catalog::region(code).unwrap().clone();
+                let values: Vec<f64> = (0..hours).map(|_| next()).collect();
+                (region, TimeSeries::new(start, values))
+            })
+            .collect();
+        TraceSet::from_series(pairs)
+    }
+
+    /// Integer-length jobs on hour-aligned arrivals, mixing rigid,
+    /// migratable, and interruptible shapes across both regions.
+    fn equivalence_jobs(traces: &TraceSet) -> Vec<Job> {
+        let de = traces.id_of("DE").unwrap();
+        let se = traces.id_of("SE").unwrap();
+        let start = year_start(2022);
+        let mut jobs = vec![
+            Job::batch(1, de, start, 4.0, Slack::None),
+            Job::batch(2, de, start.plus(3), 6.0, Slack::Day),
+            Job::batch(3, se, start.plus(5), 2.0, Slack::Day),
+            Job::batch(4, de, start.plus(7), 12.0, Slack::Week).with_interruptible(),
+            Job::batch(5, se, start.plus(7), 8.0, Slack::TenX).with_interruptible(),
+            Job::batch(6, de, start.plus(30), 5.0, Slack::Day),
+        ];
+        for (i, job) in jobs.iter_mut().enumerate() {
+            job.migratable = i % 2 == 0;
+        }
+        jobs
+    }
+
+    /// Maps an hourly-domain job list onto a 12-slots-per-hour axis.
+    fn jobs_at_5min(jobs: &[Job]) -> Vec<Job> {
+        jobs.iter()
+            .map(|job| {
+                let mut fine = job.clone();
+                fine.arrival = Hour(job.arrival.0 * 12);
+                fine
+            })
+            .collect()
+    }
+
+    fn run_fine<P: Policy + ?Sized>(
+        fine: &TraceSet,
+        regions: &[RegionId],
+        policy: &mut P,
+        jobs: &[Job],
+        horizon_hours: usize,
+        stepping: Stepping,
+    ) -> SimReport {
+        let start = Hour(year_start(2022).0 * 12);
+        let config = SimConfig::new(start, horizon_hours * 12, 4).with_stepping(stepping);
+        let mut sim = Simulator::new(fine, regions, config);
+        sim.run(policy, jobs)
+    }
+
+    #[test]
+    fn event_driven_matches_slot_stepped_on_five_minute_axis() {
+        let hourly = integer_dataset(24 * 40);
+        let fine = hourly
+            .resample_to(Resolution::from_minutes(5).unwrap())
+            .unwrap();
+        let rs = ids(&fine, &["DE", "SE"]);
+        let jobs = jobs_at_5min(&equivalence_jobs(&fine));
+        let horizon = 24 * 20;
+        let policies: PolicyTable = vec![
+            ("agnostic", || Box::new(CarbonAgnostic)),
+            ("deferral", || Box::new(PlannedDeferral)),
+            ("threshold", || Box::new(ThresholdSuspend::default())),
+            ("router", || Box::new(GreenestRouter)),
+        ];
+        for (name, make) in policies {
+            let slot = run_fine(
+                &fine,
+                &rs,
+                make().as_mut(),
+                &jobs,
+                horizon,
+                Stepping::SlotPerSlot,
+            );
+            let event = run_fine(
+                &fine,
+                &rs,
+                make().as_mut(),
+                &jobs,
+                horizon,
+                Stepping::EventDriven,
+            );
+            assert_eq!(
+                slot.total_emissions_g, event.total_emissions_g,
+                "{name}: emissions must be bit-identical"
+            );
+            assert_eq!(slot.total_energy_kwh, event.total_energy_kwh, "{name}");
+            assert_eq!(slot.completed_count(), event.completed_count(), "{name}");
+            assert_eq!(slot.suspends, event.suspends, "{name}");
+            assert_eq!(slot.resumes, event.resumes, "{name}");
+            assert_eq!(slot.unfinished, event.unfinished, "{name}");
+            for (a, b) in slot.completed.iter().zip(&event.completed) {
+                assert_eq!(a.job.id, b.job.id, "{name}");
+                assert_eq!(a.region, b.region, "{name}: same placement");
+                assert_eq!(a.started, b.started, "{name}: same start slot");
+                assert_eq!(a.finished, b.finished, "{name}: same finish slot");
+                assert_eq!(a.emitted_g, b.emitted_g, "{name}: same emissions");
+                assert_eq!(a.missed_deadline, b.missed_deadline, "{name}");
+            }
+            assert!(slot.completed_count() >= 5, "{name}: workload must run");
+        }
+    }
+
+    #[test]
+    fn five_minute_replica_reproduces_hourly_run_bit_for_bit() {
+        // The tentpole equivalence property at the engine level: a
+        // 5-minute trace that repeats each hour's (integer) CI 12 times
+        // is the same physical signal, so emissions totals must be
+        // bit-identical and every placement must land on the scaled
+        // slot of its hourly counterpart.
+        let hourly = integer_dataset(24 * 40);
+        let fine = hourly
+            .resample_to(Resolution::from_minutes(5).unwrap())
+            .unwrap();
+        let rs_hourly = ids(&hourly, &["DE", "SE"]);
+        let rs_fine = ids(&fine, &["DE", "SE"]);
+        let jobs = equivalence_jobs(&hourly);
+        let fine_jobs = jobs_at_5min(&jobs);
+        let horizon = 24 * 20;
+        let policies: PolicyTable = vec![
+            ("agnostic", || Box::new(CarbonAgnostic)),
+            ("deferral", || Box::new(PlannedDeferral)),
+            ("threshold", || Box::new(ThresholdSuspend::default())),
+            ("router", || Box::new(GreenestRouter)),
+        ];
+        for (name, make) in policies {
+            let mut hourly_sim = Simulator::new(&hourly, &rs_hourly, config(horizon));
+            let coarse = hourly_sim.run(make().as_mut(), &jobs);
+            let fine_report = run_fine(
+                &fine,
+                &rs_fine,
+                make().as_mut(),
+                &fine_jobs,
+                horizon,
+                Stepping::EventDriven,
+            );
+            assert_eq!(
+                coarse.total_emissions_g, fine_report.total_emissions_g,
+                "{name}: totals must be bit-identical"
+            );
+            assert_eq!(
+                coarse.total_energy_kwh, fine_report.total_energy_kwh,
+                "{name}"
+            );
+            assert_eq!(
+                coarse.completed_count(),
+                fine_report.completed_count(),
+                "{name}"
+            );
+            assert_eq!(coarse.unfinished, fine_report.unfinished, "{name}");
+            for (a, b) in coarse.completed.iter().zip(&fine_report.completed) {
+                assert_eq!(a.job.id, b.job.id, "{name}: completion order");
+                assert_eq!(a.region, b.region, "{name}: same region");
+                assert_eq!(b.started.0, a.started.0 * 12, "{name}: scaled start");
+                assert_eq!(
+                    b.finished.0,
+                    a.finished.0 * 12 + 11,
+                    "{name}: finish lands on the last slot of the hour"
+                );
+                assert_eq!(a.emitted_g, b.emitted_g, "{name}: per-job emissions");
+                assert_eq!(a.missed_deadline, b.missed_deadline, "{name}");
+            }
+            // Slowdown is a ratio of same-axis quantities, so the 12×
+            // scaling of numerator and denominator cancels exactly.
+            assert_eq!(
+                coarse.mean_slowdown(),
+                fine_report.mean_slowdown(),
+                "{name}: slowdown is axis-independent"
+            );
+            assert_eq!(
+                coarse.mean_wait_hours(),
+                fine_report.mean_wait_hours(),
+                "{name}: waits are reported in hours on any axis"
+            );
+            assert!(coarse.completed_count() >= 5, "{name}: workload must run");
+        }
     }
 
     #[test]

@@ -61,11 +61,13 @@ impl<F: Forecaster> Policy for ForecastDeferral<F> {
         let Some(series) = view.traces.try_series_by_id(job.origin) else {
             return fallback;
         };
-        let Some(history) = visible_history(series, view.now, self.max_history) else {
+        let resolution = view.traces.resolution();
+        let history_slots = self.max_history * resolution.slots_per_hour();
+        let Some(history) = visible_history(series, view.now, history_slots) else {
             return fallback;
         };
-        let slots = job.length_slots();
-        let window = job.slack_hours() + slots;
+        let slots = job.length_slots_at(resolution);
+        let window = job.slack_slots_at(resolution) + slots;
         // Never plan past the true trace (the simulator could not pay for
         // those hours anyway).
         let available = (series.end().0 - view.now.0) as usize;
@@ -74,7 +76,7 @@ impl<F: Forecaster> Policy for ForecastDeferral<F> {
         }
         let window = window.min(available);
         let predicted = self.forecaster.predict_series(&history, window);
-        let planner = TemporalPlanner::new(&predicted);
+        let planner = TemporalPlanner::with_resolution(&predicted, resolution);
         let placement = planner.best_deferred(view.now, slots, window - slots);
         Placement {
             region: job.origin,
@@ -124,12 +126,14 @@ impl<F: Forecaster> Policy for ForecastSuspend<F> {
         let Some(series) = view.traces.try_series_by_id(job.origin) else {
             return placement;
         };
-        let Some(history) = visible_history(series, view.now, self.max_history) else {
+        let resolution = view.traces.resolution();
+        let history_slots = self.max_history * resolution.slots_per_hour();
+        let Some(history) = visible_history(series, view.now, history_slots) else {
             return placement;
         };
-        let slots = job.length_slots();
+        let slots = job.length_slots_at(resolution);
         let available = (series.end().0 - view.now.0) as usize;
-        let window = (job.slack_hours() + slots).min(available);
+        let window = (job.slack_slots_at(resolution) + slots).min(available);
         if window < slots {
             return placement;
         }
@@ -155,7 +159,17 @@ impl<F: Forecaster> Policy for ForecastSuspend<F> {
             return true;
         }
         match self.plans.get(&job.id) {
-            Some(plan) => plan.binary_search(&view.now).is_ok(),
+            Some(plan) => {
+                // Run if any planned slot falls inside the current
+                // decision period — one slot on hourly axes (exactly
+                // the old membership test), the rest of the hour on
+                // sub-hourly axes, where verdicts are replayed until
+                // the next hour boundary.
+                let sph = view.traces.resolution().slots_per_hour() as u32;
+                let period_end = Hour(view.now.0 - view.now.0 % sph + sph);
+                let idx = plan.partition_point(|h| *h < view.now);
+                plan.get(idx).is_some_and(|h| *h < period_end)
+            }
             None => true,
         }
     }

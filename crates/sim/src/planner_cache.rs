@@ -19,7 +19,7 @@
 use std::sync::{Arc, PoisonError, RwLock};
 
 use decarb_core::temporal::TemporalPlanner;
-use decarb_traces::{RegionId, TimeSeries};
+use decarb_traces::{RegionId, Resolution, TimeSeries};
 use decarb_workloads::Job;
 
 use crate::cluster::CloudView;
@@ -38,9 +38,22 @@ impl PlannerCache {
         Self::default()
     }
 
-    /// Returns the planner for `id`, building it from `series` on the
-    /// first request.
+    /// Returns the hourly planner for `id`, building it from `series`
+    /// on the first request.
     pub fn planner(&self, id: RegionId, series: &TimeSeries) -> Arc<TemporalPlanner> {
+        self.planner_at(id, series, Resolution::HOURLY)
+    }
+
+    /// Returns the planner for `id` on an axis sampled at `resolution`,
+    /// building it from `series` on the first request. A cache is
+    /// scoped to one dataset, so every call sees the same resolution
+    /// and the first build wins.
+    pub fn planner_at(
+        &self,
+        id: RegionId,
+        series: &TimeSeries,
+        resolution: Resolution,
+    ) -> Arc<TemporalPlanner> {
         let read = self.planners.read().unwrap_or_else(PoisonError::into_inner);
         if let Some(Some(planner)) = read.get(id.index()) {
             return Arc::clone(planner);
@@ -56,7 +69,9 @@ impl PlannerCache {
         // Another worker may have built it between the read and write
         // lock; the re-check keeps exactly one build either way.
         Arc::clone(
-            planners[id.index()].get_or_insert_with(|| Arc::new(TemporalPlanner::new(series))),
+            planners[id.index()].get_or_insert_with(|| {
+                Arc::new(TemporalPlanner::with_resolution(series, resolution))
+            }),
         )
     }
 
@@ -104,8 +119,13 @@ impl Policy for CachedDeferral<'_> {
                 start: view.now,
             };
         };
-        let planner = self.cache.planner(job.origin, series);
-        let placement = planner.best_deferred(view.now, job.length_slots(), job.slack_hours());
+        let resolution = view.traces.resolution();
+        let planner = self.cache.planner_at(job.origin, series, resolution);
+        let placement = planner.best_deferred(
+            view.now,
+            job.length_slots_at(resolution),
+            job.slack_slots_at(resolution),
+        );
         Placement {
             region: job.origin,
             start: placement.start,

@@ -64,8 +64,13 @@ impl Policy for PlannedDeferral {
                 start: view.now,
             };
         };
-        let planner = TemporalPlanner::new(series);
-        let placement = planner.best_deferred(view.now, job.length_slots(), job.slack_hours());
+        let resolution = view.traces.resolution();
+        let planner = TemporalPlanner::with_resolution(series, resolution);
+        let placement = planner.best_deferred(
+            view.now,
+            job.length_slots_at(resolution),
+            job.slack_slots_at(resolution),
+        );
         Placement {
             region: job.origin,
             start: placement.start,
@@ -117,8 +122,11 @@ impl Policy for ThresholdSuspend {
         let Some(now_ci) = series.at(view.now) else {
             return true;
         };
-        // Trailing mean over up to `window` past hours.
-        let lookback = (view.now.0.saturating_sub(series.start().0) as usize).min(self.window);
+        // Trailing mean over up to `window` past hours (scaled to the
+        // dataset's slot axis, so a 24 h window covers 288 slots at
+        // 5-minute resolution).
+        let window_slots = self.window * view.traces.resolution().slots_per_hour();
+        let lookback = (view.now.0.saturating_sub(series.start().0) as usize).min(window_slots);
         if lookback == 0 {
             return true;
         }

@@ -137,7 +137,10 @@ impl LatencyAwareRouter {
 
 impl Policy for LatencyAwareRouter {
     fn place(&mut self, job: &Job, view: &CloudView<'_>) -> Placement {
-        self.ledger.roll(view.now);
+        // Hour-floored: the ledger's admission-control window is the
+        // policies' hourly decision cadence even on sub-hourly axes.
+        let sph = view.traces.resolution().slots_per_hour() as u32;
+        self.ledger.roll(Hour(view.now.0 - view.now.0 % sph));
         let mut region = job.origin;
         if job.migratable {
             let mut best_ci = view.current_ci(job.origin).unwrap_or(f64::INFINITY);

@@ -233,6 +233,9 @@ impl PolicyKind {
         forecaster: ForecasterKind,
         slo_ms: f64,
     ) -> SimReport {
+        // The seasonal period is one day *of the dataset's axis*: 24
+        // samples hourly, 288 at 5-minute resolution.
+        let seasonal = SeasonalNaive::daily_at(data.resolution());
         match self {
             PolicyKind::CarbonAgnostic => sim.run(&mut CarbonAgnostic, jobs),
             PolicyKind::PlannedDeferral => sim.run(&mut CachedDeferral::new(cache), jobs),
@@ -240,9 +243,7 @@ impl PolicyKind {
             PolicyKind::GreenestRouter => sim.run(&mut GreenestRouter, jobs),
             PolicyKind::ForecastDeferral => match forecaster {
                 ForecasterKind::Naive => sim.run(&mut ForecastDeferral::new(Persistence), jobs),
-                ForecasterKind::Seasonal => {
-                    sim.run(&mut ForecastDeferral::new(SeasonalNaive::daily()), jobs)
-                }
+                ForecasterKind::Seasonal => sim.run(&mut ForecastDeferral::new(seasonal), jobs),
             },
             PolicyKind::SpatioTemporal => match forecaster {
                 ForecasterKind::Naive => sim.run(
@@ -250,7 +251,7 @@ impl PolicyKind {
                     jobs,
                 ),
                 ForecasterKind::Seasonal => sim.run(
-                    &mut SpatioTemporal::new(data, regions, slo_ms, SeasonalNaive::daily()),
+                    &mut SpatioTemporal::new(data, regions, slo_ms, seasonal),
                     jobs,
                 ),
             },
@@ -353,9 +354,10 @@ pub struct Scenario {
     pub forecaster: ForecasterKind,
     /// Round-trip-time budget for the spatiotemporal policy, ms.
     pub slo_ms: f64,
-    /// First simulated hour.
+    /// First simulated hour (wall-clock; scaled to the dataset's slot
+    /// axis at run time, so declarations are resolution-independent).
     pub start: Hour,
-    /// Simulated hours.
+    /// Simulated hours (wall-clock, scaled like `start`).
     pub horizon: usize,
 }
 
@@ -431,8 +433,15 @@ impl Scenario {
             .try_resolve(data)
             // decarb-analyze: allow(no-panic) -- documented: callers `validate_against` non-builtin datasets first
             .unwrap_or_else(|e| panic!("scenario `{}`: {e}", self.name));
-        let jobs = self.workload.materialize(&regions, self.start);
-        let config = SimConfig::new(self.start, self.horizon, self.capacity_per_region)
+        // Wall-clock hours → dataset slots, once at the edge. Scenario
+        // declarations (and their content ids) stay in hours whatever
+        // the dataset resolution; on hourly data this is the identity.
+        let resolution = data.resolution();
+        let sph = resolution.slots_per_hour();
+        let start = Hour(self.start.0 * sph as u32);
+        let horizon = self.horizon * sph;
+        let jobs = self.workload.materialize_at(&regions, start, resolution);
+        let config = SimConfig::new(start, horizon, self.capacity_per_region)
             .with_overheads(self.overheads.model());
         let mut sim = Simulator::new(data, &regions, config);
         let started = Instant::now();
@@ -1007,6 +1016,81 @@ mod tests {
         // instead of running all 54 scenarios.
         assert!(delivered >= 3);
         assert!(delivered < scenarios.len(), "sweep must abort early");
+    }
+
+    #[test]
+    fn five_minute_replica_matches_hourly_for_every_policy_kind() {
+        // The tentpole equivalence property: a 5-minute dataset whose
+        // values are each hour's CI repeated 12× carries the same
+        // physical signal, so every policy must produce bit-identical
+        // total emissions and the same placements, completions, and
+        // transitions as the hourly run. Integer CI values and integer
+        // job lengths keep every accumulation exact, so "bit-identical"
+        // is meaningful rather than within-epsilon.
+        let start = year_start(2022);
+        let mut state = 0x0dde_5115_c0ff_ee00_u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) % 700 + 40) as f64
+        };
+        let pairs = ["DE", "SE", "PL"]
+            .iter()
+            .map(|code| {
+                let region = decarb_traces::catalog::region(code).unwrap().clone();
+                let values: Vec<f64> = (0..24 * 70).map(|_| next()).collect();
+                (region, decarb_traces::TimeSeries::new(start, values))
+            })
+            .collect();
+        let hourly = TraceSet::from_series(pairs);
+        let fine = hourly
+            .resample_to(decarb_traces::Resolution::from_minutes(5).unwrap())
+            .unwrap();
+        let regions = RegionSpec::Custom {
+            label: "trio".into(),
+            codes: vec!["DE".into(), "SE".into(), "PL".into()],
+        };
+        for kind in PolicyKind::ALL {
+            let scenario = Scenario {
+                name: format!("replica-{}", kind.label()),
+                workload: WorkloadSpec::Batch {
+                    per_origin: 6,
+                    arrival: Arrival::fixed(24),
+                    length_hours: 8.0,
+                    slack: Slack::Day,
+                    interruptible: true,
+                },
+                policy: kind,
+                regions: regions.clone(),
+                overheads: OverheadKind::Zero,
+                capacity_per_region: 8,
+                forecaster: ForecasterKind::Seasonal,
+                slo_ms: SPATIOTEMPORAL_SLO_MS,
+                // Mid-dataset so the forecast policies have a month of
+                // history behind them.
+                start: start.plus(35 * 24),
+                horizon: 16 * 24,
+            };
+            let coarse = scenario.run(&hourly);
+            let replica = scenario.run(&fine);
+            let label = kind.label();
+            assert_eq!(
+                coarse.total_emissions_g, replica.total_emissions_g,
+                "{label}: emissions must be bit-identical"
+            );
+            assert_eq!(
+                coarse.total_energy_kwh, replica.total_energy_kwh,
+                "{label}: energy must be bit-identical"
+            );
+            assert_eq!(coarse.completed, replica.completed, "{label}");
+            assert_eq!(coarse.unfinished, replica.unfinished, "{label}");
+            assert_eq!(coarse.missed_deadlines, replica.missed_deadlines, "{label}");
+            assert_eq!(coarse.migrations, replica.migrations, "{label}");
+            assert_eq!(coarse.transitions, replica.transitions, "{label}");
+            assert_eq!(coarse.jobs, replica.jobs, "{label}: same population");
+            assert_eq!(coarse.completed, coarse.jobs, "{label}: all complete");
+        }
     }
 
     #[test]

@@ -9,6 +9,11 @@
 //!   arrive at/past the horizon and never run at all;
 //! * `trace-coverage` — the scenario window falls outside the hours
 //!   the dataset actually covers for one of its zones;
+//! * `resolution-alignment` — a wall-clock job duration that does not
+//!   land on whole slots of the dataset's time axis and is silently
+//!   quantized up (e.g. a 1.5 h batch length on hourly data runs for
+//!   2 h); the hint names the dataset's resolution. Sub-slot durations
+//!   (interactive requests) are exempt — they scale energy instead;
 //! * `unknown-zone` — a region code that neither the dataset nor a
 //!   `[region CODE]` section in the same file defines;
 //! * `empty-regions` / `zero-capacity` — degenerate axes that the
@@ -129,7 +134,11 @@ fn semantic_diagnostics(
             ));
         }
 
-        let window_end = s.start.plus(s.horizon);
+        // Scenario start/horizon are wall-clock hours; series bounds
+        // live on the dataset's slot axis. Scale once for comparison.
+        let sph = data.resolution().slots_per_hour() as u32;
+        let slot_start = decarb_traces::Hour(s.start.0 * sph);
+        let window_end = slot_start.plus(s.horizon * sph as usize);
         for code in &codes {
             if synthesized.iter().any(|c| c == code) {
                 continue;
@@ -146,7 +155,7 @@ fn semantic_diagnostics(
                     ),
                 )),
                 Ok(series) => {
-                    if s.start < series.start() || window_end > series.end() {
+                    if slot_start < series.start() || window_end > series.end() {
                         diags.push(Diagnostic::new(
                             file,
                             line,
@@ -155,7 +164,7 @@ fn semantic_diagnostics(
                                 "scenario `{}`: window [{}, {}) falls outside zone `{code}`'s \
                                  trace coverage [{}, {})",
                                 s.name,
-                                s.start.0,
+                                slot_start.0,
                                 window_end.0,
                                 series.start().0,
                                 series.end().0
@@ -163,6 +172,31 @@ fn semantic_diagnostics(
                         ));
                     }
                 }
+            }
+        }
+
+        for (what, hours) in workload_durations(&s.workload) {
+            let minutes = data.resolution().minutes() as f64;
+            let total_min = hours * 60.0;
+            // Sub-slot durations are by design (interactive requests
+            // occupy one slot at proportional energy); whole-slot
+            // multiples align. Everything between quantizes up.
+            let slots = total_min / minutes;
+            if total_min > minutes && (slots - slots.round()).abs() > 1e-9 {
+                diags.push(Diagnostic::new(
+                    file,
+                    line,
+                    "resolution-alignment",
+                    format!(
+                        "scenario `{}`: {what} {hours} h does not align to the dataset's \
+                         {} slots and quantizes up to {} slots — did you mean a multiple \
+                         of {}, or a finer-resolution dataset?",
+                        s.name,
+                        data.resolution(),
+                        slots.ceil() as usize,
+                        data.resolution(),
+                    ),
+                ));
             }
         }
 
@@ -219,6 +253,20 @@ fn semantic_diagnostics(
         }
     }
     diags
+}
+
+/// The wall-clock durations a workload materializes, for the
+/// resolution-alignment rule. Slack and horizon are integer hours and
+/// align to every divisor-of-60 resolution by construction, so only
+/// job lengths can misalign.
+fn workload_durations(workload: &WorkloadSpec) -> Vec<(&'static str, f64)> {
+    match workload {
+        WorkloadSpec::Batch { length_hours, .. } => vec![("batch length", *length_hours)],
+        WorkloadSpec::Interactive { .. } => Vec::new(),
+        WorkloadSpec::Mixed {
+            batch_length_hours, ..
+        } => vec![("batch length", *batch_length_hours)],
+    }
 }
 
 /// Typo-aware unknown-key pass over the raw sections. Mirrors the
@@ -481,6 +529,67 @@ regions = mixed
             unknown[0].message
         );
         assert_eq!(unknown[0].line, 11, "spans the [scenario] header");
+    }
+
+    #[test]
+    fn misaligned_durations_are_flagged_with_the_dataset_resolution() {
+        use decarb_traces::{Resolution, TimeSeries, TraceSet};
+        use decarb_workloads::{Arrival, Slack};
+
+        let start = year_start(2022);
+        let de = decarb_traces::catalog::region("DE").unwrap().clone();
+        let series = TimeSeries::new(start, vec![100.0; 24 * 40]);
+        let hourly = TraceSet::from_series(vec![(de, series)]);
+
+        let mut s = builtin_scenarios().remove(0);
+        s.regions = crate::scenario::RegionSpec::Custom {
+            label: "solo".into(),
+            codes: vec!["DE".into()],
+        };
+        s.workload = WorkloadSpec::Batch {
+            per_origin: 2,
+            arrival: Arrival::fixed(24),
+            length_hours: 1.5,
+            slack: Slack::Day,
+            interruptible: false,
+        };
+        s.start = start;
+        s.horizon = 24 * 30;
+
+        // 1.5 h on hourly data quantizes up to 2 slots: flagged, with
+        // the dataset's resolution in the hint.
+        let diags = check_scenarios("<mem>", std::slice::from_ref(&s), &hourly);
+        let aligned: Vec<&Diagnostic> = diags
+            .iter()
+            .filter(|d| d.rule == "resolution-alignment")
+            .collect();
+        assert_eq!(aligned.len(), 1, "{diags:?}");
+        assert!(
+            aligned[0].message.contains("60min"),
+            "{}",
+            aligned[0].message
+        );
+        assert!(
+            aligned[0].message.contains("1.5 h"),
+            "{}",
+            aligned[0].message
+        );
+        assert!(
+            aligned[0].message.contains("2 slots"),
+            "{}",
+            aligned[0].message
+        );
+
+        // The same scenario on a 5-minute dataset aligns (90 min = 18
+        // slots) and checks clean.
+        let fine = hourly
+            .resample_to(Resolution::from_minutes(5).unwrap())
+            .unwrap();
+        let diags = check_scenarios("<mem>", &[s], &fine);
+        assert!(
+            diags.iter().all(|d| d.rule != "resolution-alignment"),
+            "{diags:?}"
+        );
     }
 
     #[test]

@@ -34,11 +34,13 @@ use crate::routing::{HourlyLedger, RttTable};
 pub struct PlaceRequest {
     /// Region the job is submitted from.
     pub origin: RegionId,
-    /// Hour the job arrives (absolute index since 2020-01-01 UTC).
+    /// Slot the job arrives on the dataset's axis (absolute hour index
+    /// since 2020-01-01 UTC on hourly data).
     pub arrival: Hour,
-    /// Job length in whole hours (≥ 1).
+    /// Job length in whole wall-clock hours (≥ 1); converted to slots
+    /// against the dataset's resolution internally.
     pub duration_hours: usize,
-    /// Hours the start may be deferred past arrival.
+    /// Wall-clock hours the start may be deferred past arrival.
     pub slack_hours: usize,
     /// Round-trip-time budget from the origin, milliseconds.
     pub slo_ms: f64,
@@ -49,10 +51,12 @@ pub struct PlaceRequest {
 pub struct PlaceDecision {
     /// Chosen destination region.
     pub region: RegionId,
-    /// Chosen start hour (`arrival ..= arrival + slack`).
+    /// Chosen start slot (`arrival ..= arrival + slack`, on the
+    /// dataset's axis).
     pub start: Hour,
     /// Estimated emissions of the chosen placement, g·CO₂eq per kWh of
-    /// average draw (carbon intensity summed over the run's hours).
+    /// average draw (carbon intensity summed over the run and scaled to
+    /// whole hours of draw whatever the dataset resolution).
     pub cost_g: f64,
     /// Emissions of the naive placement: run at the origin, at arrival.
     pub naive_g: f64,
@@ -122,7 +126,7 @@ impl Snapshot {
         let rtt = RttTable::build(&traces, &deployed);
         let planners = PlannerCache::new();
         for &id in &deployed {
-            planners.planner(id, traces.series_by_id(id));
+            planners.planner_at(id, traces.series_by_id(id), traces.resolution());
         }
         let ledger = Mutex::new(HourlyLedger::new(traces.len()));
         Self {
@@ -172,15 +176,16 @@ impl Snapshot {
         rows
     }
 
-    /// Validates that `req` fits `id`'s stored trace; `Ok` carries the
-    /// hours remaining from arrival to the trace end.
-    fn fits(&self, id: RegionId, req: &PlaceRequest) -> Result<usize, PlaceError> {
+    /// Validates that a `slots`-slot run from `arrival` fits `id`'s
+    /// stored trace; `Ok` carries the slots remaining from arrival to
+    /// the trace end.
+    fn fits(&self, id: RegionId, arrival: Hour, slots: usize) -> Result<usize, PlaceError> {
         let series = self.traces.series_by_id(id);
-        if req.arrival < series.start() {
+        if arrival < series.start() {
             return Err(PlaceError::BeforeTraceStart(series.start()));
         }
-        let remaining = (series.end().0 - req.arrival.0) as usize;
-        if remaining < req.duration_hours {
+        let remaining = (series.end().0 - arrival.0) as usize;
+        if remaining < slots {
             return Err(PlaceError::BeyondTraceEnd(series.end()));
         }
         Ok(remaining)
@@ -192,21 +197,30 @@ impl Snapshot {
     /// first zone code, like the online router.
     // decarb-analyze: hot-path
     pub fn place(&self, req: &PlaceRequest) -> Result<PlaceDecision, PlaceError> {
-        let slots = req.duration_hours;
-        if slots == 0 {
+        if req.duration_hours == 0 {
             return Err(PlaceError::ZeroDuration);
         }
-        self.fits(req.origin, req)?;
+        // Wall-clock hours → slots on the dataset's axis, once at the
+        // edge; a planner's cost is a per-slot CI sum, so grams are the
+        // sum divided back by slots-per-hour (identity on hourly data).
+        let sph = self.traces.resolution().slots_per_hour();
+        let slots = req.duration_hours * sph;
+        let slack = req.slack_hours * sph;
+        self.fits(req.origin, req.arrival, slots)?;
         let origin_series = self.traces.series_by_id(req.origin);
-        let origin_planner = self.planners.planner(req.origin, origin_series);
-        let naive_g = origin_planner.baseline_cost(req.arrival, slots);
+        let origin_planner =
+            self.planners
+                .planner_at(req.origin, origin_series, self.traces.resolution());
+        let naive_g = origin_planner.baseline_cost(req.arrival, slots) / sph as f64;
 
         let mut admitted = self.ledger.lock().unwrap_or_else(PoisonError::into_inner);
-        admitted.roll(req.arrival);
+        // Hour-floored: admission control counts per wall-clock hour
+        // whatever the slot axis, like the simulator's router ledger.
+        admitted.roll(Hour(req.arrival.0 - req.arrival.0 % sph as u32));
 
         // The origin is always feasible (validated above); remote
         // regions must clear RTT, fit, and same-hour admission.
-        let origin_best = origin_planner.best_deferred(req.arrival, slots, req.slack_hours);
+        let origin_best = origin_planner.best_deferred(req.arrival, slots, slack);
         let mut best_region = req.origin;
         let mut best = origin_best;
         for &id in &self.deployed {
@@ -223,11 +237,15 @@ impl Snapshot {
             if rtt > req.slo_ms {
                 continue;
             }
-            if self.fits(id, req).is_err() {
+            if self.fits(id, req.arrival, slots).is_err() {
                 continue;
             }
-            let planner = self.planners.planner(id, self.traces.series_by_id(id));
-            let candidate = planner.best_deferred(req.arrival, slots, req.slack_hours);
+            let planner = self.planners.planner_at(
+                id,
+                self.traces.series_by_id(id),
+                self.traces.resolution(),
+            );
+            let candidate = planner.best_deferred(req.arrival, slots, slack);
             if candidate.cost_g < best.cost_g
                 || (candidate.cost_g == best.cost_g && self.rtt.code_before(id, best_region))
             {
@@ -239,19 +257,21 @@ impl Snapshot {
         drop(admitted);
 
         let rtt_ms = self.rtt.get(req.origin, best_region).unwrap_or(0.0);
+        let cost_g = best.cost_g / sph as f64;
         Ok(PlaceDecision {
             region: best_region,
             start: best.start,
-            cost_g: best.cost_g,
+            cost_g,
             naive_g,
-            saved_g: naive_g - best.cost_g,
+            saved_g: naive_g - cost_g,
             rtt_ms,
         })
     }
 
     /// The temporal planner for `id` (prewarmed at build time).
     pub fn planner(&self, id: RegionId) -> Arc<TemporalPlanner> {
-        self.planners.planner(id, self.traces.series_by_id(id))
+        self.planners
+            .planner_at(id, self.traces.series_by_id(id), self.traces.resolution())
     }
 
     /// The configured same-hour admission limit (`usize::MAX` when
@@ -357,6 +377,64 @@ mod tests {
         let both = snap.place(&req(&snap, "DE", 24, 100.0)).unwrap();
         assert!(slack.cost_g <= base.cost_g + 1e-9);
         assert!(both.cost_g <= slack.cost_g + 1e-9);
+    }
+
+    #[test]
+    fn five_minute_replica_answers_the_hourly_decision() {
+        // Integer-valued traces: per-slot window sums on the 12×
+        // replica are exactly 12× the hourly sums, so the grams-scale
+        // normalization must reproduce the hourly answer bit for bit,
+        // and the earliest-start tie-break must keep decisions on
+        // hour-aligned slots.
+        let start = year_start(2022);
+        let mut state = 0x9e37_79b9_7f4a_7c15_u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) % 900 + 50) as f64
+        };
+        let pairs = ["DE", "SE", "PL"]
+            .iter()
+            .map(|code| {
+                let region = decarb_traces::catalog::region(code).unwrap().clone();
+                let values: Vec<f64> = (0..24 * 30).map(|_| next()).collect();
+                (region, decarb_traces::TimeSeries::new(start, values))
+            })
+            .collect();
+        let hourly = decarb_traces::TraceSet::from_series(pairs);
+        let fine = hourly
+            .resample_to(decarb_traces::Resolution::from_minutes(5).unwrap())
+            .unwrap();
+        let snap_h = Snapshot::build(Arc::new(hourly), 1);
+        let snap_f = Snapshot::build(Arc::new(fine), 1);
+        for (slack, slo) in [(0usize, 0.0), (24, 0.0), (24, f64::INFINITY), (6, 100.0)] {
+            let rh = PlaceRequest {
+                origin: snap_h.traces().id_of("PL").unwrap(),
+                arrival: start.plus(10 * 24),
+                duration_hours: 6,
+                slack_hours: slack,
+                slo_ms: slo,
+            };
+            let rf = PlaceRequest {
+                origin: snap_f.traces().id_of("PL").unwrap(),
+                arrival: Hour((start.0 + 10 * 24) * 12),
+                duration_hours: 6,
+                slack_hours: slack,
+                slo_ms: slo,
+            };
+            let dh = snap_h.place(&rh).unwrap();
+            let df = snap_f.place(&rf).unwrap();
+            assert_eq!(
+                snap_h.traces().code(dh.region),
+                snap_f.traces().code(df.region),
+                "slack {slack} slo {slo}"
+            );
+            assert_eq!(df.start.0, dh.start.0 * 12, "slack {slack} slo {slo}");
+            assert_eq!(df.cost_g, dh.cost_g, "slack {slack} slo {slo}");
+            assert_eq!(df.naive_g, dh.naive_g, "slack {slack} slo {slo}");
+            assert_eq!(df.saved_g, dh.saved_g, "slack {slack} slo {slo}");
+        }
     }
 
     #[test]

@@ -79,18 +79,20 @@ impl<F: Forecaster> SpatioTemporal<F> {
         if available == 0 {
             return view.now;
         }
-        let history_len = self.max_history.min(available);
+        let resolution = view.traces.resolution();
+        let history_slots = self.max_history * resolution.slots_per_hour();
+        let history_len = history_slots.min(available);
         let Ok(history) = series.slice(Hour(view.now.0 - history_len as u32), history_len) else {
             return view.now;
         };
-        let slots = job.length_slots();
+        let slots = job.length_slots_at(resolution);
         let remaining = (series.end().0 - view.now.0) as usize;
         if remaining < slots {
             return view.now;
         }
-        let window = (job.slack_hours() + slots).min(remaining);
+        let window = (job.slack_slots_at(resolution) + slots).min(remaining);
         let predicted: TimeSeries = self.forecaster.predict_series(&history, window);
-        TemporalPlanner::new(&predicted)
+        TemporalPlanner::with_resolution(&predicted, resolution)
             .best_deferred(view.now, slots, window - slots)
             .start
     }
@@ -98,7 +100,8 @@ impl<F: Forecaster> SpatioTemporal<F> {
 
 impl<F: Forecaster> Policy for SpatioTemporal<F> {
     fn place(&mut self, job: &Job, view: &CloudView<'_>) -> Placement {
-        self.ledger.roll(view.now);
+        let sph = view.traces.resolution().slots_per_hour() as u32;
+        self.ledger.roll(Hour(view.now.0 - view.now.0 % sph));
         let region = self.route(job, view);
         self.ledger.record(region);
         let start = self.defer(job, region, view);

@@ -51,7 +51,7 @@ use crate::error::TraceError;
 use crate::mix::{EnergyMix, Source};
 use crate::region::{GeoGroup, Providers, Region};
 use crate::series::TimeSeries;
-use crate::time::Hour;
+use crate::time::{Hour, Resolution};
 
 /// The 8-byte file magic. Modeled on PNG's: the high-bit first byte
 /// breaks text decoders, `\r\n` catches newline translation, and `^Z`
@@ -61,8 +61,9 @@ pub const MAGIC: [u8; 8] = [0x89, b'D', b'C', b'T', 0x0D, 0x0A, 0x1A, 0x0A];
 /// The format revision written by [`encode`].
 pub const VERSION: u16 = 1;
 
-/// Minutes per sample. The workspace is hourly throughout; the field
-/// exists so sub-hourly traces are a version bump, not a new format.
+/// Default minutes per sample (hourly) — what [`encode`] writes for
+/// datasets that never declared a finer axis. Containers may carry any
+/// divisor of 60; [`decode`] validates and stamps it onto the dataset.
 pub const RESOLUTION_MINUTES: u32 = 60;
 
 /// Fixed header length in bytes (magic through `meta_len`).
@@ -215,7 +216,7 @@ pub fn encode(set: &TraceSet) -> Result<Vec<u8>, TraceError> {
     out.extend_from_slice(&MAGIC);
     out.extend_from_slice(&VERSION.to_le_bytes());
     out.extend_from_slice(&regions.to_le_bytes());
-    out.extend_from_slice(&RESOLUTION_MINUTES.to_le_bytes());
+    out.extend_from_slice(&set.resolution().minutes().to_le_bytes());
     out.extend_from_slice(&start.0.to_le_bytes());
     out.extend_from_slice(&(hours as u64).to_le_bytes());
     out.extend_from_slice(&1u32.to_le_bytes());
@@ -567,13 +568,15 @@ pub fn decode(bytes: &[u8], label: &str) -> Result<TraceSet, TraceError> {
             ),
         ));
     }
+    let resolution = Resolution::from_minutes(header.resolution_minutes)
+        .map_err(|reason| bad(label, format!("header {reason}")))?;
     let values = decode_value_blocks(&blocks, header.hours);
     let pairs = regions
         .into_iter()
         .zip(values)
         .map(|(region, values)| (region, TimeSeries::new(header.start, values)))
         .collect();
-    TraceSet::try_from_series(pairs)
+    Ok(TraceSet::try_from_series(pairs)?.with_resolution(resolution))
 }
 
 /// Fans the byte→f64 conversion of the per-region segment blocks out
@@ -665,6 +668,17 @@ pub fn append(
         label,
     };
     let stored = decode_metadata(&mut r, header.regions)?;
+    if update.resolution().minutes() != header.resolution_minutes {
+        return Err(bad(
+            label,
+            format!(
+                "update is {} data but the container is {} min/sample; resample or \
+                 re-pack instead of appending across resolutions",
+                update.resolution(),
+                header.resolution_minutes
+            ),
+        ));
+    }
     let end = header.start.0 as u64 + header.hours as u64;
     let end = u32::try_from(end).map_err(|_| bad(label, "container horizon overflows u32"))?;
 
@@ -892,6 +906,64 @@ mod tests {
         assert_eq!(info.file_bytes, bytes.len());
         let recorded = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().unwrap());
         assert_eq!(info.content_hash, recorded);
+    }
+
+    #[test]
+    fn five_minute_pack_probe_append_roundtrip() {
+        // A 5-minute set: tiny_set's axis reinterpreted as 5-min slots.
+        let five = Resolution::from_minutes(5).unwrap();
+        let full = tiny_set(48).with_resolution(five);
+        let first = TraceSet::from_series(
+            full.iter()
+                .map(|(r, s)| (r.clone(), s.slice(Hour(10), 36).unwrap()))
+                .collect(),
+        )
+        .with_resolution(five);
+        let bytes = encode(&first).unwrap();
+        // Probe surfaces the sub-hourly resolution from the header.
+        let info = probe(&bytes, "test").unwrap();
+        assert_eq!(info.resolution_minutes, 5);
+        assert_eq!(info.hours, 36);
+        // Decode round-trips it onto a live axis.
+        let back = decode(&bytes, "test").unwrap();
+        assert_eq!(back.resolution(), five);
+        assert_set_eq(&first, &back);
+        // Append keeps the resolution (bytes [12..16] untouched).
+        let update = TraceSet::from_series(
+            full.iter()
+                .map(|(r, s)| (r.clone(), s.slice(Hour(46), 2).unwrap()))
+                .collect(),
+        )
+        .with_resolution(five);
+        let (appended, added) = append(&bytes, "test", &update, false).unwrap();
+        assert_eq!(added, 2);
+        let info = probe(&appended, "test").unwrap();
+        assert_eq!(info.resolution_minutes, 5);
+        assert_eq!(info.segments, 2);
+        assert_eq!(decode(&appended, "test").unwrap().resolution(), five);
+        // An hourly update cannot extend a 5-minute container.
+        let hourly_update = TraceSet::from_series(
+            full.iter()
+                .map(|(r, s)| (r.clone(), s.slice(Hour(46), 2).unwrap()))
+                .collect(),
+        );
+        let err = append(&bytes, "test", &hourly_update, false).unwrap_err();
+        assert!(format!("{err}").contains("resolution"), "{err}");
+    }
+
+    #[test]
+    fn invalid_header_resolution_is_rejected_at_decode() {
+        let mut bytes = encode(&tiny_set(4)).unwrap();
+        // Patch resolution to 7 minutes (not a divisor of 60) and fix
+        // the trailer so only the resolution is wrong.
+        bytes[12..16].copy_from_slice(&7u32.to_le_bytes());
+        let body = bytes.len() - TRAILER_LEN;
+        let hash = content_hash(&bytes[..body]);
+        bytes[body..].copy_from_slice(&hash.to_le_bytes());
+        let err = decode(&bytes, "test").unwrap_err();
+        assert!(format!("{err}").contains("invalid resolution 7"), "{err}");
+        // Probe still reports the raw header fact for diagnosis.
+        assert_eq!(probe(&bytes, "test").unwrap().resolution_minutes, 7);
     }
 
     #[test]

@@ -5,10 +5,10 @@ use std::sync::{Arc, OnceLock};
 use crate::catalog;
 use crate::error::TraceError;
 use crate::region::{GeoGroup, Region};
-use crate::series::TimeSeries;
+use crate::series::{ChunkedPrefix, TimeSeries};
 use crate::synth::{SynthConfig, Synthesizer};
 use crate::table::{RegionId, RegionTable};
-use crate::time::{self, Hour};
+use crate::time::{self, Hour, Resolution};
 
 /// A set of carbon-intensity traces over an interned [`RegionTable`].
 ///
@@ -23,6 +23,16 @@ use crate::time::{self, Hour};
 pub struct TraceSet {
     table: RegionTable,
     series: Vec<TimeSeries>,
+    /// Slot length shared by every series in the set. [`Hour`] indices
+    /// in this dataset are slot indices on this axis.
+    resolution: Resolution,
+    /// Lazily built [`ChunkedPrefix`] accelerators, one slot per series.
+    /// Building one is O(series length) — noticeable at 105k-sample
+    /// sub-hourly scale — so every consumer that window-sums a trace
+    /// (the simulator's span accrual above all) shares one build per
+    /// dataset instead of paying it per run. `OnceLock` keeps the cache
+    /// race-safe under the scenario engine's thread fan-out.
+    prefix_cache: Vec<OnceLock<ChunkedPrefix>>,
 }
 
 impl TraceSet {
@@ -36,12 +46,15 @@ impl TraceSet {
         let mut set = Self {
             table: RegionTable::new(),
             series: Vec::with_capacity(regions.len()),
+            resolution: Resolution::HOURLY,
+            prefix_cache: Vec::new(),
         };
         for region in regions {
             let series = synth.generate(&region);
             // decarb-analyze: allow(no-panic) -- documented panicking constructor (header: # Panics on duplicate codes)
             set.table.intern(region).expect("unique region codes");
             set.series.push(series);
+            set.prefix_cache.push(OnceLock::new());
         }
         set
     }
@@ -62,10 +75,13 @@ impl TraceSet {
         let mut set = Self {
             table: RegionTable::new(),
             series: Vec::with_capacity(pairs.len()),
+            resolution: Resolution::HOURLY,
+            prefix_cache: Vec::new(),
         };
         for (region, series) in pairs {
             set.table.intern(region)?;
             set.series.push(series);
+            set.prefix_cache.push(OnceLock::new());
         }
         Ok(set)
     }
@@ -76,15 +92,67 @@ impl TraceSet {
     /// already covered are left untouched (the dataset's trace wins).
     pub fn extend_synthesized(&mut self, regions: Vec<Region>, config: SynthConfig) {
         let synth = Synthesizer::new(config);
+        let factor = self.resolution.slots_per_hour();
         for region in regions {
             if self.table.id(&region.code).is_some() {
                 continue;
             }
-            let series = synth.generate(&region);
+            // The synthesizer generates hourly samples; on a sub-hourly
+            // set each hour expands into its slots so the new trace
+            // lives on the same axis as the rest of the dataset.
+            let series = expand_series(&synth.generate(&region), factor);
             if self.table.intern(region).is_ok() {
                 self.series.push(series);
+                self.prefix_cache.push(OnceLock::new());
             }
         }
+    }
+
+    /// The dataset's sample resolution (hourly unless the source data
+    /// declared otherwise).
+    #[inline]
+    pub fn resolution(&self) -> Resolution {
+        self.resolution
+    }
+
+    /// Stamps the set with a sample resolution — used by ingestion
+    /// (containers, CSV, sidecars) after validating that the source
+    /// data really is on that axis. The caller owns the invariant that
+    /// every series' `start`/`len` are slot counts at `resolution`.
+    pub fn with_resolution(mut self, resolution: Resolution) -> Self {
+        self.resolution = resolution;
+        self
+    }
+
+    /// Re-expresses this dataset on a finer axis: every sample is
+    /// repeated over the slots its original interval covers, and slot
+    /// anchors are rescaled. The carbon signal is unchanged — this is
+    /// exactly the "hourly data embeds losslessly in a finer axis"
+    /// direction; genuinely finer information can only come from finer
+    /// source data.
+    pub fn resample_to(&self, resolution: Resolution) -> Result<TraceSet, TraceError> {
+        if resolution.minutes() > self.resolution.minutes()
+            || !self
+                .resolution
+                .minutes()
+                .is_multiple_of(resolution.minutes())
+        {
+            return Err(TraceError::Resolution(format!(
+                "cannot resample {} data to {} (target must evenly subdivide the source)",
+                self.resolution, resolution
+            )));
+        }
+        let factor = (self.resolution.minutes() / resolution.minutes()) as usize;
+        Ok(TraceSet {
+            table: self.table.clone(),
+            series: self
+                .series
+                .iter()
+                .map(|s| expand_series(s, factor))
+                .collect(),
+            resolution,
+            prefix_cache: self.series.iter().map(|_| OnceLock::new()).collect(),
+        })
     }
 
     /// Returns the number of regions.
@@ -136,6 +204,22 @@ impl TraceSet {
     #[inline]
     pub fn try_series_by_id(&self, id: RegionId) -> Option<&TimeSeries> {
         self.series.get(id.index())
+    }
+
+    /// The shared [`ChunkedPrefix`] accelerator for `id`'s trace,
+    /// built on first use and reused by every subsequent caller
+    /// (panics on a foreign id).
+    #[inline]
+    pub fn chunked_prefix_by_id(&self, id: RegionId) -> &ChunkedPrefix {
+        self.prefix_cache[id.index()].get_or_init(|| self.series[id.index()].chunked_prefix())
+    }
+
+    /// Fallible [`TraceSet::chunked_prefix_by_id`]: `None` for ids that
+    /// do not belong to this set.
+    #[inline]
+    pub fn try_chunked_prefix_by_id(&self, id: RegionId) -> Option<&ChunkedPrefix> {
+        let cell = self.prefix_cache.get(id.index())?;
+        Some(cell.get_or_init(|| self.series[id.index()].chunked_prefix()))
     }
 
     /// The zone code behind `id` (panics on a foreign id).
@@ -226,6 +310,19 @@ impl TraceSet {
             // decarb-analyze: allow(no-panic) -- like `global_mean`, meaningless on an empty set; builtin sets never are
             .expect("dataset is non-empty")
     }
+}
+
+/// Repeats each sample of `series` `factor` times and rescales the
+/// anchor, moving the series to an axis `factor`× finer.
+fn expand_series(series: &TimeSeries, factor: usize) -> TimeSeries {
+    if factor <= 1 {
+        return series.clone();
+    }
+    let mut values = Vec::with_capacity(series.len() * factor);
+    for &v in series.values() {
+        values.extend(std::iter::repeat_n(v, factor));
+    }
+    TimeSeries::new(Hour(series.start().0 * factor as u32), values)
 }
 
 /// Returns the shared built-in dataset: all 123 regions, 2020–2023,
@@ -346,6 +443,57 @@ mod tests {
             TraceSet::try_from_series(pairs),
             Err(TraceError::DuplicateRegion(code)) if code == "SE"
         ));
+    }
+
+    #[test]
+    fn default_resolution_is_hourly() {
+        let data = builtin_dataset();
+        assert!(data.resolution().is_hourly());
+        assert_eq!(data.resolution(), Resolution::HOURLY);
+    }
+
+    #[test]
+    fn resample_expands_each_sample_into_its_slots() {
+        let se = catalog::region("SE").unwrap().clone();
+        let hourly =
+            TraceSet::from_series(vec![(se, TimeSeries::new(Hour(2), vec![10.0, 20.0, 30.0]))]);
+        let five = Resolution::from_minutes(5).unwrap();
+        let fine = hourly.resample_to(five).unwrap();
+        assert_eq!(fine.resolution(), five);
+        let series = fine.series("SE").unwrap();
+        assert_eq!(series.start(), Hour(24), "anchor rescaled to slots");
+        assert_eq!(series.len(), 36);
+        assert!(series.values()[..12].iter().all(|&v| v == 10.0));
+        assert!(series.values()[12..24].iter().all(|&v| v == 20.0));
+        assert!(series.values()[24..].iter().all(|&v| v == 30.0));
+        // Signal (time-weighted mean) is unchanged.
+        assert!((series.mean() - hourly.series("SE").unwrap().mean()).abs() < 1e-12);
+        // Coarsening is rejected.
+        assert!(matches!(
+            fine.resample_to(Resolution::HOURLY),
+            Err(TraceError::Resolution(_))
+        ));
+        // 15-minute → 5-minute works (factor 3).
+        let quarter = hourly
+            .resample_to(Resolution::from_minutes(15).unwrap())
+            .unwrap();
+        let finer = quarter.resample_to(five).unwrap();
+        assert_eq!(finer.series("SE").unwrap().len(), 36);
+    }
+
+    #[test]
+    fn extend_synthesized_matches_set_resolution() {
+        let se = catalog::region("SE").unwrap().clone();
+        let five = Resolution::from_minutes(5).unwrap();
+        let mut set = TraceSet::from_series(vec![(se, TimeSeries::new(Hour(0), vec![16.0; 24]))])
+            .resample_to(five)
+            .unwrap();
+        set.extend_synthesized(vec![Region::user("XX-NEW")], SynthConfig::default());
+        let new = set.series("XX-NEW").unwrap();
+        assert_eq!(new.len(), time::horizon_hours() * 12, "expanded to slots");
+        // Each synthesized hour occupies 12 equal slots.
+        let v = new.values();
+        assert!(v[..12].iter().all(|&x| x == v[0]));
     }
 
     #[test]

@@ -26,6 +26,9 @@ pub enum TraceError {
     /// An underlying I/O failure, carried as a string to keep the error
     /// type `Clone + PartialEq` for test assertions.
     Io(String),
+    /// A sample-resolution problem: an invalid slot length (must divide
+    /// 60), mixed-resolution data, or a resample to a coarser axis.
+    Resolution(String),
     /// A binary trace container was rejected: bad magic, an unsupported
     /// version, a content-hash mismatch, a truncated block, or a
     /// structural inconsistency. `reason` states what was found and, for
@@ -55,6 +58,7 @@ impl std::fmt::Display for TraceError {
                 write!(f, "parse error on line {line}: {message}")
             }
             TraceError::Io(message) => write!(f, "I/O error: {message}"),
+            TraceError::Resolution(message) => write!(f, "resolution error: {message}"),
             TraceError::Container { path, reason } => {
                 write!(f, "container {path}: {reason}")
             }

@@ -54,11 +54,11 @@ pub use dataset::{builtin_dataset, TraceSet};
 pub use error::TraceError;
 pub use mix::{EnergyMix, Source};
 pub use region::{GeoGroup, Providers, Region};
-pub use series::{PrefixSum, TimeSeries};
-pub use sidecar::parse_region_sidecar;
+pub use series::{ChunkedPrefix, PrefixSum, TimeSeries};
+pub use sidecar::{parse_region_sidecar, parse_sidecar, SidecarDoc};
 pub use synth::{SynthConfig, Synthesizer};
 pub use table::{RegionId, RegionTable};
-pub use time::{Hour, HOURS_PER_DAY, HOURS_PER_WEEK, HOURS_PER_YEAR};
+pub use time::{Hour, Resolution, HOURS_PER_DAY, HOURS_PER_WEEK, HOURS_PER_YEAR};
 pub use validate::{repair, validate, ValidationConfig, ValidationReport};
 
 /// The paper's global average carbon-intensity baseline, in g·CO2eq/kWh.

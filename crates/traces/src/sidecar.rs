@@ -22,6 +22,7 @@
 
 use crate::error::TraceError;
 use crate::region::Region;
+use crate::time::Resolution;
 
 fn err(line: usize, message: impl Into<String>) -> TraceError {
     TraceError::Parse {
@@ -30,12 +31,36 @@ fn err(line: usize, message: impl Into<String>) -> TraceError {
     }
 }
 
+/// Everything a sidecar can declare: regions plus optional
+/// dataset-level facts from a `[dataset]` section.
+#[derive(Debug, Clone, Default)]
+pub struct SidecarDoc {
+    /// Regions, in declaration order.
+    pub regions: Vec<Region>,
+    /// Declared sample resolution of the accompanying data file
+    /// (`[dataset] resolution = 5`), if any.
+    pub resolution: Option<Resolution>,
+}
+
+/// Parses a sidecar document into regions, in declaration order.
+///
+/// Convenience wrapper over [`parse_sidecar`] for callers that only
+/// need the region metadata; a `[dataset]` section is still validated
+/// but its facts are dropped.
+pub fn parse_region_sidecar(text: &str) -> Result<Vec<Region>, TraceError> {
+    Ok(parse_sidecar(text)?.regions)
+}
+
 /// An open `[region CODE]` section: code, header line, pairs so far.
 type OpenSection = Option<(String, usize, Vec<(String, String)>)>;
 
-/// Parses a sidecar document into regions, in declaration order.
-pub fn parse_region_sidecar(text: &str) -> Result<Vec<Region>, TraceError> {
+/// Parses a sidecar document: `[region CODE]` sections plus at most one
+/// `[dataset]` section declaring file-level facts (currently
+/// `resolution = <minutes>`, validated against the divisors of 60).
+pub fn parse_sidecar(text: &str) -> Result<SidecarDoc, TraceError> {
     let mut regions: Vec<Region> = Vec::new();
+    let mut resolution: Option<Resolution> = None;
+    let mut in_dataset = false;
     let mut current: OpenSection = None;
     let finish = |current: &mut OpenSection, regions: &mut Vec<Region>| -> Result<(), TraceError> {
         if let Some((code, line, pairs)) = current.take() {
@@ -64,13 +89,19 @@ pub fn parse_region_sidecar(text: &str) -> Result<Vec<Region>, TraceError> {
             let mut parts = header.split_whitespace();
             let kind = parts.next().unwrap_or("");
             let code = parts.next().unwrap_or("");
+            if kind == "dataset" && code.is_empty() {
+                finish(&mut current, &mut regions)?;
+                in_dataset = true;
+                continue;
+            }
             if kind != "region" || code.is_empty() || parts.next().is_some() {
                 return Err(err(
                     line_no,
-                    "sidecar sections are `[region CODE]`".to_string(),
+                    "sidecar sections are `[region CODE]` or `[dataset]`".to_string(),
                 ));
             }
             finish(&mut current, &mut regions)?;
+            in_dataset = false;
             current = Some((code.to_uppercase(), line_no, Vec::new()));
             continue;
         }
@@ -80,20 +111,45 @@ pub fn parse_region_sidecar(text: &str) -> Result<Vec<Region>, TraceError> {
                 format!("expected `key = value`, got `{line}`"),
             ));
         };
-        let Some((_, _, pairs)) = current.as_mut() else {
-            return Err(err(line_no, "`key = value` before any `[region CODE]`"));
-        };
-        let key = key.trim().to_string();
+        let key = key.trim();
+        let value = value.trim();
         if key.is_empty() {
             return Err(err(line_no, "empty key"));
         }
+        if in_dataset {
+            match key {
+                "resolution" => {
+                    if resolution.is_some() {
+                        return Err(err(line_no, "duplicate key `resolution`"));
+                    }
+                    let minutes: u32 = value
+                        .parse()
+                        .map_err(|_| err(line_no, format!("bad resolution `{value}` (minutes)")))?;
+                    resolution =
+                        Some(Resolution::from_minutes(minutes).map_err(|e| err(line_no, e))?);
+                }
+                other => {
+                    return Err(err(
+                        line_no,
+                        format!("unknown dataset key `{other}` (valid: resolution)"),
+                    ));
+                }
+            }
+            continue;
+        }
+        let Some((_, _, pairs)) = current.as_mut() else {
+            return Err(err(line_no, "`key = value` before any `[region CODE]`"));
+        };
         if pairs.iter().any(|(k, _)| *k == key) {
             return Err(err(line_no, format!("duplicate key `{key}`")));
         }
-        pairs.push((key, value.trim().to_string()));
+        pairs.push((key.to_string(), value.to_string()));
     }
     finish(&mut current, &mut regions)?;
-    Ok(regions)
+    Ok(SidecarDoc {
+        regions,
+        resolution,
+    })
 }
 
 #[cfg(test)]
@@ -131,6 +187,40 @@ mean_ci = 700
     #[test]
     fn empty_sidecar_is_fine() {
         assert!(parse_region_sidecar("# nothing\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn dataset_section_declares_resolution() {
+        let doc = parse_sidecar(
+            "[dataset]\nresolution = 5\n\n[region XX-A]\nname = Alpha\n[region XX-B]\n",
+        )
+        .unwrap();
+        assert_eq!(doc.resolution, Some(Resolution::from_minutes(5).unwrap()));
+        assert_eq!(doc.regions.len(), 2);
+        assert_eq!(doc.regions[0].name, "Alpha");
+        // No [dataset] section → no declared resolution.
+        assert_eq!(parse_sidecar(EXAMPLE).unwrap().resolution, None);
+        // parse_region_sidecar tolerates (and drops) the section.
+        assert!(parse_region_sidecar("[dataset]\nresolution = 15\n")
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn dataset_section_rejects_bad_resolutions() {
+        for (text, needle) in [
+            ("[dataset]\nresolution = 7\n", "invalid resolution 7"),
+            ("[dataset]\nresolution = 0\n", "invalid resolution 0"),
+            ("[dataset]\nresolution = soon\n", "bad resolution"),
+            (
+                "[dataset]\nresolution = 5\nresolution = 10\n",
+                "duplicate key `resolution`",
+            ),
+            ("[dataset]\ncadence = 5\n", "unknown dataset key"),
+        ] {
+            let error = parse_sidecar(text).unwrap_err();
+            assert!(format!("{error}").contains(needle), "{text:?}: {error}");
+        }
     }
 
     #[test]

@@ -91,6 +91,112 @@ impl std::fmt::Display for Hour {
     }
 }
 
+/// The sample resolution of a dataset: how many minutes one slot spans.
+///
+/// A [`Hour`] is really a *slot index*: at the default hourly resolution
+/// slot `n` covers `[epoch + n·60min, epoch + (n+1)·60min)`; at 5-minute
+/// resolution the same index type counts 5-minute slots from the same
+/// epoch. Every dataset carries exactly one resolution, and all
+/// wall-clock quantities (job lengths, slack, horizons) convert to slot
+/// counts once at the edge via the helpers here. Only divisors of 60
+/// are valid, so an hour is always a whole number of slots and hourly
+/// data embeds losslessly in any finer axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Resolution {
+    minutes: u32,
+}
+
+impl Default for Resolution {
+    fn default() -> Self {
+        Resolution::HOURLY
+    }
+}
+
+impl Resolution {
+    /// The default hourly resolution (60-minute slots).
+    pub const HOURLY: Resolution = Resolution { minutes: 60 };
+
+    /// Creates a resolution from a slot length in minutes.
+    ///
+    /// Only divisors of 60 in `1..=60` are accepted: an hour must be a
+    /// whole number of slots for hour-denominated quantities (slack,
+    /// horizons) to convert exactly.
+    pub fn from_minutes(minutes: u32) -> Result<Resolution, String> {
+        if !(1..=60).contains(&minutes) || 60 % minutes != 0 {
+            return Err(format!(
+                "invalid resolution {minutes} min (must divide 60 and lie in 1..=60: \
+                 1, 2, 3, 4, 5, 6, 10, 12, 15, 20, 30, or 60)"
+            ));
+        }
+        Ok(Resolution { minutes })
+    }
+
+    /// The slot length in minutes.
+    #[inline]
+    pub fn minutes(self) -> u32 {
+        self.minutes
+    }
+
+    /// Returns `true` at the default 60-minute resolution.
+    #[inline]
+    pub fn is_hourly(self) -> bool {
+        self.minutes == 60
+    }
+
+    /// Slots per wall-clock hour (1 at hourly, 12 at 5-minute).
+    #[inline]
+    pub fn slots_per_hour(self) -> usize {
+        (60 / self.minutes) as usize
+    }
+
+    /// Slots per wall-clock day.
+    #[inline]
+    pub fn slots_per_day(self) -> usize {
+        HOURS_PER_DAY * self.slots_per_hour()
+    }
+
+    /// Converts a whole number of wall-clock hours to slots (exact).
+    #[inline]
+    pub fn hours_to_slots(self, hours: usize) -> usize {
+        hours * self.slots_per_hour()
+    }
+
+    /// Converts a fractional wall-clock duration in hours to the number
+    /// of slots needed to cover it (ceiling, at least 1).
+    #[inline]
+    pub fn duration_to_slots(self, hours: f64) -> usize {
+        let slots = hours * self.slots_per_hour() as f64;
+        (slots.ceil() as usize).max(1)
+    }
+
+    /// Re-anchors an hour-domain index (e.g. [`year_start`]) as a slot
+    /// index on this axis.
+    #[inline]
+    pub fn slot_of_hour(self, hour: Hour) -> Hour {
+        Hour(hour.0 * self.slots_per_hour() as u32)
+    }
+
+    /// Returns `true` when `slot` falls on a wall-clock hour boundary.
+    #[inline]
+    pub fn is_hour_aligned(self, slot: Hour) -> bool {
+        slot.index().is_multiple_of(self.slots_per_hour())
+    }
+
+    /// Returns `true` when `hours` wall-clock hours convert to a whole
+    /// number of slots — trivially true for integer hours; used by the
+    /// scenario checker for fractional durations.
+    pub fn aligns(self, hours: f64) -> bool {
+        let slots = hours * self.slots_per_hour() as f64;
+        slots.fract() == 0.0
+    }
+}
+
+impl std::fmt::Display for Resolution {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}min", self.minutes)
+    }
+}
+
 /// Returns `true` if `year` is a leap year.
 #[inline]
 pub fn is_leap_year(year: i32) -> bool {
@@ -220,5 +326,50 @@ mod tests {
     #[should_panic(expected = "outside dataset horizon")]
     fn year_start_out_of_range_panics() {
         let _ = year_start(2019);
+    }
+
+    #[test]
+    fn resolution_accepts_only_divisors_of_sixty() {
+        for minutes in [1u32, 2, 3, 4, 5, 6, 10, 12, 15, 20, 30, 60] {
+            let res = Resolution::from_minutes(minutes).unwrap();
+            assert_eq!(res.minutes(), minutes);
+            assert_eq!(res.slots_per_hour() * minutes as usize, 60);
+        }
+        for minutes in [0u32, 7, 8, 9, 11, 13, 25, 45, 61, 90, 120] {
+            assert!(Resolution::from_minutes(minutes).is_err(), "{minutes}");
+        }
+    }
+
+    #[test]
+    fn resolution_slot_arithmetic() {
+        let five = Resolution::from_minutes(5).unwrap();
+        assert!(!five.is_hourly());
+        assert_eq!(five.slots_per_hour(), 12);
+        assert_eq!(five.slots_per_day(), 288);
+        assert_eq!(five.hours_to_slots(24), 288);
+        assert_eq!(five.duration_to_slots(8.0), 96);
+        assert_eq!(five.duration_to_slots(0.01), 1, "at least one slot");
+        assert_eq!(five.duration_to_slots(6.5), 78);
+        assert_eq!(five.slot_of_hour(Hour(100)), Hour(1200));
+        assert!(five.is_hour_aligned(Hour(24)));
+        assert!(!five.is_hour_aligned(Hour(25)));
+        assert!(five.aligns(6.5));
+        assert!(!five.aligns(6.51));
+        assert_eq!(format!("{five}"), "5min");
+    }
+
+    #[test]
+    fn hourly_resolution_is_identity() {
+        let hourly = Resolution::default();
+        assert!(hourly.is_hourly());
+        assert_eq!(hourly, Resolution::HOURLY);
+        assert_eq!(hourly.slots_per_hour(), 1);
+        assert_eq!(hourly.hours_to_slots(17), 17);
+        assert_eq!(hourly.duration_to_slots(8.0), 8);
+        assert_eq!(hourly.duration_to_slots(7.2), 8, "ceiling");
+        assert_eq!(hourly.slot_of_hour(Hour(42)), Hour(42));
+        assert!(hourly.is_hour_aligned(Hour(41)));
+        assert!(hourly.aligns(3.0));
+        assert!(!hourly.aligns(2.5));
     }
 }

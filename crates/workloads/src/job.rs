@@ -1,6 +1,6 @@
 //! The job model of Table 1.
 
-use decarb_traces::{Hour, RegionId};
+use decarb_traces::{Hour, RegionId, Resolution};
 
 /// The job-length grid of Table 1, in hours.
 ///
@@ -157,14 +157,35 @@ impl Job {
         (self.length_hours.ceil() as usize).max(1)
     }
 
+    /// Returns the job length in trace slots at `resolution`, rounded up
+    /// to a whole slot. At hourly resolution this equals
+    /// [`Job::length_slots`].
+    pub fn length_slots_at(&self, resolution: Resolution) -> usize {
+        if resolution.is_hourly() {
+            return self.length_slots();
+        }
+        resolution.duration_to_slots(self.length_hours)
+    }
+
     /// Returns the slack window in hours for this job.
     pub fn slack_hours(&self) -> usize {
         self.slack.hours(self.length_hours)
     }
 
+    /// Returns the slack window in trace slots at `resolution`.
+    pub fn slack_slots_at(&self, resolution: Resolution) -> usize {
+        resolution.hours_to_slots(self.slack_hours())
+    }
+
     /// Returns the total scheduling window (slack + execution) in hours.
     pub fn window_hours(&self) -> usize {
         self.slack_hours() + self.length_slots()
+    }
+
+    /// Returns the total scheduling window (slack + execution) in trace
+    /// slots at `resolution`.
+    pub fn window_slots_at(&self, resolution: Resolution) -> usize {
+        self.slack_slots_at(resolution) + self.length_slots_at(resolution)
     }
 
     /// Returns the energy drawn in kWh under the 1 kW resource model.
@@ -233,5 +254,22 @@ mod tests {
     fn fractional_lengths_round_up_to_slots() {
         let job = Job::batch(3, RegionId(2), Hour(0), 1.5, Slack::None);
         assert_eq!(job.length_slots(), 2);
+    }
+
+    #[test]
+    fn slot_conversions_scale_with_resolution() {
+        let five = Resolution::from_minutes(5).unwrap();
+        let job = Job::batch(4, RegionId(0), Hour(0), 12.0, Slack::Day);
+        assert_eq!(job.length_slots_at(Resolution::HOURLY), job.length_slots());
+        assert_eq!(job.length_slots_at(five), 12 * 12);
+        assert_eq!(job.slack_slots_at(five), 24 * 12);
+        assert_eq!(job.window_slots_at(five), 36 * 12);
+        // Fractional lengths quantize to the finer axis (1.5 h = 18
+        // five-minute slots, not 2 hours' worth), and sub-slot jobs
+        // still occupy one slot.
+        let frac = Job::batch(5, RegionId(0), Hour(0), 1.5, Slack::None);
+        assert_eq!(frac.length_slots_at(five), 18);
+        let tiny = Job::interactive(6, RegionId(0), Hour(0));
+        assert_eq!(tiny.length_slots_at(five), 1);
     }
 }

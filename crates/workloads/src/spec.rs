@@ -7,7 +7,7 @@
 //! sets of different sizes, which is what the scenario matrix needs.
 
 use decarb_traces::rng::Xoshiro256;
-use decarb_traces::{Hour, RegionId};
+use decarb_traces::{Hour, RegionId, Resolution};
 
 use crate::job::{Job, Slack};
 
@@ -577,6 +577,24 @@ impl WorkloadSpec {
     /// origin, starting at `start`. Job ids are unique across the whole
     /// population and the result is deterministic.
     pub fn materialize(&self, origins: &[RegionId], start: Hour) -> Vec<Job> {
+        self.materialize_at(origins, start, Resolution::HOURLY)
+    }
+
+    /// Materializes the spec onto a sub-hourly slot axis: `start` is a
+    /// *slot* index and each hourly arrival offset lands on its
+    /// hour-aligned slot (`offset × slots_per_hour`). Arrival recipes
+    /// keep their hourly cadence — finer resolution refines the carbon
+    /// axis, not the submission process — so a sub-hourly run sees the
+    /// same population as its hourly counterpart, just addressed in
+    /// slots. At [`Resolution::HOURLY`] this is exactly
+    /// [`WorkloadSpec::materialize`].
+    pub fn materialize_at(
+        &self,
+        origins: &[RegionId],
+        start: Hour,
+        resolution: Resolution,
+    ) -> Vec<Job> {
+        let slots_per_hour = resolution.slots_per_hour();
         let mut jobs = Vec::with_capacity(self.job_count(origins.len()));
         let mut id = 0u64;
         let mut rng = match self {
@@ -592,7 +610,7 @@ impl WorkloadSpec {
             let offsets = self.arrival().offsets(per_origin, o);
             for &offset in &offsets {
                 id += 1;
-                let arrival = start.plus(offset);
+                let arrival = start.plus(offset * slots_per_hour);
                 jobs.push(match self {
                     WorkloadSpec::Batch {
                         length_hours,
@@ -1113,6 +1131,26 @@ mod tests {
         assert_ne!(base.canonical(), other.canonical());
         assert_eq!(base.canonical(), batch_spec().canonical());
         assert!(base.canonical().starts_with("batch:4:fixed:24:"));
+    }
+
+    #[test]
+    fn materialize_at_lands_arrivals_on_hour_aligned_slots() {
+        use decarb_traces::Resolution;
+        let spec = batch_spec();
+        let five = Resolution::from_minutes(5).unwrap();
+        let hourly = spec.materialize(&ORIGINS, Hour(100));
+        // Slot-domain start = hourly start × 12.
+        let fine = spec.materialize_at(&ORIGINS, Hour(1200), five);
+        assert_eq!(hourly.len(), fine.len());
+        for (h, f) in hourly.iter().zip(&fine) {
+            assert_eq!(f.arrival.0, h.arrival.0 * 12, "job {}", h.id);
+            assert_eq!((f.id, f.origin, f.class), (h.id, h.origin, h.class));
+        }
+        // Hourly resolution is the identity.
+        assert_eq!(
+            spec.materialize_at(&ORIGINS, Hour(100), Resolution::HOURLY),
+            hourly
+        );
     }
 
     #[test]
